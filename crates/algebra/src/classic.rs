@@ -1,0 +1,136 @@
+//! Textbook path-algebra instances (Section 3.1 of the paper lists shortest
+//! path and most reliable path as the canonical examples).
+//!
+//! These instances serve two purposes: they validate the generic framework
+//! and [`crate::solver`] against well-known problems, and they demonstrate
+//! by contrast which of Carré's axioms the Moose algebra gives up
+//! (distributivity) — see [`crate::properties`].
+
+use crate::framework::PathAlgebra;
+
+/// Shortest path: labels are nonnegative lengths, CON is `+`, AGG is `min`,
+/// `Θ = 0`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShortestPath;
+
+impl PathAlgebra for ShortestPath {
+    type Label = u64;
+
+    fn identity(&self) -> u64 {
+        0
+    }
+
+    fn con(&self, a: &u64, b: &u64) -> u64 {
+        a.saturating_add(*b)
+    }
+
+    fn dominates(&self, a: &u64, b: &u64) -> bool {
+        a < b
+    }
+}
+
+/// Most reliable path: labels are success probabilities in `[0, 1]`, CON is
+/// `*`, AGG is `max`, `Θ = 1`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MostReliable;
+
+/// A probability label for [`MostReliable`], kept in `[0, 1]` by
+/// construction so the algebra axioms hold.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct Prob(f64);
+
+impl Prob {
+    /// Builds a probability, clamping into `[0, 1]` and rejecting NaN.
+    pub fn new(p: f64) -> Prob {
+        assert!(!p.is_nan(), "probability must not be NaN");
+        Prob(p.clamp(0.0, 1.0))
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl PathAlgebra for MostReliable {
+    type Label = Prob;
+
+    fn identity(&self) -> Prob {
+        Prob(1.0)
+    }
+
+    fn con(&self, a: &Prob, b: &Prob) -> Prob {
+        Prob(a.0 * b.0)
+    }
+
+    fn dominates(&self, a: &Prob, b: &Prob) -> bool {
+        a.0 > b.0
+    }
+}
+
+/// Widest (maximum-bottleneck) path: labels are capacities, CON is `min`,
+/// AGG is `max`, `Θ = ∞`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WidestPath;
+
+impl PathAlgebra for WidestPath {
+    type Label = u64;
+
+    fn identity(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn con(&self, a: &u64, b: &u64) -> u64 {
+        (*a).min(*b)
+    }
+
+    fn dominates(&self, a: &u64, b: &u64) -> bool {
+        a > b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::agg;
+
+    #[test]
+    fn shortest_path_laws() {
+        let a = ShortestPath;
+        assert_eq!(a.con(&3, &4), 7);
+        assert_eq!(a.con(&a.identity(), &9), 9);
+        assert!(a.dominates(&1, &2));
+        assert_eq!(agg(&a, &[4, 2, 8]), vec![2]);
+    }
+
+    #[test]
+    fn most_reliable_laws() {
+        let a = MostReliable;
+        let half = Prob::new(0.5);
+        let third = Prob::new(1.0 / 3.0);
+        assert!((a.con(&half, &third).value() - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(a.con(&a.identity(), &half), half);
+        assert!(a.dominates(&half, &third));
+    }
+
+    #[test]
+    fn widest_path_laws() {
+        let a = WidestPath;
+        assert_eq!(a.con(&5, &3), 3);
+        assert_eq!(a.con(&a.identity(), &9), 9);
+        assert!(a.dominates(&9, &3));
+        assert_eq!(agg(&a, &[4, 2, 8]), vec![8]);
+    }
+
+    #[test]
+    fn prob_clamps_and_rejects_nan() {
+        assert_eq!(Prob::new(2.0).value(), 1.0);
+        assert_eq!(Prob::new(-1.0).value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn prob_panics_on_nan() {
+        Prob::new(f64::NAN);
+    }
+}

@@ -1,0 +1,184 @@
+//! All-pairs path computations (transitive closure in the path-algebra
+//! sense).
+//!
+//! The paper frames completion as "an optimal path computation (in the
+//! transitive closure sense)" and cites the classic direct and
+//! traversal-based closure algorithms. This module provides both flavours
+//! for the generic framework:
+//!
+//! * [`all_pairs_floyd`] — a Floyd–Warshall-style direct algorithm. Sound
+//!   only for *distributive* algebras (Carré's property 6): it summarizes
+//!   paths through intermediate nodes by their aggregated labels, which is
+//!   exactly the step that loses answers for the Moose algebra.
+//! * [`all_pairs_traversal`] — repeated single-source depth-first
+//!   computation ([`crate::solver::optimal_path_labels`]), the
+//!   traversal-based family the paper builds on. Works for any algebra
+//!   satisfying properties 1–5 and 7 plus distributivity for pruning; used
+//!   here as the reference for the classic instances.
+
+use crate::framework::{agg, PathAlgebra};
+use crate::solver::optimal_path_labels;
+use ipe_graph::{DiGraph, Edge, EdgeId, NodeId};
+
+/// All-pairs optimal labels via a Floyd–Warshall-style recurrence.
+///
+/// Returns a row-major `n × n` matrix of optimal label sets;
+/// `result[i][j]` is the AGG over all simple paths `i → j` **provided the
+/// algebra is distributive** (for non-distributive algebras such as the
+/// Moose algebra the result may under-approximate; see module docs).
+/// The diagonal holds `{Θ}`.
+pub fn all_pairs_floyd<N, Ed, A: PathAlgebra>(
+    graph: &DiGraph<N, Ed>,
+    algebra: &A,
+    edge_label: impl Fn(EdgeId, &Edge<Ed>) -> A::Label,
+) -> Vec<Vec<Vec<A::Label>>> {
+    let n = graph.node_count();
+    let mut m: Vec<Vec<Vec<A::Label>>> = vec![vec![Vec::new(); n]; n];
+    for (eid, e) in graph.edges() {
+        let l = edge_label(eid, e);
+        let cell = &mut m[e.source.index()][e.target.index()];
+        cell.push(l);
+        *cell = agg(algebra, cell);
+    }
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = vec![algebra.identity()];
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            for j in 0..n {
+                if j == k || m[i][k].is_empty() || m[k][j].is_empty() {
+                    continue;
+                }
+                let mut candidates: Vec<A::Label> = m[i][j].clone();
+                for a in &m[i][k] {
+                    for b in &m[k][j] {
+                        candidates.push(algebra.con(a, b));
+                    }
+                }
+                m[i][j] = agg(algebra, &candidates);
+            }
+        }
+    }
+    m
+}
+
+/// All-pairs optimal labels by running the depth-first single-source
+/// solver from every node.
+pub fn all_pairs_traversal<N, Ed, A: PathAlgebra>(
+    graph: &DiGraph<N, Ed>,
+    algebra: &A,
+    edge_label: impl Fn(EdgeId, &Edge<Ed>) -> A::Label + Copy,
+) -> Vec<Vec<Vec<A::Label>>> {
+    let n = graph.node_count();
+    let mut m: Vec<Vec<Vec<A::Label>>> = vec![vec![Vec::new(); n]; n];
+    for s in graph.node_ids() {
+        for t in graph.node_ids() {
+            let (labels, _) = optimal_path_labels(graph, algebra, edge_label, s, t);
+            m[s.index()][t.index()] = labels;
+        }
+    }
+    m
+}
+
+/// Convenience: single-pair closure entry.
+pub fn between<A: PathAlgebra>(
+    matrix: &[Vec<Vec<A::Label>>],
+    s: NodeId,
+    t: NodeId,
+) -> &[A::Label] {
+    &matrix[s.index()][t.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::{ShortestPath, WidestPath};
+
+    fn grid() -> DiGraph<(), u64> {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 3 -> 4, plus a heavy direct 0 -> 3.
+        let mut g: DiGraph<(), u64> = DiGraph::new();
+        let n: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        g.add_edge(n[0], n[1], 1);
+        g.add_edge(n[1], n[3], 1);
+        g.add_edge(n[0], n[2], 4);
+        g.add_edge(n[2], n[3], 1);
+        g.add_edge(n[0], n[3], 9);
+        g.add_edge(n[3], n[4], 2);
+        g
+    }
+
+    #[test]
+    fn floyd_matches_traversal_for_shortest_path() {
+        let g = grid();
+        let a = ShortestPath;
+        let f = all_pairs_floyd(&g, &a, |_, e| e.weight);
+        let t = all_pairs_traversal(&g, &a, |_, e| e.weight);
+        for i in 0..g.node_count() {
+            for j in 0..g.node_count() {
+                assert_eq!(f[i][j], t[i][j], "({i},{j})");
+            }
+        }
+        assert_eq!(f[0][4], vec![4], "0->1->3->4");
+        assert_eq!(f[4][0], Vec::<u64>::new(), "unreachable");
+    }
+
+    #[test]
+    fn floyd_matches_traversal_for_widest_path() {
+        let g = grid();
+        let a = WidestPath;
+        let f = all_pairs_floyd(&g, &a, |_, e| e.weight);
+        let t = all_pairs_traversal(&g, &a, |_, e| e.weight);
+        for i in 0..g.node_count() {
+            for j in 0..g.node_count() {
+                assert_eq!(f[i][j], t[i][j], "({i},{j})");
+            }
+        }
+        // Widest route 0 -> 3 is the direct capacity-9 edge.
+        assert_eq!(f[0][3], vec![9]);
+    }
+
+    #[test]
+    fn diagonal_is_identity() {
+        let g = grid();
+        let f = all_pairs_floyd(&g, &ShortestPath, |_, e| e.weight);
+        for i in 0..g.node_count() {
+            assert_eq!(f[i][i], vec![0]);
+        }
+    }
+
+    #[test]
+    fn between_indexes_the_matrix() {
+        let g = grid();
+        let f = all_pairs_floyd(&g, &ShortestPath, |_, e| e.weight);
+        assert_eq!(
+            between::<ShortestPath>(&f, NodeId(0), NodeId(3)),
+            &[2][..]
+        );
+    }
+
+    /// On cyclic graphs with nonnegative weights, Floyd and the traversal
+    /// solver still agree for shortest path.
+    #[test]
+    fn cyclic_graph_agreement() {
+        let mut g: DiGraph<(), u64> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 2);
+        g.add_edge(b, c, 2);
+        g.add_edge(c, a, 2);
+        g.add_edge(a, c, 5);
+        let alg = ShortestPath;
+        let f = all_pairs_floyd(&g, &alg, |_, e| e.weight);
+        let t = all_pairs_traversal(&g, &alg, |_, e| e.weight);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(f[i][j], t[i][j], "({i},{j})");
+            }
+        }
+        assert_eq!(f[a.index()][c.index()], vec![4]);
+    }
+}

@@ -1,0 +1,151 @@
+//! The generic path-algebra formalism.
+
+use std::fmt::Debug;
+
+/// A path algebra in the sense of Carré, as used by the paper (Section 3.1).
+///
+/// A label is associated with each edge and each path. [`con`] computes the
+/// label of a concatenated path from the labels of its two halves;
+/// [`dominates`] is the strict preference relation that the aggregate
+/// function **AGG** is derived from: `AGG(S)` keeps the labels of `S` that no
+/// other label of `S` dominates (see [`agg`]).
+///
+/// Implementations are expected to satisfy the paper's properties 1–5 (and
+/// ideally 6–7); the [`crate::properties`] module provides checkers so test
+/// suites can verify which properties actually hold for a given instance.
+///
+/// [`con`]: PathAlgebra::con
+/// [`dominates`]: PathAlgebra::dominates
+pub trait PathAlgebra {
+    /// The label type. Labels are small values copied freely by the solvers.
+    type Label: Clone + PartialEq + Debug;
+
+    /// The identity `Θ` of CON: the label of the empty path.
+    fn identity(&self) -> Self::Label;
+
+    /// CON: label of the concatenation of a path labelled `a` followed by a
+    /// path labelled `b`.
+    fn con(&self, a: &Self::Label, b: &Self::Label) -> Self::Label;
+
+    /// Strict domination: `a` is strictly preferable to `b`.
+    ///
+    /// Must be irreflexive and transitive (a strict partial order). AGG is
+    /// the set of non-dominated labels.
+    fn dominates(&self, a: &Self::Label, b: &Self::Label) -> bool;
+
+    /// Convenience: neither label dominates the other.
+    fn incomparable(&self, a: &Self::Label, b: &Self::Label) -> bool {
+        !self.dominates(a, b) && !self.dominates(b, a)
+    }
+}
+
+/// AGG: reduces a label set to its non-dominated ("optimal") labels,
+/// removing duplicates.
+///
+/// For algebras whose domination is a total order (shortest path, most
+/// reliable path) this returns a singleton; for the Moose algebra it may
+/// return several pairwise-incomparable labels, matching the paper's set
+/// semantics.
+pub fn agg<A: PathAlgebra>(algebra: &A, labels: &[A::Label]) -> Vec<A::Label> {
+    let mut kept: Vec<A::Label> = Vec::new();
+    for l in labels {
+        if kept.contains(l) {
+            continue;
+        }
+        if labels.iter().any(|other| algebra.dominates(other, l)) {
+            continue;
+        }
+        kept.push(l.clone());
+    }
+    kept
+}
+
+/// Incrementally folds `candidate` into an already-aggregated set, keeping
+/// the set aggregated. Returns `true` when the candidate survived (was
+/// inserted or an equal label was already present).
+///
+/// This is the `best[v] := AGG({l} ∪ best[v])` step of the paper's
+/// algorithms, done in place.
+pub fn agg_into<A: PathAlgebra>(algebra: &A, set: &mut Vec<A::Label>, candidate: &A::Label) -> bool {
+    if set.contains(candidate) {
+        return true;
+    }
+    if set.iter().any(|l| algebra.dominates(l, candidate)) {
+        return false;
+    }
+    set.retain(|l| !algebra.dominates(candidate, l));
+    set.push(candidate.clone());
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::ShortestPath;
+    use crate::moose::{Connector, Label, MooseAlgebra};
+
+    #[test]
+    fn agg_total_order_keeps_minimum() {
+        let a = ShortestPath;
+        assert_eq!(agg(&a, &[5, 3, 9, 3]), vec![3]);
+    }
+
+    #[test]
+    fn agg_removes_duplicates() {
+        let a = ShortestPath;
+        assert_eq!(agg(&a, &[4, 4, 4]), vec![4]);
+    }
+
+    #[test]
+    fn agg_empty_is_empty() {
+        let a = ShortestPath;
+        assert_eq!(agg(&a, &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn agg_keeps_incomparable_labels() {
+        let a = MooseAlgebra::default();
+        // Isa and May-Be paths of the same semantic length are incomparable.
+        let isa = Label::single(crate::moose::RelKind::Isa);
+        let maybe = Label::single(crate::moose::RelKind::MayBe);
+        let out = agg(&a, &[isa, maybe]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn agg_into_inserts_and_evicts() {
+        let a = ShortestPath;
+        let mut set = vec![7u64];
+        assert!(agg_into(&a, &mut set, &3));
+        assert_eq!(set, vec![3]);
+        assert!(!agg_into(&a, &mut set, &9));
+        assert_eq!(set, vec![3]);
+        assert!(agg_into(&a, &mut set, &3), "equal label counts as surviving");
+        assert_eq!(set, vec![3]);
+    }
+
+    #[test]
+    fn agg_into_matches_agg() {
+        let a = MooseAlgebra::default();
+        let labels: Vec<Label> = vec![
+            Label::single(crate::moose::RelKind::Assoc),
+            Label::single(crate::moose::RelKind::HasPart),
+            Label::single(crate::moose::RelKind::Isa),
+            Label::single(crate::moose::RelKind::MayBe),
+        ];
+        let batch = agg(&a, &labels);
+        let mut incremental = Vec::new();
+        for l in &labels {
+            agg_into(&a, &mut incremental, l);
+        }
+        assert_eq!(batch.len(), incremental.len());
+        for l in &batch {
+            assert!(incremental.contains(l));
+        }
+        // Only the two semantic-length-0 connectors survive.
+        assert!(batch.iter().all(|l| matches!(
+            l.connector,
+            Connector::ISA | Connector::MAY_BE
+        )));
+    }
+}

@@ -1,0 +1,41 @@
+//! Path-algebra framework and the Moose connector algebra.
+//!
+//! The paper maps the disambiguation of incomplete path expressions to an
+//! *optimal path computation* in the sense of Carré's path algebras
+//! (Section 3.1): each edge and path carries a *label*; a binary **CON**
+//! function with identity `Θ` concatenates labels along a path; a unary
+//! **AGG** function selects the optimal labels out of a set.
+//!
+//! This crate provides:
+//!
+//! * [`PathAlgebra`] — the generic formalism, together with a generic
+//!   Pareto-style [`agg`] implementation and the [`properties`] module that
+//!   machine-checks Carré's axioms (properties 1–6 of the paper) plus the
+//!   monotonicity property 7;
+//! * [`classic`] — textbook instances (shortest path, most reliable path,
+//!   widest path) used to validate the framework against known results;
+//! * [`solver`] — the reference depth-first path computation of the paper's
+//!   Algorithm 1, usable with any algebra;
+//! * [`moose`] — the paper's own algebra: the connector alphabet `Σ`
+//!   (primary `@> <@ $> <$ .`, secondary `.SB .SP ..`, and `Possibly`
+//!   variants), the `CON_c` composition table (paper Table 1), the semantic
+//!   length of a path (Section 3.3.2), the *better-than* partial order `≺`
+//!   (paper Figure 3), `AGG`/`AGG*` (Sections 3.4 and 4.4), and the caution
+//!   sets that compensate for the failure of distributivity (Section 4.1).
+//!
+//! The Moose instance intentionally *fails* distributivity (property 6) —
+//! `properties::find_distributivity_counterexample` exhibits a witness —
+//! which is exactly what motivates the caution sets used by the completion
+//! engine in `ipe-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classic;
+pub mod closure;
+mod framework;
+pub mod moose;
+pub mod properties;
+pub mod solver;
+
+pub use framework::{agg, agg_into, PathAlgebra};

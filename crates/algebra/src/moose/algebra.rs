@@ -1,0 +1,64 @@
+//! The [`crate::PathAlgebra`] instance for the Moose connector algebra.
+
+use super::agg::dominates;
+use super::label::Label;
+use crate::framework::PathAlgebra;
+
+/// The paper's path algebra: labels are (connector, semantic length) pairs
+/// (plus the reduced endpoints of footnote 3), CON composes through the
+/// `CON_c` table and the junction rule, and domination is primarily by the
+/// `≺` connector order, secondarily by semantic length.
+///
+/// The type is a unit struct so it can be passed by value everywhere; all
+/// state (the composition table, the order) is global to the formalism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MooseAlgebra;
+
+impl PathAlgebra for MooseAlgebra {
+    type Label = Label;
+
+    fn identity(&self) -> Label {
+        Label::IDENTITY
+    }
+
+    fn con(&self, a: &Label, b: &Label) -> Label {
+        a.con(b)
+    }
+
+    fn dominates(&self, a: &Label, b: &Label) -> bool {
+        dominates(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moose::{Connector, RelKind};
+
+    #[test]
+    fn identity_is_theta() {
+        let a = MooseAlgebra;
+        let id = a.identity();
+        assert_eq!(id.connector, Connector::ISA);
+        assert_eq!(id.semlen, 0);
+        assert!(id.is_identity());
+    }
+
+    #[test]
+    fn con_delegates_to_label() {
+        let a = MooseAlgebra;
+        let l1 = Label::single(RelKind::HasPart);
+        let l2 = Label::single(RelKind::IsPartOf);
+        let c = a.con(&l1, &l2);
+        assert_eq!(c.connector, Connector::SHARES_SUB);
+        assert_eq!(c.semlen, 2);
+    }
+
+    #[test]
+    fn incomparable_via_trait_helper() {
+        let a = MooseAlgebra;
+        let isa = Label::single(RelKind::Isa);
+        let maybe = Label::single(RelKind::MayBe);
+        assert!(a.incomparable(&isa, &maybe));
+    }
+}

@@ -1,0 +1,328 @@
+//! Relationship kinds and the connector alphabet `Σ`.
+
+use std::fmt;
+
+/// The five primary kinds of relationships between classes (Section 2.1).
+///
+/// Every relationship in a schema is of one of these kinds; the paper
+/// assumes each relationship's inverse is present as well ([`inverse`]).
+///
+/// [`inverse`]: RelKind::inverse
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RelKind {
+    /// Subclass → superclass (`@>`); all objects of the subclass are
+    /// instances of the superclass and the subclass inherits its
+    /// relationships.
+    Isa,
+    /// Superclass → subclass (`<@`), the inverse of [`RelKind::Isa`].
+    MayBe,
+    /// Superpart → subpart (`$>`); objects structurally contain objects of
+    /// the target class.
+    HasPart,
+    /// Subpart → superpart (`<$`), the inverse of [`RelKind::HasPart`].
+    IsPartOf,
+    /// Mutual association unrelated to structure (`.`); its own inverse
+    /// kind.
+    Assoc,
+}
+
+impl RelKind {
+    /// All five kinds, in a fixed order.
+    pub const ALL: [RelKind; 5] = [
+        RelKind::Isa,
+        RelKind::MayBe,
+        RelKind::HasPart,
+        RelKind::IsPartOf,
+        RelKind::Assoc,
+    ];
+
+    /// The kind of the inverse relationship.
+    pub fn inverse(self) -> RelKind {
+        match self {
+            RelKind::Isa => RelKind::MayBe,
+            RelKind::MayBe => RelKind::Isa,
+            RelKind::HasPart => RelKind::IsPartOf,
+            RelKind::IsPartOf => RelKind::HasPart,
+            RelKind::Assoc => RelKind::Assoc,
+        }
+    }
+
+    /// The connector symbol a single relationship of this kind contributes
+    /// to a path expression.
+    pub fn connector(self) -> Connector {
+        Connector::primary(match self {
+            RelKind::Isa => Base::Isa,
+            RelKind::MayBe => Base::MayBe,
+            RelKind::HasPart => Base::HasPart,
+            RelKind::IsPartOf => Base::IsPartOf,
+            RelKind::Assoc => Base::Assoc,
+        })
+    }
+
+    /// The semantic length of a single relationship of this kind
+    /// (Section 3.2): 0 for `Isa`/`May-Be`, 1 otherwise.
+    pub fn semantic_length(self) -> u32 {
+        match self {
+            RelKind::Isa | RelKind::MayBe => 0,
+            _ => 1,
+        }
+    }
+
+    /// The textual connector symbol used in path expressions.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RelKind::Isa => "@>",
+            RelKind::MayBe => "<@",
+            RelKind::HasPart => "$>",
+            RelKind::IsPartOf => "<$",
+            RelKind::Assoc => ".",
+        }
+    }
+}
+
+impl fmt::Display for RelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The base (non-`Possibly`) connectors: the primary connectors of `Σ'`
+/// plus the secondary connectors of `Σ''` (Section 3.3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Base {
+    /// `@>` — Isa.
+    Isa,
+    /// `<@` — May-Be.
+    MayBe,
+    /// `$>` — Has-Part.
+    HasPart,
+    /// `<$` — Is-Part-Of.
+    IsPartOf,
+    /// `.` — Is-Associated-With.
+    Assoc,
+    /// `.SB` — Shares-SubParts-With (secondary): both classes may contain
+    /// common objects, e.g. `engine $> screw <$ chassis`.
+    SharesSub,
+    /// `.SP` — Shares-SuperParts-With (secondary): both classes may be
+    /// contained in common objects.
+    SharesSuper,
+    /// `..` — Is-Indirectly-Associated-With (secondary): related through
+    /// some arbitrary sequence of relationships other than sharing.
+    IndirectAssoc,
+}
+
+impl Base {
+    /// All eight base connectors, in `CON_c` table order.
+    pub const ALL: [Base; 8] = [
+        Base::Isa,
+        Base::MayBe,
+        Base::HasPart,
+        Base::IsPartOf,
+        Base::Assoc,
+        Base::SharesSub,
+        Base::SharesSuper,
+        Base::IndirectAssoc,
+    ];
+
+    /// Whether a `Possibly` variant of this connector exists. The paper
+    /// excludes `Isa` and `May-Be` (Section 3.3.1).
+    pub fn has_possibly(self) -> bool {
+        !matches!(self, Base::Isa | Base::MayBe)
+    }
+
+    /// Connector symbol without any `Possibly` star.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Base::Isa => "@>",
+            Base::MayBe => "<@",
+            Base::HasPart => "$>",
+            Base::IsPartOf => "<$",
+            Base::Assoc => ".",
+            Base::SharesSub => ".SB",
+            Base::SharesSuper => ".SP",
+            Base::IndirectAssoc => "..",
+        }
+    }
+
+    /// The base of the inverse connector: reading a path backwards flips
+    /// `@>`/`<@` and `$>`/`<$`; the secondary connectors and `.` are their
+    /// own inverses (Section 3.3.1).
+    pub fn inverse(self) -> Base {
+        match self {
+            Base::Isa => Base::MayBe,
+            Base::MayBe => Base::Isa,
+            Base::HasPart => Base::IsPartOf,
+            Base::IsPartOf => Base::HasPart,
+            other => other,
+        }
+    }
+}
+
+/// A connector of the closed alphabet `Σ`: a [`Base`] optionally marked
+/// *Possibly* (`★`, printed `*`).
+///
+/// Invariant: `possibly` is never set for `Isa`/`May-Be` (the paper defines
+/// no `Possibly` version for them); [`Connector::new`] enforces this.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Connector {
+    /// The underlying relationship flavour.
+    pub base: Base,
+    /// Whether this is the `Possibly` version of the base connector.
+    pub possibly: bool,
+}
+
+impl Connector {
+    /// `@>`.
+    pub const ISA: Connector = Connector {
+        base: Base::Isa,
+        possibly: false,
+    };
+    /// `<@`.
+    pub const MAY_BE: Connector = Connector {
+        base: Base::MayBe,
+        possibly: false,
+    };
+    /// `$>`.
+    pub const HAS_PART: Connector = Connector {
+        base: Base::HasPart,
+        possibly: false,
+    };
+    /// `<$`.
+    pub const IS_PART_OF: Connector = Connector {
+        base: Base::IsPartOf,
+        possibly: false,
+    };
+    /// `.`.
+    pub const ASSOC: Connector = Connector {
+        base: Base::Assoc,
+        possibly: false,
+    };
+    /// `.SB`.
+    pub const SHARES_SUB: Connector = Connector {
+        base: Base::SharesSub,
+        possibly: false,
+    };
+    /// `.SP`.
+    pub const SHARES_SUPER: Connector = Connector {
+        base: Base::SharesSuper,
+        possibly: false,
+    };
+    /// `..`.
+    pub const INDIRECT: Connector = Connector {
+        base: Base::IndirectAssoc,
+        possibly: false,
+    };
+
+    /// A plain (non-`Possibly`) connector.
+    pub const fn primary(base: Base) -> Connector {
+        Connector {
+            base,
+            possibly: false,
+        }
+    }
+
+    /// Builds a connector, clamping the `Possibly` flag for `Isa`/`May-Be`
+    /// which have no `Possibly` version.
+    pub fn new(base: Base, possibly: bool) -> Connector {
+        Connector {
+            base,
+            possibly: possibly && base.has_possibly(),
+        }
+    }
+
+    /// The `Possibly` version of this connector (self for `Isa`/`May-Be`).
+    pub fn possibly(self) -> Connector {
+        Connector::new(self.base, true)
+    }
+
+    /// All 14 connectors of `Σ`.
+    pub fn all() -> impl Iterator<Item = Connector> {
+        Base::ALL.into_iter().flat_map(|b| {
+            let plain = std::iter::once(Connector::primary(b));
+            let poss = b
+                .has_possibly()
+                .then_some(Connector { base: b, possibly: true });
+            plain.chain(poss)
+        })
+    }
+}
+
+impl fmt::Display for Connector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.base.symbol())?;
+        if self.possibly {
+            f.write_str("*")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Connector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_has_fourteen_connectors() {
+        assert_eq!(Connector::all().count(), 14);
+    }
+
+    #[test]
+    fn isa_maybe_have_no_possibly_version() {
+        assert_eq!(Connector::ISA.possibly(), Connector::ISA);
+        assert_eq!(Connector::MAY_BE.possibly(), Connector::MAY_BE);
+        assert!(Connector::new(Base::Isa, true) == Connector::ISA);
+    }
+
+    #[test]
+    fn possibly_is_idempotent() {
+        for c in Connector::all() {
+            assert_eq!(c.possibly().possibly(), c.possibly());
+        }
+    }
+
+    #[test]
+    fn kind_inverses_are_involutive() {
+        for k in RelKind::ALL {
+            assert_eq!(k.inverse().inverse(), k);
+        }
+        assert_eq!(RelKind::Isa.inverse(), RelKind::MayBe);
+        assert_eq!(RelKind::HasPart.inverse(), RelKind::IsPartOf);
+        assert_eq!(RelKind::Assoc.inverse(), RelKind::Assoc);
+    }
+
+    #[test]
+    fn base_inverses_are_involutive() {
+        for b in Base::ALL {
+            assert_eq!(b.inverse().inverse(), b);
+        }
+        assert_eq!(Base::SharesSub.inverse(), Base::SharesSub);
+        assert_eq!(Base::IndirectAssoc.inverse(), Base::IndirectAssoc);
+    }
+
+    #[test]
+    fn semantic_lengths_match_section_3_2() {
+        assert_eq!(RelKind::Isa.semantic_length(), 0);
+        assert_eq!(RelKind::MayBe.semantic_length(), 0);
+        assert_eq!(RelKind::HasPart.semantic_length(), 1);
+        assert_eq!(RelKind::IsPartOf.semantic_length(), 1);
+        assert_eq!(RelKind::Assoc.semantic_length(), 1);
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(Connector::ISA.to_string(), "@>");
+        assert_eq!(Connector::HAS_PART.possibly().to_string(), "$>*");
+        assert_eq!(Connector::SHARES_SUB.to_string(), ".SB");
+        assert_eq!(Connector::INDIRECT.possibly().to_string(), "..*");
+        assert_eq!(RelKind::IsPartOf.to_string(), "<$");
+    }
+}

@@ -1,0 +1,278 @@
+//! Path labels: connector + semantic length (+ reduced endpoints).
+
+use super::con::compose;
+use super::connector::{Connector, RelKind};
+
+/// The label of a path in the schema graph (Section 3.2): the connector
+/// describing the kind of (possibly indirect) relationship between the
+/// path's endpoints, and the *semantic length* — a measure of how far apart
+/// the endpoint concepts are semantically.
+///
+/// Per the paper's footnote 3, a label also carries the (reduced) kinds of
+/// the first and last edges of the path, which is what makes the semantic
+/// length computable compositionally while keeping CON associative. These
+/// endpoints are `None` exactly for the identity label `Θ = [@>, 0]` of the
+/// empty path.
+///
+/// Equality is structural; the completion engine compares labels for
+/// *preference* with [`super::dominates`], which looks only at the
+/// connector and the semantic length, as the paper specifies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Label {
+    /// Kind of the (indirect) relationship the whole path denotes.
+    pub connector: Connector,
+    /// Semantic length of the path (Section 3.3.2).
+    pub semlen: u32,
+    /// Reduced kind of the first edge (`None` for the identity label).
+    pub first: Option<RelKind>,
+    /// Reduced kind of the last edge (`None` for the identity label).
+    pub last: Option<RelKind>,
+}
+
+impl Label {
+    /// The identity label `Θ = [@>, 0]` of the empty path.
+    pub const IDENTITY: Label = Label {
+        connector: Connector::ISA,
+        semlen: 0,
+        first: None,
+        last: None,
+    };
+
+    /// The label of a single edge of kind `kind`.
+    pub fn single(kind: RelKind) -> Label {
+        Label {
+            connector: kind.connector(),
+            semlen: kind.semantic_length(),
+            first: Some(kind),
+            last: Some(kind),
+        }
+    }
+
+    /// Whether this is the identity label of the empty path.
+    pub fn is_identity(&self) -> bool {
+        self.first.is_none()
+    }
+
+    /// CON: the label of the concatenation of a path labelled `self`
+    /// followed by a path labelled `rhs`.
+    ///
+    /// The connector part composes through `CON_c` (Table 1). The semantic
+    /// length is the sum of the two semantic lengths corrected by the
+    /// junction effect between `self.last` and `rhs.first`, which realizes
+    /// the path-restructuring definition of Section 3.3.2 compositionally:
+    ///
+    /// * two adjacent runs of the same structural connector (`$>` or `<$`)
+    ///   merge, so one of the two run contributions is dropped (−1);
+    /// * two adjacent runs of the same `Isa`-family connector (`@>`/`<@`)
+    ///   also merge, but those runs contribute 0 anyway (±0);
+    /// * an `@>` run meeting a `<@` run (or vice versa) extends an
+    ///   alternating series, whose step-2 contribution is runs−1, so the
+    ///   junction adds one (+1);
+    /// * everything else concatenates without interaction (±0).
+    pub fn con(&self, rhs: &Label) -> Label {
+        if self.is_identity() {
+            return *rhs;
+        }
+        if rhs.is_identity() {
+            return *self;
+        }
+        let connector = compose(self.connector, rhs.connector);
+        let adjust = junction_adjust(
+            self.last.expect("non-identity label has a last edge"),
+            rhs.first.expect("non-identity label has a first edge"),
+        );
+        let semlen = self
+            .semlen
+            .checked_add(rhs.semlen)
+            .expect("semantic length overflow")
+            .checked_add_signed(adjust)
+            .expect("semantic length underflow");
+        Label {
+            connector,
+            semlen,
+            first: self.first,
+            last: rhs.last,
+        }
+    }
+
+    /// Extends the path by one edge of kind `kind`.
+    pub fn extend(&self, kind: RelKind) -> Label {
+        self.con(&Label::single(kind))
+    }
+
+    /// The label of a whole path given its edge kinds.
+    pub fn of_kinds(kinds: &[RelKind]) -> Label {
+        kinds
+            .iter()
+            .fold(Label::IDENTITY, |acc, &k| acc.extend(k))
+    }
+}
+
+/// Semantic-length interaction at the junction of two paths; see
+/// [`Label::con`].
+fn junction_adjust(last: RelKind, first: RelKind) -> i32 {
+    use RelKind::*;
+    match (last, first) {
+        (HasPart, HasPart) | (IsPartOf, IsPartOf) => -1,
+        (Isa, Isa) | (MayBe, MayBe) => 0,
+        (Isa, MayBe) | (MayBe, Isa) => 1,
+        _ => 0,
+    }
+}
+
+/// Reference implementation of the semantic length of a path, computed
+/// directly from the definition in Section 3.3.2 (the two restructuring
+/// steps), used to validate the compositional computation in [`Label::con`].
+///
+/// Step 1 replaces any maximal run of one of `@>`, `<@`, `$>`, `<$` by a
+/// single edge. Step 2 removes one edge from every maximal contiguous
+/// series of interchanged `@>`/`<@` edges. The semantic length is the
+/// number of edges that remain.
+pub fn semantic_length_of_kinds(kinds: &[RelKind]) -> u32 {
+    use RelKind::*;
+    // Step 1: collapse runs of the four structural connectors. `.` runs are
+    // NOT collapsed ("the . relationships contribute their actual length").
+    let mut reduced: Vec<RelKind> = Vec::with_capacity(kinds.len());
+    for &k in kinds {
+        let collapsible = matches!(k, Isa | MayBe | HasPart | IsPartOf);
+        if collapsible && reduced.last() == Some(&k) {
+            continue;
+        }
+        reduced.push(k);
+    }
+    // Step 2: each maximal series drawn from {@>, <@} loses one edge.
+    let mut len = 0u32;
+    let mut i = 0;
+    while i < reduced.len() {
+        if matches!(reduced[i], Isa | MayBe) {
+            let mut j = i;
+            while j < reduced.len() && matches!(reduced[j], Isa | MayBe) {
+                j += 1;
+            }
+            len += (j - i - 1) as u32;
+            i = j;
+        } else {
+            len += 1;
+            i += 1;
+        }
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use RelKind::*;
+
+    #[test]
+    fn identity_laws() {
+        for k in RelKind::ALL {
+            let l = Label::single(k);
+            assert_eq!(Label::IDENTITY.con(&l), l);
+            assert_eq!(l.con(&Label::IDENTITY), l);
+        }
+        assert_eq!(Label::IDENTITY.con(&Label::IDENTITY), Label::IDENTITY);
+    }
+
+    #[test]
+    fn single_edge_lengths() {
+        assert_eq!(Label::single(Isa).semlen, 0);
+        assert_eq!(Label::single(MayBe).semlen, 0);
+        assert_eq!(Label::single(HasPart).semlen, 1);
+        assert_eq!(Label::single(Assoc).semlen, 1);
+    }
+
+    /// The paper's worked example: the semantic length of
+    /// `teacher.teach.student.department$>professor` is 4.
+    #[test]
+    fn paper_example_assoc_chain() {
+        let kinds = [Assoc, Assoc, Assoc, HasPart];
+        assert_eq!(semantic_length_of_kinds(&kinds), 4);
+        assert_eq!(Label::of_kinds(&kinds).semlen, 4);
+    }
+
+    /// The paper's worked example: the semantic length of
+    /// `stuff@>employee<@teacher<@instructor<@teaching-asst@>grad@>student`
+    /// is 2.
+    #[test]
+    fn paper_example_isa_zigzag() {
+        let kinds = [Isa, MayBe, MayBe, MayBe, Isa, Isa];
+        assert_eq!(semantic_length_of_kinds(&kinds), 2);
+        assert_eq!(Label::of_kinds(&kinds).semlen, 2);
+    }
+
+    /// A long chain of contiguous Part-Of connectors is equivalent to a
+    /// single one (the motivating example of Section 3.3.2).
+    #[test]
+    fn part_of_chain_collapses() {
+        let kinds = [IsPartOf, IsPartOf, IsPartOf, IsPartOf];
+        assert_eq!(semantic_length_of_kinds(&kinds), 1);
+        assert_eq!(Label::of_kinds(&kinds).semlen, 1);
+    }
+
+    #[test]
+    fn assoc_runs_do_not_collapse() {
+        let kinds = [Assoc, Assoc, Assoc];
+        assert_eq!(semantic_length_of_kinds(&kinds), 3);
+        assert_eq!(Label::of_kinds(&kinds).semlen, 3);
+    }
+
+    #[test]
+    fn alternating_structural_kinds_do_not_collapse() {
+        let kinds = [HasPart, IsPartOf, HasPart, IsPartOf];
+        assert_eq!(semantic_length_of_kinds(&kinds), 4);
+        assert_eq!(Label::of_kinds(&kinds).semlen, 4);
+    }
+
+    #[test]
+    fn single_isa_run_has_length_zero() {
+        let kinds = [Isa, Isa, Isa];
+        assert_eq!(semantic_length_of_kinds(&kinds), 0);
+        assert_eq!(Label::of_kinds(&kinds).semlen, 0);
+    }
+
+    /// Compositional semlen equals the reference on every split point of a
+    /// set of tricky sequences.
+    #[test]
+    fn con_agrees_with_reference_on_all_splits() {
+        let cases: Vec<Vec<RelKind>> = vec![
+            vec![Isa, MayBe, Isa, MayBe, Isa],
+            vec![HasPart, HasPart, IsPartOf, IsPartOf],
+            vec![Assoc, Isa, Isa, Assoc, MayBe],
+            vec![MayBe, MayBe, Isa, HasPart, HasPart, MayBe, Isa],
+            vec![HasPart, Isa, HasPart, IsPartOf, MayBe, Assoc],
+            vec![Isa],
+            vec![MayBe, Isa],
+        ];
+        for kinds in cases {
+            let whole = Label::of_kinds(&kinds);
+            assert_eq!(
+                whole.semlen,
+                semantic_length_of_kinds(&kinds),
+                "whole {kinds:?}"
+            );
+            for split in 0..=kinds.len() {
+                let (a, b) = kinds.split_at(split);
+                let la = Label::of_kinds(a);
+                let lb = Label::of_kinds(b);
+                assert_eq!(la.con(&lb), whole, "split {split} of {kinds:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_track_first_and_last_kind() {
+        let l = Label::of_kinds(&[Isa, Assoc, HasPart]);
+        assert_eq!(l.first, Some(Isa));
+        assert_eq!(l.last, Some(HasPart));
+    }
+
+    #[test]
+    fn connector_part_composes_via_table() {
+        // student(.take) course (.teacher) teacher: assoc twice = indirect.
+        let l = Label::of_kinds(&[Assoc, Assoc]);
+        assert_eq!(l.connector, Connector::INDIRECT);
+        assert_eq!(l.semlen, 2);
+    }
+}

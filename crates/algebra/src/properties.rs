@@ -1,0 +1,228 @@
+//! Machine-checkable versions of the paper's algebra properties 1–7
+//! (Sections 3.1 and 3.5).
+//!
+//! Each checker takes concrete labels and returns whether the property holds
+//! for them, so test suites (including proptest suites) can assert the
+//! properties over sampled label populations — and, for the Moose algebra,
+//! exhibit the *failure* of distributivity (property 6) that motivates the
+//! caution sets of Section 4.1.
+
+use crate::framework::{agg, PathAlgebra};
+
+/// Property 1: associativity of CON on the given triple.
+pub fn con_associative<A: PathAlgebra>(a: &A, l1: &A::Label, l2: &A::Label, l3: &A::Label) -> bool {
+    a.con(l1, &a.con(l2, l3)) == a.con(&a.con(l1, l2), l3)
+}
+
+/// Property 2: "associativity" of AGG — folding a label set in two
+/// different groupings yields the same aggregate.
+pub fn agg_associative<A: PathAlgebra>(
+    a: &A,
+    s1: &[A::Label],
+    s2: &[A::Label],
+    s3: &[A::Label],
+) -> bool {
+    let union =
+        |x: &[A::Label], y: &[A::Label]| -> Vec<A::Label> { x.iter().chain(y).cloned().collect() };
+    let left = agg(a, &union(s1, &agg(a, &union(s2, s3))));
+    let right = agg(a, &union(&agg(a, &union(s1, s2)), s3));
+    set_eq::<A>(&left, &right)
+}
+
+/// Property 3: AGG leaves singletons unchanged.
+pub fn agg_fixpoint_on_singleton<A: PathAlgebra>(a: &A, l: &A::Label) -> bool {
+    agg(a, std::slice::from_ref(l)) == vec![l.clone()]
+}
+
+/// Property 4: `Θ` is a two-sided identity of CON for the given label.
+pub fn identity_law<A: PathAlgebra>(a: &A, l: &A::Label) -> bool {
+    let theta = a.identity();
+    a.con(&theta, l) == *l && a.con(l, &theta) == *l
+}
+
+/// Property 5: `Θ` annihilates AGG — the identity label dominates `l`
+/// (so cyclic detours never survive aggregation against the empty path).
+pub fn identity_annihilates<A: PathAlgebra>(a: &A, l: &A::Label) -> bool {
+    let theta = a.identity();
+    *l == theta || a.dominates(&theta, l)
+}
+
+/// Property 6: "distributivity" of AGG over CON on the given labels:
+/// `AGG({CON(l1, l3), CON(l2, l3)}) = CON(AGG({l1, l2}), l3)`.
+///
+/// Holds for the classic algebras; fails for the Moose algebra on some
+/// inputs (see [`find_distributivity_counterexample`]).
+pub fn distributive<A: PathAlgebra>(a: &A, l1: &A::Label, l2: &A::Label, l3: &A::Label) -> bool {
+    let left = agg(a, &[a.con(l1, l3), a.con(l2, l3)]);
+    let right: Vec<A::Label> = agg(a, &[l1.clone(), l2.clone()])
+        .iter()
+        .map(|l| a.con(l, l3))
+        .collect();
+    let right = agg(a, &right);
+    set_eq::<A>(&left, &right)
+}
+
+/// Property 7: monotonicity of CON with respect to AGG — extending a path
+/// can never improve its label: `CON(l1, l2)` must not dominate `l1`.
+pub fn monotonic<A: PathAlgebra>(a: &A, l1: &A::Label, l2: &A::Label) -> bool {
+    !a.dominates(&a.con(l1, l2), l1)
+}
+
+/// Searches a label population for a triple violating distributivity.
+/// Returns the first violating `(l1, l2, l3)` found, if any.
+pub fn find_distributivity_counterexample<A: PathAlgebra>(
+    a: &A,
+    population: &[A::Label],
+) -> Option<(A::Label, A::Label, A::Label)> {
+    for l1 in population {
+        for l2 in population {
+            for l3 in population {
+                if !distributive(a, l1, l2, l3) {
+                    return Some((l1.clone(), l2.clone(), l3.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn set_eq<A: PathAlgebra>(a: &[A::Label], b: &[A::Label]) -> bool {
+    a.len() == b.len() && a.iter().all(|l| b.contains(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::{MostReliable, Prob, ShortestPath, WidestPath};
+    use crate::moose::{Label, MooseAlgebra, RelKind};
+
+    fn moose_population() -> Vec<Label> {
+        // All labels of paths of up to 3 edges over the five kinds — a rich
+        // enough population to exercise every connector.
+        let mut pop = vec![Label::IDENTITY];
+        for a in RelKind::ALL {
+            pop.push(Label::of_kinds(&[a]));
+            for b in RelKind::ALL {
+                pop.push(Label::of_kinds(&[a, b]));
+                for c in RelKind::ALL {
+                    pop.push(Label::of_kinds(&[a, b, c]));
+                }
+            }
+        }
+        pop.dedup();
+        pop
+    }
+
+    #[test]
+    fn shortest_path_satisfies_all_properties() {
+        let a = ShortestPath;
+        let pop: Vec<u64> = vec![0, 1, 2, 3, 5, 8];
+        for &l1 in &pop {
+            assert!(agg_fixpoint_on_singleton(&a, &l1));
+            assert!(identity_law(&a, &l1));
+            assert!(identity_annihilates(&a, &l1));
+            for &l2 in &pop {
+                assert!(monotonic(&a, &l1, &l2));
+                for &l3 in &pop {
+                    assert!(con_associative(&a, &l1, &l2, &l3));
+                    assert!(distributive(&a, &l1, &l2, &l3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn most_reliable_satisfies_all_properties() {
+        let a = MostReliable;
+        let pop: Vec<Prob> = [1.0, 0.9, 0.5, 0.25, 0.0]
+            .into_iter()
+            .map(Prob::new)
+            .collect();
+        for l1 in &pop {
+            assert!(identity_law(&a, l1));
+            assert!(identity_annihilates(&a, l1));
+            for l2 in &pop {
+                assert!(monotonic(&a, l1, l2));
+                for l3 in &pop {
+                    assert!(con_associative(&a, l1, l2, l3));
+                    assert!(distributive(&a, l1, l2, l3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widest_path_is_distributive() {
+        let a = WidestPath;
+        let pop: Vec<u64> = vec![1, 3, 7, u64::MAX];
+        for &l1 in &pop {
+            for &l2 in &pop {
+                for &l3 in &pop {
+                    assert!(distributive(&a, &l1, &l2, &l3));
+                }
+            }
+        }
+    }
+
+    /// Properties 1–5 and 7 hold for the Moose algebra over the population
+    /// of all ≤3-edge path labels.
+    #[test]
+    fn moose_satisfies_properties_1_to_5_and_7() {
+        let a = MooseAlgebra;
+        let pop = moose_population();
+        for l1 in &pop {
+            assert!(agg_fixpoint_on_singleton(&a, l1), "{l1:?}");
+            assert!(identity_law(&a, l1), "{l1:?}");
+            // Annihilation: a cyclic path whose label has an Isa-family
+            // connector and semantic length 0 can only arise from an Isa
+            // cycle, which valid schemas exclude; the population here is
+            // built from raw kind-sequences (e.g. [Isa] alone), so restrict
+            // the check accordingly (DESIGN.md §6).
+            use crate::moose::Connector;
+            let isa_family_zero = l1.semlen == 0
+                && matches!(l1.connector, Connector::ISA | Connector::MAY_BE);
+            if !isa_family_zero {
+                assert!(identity_annihilates(&a, l1), "{l1:?}");
+            }
+            for l2 in &pop {
+                assert!(monotonic(&a, l1, l2), "{l1:?} {l2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn moose_con_is_associative_on_triples() {
+        let a = MooseAlgebra;
+        let pop = moose_population();
+        // Exhaustive over all triples would be ~pop^3; sample a stride.
+        for (i, l1) in pop.iter().enumerate().step_by(7) {
+            for (j, l2) in pop.iter().enumerate().step_by(5) {
+                for l3 in pop.iter().step_by(3) {
+                    assert!(con_associative(&a, l1, l2, l3), "{i} {j}");
+                }
+            }
+        }
+    }
+
+    /// The headline negative result: the Moose algebra is NOT distributive,
+    /// exactly as Section 3.5 states ("Unfortunately, property 6 ... is not
+    /// satisfied"). This is what forces Algorithm 2's caution sets.
+    #[test]
+    fn moose_violates_distributivity() {
+        let a = MooseAlgebra;
+        let pop = moose_population();
+        let witness = find_distributivity_counterexample(&a, &pop);
+        assert!(witness.is_some(), "expected a distributivity violation");
+    }
+
+    /// The classic algebras admit no counterexample over their populations.
+    #[test]
+    fn classic_algebras_have_no_counterexample() {
+        assert!(
+            find_distributivity_counterexample(&ShortestPath, &[0, 1, 2, 5, 9]).is_none()
+        );
+        assert!(
+            find_distributivity_counterexample(&WidestPath, &[1, 4, 9, u64::MAX]).is_none()
+        );
+    }
+}

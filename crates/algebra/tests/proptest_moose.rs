@@ -1,0 +1,128 @@
+//! Property tests dedicated to the Moose algebra.
+
+use ipe_algebra::moose::{
+    agg_star, better, compose, dominates, in_caution_set, rank, semantic_length_of_kinds,
+    Connector, Label, RelKind,
+};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = RelKind> {
+    prop_oneof![
+        Just(RelKind::Isa),
+        Just(RelKind::MayBe),
+        Just(RelKind::HasPart),
+        Just(RelKind::IsPartOf),
+        Just(RelKind::Assoc),
+    ]
+}
+
+fn arb_label() -> impl Strategy<Value = Label> {
+    proptest::collection::vec(arb_kind(), 1..12).prop_map(|ks| Label::of_kinds(&ks))
+}
+
+proptest! {
+    /// The connector part of a path label equals the fold of CON_c over the
+    /// edge connectors.
+    #[test]
+    fn label_connector_is_fold_of_con_c(kinds in proptest::collection::vec(arb_kind(), 1..16)) {
+        let label = Label::of_kinds(&kinds);
+        let folded = kinds
+            .iter()
+            .map(|k| k.connector())
+            .reduce(compose)
+            .expect("nonempty");
+        prop_assert_eq!(label.connector, folded);
+    }
+
+    /// Semantic length never exceeds the path length, and a path of only
+    /// Isa-family edges has semantic length ≤ path length / 2 + 1.
+    #[test]
+    fn semlen_bounds(kinds in proptest::collection::vec(arb_kind(), 0..32)) {
+        let semlen = semantic_length_of_kinds(&kinds);
+        prop_assert!(semlen as usize <= kinds.len());
+    }
+
+    /// Appending one edge never decreases semantic length.
+    #[test]
+    fn semlen_monotone_under_extension(
+        kinds in proptest::collection::vec(arb_kind(), 0..16),
+        extra in arb_kind(),
+    ) {
+        let before = Label::of_kinds(&kinds);
+        let after = before.extend(extra);
+        prop_assert!(after.semlen >= before.semlen);
+    }
+
+    /// Domination is a strict partial order on labels: irreflexive and
+    /// transitive, and never mutual.
+    #[test]
+    fn domination_strict_partial_order(a in arb_label(), b in arb_label(), c in arb_label()) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    /// AGG* results: all share the minimum rank present, include every
+    /// minimum-semlen label of that rank, and are monotone in E.
+    #[test]
+    fn agg_star_structure(
+        labels in proptest::collection::vec(arb_label(), 1..24),
+        e in 1usize..6,
+    ) {
+        let out = agg_star(&labels, e);
+        prop_assert!(!out.is_empty());
+        let min_rank = labels.iter().map(|l| rank(l.connector)).min().unwrap();
+        prop_assert!(out.iter().all(|l| rank(l.connector) == min_rank));
+        let min_len = labels
+            .iter()
+            .filter(|l| rank(l.connector) == min_rank)
+            .map(|l| l.semlen)
+            .min()
+            .unwrap();
+        prop_assert!(labels
+            .iter()
+            .filter(|l| rank(l.connector) == min_rank && l.semlen == min_len)
+            .all(|l| out.contains(l)));
+        // Monotone in E.
+        let bigger = agg_star(&labels, e + 1);
+        prop_assert!(out.iter().all(|l| bigger.contains(l)));
+    }
+
+    /// Caution coverage: whenever a strictly better connector's futures can
+    /// fail to strictly dominate, the caution set records it.
+    #[test]
+    fn caution_covers_future_ties(l in arb_label(), b in arb_label(), c in arb_kind()) {
+        let (cl, cb) = (l.connector, b.connector);
+        if better(cb, cl) {
+            let fl = compose(cl, c.connector());
+            let fb = compose(cb, c.connector());
+            if !better(fb, fl) {
+                prop_assert!(
+                    in_caution_set(cl, cb),
+                    "{cl} blocked by {cb} but future under {c:?} ties"
+                );
+            }
+        }
+    }
+
+    /// CON_c is exhaustively closed and never strengthens rank (the pruning
+    /// soundness premise), replayed on random pairs for good measure.
+    #[test]
+    fn compose_never_strengthens_random(a in arb_label(), b in arb_label()) {
+        let r = compose(a.connector, b.connector);
+        prop_assert!(rank(r) >= rank(a.connector));
+        prop_assert!(rank(r) >= rank(b.connector));
+    }
+}
+
+#[test]
+fn connector_display_is_parse_stable() {
+    // Display strings are distinct across all 14 connectors.
+    let mut seen = std::collections::HashSet::new();
+    for c in Connector::all() {
+        assert!(seen.insert(c.to_string()), "duplicate symbol {c}");
+    }
+    assert_eq!(seen.len(), 14);
+}

@@ -1,0 +1,114 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * caution sets on/off — Paper-mode pruning *is* the caution-set design;
+//!   turning caution off is equivalent to trusting distributivity, which
+//!   the algebra violates, so the "off" variant here measures the raw AGG*
+//!   membership test cost (it may lose answers — the effectiveness cost is
+//!   measured in `tests/pruning_soundness.rs`, not here);
+//! * inheritance-semantics criterion on/off;
+//! * the `≺` order itself: optimal-set sizes under the paper's order,
+//!   under a *flat* order (semantic length only), and under a *total*
+//!   order (rank then length, ties broken arbitrarily), computed over the
+//!   exhaustive candidate population.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipe_algebra::moose::rank;
+use ipe_bench::experiment_setup;
+use ipe_core::{exhaustive, Completer, CompletionConfig, Pruning};
+use std::hint::black_box;
+
+fn bench_inheritance_criterion(c: &mut Criterion) {
+    let (gen, workload) = experiment_setup(1994);
+    let q = &workload[0];
+    let ast = q.ast();
+    for (name, on) in [("inheritance_on", true), ("inheritance_off", false)] {
+        let engine = Completer::with_config(
+            &gen.schema,
+            CompletionConfig {
+                inheritance_criterion: on,
+                ..Default::default()
+            },
+        );
+        c.bench_function(name, |b| {
+            b.iter(|| engine.complete(black_box(&ast)).unwrap())
+        });
+    }
+}
+
+fn bench_caution_ablation(c: &mut Criterion) {
+    // Paper mode vs the same pruning without caution sets: the speed
+    // difference is what caution costs; the answers lost are measured in
+    // tests/pruning_soundness.rs.
+    let (gen, workload) = experiment_setup(1994);
+    let q = &workload[0];
+    let ast = q.ast();
+    for (name, pruning) in [
+        ("caution_on", Pruning::Paper),
+        ("caution_off", Pruning::PaperNoCaution),
+    ] {
+        let engine = Completer::with_config(
+            &gen.schema,
+            CompletionConfig {
+                pruning,
+                ..Default::default()
+            },
+        );
+        c.bench_function(name, |b| {
+            b.iter(|| engine.complete(black_box(&ast)).unwrap())
+        });
+    }
+}
+
+fn bench_order_ablation(c: &mut Criterion) {
+    // Candidate population for one query; then rank the candidates under
+    // three orders and measure the selection cost (the selected-set sizes
+    // are printed once, as the effectiveness ablation).
+    let (gen, workload) = experiment_setup(1994);
+    let cfg = CompletionConfig {
+        max_depth: 10,
+        ..Default::default()
+    };
+    // Use the workload query with the richest candidate population, so the
+    // selection ablation operates on a nontrivial set.
+    let all = workload
+        .iter()
+        .map(|q| {
+            let root = gen.schema.class_named(&q.root).unwrap();
+            exhaustive::all_consistent(&gen.schema, root, &q.target, &cfg).unwrap()
+        })
+        .max_by_key(|v| v.len())
+        .unwrap();
+    let paper_sel = |pop: &[ipe_core::Completion]| {
+        let best = pop
+            .iter()
+            .map(|p| (rank(p.label.connector), p.label.semlen))
+            .min()
+            .unwrap();
+        pop.iter()
+            .filter(|p| (rank(p.label.connector), p.label.semlen) == best)
+            .count()
+    };
+    let flat_sel = |pop: &[ipe_core::Completion]| {
+        let best = pop.iter().map(|p| p.label.semlen).min().unwrap();
+        pop.iter().filter(|p| p.label.semlen == best).count()
+    };
+    println!(
+        "order ablation on {} candidates: paper-order optimal = {}, flat(semlen-only) optimal = {}",
+        all.len(),
+        paper_sel(&all),
+        flat_sel(&all)
+    );
+    c.bench_function("order_paper_selection", |b| {
+        b.iter(|| paper_sel(black_box(&all)))
+    });
+    c.bench_function("order_flat_selection", |b| {
+        b.iter(|| flat_sel(black_box(&all)))
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inheritance_criterion, bench_caution_ablation, bench_order_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Microbenchmarks of the path algebra: `CON_c`, label concatenation,
+//! `AGG*`, and caution sets. These are the per-step costs inside the
+//! paper's "0.17 ms per recursive call".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipe_algebra::moose::{agg_star, caution_connectors, compose, Connector, Label, RelKind};
+use std::hint::black_box;
+
+fn bench_con(c: &mut Criterion) {
+    let all: Vec<Connector> = Connector::all().collect();
+    c.bench_function("con_c_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &x in &all {
+                for &y in &all {
+                    let r = compose(black_box(x), black_box(y));
+                    acc = acc.wrapping_add(r.possibly as u32);
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_label_con(c: &mut Criterion) {
+    let kinds = [
+        RelKind::Isa,
+        RelKind::Assoc,
+        RelKind::HasPart,
+        RelKind::MayBe,
+        RelKind::IsPartOf,
+    ];
+    c.bench_function("label_extend_chain_of_30", |b| {
+        b.iter(|| {
+            let mut l = Label::IDENTITY;
+            for i in 0..30 {
+                l = l.extend(black_box(kinds[i % kinds.len()]));
+            }
+            l
+        })
+    });
+}
+
+fn bench_agg_star(c: &mut Criterion) {
+    let labels: Vec<Label> = (0..64)
+        .map(|i| {
+            let mut l = Label::single(if i % 3 == 0 {
+                RelKind::HasPart
+            } else {
+                RelKind::Assoc
+            });
+            l.semlen = (i % 7) as u32 + 1;
+            l
+        })
+        .collect();
+    for e in [1usize, 3, 5] {
+        c.bench_function(&format!("agg_star_64_labels_e{e}"), |b| {
+            b.iter(|| agg_star(black_box(&labels), e))
+        });
+    }
+}
+
+fn bench_caution(c: &mut Criterion) {
+    c.bench_function("caution_sets_all_connectors", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for conn in Connector::all() {
+                total += caution_connectors(black_box(conn)).len();
+            }
+            total
+        })
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_con, bench_label_con, bench_agg_star, bench_caution
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Completion-engine benchmarks: per-query completion cost on the paper's
+//! university schema and on CUPID-calibrated synthetic schemas, the `E`
+//! sweep, and the value of branch-and-bound (pruned search vs exhaustive
+//! enumeration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipe_bench::experiment_setup;
+use ipe_core::{exhaustive, Completer, CompletionConfig, Pruning};
+use ipe_parser::parse_path_expression;
+use ipe_schema::fixtures;
+use std::hint::black_box;
+
+fn bench_university(c: &mut Criterion) {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    let ast = parse_path_expression("ta~name").unwrap();
+    c.bench_function("university_ta_name", |b| {
+        b.iter(|| engine.complete(black_box(&ast)).unwrap())
+    });
+}
+
+fn bench_cupid_queries(c: &mut Criterion) {
+    let (gen, workload) = experiment_setup(1994);
+    let engine = Completer::new(&gen.schema);
+    let mut group = c.benchmark_group("cupid_query");
+    for (i, q) in workload.iter().take(3).enumerate() {
+        let ast = q.ast();
+        group.bench_with_input(BenchmarkId::from_parameter(i), &ast, |b, ast| {
+            b.iter(|| engine.complete(black_box(ast)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_e_sweep(c: &mut Criterion) {
+    let (gen, workload) = experiment_setup(1994);
+    let q = &workload[0];
+    let ast = q.ast();
+    let mut group = c.benchmark_group("e_sweep");
+    for e in 1..=5usize {
+        let engine = Completer::with_config(&gen.schema, CompletionConfig::with_e(e));
+        group.bench_with_input(BenchmarkId::from_parameter(e), &e, |b, _| {
+            b.iter(|| engine.complete(black_box(&ast)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruning_vs_exhaustive(c: &mut Criterion) {
+    let (gen, workload) = experiment_setup(1994);
+    let q = &workload[0];
+    let ast = q.ast();
+    let root = gen.schema.class_named(&q.root).unwrap();
+    let mut group = c.benchmark_group("pruning");
+    for (name, pruning) in [
+        ("safe", Pruning::Safe),
+        ("paper", Pruning::Paper),
+        ("none_depth10", Pruning::None),
+    ] {
+        // The unpruned variant must be depth-capped (it visits every
+        // acyclic path).
+        let max_depth = if pruning == Pruning::None { 10 } else { 48 };
+        let engine = Completer::with_config(
+            &gen.schema,
+            CompletionConfig {
+                pruning,
+                max_depth,
+                ..Default::default()
+            },
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| engine.complete(black_box(&ast)).unwrap())
+        });
+    }
+    let oracle_cfg = CompletionConfig {
+        max_depth: 10,
+        ..Default::default()
+    };
+    group.bench_function("exhaustive_enumeration_depth10", |b| {
+        b.iter(|| {
+            exhaustive::all_consistent(&gen.schema, root, black_box(&q.target), &oracle_cfg)
+                .unwrap()
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets =     bench_university,
+    bench_cupid_queries,
+    bench_e_sweep,
+    bench_pruning_vs_exhaustive
+
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Shared helpers for the experiment binaries and Criterion benches.
+//!
+//! Each binary regenerates one table or figure of the paper — see
+//! EXPERIMENTS.md at the workspace root for the index and the recorded
+//! paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ipe_gen::{cupid_like, generate_workload, GeneratedSchema, QuerySpec, WorkloadConfig};
+
+/// The default seed for all experiment binaries, so EXPERIMENTS.md is
+/// reproducible bit-for-bit.
+pub const DEFAULT_SEED: u64 = 1994;
+
+/// Builds the CUPID-calibrated schema and the 10-query workload used by
+/// Figures 5–7 and the statistics table.
+pub fn experiment_setup(seed: u64) -> (GeneratedSchema, Vec<QuerySpec>) {
+    let gen = cupid_like(seed);
+    let workload = generate_workload(
+        &gen,
+        &WorkloadConfig {
+            seed: seed.wrapping_add(1),
+            ..Default::default()
+        },
+    );
+    (gen, workload)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(0.893), "89.3%");
+    }
+
+    #[test]
+    fn setup_is_deterministic_and_full() {
+        let (a_gen, a_wl) = experiment_setup(7);
+        let (b_gen, b_wl) = experiment_setup(7);
+        assert_eq!(a_gen.schema.to_json(), b_gen.schema.to_json());
+        assert_eq!(a_wl.len(), 10);
+        assert_eq!(
+            a_wl.iter().map(|q| &q.expr).collect::<Vec<_>>(),
+            b_wl.iter().map(|q| &q.expr).collect::<Vec<_>>()
+        );
+    }
+}

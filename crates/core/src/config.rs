@@ -1,0 +1,107 @@
+//! Engine configuration.
+
+use ipe_schema::ClassId;
+
+/// How aggressively the depth-first search prunes against the `best[]`
+/// tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Pruning {
+    /// No branch-and-bound at all: explore every acyclic path (subject to
+    /// `max_depth`). Slowest; used as the ground-truth oracle mode.
+    None,
+    /// The paper's Algorithm 2 verbatim: prune a label that does not
+    /// survive `AGG*` against `best[T]` or `best[u]`, unless a caution-set
+    /// intersection forces re-exploration (Section 4.1). Fast; can in rare
+    /// cases miss optimal completions whose prefixes are dominated in ways
+    /// the connector-level caution sets do not cover (see DESIGN.md).
+    Paper,
+    /// Ablation only: Algorithm 2 *without* caution sets, i.e. trusting
+    /// distributivity as the traditional Algorithm 1 would. Loses answers
+    /// whenever the distributivity failure bites; exists to measure how
+    /// much the caution sets matter (Section 4.1's motivation).
+    PaperNoCaution,
+    /// Conservative pruning that provably never loses an optimal
+    /// completion: prune only when every possible continuation of the new
+    /// label is dominated by a continuation of a stored label, accounting
+    /// for rank inversions under composition and for semantic-length
+    /// junction effects (±1 at each splice). The default.
+    #[default]
+    Safe,
+}
+
+/// Configuration of a [`crate::Completer`].
+#[derive(Clone, Debug)]
+pub struct CompletionConfig {
+    /// The `E` parameter of `AGG*` (Section 4.4): how many distinct
+    /// semantic lengths to admit among otherwise-incomparable optimal
+    /// labels. `1` reproduces plain `AGG`. Must be ≥ 1.
+    pub e: usize,
+    /// Branch-and-bound mode.
+    pub pruning: Pruning,
+    /// Whether to apply the Inheritance Semantics Criterion (Section 4.3):
+    /// a completion that reaches the final relationship through a shorter
+    /// `Isa` chain preempts one that climbs further before taking a
+    /// relationship of the same name.
+    pub inheritance_criterion: bool,
+    /// Hard bound on completion length in edges (cycle-free paths are
+    /// bounded by the class count anyway; this guards very large schemas).
+    pub max_depth: usize,
+    /// Hard bound on the number of candidate completions retained during
+    /// the search.
+    pub max_results: usize,
+    /// Domain knowledge (Section 5.2): classes that must never appear in a
+    /// completion, as intermediate or final nodes.
+    pub excluded_classes: Vec<ClassId>,
+    /// Specificity preference (the paper's Section 7 future work: humans
+    /// "prefer the more specific or focused concept" among homonyms).
+    /// When set, label-tied completions are ordered so that the one whose
+    /// final relationship is attached to the more specific class (deeper
+    /// in the `Isa` hierarchy) comes first. Ordering only — nothing is
+    /// dropped.
+    pub prefer_specific: bool,
+}
+
+impl Default for CompletionConfig {
+    fn default() -> Self {
+        CompletionConfig {
+            e: 1,
+            pruning: Pruning::Safe,
+            inheritance_criterion: true,
+            max_depth: 48,
+            max_results: 100_000,
+            excluded_classes: Vec::new(),
+            prefer_specific: false,
+        }
+    }
+}
+
+impl CompletionConfig {
+    /// A config with a different `E`, other fields default.
+    pub fn with_e(e: usize) -> Self {
+        CompletionConfig {
+            e,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CompletionConfig::default();
+        assert_eq!(c.e, 1);
+        assert_eq!(c.pruning, Pruning::Safe);
+        assert!(c.inheritance_criterion);
+        assert!(c.max_depth >= 16);
+    }
+
+    #[test]
+    fn with_e_sets_only_e() {
+        let c = CompletionConfig::with_e(5);
+        assert_eq!(c.e, 5);
+        assert_eq!(c.pruning, Pruning::Safe);
+    }
+}

@@ -1,0 +1,722 @@
+//! The completion engine: paper Algorithm 2 with a virtual edge-name
+//! target, three pruning modes, and search statistics.
+
+use crate::config::{CompletionConfig, Pruning};
+use crate::error::CompleteError;
+use crate::multi;
+use crate::path::Completion;
+use crate::preempt::apply_inheritance_criterion;
+use crate::resolve::{resolve_ast, RStep};
+use ipe_algebra::moose::{
+    agg_star, agg_star_into, future_rank_dominates_weakly, in_caution_set, rank,
+    survives_agg_star, Label,
+};
+use ipe_parser::PathExprAst;
+use ipe_schema::{ClassId, RelId, Schema, Symbol};
+
+/// Counters describing one completion run, mirroring the paper's Section
+/// 5.4 measurements (each recursive call "corresponds to an exploration of
+/// a class node in the schema").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Recursive `traverse` calls (node explorations).
+    pub calls: u64,
+    /// Out-edges considered for expansion.
+    pub edges_considered: u64,
+    /// Expansions skipped because the target class was already on the path
+    /// (the acyclicity rule).
+    pub pruned_visited: u64,
+    /// Expansions skipped by the bound against `best[T]` (line 9).
+    pub pruned_best_t: u64,
+    /// Expansions skipped by the bound against `best[u]` (lines 10–11).
+    pub pruned_best_u: u64,
+    /// Expansions that failed the `best[u]` membership test but proceeded
+    /// anyway because of a caution-set intersection (Paper mode only).
+    pub caution_overrides: u64,
+    /// Expansions skipped by the depth guard.
+    pub depth_limited: u64,
+    /// Complete candidate paths recorded.
+    pub completions_recorded: u64,
+}
+
+impl SearchStats {
+    pub(crate) fn absorb(&mut self, other: SearchStats) {
+        self.calls += other.calls;
+        self.edges_considered += other.edges_considered;
+        self.pruned_visited += other.pruned_visited;
+        self.pruned_best_t += other.pruned_best_t;
+        self.pruned_best_u += other.pruned_best_u;
+        self.caution_overrides += other.caution_overrides;
+        self.depth_limited += other.depth_limited;
+        self.completions_recorded += other.completions_recorded;
+    }
+}
+
+/// Completions plus the statistics of the run that produced them.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// The optimal completions, best label first.
+    pub completions: Vec<Completion>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+/// The completion engine over one schema.
+///
+/// Construction precomputes, per class, the out-relationships sorted
+/// best-label-first (the paper's `children[v]` ordering) and the exclusion
+/// bitmap for domain knowledge.
+pub struct Completer<'s> {
+    schema: &'s Schema,
+    config: CompletionConfig,
+    sorted_out: Vec<Vec<RelId>>,
+    excluded: Vec<bool>,
+}
+
+impl<'s> Completer<'s> {
+    /// An engine with the default configuration (`E = 1`, Safe pruning,
+    /// inheritance criterion on).
+    pub fn new(schema: &'s Schema) -> Self {
+        Self::with_config(schema, CompletionConfig::default())
+    }
+
+    /// An engine with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.e == 0`.
+    pub fn with_config(schema: &'s Schema, config: CompletionConfig) -> Self {
+        assert!(config.e >= 1, "AGG* requires E >= 1");
+        let mut sorted_out: Vec<Vec<RelId>> = Vec::with_capacity(schema.class_count());
+        for class in schema.classes() {
+            let mut rels: Vec<RelId> = schema.out_rels(class).map(|r| r.id).collect();
+            rels.sort_by_key(|&r| {
+                let kind = schema.rel(r).kind;
+                (rank(kind.connector()), kind.semantic_length())
+            });
+            sorted_out.push(rels);
+        }
+        let mut excluded = vec![false; schema.class_count()];
+        for &c in &config.excluded_classes {
+            excluded[c.index()] = true;
+        }
+        Completer {
+            schema,
+            config,
+            sorted_out,
+            excluded,
+        }
+    }
+
+    /// The schema this engine runs on.
+    pub fn schema(&self) -> &'s Schema {
+        self.schema
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CompletionConfig {
+        &self.config
+    }
+
+    /// Completes a parsed path expression.
+    ///
+    /// * A *complete* expression is validated by walking it and returned as
+    ///   the single result.
+    /// * An incomplete expression with its only `~` in final position runs
+    ///   the full Algorithm 2 (with the configured pruning).
+    /// * Expressions with interior or multiple `~` steps run the
+    ///   general-case driver (exhaustive per-segment search with a global
+    ///   final aggregation) — see `multi.rs`.
+    pub fn complete(&self, ast: &PathExprAst) -> Result<Vec<Completion>, CompleteError> {
+        self.complete_with_stats(ast).map(|o| o.completions)
+    }
+
+    /// Like [`complete`](Completer::complete), also returning statistics.
+    pub fn complete_with_stats(&self, ast: &PathExprAst) -> Result<SearchOutcome, CompleteError> {
+        let (root, steps) = resolve_ast(self.schema, ast)?;
+        let tilde_count = steps
+            .iter()
+            .filter(|s| matches!(s, RStep::Tilde { .. }))
+            .count();
+        if tilde_count == 0 {
+            let completion = self.walk_complete(root, &steps)?;
+            return Ok(SearchOutcome {
+                completions: vec![completion],
+                stats: SearchStats::default(),
+            });
+        }
+        if tilde_count == 1 && matches!(steps.last(), Some(RStep::Tilde { .. })) {
+            return self.complete_trailing_tilde(root, &steps);
+        }
+        multi::complete_general(self, root, &steps)
+    }
+
+    /// Validates a complete expression by walking it.
+    pub(crate) fn walk_complete(
+        &self,
+        root: ClassId,
+        steps: &[RStep],
+    ) -> Result<Completion, CompleteError> {
+        let mut current = root;
+        let mut edges = Vec::with_capacity(steps.len());
+        let mut label = Label::IDENTITY;
+        for step in steps {
+            let RStep::Explicit { kind, name } = *step else {
+                unreachable!("walk_complete only handles explicit steps");
+            };
+            let rel = self
+                .schema
+                .out_rel_named(current, name)
+                .ok_or_else(|| CompleteError::UnknownStep {
+                    class: self.schema.class_name(current).to_owned(),
+                    name: self.schema.name(name).to_owned(),
+                })?;
+            if rel.kind != kind {
+                return Err(CompleteError::ConnectorMismatch {
+                    class: self.schema.class_name(current).to_owned(),
+                    name: self.schema.name(name).to_owned(),
+                    wrote: crate::resolve::connector_of_kind(kind),
+                    actual: rel.kind.symbol(),
+                });
+            }
+            label = label.extend(rel.kind);
+            edges.push(rel.id);
+            current = rel.target;
+        }
+        Ok(Completion { root, edges, label })
+    }
+
+    /// Fast path: explicit prefix followed by one trailing `~ name`.
+    fn complete_trailing_tilde(
+        &self,
+        root: ClassId,
+        steps: &[RStep],
+    ) -> Result<SearchOutcome, CompleteError> {
+        let (prefix_steps, tilde) = steps.split_at(steps.len() - 1);
+        let RStep::Tilde { name } = tilde[0] else {
+            unreachable!("caller checked the final step is a tilde");
+        };
+        // Walk the explicit prefix.
+        let prefix = self.walk_complete(root, prefix_steps)?;
+        let anchor = prefix.target(self.schema);
+        let mut on_path = vec![false; self.schema.class_count()];
+        for c in prefix.classes(self.schema) {
+            on_path[c.index()] = true;
+        }
+        // The anchor is handled by the segment search itself.
+        on_path[anchor.index()] = false;
+
+        let mut search = SegmentSearch::new(self, name, false);
+        let mut path_buf = Vec::new();
+        search.traverse(anchor, prefix.label, &mut on_path, &mut path_buf)?;
+        let SegmentSearch {
+            mut found, stats, ..
+        } = search;
+        // Prepend the prefix edges.
+        for c in &mut found {
+            let mut edges = prefix.edges.clone();
+            edges.append(&mut c.edges);
+            c.edges = edges;
+            c.root = root;
+        }
+        Ok(self.finalize(found, stats))
+    }
+
+    /// Final filtering shared by all drivers: inheritance-semantics
+    /// preemption, AGG* on labels, and a stable quality sort.
+    pub(crate) fn finalize(
+        &self,
+        mut found: Vec<Completion>,
+        stats: SearchStats,
+    ) -> SearchOutcome {
+        if self.config.inheritance_criterion {
+            apply_inheritance_criterion(self.schema, &mut found);
+        }
+        let labels: Vec<Label> = found.iter().map(|c| c.label).collect();
+        let keep = agg_star(&labels, self.config.e);
+        found.retain(|c| keep.contains(&c.label));
+        if self.config.prefer_specific {
+            // Deeper final-edge source class (more ancestors) first among
+            // otherwise equal keys.
+            found.sort_by_key(|c| {
+                let specificity = c
+                    .edges
+                    .last()
+                    .map(|&e| self.schema.ancestors(self.schema.rel(e).source).len())
+                    .unwrap_or(0);
+                (
+                    rank(c.label.connector),
+                    c.label.semlen,
+                    std::cmp::Reverse(specificity),
+                    c.edges.len(),
+                )
+            });
+        } else {
+            found.sort_by_key(|c| (rank(c.label.connector), c.label.semlen, c.edges.len()));
+        }
+        SearchOutcome {
+            completions: found,
+            stats,
+        }
+    }
+}
+
+/// One Algorithm-2 run for a single `~ name` segment.
+pub(crate) struct SegmentSearch<'c, 's> {
+    completer: &'c Completer<'s>,
+    target_name: Symbol,
+    /// When set, every consistent completion is recorded regardless of the
+    /// running `best[T]` bound (used by the exhaustive oracle and by the
+    /// general-case driver, where global optimality cannot be decided
+    /// segment-locally).
+    record_all: bool,
+    best: Vec<Vec<Label>>,
+    best_t: Vec<Label>,
+    pub(crate) found: Vec<Completion>,
+    pub(crate) stats: SearchStats,
+}
+
+impl<'c, 's> SegmentSearch<'c, 's> {
+    pub(crate) fn new(
+        completer: &'c Completer<'s>,
+        target_name: Symbol,
+        record_all: bool,
+    ) -> Self {
+        SegmentSearch {
+            completer,
+            target_name,
+            record_all,
+            best: vec![Vec::new(); completer.schema.class_count()],
+            best_t: Vec::new(),
+            found: Vec::new(),
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Depth-first traversal from `v` carrying the label `l_v` of the path
+    /// so far. `on_path` marks classes already used (including any explicit
+    /// prefix); `path` accumulates the segment's edges.
+    ///
+    /// Recorded completions contain only the segment's edges; the caller
+    /// prepends any prefix.
+    pub(crate) fn traverse(
+        &mut self,
+        v: ClassId,
+        l_v: Label,
+        on_path: &mut Vec<bool>,
+        path: &mut Vec<RelId>,
+    ) -> Result<(), CompleteError> {
+        let schema = self.completer.schema;
+        let cfg = &self.completer.config;
+        self.stats.calls += 1;
+        on_path[v.index()] = true;
+
+        // Completion pass: out-edges named N terminate candidate paths.
+        // Done before expansion so best[T] blocks useless subtrees early
+        // (the paper explores T's edges out of order for the same reason).
+        for &rid in &self.completer.sorted_out[v.index()] {
+            let rel = schema.rel(rid);
+            if rel.name != self.target_name {
+                continue;
+            }
+            if on_path[rel.target.index()] || self.completer.excluded[rel.target.index()] {
+                continue;
+            }
+            let label = l_v.extend(rel.kind);
+            let survives = agg_star_into(&mut self.best_t, &label, cfg.e);
+            if survives || self.record_all {
+                if self.found.len() >= cfg.max_results {
+                    on_path[v.index()] = false;
+                    return Err(CompleteError::TooManyResults {
+                        cap: cfg.max_results,
+                    });
+                }
+                let mut edges = path.clone();
+                edges.push(rid);
+                self.found.push(Completion {
+                    root: ClassId(ipe_graph::NodeId(0)), // set by caller
+                    edges,
+                    label,
+                });
+                self.stats.completions_recorded += 1;
+            }
+        }
+
+        // Expansion pass.
+        for &rid in &self.completer.sorted_out[v.index()] {
+            let rel = schema.rel(rid);
+            let u = rel.target;
+            self.stats.edges_considered += 1;
+            if on_path[u.index()] {
+                self.stats.pruned_visited += 1;
+                continue;
+            }
+            if self.completer.excluded[u.index()] {
+                continue;
+            }
+            // A completion through u needs at least two more edges.
+            if path.len() + 2 > cfg.max_depth {
+                self.stats.depth_limited += 1;
+                continue;
+            }
+            // Expanding into a class with no outgoing relationships cannot
+            // produce a completion (primitives in particular).
+            if self.completer.sorted_out[u.index()].is_empty() {
+                continue;
+            }
+            let l_u = l_v.extend(rel.kind);
+            if !self.should_explore(&l_u, u) {
+                continue;
+            }
+            agg_star_into(&mut self.best[u.index()], &l_u, cfg.e);
+            path.push(rid);
+            let r = self.traverse(u, l_u, on_path, path);
+            path.pop();
+            r?;
+        }
+        on_path[v.index()] = false;
+        Ok(())
+    }
+
+    fn should_explore(&mut self, l_u: &Label, u: ClassId) -> bool {
+        let cfg = &self.completer.config;
+        match cfg.pruning {
+            Pruning::None => true,
+            Pruning::Paper | Pruning::PaperNoCaution => {
+                // Line (9): l_u ∈ AGG*({l_u} ∪ best[T]).
+                if !survives_agg_star(l_u, &self.best_t, cfg.e) {
+                    self.stats.pruned_best_t += 1;
+                    return false;
+                }
+                // Lines (10)-(11): survive against best[u] or hit a caution
+                // set (the latter disabled in the ablation variant).
+                if survives_agg_star(l_u, &self.best[u.index()], cfg.e) {
+                    return true;
+                }
+                let caution = cfg.pruning == Pruning::Paper
+                    && self.best[u.index()]
+                        .iter()
+                        .any(|b| in_caution_set(l_u.connector, b.connector));
+                if caution {
+                    self.stats.caution_overrides += 1;
+                    true
+                } else {
+                    self.stats.pruned_best_u += 1;
+                    false
+                }
+            }
+            Pruning::Safe => {
+                // Against best[T], two sound bounds:
+                //
+                // 1. Rank: composition never strengthens a connector, so
+                //    every future of l_u has rank ≥ rank(l_u); AGG* keeps
+                //    only the minimum rank present, so one complete path of
+                //    strictly lower rank kills this subtree at any E.
+                // 2. Semantic length: a future adds ≥ -1, so l_u is
+                //    hopeless once E distinct strictly better complete
+                //    lengths exist at less-or-equal rank with margin 2.
+                if self
+                    .best_t
+                    .iter()
+                    .any(|b| rank(b.connector) < rank(l_u.connector))
+                {
+                    self.stats.pruned_best_t += 1;
+                    return false;
+                }
+                if blocked(
+                    &self.best_t,
+                    cfg.e,
+                    |b| rank(b.connector) <= rank(l_u.connector) && b.semlen + 2 <= l_u.semlen,
+                ) {
+                    self.stats.pruned_best_t += 1;
+                    return false;
+                }
+                // Against best[u]: a stored label blocks l_u only when all
+                // of its futures dominate l_u's futures rank-wise and the
+                // margin 3 covers the ±1 junction effects on both sides.
+                if blocked(
+                    &self.best[u.index()],
+                    cfg.e,
+                    |b| {
+                        future_rank_dominates_weakly(b.connector, l_u.connector)
+                            && b.semlen + 3 <= l_u.semlen
+                    },
+                ) {
+                    self.stats.pruned_best_u += 1;
+                    return false;
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Whether at least `e` distinct semantic lengths among the labels matching
+/// `pred` block a candidate. Allocation-free: `best` sets stay tiny (they
+/// are AGG*-maintained), so a fixed-size scratch suffices; in the
+/// (impossible in practice) overflow case we conservatively report blocked
+/// only when the distinct count is provably reached.
+fn blocked(set: &[Label], e: usize, pred: impl Fn(&Label) -> bool) -> bool {
+    let mut seen = [0u32; 32];
+    let mut n = 0usize;
+    for b in set {
+        if !pred(b) {
+            continue;
+        }
+        if !seen[..n].contains(&b.semlen) {
+            if n < seen.len() {
+                seen[n] = b.semlen;
+            }
+            n += 1;
+            if n >= e {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_parser::parse_path_expression;
+    use ipe_schema::fixtures;
+
+    fn texts(schema: &Schema, out: &[Completion]) -> Vec<String> {
+        out.iter().map(|c| c.display(schema).to_string()).collect()
+    }
+
+    /// The paper's flagship example (Section 2.2.2): `ta ~ name` has
+    /// exactly the two Isa-chain completions.
+    #[test]
+    fn ta_name_yields_the_two_paper_completions() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let out = engine
+            .complete(&parse_path_expression("ta~name").unwrap())
+            .unwrap();
+        let t = texts(&schema, &out);
+        assert_eq!(t.len(), 2, "{t:?}");
+        assert!(t.contains(&"ta@>grad@>student@>person.name".to_string()));
+        assert!(t.contains(&"ta@>instructor@>teacher@>employee@>person.name".to_string()));
+    }
+
+    /// All three pruning modes agree on the flagship example.
+    #[test]
+    fn pruning_modes_agree_on_ta_name() {
+        let schema = fixtures::university();
+        let ast = parse_path_expression("ta~name").unwrap();
+        let mut results = Vec::new();
+        for pruning in [Pruning::None, Pruning::Paper, Pruning::Safe] {
+            let cfg = CompletionConfig {
+                pruning,
+                ..Default::default()
+            };
+            let engine = Completer::with_config(&schema, cfg);
+            let mut t = texts(&schema, &engine.complete(&ast).unwrap());
+            t.sort();
+            results.push(t);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    /// The intro example: the courses "of" a department are the courses
+    /// taught by its faculty — and the courses taken by its students are an
+    /// equally plausible reading; both labels are tied.
+    #[test]
+    fn department_take_finds_student_courses() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let out = engine
+            .complete(&parse_path_expression("department~take").unwrap())
+            .unwrap();
+        let t = texts(&schema, &out);
+        assert!(
+            t.contains(&"department.student.take".to_string()),
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn complete_expression_is_validated_and_returned() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let ast = parse_path_expression("ta@>grad@>student@>person.name").unwrap();
+        let out = engine.complete(&ast).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].display(&schema).to_string(),
+            "ta@>grad@>student@>person.name"
+        );
+        assert_eq!(out[0].label.semlen, 1);
+    }
+
+    #[test]
+    fn wrong_connector_in_complete_expression_errors() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let ast = parse_path_expression("ta$>grad").unwrap();
+        assert!(matches!(
+            engine.complete(&ast),
+            Err(CompleteError::ConnectorMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_step_in_complete_expression_errors() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let ast = parse_path_expression("ta@>grad.take").unwrap();
+        assert!(matches!(
+            engine.complete(&ast),
+            Err(CompleteError::UnknownStep { .. })
+        ));
+    }
+
+    /// Explicit prefix + trailing tilde: `department.student~name` must
+    /// anchor the search at `student` and respect the prefix for
+    /// acyclicity.
+    #[test]
+    fn prefix_plus_tilde() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let out = engine
+            .complete(&parse_path_expression("department.student~name").unwrap())
+            .unwrap();
+        let t = texts(&schema, &out);
+        assert!(
+            t.contains(&"department.student@>person.name".to_string()),
+            "{t:?}"
+        );
+        // Every result starts with the explicit prefix.
+        assert!(t.iter().all(|s| s.starts_with("department.student")));
+    }
+
+    /// Domain knowledge: excluding `person` kills both Isa-chain
+    /// completions of `ta ~ name`, surfacing the next-best alternatives.
+    #[test]
+    fn excluded_classes_are_never_used() {
+        let schema = fixtures::university();
+        let person = schema.class_named("person").unwrap();
+        let cfg = CompletionConfig {
+            excluded_classes: vec![person],
+            ..Default::default()
+        };
+        let engine = Completer::with_config(&schema, cfg);
+        let out = engine
+            .complete(&parse_path_expression("ta~name").unwrap())
+            .unwrap();
+        assert!(!out.is_empty());
+        for c in &out {
+            assert!(!c.classes(&schema).contains(&person));
+        }
+    }
+
+    /// AGG* with E=2 admits strictly more (or equally many) results, all
+    /// of which include the E=1 results.
+    #[test]
+    fn larger_e_is_monotone() {
+        let schema = fixtures::university();
+        let ast = parse_path_expression("ta~name").unwrap();
+        let e1 = Completer::with_config(&schema, CompletionConfig::with_e(1));
+        let e2 = Completer::with_config(&schema, CompletionConfig::with_e(2));
+        let t1 = texts(&schema, &e1.complete(&ast).unwrap());
+        let t2 = texts(&schema, &e2.complete(&ast).unwrap());
+        assert!(t2.len() >= t1.len());
+        for t in &t1 {
+            assert!(t2.contains(t), "E=2 must contain E=1 result {t}");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let out = engine
+            .complete_with_stats(&parse_path_expression("ta~name").unwrap())
+            .unwrap();
+        assert!(out.stats.calls > 0);
+        assert!(out.stats.edges_considered > 0);
+        assert!(out.stats.completions_recorded >= out.completions.len() as u64);
+    }
+
+    /// Results are sorted best-first: rank, then semantic length.
+    #[test]
+    fn results_are_sorted_by_quality() {
+        let schema = fixtures::university();
+        let engine = Completer::with_config(&schema, CompletionConfig::with_e(3));
+        let out = engine
+            .complete(&parse_path_expression("department~name").unwrap())
+            .unwrap();
+        let keys: Vec<(u8, u32)> = out
+            .iter()
+            .map(|c| (rank(c.label.connector), c.label.semlen))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    /// Specificity preference (Section 7 future work): with two label-tied
+    /// readings, the one whose final relationship hangs off the deeper
+    /// class is presented first.
+    #[test]
+    fn prefer_specific_orders_ties() {
+        use ipe_schema::{Primitive, SchemaBuilder};
+        let mut b = SchemaBuilder::new();
+        let root = b.class("root").unwrap();
+        // A shallow branch: root .a-> flat, flat has `size`.
+        let flat = b.class("flat").unwrap();
+        b.assoc(root, flat, "a").unwrap();
+        b.attr(flat, "size", Primitive::Real).unwrap();
+        // A specific branch: root .b-> deep, where deep sits two Isa levels
+        // below `base` and carries its own `size`.
+        let base = b.class("base").unwrap();
+        let mid = b.class("mid").unwrap();
+        let deep = b.class("deep").unwrap();
+        b.isa(mid, base).unwrap();
+        b.isa(deep, mid).unwrap();
+        b.assoc(root, deep, "b").unwrap();
+        b.attr(deep, "size", Primitive::Real).unwrap();
+        let schema = b.build().unwrap();
+
+        // Both completions are [.., 2]: a genuine tie.
+        let ast = parse_path_expression("root~size").unwrap();
+        let plain = Completer::new(&schema).complete(&ast).unwrap();
+        assert_eq!(plain.len(), 2);
+        let specific = Completer::with_config(
+            &schema,
+            CompletionConfig {
+                prefer_specific: true,
+                ..Default::default()
+            },
+        )
+        .complete(&ast)
+        .unwrap();
+        assert_eq!(specific.len(), 2, "ordering only, nothing dropped");
+        // The reading through the more specific class (deep: 2 ancestors)
+        // comes first.
+        assert_eq!(
+            specific[0].display(&schema).to_string(),
+            "root.b.size"
+        );
+        assert_eq!(
+            specific[1].display(&schema).to_string(),
+            "root.a.size"
+        );
+    }
+
+    /// `department ~ name` at E=1: the department's own name (1 edge,
+    /// semantic length 1, connector `.`) beats every detour.
+    #[test]
+    fn department_name_prefers_own_attribute() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let out = engine
+            .complete(&parse_path_expression("department~name").unwrap())
+            .unwrap();
+        let t = texts(&schema, &out);
+        assert_eq!(t, vec!["department.name".to_string()]);
+    }
+}

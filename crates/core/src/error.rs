@@ -1,0 +1,73 @@
+//! Errors surfaced while resolving and completing path expressions.
+
+use ipe_parser::StepConnector;
+use std::fmt;
+
+/// Errors surfaced by [`crate::Completer`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompleteError {
+    /// The root is not a class of the schema.
+    UnknownRoot(String),
+    /// The root is a primitive class, which the paper forbids as a path
+    /// expression root.
+    PrimitiveRoot(String),
+    /// An explicit step names a relationship the current class does not
+    /// have.
+    UnknownStep {
+        /// The class being stepped from.
+        class: String,
+        /// The missing relationship name.
+        name: String,
+    },
+    /// An explicit step's connector does not match the relationship's kind
+    /// (e.g. writing `a$>b` where `b` is an association).
+    ConnectorMismatch {
+        /// The class being stepped from.
+        class: String,
+        /// The relationship name.
+        name: String,
+        /// The connector the user wrote.
+        wrote: StepConnector,
+        /// The symbol of the actual relationship kind.
+        actual: &'static str,
+    },
+    /// A `~` step's target name matches no relationship anywhere in the
+    /// schema (the paper requires `N` to name at least one relationship).
+    UnknownTargetName(String),
+    /// The search exceeded `max_results` candidate completions.
+    TooManyResults {
+        /// The configured cap.
+        cap: usize,
+    },
+}
+
+impl fmt::Display for CompleteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompleteError::UnknownRoot(n) => write!(f, "unknown root class `{n}`"),
+            CompleteError::PrimitiveRoot(n) => {
+                write!(f, "primitive class `{n}` cannot be a path expression root")
+            }
+            CompleteError::UnknownStep { class, name } => {
+                write!(f, "class `{class}` has no relationship named `{name}`")
+            }
+            CompleteError::ConnectorMismatch {
+                class,
+                name,
+                wrote,
+                actual,
+            } => write!(
+                f,
+                "relationship `{class}`→`{name}` is `{actual}`, not `{wrote}`"
+            ),
+            CompleteError::UnknownTargetName(n) => {
+                write!(f, "no relationship in the schema is named `{n}`")
+            }
+            CompleteError::TooManyResults { cap } => {
+                write!(f, "more than {cap} candidate completions; refine the query")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompleteError {}

@@ -1,0 +1,181 @@
+//! Human-readable explanations of why the engine ranked completions the
+//! way it did.
+//!
+//! The paper's interaction loop (Figure 1) presents candidate completions
+//! for the user to approve. A user deciding between
+//! `ta@>grad@>student@>person.name` and `ta@>grad@>student.take.name` is
+//! served far better when the system can say *why* one is more plausible:
+//! this module walks the label derivation edge by edge and phrases the
+//! pairwise comparison in terms of the paper's two criteria (the
+//! *better-than* connector order, then semantic length).
+
+use crate::path::Completion;
+use ipe_algebra::moose::{better, incomparable, rank, Label};
+use ipe_schema::Schema;
+use std::fmt;
+
+/// One step of a label derivation.
+#[derive(Clone, Debug)]
+pub struct ExplainStep {
+    /// Rendered step, e.g. `@>grad`.
+    pub step: String,
+    /// Label after taking this step.
+    pub label: Label,
+}
+
+/// A full derivation of a completion's label.
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The rendered completion.
+    pub path: String,
+    /// Steps with running labels.
+    pub steps: Vec<ExplainStep>,
+    /// The final label.
+    pub label: Label,
+}
+
+/// Explains how a completion's label is derived, edge by edge.
+pub fn explain(schema: &Schema, completion: &Completion) -> Explanation {
+    let mut label = Label::IDENTITY;
+    let mut steps = Vec::with_capacity(completion.edges.len());
+    for &e in &completion.edges {
+        let rel = schema.rel(e);
+        label = label.extend(rel.kind);
+        steps.push(ExplainStep {
+            step: format!("{}{}", rel.kind.symbol(), schema.name(rel.name)),
+            label,
+        });
+    }
+    Explanation {
+        path: completion.display(schema).to_string(),
+        steps,
+        label,
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.path)?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {:<24} -> connector {}, semantic length {}",
+                s.step, s.label.connector, s.label.semlen
+            )?;
+        }
+        write!(
+            f,
+            "  final label: [{}, {}]",
+            self.label.connector, self.label.semlen
+        )
+    }
+}
+
+/// Phrases why completion `a` ranks at least as high as completion `b`
+/// (per Section 3.4's two criteria). Returns `None` when `b` actually
+/// outranks `a`.
+pub fn compare(schema: &Schema, a: &Completion, b: &Completion) -> Option<String> {
+    let (la, lb) = (a.label, b.label);
+    let (ra, rb) = (rank(la.connector), rank(lb.connector));
+    if better(la.connector, lb.connector) {
+        return Some(format!(
+            "`{}` wins on the connector order: {} (strength {}) is better than {} (strength {})",
+            a.display(schema),
+            la.connector,
+            ra,
+            lb.connector,
+            rb
+        ));
+    }
+    if incomparable(la.connector, lb.connector) && la.semlen < lb.semlen {
+        return Some(format!(
+            "`{}` wins on semantic length: {} vs {} (connectors {} and {} are incomparable)",
+            a.display(schema),
+            la.semlen,
+            lb.semlen,
+            la.connector,
+            lb.connector
+        ));
+    }
+    if incomparable(la.connector, lb.connector) && la.semlen == lb.semlen {
+        return Some(format!(
+            "`{}` and `{}` tie: incomparable connectors ({} vs {}) and equal semantic length {} — the user must choose",
+            a.display(schema),
+            b.display(schema),
+            la.connector,
+            lb.connector,
+            la.semlen
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Completer;
+    use crate::config::CompletionConfig;
+    use ipe_parser::parse_path_expression;
+    use ipe_schema::fixtures;
+
+    fn get(_schema: &Schema, engine: &Completer<'_>, text: &str) -> Completion {
+        engine
+            .complete(&parse_path_expression(text).unwrap())
+            .unwrap()
+            .remove(0)
+    }
+
+    #[test]
+    fn explanation_tracks_the_running_label() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let c = get(&schema, &engine, "ta@>grad@>student@>person.name");
+        let ex = explain(&schema, &c);
+        assert_eq!(ex.steps.len(), 4);
+        // Isa prefix keeps the identity-like label.
+        assert_eq!(ex.steps[2].label.semlen, 0);
+        assert_eq!(ex.steps[3].label.semlen, 1);
+        let rendered = ex.to_string();
+        assert!(rendered.contains("final label"));
+        assert!(rendered.contains("@>grad"));
+    }
+
+    #[test]
+    fn compare_explains_connector_wins() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let good = get(&schema, &engine, "ta@>grad@>student@>person.name");
+        let bad = get(&schema, &engine, "ta@>grad@>student.take.name");
+        let msg = compare(&schema, &good, &bad).expect("good outranks bad");
+        assert!(msg.contains("connector order"), "{msg}");
+        assert!(compare(&schema, &bad, &good).is_none());
+    }
+
+    #[test]
+    fn compare_explains_ties() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let a = get(&schema, &engine, "ta@>grad@>student@>person.name");
+        let b = get(
+            &schema,
+            &engine,
+            "ta@>instructor@>teacher@>employee@>person.name",
+        );
+        // Both are [., 1]: same connector — same rank — equal length.
+        let msg = compare(&schema, &a, &b);
+        assert!(msg.is_some());
+    }
+
+    #[test]
+    fn compare_explains_semlen_wins() {
+        let schema = fixtures::university();
+        let engine = Completer::with_config(&schema, CompletionConfig::with_e(3));
+        // [@>, 0] vs [<@, 1]: incomparable connectors (inverses), so the
+        // shorter semantic length decides.
+        let a = get(&schema, &engine, "ta@>grad");
+        let b = get(&schema, &engine, "ta@>instructor@>teacher<@professor");
+        let msg = compare(&schema, &a, &b).unwrap();
+        assert!(msg.contains("semantic length"), "{msg}");
+        assert!(compare(&schema, &b, &a).is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! The completion engine for incomplete path expressions — the primary
+//! contribution of *Ioannidis & Lashkari, SIGMOD 1994*.
+//!
+//! Given an incomplete path expression such as `ta ~ name` over an OO
+//! schema, the engine produces the complete path expressions that are
+//! consistent with it (same root, same final relationship name, acyclic)
+//! and optimal under the Moose path algebra: best connector in the
+//! *better-than* order, then least semantic length, generalized by the
+//! `AGG*` parameter `E` (how many distinct semantic lengths to admit).
+//!
+//! ```
+//! use ipe_core::Completer;
+//! use ipe_parser::parse_path_expression;
+//! use ipe_schema::fixtures;
+//!
+//! let schema = fixtures::university();
+//! let engine = Completer::new(&schema);
+//! let expr = parse_path_expression("ta~name").unwrap();
+//! let out = engine.complete(&expr).unwrap();
+//! let texts: Vec<String> = out.iter().map(|c| c.display(&schema).to_string()).collect();
+//! assert_eq!(texts.len(), 2);
+//! assert!(texts.contains(&"ta@>grad@>student@>person.name".to_string()));
+//! assert!(texts.contains(&"ta@>instructor@>teacher@>employee@>person.name".to_string()));
+//! ```
+//!
+//! The search is the paper's Algorithm 2: a depth-first traversal of the
+//! schema graph with `best[]` label tables per node, branch-and-bound
+//! pruning weakened by *caution sets* (because AGG does not distribute over
+//! CON for this algebra), `AGG*` with the `E` parameter, explicit path
+//! tracking, and the *Inheritance Semantics Criterion* post-filter that
+//! makes inheritance resolve to the most specific class. Three pruning
+//! modes are provided (see [`Pruning`]); the exhaustive oracle in
+//! [`exhaustive`] validates them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod config;
+mod engine;
+mod error;
+pub mod exhaustive;
+pub mod explain;
+pub mod feedback;
+mod multi;
+mod path;
+mod preempt;
+mod resolve;
+pub mod suggest;
+
+pub use config::{CompletionConfig, Pruning};
+pub use engine::{Completer, SearchOutcome, SearchStats};
+pub use error::CompleteError;
+pub use path::{Completion, PathDisplay};
+pub use preempt::preempts;

@@ -1,0 +1,183 @@
+//! Completed paths and their rendering.
+
+use ipe_algebra::moose::Label;
+use ipe_parser::{PathExprAst, Step, StepConnector};
+use ipe_schema::{ClassId, RelId, RelKind, Schema};
+use std::fmt;
+
+/// One complete path expression produced by the engine, with its label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// Root class of the path expression.
+    pub root: ClassId,
+    /// The relationships traversed, in order. Never empty for a completion
+    /// of an incomplete expression.
+    pub edges: Vec<RelId>,
+    /// The path's label under the Moose algebra.
+    pub label: Label,
+}
+
+impl Completion {
+    /// Number of relationships traversed (the paper's "length of path
+    /// expressions returned", about 15 in the CUPID experiment).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path has no edges (never true for engine output).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The class the path ends at.
+    pub fn target(&self, schema: &Schema) -> ClassId {
+        self.edges
+            .last()
+            .map(|&e| schema.rel(e).target)
+            .unwrap_or(self.root)
+    }
+
+    /// The classes visited, root first.
+    pub fn classes(&self, schema: &Schema) -> Vec<ClassId> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        out.push(self.root);
+        for &e in &self.edges {
+            out.push(schema.rel(e).target);
+        }
+        out
+    }
+
+    /// The relationship kinds traversed, in order.
+    pub fn kinds(&self, schema: &Schema) -> Vec<RelKind> {
+        self.edges.iter().map(|&e| schema.rel(e).kind).collect()
+    }
+
+    /// Renders the path in the paper's textual syntax, e.g.
+    /// `ta@>grad@>student@>person.name`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> PathDisplay<'a> {
+        PathDisplay {
+            completion: self,
+            schema,
+        }
+    }
+
+    /// Converts to a parseable AST (always a complete expression).
+    pub fn to_ast(&self, schema: &Schema) -> PathExprAst {
+        PathExprAst {
+            root: schema.class_name(self.root).to_owned(),
+            steps: self
+                .edges
+                .iter()
+                .map(|&e| {
+                    let rel = schema.rel(e);
+                    Step {
+                        connector: match rel.kind {
+                            RelKind::Isa => StepConnector::Isa,
+                            RelKind::MayBe => StepConnector::MayBe,
+                            RelKind::HasPart => StepConnector::HasPart,
+                            RelKind::IsPartOf => StepConnector::IsPartOf,
+                            RelKind::Assoc => StepConnector::Assoc,
+                        },
+                        name: schema.name(rel.name).to_owned(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Recomputes the label from the schema (used by tests to check the
+    /// engine's incremental labels).
+    pub fn recompute_label(&self, schema: &Schema) -> Label {
+        Label::of_kinds(&self.kinds(schema))
+    }
+}
+
+/// Lazy display adapter for [`Completion::display`].
+pub struct PathDisplay<'a> {
+    completion: &'a Completion,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for PathDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.schema.class_name(self.completion.root))?;
+        for &e in &self.completion.edges {
+            let rel = self.schema.rel(e);
+            write!(f, "{}{}", rel.kind.symbol(), self.schema.name(rel.name))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_schema::fixtures;
+
+    fn path_of(schema: &Schema, text_edges: &[(&str, &str)]) -> Completion {
+        // Build a completion by following (class, rel-name) pairs.
+        let root = schema.class_named(text_edges[0].0).unwrap();
+        let mut current = root;
+        let mut edges = Vec::new();
+        for &(class, rel) in text_edges {
+            assert_eq!(schema.class_name(current), class);
+            let r = schema
+                .out_rel_named(current, schema.symbol(rel).unwrap())
+                .unwrap_or_else(|| panic!("{class} has rel {rel}"));
+            edges.push(r.id);
+            current = r.target;
+        }
+        let mut c = Completion {
+            root,
+            edges,
+            label: Label::IDENTITY,
+        };
+        c.label = c.recompute_label(schema);
+        c
+    }
+
+    #[test]
+    fn displays_paper_syntax() {
+        let schema = fixtures::university();
+        let c = path_of(
+            &schema,
+            &[
+                ("ta", "grad"),
+                ("grad", "student"),
+                ("student", "person"),
+                ("person", "name"),
+            ],
+        );
+        assert_eq!(
+            c.display(&schema).to_string(),
+            "ta@>grad@>student@>person.name"
+        );
+        assert_eq!(c.label.semlen, 1);
+    }
+
+    #[test]
+    fn ast_round_trip() {
+        let schema = fixtures::university();
+        let c = path_of(&schema, &[("student", "take"), ("course", "teacher")]);
+        let ast = c.to_ast(&schema);
+        assert_eq!(ast.to_string(), "student.take.teacher");
+        assert!(ast.is_complete());
+    }
+
+    #[test]
+    fn classes_and_target() {
+        let schema = fixtures::university();
+        let c = path_of(&schema, &[("university", "department")]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            schema.class_name(c.target(&schema)),
+            "department"
+        );
+        let names: Vec<&str> = c
+            .classes(&schema)
+            .into_iter()
+            .map(|cl| schema.class_name(cl))
+            .collect();
+        assert_eq!(names, vec!["university", "department"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! The Inheritance Semantics Criterion (paper Section 4.3, Figure 4).
+
+use crate::path::Completion;
+use ipe_schema::{RelKind, Schema};
+
+/// Whether `p1` preempts `p2` under the Inheritance Semantics Criterion.
+///
+/// The criterion matches the paper's Figure 4: both paths share a common
+/// prefix `s`; `p1` then takes a final non-`Isa` relationship named `N`
+/// directly (possibly after some `Isa` climbing shared with `p2`), while
+/// `p2` climbs *further* up the `Isa` hierarchy before taking a non-`Isa`
+/// relationship of the same name `N`. Traditional inheritance semantics
+/// dictate that the relationship be inherited from the nearest class, so
+/// `p1` wins and `p2` is preempted.
+///
+/// Concretely: `p1 = α · e1` and `p2 = α · i_1 … i_k · e2` with `k ≥ 1`,
+/// where `α` is a common edge prefix, every `i_j` is an `Isa`
+/// relationship, `e1`/`e2` are non-`Isa`, and `e1`, `e2` have the same
+/// name.
+pub fn preempts(schema: &Schema, p1: &Completion, p2: &Completion) -> bool {
+    if p1.root != p2.root || p1.edges.is_empty() || p2.edges.is_empty() {
+        return false;
+    }
+    if p1.edges.len() >= p2.edges.len() {
+        return false;
+    }
+    let alpha = p1.edges.len() - 1;
+    // Shared prefix α.
+    if p1.edges[..alpha] != p2.edges[..alpha] {
+        return false;
+    }
+    let e1 = schema.rel(p1.edges[alpha]);
+    let e2 = schema.rel(*p2.edges.last().expect("nonempty"));
+    if e1.kind == RelKind::Isa || e2.kind == RelKind::Isa {
+        return false;
+    }
+    if e1.name != e2.name {
+        return false;
+    }
+    // The interior of p2 beyond α (all but its last edge) must be an Isa
+    // chain.
+    p2.edges[alpha..p2.edges.len() - 1]
+        .iter()
+        .all(|&e| schema.rel(e).kind == RelKind::Isa)
+}
+
+/// Removes every completion preempted by another member of `found`.
+pub fn apply_inheritance_criterion(schema: &Schema, found: &mut Vec<Completion>) {
+    let snapshot = found.clone();
+    found.retain(|p2| !snapshot.iter().any(|p1| preempts(schema, p1, p2)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_algebra::moose::Label;
+    use ipe_schema::{fixtures, Schema};
+
+    /// Builds a completion by walking named relationships.
+    fn walk(schema: &Schema, root: &str, rels: &[&str]) -> Completion {
+        let root_id = schema.class_named(root).unwrap();
+        let mut current = root_id;
+        let mut edges = Vec::new();
+        for &r in rels {
+            let rel = schema
+                .out_rel_named(current, schema.symbol(r).unwrap())
+                .unwrap_or_else(|| {
+                    panic!("{} has rel {r}", schema.class_name(current))
+                });
+            edges.push(rel.id);
+            current = rel.target;
+        }
+        let mut c = Completion {
+            root: root_id,
+            edges,
+            label: Label::IDENTITY,
+        };
+        c.label = c.recompute_label(schema);
+        c
+    }
+
+    /// A schema exhibiting the Figure 4 shape: `name` defined on both
+    /// `student` (nearer) and `person` (farther) from `grad`.
+    fn shadowing_schema() -> Schema {
+        use ipe_schema::{Primitive, SchemaBuilder};
+        let mut b = SchemaBuilder::new();
+        let person = b.class("person").unwrap();
+        let student = b.class("student").unwrap();
+        let grad = b.class("grad").unwrap();
+        b.isa(student, person).unwrap();
+        b.isa(grad, student).unwrap();
+        b.attr(person, "name", Primitive::Text).unwrap();
+        b.attr(student, "name", Primitive::Text).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn nearer_definition_preempts_farther() {
+        let s = shadowing_schema();
+        let near = walk(&s, "grad", &["student", "name"]);
+        let far = walk(&s, "grad", &["student", "person", "name"]);
+        assert!(preempts(&s, &near, &far));
+        assert!(!preempts(&s, &far, &near));
+    }
+
+    #[test]
+    fn apply_filters_preempted_paths() {
+        let s = shadowing_schema();
+        let near = walk(&s, "grad", &["student", "name"]);
+        let far = walk(&s, "grad", &["student", "person", "name"]);
+        let mut found = vec![far.clone(), near.clone()];
+        apply_inheritance_criterion(&s, &mut found);
+        assert_eq!(found, vec![near]);
+    }
+
+    #[test]
+    fn different_names_do_not_preempt() {
+        let s = fixtures::university();
+        let p1 = walk(&s, "ta", &["grad", "student", "person", "name"]);
+        let p2 = walk(&s, "ta", &["grad", "student", "person", "ssn"]);
+        assert!(!preempts(&s, &p1, &p2));
+        assert!(!preempts(&s, &p2, &p1));
+    }
+
+    #[test]
+    fn divergent_prefixes_do_not_preempt() {
+        let s = fixtures::university();
+        // Both end in `.name` after Isa chains, but the chains diverge at
+        // the very first edge (grad vs instructor), so neither path is a
+        // proper Isa-extension of the other: no preemption.
+        let p1 = walk(&s, "ta", &["grad", "student", "person", "name"]);
+        let p2 = walk(
+            &s,
+            "ta",
+            &["instructor", "teacher", "employee", "person", "name"],
+        );
+        assert!(!preempts(&s, &p1, &p2));
+        assert!(!preempts(&s, &p2, &p1));
+    }
+
+    #[test]
+    fn non_isa_interior_blocks_preemption() {
+        use ipe_schema::SchemaBuilder;
+        let mut b = SchemaBuilder::new();
+        let s_cls = b.class("s").unwrap();
+        let m_cls = b.class("m").unwrap();
+        let x_cls = b.class("x").unwrap();
+        b.rel_with_name(ipe_schema::RelKind::Assoc, s_cls, x_cls, "n")
+            .unwrap();
+        b.assoc(s_cls, m_cls, "m").unwrap();
+        b.rel_named(ipe_schema::RelKind::Assoc, m_cls, x_cls, "n", "m_back")
+            .unwrap();
+        let s = b.build().unwrap();
+        // p2 = s.m.n reaches `n` through an association, not an Isa chain,
+        // so the shorter p1 = s.n does not preempt it (the label
+        // comparison, not inheritance, decides between them).
+        let p1 = walk(&s, "s", &["n"]);
+        let p2 = walk(&s, "s", &["m", "n"]);
+        assert!(!preempts(&s, &p1, &p2));
+    }
+
+    #[test]
+    fn isa_final_edge_blocks_preemption() {
+        let s = fixtures::university();
+        // Completions of `ta ~ student`: one ends with the Isa edge
+        // grad@>student; the criterion only covers non-Isa final edges.
+        let p1 = walk(&s, "ta", &["grad", "student"]);
+        let p2 = walk(&s, "ta", &["grad", "student", "take", "student"]);
+        assert!(!preempts(&s, &p1, &p2));
+    }
+}

@@ -1,0 +1,149 @@
+//! Resolution of parsed path expressions against a schema.
+
+use crate::error::CompleteError;
+use ipe_parser::{PathExprAst, StepConnector};
+use ipe_schema::{ClassId, RelKind, Schema, Symbol};
+
+/// A resolved step: either one explicit relationship traversal or one `~`
+/// segment to complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RStep {
+    /// `connector name` with a concrete kind; the relationship itself is
+    /// looked up during the walk (it depends on the class reached).
+    Explicit {
+        /// Required relationship kind (from the connector written).
+        kind: RelKind,
+        /// Relationship name.
+        name: Symbol,
+    },
+    /// `~ name`: any acyclic path ending with a relationship named `name`.
+    Tilde {
+        /// Final relationship name of the segment.
+        name: Symbol,
+    },
+}
+
+/// Maps a relationship kind back to its surface connector.
+pub(crate) fn connector_of_kind(kind: RelKind) -> StepConnector {
+    match kind {
+        RelKind::Isa => StepConnector::Isa,
+        RelKind::MayBe => StepConnector::MayBe,
+        RelKind::HasPart => StepConnector::HasPart,
+        RelKind::IsPartOf => StepConnector::IsPartOf,
+        RelKind::Assoc => StepConnector::Assoc,
+    }
+}
+
+/// Maps a written connector to the relationship kind it requires.
+pub(crate) fn kind_of_connector(c: StepConnector) -> Option<RelKind> {
+    match c {
+        StepConnector::Isa => Some(RelKind::Isa),
+        StepConnector::MayBe => Some(RelKind::MayBe),
+        StepConnector::HasPart => Some(RelKind::HasPart),
+        StepConnector::IsPartOf => Some(RelKind::IsPartOf),
+        StepConnector::Assoc => Some(RelKind::Assoc),
+        StepConnector::Tilde => None,
+    }
+}
+
+/// Resolves the root and step names of `ast` against `schema`.
+pub(crate) fn resolve_ast(
+    schema: &Schema,
+    ast: &PathExprAst,
+) -> Result<(ClassId, Vec<RStep>), CompleteError> {
+    let root = schema
+        .class_named(&ast.root)
+        .ok_or_else(|| CompleteError::UnknownRoot(ast.root.clone()))?;
+    if schema.is_primitive(root) {
+        return Err(CompleteError::PrimitiveRoot(ast.root.clone()));
+    }
+    let mut steps = Vec::with_capacity(ast.steps.len());
+    for step in &ast.steps {
+        let name = schema
+            .symbol(&step.name)
+            .filter(|s| !schema.rels_named(*s).is_empty())
+            .ok_or_else(|| CompleteError::UnknownTargetName(step.name.clone()))?;
+        steps.push(match kind_of_connector(step.connector) {
+            Some(kind) => RStep::Explicit { kind, name },
+            None => RStep::Tilde { name },
+        });
+    }
+    Ok((root, steps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_parser::parse_path_expression;
+    use ipe_schema::fixtures;
+
+    #[test]
+    fn resolves_roots_and_steps() {
+        let s = fixtures::university();
+        let ast = parse_path_expression("ta~name").unwrap();
+        let (root, steps) = resolve_ast(&s, &ast).unwrap();
+        assert_eq!(root, s.class_named("ta").unwrap());
+        assert_eq!(steps.len(), 1);
+        assert!(matches!(steps[0], RStep::Tilde { .. }));
+    }
+
+    #[test]
+    fn explicit_steps_carry_kinds() {
+        let s = fixtures::university();
+        let ast = parse_path_expression("university$>department.student").unwrap();
+        let (_, steps) = resolve_ast(&s, &ast).unwrap();
+        assert!(matches!(
+            steps[0],
+            RStep::Explicit {
+                kind: RelKind::HasPart,
+                ..
+            }
+        ));
+        assert!(matches!(
+            steps[1],
+            RStep::Explicit {
+                kind: RelKind::Assoc,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_root_is_reported() {
+        let s = fixtures::university();
+        let ast = parse_path_expression("dragon~name").unwrap();
+        assert_eq!(
+            resolve_ast(&s, &ast).unwrap_err(),
+            CompleteError::UnknownRoot("dragon".into())
+        );
+    }
+
+    #[test]
+    fn primitive_root_is_rejected() {
+        let s = fixtures::university();
+        let ast = parse_path_expression("string~name").unwrap();
+        assert_eq!(
+            resolve_ast(&s, &ast).unwrap_err(),
+            CompleteError::PrimitiveRoot("string".into())
+        );
+    }
+
+    #[test]
+    fn unknown_relationship_name_is_reported() {
+        let s = fixtures::university();
+        let ast = parse_path_expression("ta~salary").unwrap();
+        assert_eq!(
+            resolve_ast(&s, &ast).unwrap_err(),
+            CompleteError::UnknownTargetName("salary".into())
+        );
+    }
+
+    #[test]
+    fn inverse_default_names_are_valid_targets() {
+        let s = fixtures::university();
+        // `ta` names the May-Be inverses grad<@ta and instructor<@ta, so it
+        // is a legal completion target.
+        let ast = parse_path_expression("student~ta").unwrap();
+        assert!(resolve_ast(&s, &ast).is_ok());
+    }
+}

@@ -1,0 +1,149 @@
+//! Target-name suggestion: the autocomplete half of the Figure 1 loop.
+//!
+//! The paper's interface "must reveal ... the classes and some relationship
+//! names" to the user. Given a root class, [`suggest_targets`] lists the
+//! relationship names that would make `root ~ name` succeed — i.e. the
+//! names reachable through at least one acyclic path — so a user interface
+//! can offer only completable targets.
+
+use crate::config::CompletionConfig;
+use ipe_schema::{ClassId, Schema, Symbol};
+
+/// A suggested completion target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TargetSuggestion {
+    /// The relationship name.
+    pub name: String,
+    /// How many distinct relationships carry the name (a proxy for how
+    /// ambiguous the query will be).
+    pub carriers: usize,
+}
+
+/// Lists the relationship names completable from `root`, alphabetically.
+///
+/// A name qualifies when at least one relationship carrying it is reachable
+/// from `root` (its source class is reachable through any relationships and
+/// is not excluded). This is a reachability over-approximation of "the
+/// completion is non-empty" that is exact for non-excluded settings: if the
+/// source of an edge named `N` is reachable acyclically, the path to it
+/// extended by that edge is a consistent completion unless the edge closes
+/// the cycle back onto the path — in which case a shortest reach avoids it.
+pub fn suggest_targets(
+    schema: &Schema,
+    root: ClassId,
+    config: &CompletionConfig,
+) -> Vec<TargetSuggestion> {
+    let excluded: Vec<bool> = {
+        let mut v = vec![false; schema.class_count()];
+        for &c in &config.excluded_classes {
+            v[c.index()] = true;
+        }
+        v
+    };
+    // Reachable classes from root, never entering an excluded class.
+    let mut reachable = vec![false; schema.class_count()];
+    reachable[root.index()] = true;
+    let mut stack = vec![root];
+    while let Some(c) = stack.pop() {
+        for rel in schema.out_rels(c) {
+            let t = rel.target;
+            if !reachable[t.index()] && !excluded[t.index()] {
+                reachable[t.index()] = true;
+                stack.push(t);
+            }
+        }
+    }
+    let mut names: Vec<(Symbol, usize)> = Vec::new();
+    for r in schema.rels() {
+        let rel = schema.rel(r);
+        if !reachable[rel.source.index()]
+            || excluded[rel.source.index()]
+            || excluded[rel.target.index()]
+            // A completion ends at the edge's target; landing back on the
+            // root would close a cycle, which the semantics forbid.
+            || rel.target == root
+        {
+            continue;
+        }
+        match names.iter_mut().find(|(s, _)| *s == rel.name) {
+            Some(e) => e.1 += 1,
+            None => names.push((rel.name, 1)),
+        }
+    }
+    let mut out: Vec<TargetSuggestion> = names
+        .into_iter()
+        .map(|(s, carriers)| TargetSuggestion {
+            name: schema.name(s).to_owned(),
+            carriers,
+        })
+        .collect();
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Completer;
+    use ipe_parser::parse_path_expression;
+    use ipe_schema::fixtures;
+
+    #[test]
+    fn every_suggestion_completes_nonempty() {
+        let schema = fixtures::university();
+        let cfg = CompletionConfig::default();
+        let engine = Completer::new(&schema);
+        for root_name in ["ta", "department", "university"] {
+            let root = schema.class_named(root_name).unwrap();
+            let suggestions = suggest_targets(&schema, root, &cfg);
+            assert!(!suggestions.is_empty());
+            for s in &suggestions {
+                let expr = format!("{root_name}~{}", s.name);
+                let out = engine
+                    .complete(&parse_path_expression(&expr).unwrap())
+                    .unwrap();
+                assert!(!out.is_empty(), "{expr} should complete");
+            }
+        }
+    }
+
+    #[test]
+    fn carriers_count_ambiguity() {
+        let schema = fixtures::university();
+        let ta = schema.class_named("ta").unwrap();
+        let suggestions = suggest_targets(&schema, ta, &CompletionConfig::default());
+        let name = suggestions.iter().find(|s| s.name == "name").unwrap();
+        assert_eq!(name.carriers, 4);
+    }
+
+    #[test]
+    fn exclusions_remove_targets() {
+        let schema = fixtures::university();
+        let ta = schema.class_named("ta").unwrap();
+        let person = schema.class_named("person").unwrap();
+        let base = suggest_targets(&schema, ta, &CompletionConfig::default());
+        let restricted = suggest_targets(
+            &schema,
+            ta,
+            &CompletionConfig {
+                excluded_classes: vec![person],
+                ..Default::default()
+            },
+        );
+        // `ssn` exists only on person, so it disappears.
+        assert!(base.iter().any(|s| s.name == "ssn"));
+        assert!(!restricted.iter().any(|s| s.name == "ssn"));
+    }
+
+    #[test]
+    fn suggestions_are_sorted_and_unique() {
+        let schema = fixtures::university();
+        let uni = schema.class_named("university").unwrap();
+        let s = suggest_targets(&schema, uni, &CompletionConfig::default());
+        let names: Vec<&str> = s.iter().map(|t| t.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+    }
+}

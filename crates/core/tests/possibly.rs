@@ -1,0 +1,142 @@
+//! Completions whose labels carry `Possibly` and secondary connectors.
+
+use ipe_core::{Completer, CompletionConfig};
+use ipe_parser::parse_path_expression;
+use ipe_schema::{fixtures, Primitive, RelKind, Schema, SchemaBuilder};
+
+fn texts(schema: &Schema, out: &[ipe_core::Completion]) -> Vec<String> {
+    out.iter().map(|c| c.display(schema).to_string()).collect()
+}
+
+/// The paper's example: a course is *possibly* taught by a professor
+/// (course Is-Associated-With teacher, teacher May-Be professor).
+#[test]
+fn possibly_association_label() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    // Explicit walk: course.teacher<@professor.
+    let out = engine
+        .complete(&parse_path_expression("course.teacher<@professor").unwrap())
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    let label = out[0].label;
+    assert_eq!(label.connector.to_string(), ".*");
+    // One association plus a May-Be run (semantic length 0): total 1.
+    assert_eq!(label.semlen, 1);
+}
+
+/// Shares-SubParts-With labels from the assembly fixture, end to end
+/// through the engine.
+#[test]
+fn shares_subparts_completion() {
+    let schema = fixtures::assembly();
+    let engine = Completer::new(&schema);
+    let out = engine
+        .complete(&parse_path_expression("engine~chassis").unwrap())
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].label.connector.to_string(), ".SB");
+}
+
+/// Shares-SuperParts-With: motor and shaft share the assembly.
+#[test]
+fn shares_superparts_completion() {
+    let schema = fixtures::assembly();
+    let engine = Completer::new(&schema);
+    let out = engine
+        .complete(&parse_path_expression("motor~shaft").unwrap())
+        .unwrap();
+    assert!(!out.is_empty());
+    let t = texts(&schema, &out);
+    assert!(
+        t.contains(&"motor<$assembly$>shaft".to_string()),
+        "{t:?}"
+    );
+    assert_eq!(out[0].label.connector.to_string(), ".SP");
+}
+
+/// A Possibly completion ties (never loses) against its plain-connector
+/// sibling of equal semantic length: both must be returned.
+#[test]
+fn possibly_ties_with_plain_at_equal_length() {
+    let mut b = SchemaBuilder::new();
+    let root = b.class("root").unwrap();
+    let sup = b.class("sup").unwrap();
+    let sub = b.class("sub").unwrap();
+    let other = b.class("other").unwrap();
+    b.isa(sub, sup).unwrap();
+    b.assoc(root, sup, "via").unwrap();
+    b.assoc(root, other, "alt").unwrap();
+    // Both sub and other carry a `w` attribute.
+    b.attr(sub, "w", Primitive::Real).unwrap();
+    b.attr(other, "w", Primitive::Real).unwrap();
+    let schema = b.build().unwrap();
+    let engine = Completer::new(&schema);
+    let out = engine
+        .complete(&parse_path_expression("root~w").unwrap())
+        .unwrap();
+    let t = texts(&schema, &out);
+    // root.via<@sub.w has label ..* (possibly, semlen 2);
+    // root.alt.w has label .. (plain, semlen 2). Incomparable tie.
+    assert!(t.contains(&"root.via<@sub.w".to_string()), "{t:?}");
+    assert!(t.contains(&"root.alt.w".to_string()), "{t:?}");
+    let stars: Vec<bool> = out.iter().map(|c| c.label.connector.possibly).collect();
+    assert!(stars.contains(&true) && stars.contains(&false));
+}
+
+/// May-Be steps written explicitly validate and carry semantic length 0.
+#[test]
+fn explicit_maybe_chain() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    let out = engine
+        .complete(
+            &parse_path_expression("staff@>employee<@teacher<@instructor<@ta@>grad@>student")
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    // The paper's Section 3.3.2 example (with our fixture's class names):
+    // semantic length 2.
+    assert_eq!(out[0].label.semlen, 2);
+}
+
+/// All pruning modes agree on a schema where a strong (`$>`) and a weak
+/// (`.*`-prefixed) route reach the same interior class: the weak prefix is
+/// correctly dominated and the optimal part-whole reading survives.
+#[test]
+fn caution_preserves_possibly_readings() {
+    let mut b = SchemaBuilder::new();
+    let root = b.class("root").unwrap();
+    let sup = b.class("sup").unwrap();
+    let sub = b.class("sub").unwrap();
+    let leaf = b.class("leaf").unwrap();
+    b.isa(sub, sup).unwrap();
+    // Two routes to `sub`: a direct Has-Part, and Isa-down from sup.
+    b.has_part(root, sub).unwrap();
+    b.rel_named(RelKind::Assoc, root, sup, "s", "s_inv").unwrap();
+    b.has_part(sub, leaf).unwrap();
+    let schema = b.build().unwrap();
+    for pruning in [
+        ipe_core::Pruning::None,
+        ipe_core::Pruning::Paper,
+        ipe_core::Pruning::Safe,
+    ] {
+        let engine = Completer::with_config(
+            &schema,
+            CompletionConfig {
+                pruning,
+                e: 2,
+                ..Default::default()
+            },
+        );
+        let out = engine
+            .complete(&parse_path_expression("root~leaf").unwrap())
+            .unwrap();
+        let t = texts(&schema, &out);
+        assert!(
+            t.contains(&"root$>sub$>leaf".to_string()),
+            "{pruning:?}: {t:?}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic schemas and query workloads for reproducing the paper's
+//! evaluation (Section 5).
+//!
+//! The paper's experiment ran on the CUPID soil-science schema (92
+//! user-defined classes, 364 relationships) with a human subject — the
+//! schema designer — providing ten incomplete path expressions and their
+//! intended completions. Neither the schema nor the subject is available,
+//! so this crate builds the closest synthetic equivalent (see DESIGN.md §3):
+//!
+//! * [`generate_schema`] produces schemas with the same shape knobs the
+//!   paper describes: deep `Isa` chains, part-whole trees, named
+//!   associations, attribute names shared across many classes (what makes
+//!   disambiguation non-trivial), and *hub* classes — "auxiliary classes
+//!   connected to a plethora of other classes but without much inherent
+//!   semantic content", which are exactly what the paper's domain-knowledge
+//!   experiment excluded;
+//! * [`cupid_like`] instantiates the CUPID calibration (92 classes,
+//!   ≈364 relationships);
+//! * [`generate_workload`] produces incomplete path expressions with a
+//!   ground-truth intended set `U` under a configurable intent model
+//!   ([`IntentModel`]), including the ~10% of intents that no
+//!   domain-independent algorithm can recover (modelled as completions
+//!   whose connector rank is strictly dominated, so they stay unreachable
+//!   at every `E` — matching the paper's flat recall curve).
+//!
+//! Everything is deterministic given the seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod schema_gen;
+mod workload;
+
+pub use schema_gen::{cupid_like, generate_schema, GenConfig, GeneratedSchema};
+pub use workload::{generate_workload, workload_from_json, workload_to_json, IntentModel, QuerySpec, WorkloadConfig};

@@ -1,0 +1,317 @@
+//! Random schema generation.
+//!
+//! The generator is calibrated to the paper's CUPID schema — the input
+//! parameter structure of a plant-growth simulator: a *deep part-whole
+//! tree* (nested parameter groups), inheritance towers, a few cross-cutting
+//! associations, attribute names shared across many classes, and a couple
+//! of high-degree auxiliary "hub" classes. Two structural properties matter
+//! for reproducing the paper's numbers:
+//!
+//! * a pure `$>` descent of any depth has semantic length 1 (runs of the
+//!   same structural connector collapse), which is how the paper's optimal
+//!   answers average ~15 relationships while staying cognitively short;
+//! * nodes with *two* part-whole parents create label-tied alternative
+//!   routes, which is where the "2-3 returned at E=1" ambiguity comes from.
+
+use ipe_schema::{ClassId, Primitive, RelKind, Schema, SchemaBuilder};
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Shape parameters for [`generate_schema`].
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Number of user-defined classes (the paper's CUPID schema has 92).
+    pub classes: usize,
+    /// Number of part-whole tree roots.
+    pub tree_roots: usize,
+    /// Fraction of classes placed in the part-whole tree (the rest form
+    /// `Isa` towers under tree nodes).
+    pub tree_fraction: f64,
+    /// Probability that a tree child continues a deep chain (parent is the
+    /// previous class) rather than branching from a random earlier class.
+    pub chain_bias: f64,
+    /// Probability that a tree node receives a second part-whole parent
+    /// (creates label-tied alternative completions).
+    pub double_parent_prob: f64,
+    /// Number of cross-cutting association edges to attempt.
+    pub assoc_edges: usize,
+    /// Number of hub classes ("auxiliary classes connected to a plethora of
+    /// other classes").
+    pub hubs: usize,
+    /// Association edges per hub.
+    pub hub_degree: usize,
+    /// Pool of attribute names, reused across classes; smaller pools mean
+    /// more ambiguity.
+    pub attr_names: Vec<String>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            classes: 92,
+            tree_roots: 3,
+            tree_fraction: 0.72,
+            chain_bias: 0.7,
+            double_parent_prob: 0.02,
+            assoc_edges: 4,
+            hubs: 1,
+            hub_degree: 22,
+            attr_names: {
+                let mut pool: Vec<String> = [
+                    "name", "value", "rate", "depth", "temp", "flux", "width", "mass",
+                    "conc", "ph", "albedo", "lai",
+                ]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect();
+                // Scientific parameter names are mostly distinct; a larger
+                // pool keeps name collisions (and hence the same-name
+                // completion tiers) realistically sparse.
+                pool.extend((0..18).map(|i| format!("p{i}")));
+                pool
+            },
+            seed: 42,
+        }
+    }
+}
+
+/// A generated schema plus the metadata the experiments need.
+#[derive(Clone, Debug)]
+pub struct GeneratedSchema {
+    /// The schema itself.
+    pub schema: Schema,
+    /// The hub classes (the domain-knowledge experiments exclude these).
+    pub hubs: Vec<ClassId>,
+    /// The part-whole tree roots (natural roots for deep queries).
+    pub roots: Vec<ClassId>,
+    /// Part-whole tree depth of every class (0 for roots and non-tree
+    /// classes).
+    pub depth: Vec<u32>,
+}
+
+/// The CUPID calibration: 92 user classes and approximately 364
+/// relationships, the size the paper reports for its real schema.
+pub fn cupid_like(seed: u64) -> GeneratedSchema {
+    generate_schema(&GenConfig {
+        seed,
+        ..GenConfig::default()
+    })
+}
+
+/// Generates a random schema per `config`. The construction never fails:
+/// edges that would collide on names are skipped.
+pub fn generate_schema(config: &GenConfig) -> GeneratedSchema {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut b = SchemaBuilder::new();
+    let classes: Vec<ClassId> = (0..config.classes)
+        .map(|i| b.class(&format!("c{i}")).expect("unique generated names"))
+        .collect();
+    let mut depth = vec![0u32; config.classes];
+
+    // Part-whole tree.
+    let tree_count = (((config.classes as f64) * config.tree_fraction) as usize)
+        .max(config.tree_roots + 1)
+        .min(config.classes);
+    let roots: Vec<ClassId> = classes[..config.tree_roots.min(tree_count)].to_vec();
+    for i in config.tree_roots..tree_count {
+        let parent_idx = if i > config.tree_roots && rng.random_bool(config.chain_bias) {
+            i - 1
+        } else {
+            rng.random_range(0..i)
+        };
+        if b.has_part(classes[parent_idx], classes[i]).is_ok() {
+            depth[i] = depth[parent_idx] + 1;
+        }
+        if rng.random_bool(config.double_parent_prob) {
+            let second = rng.random_range(0..i);
+            if second != parent_idx {
+                let _ = b.has_part(classes[second], classes[i]);
+            }
+        }
+    }
+
+    // Isa towers under random tree nodes.
+    let mut i = tree_count;
+    while i < config.classes {
+        let height = rng.random_range(1..=3usize).min(config.classes - i);
+        let base_idx = rng.random_range(0..tree_count);
+        let mut sup = classes[base_idx];
+        let base_depth = depth[base_idx];
+        for k in 0..height {
+            // classes[i+k] Isa sup.
+            if b.isa(classes[i + k], sup).is_ok() {
+                depth[i + k] = base_depth;
+            }
+            sup = classes[i + k];
+        }
+        i += height;
+    }
+
+    // Cross-cutting associations with names reused from a growing pool.
+    let mut assoc_names: Vec<String> = Vec::new();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < config.assoc_edges && attempts < config.assoc_edges * 10 {
+        attempts += 1;
+        let from = *classes.choose(&mut rng).expect("nonempty");
+        let to = *classes.choose(&mut rng).expect("nonempty");
+        if from == to {
+            continue;
+        }
+        let reuse = !assoc_names.is_empty() && rng.random_bool(0.5);
+        let name = if reuse {
+            assoc_names.choose(&mut rng).expect("nonempty").clone()
+        } else {
+            let n = format!("r{}", assoc_names.len());
+            assoc_names.push(n.clone());
+            n
+        };
+        let inv = format!("{name}_of{added}");
+        if b.rel_named(RelKind::Assoc, from, to, &name, &inv).is_ok() {
+            added += 1;
+        }
+    }
+
+    // Hubs: the last classes become auxiliary hubs with many incoming
+    // associations (their inverses give the hub a high out-degree too).
+    // Hub neighbours are drawn from the *deep* end of the part-whole tree:
+    // auxiliary bookkeeping classes attach to concrete leaf parameters, and
+    // — for the evaluation's shape — this keeps hub-routed junk small per
+    // tier (each exit reaches only a shallow subtree) yet present in most
+    // queries.
+    let hub_classes: Vec<ClassId> = classes
+        .iter()
+        .rev()
+        .take(config.hubs)
+        .copied()
+        .collect();
+    let max_tree_depth = depth[..tree_count].iter().copied().max().unwrap_or(0);
+    let deep_cut = max_tree_depth * 2 / 5;
+    let deep_classes: Vec<ClassId> = (0..tree_count)
+        .filter(|&i| depth[i] >= deep_cut)
+        .map(|i| classes[i])
+        .collect();
+    for (hi, &hub) in hub_classes.iter().enumerate() {
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < config.hub_degree && attempts < config.hub_degree * 10 {
+            attempts += 1;
+            let pool = if deep_classes.is_empty() {
+                &classes
+            } else {
+                &deep_classes
+            };
+            let other = *pool.choose(&mut rng).expect("nonempty");
+            if other == hub || hub_classes.contains(&other) {
+                continue;
+            }
+            let name = format!("h{hi}x{added}");
+            let inv = format!("hub{hi}_{added}");
+            if b.rel_named(RelKind::Assoc, other, hub, &name, &inv).is_ok() {
+                added += 1;
+            }
+        }
+    }
+
+    // One attribute per part-whole tree class, names drawn from the shared
+    // pool (these are the ambiguous completion targets). Hubs are "without
+    // much inherent semantic content" and get none; Isa-tower classes
+    // inherit their base's attributes instead of declaring their own,
+    // as Section 2.1's specialization semantics suggests.
+    for &c in &classes[..tree_count] {
+        if hub_classes.contains(&c) {
+            continue;
+        }
+        let name = config
+            .attr_names
+            .choose(&mut rng)
+            .expect("attr pool nonempty")
+            .clone();
+        let _ = b.attr(c, &name, Primitive::Real);
+    }
+
+    let schema = b.build().expect("generated schemas are valid");
+    GeneratedSchema {
+        schema,
+        hubs: hub_classes,
+        roots,
+        depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cupid_calibration_matches_paper_size() {
+        let g = cupid_like(7);
+        assert_eq!(g.schema.user_class_count(), 92);
+        let rels = g.schema.rel_count();
+        assert!(
+            (280..=450).contains(&rels),
+            "got {rels} relationships; calibration target is ~364"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = cupid_like(123);
+        let b = cupid_like(123);
+        assert_eq!(a.schema.rel_count(), b.schema.rel_count());
+        assert_eq!(a.schema.to_json(), b.schema.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = cupid_like(1);
+        let b = cupid_like(2);
+        assert_ne!(a.schema.to_json(), b.schema.to_json());
+    }
+
+    #[test]
+    fn hubs_have_high_degree() {
+        let g = cupid_like(9);
+        for &h in &g.hubs {
+            let deg = g.schema.out_rels(h).count();
+            assert!(deg >= 8, "hub degree {deg}");
+        }
+    }
+
+    #[test]
+    fn tree_is_deep() {
+        let g = cupid_like(11);
+        let max_depth = g.depth.iter().copied().max().unwrap_or(0);
+        assert!(
+            max_depth >= 10,
+            "part-whole tree should be deep, got {max_depth}"
+        );
+    }
+
+    #[test]
+    fn isa_hierarchy_is_acyclic_by_construction() {
+        let g = cupid_like(11);
+        for c in g.schema.classes() {
+            let anc = g.schema.ancestors(c);
+            assert!(anc.len() < g.schema.class_count());
+        }
+    }
+
+    #[test]
+    fn small_schemas_work() {
+        let g = generate_schema(&GenConfig {
+            classes: 12,
+            tree_roots: 1,
+            assoc_edges: 3,
+            hubs: 1,
+            hub_degree: 3,
+            ..GenConfig::default()
+        });
+        assert_eq!(g.schema.user_class_count(), 12);
+        assert_eq!(g.hubs.len(), 1);
+        assert_eq!(g.roots.len(), 1);
+    }
+}

@@ -1,0 +1,360 @@
+//! Planted-intent query workloads with ground truth.
+
+use crate::schema_gen::GeneratedSchema;
+use ipe_algebra::moose::rank;
+use ipe_core::{Completer, Completion, CompletionConfig, exhaustive};
+use ipe_parser::PathExprAst;
+use ipe_schema::{ClassId, Schema};
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// How the simulated subject's intended completions `U` are derived.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IntentModel {
+    /// The subject's intent coincides with the cognitively-optimal
+    /// completions (the paper's central finding), except that with the
+    /// given probability the intent *additionally* includes one completion
+    /// that is connector-rank-dominated — a "special case … unlikely to be
+    /// captured by a generic algorithm" (Section 5.3) that stays
+    /// unreachable at every `E`, producing the paper's flat ~90% recall.
+    OptimalPlusNoise {
+        /// Probability that a query carries one unreachable extra intent.
+        unreachable_prob: f64,
+    },
+    /// The subject means exactly the random walk the generator planted,
+    /// whether or not it is optimal. A harsher, fully algorithm-independent
+    /// intent model for sensitivity experiments.
+    PlantedWalk,
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of queries (the paper used 10).
+    pub queries: usize,
+    /// Intent model.
+    pub intent: IntentModel,
+    /// Length range of the planted walks, in edges.
+    pub walk_len: (usize, usize),
+    /// Minimum length (in edges) of the optimal completions; queries whose
+    /// answers are shorter are regenerated. The paper's answers averaged
+    /// ~15 relationships, so trivially-short queries are unrepresentative.
+    pub min_answer_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            queries: 10,
+            intent: IntentModel::OptimalPlusNoise {
+                unreachable_prob: 0.45,
+            },
+            walk_len: (6, 16),
+            min_answer_len: 6,
+            seed: 1994,
+        }
+    }
+}
+
+/// One incomplete query with its ground truth.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Root class name.
+    pub root: String,
+    /// Target relationship name.
+    pub target: String,
+    /// The incomplete path expression, `root~target`.
+    pub expr: String,
+    /// The intended complete path expressions `U`, as display texts.
+    pub intended: Vec<String>,
+    /// Whether `intended` contains a completion that no setting of `E` can
+    /// recover (rank-dominated).
+    pub has_unreachable_intent: bool,
+}
+
+impl QuerySpec {
+    /// Parses the incomplete expression.
+    pub fn ast(&self) -> PathExprAst {
+        PathExprAst::incomplete(&self.root, &self.target)
+    }
+}
+
+/// Serializes a workload to JSON (for archiving the exact queries behind a
+/// reported experiment).
+pub fn workload_to_json(workload: &[QuerySpec]) -> String {
+    serde_json::to_string_pretty(workload).expect("workload serialization cannot fail")
+}
+
+/// Loads a workload from JSON.
+pub fn workload_from_json(json: &str) -> Result<Vec<QuerySpec>, String> {
+    serde_json::from_str(json).map_err(|e| e.to_string())
+}
+
+/// Generates a workload of incomplete queries with ground-truth intended
+/// sets over a generated schema.
+pub fn generate_workload(gen: &GeneratedSchema, cfg: &WorkloadConfig) -> Vec<QuerySpec> {
+    let schema = &gen.schema;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    // The simulated subject's intent never routes through the auxiliary hub
+    // classes (they carry no semantics); this matches the paper's
+    // observation that domain knowledge only ever removed junk from S and
+    // left the intended completions untouched.
+    let engine = Completer::with_config(
+        schema,
+        CompletionConfig {
+            excluded_classes: gen.hubs.clone(),
+            ..Default::default()
+        },
+    );
+    let candidates: Vec<ClassId> = schema
+        .classes()
+        .filter(|&c| {
+            !schema.is_primitive(c) && !gen.hubs.contains(&c) && schema.out_rels(c).count() > 0
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut attempts = 0;
+    let max_attempts = cfg.queries * 200;
+    while out.len() < cfg.queries && attempts < max_attempts {
+        attempts += 1;
+        // Prefer tree roots: the paper's queries descend the deep CUPID
+        // parameter structure. Fall back to arbitrary classes late in the
+        // attempt budget.
+        let from_roots = !gen.roots.is_empty() && rng.random_bool(0.7);
+        let pool: &[ClassId] = if from_roots { &gen.roots } else { &candidates };
+        let Some(walk) = plant_walk(schema, pool, &gen.hubs, cfg, &mut rng) else {
+            continue;
+        };
+        let root_name = schema.class_name(walk.root).to_owned();
+        let target_name = schema
+            .rel_name(*walk.edges.last().expect("walk has edges"))
+            .to_owned();
+        // The target name must not immediately trivialize (root must not be
+        // a hub; ensured) nor fail to resolve.
+        let ast = PathExprAst::incomplete(&root_name, &target_name);
+        let Ok(optimal) = engine.complete(&ast) else {
+            continue;
+        };
+        if optimal.is_empty() {
+            continue;
+        }
+        // Regenerate trivially-short queries (relax once three quarters of
+        // the attempt budget is spent, so workloads always fill), skip
+        // unambiguous targets (a name carried by a single relationship has
+        // nothing to disambiguate), and never repeat a query.
+        let min_len = optimal.iter().map(|c| c.len()).min().unwrap_or(0);
+        if min_len < cfg.min_answer_len && attempts < max_attempts * 3 / 4 {
+            continue;
+        }
+        let ambiguous = schema
+            .symbol(&target_name)
+            .map(|s| schema.rels_named(s).len() >= 2)
+            .unwrap_or(false);
+        if !ambiguous && attempts < max_attempts * 3 / 4 {
+            continue;
+        }
+        if out.iter().any(|q: &QuerySpec| q.root == root_name && q.target == target_name) {
+            continue;
+        }
+        let (mut intended, mut unreachable) = match cfg.intent {
+            IntentModel::PlantedWalk => (vec![walk_display(schema, &walk)], false),
+            IntentModel::OptimalPlusNoise { unreachable_prob } => {
+                let mut texts: Vec<String> = optimal
+                    .iter()
+                    .map(|c| c.display(schema).to_string())
+                    .collect();
+                let mut unreachable = false;
+                if rng.random_bool(unreachable_prob) {
+                    if let Some(extra) =
+                        find_rank_dominated(schema, walk.root, &target_name, &optimal)
+                    {
+                        texts.push(extra.display(schema).to_string());
+                        unreachable = true;
+                    }
+                }
+                (texts, unreachable)
+            }
+        };
+        intended.sort();
+        intended.dedup();
+        if intended.is_empty() {
+            unreachable = false;
+        }
+        out.push(QuerySpec {
+            root: root_name.clone(),
+            target: target_name.clone(),
+            expr: format!("{root_name}~{target_name}"),
+            intended,
+            has_unreachable_intent: unreachable,
+        });
+    }
+    out
+}
+
+struct Walk {
+    root: ClassId,
+    edges: Vec<ipe_schema::RelId>,
+}
+
+/// Renders a planted walk in the paper's path expression syntax.
+fn walk_display(schema: &Schema, walk: &Walk) -> String {
+    let c = Completion {
+        root: walk.root,
+        edges: walk.edges.clone(),
+        label: ipe_algebra::moose::Label::IDENTITY,
+    };
+    c.display(schema).to_string()
+}
+
+/// Plants a plausibility-biased acyclic walk ending at any edge; the final
+/// edge's name becomes the query target.
+fn plant_walk(
+    schema: &Schema,
+    candidates: &[ClassId],
+    hubs: &[ClassId],
+    cfg: &WorkloadConfig,
+    rng: &mut ChaCha8Rng,
+) -> Option<Walk> {
+    let root = *candidates.choose(rng)?;
+    let len = rng.random_range(cfg.walk_len.0..=cfg.walk_len.1.max(cfg.walk_len.0));
+    let mut on_path = vec![false; schema.class_count()];
+    on_path[root.index()] = true;
+    let mut current = root;
+    let mut edges = Vec::new();
+    for step in 0..len {
+        let last = step + 1 == len;
+        let options: Vec<(ipe_schema::RelId, ClassId, u32)> = schema
+            .out_rels(current)
+            .filter(|r| !on_path[r.target.index()])
+            .filter(|r| !hubs.contains(&r.target))
+            .filter(|r| last || !schema.is_primitive(r.target))
+            .map(|r| {
+                let w = match r.kind {
+                    ipe_schema::RelKind::Isa => 3,
+                    ipe_schema::RelKind::HasPart => 8,
+                    ipe_schema::RelKind::IsPartOf => 1,
+                    ipe_schema::RelKind::MayBe => 2,
+                    ipe_schema::RelKind::Assoc => 1,
+                };
+                (r.id, r.target, w)
+            })
+            .collect();
+        if options.is_empty() {
+            break;
+        }
+        let total: u32 = options.iter().map(|o| o.2).sum();
+        let mut pick = rng.random_range(0..total);
+        let mut chosen = options[0];
+        for o in &options {
+            if pick < o.2 {
+                chosen = *o;
+                break;
+            }
+            pick -= o.2;
+        }
+        edges.push(chosen.0);
+        on_path[chosen.1.index()] = true;
+        current = chosen.1;
+    }
+    if edges.is_empty() {
+        return None;
+    }
+    Some(Walk { root, edges })
+}
+
+/// Finds one consistent completion whose connector rank is strictly worse
+/// than every optimal completion's — unreachable at any `E`.
+fn find_rank_dominated(
+    schema: &Schema,
+    root: ClassId,
+    target: &str,
+    optimal: &[Completion],
+) -> Option<Completion> {
+    let best_rank = optimal
+        .iter()
+        .map(|c| rank(c.label.connector))
+        .min()
+        .expect("optimal nonempty");
+    let cfg = CompletionConfig {
+        max_depth: 8,
+        max_results: 2_000,
+        ..Default::default()
+    };
+    let all = exhaustive::all_consistent(schema, root, target, &cfg).ok()?;
+    all.into_iter()
+        .find(|c| rank(c.label.connector) > best_rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::cupid_like;
+
+    #[test]
+    fn workload_is_deterministic_and_full_size() {
+        let g = cupid_like(5);
+        let cfg = WorkloadConfig::default();
+        let a = generate_workload(&g, &cfg);
+        let b = generate_workload(&g, &cfg);
+        assert_eq!(a.len(), 10);
+        assert_eq!(
+            a.iter().map(|q| &q.expr).collect::<Vec<_>>(),
+            b.iter().map(|q| &q.expr).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn intended_sets_are_nonempty() {
+        let g = cupid_like(6);
+        let qs = generate_workload(&g, &WorkloadConfig::default());
+        for q in &qs {
+            assert!(!q.intended.is_empty(), "{}", q.expr);
+            assert!(q.expr.contains('~'));
+        }
+    }
+
+    #[test]
+    fn planted_walk_model_yields_single_intents() {
+        let g = cupid_like(7);
+        let cfg = WorkloadConfig {
+            intent: IntentModel::PlantedWalk,
+            ..Default::default()
+        };
+        let qs = generate_workload(&g, &cfg);
+        for q in &qs {
+            assert_eq!(q.intended.len(), 1);
+            assert!(!q.has_unreachable_intent);
+        }
+    }
+
+    #[test]
+    fn workload_serde_round_trip() {
+        let g = cupid_like(21);
+        let qs = generate_workload(
+            &g,
+            &WorkloadConfig {
+                queries: 4,
+                ..Default::default()
+            },
+        );
+        let json = workload_to_json(&qs);
+        let back = workload_from_json(&json).unwrap();
+        assert_eq!(qs, back);
+        assert!(workload_from_json("[{").is_err());
+    }
+
+    #[test]
+    fn unreachable_intents_appear_with_default_probability() {
+        let g = cupid_like(8);
+        let cfg = WorkloadConfig {
+            queries: 30,
+            ..Default::default()
+        };
+        let qs = generate_workload(&g, &cfg);
+        let n = qs.iter().filter(|q| q.has_unreachable_intent).count();
+        assert!(n > 0, "expected some unreachable intents out of 30");
+    }
+}

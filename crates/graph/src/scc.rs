@@ -1,0 +1,224 @@
+//! Strongly connected components (Tarjan) and graph condensation.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Computes the strongly connected components of `graph` with Tarjan's
+/// algorithm, implemented iteratively.
+///
+/// Components are returned in reverse topological order of the condensation
+/// (a component appears before any component it has an edge *from*), which is
+/// the natural output order of Tarjan's algorithm.
+pub fn tarjan_scc<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    const UNVISITED: u32 = u32::MAX;
+
+    struct Frame {
+        node: NodeId,
+        edge_idx: usize,
+    }
+
+    let n = graph.node_count();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+    let mut call_stack: Vec<Frame> = Vec::new();
+    for root in graph.node_ids() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        index[root.index()] = next_index;
+        lowlink[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+        call_stack.push(Frame {
+            node: root,
+            edge_idx: 0,
+        });
+
+        while let Some(frame) = call_stack.last_mut() {
+            let v = frame.node;
+            let out = graph.out_edge_ids(v);
+            if frame.edge_idx < out.len() {
+                let w = graph.edge(out[frame.edge_idx]).target;
+                frame.edge_idx += 1;
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    call_stack.push(Frame {
+                        node: w,
+                        edge_idx: 0,
+                    });
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(parent) = call_stack.last() {
+                    let p = parent.node.index();
+                    lowlink[p] = lowlink[p].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Builds the condensation of `graph`: one node per SCC (weighted with the
+/// member list), and an edge between two components for every original edge
+/// crossing them (parallel condensation edges are collapsed).
+pub fn condensation<N, E>(graph: &DiGraph<N, E>) -> DiGraph<Vec<NodeId>, ()> {
+    let sccs = tarjan_scc(graph);
+    let mut component_of = vec![0usize; graph.node_count()];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &n in comp {
+            component_of[n.index()] = ci;
+        }
+    }
+    let mut out: DiGraph<Vec<NodeId>, ()> = DiGraph::with_capacity(sccs.len(), 0);
+    for comp in &sccs {
+        out.add_node(comp.clone());
+    }
+    for (_, e) in graph.edges() {
+        let cs = component_of[e.source.index()];
+        let ct = component_of[e.target.index()];
+        if cs != ct {
+            let (csn, ctn) = (NodeId(cs as u32), NodeId(ct as u32));
+            if !out.contains_edge(csn, ctn) {
+                out.add_edge(csn, ctn, ());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::reachable_from;
+
+    fn sorted(mut v: Vec<Vec<NodeId>>) -> Vec<Vec<NodeId>> {
+        for c in &mut v {
+            c.sort();
+        }
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // (a <-> b) -> (c <-> d), e isolated
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        let e = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, d, ());
+        g.add_edge(d, c, ());
+        let sccs = sorted(tarjan_scc(&g));
+        assert_eq!(sccs, vec![vec![a, b], vec![c, d], vec![e]]);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let nodes: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], ());
+        }
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs.len(), 5);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn self_loop_is_its_own_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let sccs = tarjan_scc(&g);
+        assert_eq!(sccs, vec![vec![a]]);
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_preserves_reachability() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(b, c, ());
+        let cond = condensation(&g);
+        assert_eq!(cond.node_count(), 2);
+        assert_eq!(cond.edge_count(), 1);
+        // The component containing {a,b} must reach the component {c}.
+        let ab = cond
+            .nodes()
+            .find(|(_, members)| members.len() == 2)
+            .map(|(id, _)| id)
+            .unwrap();
+        let reach = reachable_from(&cond, ab);
+        assert!(reach.iter().all(|&r| r));
+    }
+
+    /// Reference check on random graphs: u and v share an SCC iff they reach
+    /// each other.
+    #[test]
+    fn matches_mutual_reachability_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..25 {
+            let n = rng.random_range(2..12usize);
+            let m = rng.random_range(0..30usize);
+            let mut g: DiGraph<(), ()> = DiGraph::new();
+            let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for _ in 0..m {
+                let s = nodes[rng.random_range(0..n)];
+                let t = nodes[rng.random_range(0..n)];
+                g.add_edge(s, t, ());
+            }
+            let sccs = tarjan_scc(&g);
+            let mut comp = vec![usize::MAX; n];
+            for (ci, c) in sccs.iter().enumerate() {
+                for nid in c {
+                    comp[nid.index()] = ci;
+                }
+            }
+            let reach: Vec<Vec<bool>> = nodes.iter().map(|&u| reachable_from(&g, u)).collect();
+            for u in 0..n {
+                for v in 0..n {
+                    let mutual = reach[u][v] && reach[v][u];
+                    assert_eq!(
+                        comp[u] == comp[v],
+                        mutual,
+                        "u={u} v={v} comp={comp:?}"
+                    );
+                }
+            }
+        }
+    }
+}

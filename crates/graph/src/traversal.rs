@@ -1,0 +1,256 @@
+//! Depth-first and breadth-first traversals.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use std::collections::VecDeque;
+
+/// Iterative depth-first preorder iterator over the nodes reachable from a
+/// set of roots.
+///
+/// Nodes are yielded at most once, in preorder. Neighbor order follows
+/// out-edge insertion order.
+pub struct Dfs {
+    stack: Vec<NodeId>,
+    visited: Vec<bool>,
+}
+
+impl Dfs {
+    /// Starts a DFS from a single root.
+    pub fn new<N, E>(graph: &DiGraph<N, E>, root: NodeId) -> Self {
+        let mut visited = vec![false; graph.node_count()];
+        visited[root.index()] = true;
+        Dfs {
+            stack: vec![root],
+            visited,
+        }
+    }
+
+    /// Advances the traversal, returning the next node in preorder.
+    pub fn next<N, E>(&mut self, graph: &DiGraph<N, E>) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        // Push successors in reverse so the first out-edge is explored first.
+        let succ: Vec<NodeId> = graph.successors(node).collect();
+        for &s in succ.iter().rev() {
+            if !self.visited[s.index()] {
+                self.visited[s.index()] = true;
+                self.stack.push(s);
+            }
+        }
+        Some(node)
+    }
+
+    /// Drains the traversal into a vector.
+    pub fn collect_all<N, E>(mut self, graph: &DiGraph<N, E>) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        while let Some(n) = self.next(graph) {
+            out.push(n);
+        }
+        out
+    }
+}
+
+/// Breadth-first iterator over the nodes reachable from a root.
+pub struct Bfs {
+    queue: VecDeque<NodeId>,
+    visited: Vec<bool>,
+}
+
+impl Bfs {
+    /// Starts a BFS from a single root.
+    pub fn new<N, E>(graph: &DiGraph<N, E>, root: NodeId) -> Self {
+        let mut visited = vec![false; graph.node_count()];
+        visited[root.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        Bfs { queue, visited }
+    }
+
+    /// Advances the traversal, returning the next node in BFS order.
+    pub fn next<N, E>(&mut self, graph: &DiGraph<N, E>) -> Option<NodeId> {
+        let node = self.queue.pop_front()?;
+        for s in graph.successors(node) {
+            if !self.visited[s.index()] {
+                self.visited[s.index()] = true;
+                self.queue.push_back(s);
+            }
+        }
+        Some(node)
+    }
+
+    /// Drains the traversal into a vector.
+    pub fn collect_all<N, E>(mut self, graph: &DiGraph<N, E>) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        while let Some(n) = self.next(graph) {
+            out.push(n);
+        }
+        out
+    }
+}
+
+/// Boolean reachability table from `root` (including `root` itself).
+pub fn reachable_from<N, E>(graph: &DiGraph<N, E>, root: NodeId) -> Vec<bool> {
+    let mut dfs = Dfs::new(graph, root);
+    while dfs.next(graph).is_some() {}
+    dfs.visited
+}
+
+/// An event emitted by [`depth_first_events`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DfsEvent {
+    /// A node is first discovered.
+    Discover(NodeId),
+    /// An edge to an undiscovered node is traversed.
+    TreeEdge(EdgeId),
+    /// An edge to a node currently on the DFS stack (a cycle witness).
+    BackEdge(EdgeId),
+    /// An edge to an already-finished node.
+    CrossOrForwardEdge(EdgeId),
+    /// All descendants of the node have been processed.
+    Finish(NodeId),
+}
+
+/// Runs a full recursive DFS from `root`, invoking `visit` for every event.
+///
+/// Implemented iteratively with an explicit stack so that deep schemas (long
+/// `Isa` chains) cannot overflow the call stack.
+pub fn depth_first_events<N, E>(
+    graph: &DiGraph<N, E>,
+    root: NodeId,
+    mut visit: impl FnMut(DfsEvent),
+) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; graph.node_count()];
+    // Stack frames: (node, index into its out-edge list).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    color[root.index()] = Color::Gray;
+    visit(DfsEvent::Discover(root));
+    stack.push((root, 0));
+    while let Some(&mut (node, ref mut next_edge)) = stack.last_mut() {
+        let out = graph.out_edge_ids(node);
+        if *next_edge < out.len() {
+            let eid = out[*next_edge];
+            *next_edge += 1;
+            let target = graph.edge(eid).target;
+            match color[target.index()] {
+                Color::White => {
+                    visit(DfsEvent::TreeEdge(eid));
+                    color[target.index()] = Color::Gray;
+                    visit(DfsEvent::Discover(target));
+                    stack.push((target, 0));
+                }
+                Color::Gray => visit(DfsEvent::BackEdge(eid)),
+                Color::Black => visit(DfsEvent::CrossOrForwardEdge(eid)),
+            }
+        } else {
+            stack.pop();
+            color[node.index()] = Color::Black;
+            visit(DfsEvent::Finish(node));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a -> b -> d, a -> c -> d, d -> a (cycle back to root)
+    fn cyclic() -> (DiGraph<(), ()>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        g.add_edge(d, a, ());
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn dfs_preorder_follows_insertion_order() {
+        let (g, [a, b, c, d]) = cyclic();
+        let order = Dfs::new(&g, a).collect_all(&g);
+        assert_eq!(order, vec![a, b, d, c]);
+        let _ = (c, d);
+    }
+
+    #[test]
+    fn bfs_order_is_level_based() {
+        let (g, [a, b, c, d]) = cyclic();
+        let order = Bfs::new(&g, a).collect_all(&g);
+        assert_eq!(order, vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn reachability_excludes_disconnected() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let island = g.add_node(());
+        g.add_edge(a, b, ());
+        let reach = reachable_from(&g, a);
+        assert!(reach[a.index()]);
+        assert!(reach[b.index()]);
+        assert!(!reach[island.index()]);
+    }
+
+    #[test]
+    fn dfs_events_classify_back_edges() {
+        let (g, [a, ..]) = cyclic();
+        let mut backs = 0;
+        let mut discovers = 0;
+        let mut finishes = 0;
+        depth_first_events(&g, a, |ev| match ev {
+            DfsEvent::BackEdge(_) => backs += 1,
+            DfsEvent::Discover(_) => discovers += 1,
+            DfsEvent::Finish(_) => finishes += 1,
+            _ => {}
+        });
+        assert_eq!(backs, 1, "d -> a closes the single cycle");
+        assert_eq!(discovers, 4);
+        assert_eq!(finishes, 4);
+    }
+
+    #[test]
+    fn dfs_events_discover_finish_nest() {
+        let (g, [a, ..]) = cyclic();
+        let mut depth = 0i32;
+        let mut max_depth = 0;
+        depth_first_events(&g, a, |ev| match ev {
+            DfsEvent::Discover(_) => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            DfsEvent::Finish(_) => depth -= 1,
+            _ => {}
+        });
+        assert_eq!(depth, 0);
+        assert_eq!(max_depth, 3, "a > b > d nesting");
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let n = 200_000;
+        let first = g.add_node(());
+        let mut prev = first;
+        for _ in 1..n {
+            let next = g.add_node(());
+            g.add_edge(prev, next, ());
+            prev = next;
+        }
+        let mut count = 0;
+        depth_first_events(&g, first, |ev| {
+            if matches!(ev, DfsEvent::Discover(_)) {
+                count += 1;
+            }
+        });
+        assert_eq!(count, n);
+    }
+}

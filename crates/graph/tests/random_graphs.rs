@@ -1,0 +1,118 @@
+//! Property tests for the graph substrate over random graphs.
+
+use ipe_graph::{
+    condensation, reachable_from, simple_paths, tarjan_scc, topo_sort, topo_sort_filtered,
+    DiGraph, NodeId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random directed graph as (node count, edge list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..25);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> DiGraph<(), ()> {
+    let mut g = DiGraph::new();
+    let ids: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    for &(s, t) in edges {
+        g.add_edge(ids[s], ids[t], ());
+    }
+    g
+}
+
+proptest! {
+    /// A successful topological sort respects every edge.
+    #[test]
+    fn topo_sort_respects_edges((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        if let Ok(order) = topo_sort(&g) {
+            let pos: Vec<usize> = {
+                let mut p = vec![0; n];
+                for (i, &node) in order.iter().enumerate() {
+                    p[node.index()] = i;
+                }
+                p
+            };
+            for (_, e) in g.edges() {
+                prop_assert!(pos[e.source.index()] < pos[e.target.index()]);
+            }
+        } else {
+            // A failed sort implies an actual cycle: some node reaches
+            // itself through at least one edge.
+            let has_cycle = g.node_ids().any(|v| {
+                g.successors(v).any(|s| reachable_from(&g, s)[v.index()])
+            });
+            prop_assert!(has_cycle);
+        }
+    }
+
+    /// The condensation is always acyclic and partitions the nodes.
+    #[test]
+    fn condensation_is_dag_and_partition((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let cond = condensation(&g);
+        prop_assert!(topo_sort(&cond).is_ok());
+        let mut covered = vec![false; n];
+        for (_, members) in cond.nodes() {
+            for m in members {
+                prop_assert!(!covered[m.index()], "node in two components");
+                covered[m.index()] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+    }
+
+    /// SCC count is between 1 and n, and filtering all edges away makes the
+    /// graph trivially sortable.
+    #[test]
+    fn scc_count_and_empty_filter((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let sccs = tarjan_scc(&g);
+        prop_assert!(sccs.len() >= 1 && sccs.len() <= n);
+        prop_assert!(topo_sort_filtered(&g, |_, _| false).is_ok());
+    }
+
+    /// Every simple path is genuinely simple, ends at the target, and uses
+    /// existing edges in a connected sequence.
+    #[test]
+    fn simple_paths_are_simple((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        let s = NodeId(0);
+        let t = NodeId((n - 1) as u32);
+        for p in simple_paths(&g, s, t, n) {
+            prop_assert_eq!(p.target(&g), t);
+            let nodes = p.nodes(&g);
+            prop_assert_eq!(nodes[0], s);
+            let mut d = nodes.clone();
+            d.sort();
+            d.dedup();
+            prop_assert_eq!(d.len(), nodes.len());
+            // Edge chaining.
+            let mut current = s;
+            for &e in &p.edges {
+                prop_assert_eq!(g.edge(e).source, current);
+                current = g.edge(e).target;
+            }
+        }
+    }
+
+    /// Reachability is reflexive and transitive along edges.
+    #[test]
+    fn reachability_closure((n, edges) in arb_graph()) {
+        let g = build(n, &edges);
+        for v in g.node_ids() {
+            let reach = reachable_from(&g, v);
+            prop_assert!(reach[v.index()]);
+            for u in g.node_ids() {
+                if reach[u.index()] {
+                    for s in g.successors(u) {
+                        prop_assert!(reach[s.index()]);
+                    }
+                }
+            }
+        }
+    }
+}

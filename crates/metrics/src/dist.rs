@@ -1,0 +1,104 @@
+//! Small descriptive-statistics helpers for experiment reporting.
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (p50).
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+}
+
+/// Summarizes a sample. Returns `None` for an empty sample.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / n as f64;
+    let var = if n < 2 {
+        0.0
+    } else {
+        sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+    };
+    Some(Summary {
+        n,
+        mean,
+        min: sorted[0],
+        max: sorted[n - 1],
+        median: percentile_sorted(&sorted, 50.0),
+        p90: percentile_sorted(&sorted, 90.0),
+        stddev: var.sqrt(),
+    })
+}
+
+/// Nearest-rank percentile over an already sorted sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.p90, 5.0);
+        assert!((s.stddev - 1.5811388).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert_eq!(summarize(&[]), None);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = summarize(&[7.5]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.5);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 25.0), 10.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), 20.0);
+        assert_eq!(percentile_sorted(&sorted, 100.0), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile_sorted(&[], 50.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Effectiveness and efficiency metrics for the paper's evaluation
+//! (Section 5.1): *recall* `|U ∩ S| / |U|` and *precision*
+//! `|U ∩ S| / |S|`, averaged over a query workload and swept over the
+//! `AGG*` parameter `E`; plus per-query wall-clock and recursive-call
+//! measurements for the response-time figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+mod pr;
+mod sweep;
+pub mod table;
+mod timing;
+
+pub use dist::{percentile_sorted, summarize, Summary};
+pub use pr::{recall_precision, PrEval};
+pub use sweep::{sweep, ExperimentConfig, SweepPoint};
+pub use timing::{time_queries, QueryTiming};

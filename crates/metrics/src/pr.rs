@@ -1,0 +1,82 @@
+//! Recall and precision.
+
+/// Recall and precision of one query's answer set against the intended set.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrEval {
+    /// `|U ∩ S| / |U|` — the proportion of relevant answers retrieved.
+    pub recall: f64,
+    /// `|U ∩ S| / |S|` — the proportion of retrieved answers that are
+    /// relevant.
+    pub precision: f64,
+}
+
+/// Computes recall and precision of `returned` (`S`) against `intended`
+/// (`U`), by exact string match of the rendered path expressions.
+///
+/// Conventions for degenerate sets: an empty `U` gives recall 1 (nothing
+/// was wanted, nothing was missed); an empty `S` gives precision 1
+/// (nothing retrieved, nothing irrelevant). An ideal system scores 1 on
+/// both.
+pub fn recall_precision(intended: &[String], returned: &[String]) -> PrEval {
+    let inter = intended.iter().filter(|u| returned.contains(u)).count();
+    let recall = if intended.is_empty() {
+        1.0
+    } else {
+        inter as f64 / intended.len() as f64
+    };
+    // |U ∩ S| computed over S to honor multiplicity-free set semantics.
+    let inter_s = returned.iter().filter(|s| intended.contains(s)).count();
+    let precision = if returned.is_empty() {
+        1.0
+    } else {
+        inter_s as f64 / returned.len() as f64
+    };
+    PrEval { recall, precision }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let e = recall_precision(&v(&["a", "b"]), &v(&["a", "b"]));
+        assert_eq!(e.recall, 1.0);
+        assert_eq!(e.precision, 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let e = recall_precision(&v(&["a", "b"]), &v(&["a"]));
+        assert_eq!(e.recall, 0.5);
+        assert_eq!(e.precision, 1.0);
+    }
+
+    #[test]
+    fn partial_precision() {
+        let e = recall_precision(&v(&["a"]), &v(&["a", "x", "y", "z"]));
+        assert_eq!(e.recall, 1.0);
+        assert_eq!(e.precision, 0.25);
+    }
+
+    #[test]
+    fn disjoint_sets() {
+        let e = recall_precision(&v(&["a"]), &v(&["b"]));
+        assert_eq!(e.recall, 0.0);
+        assert_eq!(e.precision, 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let e = recall_precision(&[], &v(&["a"]));
+        assert_eq!(e.recall, 1.0);
+        assert_eq!(e.precision, 0.0);
+        let e = recall_precision(&v(&["a"]), &[]);
+        assert_eq!(e.recall, 0.0);
+        assert_eq!(e.precision, 1.0);
+    }
+}

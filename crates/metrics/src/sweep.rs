@@ -1,0 +1,166 @@
+//! Recall/precision sweeps over the `AGG*` parameter `E` — the engine of
+//! Figures 5 and 6.
+
+use crate::pr::recall_precision;
+use ipe_core::{Completer, CompletionConfig, Pruning};
+use ipe_gen::{GeneratedSchema, QuerySpec};
+
+/// Parameters of one sweep.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// The `E` values to evaluate (the paper plots `E = 1..5`).
+    pub e_values: Vec<usize>,
+    /// Whether to apply the domain knowledge of Section 5.2: exclude the
+    /// schema's hub classes from all completions.
+    pub exclude_hubs: bool,
+    /// Engine pruning mode.
+    pub pruning: Pruning,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            e_values: (1..=5).collect(),
+            exclude_hubs: false,
+            pruning: Pruning::Safe,
+        }
+    }
+}
+
+/// One point of the sweep: averages over the workload at a fixed `E`.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepPoint {
+    /// The `E` value.
+    pub e: usize,
+    /// Average recall over the workload.
+    pub avg_recall: f64,
+    /// Average precision over the workload.
+    pub avg_precision: f64,
+    /// Average number of completions returned.
+    pub avg_returned: f64,
+    /// Average length (edges) of returned completions.
+    pub avg_length: f64,
+}
+
+/// Runs the workload at every `E` in `cfg.e_values` and averages recall and
+/// precision, reproducing the measurement procedure of Section 5.2.
+pub fn sweep(
+    gen: &GeneratedSchema,
+    workload: &[QuerySpec],
+    cfg: &ExperimentConfig,
+) -> Vec<SweepPoint> {
+    cfg.e_values
+        .iter()
+        .map(|&e| {
+            let engine_cfg = CompletionConfig {
+                e,
+                pruning: cfg.pruning,
+                excluded_classes: if cfg.exclude_hubs {
+                    gen.hubs.clone()
+                } else {
+                    Vec::new()
+                },
+                ..Default::default()
+            };
+            let engine = Completer::with_config(&gen.schema, engine_cfg);
+            let mut recall = 0.0;
+            let mut precision = 0.0;
+            let mut returned = 0usize;
+            let mut length_sum = 0usize;
+            for q in workload {
+                let out = engine
+                    .complete(&q.ast())
+                    .unwrap_or_default();
+                let texts: Vec<String> = out
+                    .iter()
+                    .map(|c| c.display(&gen.schema).to_string())
+                    .collect();
+                let pr = recall_precision(&q.intended, &texts);
+                recall += pr.recall;
+                precision += pr.precision;
+                returned += texts.len();
+                length_sum += out.iter().map(|c| c.len()).sum::<usize>();
+            }
+            let n = workload.len().max(1) as f64;
+            SweepPoint {
+                e,
+                avg_recall: recall / n,
+                avg_precision: precision / n,
+                avg_returned: returned as f64 / n,
+                avg_length: if returned == 0 {
+                    0.0
+                } else {
+                    length_sum as f64 / returned as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_gen::{generate_workload, GenConfig, WorkloadConfig};
+
+    /// A reduced CUPID (tests run in debug builds; the full-size runs live
+    /// in the release-mode experiment binaries).
+    fn small_cupid(seed: u64) -> ipe_gen::GeneratedSchema {
+        ipe_gen::generate_schema(&GenConfig {
+            classes: 36,
+            tree_roots: 2,
+            assoc_edges: 6,
+            hubs: 1,
+            hub_degree: 5,
+            seed,
+            ..GenConfig::default()
+        })
+    }
+
+    fn small_workload(gen: &ipe_gen::GeneratedSchema, seed: u64) -> Vec<ipe_gen::QuerySpec> {
+        generate_workload(
+            gen,
+            &WorkloadConfig {
+                queries: 6,
+                walk_len: (3, 8),
+                min_answer_len: 3,
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sweep_shapes_match_the_paper() {
+        let gen = small_cupid(3);
+        let workload = small_workload(&gen, 31);
+        let points = sweep(&gen, &workload, &ExperimentConfig::default());
+        assert_eq!(points.len(), 5);
+        // Precision at E=1 is perfect by the intent model; it must not
+        // increase as E grows.
+        assert!(points[0].avg_precision > 0.99);
+        for w in points.windows(2) {
+            assert!(w[1].avg_precision <= w[0].avg_precision + 1e-9);
+            assert!(w[1].avg_returned + 1e-9 >= w[0].avg_returned);
+            // Recall is flat: the unreachable intents stay unreachable.
+            assert!((w[1].avg_recall - w[0].avg_recall).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn excluding_hubs_cannot_hurt_precision_at_e1() {
+        let gen = small_cupid(4);
+        let workload = small_workload(&gen, 41);
+        let base = sweep(&gen, &workload, &ExperimentConfig::default());
+        let dk = sweep(
+            &gen,
+            &workload,
+            &ExperimentConfig {
+                exclude_hubs: true,
+                ..Default::default()
+            },
+        );
+        // With domain knowledge, fewer junk paths can enter at high E.
+        let last = base.len() - 1;
+        assert!(dk[last].avg_precision + 1e-9 >= base[last].avg_precision);
+    }
+}

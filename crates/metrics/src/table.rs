@@ -1,0 +1,71 @@
+//! Plain-text and CSV table rendering for experiment binaries.
+
+/// Renders an aligned plain-text table with a header row.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:<w$}", w = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as CSV (no quoting — callers control the content).
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["E", "recall"],
+            &[
+                vec!["1".into(), "0.90".into()],
+                vec!["10".into(), "0.90".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("E "));
+        assert!(lines[2].starts_with("1 "));
+        assert!(lines[3].starts_with("10"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let c = to_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(c, "a,b\n1,2\n");
+    }
+}

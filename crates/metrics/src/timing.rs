@@ -1,0 +1,87 @@
+//! Per-query response time and work measurements (Section 5.4).
+
+use ipe_core::{Completer, CompletionConfig};
+use ipe_gen::{GeneratedSchema, QuerySpec};
+use std::time::Instant;
+
+/// Measurements for one query.
+#[derive(Clone, Debug)]
+pub struct QueryTiming {
+    /// The incomplete expression.
+    pub expr: String,
+    /// Wall-clock time of the completion, in microseconds.
+    pub micros: u128,
+    /// Recursive `traverse` calls (the paper's per-call cost unit).
+    pub calls: u64,
+    /// Number of completions returned.
+    pub results: usize,
+    /// Candidate completions recorded during the search.
+    pub recorded: u64,
+}
+
+/// Runs every workload query once at the given `E` and measures it,
+/// returning the measurements sorted by increasing wall-clock time (the
+/// paper's Figure 7 sorts queries "in increasing processing complexity").
+pub fn time_queries(gen: &GeneratedSchema, workload: &[QuerySpec], e: usize) -> Vec<QueryTiming> {
+    let engine = Completer::with_config(&gen.schema, CompletionConfig::with_e(e));
+    let mut out: Vec<QueryTiming> = workload
+        .iter()
+        .map(|q| {
+            let start = Instant::now();
+            let outcome = engine.complete_with_stats(&q.ast());
+            let micros = start.elapsed().as_micros();
+            match outcome {
+                Ok(o) => QueryTiming {
+                    expr: q.expr.clone(),
+                    micros,
+                    calls: o.stats.calls,
+                    results: o.completions.len(),
+                    recorded: o.stats.completions_recorded,
+                },
+                Err(_) => QueryTiming {
+                    expr: q.expr.clone(),
+                    micros,
+                    calls: 0,
+                    results: 0,
+                    recorded: 0,
+                },
+            }
+        })
+        .collect();
+    out.sort_by_key(|t| t.micros);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_gen::{generate_workload, GenConfig, WorkloadConfig};
+
+    #[test]
+    fn timings_are_sorted_and_populated() {
+        let gen = ipe_gen::generate_schema(&GenConfig {
+            classes: 30,
+            tree_roots: 2,
+            assoc_edges: 5,
+            hubs: 1,
+            hub_degree: 4,
+            seed: 12,
+            ..GenConfig::default()
+        });
+        let workload = generate_workload(
+            &gen,
+            &WorkloadConfig {
+                queries: 4,
+                walk_len: (3, 8),
+                min_answer_len: 3,
+                ..Default::default()
+            },
+        );
+        let t = time_queries(&gen, &workload, 5);
+        assert_eq!(t.len(), workload.len());
+        for w in t.windows(2) {
+            assert!(w[0].micros <= w[1].micros);
+        }
+        assert!(t.iter().all(|q| q.calls > 0));
+    }
+}

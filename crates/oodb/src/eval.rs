@@ -1,0 +1,269 @@
+//! Evaluation of complete path expressions over a [`Database`].
+
+use crate::database::{Database, ObjectId};
+use crate::value::Value;
+use ipe_parser::{parse_path_expression, ParseError, PathExprAst, StepConnector};
+use ipe_schema::{ClassId, RelKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors raised by path expression evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// The expression did not parse.
+    Parse(ParseError),
+    /// The expression contains `~`; only complete expressions evaluate.
+    Incomplete,
+    /// The root is not a class.
+    UnknownRoot(String),
+    /// A primitive class cannot root a query.
+    PrimitiveRoot(String),
+    /// A step names a relationship the current class neither defines nor
+    /// inherits.
+    UnknownStep {
+        /// Class being stepped from.
+        class: String,
+        /// Missing relationship name.
+        name: String,
+    },
+    /// Multiple-inheritance conflict: the step resolves to several equally
+    /// near relationships and the user must disambiguate.
+    AmbiguousStep {
+        /// Class being stepped from.
+        class: String,
+        /// Relationship name.
+        name: String,
+    },
+    /// The step's connector does not match the relationship's kind.
+    KindMismatch {
+        /// Class being stepped from.
+        class: String,
+        /// Relationship name.
+        name: String,
+    },
+    /// A value-typed (attribute) step appears before the end of the path.
+    ValueMidPath {
+        /// The attribute name.
+        name: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Parse(e) => write!(f, "parse error: {e}"),
+            EvalError::Incomplete => {
+                f.write_str("incomplete path expressions must be completed before evaluation")
+            }
+            EvalError::UnknownRoot(n) => write!(f, "unknown root class `{n}`"),
+            EvalError::PrimitiveRoot(n) => write!(f, "primitive class `{n}` cannot be a root"),
+            EvalError::UnknownStep { class, name } => {
+                write!(f, "class `{class}` has no relationship `{name}` (even inherited)")
+            }
+            EvalError::AmbiguousStep { class, name } => write!(
+                f,
+                "`{class}.{name}` is ambiguous under multiple inheritance; spell out the Isa steps"
+            ),
+            EvalError::KindMismatch { class, name } => {
+                write!(f, "`{class}.{name}` exists but with a different connector kind")
+            }
+            EvalError::ValueMidPath { name } => {
+                write!(f, "attribute `{name}` yields values and must end the path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The result of evaluating a complete path expression: a set of objects,
+/// or a set of primitive values when the final step is an attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalOutput {
+    /// Objects reachable from the root extent.
+    Objects(BTreeSet<ObjectId>),
+    /// Primitive values reachable from the root extent.
+    Values(BTreeSet<Value>),
+}
+
+impl EvalOutput {
+    /// The objects, sorted (empty for value results).
+    pub fn objects(&self) -> Vec<ObjectId> {
+        match self {
+            EvalOutput::Objects(s) => s.iter().copied().collect(),
+            EvalOutput::Values(_) => Vec::new(),
+        }
+    }
+
+    /// The values, sorted (empty for object results).
+    pub fn values(&self) -> Vec<Value> {
+        match self {
+            EvalOutput::Values(s) => s.iter().cloned().collect(),
+            EvalOutput::Objects(_) => Vec::new(),
+        }
+    }
+
+    /// Number of results.
+    pub fn len(&self) -> usize {
+        match self {
+            EvalOutput::Objects(s) => s.len(),
+            EvalOutput::Values(s) => s.len(),
+        }
+    }
+
+    /// Whether the result set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Database<'_> {
+    /// Parses and evaluates a complete path expression.
+    pub fn eval_str(&self, source: &str) -> Result<EvalOutput, EvalError> {
+        let ast = parse_path_expression(source).map_err(EvalError::Parse)?;
+        self.eval(&ast)
+    }
+
+    /// Evaluates a complete path expression: starts from the extent of the
+    /// root class and follows each step, inheriting relationships from
+    /// superclasses where needed (an `Isa` step written explicitly is the
+    /// identity on objects).
+    pub fn eval(&self, ast: &PathExprAst) -> Result<EvalOutput, EvalError> {
+        if !ast.is_complete() {
+            return Err(EvalError::Incomplete);
+        }
+        let schema = self.schema();
+        let root = schema
+            .class_named(&ast.root)
+            .ok_or_else(|| EvalError::UnknownRoot(ast.root.clone()))?;
+        if schema.is_primitive(root) {
+            return Err(EvalError::PrimitiveRoot(ast.root.clone()));
+        }
+        let mut class: ClassId = root;
+        let mut objects: Vec<ObjectId> = self.extent(root);
+        for (i, step) in ast.steps.iter().enumerate() {
+            let name = schema.symbol(&step.name).ok_or_else(|| {
+                EvalError::UnknownStep {
+                    class: schema.class_name(class).to_owned(),
+                    name: step.name.clone(),
+                }
+            })?;
+            // Resolve under inheritance: nearest definition wins; ties are
+            // ambiguous.
+            let hits = schema.resolve_inherited(class, name);
+            let (_, rel) = match hits.len() {
+                0 => {
+                    return Err(EvalError::UnknownStep {
+                        class: schema.class_name(class).to_owned(),
+                        name: step.name.clone(),
+                    })
+                }
+                1 => hits.into_iter().next().expect("len checked"),
+                _ => {
+                    return Err(EvalError::AmbiguousStep {
+                        class: schema.class_name(class).to_owned(),
+                        name: step.name.clone(),
+                    })
+                }
+            };
+            if !connector_matches(step.connector, rel.kind) {
+                return Err(EvalError::KindMismatch {
+                    class: schema.class_name(class).to_owned(),
+                    name: step.name.clone(),
+                });
+            }
+            if schema.is_primitive(rel.target) {
+                if i + 1 != ast.steps.len() {
+                    return Err(EvalError::ValueMidPath {
+                        name: step.name.clone(),
+                    });
+                }
+                let mut out = BTreeSet::new();
+                for &o in &objects {
+                    out.extend(self.attr_values(rel.id, o).iter().cloned());
+                }
+                return Ok(EvalOutput::Values(out));
+            }
+            objects = self.step(rel.id, &objects);
+            class = rel.target;
+        }
+        Ok(EvalOutput::Objects(objects.into_iter().collect()))
+    }
+}
+
+fn connector_matches(written: StepConnector, kind: RelKind) -> bool {
+    matches!(
+        (written, kind),
+        (StepConnector::Isa, RelKind::Isa)
+            | (StepConnector::MayBe, RelKind::MayBe)
+            | (StepConnector::HasPart, RelKind::HasPart)
+            | (StepConnector::IsPartOf, RelKind::IsPartOf)
+            | (StepConnector::Assoc, RelKind::Assoc)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::university_db;
+
+    #[test]
+    fn evaluates_the_paper_examples() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        // Teachers of courses taken by students.
+        let teachers = db.eval_str("student.take.teacher").unwrap();
+        assert!(!teachers.is_empty());
+        // Soc-sec numbers of persons who are students.
+        let ssns = db.eval_str("student@>person.ssn").unwrap();
+        assert!(!ssns.is_empty());
+    }
+
+    #[test]
+    fn incomplete_expressions_are_rejected() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        assert_eq!(db.eval_str("ta~name").unwrap_err(), EvalError::Incomplete);
+    }
+
+    #[test]
+    fn unknown_root_is_reported() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        assert!(matches!(
+            db.eval_str("wizard.name"),
+            Err(EvalError::UnknownRoot(_))
+        ));
+    }
+
+    #[test]
+    fn attribute_must_be_final() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        assert!(matches!(
+            db.eval_str("person.name.take"),
+            Err(EvalError::ValueMidPath { .. })
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_is_detected() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        assert!(matches!(
+            db.eval_str("university.department"),
+            Err(EvalError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn inherited_attribute_evaluates_without_spelling_isa() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        // `ta.name` resolves through the unique inheritance path to person.
+        let explicit = db.eval_str("ta@>grad@>student@>person.name").unwrap();
+        let sugar = db.eval_str("ta.name").unwrap();
+        assert_eq!(explicit, sugar);
+        assert!(!sugar.is_empty());
+    }
+}

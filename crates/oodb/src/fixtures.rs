@@ -1,0 +1,146 @@
+//! A populated sample database over the university schema.
+
+use crate::database::Database;
+use crate::value::Value;
+use ipe_schema::{RelId, Schema};
+
+/// Looks up a relationship `class.name` (must exist in the fixture schema).
+fn rel(schema: &Schema, class: &str, name: &str) -> RelId {
+    let c = schema.class_named(class).expect("fixture class");
+    schema
+        .out_rel_named(c, schema.symbol(name).expect("fixture symbol"))
+        .expect("fixture relationship")
+        .id
+}
+
+/// Builds a small instance of [`ipe_schema::fixtures::university`]:
+///
+/// * one university (Wisconsin) with two departments (CS, Soil Science);
+/// * professors Yannis (CS) and John (Soil Science);
+/// * TA Alice (takes *Databases*, which Yannis teaches; her own section of
+///   *Intro* is taught by her);
+/// * undergrad Bob taking *Intro*.
+///
+/// The numbers are tiny but exercise every relationship kind, inclusion
+/// semantics (Alice the TA appears in the `person`, `student`, `employee`
+/// extents), and inverse maintenance.
+pub fn university_db<'s>(schema: &'s Schema) -> Database<'s> {
+    let mut db = Database::new(schema);
+    let class = |n: &str| schema.class_named(n).expect("fixture class");
+
+    let uni = db.add_object(class("university")).expect("add");
+    let cs = db.add_object(class("department")).expect("add");
+    let soil = db.add_object(class("department")).expect("add");
+    let yannis = db.add_object(class("professor")).expect("add");
+    let john = db.add_object(class("professor")).expect("add");
+    let alice = db.add_object(class("ta")).expect("add");
+    let bob = db.add_object(class("student")).expect("add");
+    let databases = db.add_object(class("course")).expect("add");
+    let intro = db.add_object(class("course")).expect("add");
+
+    // Structure.
+    let uni_dept = rel(schema, "university", "department");
+    db.link(uni_dept, uni, cs).expect("link");
+    db.link(uni_dept, uni, soil).expect("link");
+    let dept_prof = rel(schema, "department", "professor");
+    db.link(dept_prof, cs, yannis).expect("link");
+    db.link(dept_prof, soil, john).expect("link");
+
+    // Associations.
+    let take = rel(schema, "student", "take");
+    db.link(take, alice, databases).expect("link");
+    db.link(take, bob, intro).expect("link");
+    let teach = rel(schema, "teacher", "teach");
+    db.link(teach, yannis, databases).expect("link");
+    db.link(teach, alice, intro).expect("link");
+    let student_dept = rel(schema, "student", "department");
+    db.link(student_dept, alice, cs).expect("link");
+    db.link(student_dept, bob, soil).expect("link");
+
+    // Attributes.
+    let person_name = rel(schema, "person", "name");
+    db.set_attr(person_name, yannis, Value::text("Yannis")).expect("attr");
+    db.set_attr(person_name, john, Value::text("John")).expect("attr");
+    db.set_attr(person_name, alice, Value::text("Alice")).expect("attr");
+    db.set_attr(person_name, bob, Value::text("Bob")).expect("attr");
+    let ssn = rel(schema, "person", "ssn");
+    db.set_attr(ssn, alice, Value::text("111-22-3333")).expect("attr");
+    db.set_attr(ssn, bob, Value::text("444-55-6666")).expect("attr");
+    let course_name = rel(schema, "course", "name");
+    db.set_attr(course_name, databases, Value::text("Databases")).expect("attr");
+    db.set_attr(course_name, intro, Value::text("Intro")).expect("attr");
+    let dept_name = rel(schema, "department", "name");
+    db.set_attr(dept_name, cs, Value::text("CS")).expect("attr");
+    db.set_attr(dept_name, soil, Value::text("Soil Science")).expect("attr");
+    let uni_name = rel(schema, "university", "name");
+    db.set_attr(uni_name, uni, Value::text("Wisconsin")).expect("attr");
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_counts() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        assert_eq!(db.object_count(), 9);
+        let person = schema.class_named("person").unwrap();
+        // yannis, john, alice, bob.
+        assert_eq!(db.extent(person).len(), 4);
+        let employee = schema.class_named("employee").unwrap();
+        // professors + alice (a TA is an instructor is a teacher is an
+        // employee).
+        assert_eq!(db.extent(employee).len(), 3);
+    }
+
+    #[test]
+    fn end_to_end_names_of_tas() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        let out = db.eval_str("ta@>grad@>student@>person.name").unwrap();
+        assert_eq!(out.values(), vec![Value::text("Alice")]);
+        // The other optimal completion of `ta ~ name` agrees.
+        let out2 = db
+            .eval_str("ta@>instructor@>teacher@>employee@>person.name")
+            .unwrap();
+        assert_eq!(out, out2);
+    }
+
+    #[test]
+    fn implausible_completions_give_different_answers() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        // "names of courses taken by TAs" — the implausible reading the
+        // paper lists — yields course names, not people.
+        let out = db.eval_str("ta@>grad@>student.take.name").unwrap();
+        assert_eq!(out.values(), vec![Value::text("Databases")]);
+    }
+
+    #[test]
+    fn intro_example_courses_of_departments() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        // Courses taught by faculty of departments.
+        let faculty_courses = db
+            .eval_str("department$>professor@>teacher.teach")
+            .unwrap();
+        // Yannis teaches Databases; John teaches nothing.
+        assert_eq!(faculty_courses.objects().len(), 1);
+        // Courses taken by students of departments.
+        let student_courses = db.eval_str("department.student.take").unwrap();
+        assert_eq!(student_courses.objects().len(), 2);
+    }
+
+    #[test]
+    fn inverse_traversal_works() {
+        let schema = ipe_schema::fixtures::university();
+        let db = university_db(&schema);
+        // department <$ university: which university each department is
+        // part of — via the auto-maintained inverse.
+        let out = db.eval_str("department<$university.name").unwrap();
+        assert_eq!(out.values(), vec![Value::text("Wisconsin")]);
+    }
+}

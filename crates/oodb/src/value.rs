@@ -1,0 +1,134 @@
+//! Primitive values (instances of the system classes `I`, `R`, `C`, `B`).
+
+use ipe_schema::Primitive;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A primitive value. `Real` values compare by total order
+/// ([`f64::total_cmp`]) so values can live in ordered sets; NaN is rejected
+/// at construction.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// An instance of `I`.
+    Int(i64),
+    /// An instance of `R` (never NaN).
+    Real(f64),
+    /// An instance of `C`.
+    Text(String),
+    /// An instance of `B`.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: &str) -> Value {
+        Value::Text(s.to_owned())
+    }
+
+    /// Builds a real value, rejecting NaN.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN input.
+    pub fn real(x: f64) -> Value {
+        assert!(!x.is_nan(), "NaN is not a database value");
+        Value::Real(x)
+    }
+
+    /// The primitive class this value belongs to.
+    pub fn primitive(&self) -> Primitive {
+        match self {
+            Value::Int(_) => Primitive::Integer,
+            Value::Real(_) => Primitive::Real,
+            Value::Text(_) => Primitive::Text,
+            Value::Bool(_) => Primitive::Boolean,
+        }
+    }
+
+    fn discriminant(&self) -> u8 {
+        match self {
+            Value::Int(_) => 0,
+            Value::Real(_) => 1,
+            Value::Text(_) => 2,
+            Value::Bool(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Real(a), Value::Real(b)) => a.total_cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.discriminant().cmp(&other.discriminant()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Text(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let vals = vec![
+            Value::Int(3),
+            Value::real(1.5),
+            Value::text("abc"),
+            Value::Bool(true),
+        ];
+        for a in &vals {
+            for b in &vals {
+                // cmp never panics and is antisymmetric
+                assert_eq!(a.cmp(b), b.cmp(a).reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn equal_reals_compare_equal() {
+        assert_eq!(Value::real(2.0), Value::real(2.0));
+        assert_ne!(Value::real(2.0), Value::real(2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        Value::real(f64::NAN);
+    }
+
+    #[test]
+    fn primitive_classification() {
+        assert_eq!(Value::Int(1).primitive(), Primitive::Integer);
+        assert_eq!(Value::text("x").primitive(), Primitive::Text);
+        assert_eq!(Value::Bool(false).primitive(), Primitive::Boolean);
+        assert_eq!(Value::real(0.0).primitive(), Primitive::Real);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the object store and evaluator over randomly
+//! populated databases.
+
+use ipe_oodb::gendata::{populate, DataConfig};
+use ipe_oodb::{Database, EvalOutput};
+use ipe_schema::{fixtures, RelKind, Schema};
+use proptest::prelude::*;
+
+fn db_for(seed: u64) -> (Schema, DataConfig) {
+    (
+        fixtures::university(),
+        DataConfig {
+            objects_per_class: 3,
+            links_per_rel: 5,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Inverse integrity: whenever `a -r-> b` is stored, `b -r⁻¹-> a` is
+    /// stored too.
+    #[test]
+    fn inverses_are_mutual(seed in 1u64..500) {
+        let (schema, cfg) = db_for(seed);
+        let db = populate(&schema, &cfg);
+        for r in schema.rels() {
+            let rel = schema.rel(r);
+            let Some(inv) = rel.inverse else { continue };
+            for o in db.extent(rel.source) {
+                for &t in db.linked(r, o) {
+                    prop_assert!(
+                        db.linked(inv, t).contains(&o),
+                        "{} link {:?}->{:?} missing inverse",
+                        schema.rel_name(r), o, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// An explicit Isa step is the identity on any subclass extent, and
+    /// May-Be then Isa returns a subset of the original set.
+    #[test]
+    fn isa_identity_and_maybe_projection(seed in 1u64..500) {
+        let (schema, cfg) = db_for(seed);
+        let db = populate(&schema, &cfg);
+        let up = db.eval_str("student@>person").unwrap();
+        let student = schema.class_named("student").unwrap();
+        prop_assert_eq!(
+            up.objects(),
+            db.extent(student)
+        );
+        // person <@ student ⊆ person extent, and all are students.
+        let down = db.eval_str("person<@student").unwrap();
+        for o in down.objects() {
+            prop_assert!(db.is_instance(o, student).unwrap());
+        }
+    }
+
+    /// Evaluating a relationship then its inverse returns a superset of
+    /// the objects that had any link (round trip through inverses).
+    #[test]
+    fn forward_then_inverse_recovers_sources(seed in 1u64..500) {
+        let (schema, cfg) = db_for(seed);
+        let db = populate(&schema, &cfg);
+        let student = schema.class_named("student").unwrap();
+        let take = schema
+            .out_rel_named(student, schema.symbol("take").unwrap())
+            .unwrap();
+        let linked_students: Vec<_> = db
+            .extent(student)
+            .into_iter()
+            .filter(|&s| !db.linked(take.id, s).is_empty())
+            .collect();
+        let round = db.eval_str("student.take.student").unwrap();
+        for s in &linked_students {
+            prop_assert!(round.objects().contains(s));
+        }
+    }
+
+    /// Longer paths only ever shrink or keep the reachable set when a step
+    /// is a May-Be filter.
+    #[test]
+    fn maybe_filters_shrink(seed in 1u64..200) {
+        let (schema, cfg) = db_for(seed);
+        let db = populate(&schema, &cfg);
+        let all_persons = db.eval_str("person").unwrap();
+        let students = db.eval_str("person<@student").unwrap();
+        prop_assert!(students.len() <= all_persons.len());
+    }
+}
+
+#[test]
+fn empty_database_evaluates_to_empty_sets() {
+    let schema = fixtures::university();
+    let db = Database::new(&schema);
+    let out = db.eval_str("student.take.teacher").unwrap();
+    assert!(out.is_empty());
+    match out {
+        EvalOutput::Objects(s) => assert!(s.is_empty()),
+        EvalOutput::Values(_) => panic!("object query"),
+    }
+}
+
+#[test]
+fn every_stored_kind_appears_in_random_data() {
+    let schema = fixtures::university();
+    let db = populate(&schema, &DataConfig::default());
+    let mut kinds_with_instances = std::collections::HashSet::new();
+    for r in schema.rels() {
+        let rel = schema.rel(r);
+        if matches!(rel.kind, RelKind::Isa | RelKind::MayBe) {
+            continue;
+        }
+        for o in db.extent(rel.source) {
+            if !db.linked(r, o).is_empty() || !db.attr_values(r, o).is_empty() {
+                kinds_with_instances.insert(rel.kind);
+            }
+        }
+    }
+    assert!(kinds_with_instances.contains(&RelKind::HasPart));
+    assert!(kinds_with_instances.contains(&RelKind::IsPartOf));
+    assert!(kinds_with_instances.contains(&RelKind::Assoc));
+}

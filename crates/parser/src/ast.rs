@@ -1,0 +1,141 @@
+//! Abstract syntax of (in)complete path expressions.
+
+use std::fmt;
+
+/// A connector as written in a path expression step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StepConnector {
+    /// `@>` — traverse one `Isa` relationship.
+    Isa,
+    /// `<@` — traverse one `May-Be` relationship.
+    MayBe,
+    /// `$>` — traverse one `Has-Part` relationship.
+    HasPart,
+    /// `<$` — traverse one `Is-Part-Of` relationship.
+    IsPartOf,
+    /// `.` — traverse one `Is-Associated-With` relationship.
+    Assoc,
+    /// `~` — traverse an arbitrary acyclic path ending in the named
+    /// relationship; makes the expression *incomplete*.
+    Tilde,
+}
+
+impl StepConnector {
+    /// The connector's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            StepConnector::Isa => "@>",
+            StepConnector::MayBe => "<@",
+            StepConnector::HasPart => "$>",
+            StepConnector::IsPartOf => "<$",
+            StepConnector::Assoc => ".",
+            StepConnector::Tilde => "~",
+        }
+    }
+}
+
+impl fmt::Display for StepConnector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// One `connector name` step of a path expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// The connector preceding the name.
+    pub connector: StepConnector,
+    /// The relationship name the step traverses (for `~`, the name the
+    /// completed path must *end* with).
+    pub name: String,
+}
+
+/// A parsed path expression: a root class name followed by steps.
+///
+/// The expression is *complete* when no step uses `~` and *incomplete*
+/// otherwise (Section 2.2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathExprAst {
+    /// The path expression root (a class name; never a primitive class in
+    /// valid queries).
+    pub root: String,
+    /// The steps, in order.
+    pub steps: Vec<Step>,
+}
+
+impl PathExprAst {
+    /// Whether the expression has no `~` connector.
+    pub fn is_complete(&self) -> bool {
+        self.tilde_count() == 0
+    }
+
+    /// How many `~` connectors appear.
+    pub fn tilde_count(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| s.connector == StepConnector::Tilde)
+            .count()
+    }
+
+    /// Convenience constructor for the common `root ~ name` form
+    /// (the single-`~` expressions the paper's exposition focuses on).
+    pub fn incomplete(root: &str, name: &str) -> PathExprAst {
+        PathExprAst {
+            root: root.to_owned(),
+            steps: vec![Step {
+                connector: StepConnector::Tilde,
+                name: name.to_owned(),
+            }],
+        }
+    }
+}
+
+impl fmt::Display for PathExprAst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.root)?;
+        for s in &self.steps {
+            write!(f, "{}{}", s.connector, s.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_connector_symbols() {
+        let e = PathExprAst {
+            root: "ta".into(),
+            steps: vec![
+                Step {
+                    connector: StepConnector::Isa,
+                    name: "grad".into(),
+                },
+                Step {
+                    connector: StepConnector::Assoc,
+                    name: "take".into(),
+                },
+            ],
+        };
+        assert_eq!(e.to_string(), "ta@>grad.take");
+    }
+
+    #[test]
+    fn incomplete_helper() {
+        let e = PathExprAst::incomplete("ta", "name");
+        assert_eq!(e.to_string(), "ta~name");
+        assert!(!e.is_complete());
+        assert_eq!(e.tilde_count(), 1);
+    }
+
+    #[test]
+    fn complete_detection() {
+        let e = PathExprAst {
+            root: "a".into(),
+            steps: vec![],
+        };
+        assert!(e.is_complete());
+    }
+}

@@ -1,0 +1,63 @@
+//! Parse errors with source positions.
+
+use crate::lexer::TokenKind;
+use std::fmt;
+
+/// Errors produced while lexing or parsing a path expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// A character that belongs to no token.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// Its byte offset.
+        at: usize,
+    },
+    /// The input was empty (a path expression needs at least a root).
+    Empty,
+    /// The expression must begin with a class name.
+    ExpectedRoot {
+        /// What was found instead, if anything.
+        found: Option<TokenKind>,
+    },
+    /// A connector must be followed by a relationship name.
+    ExpectedName {
+        /// The connector missing its name.
+        after: TokenKind,
+        /// Byte offset of the connector.
+        at: usize,
+    },
+    /// Two names in a row (a connector is missing), or a name where a
+    /// connector was expected.
+    ExpectedConnector {
+        /// The unexpected token.
+        found: TokenKind,
+        /// Its byte offset.
+        at: usize,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedChar { ch, at } => {
+                write!(f, "unexpected character `{ch}` at byte {at}")
+            }
+            ParseError::Empty => f.write_str("empty path expression"),
+            ParseError::ExpectedRoot { found: None } => {
+                f.write_str("expected a root class name")
+            }
+            ParseError::ExpectedRoot { found: Some(t) } => {
+                write!(f, "expected a root class name, found {t}")
+            }
+            ParseError::ExpectedName { after, at } => {
+                write!(f, "expected a relationship name after {after} at byte {at}")
+            }
+            ParseError::ExpectedConnector { found, at } => {
+                write!(f, "expected a connector, found {found} at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,230 @@
+//! Tokenization of path expression text.
+
+use crate::error::ParseError;
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// The slice of `source` this span covers.
+    pub fn slice<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Kinds of tokens in path expression text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A class or relationship name.
+    Ident(String),
+    /// `@>`.
+    Isa,
+    /// `<@`.
+    MayBe,
+    /// `$>`.
+    HasPart,
+    /// `<$`.
+    IsPartOf,
+    /// `.`.
+    Dot,
+    /// `~`.
+    Tilde,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Isa => f.write_str("`@>`"),
+            TokenKind::MayBe => f.write_str("`<@`"),
+            TokenKind::HasPart => f.write_str("`$>`"),
+            TokenKind::IsPartOf => f.write_str("`<$`"),
+            TokenKind::Dot => f.write_str("`.`"),
+            TokenKind::Tilde => f.write_str("`~`"),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+/// A whitespace-tolerant lexer over path expression text.
+pub struct Lexer<'s> {
+    source: &'s str,
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'s str) -> Self {
+        Lexer { source, pos: 0 }
+    }
+
+    /// Lexes the entire source into tokens.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            out.push(tok);
+        }
+        Ok(out)
+    }
+
+    fn rest(&self) -> &'s str {
+        &self.source[self.pos..]
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, ParseError> {
+        // Skip whitespace.
+        while self
+            .rest()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_whitespace())
+        {
+            self.pos += self.rest().chars().next().map_or(0, char::len_utf8);
+        }
+        let start = self.pos;
+        let rest = self.rest();
+        let Some(first) = rest.chars().next() else {
+            return Ok(None);
+        };
+        let kind = if rest.starts_with("@>") {
+            self.pos += 2;
+            TokenKind::Isa
+        } else if rest.starts_with("<@") {
+            self.pos += 2;
+            TokenKind::MayBe
+        } else if rest.starts_with("$>") {
+            self.pos += 2;
+            TokenKind::HasPart
+        } else if rest.starts_with("<$") {
+            self.pos += 2;
+            TokenKind::IsPartOf
+        } else if first == '.' {
+            self.pos += 1;
+            TokenKind::Dot
+        } else if first == '~' {
+            self.pos += 1;
+            TokenKind::Tilde
+        } else if first.is_ascii_alphabetic() || first == '_' {
+            let len = rest
+                .char_indices()
+                .find(|&(_, c)| !(c.is_ascii_alphanumeric() || c == '_' || c == '-'))
+                .map_or(rest.len(), |(i, _)| i);
+            self.pos += len;
+            TokenKind::Ident(rest[..len].to_owned())
+        } else {
+            return Err(ParseError::UnexpectedChar {
+                ch: first,
+                at: start,
+            });
+        };
+        Ok(Some(Token {
+            kind,
+            span: Span {
+                start,
+                end: self.pos,
+            },
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        Lexer::new(s)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_all_connectors() {
+        assert_eq!(
+            kinds("a@>b<@c$>d<$e.f~g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Isa,
+                TokenKind::Ident("b".into()),
+                TokenKind::MayBe,
+                TokenKind::Ident("c".into()),
+                TokenKind::HasPart,
+                TokenKind::Ident("d".into()),
+                TokenKind::IsPartOf,
+                TokenKind::Ident("e".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("f".into()),
+                TokenKind::Tilde,
+                TokenKind::Ident("g".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        assert_eq!(kinds("ta ~ name"), kinds("ta~name"));
+        assert_eq!(kinds("  a  .  b  "), kinds("a.b"));
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        assert_eq!(
+            kinds("teaching-asst@>grad"),
+            vec![
+                TokenKind::Ident("teaching-asst".into()),
+                TokenKind::Isa,
+                TokenKind::Ident("grad".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_may_contain_digits_and_underscores() {
+        assert_eq!(
+            kinds("layer_2 . x3"),
+            vec![
+                TokenKind::Ident("layer_2".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("x3".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = Lexer::new("a ? b").tokenize().unwrap_err();
+        assert!(matches!(err, ParseError::UnexpectedChar { ch: '?', at: 2 }));
+    }
+
+    #[test]
+    fn spans_point_into_source() {
+        let src = "ab @> cd";
+        let toks = Lexer::new(src).tokenize().unwrap();
+        assert_eq!(toks[0].span.slice(src), "ab");
+        assert_eq!(toks[1].span.slice(src), "@>");
+        assert_eq!(toks[2].span.slice(src), "cd");
+    }
+
+    #[test]
+    fn empty_input_lexes_to_nothing() {
+        assert!(kinds("").is_empty());
+        assert!(kinds("   ").is_empty());
+    }
+}

@@ -1,0 +1,41 @@
+//! Textual syntax for path expressions (Section 2.2 of the paper).
+//!
+//! A path expression starts at a class name (the *root*) and continues with
+//! `connector name` steps. The connectors are:
+//!
+//! | symbol | relationship kind        |
+//! |--------|--------------------------|
+//! | `@>`   | Isa                      |
+//! | `<@`   | May-Be                   |
+//! | `$>`   | Has-Part                 |
+//! | `<$`   | Is-Part-Of               |
+//! | `.`    | Is-Associated-With       |
+//! | `~`    | *incomplete*: any path   |
+//!
+//! A path expression containing at least one `~` is *incomplete*
+//! (Section 2.2.2); the completion engine in `ipe-core` replaces each `~`
+//! with a concrete acyclic path. Examples from the paper:
+//!
+//! ```
+//! use ipe_parser::parse_path_expression;
+//!
+//! let complete = parse_path_expression("ta@>grad@>student@>person.name").unwrap();
+//! assert!(complete.is_complete());
+//!
+//! let incomplete = parse_path_expression("ta ~ name").unwrap();
+//! assert!(!incomplete.is_complete());
+//! assert_eq!(incomplete.to_string(), "ta~name");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod lexer;
+mod parser;
+
+pub use ast::{PathExprAst, Step, StepConnector};
+pub use error::ParseError;
+pub use lexer::{Lexer, Span, Token, TokenKind};
+pub use parser::parse_path_expression;

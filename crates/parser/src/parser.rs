@@ -1,0 +1,162 @@
+//! Recursive-descent parser for path expressions.
+
+use crate::ast::{PathExprAst, Step, StepConnector};
+use crate::error::ParseError;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parses a textual path expression, complete or incomplete.
+///
+/// ```
+/// use ipe_parser::{parse_path_expression, StepConnector};
+///
+/// let e = parse_path_expression("department.student@>person.name").unwrap();
+/// assert_eq!(e.root, "department");
+/// assert_eq!(e.steps.len(), 3);
+/// assert_eq!(e.steps[1].connector, StepConnector::Isa);
+/// ```
+pub fn parse_path_expression(source: &str) -> Result<PathExprAst, ParseError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    let mut it = tokens.into_iter().peekable();
+
+    let root = match it.next() {
+        None => return Err(ParseError::Empty),
+        Some(Token {
+            kind: TokenKind::Ident(name),
+            ..
+        }) => name,
+        Some(t) => {
+            return Err(ParseError::ExpectedRoot {
+                found: Some(t.kind),
+            })
+        }
+    };
+
+    let mut steps = Vec::new();
+    while let Some(tok) = it.next() {
+        let connector = match tok.kind {
+            TokenKind::Isa => StepConnector::Isa,
+            TokenKind::MayBe => StepConnector::MayBe,
+            TokenKind::HasPart => StepConnector::HasPart,
+            TokenKind::IsPartOf => StepConnector::IsPartOf,
+            TokenKind::Dot => StepConnector::Assoc,
+            TokenKind::Tilde => StepConnector::Tilde,
+            TokenKind::Ident(_) => {
+                return Err(ParseError::ExpectedConnector {
+                    found: tok.kind,
+                    at: tok.span.start,
+                })
+            }
+        };
+        match it.next() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => steps.push(Step { connector, name }),
+            _ => {
+                return Err(ParseError::ExpectedName {
+                    after: tok.kind,
+                    at: tok.span.start,
+                })
+            }
+        }
+    }
+    Ok(PathExprAst { root, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_examples() {
+        for src in [
+            "student.take.teacher",
+            "student@>person.ssn",
+            "department.student@>person.name",
+            "ta@>grad@>student@>person.name",
+            "ta@>instructor@>teacher@>employee@>person.name",
+            "ta~name",
+            "teacher.teach.student.department$>professor",
+            "stuff@>employee<@teacher<@instructor<@teaching-asst@>grad@>student",
+        ] {
+            let e = parse_path_expression(src).unwrap_or_else(|err| {
+                panic!("`{src}` should parse: {err}");
+            });
+            assert_eq!(e.to_string(), src, "round trip of `{src}`");
+        }
+    }
+
+    #[test]
+    fn parses_bare_root() {
+        let e = parse_path_expression("person").unwrap();
+        assert_eq!(e.root, "person");
+        assert!(e.steps.is_empty());
+        assert!(e.is_complete());
+    }
+
+    #[test]
+    fn parses_multi_tilde() {
+        let e = parse_path_expression("university~course~name").unwrap();
+        assert_eq!(e.tilde_count(), 2);
+        assert_eq!(e.steps[0].name, "course");
+        assert_eq!(e.steps[1].name, "name");
+    }
+
+    #[test]
+    fn mixed_explicit_and_tilde() {
+        let e = parse_path_expression("department$>professor~name").unwrap();
+        assert_eq!(e.steps.len(), 2);
+        assert_eq!(e.steps[0].connector, StepConnector::HasPart);
+        assert_eq!(e.steps[1].connector, StepConnector::Tilde);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(parse_path_expression(""), Err(ParseError::Empty));
+        assert_eq!(parse_path_expression("  "), Err(ParseError::Empty));
+    }
+
+    #[test]
+    fn rejects_leading_connector() {
+        assert!(matches!(
+            parse_path_expression("~name"),
+            Err(ParseError::ExpectedRoot { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_connector() {
+        assert!(matches!(
+            parse_path_expression("a.b."),
+            Err(ParseError::ExpectedName { .. })
+        ));
+        assert!(matches!(
+            parse_path_expression("a~"),
+            Err(ParseError::ExpectedName { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_adjacent_names() {
+        assert!(matches!(
+            parse_path_expression("a b"),
+            Err(ParseError::ExpectedConnector { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_double_connector() {
+        assert!(matches!(
+            parse_path_expression("a..b"),
+            Err(ParseError::ExpectedName { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match parse_path_expression("abc.?") {
+            Err(ParseError::UnexpectedChar { ch: '?', at: 4 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Fuzz-style robustness tests: the parser must never panic, and must be
+//! total over arbitrary input.
+
+use ipe_parser::{parse_path_expression, Lexer, ParseError};
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary unicode input never panics the lexer or parser.
+    #[test]
+    fn parser_is_total(input in "\\PC*") {
+        let _ = parse_path_expression(&input);
+    }
+
+    /// Arbitrary ASCII soups of connector fragments never panic.
+    #[test]
+    fn connector_soup_is_total(input in "[a-z@><$~. _-]{0,40}") {
+        let _ = parse_path_expression(&input);
+        let _ = Lexer::new(&input).tokenize();
+    }
+
+    /// Valid expressions round-trip: parse → print → parse is the identity.
+    #[test]
+    fn valid_expressions_round_trip(
+        root in "[a-z][a-z0-9]{0,6}",
+        names in proptest::collection::vec(("[a-z][a-z0-9]{0,6}", 0usize..6), 0..8),
+    ) {
+        let connectors = ["@>", "<@", "$>", "<$", ".", "~"];
+        let mut text = root;
+        for (name, ci) in &names {
+            text.push_str(connectors[ci % connectors.len()]);
+            text.push_str(name);
+        }
+        let ast = parse_path_expression(&text).unwrap();
+        prop_assert_eq!(ast.to_string(), text);
+    }
+
+    /// Whitespace between tokens never changes the parse.
+    #[test]
+    fn whitespace_insensitive(
+        root in "[a-z][a-z0-9]{0,5}",
+        name in "[a-z][a-z0-9]{0,5}",
+        pad in "[ \\t]{0,4}",
+    ) {
+        let tight = format!("{root}~{name}");
+        let loose = format!("{pad}{root}{pad}~{pad}{name}{pad}");
+        prop_assert_eq!(
+            parse_path_expression(&tight).unwrap(),
+            parse_path_expression(&loose).unwrap()
+        );
+    }
+}
+
+#[test]
+fn error_positions_are_within_input() {
+    for input in ["a.?", "~x", "a..b", "a b", "", "a$", "a<", "@>x", "a.b~"] {
+        match parse_path_expression(input) {
+            Ok(_) => {}
+            Err(ParseError::UnexpectedChar { at, .. })
+            | Err(ParseError::ExpectedName { at, .. })
+            | Err(ParseError::ExpectedConnector { at, .. }) => {
+                assert!(at <= input.len(), "position {at} out of `{input}`");
+            }
+            Err(ParseError::Empty) | Err(ParseError::ExpectedRoot { .. }) => {}
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Descriptive analysis of a schema: the quantities that determine how
+//! hard disambiguation is (name ambiguity, inheritance depth, part-whole
+//! depth, degree distribution).
+
+use crate::schema::Schema;
+use ipe_algebra::moose::RelKind;
+use std::collections::HashMap;
+
+/// Summary statistics of a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaReport {
+    /// Total classes (including primitives).
+    pub classes: usize,
+    /// User-defined classes.
+    pub user_classes: usize,
+    /// Total relationships (inverses counted).
+    pub relationships: usize,
+    /// Relationship count per kind.
+    pub by_kind: Vec<(RelKind, usize)>,
+    /// Maximum `Isa` depth (longest chain of ancestors).
+    pub max_isa_depth: usize,
+    /// Maximum out-degree over classes.
+    pub max_out_degree: usize,
+    /// Number of distinct relationship names.
+    pub distinct_names: usize,
+    /// Names carried by more than one relationship, with their counts,
+    /// most ambiguous first. These are the interesting completion targets.
+    pub ambiguous_names: Vec<(String, usize)>,
+}
+
+/// Computes a [`SchemaReport`].
+pub fn analyze(schema: &Schema) -> SchemaReport {
+    let mut by_kind: Vec<(RelKind, usize)> = RelKind::ALL
+        .into_iter()
+        .map(|k| (k, 0usize))
+        .collect();
+    let mut names: HashMap<String, usize> = HashMap::new();
+    for r in schema.rels() {
+        let rel = schema.rel(r);
+        if let Some(e) = by_kind.iter_mut().find(|(k, _)| *k == rel.kind) {
+            e.1 += 1;
+        }
+        *names.entry(schema.name(rel.name).to_owned()).or_default() += 1;
+    }
+    let max_isa_depth = schema
+        .classes()
+        .map(|c| isa_depth(schema, c))
+        .max()
+        .unwrap_or(0);
+    let max_out_degree = schema
+        .classes()
+        .map(|c| schema.out_rels(c).count())
+        .max()
+        .unwrap_or(0);
+    let mut ambiguous_names: Vec<(String, usize)> = names
+        .iter()
+        .filter(|(_, &n)| n > 1)
+        .map(|(s, &n)| (s.clone(), n))
+        .collect();
+    ambiguous_names.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    SchemaReport {
+        classes: schema.class_count(),
+        user_classes: schema.user_class_count(),
+        relationships: schema.rel_count(),
+        by_kind,
+        max_isa_depth,
+        max_out_degree,
+        distinct_names: names.len(),
+        ambiguous_names,
+    }
+}
+
+/// Length of the longest `Isa` ancestor chain starting at `class`.
+fn isa_depth(schema: &Schema, class: crate::ClassId) -> usize {
+    // The Isa graph is a validated DAG, so plain recursion terminates;
+    // memoization is unnecessary at schema sizes (≤ thousands).
+    schema
+        .isa_parents(class)
+        .map(|(_, p)| 1 + isa_depth(schema, p))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn university_report() {
+        let s = fixtures::university();
+        let r = analyze(&s);
+        assert_eq!(r.user_classes, 12);
+        assert_eq!(r.relationships, 33);
+        // ta -> grad -> student -> person is 3 Isa hops; via teacher 4.
+        assert_eq!(r.max_isa_depth, 4);
+        // `name` is the most ambiguous relationship name (4 carriers).
+        assert_eq!(r.ambiguous_names.first().map(|(n, c)| (n.as_str(), *c)), Some(("name", 4)));
+        let isa_count = r
+            .by_kind
+            .iter()
+            .find(|(k, _)| *k == RelKind::Isa)
+            .unwrap()
+            .1;
+        assert_eq!(isa_count, 9);
+        assert!(r.max_out_degree >= 4);
+    }
+
+    #[test]
+    fn kind_counts_sum_to_total() {
+        let s = fixtures::assembly();
+        let r = analyze(&s);
+        let sum: usize = r.by_kind.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, r.relationships);
+    }
+
+    #[test]
+    fn unambiguous_schema_has_empty_ambiguity_list() {
+        use crate::{Primitive, SchemaBuilder};
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        b.attr(a, "unique", Primitive::Integer).unwrap();
+        let s = b.build().unwrap();
+        let r = analyze(&s);
+        assert!(r.ambiguous_names.is_empty());
+        assert_eq!(r.distinct_names, 1);
+    }
+}

@@ -1,0 +1,516 @@
+//! Mutable schema construction with validation.
+
+use crate::interner::{Interner, Symbol};
+use crate::model::{ClassId, ClassInfo, Primitive, RelId, RelInfo};
+use crate::schema::Schema;
+use ipe_algebra::moose::RelKind;
+use ipe_graph::{topo_sort_filtered, DiGraph};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors detected while building (or deserializing) a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A class with this name already exists.
+    DuplicateClass(String),
+    /// Two outgoing relationships of the same class share a name, which
+    /// would make explicit path expressions ambiguous.
+    DuplicateRelName {
+        /// The source class name.
+        class: String,
+        /// The clashing relationship name.
+        rel: String,
+    },
+    /// The `Isa` relationships contain a cycle; inheritance must be a DAG.
+    IsaCycle {
+        /// A class on the cycle.
+        class: String,
+    },
+    /// An `Isa` relationship from a class to itself.
+    SelfIsa(String),
+    /// A primitive class was used as the source of a relationship.
+    PrimitiveSource {
+        /// The primitive class name.
+        class: String,
+    },
+    /// A relationship references a class id that does not exist (only
+    /// reachable through deserialization).
+    UnknownClass(usize),
+    /// Inverse metadata is inconsistent (only reachable through
+    /// deserialization).
+    BadInverse(String),
+    /// Malformed serialized document.
+    Format(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateClass(n) => write!(f, "duplicate class name `{n}`"),
+            SchemaError::DuplicateRelName { class, rel } => {
+                write!(f, "class `{class}` already has a relationship named `{rel}`")
+            }
+            SchemaError::IsaCycle { class } => {
+                write!(f, "Isa relationships form a cycle through `{class}`")
+            }
+            SchemaError::SelfIsa(n) => write!(f, "class `{n}` cannot be Isa itself"),
+            SchemaError::PrimitiveSource { class } => {
+                write!(f, "primitive class `{class}` cannot have outgoing relationships")
+            }
+            SchemaError::UnknownClass(i) => write!(f, "relationship references unknown class #{i}"),
+            SchemaError::BadInverse(m) => write!(f, "inconsistent inverse: {m}"),
+            SchemaError::Format(m) => write!(f, "malformed schema document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Incrementally builds a [`Schema`].
+///
+/// Every relationship added through [`rel`](SchemaBuilder::rel) (or the
+/// [`isa`](SchemaBuilder::isa)/[`has_part`](SchemaBuilder::has_part)/
+/// [`assoc`](SchemaBuilder::assoc) shorthands) automatically gets its
+/// inverse, per the paper's assumption that inverses are always present.
+/// Attributes ([`attr`](SchemaBuilder::attr)) target primitive classes and
+/// get no inverse.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    graph: DiGraph<ClassInfo, RelInfo>,
+    interner: Interner,
+    class_by_name: HashMap<Symbol, ClassId>,
+    primitives: HashMap<Primitive, ClassId>,
+}
+
+impl SchemaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a user-defined class.
+    pub fn class(&mut self, name: &str) -> Result<ClassId, SchemaError> {
+        let sym = self.interner.intern(name);
+        if self.class_by_name.contains_key(&sym) {
+            return Err(SchemaError::DuplicateClass(name.to_owned()));
+        }
+        let id = ClassId(self.graph.add_node(ClassInfo {
+            name: sym,
+            primitive: None,
+        }));
+        self.class_by_name.insert(sym, id);
+        Ok(id)
+    }
+
+    /// The class id of a primitive class, creating it on first use.
+    pub fn primitive(&mut self, p: Primitive) -> ClassId {
+        if let Some(&id) = self.primitives.get(&p) {
+            return id;
+        }
+        let sym = self.interner.intern(p.class_name());
+        let id = ClassId(self.graph.add_node(ClassInfo {
+            name: sym,
+            primitive: Some(p),
+        }));
+        self.class_by_name.insert(sym, id);
+        self.primitives.insert(p, id);
+        id
+    }
+
+    /// Looks up a class previously added by name.
+    pub fn class_named(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(&self.interner.get(name)?).copied()
+    }
+
+    /// Adds a relationship of `kind` from `source` to `target` together
+    /// with its inverse, using default names (the target class name for the
+    /// relationship, the source class name for the inverse).
+    ///
+    /// Returns `(relationship, inverse)`.
+    pub fn rel(
+        &mut self,
+        kind: RelKind,
+        source: ClassId,
+        target: ClassId,
+    ) -> Result<(RelId, RelId), SchemaError> {
+        let rel_name = self.class_name_of(target).to_owned();
+        let inv_name = self.class_name_of(source).to_owned();
+        self.rel_named(kind, source, target, &rel_name, &inv_name)
+    }
+
+    /// Adds a relationship with an explicit name (inverse gets the default
+    /// source-class name).
+    pub fn rel_with_name(
+        &mut self,
+        kind: RelKind,
+        source: ClassId,
+        target: ClassId,
+        name: &str,
+    ) -> Result<(RelId, RelId), SchemaError> {
+        let inv_name = self.class_name_of(source).to_owned();
+        self.rel_named(kind, source, target, name, &inv_name)
+    }
+
+    /// Adds a relationship and its inverse with explicit names for both.
+    pub fn rel_named(
+        &mut self,
+        kind: RelKind,
+        source: ClassId,
+        target: ClassId,
+        name: &str,
+        inverse_name: &str,
+    ) -> Result<(RelId, RelId), SchemaError> {
+        self.check_source(source)?;
+        self.check_source_allowing_primitive_target(kind, source, target)?;
+        self.check_fresh_rel_name(source, name)?;
+        self.check_fresh_rel_name(target, inverse_name)?;
+        let name = self.interner.intern(name);
+        let inverse_name = self.interner.intern(inverse_name);
+        let fwd = RelId(self.graph.add_edge(
+            source.0,
+            target.0,
+            RelInfo {
+                name,
+                kind,
+                inverse: None,
+            },
+        ));
+        let inv = RelId(self.graph.add_edge(
+            target.0,
+            source.0,
+            RelInfo {
+                name: inverse_name,
+                kind: kind.inverse(),
+                inverse: Some(fwd),
+            },
+        ));
+        self.graph.edge_weight_mut(fwd.0).inverse = Some(inv);
+        Ok((fwd, inv))
+    }
+
+    /// Adds a relationship **without** an inverse. Exposed for attribute
+    /// edges and for tests; general relationships should use [`rel`].
+    ///
+    /// [`rel`]: SchemaBuilder::rel
+    pub fn rel_one_way(
+        &mut self,
+        kind: RelKind,
+        source: ClassId,
+        target: ClassId,
+        name: &str,
+    ) -> Result<RelId, SchemaError> {
+        self.check_source(source)?;
+        self.check_source_allowing_primitive_target(kind, source, target)?;
+        self.check_fresh_rel_name(source, name)?;
+        let name = self.interner.intern(name);
+        Ok(RelId(self.graph.add_edge(
+            source.0,
+            target.0,
+            RelInfo {
+                name,
+                kind,
+                inverse: None,
+            },
+        )))
+    }
+
+    /// `sub @> sup` (plus the `May-Be` inverse), with default names.
+    pub fn isa(&mut self, sub: ClassId, sup: ClassId) -> Result<(RelId, RelId), SchemaError> {
+        if sub == sup {
+            return Err(SchemaError::SelfIsa(self.class_name_of(sub).to_owned()));
+        }
+        self.rel(RelKind::Isa, sub, sup)
+    }
+
+    /// `whole $> part` (plus the `Is-Part-Of` inverse), with default names.
+    pub fn has_part(
+        &mut self,
+        whole: ClassId,
+        part: ClassId,
+    ) -> Result<(RelId, RelId), SchemaError> {
+        self.rel(RelKind::HasPart, whole, part)
+    }
+
+    /// `a . b` association (plus inverse), with an explicit name for the
+    /// forward direction and the default name for the inverse.
+    pub fn assoc(
+        &mut self,
+        a: ClassId,
+        b: ClassId,
+        name: &str,
+    ) -> Result<(RelId, RelId), SchemaError> {
+        self.rel_with_name(RelKind::Assoc, a, b, name)
+    }
+
+    /// An attribute: an association from `class` to a primitive class,
+    /// without an inverse.
+    pub fn attr(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        ty: Primitive,
+    ) -> Result<RelId, SchemaError> {
+        let prim = self.primitive(ty);
+        self.rel_one_way(RelKind::Assoc, class, prim, name)
+    }
+
+    /// Validates and freezes the schema.
+    pub fn build(self) -> Result<Schema, SchemaError> {
+        // Isa edges must form a DAG.
+        if let Err(cycle) =
+            topo_sort_filtered(&self.graph, |_, e| e.weight.kind == RelKind::Isa)
+        {
+            return Err(SchemaError::IsaCycle {
+                class: self
+                    .interner
+                    .resolve(self.graph.node(cycle.node).name)
+                    .to_owned(),
+            });
+        }
+        let mut rels_by_name: HashMap<Symbol, Vec<RelId>> = HashMap::new();
+        for (eid, e) in self.graph.edges() {
+            rels_by_name.entry(e.weight.name).or_default().push(RelId(eid));
+        }
+        Ok(Schema {
+            graph: self.graph,
+            interner: self.interner,
+            class_by_name: self.class_by_name,
+            rels_by_name,
+            primitives: self.primitives,
+        })
+    }
+
+    fn class_name_of(&self, id: ClassId) -> &str {
+        self.interner.resolve(self.graph.node(id.0).name)
+    }
+
+    fn check_source(&self, source: ClassId) -> Result<(), SchemaError> {
+        if self.graph.node(source.0).primitive.is_some() {
+            return Err(SchemaError::PrimitiveSource {
+                class: self.class_name_of(source).to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_source_allowing_primitive_target(
+        &self,
+        _kind: RelKind,
+        _source: ClassId,
+        target: ClassId,
+    ) -> Result<(), SchemaError> {
+        // Relationships *into* primitives are allowed only without an
+        // inverse; `rel_named` would try to create one, so reject there.
+        // (`rel_one_way`/`attr` pass through.)
+        let _ = target;
+        Ok(())
+    }
+
+    fn check_fresh_rel_name(&self, source: ClassId, name: &str) -> Result<(), SchemaError> {
+        if let Some(sym) = self.interner.get(name) {
+            let clash = self
+                .graph
+                .out_edges(source.0)
+                .any(|(_, e)| e.weight.name == sym);
+            if clash {
+                return Err(SchemaError::DuplicateRelName {
+                    class: self.class_name_of(source).to_owned(),
+                    rel: name.to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_minimal_schema() {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("person").unwrap();
+        let student = b.class("student").unwrap();
+        b.isa(student, person).unwrap();
+        b.attr(person, "name", Primitive::Text).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.user_class_count(), 2);
+        // person, student, string primitive
+        assert_eq!(s.class_count(), 3);
+        // isa + inverse + attr
+        assert_eq!(s.rel_count(), 3);
+    }
+
+    #[test]
+    fn default_names_follow_the_paper() {
+        let mut b = SchemaBuilder::new();
+        let uni = b.class("university").unwrap();
+        let dept = b.class("department").unwrap();
+        b.has_part(uni, dept).unwrap();
+        let s = b.build().unwrap();
+        // Forward named after target, inverse named after source.
+        let fwd = s
+            .out_rel_named(uni, s.symbol("department").unwrap())
+            .expect("forward edge");
+        assert_eq!(fwd.kind, RelKind::HasPart);
+        let inv = s
+            .out_rel_named(dept, s.symbol("university").unwrap())
+            .expect("inverse edge");
+        assert_eq!(inv.kind, RelKind::IsPartOf);
+        assert_eq!(fwd.inverse, Some(inv.id));
+        assert_eq!(inv.inverse, Some(fwd.id));
+    }
+
+    #[test]
+    fn rejects_duplicate_class() {
+        let mut b = SchemaBuilder::new();
+        b.class("x").unwrap();
+        assert_eq!(
+            b.class("x"),
+            Err(SchemaError::DuplicateClass("x".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_rel_name_on_same_class() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        let x = b.class("x").unwrap();
+        let y = b.class("y").unwrap();
+        b.rel_with_name(RelKind::Assoc, a, x, "r").unwrap();
+        let err = b.rel_with_name(RelKind::Assoc, a, y, "r").unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateRelName { .. }));
+    }
+
+    #[test]
+    fn duplicate_inverse_name_is_rejected_too() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        let x = b.class("x").unwrap();
+        b.rel(RelKind::Assoc, a, x).unwrap(); // inverse on x named "a"
+        let err = b.rel(RelKind::HasPart, a, x).unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateRelName { .. }));
+    }
+
+    #[test]
+    fn rejects_isa_cycle() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        let c = b.class("c").unwrap();
+        b.isa(a, c).unwrap();
+        // Direct isa c -> a would clash on default names (a already has an
+        // inverse May-Be edge named "c"); use explicit names to build the
+        // cycle, which validation must still reject.
+        b.rel_named(RelKind::Isa, c, a, "a2", "c2").unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SchemaError::IsaCycle { .. }));
+    }
+
+    #[test]
+    fn rejects_self_isa() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        assert!(matches!(b.isa(a, a), Err(SchemaError::SelfIsa(_))));
+    }
+
+    #[test]
+    fn rejects_primitive_source() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        let p = b.primitive(Primitive::Integer);
+        let err = b.rel_with_name(RelKind::Assoc, p, a, "x").unwrap_err();
+        assert!(matches!(err, SchemaError::PrimitiveSource { .. }));
+    }
+
+    #[test]
+    fn attributes_have_no_inverse() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        let attr = b.attr(a, "size", Primitive::Integer).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.rel(attr).inverse, None);
+        let prim = s.primitive(Primitive::Integer).unwrap();
+        assert!(s.is_primitive(prim));
+        assert_eq!(s.out_rels(prim).count(), 0);
+    }
+
+    #[test]
+    fn ancestors_and_subclassing() {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("person").unwrap();
+        let student = b.class("student").unwrap();
+        let grad = b.class("grad").unwrap();
+        let employee = b.class("employee").unwrap();
+        b.isa(student, person).unwrap();
+        b.isa(grad, student).unwrap();
+        b.isa(employee, person).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.ancestors(grad), vec![student, person]);
+        assert!(s.is_subclass_of(grad, person));
+        assert!(s.is_subclass_of(grad, grad));
+        assert!(!s.is_subclass_of(person, grad));
+        assert!(!s.is_subclass_of(employee, student));
+    }
+
+    #[test]
+    fn resolve_inherited_finds_nearest_definition() {
+        let mut b = SchemaBuilder::new();
+        let person = b.class("person").unwrap();
+        let student = b.class("student").unwrap();
+        let grad = b.class("grad").unwrap();
+        b.isa(student, person).unwrap();
+        b.isa(grad, student).unwrap();
+        b.attr(person, "name", Primitive::Text).unwrap();
+        b.attr(student, "name2", Primitive::Text).unwrap();
+        let s = b.build().unwrap();
+        let name = s.symbol("name").unwrap();
+        let hits = s.resolve_inherited(grad, name);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.len(), 2, "climbed grad->student->person");
+        // A redefinition on student shadows person's for lookups of name2.
+        let name2 = s.symbol("name2").unwrap();
+        let hits2 = s.resolve_inherited(grad, name2);
+        assert_eq!(hits2.len(), 1);
+        assert_eq!(hits2[0].0.len(), 1);
+    }
+
+    #[test]
+    fn resolve_inherited_reports_diamond_conflicts() {
+        let mut b = SchemaBuilder::new();
+        let bottom = b.class("bottom").unwrap();
+        let left = b.class("left").unwrap();
+        let right = b.class("right").unwrap();
+        b.isa(bottom, left).unwrap();
+        b.isa(bottom, right).unwrap();
+        b.attr(left, "x", Primitive::Integer).unwrap();
+        b.attr(right, "x", Primitive::Integer).unwrap();
+        let s = b.build().unwrap();
+        let x = s.symbol("x").unwrap();
+        assert_eq!(s.resolve_inherited(bottom, x).len(), 2);
+    }
+
+    #[test]
+    fn resolve_inherited_missing_name() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        b.attr(a, "y", Primitive::Integer).unwrap();
+        let s = b.build().unwrap();
+        let y = s.symbol("y").unwrap();
+        let b2 = s.class_named("a").unwrap();
+        assert_eq!(s.resolve_inherited(b2, y).len(), 1);
+        // A symbol that names no relationship resolves to nothing.
+        assert!(s.resolve_inherited(b2, Symbol(999)).is_empty());
+    }
+
+    #[test]
+    fn rels_named_is_global() {
+        let mut b = SchemaBuilder::new();
+        let a = b.class("a").unwrap();
+        let c = b.class("c").unwrap();
+        b.attr(a, "name", Primitive::Text).unwrap();
+        b.attr(c, "name", Primitive::Text).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.rels_named(s.symbol("name").unwrap()).len(), 2);
+    }
+}

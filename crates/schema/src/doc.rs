@@ -1,0 +1,183 @@
+//! Serializable schema document.
+//!
+//! Schemas serialize to a plain, human-editable JSON form rather than to
+//! their in-memory representation; deserialization rebuilds the schema
+//! through [`SchemaBuilder`], so a hand-edited document is re-validated in
+//! full.
+
+use crate::builder::{SchemaBuilder, SchemaError};
+use crate::model::Primitive;
+use crate::schema::Schema;
+use ipe_algebra::moose::RelKind;
+use serde::{Deserialize, Serialize};
+
+/// One class in a [`SchemaDoc`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ClassDoc {
+    /// Class name.
+    pub name: String,
+    /// Primitive marker, absent for user-defined classes.
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub primitive: Option<Primitive>,
+}
+
+/// One relationship in a [`SchemaDoc`]. Inverse edges are not listed
+/// separately: each entry describes a forward relationship plus the name of
+/// its inverse (or no inverse, for attributes).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RelDoc {
+    /// Source class name.
+    pub source: String,
+    /// Target class name.
+    pub target: String,
+    /// Relationship kind.
+    pub kind: RelKind,
+    /// Relationship name.
+    pub name: String,
+    /// Inverse relationship name; `None` means no inverse (attribute).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub inverse_name: Option<String>,
+}
+
+/// The serializable form of a [`Schema`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq, Default)]
+pub struct SchemaDoc {
+    /// All classes (including primitives actually used).
+    pub classes: Vec<ClassDoc>,
+    /// Forward relationships (inverses are implied).
+    pub rels: Vec<RelDoc>,
+}
+
+impl SchemaDoc {
+    /// Extracts the document form of a schema.
+    pub fn from_schema(schema: &Schema) -> SchemaDoc {
+        let classes = schema
+            .classes()
+            .map(|c| ClassDoc {
+                name: schema.class_name(c).to_owned(),
+                primitive: schema.class(c).primitive,
+            })
+            .collect();
+        let mut rels = Vec::new();
+        let mut emitted = vec![false; schema.rel_count()];
+        for r in schema.rels() {
+            if emitted[r.index()] {
+                continue;
+            }
+            let rel = schema.rel(r);
+            emitted[r.index()] = true;
+            let inverse_name = rel.inverse.map(|inv| {
+                emitted[inv.index()] = true;
+                schema.rel_name(inv).to_owned()
+            });
+            rels.push(RelDoc {
+                source: schema.class_name(rel.source).to_owned(),
+                target: schema.class_name(rel.target).to_owned(),
+                kind: rel.kind,
+                name: schema.name(rel.name).to_owned(),
+                inverse_name,
+            });
+        }
+        SchemaDoc { classes, rels }
+    }
+
+    /// Rebuilds (and re-validates) a schema from the document.
+    pub fn into_schema(self) -> Result<Schema, SchemaError> {
+        let mut b = SchemaBuilder::new();
+        for c in &self.classes {
+            match c.primitive {
+                Some(p) => {
+                    b.primitive(p);
+                }
+                None => {
+                    b.class(&c.name)?;
+                }
+            }
+        }
+        for r in &self.rels {
+            let src = b
+                .class_named(&r.source)
+                .ok_or_else(|| SchemaError::Format(format!("unknown class `{}`", r.source)))?;
+            let tgt = b
+                .class_named(&r.target)
+                .ok_or_else(|| SchemaError::Format(format!("unknown class `{}`", r.target)))?;
+            match &r.inverse_name {
+                Some(inv) => {
+                    b.rel_named(r.kind, src, tgt, &r.name, inv)?;
+                }
+                None => {
+                    b.rel_one_way(r.kind, src, tgt, &r.name)?;
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let schema = fixtures::university();
+        let json = schema.to_json();
+        let back = Schema::from_json(&json).unwrap();
+        assert_eq!(schema.class_count(), back.class_count());
+        assert_eq!(schema.rel_count(), back.rel_count());
+        // Same classes by name.
+        for c in schema.classes() {
+            assert!(back.class_named(schema.class_name(c)).is_some());
+        }
+        // Same relationships by (source, name, kind, target).
+        for r in schema.rels() {
+            let rel = schema.rel(r);
+            let src = back.class_named(schema.class_name(rel.source)).unwrap();
+            let found = back
+                .out_rels(src)
+                .find(|r2| back.name(r2.name) == schema.name(rel.name))
+                .expect("relationship survived round trip");
+            assert_eq!(found.kind, rel.kind);
+            assert_eq!(
+                back.class_name(found.target),
+                schema.class_name(rel.target)
+            );
+        }
+    }
+
+    #[test]
+    fn document_lists_each_inverse_pair_once() {
+        let schema = fixtures::university();
+        let doc = SchemaDoc::from_schema(&schema);
+        let with_inverse = doc.rels.iter().filter(|r| r.inverse_name.is_some()).count();
+        let without = doc.rels.iter().filter(|r| r.inverse_name.is_none()).count();
+        assert_eq!(with_inverse * 2 + without, schema.rel_count());
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        assert!(matches!(
+            Schema::from_json("{ not json"),
+            Err(SchemaError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_class_reference_is_reported() {
+        let doc = SchemaDoc {
+            classes: vec![ClassDoc {
+                name: "a".into(),
+                primitive: None,
+            }],
+            rels: vec![RelDoc {
+                source: "a".into(),
+                target: "ghost".into(),
+                kind: RelKind::Assoc,
+                name: "x".into(),
+                inverse_name: None,
+            }],
+        };
+        assert!(doc.into_schema().is_err());
+    }
+}

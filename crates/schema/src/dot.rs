@@ -1,0 +1,144 @@
+//! Graphviz DOT export of schemas.
+//!
+//! The paper assumes users look at schema diagrams (Figure 2 is one); this
+//! module renders any [`Schema`] in the same visual vocabulary: rectangles
+//! for user classes, circles for primitive classes, one arrow per forward
+//! relationship labelled with its connector symbol and name (inverses are
+//! implied, as in the paper's figures).
+
+use crate::model::RelId;
+use crate::schema::Schema;
+use ipe_algebra::moose::RelKind;
+use std::fmt::Write as _;
+
+/// Options for [`to_dot`].
+#[derive(Clone, Copy, Debug)]
+pub struct DotOptions {
+    /// Render inverse relationships too (the paper's figures omit them).
+    pub show_inverses: bool,
+    /// Render attribute edges into primitive classes.
+    pub show_attributes: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            show_inverses: false,
+            show_attributes: true,
+        }
+    }
+}
+
+/// Renders the schema as a Graphviz `digraph`.
+pub fn to_dot(schema: &Schema, options: &DotOptions) -> String {
+    let mut out = String::from("digraph schema {\n  rankdir=BT;\n  node [fontsize=10];\n");
+    for class in schema.classes() {
+        let shape = if schema.is_primitive(class) {
+            "circle"
+        } else {
+            "box"
+        };
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape={shape}];",
+            class.index(),
+            schema.class_name(class)
+        );
+    }
+    // Determine which edge of each inverse pair is the "forward" one: the
+    // one with the lower id (inverses are always created right after their
+    // forward edge).
+    let is_forward = |r: RelId| -> bool {
+        match schema.rel(r).inverse {
+            Some(inv) => r.index() < inv.index(),
+            None => true,
+        }
+    };
+    for r in schema.rels() {
+        let rel = schema.rel(r);
+        if !options.show_inverses && !is_forward(r) {
+            continue;
+        }
+        if !options.show_attributes && schema.is_primitive(rel.target) {
+            continue;
+        }
+        let style = match rel.kind {
+            RelKind::Isa | RelKind::MayBe => "solid",
+            RelKind::HasPart | RelKind::IsPartOf => "bold",
+            RelKind::Assoc => "dashed",
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{} {}\", style={style}];",
+            rel.source.index(),
+            rel.target.index(),
+            rel.kind.symbol(),
+            schema.name(rel.name)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn dot_contains_every_class_once() {
+        let s = fixtures::university();
+        let dot = to_dot(&s, &DotOptions::default());
+        assert!(dot.starts_with("digraph schema {"));
+        assert!(dot.ends_with("}\n"));
+        for c in s.classes() {
+            let label = format!("[label=\"{}\"", s.class_name(c));
+            assert_eq!(
+                dot.matches(&label).count(),
+                1,
+                "class {} once",
+                s.class_name(c)
+            );
+        }
+    }
+
+    #[test]
+    fn forward_edges_only_by_default() {
+        let s = fixtures::university();
+        let dot = to_dot(&s, &DotOptions::default());
+        let arrows = dot.matches(" -> ").count();
+        // 14 forward relationships + 5 attributes.
+        assert_eq!(arrows, 19);
+        let all = to_dot(
+            &s,
+            &DotOptions {
+                show_inverses: true,
+                show_attributes: true,
+            },
+        );
+        assert_eq!(all.matches(" -> ").count(), s.rel_count());
+    }
+
+    #[test]
+    fn attribute_edges_can_be_hidden() {
+        let s = fixtures::university();
+        let dot = to_dot(
+            &s,
+            &DotOptions {
+                show_inverses: false,
+                show_attributes: false,
+            },
+        );
+        assert!(!dot.contains(". name"));
+        assert_eq!(dot.matches(" -> ").count(), 14);
+    }
+
+    #[test]
+    fn kinds_have_distinct_styles() {
+        let s = fixtures::university();
+        let dot = to_dot(&s, &DotOptions::default());
+        assert!(dot.contains("style=bold"), "part-whole edges");
+        assert!(dot.contains("style=dashed"), "associations");
+        assert!(dot.contains("style=solid"), "isa");
+    }
+}

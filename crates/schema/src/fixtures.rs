@@ -1,0 +1,155 @@
+//! Ready-made schemas used across the workspace's tests, examples, and
+//! benchmarks.
+
+use crate::builder::SchemaBuilder;
+use crate::model::Primitive;
+use crate::schema::Schema;
+
+/// The paper's Figure 2: a simple university schema with students,
+/// professors, departments, and universities.
+///
+/// Reconstructed from every path expression the paper writes against it:
+///
+/// * `Isa` hierarchy (default names): `student @> person`,
+///   `employee @> person`, `grad @> student`, `teacher @> employee`,
+///   `staff @> employee`, `instructor @> teacher`, `professor @> teacher`,
+///   and the multiple-inheritance pair `ta @> grad`, `ta @> instructor`.
+/// * Part-whole: `university $> department`,
+///   `department $> professor` (named `professor`, as Section 3.2 notes).
+/// * Associations: `student .take course` (inverse `course .student`),
+///   `teacher .teach course` (inverse `course .teacher`),
+///   `student .department department` (inverse `department .student`).
+/// * Attributes: `person.name`, `person.ssn`, `course.name`,
+///   `department.name`, `university.name`.
+///
+/// All inverse relationships exist (with default names) even though
+/// Figure 2 does not draw them, exactly as the paper assumes.
+pub fn university() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let person = b.class("person").expect("fresh class");
+    let employee = b.class("employee").expect("fresh class");
+    let student = b.class("student").expect("fresh class");
+    let teacher = b.class("teacher").expect("fresh class");
+    let staff = b.class("staff").expect("fresh class");
+    let instructor = b.class("instructor").expect("fresh class");
+    let professor = b.class("professor").expect("fresh class");
+    let grad = b.class("grad").expect("fresh class");
+    let ta = b.class("ta").expect("fresh class");
+    let course = b.class("course").expect("fresh class");
+    let department = b.class("department").expect("fresh class");
+    let university = b.class("university").expect("fresh class");
+
+    b.isa(student, person).expect("isa");
+    b.isa(employee, person).expect("isa");
+    b.isa(grad, student).expect("isa");
+    b.isa(teacher, employee).expect("isa");
+    b.isa(staff, employee).expect("isa");
+    b.isa(instructor, teacher).expect("isa");
+    b.isa(professor, teacher).expect("isa");
+    b.isa(ta, grad).expect("isa");
+    b.isa(ta, instructor).expect("isa");
+
+    b.has_part(university, department).expect("has_part");
+    b.has_part(department, professor).expect("has_part");
+
+    b.assoc(student, course, "take").expect("assoc");
+    b.assoc(teacher, course, "teach").expect("assoc");
+    b.assoc(student, department, "department").expect("assoc");
+
+    b.attr(person, "name", Primitive::Text).expect("attr");
+    b.attr(person, "ssn", Primitive::Text).expect("attr");
+    b.attr(course, "name", Primitive::Text).expect("attr");
+    b.attr(department, "name", Primitive::Text).expect("attr");
+    b.attr(university, "name", Primitive::Text).expect("attr");
+
+    b.build().expect("university fixture is valid")
+}
+
+/// The part-whole examples of Section 3.3.1: engines, screws, chassis,
+/// motors, assemblies, and shafts. Exercises the `Shares-SubParts-With`
+/// and `Shares-SuperParts-With` secondary connectors.
+pub fn assembly() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let engine = b.class("engine").expect("fresh class");
+    let screw = b.class("screw").expect("fresh class");
+    let chassis = b.class("chassis").expect("fresh class");
+    let motor = b.class("motor").expect("fresh class");
+    let assembly = b.class("assembly").expect("fresh class");
+    let shaft = b.class("shaft").expect("fresh class");
+
+    // engine Has-Part screw; screw Is-Part-Of chassis.
+    b.has_part(engine, screw).expect("has_part");
+    b.has_part(chassis, screw).expect("has_part");
+    // motor Is-Part-Of assembly; assembly Has-Part shaft.
+    b.has_part(assembly, motor).expect("has_part");
+    b.has_part(assembly, shaft).expect("has_part");
+
+    b.attr(engine, "serial", Primitive::Text).expect("attr");
+    b.attr(shaft, "diameter", Primitive::Real).expect("attr");
+
+    b.build().expect("assembly fixture is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_algebra::moose::RelKind;
+
+    #[test]
+    fn university_shape() {
+        let s = university();
+        assert_eq!(s.user_class_count(), 12);
+        // 9 isa pairs + 2 has-part pairs + 3 assoc pairs = 14 pairs = 28
+        // edges, plus 5 attribute edges.
+        assert_eq!(s.rel_count(), 33);
+    }
+
+    #[test]
+    fn ta_has_two_parents() {
+        let s = university();
+        let ta = s.class_named("ta").unwrap();
+        let parents: Vec<&str> = s
+            .isa_parents(ta)
+            .map(|(_, c)| s.class_name(c))
+            .collect();
+        assert_eq!(parents.len(), 2);
+        assert!(parents.contains(&"grad"));
+        assert!(parents.contains(&"instructor"));
+    }
+
+    #[test]
+    fn take_inverse_is_named_student() {
+        let s = university();
+        let course = s.class_named("course").unwrap();
+        let inv = s
+            .out_rel_named(course, s.symbol("student").unwrap())
+            .expect("course .student exists");
+        assert_eq!(inv.kind, RelKind::Assoc);
+        assert_eq!(s.class_name(inv.target), "student");
+    }
+
+    #[test]
+    fn department_has_part_professor_with_rel_name_professor() {
+        let s = university();
+        let dept = s.class_named("department").unwrap();
+        let rel = s
+            .out_rel_named(dept, s.symbol("professor").unwrap())
+            .expect("department $> professor");
+        assert_eq!(rel.kind, RelKind::HasPart);
+    }
+
+    #[test]
+    fn name_attribute_exists_on_four_classes() {
+        let s = university();
+        // person, course, department, university (ssn is a separate name).
+        assert_eq!(s.rels_named(s.symbol("name").unwrap()).len(), 4);
+    }
+
+    #[test]
+    fn assembly_shape() {
+        let s = assembly();
+        assert_eq!(s.user_class_count(), 6);
+        // 4 has-part pairs = 8 edges + 2 attributes.
+        assert_eq!(s.rel_count(), 10);
+    }
+}

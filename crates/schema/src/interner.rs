@@ -1,0 +1,101 @@
+//! String interning for class and relationship names.
+//!
+//! Schema traversal compares names constantly (every completion step matches
+//! the incomplete expression's anchors against relationship names), so names
+//! are interned once and compared as `u32` symbols thereafter.
+
+use std::collections::HashMap;
+
+/// An interned name. Symbols are only meaningful relative to the
+/// [`Interner`] (and hence the [`crate::Schema`]) that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The symbol as a `usize`, for indexing side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string interner.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    map: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Symbol(u32::try_from(self.names.len()).expect("interner overflow"));
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up an existing symbol without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The string for a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not belong to this interner.
+    pub fn resolve(&self, s: Symbol) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("person");
+        let b = i.intern("person");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("person");
+        let b = i.intern("student");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "person");
+        assert_eq!(i.resolve(b), "student");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+}

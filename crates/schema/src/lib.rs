@@ -1,0 +1,49 @@
+//! The object-oriented data model of the paper (Section 2.1).
+//!
+//! Real-world entities are modelled by objects grouped into *classes*;
+//! binary relationships of five kinds ([`RelKind`]) connect classes. A
+//! schema is a directed multigraph whose nodes are classes and whose edges
+//! are relationships; every relationship is accompanied by its inverse
+//! (the paper assumes inverses are always present), except relationships
+//! targeting the primitive classes `I`, `R`, `C`, `B`, which model
+//! attributes.
+//!
+//! Build schemas with [`SchemaBuilder`]; the resulting [`Schema`] is
+//! immutable and validated:
+//!
+//! * class names are unique; relationship names are unique per source class;
+//! * `Isa` relationships form a DAG (the inheritance hierarchy);
+//! * primitive classes have no outgoing relationships;
+//! * inverse pairs are mutually consistent in kind and endpoints.
+//!
+//! ```
+//! use ipe_schema::{RelKind, SchemaBuilder};
+//!
+//! let mut b = SchemaBuilder::new();
+//! let person = b.class("person").unwrap();
+//! let student = b.class("student").unwrap();
+//! b.isa(student, person).unwrap();              // student @> person (+ inverse)
+//! b.attr(person, "name", ipe_schema::Primitive::Text).unwrap();
+//! let schema = b.build().unwrap();
+//! assert_eq!(schema.class_named("student"), Some(student));
+//! assert_eq!(schema.rels_named(schema.symbol("name").unwrap()).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+mod doc;
+pub mod dot;
+pub mod fixtures;
+mod interner;
+mod model;
+mod schema;
+
+pub use builder::{SchemaBuilder, SchemaError};
+pub use doc::SchemaDoc;
+pub use interner::{Interner, Symbol};
+pub use ipe_algebra::moose::RelKind;
+pub use model::{ClassId, ClassInfo, Primitive, RelId, RelInfo};
+pub use schema::{Relationship, Schema};

@@ -1,0 +1,107 @@
+//! Identifier and payload types of the schema graph.
+
+use crate::interner::Symbol;
+use ipe_algebra::moose::RelKind;
+use ipe_graph::{EdgeId, NodeId};
+
+/// Identifier of a class within a [`crate::Schema`] (a node of the schema
+/// graph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClassId(pub NodeId);
+
+impl ClassId {
+    /// Dense index for side tables.
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+}
+
+/// Identifier of a relationship within a [`crate::Schema`] (an edge of the
+/// schema graph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelId(pub EdgeId);
+
+impl RelId {
+    /// Dense index for side tables.
+    pub fn index(self) -> usize {
+        self.0.index()
+    }
+}
+
+/// The system-provided primitive classes of the data model: Integers,
+/// Reals, Character Strings, and Booleans (`I`, `R`, `C`, `B`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Primitive {
+    /// `I` — integers.
+    Integer,
+    /// `R` — reals.
+    Real,
+    /// `C` — character strings.
+    Text,
+    /// `B` — booleans.
+    Boolean,
+}
+
+impl Primitive {
+    /// The four primitives in a fixed order.
+    pub const ALL: [Primitive; 4] = [
+        Primitive::Integer,
+        Primitive::Real,
+        Primitive::Text,
+        Primitive::Boolean,
+    ];
+
+    /// Canonical class name for the primitive (`int`, `real`, `string`,
+    /// `bool`).
+    pub fn class_name(self) -> &'static str {
+        match self {
+            Primitive::Integer => "int",
+            Primitive::Real => "real",
+            Primitive::Text => "string",
+            Primitive::Boolean => "bool",
+        }
+    }
+}
+
+/// Node payload of the schema graph: a class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassInfo {
+    /// Interned class name.
+    pub name: Symbol,
+    /// `Some` for the four system primitive classes, `None` for
+    /// user-defined classes.
+    pub primitive: Option<Primitive>,
+}
+
+/// Edge payload of the schema graph: a relationship.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelInfo {
+    /// Interned relationship name. Defaults to the target class name when
+    /// unspecified (Section 2.1 of the paper).
+    pub name: Symbol,
+    /// Kind of the relationship.
+    pub kind: RelKind,
+    /// The inverse relationship, when present. `None` only for attribute
+    /// relationships targeting primitive classes.
+    pub inverse: Option<RelId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_names_are_distinct() {
+        let names: Vec<&str> = Primitive::ALL.iter().map(|p| p.class_name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn ids_expose_indices() {
+        assert_eq!(ClassId(NodeId(3)).index(), 3);
+        assert_eq!(RelId(EdgeId(7)).index(), 7);
+    }
+}

@@ -1,0 +1,244 @@
+//! The immutable, validated schema.
+
+use crate::interner::{Interner, Symbol};
+use crate::model::{ClassId, ClassInfo, Primitive, RelId, RelInfo};
+use ipe_algebra::moose::RelKind;
+use ipe_graph::DiGraph;
+use std::collections::HashMap;
+
+/// A resolved view of one relationship (edge of the schema graph).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Relationship {
+    /// The relationship id.
+    pub id: RelId,
+    /// Interned relationship name.
+    pub name: Symbol,
+    /// Relationship kind.
+    pub kind: RelKind,
+    /// Source class.
+    pub source: ClassId,
+    /// Target class.
+    pub target: ClassId,
+    /// Inverse relationship, absent only for attributes of primitive type.
+    pub inverse: Option<RelId>,
+}
+
+/// An immutable, validated OO schema: the directed multigraph of classes
+/// and relationships the completion algorithm runs on.
+///
+/// Produced by [`crate::SchemaBuilder::build`]; all invariants listed in
+/// the crate docs are guaranteed to hold.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    pub(crate) graph: DiGraph<ClassInfo, RelInfo>,
+    pub(crate) interner: Interner,
+    pub(crate) class_by_name: HashMap<Symbol, ClassId>,
+    /// Global index: relationship name → all relationships with that name.
+    pub(crate) rels_by_name: HashMap<Symbol, Vec<RelId>>,
+    /// Primitive class ids, when present in the schema.
+    pub(crate) primitives: HashMap<Primitive, ClassId>,
+}
+
+impl Schema {
+    /// The underlying graph (classes as nodes, relationships as edges).
+    pub fn graph(&self) -> &DiGraph<ClassInfo, RelInfo> {
+        &self.graph
+    }
+
+    /// Number of classes, including primitive classes.
+    pub fn class_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of user-defined (non-primitive) classes.
+    pub fn user_class_count(&self) -> usize {
+        self.graph
+            .nodes()
+            .filter(|(_, c)| c.primitive.is_none())
+            .count()
+    }
+
+    /// Number of relationships (inverses counted separately, as in the
+    /// paper's "364 relationships" for the CUPID schema).
+    pub fn rel_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Looks up an interned symbol for `name`, if any part of the schema
+    /// uses it.
+    pub fn symbol(&self, name: &str) -> Option<Symbol> {
+        self.interner.get(name)
+    }
+
+    /// Resolves a symbol back to its string.
+    pub fn name(&self, s: Symbol) -> &str {
+        self.interner.resolve(s)
+    }
+
+    /// The class with the given name.
+    pub fn class_named(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(&self.interner.get(name)?).copied()
+    }
+
+    /// Class payload.
+    pub fn class(&self, id: ClassId) -> &ClassInfo {
+        self.graph.node(id.0)
+    }
+
+    /// The class name as a string.
+    pub fn class_name(&self, id: ClassId) -> &str {
+        self.interner.resolve(self.class(id).name)
+    }
+
+    /// The id of a primitive class, if the schema declares any attribute of
+    /// that type.
+    pub fn primitive(&self, p: Primitive) -> Option<ClassId> {
+        self.primitives.get(&p).copied()
+    }
+
+    /// Whether `id` is one of the system primitive classes.
+    pub fn is_primitive(&self, id: ClassId) -> bool {
+        self.class(id).primitive.is_some()
+    }
+
+    /// Iterates over all class ids.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        self.graph.node_ids().map(ClassId)
+    }
+
+    /// Iterates over all relationship ids.
+    pub fn rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.graph.edge_ids().map(RelId)
+    }
+
+    /// Resolved view of a relationship.
+    pub fn rel(&self, id: RelId) -> Relationship {
+        let e = self.graph.edge(id.0);
+        Relationship {
+            id,
+            name: e.weight.name,
+            kind: e.weight.kind,
+            source: ClassId(e.source),
+            target: ClassId(e.target),
+            inverse: e.weight.inverse,
+        }
+    }
+
+    /// The relationship name as a string.
+    pub fn rel_name(&self, id: RelId) -> &str {
+        self.interner.resolve(self.graph.edge(id.0).weight.name)
+    }
+
+    /// Outgoing relationships of a class, in insertion order.
+    pub fn out_rels(&self, class: ClassId) -> impl Iterator<Item = Relationship> + '_ {
+        self.graph
+            .out_edge_ids(class.0)
+            .iter()
+            .map(move |&e| self.rel(RelId(e)))
+    }
+
+    /// The outgoing relationship of `class` with the given name, if any
+    /// (unique by schema validation).
+    pub fn out_rel_named(&self, class: ClassId, name: Symbol) -> Option<Relationship> {
+        self.out_rels(class).find(|r| r.name == name)
+    }
+
+    /// All relationships named `name`, anywhere in the schema.
+    pub fn rels_named(&self, name: Symbol) -> &[RelId] {
+        self.rels_by_name
+            .get(&name)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Direct superclasses of `class` (targets of its `Isa` edges).
+    pub fn isa_parents(&self, class: ClassId) -> impl Iterator<Item = (RelId, ClassId)> + '_ {
+        self.out_rels(class)
+            .filter(|r| r.kind == RelKind::Isa)
+            .map(|r| (r.id, r.target))
+    }
+
+    /// All strict ancestors of `class` in the inheritance DAG, in BFS order
+    /// (nearest first), without duplicates.
+    pub fn ancestors(&self, class: ClassId) -> Vec<ClassId> {
+        let mut seen = vec![false; self.class_count()];
+        let mut queue: Vec<ClassId> = self.isa_parents(class).map(|(_, c)| c).collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < queue.len() {
+            let c = queue[i];
+            i += 1;
+            if seen[c.index()] {
+                continue;
+            }
+            seen[c.index()] = true;
+            out.push(c);
+            queue.extend(self.isa_parents(c).map(|(_, p)| p));
+        }
+        out
+    }
+
+    /// Whether `sub` is `sup` or inherits from it (reflexive-transitive
+    /// `Isa`).
+    pub fn is_subclass_of(&self, sub: ClassId, sup: ClassId) -> bool {
+        sub == sup || self.ancestors(sub).contains(&sup)
+    }
+
+    /// Resolves a relationship step `class.name` under inheritance: finds
+    /// the nearest class in `class`'s reflexive inheritance closure that
+    /// defines an outgoing relationship named `name`, returning the `Isa`
+    /// relationship chain climbed (possibly empty) and the relationship.
+    ///
+    /// When several *equally near* superclasses define `name` (a multiple
+    /// inheritance conflict), all of them are returned and the caller — per
+    /// the paper, the user — must choose.
+    pub fn resolve_inherited(
+        &self,
+        class: ClassId,
+        name: Symbol,
+    ) -> Vec<(Vec<RelId>, Relationship)> {
+        // BFS by inheritance depth; stop at the first depth with matches.
+        let mut frontier: Vec<(Vec<RelId>, ClassId)> = vec![(Vec::new(), class)];
+        let mut seen = vec![false; self.class_count()];
+        seen[class.index()] = true;
+        loop {
+            let mut found = Vec::new();
+            for (chain, c) in &frontier {
+                if let Some(r) = self.out_rel_named(*c, name) {
+                    found.push((chain.clone(), r));
+                }
+            }
+            if !found.is_empty() {
+                return found;
+            }
+            let mut next = Vec::new();
+            for (chain, c) in &frontier {
+                for (isa, parent) in self.isa_parents(*c) {
+                    if !seen[parent.index()] {
+                        seen[parent.index()] = true;
+                        let mut chain2 = chain.clone();
+                        chain2.push(isa);
+                        next.push((chain2, parent));
+                    }
+                }
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            frontier = next;
+        }
+    }
+
+    /// Serializes the schema to a JSON document (see [`crate::SchemaDoc`]).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&crate::SchemaDoc::from_schema(self))
+            .expect("schema serialization cannot fail")
+    }
+
+    /// Deserializes a schema from JSON, re-running full validation.
+    pub fn from_json(json: &str) -> Result<Schema, crate::SchemaError> {
+        let doc: crate::SchemaDoc =
+            serde_json::from_str(json).map_err(|e| crate::SchemaError::Format(e.to_string()))?;
+        doc.into_schema()
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for schema construction and invariants.
+
+use ipe_schema::{Primitive, RelKind, SchemaBuilder, SchemaError};
+use proptest::prelude::*;
+
+/// A random sequence of build operations.
+#[derive(Clone, Debug)]
+enum Op {
+    Class(u8),
+    Isa(u8, u8),
+    HasPart(u8, u8),
+    Assoc(u8, u8, u8),
+    Attr(u8, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(Op::Class),
+        (0u8..16, 0u8..16).prop_map(|(a, b)| Op::Isa(a, b)),
+        (0u8..16, 0u8..16).prop_map(|(a, b)| Op::HasPart(a, b)),
+        (0u8..16, 0u8..16, 0u8..8).prop_map(|(a, b, n)| Op::Assoc(a, b, n)),
+        (0u8..16, 0u8..4).prop_map(|(a, n)| Op::Attr(a, n)),
+    ]
+}
+
+proptest! {
+    /// Whatever the operation sequence, the builder either errors cleanly
+    /// or produces a schema satisfying all invariants.
+    #[test]
+    fn random_builds_respect_invariants(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let mut b = SchemaBuilder::new();
+        let mut classes = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Class(i) => {
+                    if let Ok(c) = b.class(&format!("k{i}")) {
+                        classes.push(c);
+                    }
+                }
+                Op::Isa(x, y) => {
+                    if !classes.is_empty() {
+                        let a = classes[x as usize % classes.len()];
+                        let c = classes[y as usize % classes.len()];
+                        let _ = b.isa(a, c);
+                    }
+                }
+                Op::HasPart(x, y) => {
+                    if !classes.is_empty() {
+                        let a = classes[x as usize % classes.len()];
+                        let c = classes[y as usize % classes.len()];
+                        if a != c {
+                            let _ = b.has_part(a, c);
+                        }
+                    }
+                }
+                Op::Assoc(x, y, n) => {
+                    if !classes.is_empty() {
+                        let a = classes[x as usize % classes.len()];
+                        let c = classes[y as usize % classes.len()];
+                        let _ = b.rel_named(
+                            RelKind::Assoc,
+                            a,
+                            c,
+                            &format!("r{n}"),
+                            &format!("r{n}inv"),
+                        );
+                    }
+                }
+                Op::Attr(x, n) => {
+                    if !classes.is_empty() {
+                        let a = classes[x as usize % classes.len()];
+                        let _ = b.attr(a, &format!("a{n}"), Primitive::Integer);
+                    }
+                }
+            }
+        }
+        match b.build() {
+            Err(SchemaError::IsaCycle { .. }) => {} // legitimate rejection
+            Err(other) => prop_assert!(false, "unexpected build error: {other}"),
+            Ok(schema) => {
+                // Invariant: relationship names unique per source class.
+                for class in schema.classes() {
+                    let mut names: Vec<_> =
+                        schema.out_rels(class).map(|r| r.name).collect();
+                    let before = names.len();
+                    names.sort();
+                    names.dedup();
+                    prop_assert_eq!(names.len(), before);
+                }
+                // Invariant: inverses are mutual and kind-consistent.
+                for r in schema.rels() {
+                    let rel = schema.rel(r);
+                    if let Some(inv) = rel.inverse {
+                        let irel = schema.rel(inv);
+                        prop_assert_eq!(irel.inverse, Some(r));
+                        prop_assert_eq!(irel.kind, rel.kind.inverse());
+                        prop_assert_eq!(irel.source, rel.target);
+                        prop_assert_eq!(irel.target, rel.source);
+                    }
+                }
+                // Invariant: primitives have no out-edges.
+                for class in schema.classes() {
+                    if schema.is_primitive(class) {
+                        prop_assert_eq!(schema.out_rels(class).count(), 0);
+                    }
+                }
+                // Invariant: ancestors never contain the class itself
+                // (Isa acyclicity).
+                for class in schema.classes() {
+                    prop_assert!(!schema.ancestors(class).contains(&class));
+                }
+                // Serde round trip preserves everything.
+                let json = schema.to_json();
+                let back = ipe_schema::Schema::from_json(&json).unwrap();
+                prop_assert_eq!(back.to_json(), json);
+            }
+        }
+    }
+}

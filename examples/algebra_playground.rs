@@ -1,0 +1,87 @@
+//! The path-algebra framework beyond the paper's instance: classic
+//! algebras on the same solver, and the property structure (including the
+//! distributivity failure that motivates Algorithm 2's caution sets).
+//!
+//! Run: `cargo run --example algebra_playground`
+
+use ipe::algebra::classic::{MostReliable, Prob, ShortestPath};
+use ipe::algebra::moose::{compose, Connector, Label, MooseAlgebra, RelKind};
+use ipe::algebra::properties;
+use ipe::algebra::solver::optimal_path_labels;
+use ipe::graph::DiGraph;
+
+fn main() {
+    // A little network: a -> b -> d, a -> c -> d, a -> d.
+    let mut g: DiGraph<&str, (u64, f64)> = DiGraph::new();
+    let a = g.add_node("a");
+    let b = g.add_node("b");
+    let c = g.add_node("c");
+    let d = g.add_node("d");
+    g.add_edge(a, b, (1, 0.9));
+    g.add_edge(b, d, (1, 0.9));
+    g.add_edge(a, c, (5, 0.99));
+    g.add_edge(c, d, (1, 0.99));
+    g.add_edge(a, d, (3, 0.5));
+
+    let (short, stats) = optimal_path_labels(&g, &ShortestPath, |_, e| e.weight.0, a, d);
+    println!("shortest a->d: {short:?}  ({} recursive calls)", stats.calls);
+    let (rel, _) = optimal_path_labels(
+        &g,
+        &MostReliable,
+        |_, e| Prob::new(e.weight.1),
+        a,
+        d,
+    );
+    println!("most reliable a->d: {:.4}", rel[0].value());
+
+    // The Moose connector algebra: Table 1 compositions.
+    println!("\nCON_c worked examples (Section 3.3.1):");
+    println!(
+        "  $> then <$  =>  {}   (engine/chassis share subparts)",
+        compose(Connector::HAS_PART, Connector::IS_PART_OF)
+    );
+    println!(
+        "  .  then <@  =>  {}   (course possibly taught by a professor)",
+        compose(Connector::ASSOC, Connector::MAY_BE)
+    );
+
+    // Semantic lengths of the paper's two examples.
+    use RelKind::*;
+    let zigzag = [Isa, MayBe, MayBe, MayBe, Isa, Isa];
+    println!(
+        "\nsemantic length of the Isa zig-zag: {}",
+        Label::of_kinds(&zigzag).semlen
+    );
+    let chain = [Assoc, Assoc, Assoc, HasPart];
+    println!(
+        "semantic length of teacher.teach.student.department$>professor: {}",
+        Label::of_kinds(&chain).semlen
+    );
+
+    // Distributivity fails for the Moose algebra — the reason the paper's
+    // Algorithm 2 needs caution sets.
+    let population: Vec<Label> = {
+        let mut p = vec![Label::IDENTITY];
+        for x in RelKind::ALL {
+            p.push(Label::single(x));
+            for y in RelKind::ALL {
+                p.push(Label::of_kinds(&[x, y]));
+            }
+        }
+        p
+    };
+    match properties::find_distributivity_counterexample(&MooseAlgebra, &population) {
+        Some((l1, l2, l3)) => {
+            println!("\ndistributivity counterexample (property 6 fails, Section 3.5):");
+            println!("  L1 = {l1:?}");
+            println!("  L2 = {l2:?}");
+            println!("  L3 = {l3:?}");
+        }
+        None => println!("\nno distributivity counterexample found (unexpected)"),
+    }
+    assert!(
+        properties::find_distributivity_counterexample(&ShortestPath, &[0, 1, 2, 3, 4])
+            .is_none()
+    );
+    println!("shortest path, by contrast, is distributive (properties 1-6 hold).");
+}

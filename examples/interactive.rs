@@ -1,0 +1,132 @@
+//! Interactive disambiguation session over the university schema — the
+//! user-in-the-loop flow of the paper's Figure 1, on stdin/stdout.
+//!
+//! Type incomplete path expressions (e.g. `ta~name`); the engine proposes
+//! completions; pick one by number to evaluate it against the sample
+//! database; `quit` exits. Feedback (`ok N` / `no N`) feeds the learning
+//! store, and `suggest` shows the exclusion candidates learned so far.
+//!
+//! Run: `cargo run --example interactive`  (pipe a script for CI use)
+
+use ipe::core::feedback::{FeedbackStore, SuggestionPolicy, Verdict};
+use ipe::oodb::fixtures::university_db;
+use ipe::prelude::*;
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let schema = ipe::schema::fixtures::university();
+    let db = university_db(&schema);
+    let engine = Completer::with_config(&schema, CompletionConfig::with_e(2));
+    let mut store = FeedbackStore::new(&schema);
+    let mut last: Vec<ipe::core::Completion> = Vec::new();
+
+    println!("ipe interactive — university schema loaded ({} classes).", schema.class_count());
+    println!(
+        "enter an incomplete path expression (e.g. ta~name), `targets <class>`, `suggest`, or `quit`."
+    );
+    let stdin = io::stdin();
+    loop {
+        print!("> ");
+        let _ = io::stdout().flush();
+        let Some(Ok(line)) = stdin.lock().lines().next() else {
+            break;
+        };
+        let line = line.trim().to_owned();
+        match line.as_str() {
+            "" => continue,
+            "quit" | "exit" => break,
+            "suggest" => {
+                let suggestions = store.suggest_exclusions(&SuggestionPolicy::default());
+                if suggestions.is_empty() {
+                    println!("no exclusion suggestions yet");
+                } else {
+                    for c in suggestions {
+                        println!("consider excluding: {}", schema.class_name(c));
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        if let Some(class_name) = line.strip_prefix("targets ") {
+            match schema.class_named(class_name.trim()) {
+                Some(root) => {
+                    for t in ipe::core::suggest::suggest_targets(
+                        &schema,
+                        root,
+                        engine.config(),
+                    ) {
+                        println!("  {}  ({} carriers)", t.name, t.carriers);
+                    }
+                }
+                None => println!("unknown class `{class_name}`"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("ok ").or_else(|| line.strip_prefix("no ")) {
+            let verdict = if line.starts_with("ok") {
+                Verdict::Approved
+            } else {
+                Verdict::Rejected
+            };
+            match rest.trim().parse::<usize>() {
+                Ok(n) if n >= 1 && n <= last.len() => {
+                    store.record(&schema, &last[n - 1], verdict);
+                    println!("recorded");
+                }
+                _ => println!("usage: ok N / no N (N from the last candidate list)"),
+            }
+            continue;
+        }
+        if let Ok(n) = line.parse::<usize>() {
+            if n >= 1 && n <= last.len() {
+                let ast = last[n - 1].to_ast(&schema);
+                match db.eval(&ast) {
+                    Ok(out) => {
+                        let vals = out.values();
+                        if vals.is_empty() {
+                            println!("{} object(s): {:?}", out.len(), out.objects());
+                        } else {
+                            for v in vals {
+                                println!("{v}");
+                            }
+                        }
+                    }
+                    Err(e) => println!("evaluation error: {e}"),
+                }
+            } else {
+                println!("no candidate #{n}");
+            }
+            continue;
+        }
+        let ast = match parse_path_expression(&line) {
+            Ok(a) => a,
+            Err(e) => {
+                println!("parse error: {e}");
+                continue;
+            }
+        };
+        match engine.complete(&ast) {
+            Ok(out) => {
+                if out.is_empty() {
+                    println!("no consistent completion");
+                }
+                for (i, c) in out.iter().enumerate() {
+                    println!(
+                        "  {}. {}   [{} semlen {}]",
+                        i + 1,
+                        c.display(&schema),
+                        c.label.connector,
+                        c.label.semlen
+                    );
+                }
+                last = out;
+                if !last.is_empty() {
+                    println!("(enter a number to evaluate, `ok N`/`no N` to give feedback)");
+                }
+            }
+            Err(e) => println!("completion error: {e}"),
+        }
+    }
+    println!("bye");
+}

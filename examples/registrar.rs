@@ -1,0 +1,61 @@
+//! End-to-end flow of the paper's Figure 1: an incomplete query enters, the
+//! completion module proposes fully-specified path expressions, the user
+//! approves one, and the path expression evaluator runs it over the object
+//! store.
+//!
+//! Run: `cargo run --example registrar`
+
+use ipe::oodb::fixtures::university_db;
+use ipe::prelude::*;
+
+fn main() {
+    let schema = ipe::schema::fixtures::university();
+    let db = university_db(&schema);
+    let engine = Completer::new(&schema);
+
+    let queries = [
+        "ta~name",          // names of teaching assistants
+        "department~take",  // the courses "of" departments
+        "student~ssn",      // social security numbers of students
+        "course~university", // which university a course belongs to
+    ];
+
+    for q in queries {
+        println!("query: {q}");
+        let ast = parse_path_expression(q).expect("syntax");
+        let completions = engine.complete(&ast).expect("completion succeeds");
+        if completions.is_empty() {
+            println!("  (no consistent completion)\n");
+            continue;
+        }
+        for (i, c) in completions.iter().enumerate() {
+            println!(
+                "  candidate {}: {}   [{} / semlen {}]",
+                i + 1,
+                c.display(&schema),
+                c.label.connector,
+                c.label.semlen
+            );
+        }
+        // The user approves the first candidate; evaluate it.
+        let approved = completions[0].to_ast(&schema);
+        match db.eval(&approved) {
+            Ok(out) => {
+                let values = out.values();
+                if values.is_empty() {
+                    println!(
+                        "  -> {} object(s): {:?}",
+                        out.len(),
+                        out.objects()
+                    );
+                } else {
+                    let rendered: Vec<String> =
+                        values.iter().map(|v| v.to_string()).collect();
+                    println!("  -> values: {}", rendered.join(", "));
+                }
+            }
+            Err(e) => println!("  -> evaluation error: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,63 @@
+//! Authoring a schema programmatically, persisting it, and visualizing it —
+//! the schema-designer workflow around the completion engine.
+//!
+//! Run: `cargo run --example schema_authoring`
+
+use ipe::prelude::*;
+use ipe::schema::{dot, Primitive, Schema};
+
+fn main() {
+    // A small e-commerce schema, built from scratch.
+    let mut b = SchemaBuilder::new();
+    let shop = b.class("shop").unwrap();
+    let catalog = b.class("catalog").unwrap();
+    let product = b.class("product").unwrap();
+    let digital = b.class("digital_product").unwrap();
+    let physical = b.class("physical_product").unwrap();
+    let customer = b.class("customer").unwrap();
+    let order = b.class("order").unwrap();
+
+    b.has_part(shop, catalog).unwrap();
+    b.has_part(catalog, product).unwrap();
+    b.isa(digital, product).unwrap();
+    b.isa(physical, product).unwrap();
+    b.assoc(customer, order, "places").unwrap();
+    b.assoc(order, product, "contains").unwrap();
+    b.attr(product, "price", Primitive::Real).unwrap();
+    b.attr(customer, "email", Primitive::Text).unwrap();
+    b.attr(physical, "weight", Primitive::Real).unwrap();
+
+    let schema = b.build().expect("valid schema");
+    println!(
+        "built: {} classes, {} relationships",
+        schema.class_count(),
+        schema.rel_count()
+    );
+
+    // Persist and reload (validation reruns on load).
+    let json = schema.to_json();
+    let reloaded = Schema::from_json(&json).expect("round trip");
+    assert_eq!(reloaded.rel_count(), schema.rel_count());
+    println!("serialized to {} bytes of JSON and reloaded", json.len());
+
+    // Visualize (pipe into `dot -Tsvg` to render).
+    let graphviz = dot::to_dot(&schema, &dot::DotOptions::default());
+    println!("\n{graphviz}");
+
+    // And of course: disambiguate on it.
+    let engine = Completer::new(&schema);
+    for q in ["shop~price", "customer~weight", "shop~email"] {
+        let out = engine
+            .complete(&parse_path_expression(q).unwrap())
+            .unwrap();
+        println!("{q}:");
+        for c in &out {
+            println!(
+                "  {}   [{} semlen {}]",
+                c.display(&schema),
+                c.label.connector,
+                c.label.semlen
+            );
+        }
+    }
+}

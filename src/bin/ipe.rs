@@ -1,0 +1,243 @@
+//! `ipe` — command-line front end for the incomplete path expression
+//! disambiguator.
+//!
+//! ```text
+//! ipe complete [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]... EXPR
+//! ipe explain  [--schema FILE | --fixture NAME] EXPR
+//! ipe eval     EXPR                      (university fixture database)
+//! ipe gen      [--seed N] [--classes N]  (print a synthetic schema as JSON)
+//! ipe dot      [--schema FILE | --fixture NAME] [--inverses]
+//! ipe stats    [--schema FILE | --fixture NAME]
+//! ```
+
+use ipe::core::{explain, Completer, CompletionConfig};
+use ipe::gen::{generate_schema, GenConfig};
+use ipe::oodb::fixtures::university_db;
+use ipe::parser::parse_path_expression;
+use ipe::schema::{dot, Schema};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "complete" => cmd_complete(rest),
+        "explain" => cmd_explain(rest),
+        "eval" => cmd_eval(rest),
+        "gen" => cmd_gen(rest),
+        "dot" => cmd_dot(rest),
+        "stats" => cmd_stats(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  ipe complete [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]... EXPR
+  ipe explain  [--schema FILE | --fixture NAME] EXPR
+  ipe eval     EXPR
+  ipe gen      [--seed N] [--classes N]
+  ipe dot      [--schema FILE | --fixture NAME] [--inverses]
+  ipe stats    [--schema FILE | --fixture NAME]
+
+fixtures: university (default), assembly";
+
+/// Parsed common options: schema source + positional arguments.
+struct Opts {
+    schema: Schema,
+    e: usize,
+    exclude: Vec<String>,
+    inverses: bool,
+    seed: u64,
+    classes: usize,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut schema_file: Option<String> = None;
+    let mut fixture = "university".to_owned();
+    let mut e = 1usize;
+    let mut exclude = Vec::new();
+    let mut inverses = false;
+    let mut seed = 1994u64;
+    let mut classes = 92usize;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--schema" => schema_file = Some(grab("--schema")?),
+            "--fixture" => fixture = grab("--fixture")?,
+            "--e" => e = grab("--e")?.parse().map_err(|_| "--e must be a number")?,
+            "--exclude" => exclude.push(grab("--exclude")?),
+            "--inverses" => inverses = true,
+            "--seed" => seed = grab("--seed")?.parse().map_err(|_| "--seed must be a number")?,
+            "--classes" => {
+                classes = grab("--classes")?
+                    .parse()
+                    .map_err(|_| "--classes must be a number")?
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let schema = match schema_file {
+        Some(path) => {
+            let json = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            Schema::from_json(&json).map_err(|e| e.to_string())?
+        }
+        None => match fixture.as_str() {
+            "university" => ipe::schema::fixtures::university(),
+            "assembly" => ipe::schema::fixtures::assembly(),
+            other => return Err(format!("unknown fixture `{other}`")),
+        },
+    };
+    Ok(Opts {
+        schema,
+        e,
+        exclude,
+        inverses,
+        seed,
+        classes,
+        positional,
+    })
+}
+
+fn engine_for(opts: &Opts) -> Result<Completer<'_>, String> {
+    let mut excluded = Vec::new();
+    for name in &opts.exclude {
+        let c = opts
+            .schema
+            .class_named(name)
+            .ok_or_else(|| format!("unknown class `{name}` in --exclude"))?;
+        excluded.push(c);
+    }
+    Ok(Completer::with_config(
+        &opts.schema,
+        CompletionConfig {
+            e: opts.e,
+            excluded_classes: excluded,
+            ..Default::default()
+        },
+    ))
+}
+
+fn cmd_complete(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let expr = opts
+        .positional
+        .first()
+        .ok_or("missing path expression argument")?;
+    let ast = parse_path_expression(expr).map_err(|e| e.to_string())?;
+    let engine = engine_for(&opts)?;
+    let outcome = engine.complete_with_stats(&ast).map_err(|e| e.to_string())?;
+    for c in &outcome.completions {
+        println!(
+            "{}\t[{} semlen {}]",
+            c.display(&opts.schema),
+            c.label.connector,
+            c.label.semlen
+        );
+    }
+    eprintln!(
+        "({} result(s), {} node explorations)",
+        outcome.completions.len(),
+        outcome.stats.calls
+    );
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let expr = opts
+        .positional
+        .first()
+        .ok_or("missing path expression argument")?;
+    let ast = parse_path_expression(expr).map_err(|e| e.to_string())?;
+    let engine = engine_for(&opts)?;
+    let out = engine.complete(&ast).map_err(|e| e.to_string())?;
+    for c in &out {
+        println!("{}\n", explain::explain(&opts.schema, c));
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let expr = opts
+        .positional
+        .first()
+        .ok_or("missing path expression argument")?;
+    let schema = ipe::schema::fixtures::university();
+    let db = university_db(&schema);
+    let out = db.eval_str(expr).map_err(|e| e.to_string())?;
+    let values = out.values();
+    if values.is_empty() {
+        println!("{} object(s): {:?}", out.len(), out.objects());
+    } else {
+        for v in values {
+            println!("{v}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let gen = generate_schema(&GenConfig {
+        classes: opts.classes,
+        seed: opts.seed,
+        ..GenConfig::default()
+    });
+    println!("{}", gen.schema.to_json());
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let rendered = dot::to_dot(
+        &opts.schema,
+        &dot::DotOptions {
+            show_inverses: opts.inverses,
+            show_attributes: true,
+        },
+    );
+    println!("{rendered}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let r = ipe::schema::analysis::analyze(&opts.schema);
+    println!("classes:          {}", r.classes);
+    println!("user classes:     {}", r.user_classes);
+    println!("relationships:    {}", r.relationships);
+    for (kind, count) in &r.by_kind {
+        println!("  {:<14}  {count}", format!("{kind:?}:"));
+    }
+    println!("max Isa depth:    {}", r.max_isa_depth);
+    println!("max out-degree:   {}", r.max_out_degree);
+    println!("distinct names:   {}", r.distinct_names);
+    println!("most ambiguous relationship names (the interesting `~` targets):");
+    for (name, count) in r.ambiguous_names.iter().take(8) {
+        println!("  {name:<16} {count} carriers");
+    }
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # ipe — Incomplete Path Expressions and their Disambiguation
+//!
+//! Facade crate re-exporting the `ipe` workspace: a Rust implementation of
+//! *Ioannidis & Lashkari, "Incomplete Path Expressions and their
+//! Disambiguation", SIGMOD 1994*.
+//!
+//! Start with the doctest below, or the `examples/` directory.
+//!
+//! ```
+//! use ipe::prelude::*;
+//!
+//! // The paper's Figure 2 university schema.
+//! let schema = ipe::schema::fixtures::university();
+//!
+//! // "names of teaching assistants", written without spelling out the path.
+//! let expr = parse_path_expression("ta~name").unwrap();
+//! let engine = Completer::new(&schema);
+//! let completions = engine.complete(&expr).unwrap();
+//!
+//! // The two optimal completions from Section 2.2.2 of the paper.
+//! let texts: Vec<String> = completions.iter().map(|c| c.display(&schema).to_string()).collect();
+//! assert!(texts.contains(&"ta@>grad@>student@>person.name".to_string()));
+//! assert!(texts.contains(&"ta@>instructor@>teacher@>employee@>person.name".to_string()));
+//! ```
+
+pub use ipe_algebra as algebra;
+pub use ipe_core as core;
+pub use ipe_gen as gen;
+pub use ipe_graph as graph;
+pub use ipe_metrics as metrics;
+pub use ipe_oodb as oodb;
+pub use ipe_parser as parser;
+pub use ipe_schema as schema;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use ipe_algebra::moose::{Connector, Label, MooseAlgebra};
+    pub use ipe_core::{Completer, CompletionConfig, Pruning};
+    pub use ipe_parser::parse_path_expression;
+    pub use ipe_schema::{RelKind, Schema, SchemaBuilder};
+}

@@ -1,0 +1,100 @@
+//! The full Figure 1 loop as a library workflow: query → completion →
+//! user approval (simulated) → evaluation → feedback → improved
+//! completions.
+
+use ipe::core::explain;
+use ipe::core::feedback::{FeedbackStore, SuggestionPolicy, Verdict};
+use ipe::oodb::gendata::{populate, DataConfig};
+use ipe::prelude::*;
+
+#[test]
+fn approval_loop_with_learning() {
+    let schema = ipe::schema::fixtures::university();
+    let db = populate(&schema, &DataConfig::default());
+    let engine = Completer::with_config(&schema, CompletionConfig::with_e(2));
+    let mut store = FeedbackStore::new(&schema);
+
+    // Session 1: the user asks several queries; they reject anything that
+    // routes through `employee` (say the deployment hides staff data).
+    let employee = schema.class_named("employee").unwrap();
+    for query in ["ta~name", "ta~ssn", "staff~name", "professor~name"] {
+        let out = engine
+            .complete(&parse_path_expression(query).unwrap())
+            .unwrap();
+        for c in &out {
+            let verdict = if c.classes(&schema).contains(&employee) {
+                Verdict::Rejected
+            } else {
+                Verdict::Approved
+            };
+            store.record(&schema, c, verdict);
+
+            // Approved completions are evaluated (and must evaluate
+            // cleanly over a populated database).
+            if verdict == Verdict::Approved {
+                let result = db.eval(&c.to_ast(&schema));
+                assert!(result.is_ok(), "{}", c.display(&schema));
+            }
+        }
+    }
+
+    // The learner converges on excluding `employee`.
+    let policy = SuggestionPolicy {
+        min_rejections: 2,
+        max_approval_share: 0.2,
+    };
+    let suggested = store.suggest_exclusions(&policy);
+    assert!(
+        suggested.contains(&employee),
+        "evidence: {:?}",
+        store.evidence(employee)
+    );
+
+    // Session 2: with the learned exclusions, `ta~name` now returns only
+    // the grad-side reading — no further rejections needed.
+    let adapted = Completer::with_config(
+        &schema,
+        CompletionConfig {
+            excluded_classes: suggested,
+            e: 2,
+            ..Default::default()
+        },
+    );
+    let out = adapted
+        .complete(&parse_path_expression("ta~name").unwrap())
+        .unwrap();
+    assert!(!out.is_empty());
+    for c in &out {
+        assert!(!c.classes(&schema).contains(&employee));
+    }
+}
+
+#[test]
+fn explanations_render_for_every_candidate() {
+    let schema = ipe::schema::fixtures::university();
+    let engine = Completer::with_config(&schema, CompletionConfig::with_e(3));
+    for query in ["ta~name", "department~take", "university~ssn"] {
+        let out = engine
+            .complete(&parse_path_expression(query).unwrap())
+            .unwrap();
+        for c in &out {
+            let ex = explain::explain(&schema, c);
+            let text = ex.to_string();
+            assert!(text.contains("final label"));
+            assert_eq!(ex.steps.len(), c.len());
+            assert_eq!(ex.label, c.label, "explanation label must agree");
+        }
+        // The first candidate is at least as good as every other: compare
+        // must justify it (or declare a tie).
+        if let Some(first) = out.first() {
+            for other in out.iter().skip(1) {
+                assert!(
+                    explain::compare(&schema, first, other).is_some(),
+                    "{} vs {}",
+                    first.display(&schema),
+                    other.display(&schema)
+                );
+            }
+        }
+    }
+}

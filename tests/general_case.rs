@@ -1,0 +1,85 @@
+//! The general case of Section 7 / reference [17]: arbitrary numbers of
+//! `~` connectors, interleaved with explicit steps, end to end.
+
+use ipe::core::{Completer, CompletionConfig};
+use ipe::parser::parse_path_expression;
+use ipe::schema::fixtures;
+
+fn texts(schema: &ipe::schema::Schema, out: &[ipe::core::Completion]) -> Vec<String> {
+    out.iter().map(|c| c.display(schema).to_string()).collect()
+}
+
+#[test]
+fn leading_explicit_then_tilde_then_explicit() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    // From the university: descend to a department somehow, then its name.
+    let out = engine
+        .complete(&parse_path_expression("university~department.name").unwrap())
+        .unwrap();
+    let t = texts(&schema, &out);
+    assert!(
+        t.contains(&"university$>department.name".to_string()),
+        "{t:?}"
+    );
+}
+
+#[test]
+fn three_tildes() {
+    let schema = fixtures::university();
+    let engine = Completer::with_config(&schema, CompletionConfig::with_e(2));
+    let out = engine
+        .complete(&parse_path_expression("university~professor~teach~name").unwrap())
+        .unwrap();
+    assert!(!out.is_empty());
+    for c in &out {
+        let names: Vec<&str> = c.edges.iter().map(|&e| schema.rel_name(e)).collect();
+        // The anchors appear in order.
+        let p = names.iter().position(|&n| n == "professor").unwrap();
+        let te = names.iter().rposition(|&n| n == "teach").unwrap();
+        let na = names.len() - 1;
+        assert!(p < te && te < na);
+        assert_eq!(names[na], "name");
+    }
+}
+
+#[test]
+fn tilde_segments_respect_global_labels() {
+    // The composed label of a multi-segment completion must equal the
+    // label recomputed from scratch over the whole path.
+    let schema = fixtures::university();
+    let engine = Completer::with_config(&schema, CompletionConfig::with_e(3));
+    let out = engine
+        .complete(&parse_path_expression("ta~person~name").unwrap())
+        .unwrap();
+    assert!(!out.is_empty());
+    for c in &out {
+        assert_eq!(c.label, c.recompute_label(&schema));
+    }
+}
+
+#[test]
+fn unsatisfiable_interleaving_returns_empty() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    // `ssn` exists only on person; after reaching a course there is no
+    // (acyclic) way to end at ssn through `take` backwards... actually
+    // there is, via course.student@>person.ssn — so use a genuinely
+    // unsatisfiable one: reach `university` FROM a course's name attribute
+    // (primitive classes have no outgoing edges).
+    let out = engine
+        .complete(&parse_path_expression("course~name~university").unwrap())
+        .unwrap();
+    assert!(out.is_empty());
+}
+
+#[test]
+fn mid_tilde_errors_surface_cleanly() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    // Explicit step after the tilde that names nothing.
+    let err = engine
+        .complete(&parse_path_expression("ta~name.bogus").unwrap())
+        .unwrap_err();
+    assert!(matches!(err, ipe::core::CompleteError::UnknownTargetName(_)));
+}

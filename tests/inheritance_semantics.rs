@@ -1,0 +1,113 @@
+//! Section 4.3: the completion engine must reproduce the inheritance
+//! semantics every OO system implements — except for genuine multiple
+//! inheritance conflicts, where the paper's position is that the user
+//! chooses.
+
+use ipe::core::{Completer, CompletionConfig};
+use ipe::parser::parse_path_expression;
+use ipe::schema::{Primitive, RelKind, Schema, SchemaBuilder};
+
+/// Figure 4's shape: `bottom @> mid @> top`, with a relationship named `n`
+/// on both `mid` and `top`.
+fn shadowed() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let top = b.class("top").unwrap();
+    let mid = b.class("mid").unwrap();
+    let bottom = b.class("bottom").unwrap();
+    let data = b.class("data").unwrap();
+    b.isa(mid, top).unwrap();
+    b.isa(bottom, mid).unwrap();
+    b.rel_named(RelKind::Assoc, mid, data, "n", "n_mid_inv").unwrap();
+    b.rel_named(RelKind::Assoc, top, data, "n", "n_top_inv").unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn nearest_definition_wins() {
+    let schema = shadowed();
+    let engine = Completer::new(&schema);
+    let out = engine
+        .complete(&parse_path_expression("bottom~n").unwrap())
+        .unwrap();
+    let texts: Vec<String> = out.iter().map(|c| c.display(&schema).to_string()).collect();
+    assert_eq!(texts, vec!["bottom@>mid.n".to_string()], "{texts:?}");
+}
+
+#[test]
+fn criterion_can_be_disabled() {
+    let schema = shadowed();
+    let engine = Completer::with_config(
+        &schema,
+        CompletionConfig {
+            inheritance_criterion: false,
+            ..Default::default()
+        },
+    );
+    let out = engine
+        .complete(&parse_path_expression("bottom~n").unwrap())
+        .unwrap();
+    // Both definitions have label [., 1] (the Isa prefix is free), so
+    // without preemption both are returned and the user resolves.
+    assert_eq!(out.len(), 2);
+}
+
+/// Diamond inheritance with `n` defined on both branches: no chain is a
+/// prefix of the other, so the criterion does not apply and the user must
+/// choose — "in our case, the user must be involved in the loop".
+#[test]
+fn multiple_inheritance_returns_both() {
+    let mut b = SchemaBuilder::new();
+    let left = b.class("left").unwrap();
+    let right = b.class("right").unwrap();
+    let bottom = b.class("bottom").unwrap();
+    let data = b.class("data").unwrap();
+    b.isa(bottom, left).unwrap();
+    b.isa(bottom, right).unwrap();
+    b.rel_named(RelKind::Assoc, left, data, "n", "nl").unwrap();
+    b.rel_named(RelKind::Assoc, right, data, "n", "nr").unwrap();
+    let schema = b.build().unwrap();
+    let engine = Completer::new(&schema);
+    let out = engine
+        .complete(&parse_path_expression("bottom~n").unwrap())
+        .unwrap();
+    let texts: Vec<String> = out.iter().map(|c| c.display(&schema).to_string()).collect();
+    assert_eq!(out.len(), 2, "{texts:?}");
+    assert!(texts.contains(&"bottom@>left.n".to_string()));
+    assert!(texts.contains(&"bottom@>right.n".to_string()));
+}
+
+/// Preemption interacts with AGG*: even at large E the shadowed completion
+/// stays suppressed.
+#[test]
+fn preemption_survives_large_e() {
+    let schema = shadowed();
+    let engine = Completer::with_config(&schema, CompletionConfig::with_e(5));
+    let out = engine
+        .complete(&parse_path_expression("bottom~n").unwrap())
+        .unwrap();
+    let texts: Vec<String> = out.iter().map(|c| c.display(&schema).to_string()).collect();
+    assert!(!texts.contains(&"bottom@>mid@>top.n".to_string()), "{texts:?}");
+}
+
+/// A refinement on the subclass (same name, different target) also
+/// shadows: the refined relationship is the one completed.
+#[test]
+fn refinement_shadows_superclass_relationship() {
+    let mut b = SchemaBuilder::new();
+    let vehicle = b.class("vehicle").unwrap();
+    let car = b.class("car").unwrap();
+    let part = b.class("part").unwrap();
+    let carpart = b.class("carpart").unwrap();
+    b.isa(car, vehicle).unwrap();
+    b.isa(carpart, part).unwrap();
+    b.rel_named(RelKind::Assoc, vehicle, part, "component", "of_v").unwrap();
+    b.rel_named(RelKind::Assoc, car, carpart, "component", "of_c").unwrap();
+    b.attr(part, "weight", Primitive::Real).unwrap();
+    let schema = b.build().unwrap();
+    let engine = Completer::new(&schema);
+    let out = engine
+        .complete(&parse_path_expression("car~component").unwrap())
+        .unwrap();
+    let texts: Vec<String> = out.iter().map(|c| c.display(&schema).to_string()).collect();
+    assert_eq!(texts, vec!["car.component".to_string()], "{texts:?}");
+}

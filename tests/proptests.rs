@@ -1,0 +1,178 @@
+//! Property-based tests over the whole stack.
+
+use ipe::algebra::moose::{semantic_length_of_kinds, Label, MooseAlgebra, RelKind};
+use ipe::algebra::properties;
+use ipe::core::Completer;
+use ipe::gen::{generate_schema, GenConfig};
+use ipe::parser::parse_path_expression;
+use ipe::schema::Schema;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = RelKind> {
+    prop_oneof![
+        Just(RelKind::Isa),
+        Just(RelKind::MayBe),
+        Just(RelKind::HasPart),
+        Just(RelKind::IsPartOf),
+        Just(RelKind::Assoc),
+    ]
+}
+
+proptest! {
+    /// The compositional semantic length equals the from-scratch
+    /// restructuring definition, for any kind sequence and any split.
+    #[test]
+    fn semlen_compositional_equals_reference(
+        kinds in proptest::collection::vec(arb_kind(), 0..24),
+        split in 0usize..25,
+    ) {
+        let whole = Label::of_kinds(&kinds);
+        prop_assert_eq!(whole.semlen, semantic_length_of_kinds(&kinds));
+        let s = split.min(kinds.len());
+        let (a, b) = kinds.split_at(s);
+        prop_assert_eq!(Label::of_kinds(a).con(&Label::of_kinds(b)), whole);
+    }
+
+    /// CON is associative on arbitrary labels (property 1).
+    #[test]
+    fn con_associative(
+        a in proptest::collection::vec(arb_kind(), 0..10),
+        b in proptest::collection::vec(arb_kind(), 0..10),
+        c in proptest::collection::vec(arb_kind(), 0..10),
+    ) {
+        let (la, lb, lc) = (Label::of_kinds(&a), Label::of_kinds(&b), Label::of_kinds(&c));
+        prop_assert!(properties::con_associative(&MooseAlgebra, &la, &lb, &lc));
+    }
+
+    /// Monotonicity (property 7): extending never improves a label.
+    #[test]
+    fn monotonic(
+        a in proptest::collection::vec(arb_kind(), 0..12),
+        b in proptest::collection::vec(arb_kind(), 0..12),
+    ) {
+        let (la, lb) = (Label::of_kinds(&a), Label::of_kinds(&b));
+        prop_assert!(properties::monotonic(&MooseAlgebra, &la, &lb));
+    }
+
+    /// AGG is 'associative' (property 2) over random label populations.
+    #[test]
+    fn agg_associative(
+        s1 in proptest::collection::vec(proptest::collection::vec(arb_kind(), 0..6), 0..4),
+        s2 in proptest::collection::vec(proptest::collection::vec(arb_kind(), 0..6), 0..4),
+        s3 in proptest::collection::vec(proptest::collection::vec(arb_kind(), 0..6), 0..4),
+    ) {
+        let to_labels = |v: Vec<Vec<RelKind>>| -> Vec<Label> {
+            v.iter().map(|k| Label::of_kinds(k)).collect()
+        };
+        prop_assert!(properties::agg_associative(
+            &MooseAlgebra,
+            &to_labels(s1),
+            &to_labels(s2),
+            &to_labels(s3),
+        ));
+    }
+
+    /// Parser round trip: display of a parsed expression re-parses to the
+    /// same AST.
+    #[test]
+    fn parser_round_trip(
+        root in "[a-z][a-z0-9_]{0,8}",
+        steps in proptest::collection::vec(
+            ("[a-z][a-z0-9_-]{0,8}", 0usize..6usize), 0..6),
+    ) {
+        let connectors = ["@>", "<@", "$>", "<$", ".", "~"];
+        let mut text = root;
+        for (name, c) in &steps {
+            text.push_str(connectors[*c % connectors.len()]);
+            text.push_str(name);
+        }
+        let ast = parse_path_expression(&text).unwrap();
+        let printed = ast.to_string();
+        prop_assert_eq!(&printed, &text);
+        prop_assert_eq!(parse_path_expression(&printed).unwrap(), ast);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Generated schemas serialize and deserialize losslessly.
+    #[test]
+    fn schema_serde_round_trip(seed in 0u64..500) {
+        let gen = generate_schema(&GenConfig {
+            classes: 16,
+            tree_roots: 1,
+            assoc_edges: 4,
+            hubs: 1,
+            hub_degree: 3,
+            seed,
+            ..GenConfig::default()
+        });
+        let json = gen.schema.to_json();
+        let back = Schema::from_json(&json).unwrap();
+        prop_assert_eq!(back.class_count(), gen.schema.class_count());
+        prop_assert_eq!(back.rel_count(), gen.schema.rel_count());
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    /// Engine output invariants on random schemas: every completion is
+    /// acyclic, consistent (ends with the target name), has a correct
+    /// incremental label, and the result set is AGG*-closed.
+    #[test]
+    fn engine_output_invariants(seed in 0u64..300) {
+        let gen = generate_schema(&GenConfig {
+            classes: 20,
+            tree_roots: 2,
+            assoc_edges: 5,
+            hubs: 1,
+            hub_degree: 3,
+            seed,
+            ..GenConfig::default()
+        });
+        let schema = &gen.schema;
+        let engine = Completer::new(schema);
+        for target in ["name", "value", "rate"] {
+            let Some(sym) = schema.symbol(target) else { continue };
+            if schema.rels_named(sym).is_empty() {
+                continue;
+            }
+            for class in schema.classes().step_by(5) {
+                if schema.is_primitive(class) {
+                    continue;
+                }
+                let expr = format!("{}~{}", schema.class_name(class), target);
+                let out = engine.complete(&parse_path_expression(&expr).unwrap()).unwrap();
+                for c in &out {
+                    // Consistency: right root, right final name.
+                    prop_assert_eq!(c.root, class);
+                    prop_assert_eq!(
+                        schema.rel_name(*c.edges.last().unwrap()),
+                        target
+                    );
+                    // Acyclicity.
+                    let classes = c.classes(schema);
+                    let mut d = classes.clone();
+                    d.sort();
+                    d.dedup();
+                    prop_assert_eq!(d.len(), classes.len());
+                    // Label integrity.
+                    prop_assert_eq!(c.label, c.recompute_label(schema));
+                }
+                // AGG*-closure: at E=1 all results share the optimal rank
+                // and semantic length, so no result dominates another.
+                use ipe::algebra::moose::dominates;
+                for x in &out {
+                    for y in &out {
+                        prop_assert!(
+                            !dominates(&x.label, &y.label),
+                            "{}: {:?} dominates {:?}",
+                            expr,
+                            x.label,
+                            y.label
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

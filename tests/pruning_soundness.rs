@@ -1,0 +1,217 @@
+//! Soundness of the engine's pruning modes against the exhaustive oracle,
+//! over randomized CUPID-style schemas and query populations.
+//!
+//! * `Safe` (the default) must return **exactly** the oracle's optimal set.
+//! * `Paper` (Algorithm 2 verbatim, caution sets included) is expected to
+//!   match almost always; its rare misses are the connector-level caution
+//!   set's blind spots discussed in DESIGN.md, and we assert they stay
+//!   rare rather than that they never happen.
+
+use ipe::core::{exhaustive, Completer, CompletionConfig, Pruning};
+use ipe::gen::{generate_schema, GenConfig};
+use ipe::parser::parse_path_expression;
+use ipe::schema::Schema;
+
+fn optimal_texts(
+    schema: &Schema,
+    root_name: &str,
+    target: &str,
+    cfg: &CompletionConfig,
+) -> Vec<String> {
+    let root = schema.class_named(root_name).unwrap();
+    let mut t: Vec<String> = exhaustive::optimal_via_enumeration(schema, root, target, cfg)
+        .unwrap()
+        .completions
+        .iter()
+        .map(|c| c.display(schema).to_string())
+        .collect();
+    t.sort();
+    t
+}
+
+fn engine_texts(
+    schema: &Schema,
+    root_name: &str,
+    target: &str,
+    cfg: CompletionConfig,
+) -> Vec<String> {
+    let engine = Completer::with_config(schema, cfg);
+    let ast = parse_path_expression(&format!("{root_name}~{target}")).unwrap();
+    let mut t: Vec<String> = engine
+        .complete(&ast)
+        .unwrap()
+        .iter()
+        .map(|c| c.display(schema).to_string())
+        .collect();
+    t.sort();
+    t
+}
+
+/// Query population: every (class, target-name) pair drawn from a sample of
+/// classes and the shared attribute pool.
+fn query_population(schema: &Schema) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let targets = ["name", "value", "rate", "depth", "temp"];
+    for class in schema.classes().step_by(7) {
+        if schema.is_primitive(class) {
+            continue;
+        }
+        let root = schema.class_name(class).to_owned();
+        for t in targets {
+            if schema
+                .symbol(t)
+                .is_some_and(|s| !schema.rels_named(s).is_empty())
+            {
+                out.push((root.clone(), t.to_owned()));
+            }
+        }
+    }
+    out
+}
+
+fn small_gen(seed: u64) -> ipe::gen::GeneratedSchema {
+    generate_schema(&GenConfig {
+        classes: 24,
+        tree_roots: 2,
+        assoc_edges: 6,
+        hubs: 1,
+        hub_degree: 4,
+        seed,
+        ..GenConfig::default()
+    })
+}
+
+#[test]
+fn safe_mode_matches_oracle_exactly() {
+    for seed in 0..6 {
+        let gen = small_gen(seed);
+        for e in [1usize, 2, 3] {
+            let cfg = CompletionConfig {
+                e,
+                max_depth: 14,
+                ..Default::default()
+            };
+            for (root, target) in query_population(&gen.schema) {
+                let want = optimal_texts(&gen.schema, &root, &target, &cfg);
+                let got = engine_texts(&gen.schema, &root, &target, cfg.clone());
+                assert_eq!(got, want, "seed={seed} e={e} {root}~{target}");
+            }
+        }
+    }
+}
+
+#[test]
+fn none_mode_matches_oracle_exactly() {
+    let gen = small_gen(9);
+    let cfg = CompletionConfig {
+        pruning: Pruning::None,
+        max_depth: 14,
+        ..Default::default()
+    };
+    for (root, target) in query_population(&gen.schema) {
+        let want = optimal_texts(&gen.schema, &root, &target, &cfg);
+        let got = engine_texts(&gen.schema, &root, &target, cfg.clone());
+        assert_eq!(got, want, "{root}~{target}");
+    }
+}
+
+#[test]
+fn paper_mode_is_rarely_wrong() {
+    let mut total = 0usize;
+    let mut agree = 0usize;
+    for seed in 0..6 {
+        let gen = small_gen(seed + 100);
+        let cfg = CompletionConfig {
+            pruning: Pruning::Paper,
+            max_depth: 14,
+            ..Default::default()
+        };
+        for (root, target) in query_population(&gen.schema) {
+            let want = optimal_texts(&gen.schema, &root, &target, &cfg);
+            let got = engine_texts(&gen.schema, &root, &target, cfg.clone());
+            total += 1;
+            if got == want {
+                agree += 1;
+            }
+        }
+    }
+    assert!(total > 50, "population too small ({total})");
+    let ratio = agree as f64 / total as f64;
+    // The residual divergence is the documented caution-set blind spot:
+    // connector-level caution cannot see semantic-length junction effects,
+    // so a few prefixes are pruned whose extensions would have tied. The
+    // rate is schema-dependent; on these randomized schemas it stays under
+    // ~10%.
+    assert!(
+        ratio >= 0.85,
+        "Paper-mode pruning diverged from the oracle on {} of {} queries",
+        total - agree,
+        total
+    );
+}
+
+/// The caution-free ablation must never beat full Paper mode against the
+/// oracle: removing caution sets can only lose answers.
+#[test]
+fn no_caution_is_no_better_than_paper() {
+    let mut paper_hits = 0usize;
+    let mut ablated_hits = 0usize;
+    for seed in 0..4 {
+        let gen = small_gen(seed + 300);
+        for (root, target) in query_population(&gen.schema) {
+            let oracle_cfg = CompletionConfig {
+                max_depth: 14,
+                ..Default::default()
+            };
+            let want = optimal_texts(&gen.schema, &root, &target, &oracle_cfg);
+            for (mode, hits) in [
+                (Pruning::Paper, &mut paper_hits),
+                (Pruning::PaperNoCaution, &mut ablated_hits),
+            ] {
+                let got = engine_texts(
+                    &gen.schema,
+                    &root,
+                    &target,
+                    CompletionConfig {
+                        pruning: mode,
+                        max_depth: 14,
+                        ..Default::default()
+                    },
+                );
+                if got == want {
+                    *hits += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        paper_hits >= ablated_hits,
+        "caution sets lost accuracy: paper {paper_hits} vs ablated {ablated_hits}"
+    );
+}
+
+#[test]
+fn safe_never_returns_fewer_results_than_paper_misses() {
+    // Sanity relation: Paper-mode output labels can never be *better* than
+    // Safe-mode output labels (Safe is exact).
+    use ipe::algebra::moose::rank;
+    let gen = small_gen(77);
+    for (root, target) in query_population(&gen.schema) {
+        let safe_engine = Completer::new(&gen.schema);
+        let paper_engine = Completer::with_config(
+            &gen.schema,
+            CompletionConfig {
+                pruning: Pruning::Paper,
+                ..Default::default()
+            },
+        );
+        let ast = parse_path_expression(&format!("{root}~{target}")).unwrap();
+        let safe = safe_engine.complete(&ast).unwrap();
+        let paper = paper_engine.complete(&ast).unwrap();
+        if let (Some(s), Some(p)) = (safe.first(), paper.first()) {
+            let sk = (rank(s.label.connector), s.label.semlen);
+            let pk = (rank(p.label.connector), p.label.semlen);
+            assert!(sk <= pk, "{root}~{target}: safe {sk:?} vs paper {pk:?}");
+        }
+    }
+}
