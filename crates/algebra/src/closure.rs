@@ -32,6 +32,7 @@ pub fn all_pairs_floyd<N, Ed, A: PathAlgebra>(
     algebra: &A,
     edge_label: impl Fn(EdgeId, &Edge<Ed>) -> A::Label,
 ) -> Vec<Vec<Vec<A::Label>>> {
+    ipe_obs::counter!("algebra.closure.floyd_runs", 1);
     let n = graph.node_count();
     let mut m: Vec<Vec<Vec<A::Label>>> = vec![vec![Vec::new(); n]; n];
     for (eid, e) in graph.edges() {
@@ -72,6 +73,7 @@ pub fn all_pairs_traversal<N, Ed, A: PathAlgebra>(
     algebra: &A,
     edge_label: impl Fn(EdgeId, &Edge<Ed>) -> A::Label + Copy,
 ) -> Vec<Vec<Vec<A::Label>>> {
+    ipe_obs::counter!("algebra.closure.traversal_runs", 1);
     let n = graph.node_count();
     let mut m: Vec<Vec<Vec<A::Label>>> = vec![vec![Vec::new(); n]; n];
     for s in graph.node_ids() {
@@ -84,11 +86,7 @@ pub fn all_pairs_traversal<N, Ed, A: PathAlgebra>(
 }
 
 /// Convenience: single-pair closure entry.
-pub fn between<A: PathAlgebra>(
-    matrix: &[Vec<Vec<A::Label>>],
-    s: NodeId,
-    t: NodeId,
-) -> &[A::Label] {
+pub fn between<A: PathAlgebra>(matrix: &[Vec<Vec<A::Label>>], s: NodeId, t: NodeId) -> &[A::Label] {
     &matrix[s.index()][t.index()]
 }
 
@@ -144,8 +142,8 @@ mod tests {
     fn diagonal_is_identity() {
         let g = grid();
         let f = all_pairs_floyd(&g, &ShortestPath, |_, e| e.weight);
-        for i in 0..g.node_count() {
-            assert_eq!(f[i][i], vec![0]);
+        for (i, row) in f.iter().enumerate() {
+            assert_eq!(row[i], vec![0]);
         }
     }
 
@@ -153,10 +151,7 @@ mod tests {
     fn between_indexes_the_matrix() {
         let g = grid();
         let f = all_pairs_floyd(&g, &ShortestPath, |_, e| e.weight);
-        assert_eq!(
-            between::<ShortestPath>(&f, NodeId(0), NodeId(3)),
-            &[2][..]
-        );
+        assert_eq!(between::<ShortestPath>(&f, NodeId(0), NodeId(3)), &[2][..]);
     }
 
     /// On cyclic graphs with nonnegative weights, Floyd and the traversal

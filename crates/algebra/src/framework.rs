@@ -66,7 +66,11 @@ pub fn agg<A: PathAlgebra>(algebra: &A, labels: &[A::Label]) -> Vec<A::Label> {
 ///
 /// This is the `best[v] := AGG({l} ∪ best[v])` step of the paper's
 /// algorithms, done in place.
-pub fn agg_into<A: PathAlgebra>(algebra: &A, set: &mut Vec<A::Label>, candidate: &A::Label) -> bool {
+pub fn agg_into<A: PathAlgebra>(
+    algebra: &A,
+    set: &mut Vec<A::Label>,
+    candidate: &A::Label,
+) -> bool {
     if set.contains(candidate) {
         return true;
     }
@@ -104,7 +108,7 @@ mod tests {
 
     #[test]
     fn agg_keeps_incomparable_labels() {
-        let a = MooseAlgebra::default();
+        let a = MooseAlgebra;
         // Isa and May-Be paths of the same semantic length are incomparable.
         let isa = Label::single(crate::moose::RelKind::Isa);
         let maybe = Label::single(crate::moose::RelKind::MayBe);
@@ -120,13 +124,16 @@ mod tests {
         assert_eq!(set, vec![3]);
         assert!(!agg_into(&a, &mut set, &9));
         assert_eq!(set, vec![3]);
-        assert!(agg_into(&a, &mut set, &3), "equal label counts as surviving");
+        assert!(
+            agg_into(&a, &mut set, &3),
+            "equal label counts as surviving"
+        );
         assert_eq!(set, vec![3]);
     }
 
     #[test]
     fn agg_into_matches_agg() {
-        let a = MooseAlgebra::default();
+        let a = MooseAlgebra;
         let labels: Vec<Label> = vec![
             Label::single(crate::moose::RelKind::Assoc),
             Label::single(crate::moose::RelKind::HasPart),
@@ -143,9 +150,8 @@ mod tests {
             assert!(incremental.contains(l));
         }
         // Only the two semantic-length-0 connectors survive.
-        assert!(batch.iter().all(|l| matches!(
-            l.connector,
-            Connector::ISA | Connector::MAY_BE
-        )));
+        assert!(batch
+            .iter()
+            .all(|l| matches!(l.connector, Connector::ISA | Connector::MAY_BE)));
     }
 }

@@ -61,6 +61,7 @@ pub fn dominates(a: &Label, b: &Label) -> bool {
 /// Panics if `e == 0`; the paper requires `E ≥ 1`.
 pub fn agg_star(labels: &[Label], e: usize) -> Vec<Label> {
     assert!(e >= 1, "AGG* requires E >= 1");
+    ipe_obs::counter!("algebra.agg_star.calls", 1);
     let Some(best_rank) = labels.iter().map(|l| rank(l.connector)).min() else {
         return Vec::new();
     };
@@ -107,6 +108,7 @@ pub fn survives_agg_star(candidate: &Label, set: &[Label], e: usize) -> bool {
 /// the candidate survived (`best[u] := AGG*({l_u} ∪ best[u])`, line 12).
 pub fn agg_star_into(set: &mut Vec<Label>, candidate: &Label, e: usize) -> bool {
     if !survives_agg_star(candidate, set, e) {
+        ipe_obs::counter!("algebra.agg_star.dominated", 1);
         return false;
     }
     if !set.contains(candidate) {

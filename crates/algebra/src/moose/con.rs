@@ -185,10 +185,7 @@ mod tests {
             for b in Connector::all() {
                 if a.possibly || b.possibly {
                     let r = compose(a, b);
-                    assert!(
-                        r.possibly,
-                        "CON({a}, {b}) = {r} should be Possibly"
-                    );
+                    assert!(r.possibly, "CON({a}, {b}) = {r} should be Possibly");
                 }
             }
         }
@@ -200,10 +197,7 @@ mod tests {
     fn possibly_tables_mirror_plain_table() {
         for a in Connector::all() {
             for b in Connector::all() {
-                let plain = compose(
-                    Connector::primary(a.base),
-                    Connector::primary(b.base),
-                );
+                let plain = compose(Connector::primary(a.base), Connector::primary(b.base));
                 assert_eq!(compose(a, b).base, plain.base);
             }
         }

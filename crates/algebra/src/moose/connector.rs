@@ -242,9 +242,10 @@ impl Connector {
     pub fn all() -> impl Iterator<Item = Connector> {
         Base::ALL.into_iter().flat_map(|b| {
             let plain = std::iter::once(Connector::primary(b));
-            let poss = b
-                .has_possibly()
-                .then_some(Connector { base: b, possibly: true });
+            let poss = b.has_possibly().then_some(Connector {
+                base: b,
+                possibly: true,
+            });
             plain.chain(poss)
         })
     }

@@ -103,9 +103,7 @@ impl Label {
 
     /// The label of a whole path given its edge kinds.
     pub fn of_kinds(kinds: &[RelKind]) -> Label {
-        kinds
-            .iter()
-            .fold(Label::IDENTITY, |acc, &k| acc.extend(k))
+        kinds.iter().fold(Label::IDENTITY, |acc, &k| acc.extend(k))
     }
 }
 

@@ -179,8 +179,8 @@ mod tests {
             // built from raw kind-sequences (e.g. [Isa] alone), so restrict
             // the check accordingly (DESIGN.md §6).
             use crate::moose::Connector;
-            let isa_family_zero = l1.semlen == 0
-                && matches!(l1.connector, Connector::ISA | Connector::MAY_BE);
+            let isa_family_zero =
+                l1.semlen == 0 && matches!(l1.connector, Connector::ISA | Connector::MAY_BE);
             if !isa_family_zero {
                 assert!(identity_annihilates(&a, l1), "{l1:?}");
             }
@@ -218,11 +218,7 @@ mod tests {
     /// The classic algebras admit no counterexample over their populations.
     #[test]
     fn classic_algebras_have_no_counterexample() {
-        assert!(
-            find_distributivity_counterexample(&ShortestPath, &[0, 1, 2, 5, 9]).is_none()
-        );
-        assert!(
-            find_distributivity_counterexample(&WidestPath, &[1, 4, 9, u64::MAX]).is_none()
-        );
+        assert!(find_distributivity_counterexample(&ShortestPath, &[0, 1, 2, 5, 9]).is_none());
+        assert!(find_distributivity_counterexample(&WidestPath, &[1, 4, 9, u64::MAX]).is_none());
     }
 }

@@ -73,6 +73,7 @@ where
 {
     fn traverse(&mut self, v: NodeId, l_v: A::Label) {
         self.stats.calls += 1;
+        ipe_obs::counter!("algebra.solver.calls", 1);
         self.visited[v.index()] = true;
         // Lines (2)-(4): explore edges into T out of order, so complete
         // paths are discovered as early as possible.
@@ -80,6 +81,7 @@ where
             let edge = self.graph.edge(eid);
             if edge.target == self.target {
                 self.stats.edges_considered += 1;
+                ipe_obs::counter!("algebra.solver.edges", 1);
                 let label = self.algebra.con(&l_v, &(self.edge_label)(eid, edge));
                 agg_into(self.algebra, &mut self.best_t, &label);
             }
@@ -92,6 +94,7 @@ where
                 continue;
             }
             self.stats.edges_considered += 1;
+            ipe_obs::counter!("algebra.solver.edges", 1);
             let l_u = self.algebra.con(&l_v, &(self.edge_label)(eid, edge));
             // Line (7): acyclicity. Line (8): monotonicity bound against
             // best[T]. Line (9): distributivity bound against best[u].
@@ -137,8 +140,7 @@ mod tests {
         g.add_edge(a, c, 5);
         g.add_edge(c, d, 1);
         g.add_edge(a, d, 3);
-        let (labels, stats) =
-            optimal_path_labels(&g, &ShortestPath, |_, e| e.weight, a, d);
+        let (labels, stats) = optimal_path_labels(&g, &ShortestPath, |_, e| e.weight, a, d);
         assert_eq!(labels, vec![2]);
         assert!(stats.calls >= 1);
     }
@@ -171,13 +173,7 @@ mod tests {
         g.add_edge(a, c, 0.5);
         g.add_edge(a, b, 0.9);
         g.add_edge(b, c, 0.9);
-        let (labels, _) = optimal_path_labels(
-            &g,
-            &MostReliable,
-            |_, e| Prob::new(e.weight),
-            a,
-            c,
-        );
+        let (labels, _) = optimal_path_labels(&g, &MostReliable, |_, e| Prob::new(e.weight), a, c);
         assert_eq!(labels.len(), 1);
         assert!((labels[0].value() - 0.81).abs() < 1e-12);
     }

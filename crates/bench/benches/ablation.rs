@@ -106,7 +106,7 @@ fn bench_order_ablation(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_inheritance_criterion, bench_caution_ablation, bench_order_ablation

@@ -54,7 +54,7 @@ fn bench_agg_star(c: &mut Criterion) {
         })
         .collect();
     for e in [1usize, 3, 5] {
-        c.bench_function(&format!("agg_star_64_labels_e{e}"), |b| {
+        c.bench_function(format!("agg_star_64_labels_e{e}"), |b| {
             b.iter(|| agg_star(black_box(&labels), e))
         });
     }
@@ -72,7 +72,7 @@ fn bench_caution(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_con, bench_label_con, bench_agg_star, bench_caution

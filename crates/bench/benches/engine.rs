@@ -19,6 +19,36 @@ fn bench_university(c: &mut Criterion) {
     });
 }
 
+/// The observability overhead pair: the same query under the build's
+/// metrics mode. Run once normally and once with `--features obs-off`;
+/// comparing `obs/instrumented/...` against `obs/obs_off/...` bounds the
+/// cost of the always-on counters (the tracing ring buffer is off in both —
+/// it only runs when a caller asks for a trace).
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mode = if cfg!(feature = "obs-off") {
+        "obs_off"
+    } else {
+        "instrumented"
+    };
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    let ast = parse_path_expression("ta~name").unwrap();
+    c.bench_function(format!("obs/{mode}/university_ta_name"), |b| {
+        b.iter(|| engine.complete(black_box(&ast)).unwrap())
+    });
+    // Per-event cost of an enabled trace: the same search with a ring
+    // buffer attached, normalized per recorded event by the caller.
+    let events = engine.complete_traced(&ast, 1 << 16).unwrap().trace.len();
+    c.bench_function(
+        format!("obs/{mode}/university_ta_name_traced_{events}ev"),
+        |b| b.iter(|| engine.complete_traced(black_box(&ast), 1 << 16).unwrap()),
+    );
+    // The raw hot-path primitive: one counter bump.
+    c.bench_function(format!("obs/{mode}/counter_add"), |b| {
+        b.iter(|| ipe_obs::counter!("bench.obs.counter_add", black_box(1u64)))
+    });
+}
+
 fn bench_cupid_queries(c: &mut Criterion) {
     let (gen, workload) = experiment_setup(1994);
     let engine = Completer::new(&gen.schema);
@@ -86,10 +116,11 @@ fn bench_pruning_vs_exhaustive(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets =     bench_university,
+    bench_obs_overhead,
     bench_cupid_queries,
     bench_e_sweep,
     bench_pruning_vs_exhaustive

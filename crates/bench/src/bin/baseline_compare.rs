@@ -72,16 +72,15 @@ fn main() {
         pct(avg(4)),
         format!("{:.1}", avg(5)),
     ]);
-    println!(
-        "Baseline comparison at E=1  ({n} queries over {nseeds} seeds from {seed})\n"
-    );
+    println!("Baseline comparison at E=1  ({n} queries over {nseeds} seeds from {seed})\n");
     print!(
         "{}",
-        ipe_metrics::table::render(
-            &["system", "recall", "precision", "avg |S|"],
-            &rows
-        )
+        ipe_metrics::table::render(&["system", "recall", "precision", "avg |S|"], &rows)
     );
     println!("\nThe hop-count baseline ignores relationship kinds and semantic length;");
     println!("its losses quantify the value of the paper's CON/AGG design.");
+    ipe_bench::write_run_report(
+        "baseline_compare",
+        &[("seed", &seed.to_string()), ("nseeds", &nseeds.to_string())],
+    );
 }

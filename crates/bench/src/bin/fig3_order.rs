@@ -54,4 +54,5 @@ fn main() {
         "@> is among the strongest connectors",
         Connector::all().all(|c| !better(c, Connector::ISA)),
     );
+    ipe_bench::write_run_report("fig3_order", &[]);
 }

@@ -55,7 +55,14 @@ fn main() {
         .collect();
     print!(
         "{}",
-        ipe_metrics::table::render(&["E", "recall (standard)", "recall (domain knowledge)"], &rows)
+        ipe_metrics::table::render(
+            &["E", "recall (standard)", "recall (domain knowledge)"],
+            &rows
+        )
     );
     println!("\npaper: ~90% at every E, both variants (Section 5.3, Figure 5)");
+    ipe_bench::write_run_report(
+        "fig5_recall",
+        &[("seed", &seed.to_string()), ("nseeds", &nseeds.to_string())],
+    );
 }

@@ -71,4 +71,8 @@ fn main() {
     );
     println!("\npaper: 100% at E=1; standard falls to ~55% by E=5, domain knowledge stays ~93%");
     println!("paper: 2-3 path expressions returned at E=1 (Section 5.3)");
+    ipe_bench::write_run_report(
+        "fig6_precision",
+        &[("seed", &seed.to_string()), ("nseeds", &nseeds.to_string())],
+    );
 }

@@ -16,9 +16,7 @@ fn main() {
         .unwrap_or(DEFAULT_SEED);
     let (gen, workload) = experiment_setup(seed);
     let timings = time_queries(&gen, &workload, 5);
-    println!(
-        "Figure 7: response time per query at E=5  (CUPID-calibrated schema, seed {seed})\n"
-    );
+    println!("Figure 7: response time per query at E=5  (CUPID-calibrated schema, seed {seed})\n");
     let rows: Vec<Vec<String>> = timings
         .iter()
         .enumerate()
@@ -58,4 +56,5 @@ fn main() {
     );
     println!("paper: avg 6.29 s, worst 14.45 s, 0.17 ms per recursive call (1994 hardware);");
     println!("the expected shape — orders of magnitude of variance across queries, worst several times the average — holds.");
+    ipe_bench::write_run_report("fig7_response_time", &[("seed", &seed.to_string())]);
 }

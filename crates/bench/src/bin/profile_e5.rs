@@ -35,4 +35,5 @@ fn main() {
             );
         }
     }
+    ipe_bench::write_run_report("profile_e5", &[("seed", "1994")]);
 }

@@ -37,10 +37,7 @@ fn main() {
                 ..Default::default()
             },
         );
-        let mut row = vec![
-            classes.to_string(),
-            gen.schema.rel_count().to_string(),
-        ];
+        let mut row = vec![classes.to_string(), gen.schema.rel_count().to_string()];
         for pruning in [Pruning::Safe, Pruning::Paper, Pruning::None] {
             // Unpruned search must be depth-capped: it visits every acyclic
             // path, which is super-exponential at full depth.
@@ -76,4 +73,5 @@ fn main() {
             &rows
         )
     );
+    ipe_bench::write_run_report("scaling", &[("seed", &seed.to_string())]);
 }

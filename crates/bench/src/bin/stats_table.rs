@@ -88,4 +88,5 @@ fn main() {
         sum_returned as f64 / n as f64,
         if len_count == 0 { 0.0 } else { sum_len as f64 / len_count as f64 },
     );
+    ipe_bench::write_run_report("stats_table", &[("seed", &seed.to_string())]);
 }

@@ -12,9 +12,7 @@ fn main() {
     for r in bases {
         let mut row = vec![r.symbol().to_owned()];
         for c in bases {
-            row.push(
-                compose(Connector::primary(r), Connector::primary(c)).to_string(),
-            );
+            row.push(compose(Connector::primary(r), Connector::primary(c)).to_string());
         }
         rows.push(row);
     }
@@ -25,9 +23,7 @@ fn main() {
     println!("(entries the published table leaves blank are `..`; see DESIGN.md)\n");
     print!("{}", ipe_metrics::table::render(&headers, &rows));
     println!();
-    println!(
-        "Possibly rule: if either argument is a Possibly connector (suffix `*`),"
-    );
+    println!("Possibly rule: if either argument is a Possibly connector (suffix `*`),");
     println!("the result is the Possibly version of the plain composition, e.g.");
     println!(
         "CON($>*, <$) = {}   CON(., <@) = {}",
@@ -35,7 +31,10 @@ fn main() {
             Connector::primary(Base::HasPart).possibly(),
             Connector::primary(Base::IsPartOf)
         ),
-        compose(Connector::primary(Base::Assoc), Connector::primary(Base::MayBe)),
+        compose(
+            Connector::primary(Base::Assoc),
+            Connector::primary(Base::MayBe)
+        ),
     );
     // Closure check, as the paper asserts for Σ.
     let mut count = 0;
@@ -46,4 +45,5 @@ fn main() {
         }
     }
     println!("\nΣ is closed under CON_c ({count} compositions checked).");
+    ipe_bench::write_run_report("table1_con", &[]);
 }

@@ -32,6 +32,28 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
 }
 
+/// Writes a machine-readable run report for an experiment binary.
+///
+/// The report captures the global `ipe-obs` counter/timer registries plus
+/// any key/value metadata the binary supplies, and lands in
+/// `BENCH_<name>.json` — in `$OBS_REPORT_DIR` when set, else the current
+/// directory. Failures are reported on stderr but never fail the
+/// experiment; in `obs-off` builds the metric sections are empty.
+pub fn write_run_report(name: &str, meta: &[(&str, &str)]) {
+    let mut report = ipe_obs::Report::new();
+    report.meta("experiment", name);
+    for (k, v) in meta {
+        report.meta(*k, *v);
+    }
+    report.capture_metrics();
+    let dir = std::env::var("OBS_REPORT_DIR").unwrap_or_else(|_| ".".to_owned());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    match report.write_to(&path) {
+        Ok(()) => eprintln!("(run report written to {})", path.display()),
+        Err(e) => eprintln!("warning: cannot write run report {}: {e}", path.display()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

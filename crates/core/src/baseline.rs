@@ -48,11 +48,8 @@ impl<'s> HopBaseline<'s> {
 
     /// All consistent acyclic completions of `root ~ name` whose length is
     /// within `slack` of the minimum, shortest first.
-    pub fn complete(
-        &self,
-        root: ClassId,
-        name: &str,
-    ) -> Result<Vec<Completion>, CompleteError> {
+    pub fn complete(&self, root: ClassId, name: &str) -> Result<Vec<Completion>, CompleteError> {
+        ipe_obs::counter!("core.baseline.queries", 1);
         let mut all = all_consistent(self.schema, root, name, &self.config)?;
         let Some(min) = all.iter().map(|c| c.len()).min() else {
             return Ok(Vec::new());
@@ -96,8 +93,10 @@ mod tests {
         let smart = engine
             .complete(&parse_path_expression("ta~name").unwrap())
             .unwrap();
-        let hop_texts: Vec<String> =
-            hops.iter().map(|c| c.display(&schema).to_string()).collect();
+        let hop_texts: Vec<String> = hops
+            .iter()
+            .map(|c| c.display(&schema).to_string())
+            .collect();
         let smart_texts: Vec<String> = smart
             .iter()
             .map(|c| c.display(&schema).to_string())
@@ -108,8 +107,7 @@ mod tests {
             "{hop_texts:?}"
         );
         // The longer intended reading is beyond the baseline's horizon.
-        let instructor_chain =
-            "ta@>instructor@>teacher@>employee@>person.name".to_string();
+        let instructor_chain = "ta@>instructor@>teacher@>employee@>person.name".to_string();
         assert!(!hop_texts.contains(&instructor_chain), "{hop_texts:?}");
         assert!(smart_texts.contains(&instructor_chain));
         assert_eq!(smart_texts.len(), 2);

@@ -4,20 +4,22 @@
 use crate::config::{CompletionConfig, Pruning};
 use crate::error::CompleteError;
 use crate::multi;
+use crate::observe;
 use crate::path::Completion;
 use crate::preempt::apply_inheritance_criterion;
 use crate::resolve::{resolve_ast, RStep};
 use ipe_algebra::moose::{
-    agg_star, agg_star_into, future_rank_dominates_weakly, in_caution_set, rank,
-    survives_agg_star, Label,
+    agg_star, agg_star_into, future_rank_dominates_weakly, in_caution_set, rank, survives_agg_star,
+    Label,
 };
+use ipe_obs::{EventKind, SearchTrace};
 use ipe_parser::PathExprAst;
 use ipe_schema::{ClassId, RelId, Schema, Symbol};
 
 /// Counters describing one completion run, mirroring the paper's Section
 /// 5.4 measurements (each recursive call "corresponds to an exploration of
 /// a class node in the schema").
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
 pub struct SearchStats {
     /// Recursive `traverse` calls (node explorations).
     pub calls: u64,
@@ -53,12 +55,23 @@ impl SearchStats {
 }
 
 /// Completions plus the statistics of the run that produced them.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize)]
 pub struct SearchOutcome {
     /// The optimal completions, best label first.
     pub completions: Vec<Completion>,
     /// Search counters.
     pub stats: SearchStats,
+}
+
+/// A [`SearchOutcome`] together with the structured event trace of the run
+/// that produced it (see [`Completer::complete_traced`]).
+#[derive(Clone, Debug)]
+pub struct TracedOutcome {
+    /// Completions and counters, as from
+    /// [`complete_with_stats`](Completer::complete_with_stats).
+    pub outcome: SearchOutcome,
+    /// The recorded search events. Disabled (empty) in `obs-off` builds.
+    pub trace: SearchTrace,
 }
 
 /// The completion engine over one schema.
@@ -133,7 +146,35 @@ impl<'s> Completer<'s> {
 
     /// Like [`complete`](Completer::complete), also returning statistics.
     pub fn complete_with_stats(&self, ast: &PathExprAst) -> Result<SearchOutcome, CompleteError> {
-        let (root, steps) = resolve_ast(self.schema, ast)?;
+        let mut trace = SearchTrace::disabled();
+        self.complete_inner(ast, &mut trace)
+    }
+
+    /// Like [`complete_with_stats`](Completer::complete_with_stats), also
+    /// recording up to `trace_capacity` structured search events (node
+    /// expansions, prunes, branch-and-bound cuts, caution-set overrides,
+    /// final-filter rejections). In `obs-off` builds the returned trace is
+    /// always empty.
+    pub fn complete_traced(
+        &self,
+        ast: &PathExprAst,
+        trace_capacity: usize,
+    ) -> Result<TracedOutcome, CompleteError> {
+        let mut trace = SearchTrace::with_capacity(trace_capacity);
+        let outcome = self.complete_inner(ast, &mut trace)?;
+        Ok(TracedOutcome { outcome, trace })
+    }
+
+    fn complete_inner(
+        &self,
+        ast: &PathExprAst,
+        trace: &mut SearchTrace,
+    ) -> Result<SearchOutcome, CompleteError> {
+        ipe_obs::counter!("core.queries", 1);
+        let (root, steps) = {
+            let _t = ipe_obs::timer!("core.phase.resolve");
+            resolve_ast(self.schema, ast)?
+        };
         let tilde_count = steps
             .iter()
             .filter(|s| matches!(s, RStep::Tilde { .. }))
@@ -146,9 +187,9 @@ impl<'s> Completer<'s> {
             });
         }
         if tilde_count == 1 && matches!(steps.last(), Some(RStep::Tilde { .. })) {
-            return self.complete_trailing_tilde(root, &steps);
+            return self.complete_trailing_tilde(root, &steps, trace);
         }
-        multi::complete_general(self, root, &steps)
+        multi::complete_general(self, root, &steps, trace)
     }
 
     /// Validates a complete expression by walking it.
@@ -164,13 +205,12 @@ impl<'s> Completer<'s> {
             let RStep::Explicit { kind, name } = *step else {
                 unreachable!("walk_complete only handles explicit steps");
             };
-            let rel = self
-                .schema
-                .out_rel_named(current, name)
-                .ok_or_else(|| CompleteError::UnknownStep {
+            let rel = self.schema.out_rel_named(current, name).ok_or_else(|| {
+                CompleteError::UnknownStep {
                     class: self.schema.class_name(current).to_owned(),
                     name: self.schema.name(name).to_owned(),
-                })?;
+                }
+            })?;
             if rel.kind != kind {
                 return Err(CompleteError::ConnectorMismatch {
                     class: self.schema.class_name(current).to_owned(),
@@ -191,6 +231,7 @@ impl<'s> Completer<'s> {
         &self,
         root: ClassId,
         steps: &[RStep],
+        trace: &mut SearchTrace,
     ) -> Result<SearchOutcome, CompleteError> {
         let (prefix_steps, tilde) = steps.split_at(steps.len() - 1);
         let RStep::Tilde { name } = tilde[0] else {
@@ -207,8 +248,14 @@ impl<'s> Completer<'s> {
         on_path[anchor.index()] = false;
 
         let mut search = SegmentSearch::new(self, name, false);
+        search.trace = trace.take();
         let mut path_buf = Vec::new();
-        search.traverse(anchor, prefix.label, &mut on_path, &mut path_buf)?;
+        let r = {
+            let _t = ipe_obs::timer!("core.phase.search");
+            search.traverse(anchor, prefix.label, &mut on_path, &mut path_buf)
+        };
+        *trace = search.trace.take();
+        r?;
         let SegmentSearch {
             mut found, stats, ..
         } = search;
@@ -219,21 +266,54 @@ impl<'s> Completer<'s> {
             c.edges = edges;
             c.root = root;
         }
-        Ok(self.finalize(found, stats))
+        Ok(self.finalize_traced(found, stats, trace))
     }
 
     /// Final filtering shared by all drivers: inheritance-semantics
     /// preemption, AGG* on labels, and a stable quality sort.
-    pub(crate) fn finalize(
+    pub(crate) fn finalize(&self, found: Vec<Completion>, stats: SearchStats) -> SearchOutcome {
+        self.finalize_traced(found, stats, &mut SearchTrace::disabled())
+    }
+
+    /// [`finalize`](Completer::finalize), additionally recording an
+    /// [`EventKind::InheritanceReject`] or [`EventKind::AggDominated`]
+    /// event for every completion the final filters drop.
+    pub(crate) fn finalize_traced(
         &self,
         mut found: Vec<Completion>,
         stats: SearchStats,
+        trace: &mut SearchTrace,
     ) -> SearchOutcome {
+        let _t = ipe_obs::timer!("core.phase.finalize");
         if self.config.inheritance_criterion {
+            let before = if trace.is_enabled() {
+                found.clone()
+            } else {
+                Vec::new()
+            };
             apply_inheritance_criterion(self.schema, &mut found);
+            for c in before.iter().filter(|c| !found.contains(c)) {
+                ipe_obs::counter!("core.finalize.inheritance_rejects", 1);
+                trace.record(observe::ev(
+                    EventKind::InheritanceReject,
+                    c.target(self.schema),
+                    &c.label,
+                    c.edges.len(),
+                ));
+            }
         }
         let labels: Vec<Label> = found.iter().map(|c| c.label).collect();
         let keep = agg_star(&labels, self.config.e);
+        if trace.is_enabled() {
+            for c in found.iter().filter(|c| !keep.contains(&c.label)) {
+                trace.record(observe::ev(
+                    EventKind::AggDominated,
+                    c.target(self.schema),
+                    &c.label,
+                    c.edges.len(),
+                ));
+            }
+        }
         found.retain(|c| keep.contains(&c.label));
         if self.config.prefer_specific {
             // Deeper final-edge source class (more ancestors) first among
@@ -274,14 +354,13 @@ pub(crate) struct SegmentSearch<'c, 's> {
     best_t: Vec<Label>,
     pub(crate) found: Vec<Completion>,
     pub(crate) stats: SearchStats,
+    /// Event sink, lent by the driver via [`SearchTrace::take`]; disabled
+    /// by default so untraced runs pay one branch per event site.
+    pub(crate) trace: SearchTrace,
 }
 
 impl<'c, 's> SegmentSearch<'c, 's> {
-    pub(crate) fn new(
-        completer: &'c Completer<'s>,
-        target_name: Symbol,
-        record_all: bool,
-    ) -> Self {
+    pub(crate) fn new(completer: &'c Completer<'s>, target_name: Symbol, record_all: bool) -> Self {
         SegmentSearch {
             completer,
             target_name,
@@ -290,6 +369,7 @@ impl<'c, 's> SegmentSearch<'c, 's> {
             best_t: Vec::new(),
             found: Vec::new(),
             stats: SearchStats::default(),
+            trace: SearchTrace::disabled(),
         }
     }
 
@@ -309,6 +389,9 @@ impl<'c, 's> SegmentSearch<'c, 's> {
         let schema = self.completer.schema;
         let cfg = &self.completer.config;
         self.stats.calls += 1;
+        ipe_obs::counter!("core.search.calls", 1);
+        self.trace
+            .record(observe::ev(EventKind::Expand, v, &l_v, path.len()));
         on_path[v.index()] = true;
 
         // Completion pass: out-edges named N terminate candidate paths.
@@ -339,6 +422,13 @@ impl<'c, 's> SegmentSearch<'c, 's> {
                     label,
                 });
                 self.stats.completions_recorded += 1;
+                ipe_obs::counter!("core.search.completions", 1);
+                self.trace.record(observe::ev(
+                    EventKind::Emit,
+                    rel.target,
+                    &label,
+                    path.len() + 1,
+                ));
             }
         }
 
@@ -347,8 +437,12 @@ impl<'c, 's> SegmentSearch<'c, 's> {
             let rel = schema.rel(rid);
             let u = rel.target;
             self.stats.edges_considered += 1;
+            ipe_obs::counter!("core.search.edges", 1);
             if on_path[u.index()] {
                 self.stats.pruned_visited += 1;
+                ipe_obs::counter!("core.search.pruned_visited", 1);
+                self.trace
+                    .record(observe::ev(EventKind::PruneVisited, u, &l_v, path.len()));
                 continue;
             }
             if self.completer.excluded[u.index()] {
@@ -357,15 +451,20 @@ impl<'c, 's> SegmentSearch<'c, 's> {
             // A completion through u needs at least two more edges.
             if path.len() + 2 > cfg.max_depth {
                 self.stats.depth_limited += 1;
+                ipe_obs::counter!("core.search.depth_limited", 1);
+                self.trace
+                    .record(observe::ev(EventKind::PruneDepth, u, &l_v, path.len()));
                 continue;
             }
             // Expanding into a class with no outgoing relationships cannot
             // produce a completion (primitives in particular).
             if self.completer.sorted_out[u.index()].is_empty() {
+                self.trace
+                    .record(observe::ev(EventKind::DeadEnd, u, &l_v, path.len()));
                 continue;
             }
             let l_u = l_v.extend(rel.kind);
-            if !self.should_explore(&l_u, u) {
+            if !self.should_explore(&l_u, u, path.len()) {
                 continue;
             }
             agg_star_into(&mut self.best[u.index()], &l_u, cfg.e);
@@ -378,7 +477,7 @@ impl<'c, 's> SegmentSearch<'c, 's> {
         Ok(())
     }
 
-    fn should_explore(&mut self, l_u: &Label, u: ClassId) -> bool {
+    fn should_explore(&mut self, l_u: &Label, u: ClassId, depth: usize) -> bool {
         let cfg = &self.completer.config;
         match cfg.pruning {
             Pruning::None => true,
@@ -386,6 +485,9 @@ impl<'c, 's> SegmentSearch<'c, 's> {
                 // Line (9): l_u ∈ AGG*({l_u} ∪ best[T]).
                 if !survives_agg_star(l_u, &self.best_t, cfg.e) {
                     self.stats.pruned_best_t += 1;
+                    ipe_obs::counter!("core.search.pruned_best_t", 1);
+                    self.trace
+                        .record(observe::ev(EventKind::CutBestT, u, l_u, depth));
                     return false;
                 }
                 // Lines (10)-(11): survive against best[u] or hit a caution
@@ -399,9 +501,15 @@ impl<'c, 's> SegmentSearch<'c, 's> {
                         .any(|b| in_caution_set(l_u.connector, b.connector));
                 if caution {
                     self.stats.caution_overrides += 1;
+                    ipe_obs::counter!("core.search.caution_overrides", 1);
+                    self.trace
+                        .record(observe::ev(EventKind::CautionOverride, u, l_u, depth));
                     true
                 } else {
                     self.stats.pruned_best_u += 1;
+                    ipe_obs::counter!("core.search.pruned_best_u", 1);
+                    self.trace
+                        .record(observe::ev(EventKind::CutBestU, u, l_u, depth));
                     false
                 }
             }
@@ -421,28 +529,31 @@ impl<'c, 's> SegmentSearch<'c, 's> {
                     .any(|b| rank(b.connector) < rank(l_u.connector))
                 {
                     self.stats.pruned_best_t += 1;
+                    ipe_obs::counter!("core.search.pruned_best_t", 1);
+                    self.trace
+                        .record(observe::ev(EventKind::CutBestT, u, l_u, depth));
                     return false;
                 }
-                if blocked(
-                    &self.best_t,
-                    cfg.e,
-                    |b| rank(b.connector) <= rank(l_u.connector) && b.semlen + 2 <= l_u.semlen,
-                ) {
+                if blocked(&self.best_t, cfg.e, |b| {
+                    rank(b.connector) <= rank(l_u.connector) && b.semlen + 2 <= l_u.semlen
+                }) {
                     self.stats.pruned_best_t += 1;
+                    ipe_obs::counter!("core.search.pruned_best_t", 1);
+                    self.trace
+                        .record(observe::ev(EventKind::CutBestT, u, l_u, depth));
                     return false;
                 }
                 // Against best[u]: a stored label blocks l_u only when all
                 // of its futures dominate l_u's futures rank-wise and the
                 // margin 3 covers the ±1 junction effects on both sides.
-                if blocked(
-                    &self.best[u.index()],
-                    cfg.e,
-                    |b| {
-                        future_rank_dominates_weakly(b.connector, l_u.connector)
-                            && b.semlen + 3 <= l_u.semlen
-                    },
-                ) {
+                if blocked(&self.best[u.index()], cfg.e, |b| {
+                    future_rank_dominates_weakly(b.connector, l_u.connector)
+                        && b.semlen + 3 <= l_u.semlen
+                }) {
                     self.stats.pruned_best_u += 1;
+                    ipe_obs::counter!("core.search.pruned_best_u", 1);
+                    self.trace
+                        .record(observe::ev(EventKind::CutBestU, u, l_u, depth));
                     return false;
                 }
                 true
@@ -532,10 +643,7 @@ mod tests {
             .complete(&parse_path_expression("department~take").unwrap())
             .unwrap();
         let t = texts(&schema, &out);
-        assert!(
-            t.contains(&"department.student.take".to_string()),
-            "{t:?}"
-        );
+        assert!(t.contains(&"department.student.take".to_string()), "{t:?}");
     }
 
     #[test]
@@ -697,14 +805,8 @@ mod tests {
         assert_eq!(specific.len(), 2, "ordering only, nothing dropped");
         // The reading through the more specific class (deep: 2 ancestors)
         // comes first.
-        assert_eq!(
-            specific[0].display(&schema).to_string(),
-            "root.b.size"
-        );
-        assert_eq!(
-            specific[1].display(&schema).to_string(),
-            "root.a.size"
-        );
+        assert_eq!(specific[0].display(&schema).to_string(), "root.b.size");
+        assert_eq!(specific[1].display(&schema).to_string(), "root.a.size");
     }
 
     /// `department ~ name` at E=1: the department's own name (1 edge,

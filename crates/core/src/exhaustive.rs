@@ -32,6 +32,7 @@ pub fn all_consistent(
         pruning: Pruning::None,
         ..config.clone()
     };
+    ipe_obs::counter!("core.exhaustive.runs", 1);
     let completer = Completer::with_config(schema, oracle_cfg);
     let mut search = SegmentSearch::new(&completer, symbol, true);
     let mut on_path = vec![false; schema.class_count()];
@@ -105,8 +106,7 @@ mod tests {
                         .unwrap()
                         .completions;
                     let engine = Completer::with_config(&schema, cfg);
-                    let ast =
-                        parse_path_expression(&format!("{root_name}~{target}")).unwrap();
+                    let ast = parse_path_expression(&format!("{root_name}~{target}")).unwrap();
                     let got = engine.complete(&ast).unwrap();
                     let to_texts = |v: &[Completion]| {
                         let mut t: Vec<String> =

@@ -113,8 +113,8 @@ pub fn compare(schema: &Schema, a: &Completion, b: &Completion) -> Option<String
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::Completer;
     use crate::config::CompletionConfig;
+    use crate::engine::Completer;
     use ipe_parser::parse_path_expression;
     use ipe_schema::fixtures;
 

@@ -125,8 +125,8 @@ impl FeedbackStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::Completer;
     use crate::config::CompletionConfig;
+    use crate::engine::Completer;
     use ipe_parser::parse_path_expression;
     use ipe_schema::fixtures;
 

@@ -43,13 +43,14 @@ pub mod exhaustive;
 pub mod explain;
 pub mod feedback;
 mod multi;
+pub mod observe;
 mod path;
 mod preempt;
 mod resolve;
 pub mod suggest;
 
 pub use config::{CompletionConfig, Pruning};
-pub use engine::{Completer, SearchOutcome, SearchStats};
+pub use engine::{Completer, SearchOutcome, SearchStats, TracedOutcome};
 pub use error::CompleteError;
 pub use path::{Completion, PathDisplay};
 pub use preempt::preempts;

@@ -15,13 +15,16 @@ use crate::error::CompleteError;
 use crate::path::Completion;
 use crate::resolve::RStep;
 use ipe_algebra::moose::Label;
+use ipe_obs::SearchTrace;
 use ipe_schema::{ClassId, RelId};
 
-/// Completes an expression with arbitrary `~` placement.
+/// Completes an expression with arbitrary `~` placement. Search events are
+/// recorded into `trace` (pass a disabled trace for untraced runs).
 pub(crate) fn complete_general(
     completer: &Completer<'_>,
     root: ClassId,
     steps: &[RStep],
+    trace: &mut SearchTrace,
 ) -> Result<SearchOutcome, CompleteError> {
     let schema = completer.schema();
     let mut on_path = vec![false; schema.class_count()];
@@ -33,10 +36,16 @@ pub(crate) fn complete_general(
         found: Vec::new(),
         stats: SearchStats::default(),
         edges: Vec::new(),
+        trace: trace.take(),
     };
-    driver.advance(root, Label::IDENTITY, 0, &mut on_path)?;
+    let r = {
+        let _t = ipe_obs::timer!("core.phase.search");
+        driver.advance(root, Label::IDENTITY, 0, &mut on_path)
+    };
+    *trace = driver.trace.take();
+    r?;
     let Driver { found, stats, .. } = driver;
-    Ok(completer.finalize(found, stats))
+    Ok(completer.finalize_traced(found, stats, trace))
 }
 
 struct Driver<'c, 's> {
@@ -46,6 +55,7 @@ struct Driver<'c, 's> {
     found: Vec<Completion>,
     stats: SearchStats,
     edges: Vec<RelId>,
+    trace: SearchTrace,
 }
 
 impl Driver<'_, '_> {
@@ -104,10 +114,12 @@ impl Driver<'_, '_> {
                 // on_path flag is managed by the segment traversal itself.
                 on_path[class.index()] = false;
                 let mut search = SegmentSearch::new(self.completer, name, true);
+                search.trace = self.trace.take();
                 let mut seg_edges = Vec::new();
                 let r = search.traverse(class, label, on_path, &mut seg_edges);
                 on_path[class.index()] = true;
                 self.stats.absorb(search.stats);
+                self.trace = search.trace.take();
                 r?;
                 for seg in search.found {
                     // Re-mark the segment's interior nodes while recursing
@@ -188,11 +200,7 @@ mod tests {
         assert!(!out.is_empty());
         for c in &out {
             // Final edge must be named `name`; some earlier edge `student`.
-            let names: Vec<&str> = c
-                .edges
-                .iter()
-                .map(|&e| schema.rel_name(e))
-                .collect();
+            let names: Vec<&str> = c.edges.iter().map(|&e| schema.rel_name(e)).collect();
             assert_eq!(*names.last().unwrap(), "name");
             assert!(names.contains(&"student"));
         }
@@ -206,7 +214,8 @@ mod tests {
         let engine = Completer::new(&schema);
         let ast = parse_path_expression("ta~name").unwrap();
         let (root, steps) = crate::resolve::resolve_ast(&schema, &ast).unwrap();
-        let general = complete_general(&engine, root, &steps).unwrap();
+        let general =
+            complete_general(&engine, root, &steps, &mut ipe_obs::SearchTrace::disabled()).unwrap();
         let fast = engine.complete(&ast).unwrap();
         let mut a = texts(&schema, &general.completions);
         let mut b = texts(&schema, &fast);
@@ -220,8 +229,7 @@ mod tests {
     #[test]
     fn acyclicity_across_segments() {
         let schema = fixtures::university();
-        let engine =
-            Completer::with_config(&schema, CompletionConfig::with_e(3));
+        let engine = Completer::with_config(&schema, CompletionConfig::with_e(3));
         let out = engine
             .complete(&parse_path_expression("ta~take~name").unwrap())
             .unwrap();
@@ -230,7 +238,12 @@ mod tests {
             let mut dedup = classes.clone();
             dedup.sort();
             dedup.dedup();
-            assert_eq!(dedup.len(), classes.len(), "cyclic completion {:?}", texts(&schema, std::slice::from_ref(c)));
+            assert_eq!(
+                dedup.len(),
+                classes.len(),
+                "cyclic completion {:?}",
+                texts(&schema, std::slice::from_ref(c))
+            );
         }
     }
 }

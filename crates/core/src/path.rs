@@ -6,7 +6,7 @@ use ipe_schema::{ClassId, RelId, RelKind, Schema};
 use std::fmt;
 
 /// One complete path expression produced by the engine, with its label.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize)]
 pub struct Completion {
     /// Root class of the path expression.
     pub root: ClassId,
@@ -169,10 +169,7 @@ mod tests {
         let schema = fixtures::university();
         let c = path_of(&schema, &[("university", "department")]);
         assert_eq!(c.len(), 1);
-        assert_eq!(
-            schema.class_name(c.target(&schema)),
-            "department"
-        );
+        assert_eq!(schema.class_name(c.target(&schema)), "department");
         let names: Vec<&str> = c
             .classes(&schema)
             .into_iter()

@@ -64,9 +64,7 @@ mod tests {
         for &r in rels {
             let rel = schema
                 .out_rel_named(current, schema.symbol(r).unwrap())
-                .unwrap_or_else(|| {
-                    panic!("{} has rel {r}", schema.class_name(current))
-                });
+                .unwrap_or_else(|| panic!("{} has rel {r}", schema.class_name(current)));
             edges.push(rel.id);
             current = rel.target;
         }

@@ -26,7 +26,11 @@ fn exclusion_equals_post_filtering() {
     let schema = fixtures::university();
     for class_name in ["person", "course", "employee", "grad"] {
         let excluded: ClassId = schema.class_named(class_name).unwrap();
-        for (root, target) in [("ta", "name"), ("department", "take"), ("university", "ssn")] {
+        for (root, target) in [
+            ("ta", "name"),
+            ("department", "take"),
+            ("university", "ssn"),
+        ] {
             let cfg = CompletionConfig {
                 excluded_classes: vec![excluded],
                 ..Default::default()

@@ -1,0 +1,135 @@
+//! Observability end-to-end: traced completions agree with [`SearchStats`],
+//! reports render valid JSON, and disabled/`obs-off` paths stay silent.
+
+use ipe_core::observe::build_report;
+use ipe_core::Completer;
+use ipe_obs::EventKind;
+use ipe_parser::parse_path_expression;
+use ipe_schema::fixtures;
+
+/// The trace and the stats are two independent records of the same search;
+/// every `traverse` call must appear as exactly one `Expand` event, and
+/// every recorded candidate as one `Emit`.
+#[test]
+#[cfg_attr(feature = "obs-off", ignore = "tracing compiled out")]
+fn trace_expand_count_matches_stats_calls() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    let ast = parse_path_expression("ta~name").unwrap();
+    let traced = engine.complete_traced(&ast, 1 << 16).unwrap();
+    assert_eq!(traced.trace.dropped(), 0, "capacity must cover this query");
+    assert_eq!(
+        traced.trace.count(EventKind::Expand) as u64,
+        traced.outcome.stats.calls,
+        "one Expand event per traverse call"
+    );
+    assert_eq!(
+        traced.trace.count(EventKind::Emit) as u64,
+        traced.outcome.stats.completions_recorded,
+        "one Emit event per recorded completion"
+    );
+    assert_eq!(
+        traced.trace.count(EventKind::PruneVisited) as u64,
+        traced.outcome.stats.pruned_visited,
+    );
+}
+
+/// A traced run and a plain run of the same query return identical
+/// completions — instrumentation must not perturb the search.
+#[test]
+fn traced_run_matches_plain_run() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    let ast = parse_path_expression("ta~name").unwrap();
+    let plain = engine.complete(&ast).unwrap();
+    let traced = engine.complete_traced(&ast, 1 << 16).unwrap();
+    let plain_texts: Vec<String> = plain
+        .iter()
+        .map(|c| c.display(&schema).to_string())
+        .collect();
+    let traced_texts: Vec<String> = traced
+        .outcome
+        .completions
+        .iter()
+        .map(|c| c.display(&schema).to_string())
+        .collect();
+    assert_eq!(plain_texts, traced_texts);
+}
+
+/// Capacity 0 means "don't trace": the run succeeds and the report's trace
+/// section is empty.
+#[test]
+fn zero_capacity_trace_is_empty() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    let ast = parse_path_expression("ta~name").unwrap();
+    let traced = engine.complete_traced(&ast, 0).unwrap();
+    assert!(!traced.trace.is_enabled());
+    assert!(traced.trace.is_empty());
+    let report = build_report(&schema, "ta~name", &traced.outcome, &traced.trace);
+    assert!(report.trace_events().is_empty());
+}
+
+/// The hand-rolled JSON emitter must produce output the (independent)
+/// serde_json parser accepts, for both traced and untraced reports.
+#[test]
+fn report_json_is_parseable() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    let ast = parse_path_expression("ta~name").unwrap();
+    for capacity in [0, 1 << 16] {
+        let traced = engine.complete_traced(&ast, capacity).unwrap();
+        let report = build_report(&schema, "ta~name", &traced.outcome, &traced.trace);
+        let json = report.to_json();
+        let value = serde_json::parse_value_text(&json)
+            .unwrap_or_else(|e| panic!("emitter produced invalid JSON ({e:?}):\n{json}"));
+        for key in [
+            "meta",
+            "stats",
+            "counters",
+            "timers",
+            "trace",
+            "completions",
+        ] {
+            assert!(value.get(key).is_some(), "missing key {key}");
+        }
+    }
+}
+
+/// With `obs-off`, even an explicit trace request records nothing.
+#[test]
+#[cfg(feature = "obs-off")]
+fn obs_off_traced_run_is_silent() {
+    let schema = fixtures::university();
+    let engine = Completer::new(&schema);
+    let ast = parse_path_expression("ta~name").unwrap();
+    let traced = engine.complete_traced(&ast, 1 << 16).unwrap();
+    assert!(!traced.trace.is_enabled());
+    assert!(traced.trace.is_empty());
+    let report = build_report(&schema, "ta~name", &traced.outcome, &traced.trace);
+    assert!(report.trace_events().is_empty());
+    // Completions still work; only the observability is gone.
+    assert!(!traced.outcome.completions.is_empty());
+}
+
+#[cfg(not(feature = "obs-off"))]
+mod props {
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Counters are monotone: a sequence of bumps raises the value by
+        /// exactly the sum, and no intermediate read ever goes backwards.
+        #[test]
+        fn counter_totals_are_monotone(bumps in proptest::collection::vec(0u64..1000, 0..32)) {
+            let c = ipe_obs::counter!("test.core.observe.monotone");
+            let mut last = c.get();
+            for b in &bumps {
+                c.add(*b);
+                let now = c.get();
+                prop_assert!(now >= last, "counter went backwards: {last} -> {now}");
+                prop_assert!(now >= last + *b, "bump lost: {last} + {b} > {now}");
+                last = now;
+            }
+        }
+    }
+}

@@ -48,10 +48,7 @@ fn shares_superparts_completion() {
         .unwrap();
     assert!(!out.is_empty());
     let t = texts(&schema, &out);
-    assert!(
-        t.contains(&"motor<$assembly$>shaft".to_string()),
-        "{t:?}"
-    );
+    assert!(t.contains(&"motor<$assembly$>shaft".to_string()), "{t:?}");
     assert_eq!(out[0].label.connector.to_string(), ".SP");
 }
 
@@ -114,7 +111,8 @@ fn caution_preserves_possibly_readings() {
     b.isa(sub, sup).unwrap();
     // Two routes to `sub`: a direct Has-Part, and Isa-down from sup.
     b.has_part(root, sub).unwrap();
-    b.rel_named(RelKind::Assoc, root, sup, "s", "s_inv").unwrap();
+    b.rel_named(RelKind::Assoc, root, sup, "s", "s_inv")
+        .unwrap();
     b.has_part(sub, leaf).unwrap();
     let schema = b.build().unwrap();
     for pruning in [

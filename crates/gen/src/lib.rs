@@ -32,4 +32,6 @@ mod schema_gen;
 mod workload;
 
 pub use schema_gen::{cupid_like, generate_schema, GenConfig, GeneratedSchema};
-pub use workload::{generate_workload, workload_from_json, workload_to_json, IntentModel, QuerySpec, WorkloadConfig};
+pub use workload::{
+    generate_workload, workload_from_json, workload_to_json, IntentModel, QuerySpec, WorkloadConfig,
+};

@@ -61,8 +61,8 @@ impl Default for GenConfig {
             hub_degree: 22,
             attr_names: {
                 let mut pool: Vec<String> = [
-                    "name", "value", "rate", "depth", "temp", "flux", "width", "mass",
-                    "conc", "ph", "albedo", "lai",
+                    "name", "value", "rate", "depth", "temp", "flux", "width", "mass", "conc",
+                    "ph", "albedo", "lai",
                 ]
                 .iter()
                 .map(|s| (*s).to_owned())
@@ -182,12 +182,7 @@ pub fn generate_schema(config: &GenConfig) -> GeneratedSchema {
     // — for the evaluation's shape — this keeps hub-routed junk small per
     // tier (each exit reaches only a shallow subtree) yet present in most
     // queries.
-    let hub_classes: Vec<ClassId> = classes
-        .iter()
-        .rev()
-        .take(config.hubs)
-        .copied()
-        .collect();
+    let hub_classes: Vec<ClassId> = classes.iter().rev().take(config.hubs).copied().collect();
     let max_tree_depth = depth[..tree_count].iter().copied().max().unwrap_or(0);
     let deep_cut = max_tree_depth * 2 / 5;
     let deep_classes: Vec<ClassId> = (0..tree_count)

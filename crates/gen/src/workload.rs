@@ -2,7 +2,7 @@
 
 use crate::schema_gen::GeneratedSchema;
 use ipe_algebra::moose::rank;
-use ipe_core::{Completer, Completion, CompletionConfig, exhaustive};
+use ipe_core::{exhaustive, Completer, Completion, CompletionConfig};
 use ipe_parser::PathExprAst;
 use ipe_schema::{ClassId, Schema};
 use rand::seq::IndexedRandom;
@@ -156,7 +156,10 @@ pub fn generate_workload(gen: &GeneratedSchema, cfg: &WorkloadConfig) -> Vec<Que
         if !ambiguous && attempts < max_attempts * 3 / 4 {
             continue;
         }
-        if out.iter().any(|q: &QuerySpec| q.root == root_name && q.target == target_name) {
+        if out
+            .iter()
+            .any(|q: &QuerySpec| q.root == root_name && q.target == target_name)
+        {
             continue;
         }
         let (mut intended, mut unreachable) = match cfg.intent {

@@ -150,8 +150,14 @@ impl<N, E> DiGraph<N, E> {
     /// Panics if either endpoint is not a node of this graph, or if the
     /// graph already holds `u32::MAX` edges.
     pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> EdgeId {
-        assert!(source.index() < self.nodes.len(), "source node out of range");
-        assert!(target.index() < self.nodes.len(), "target node out of range");
+        assert!(
+            source.index() < self.nodes.len(),
+            "source node out of range"
+        );
+        assert!(
+            target.index() < self.nodes.len(),
+            "target node out of range"
+        );
         let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count overflow"));
         self.edges.push(Edge {
             source,
@@ -226,13 +232,20 @@ impl<N, E> DiGraph<N, E> {
     }
 
     /// Iterates over `(id, edge)` for the out-edges of `node`.
-    pub fn out_edges(&self, node: NodeId) -> impl ExactSizeIterator<Item = (EdgeId, &Edge<E>)> + '_ {
-        self.out[node.index()].iter().map(move |&id| (id, self.edge(id)))
+    pub fn out_edges(
+        &self,
+        node: NodeId,
+    ) -> impl ExactSizeIterator<Item = (EdgeId, &Edge<E>)> + '_ {
+        self.out[node.index()]
+            .iter()
+            .map(move |&id| (id, self.edge(id)))
     }
 
     /// Iterates over `(id, edge)` for the in-edges of `node`.
     pub fn in_edges(&self, node: NodeId) -> impl ExactSizeIterator<Item = (EdgeId, &Edge<E>)> + '_ {
-        self.inn[node.index()].iter().map(move |&id| (id, self.edge(id)))
+        self.inn[node.index()]
+            .iter()
+            .map(move |&id| (id, self.edge(id)))
     }
 
     /// Successor node ids of `node` (with multiplicity, in insertion order).

@@ -32,4 +32,4 @@ pub use digraph::{DiGraph, Edge, EdgeId, NodeId};
 pub use paths::{simple_paths, simple_paths_filtered, SimplePath};
 pub use scc::{condensation, tarjan_scc};
 pub use topo::{topo_sort, topo_sort_filtered, CycleError};
-pub use traversal::{Bfs, Dfs, DfsEvent, depth_first_events, reachable_from};
+pub use traversal::{depth_first_events, reachable_from, Bfs, Dfs, DfsEvent};

@@ -59,7 +59,14 @@ pub fn simple_paths<N, E>(
     target: NodeId,
     max_len: usize,
 ) -> Vec<SimplePath> {
-    simple_paths_filtered(graph, source, |n| n == target, |_, _| true, max_len, usize::MAX)
+    simple_paths_filtered(
+        graph,
+        source,
+        |n| n == target,
+        |_, _| true,
+        max_len,
+        usize::MAX,
+    )
 }
 
 /// Enumerates simple paths from `source` to any node accepted by `is_target`,
@@ -239,8 +246,7 @@ mod tests {
     #[test]
     fn target_predicate_multiple_targets() {
         let (g, [a, b, c, _, _]) = fixture();
-        let paths =
-            simple_paths_filtered(&g, a, |n| n == b || n == c, |_, _| true, 10, usize::MAX);
+        let paths = simple_paths_filtered(&g, a, |n| n == b || n == c, |_, _| true, 10, usize::MAX);
         assert_eq!(paths.len(), 2);
     }
 

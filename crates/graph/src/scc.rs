@@ -212,11 +212,7 @@ mod tests {
             for u in 0..n {
                 for v in 0..n {
                     let mutual = reach[u][v] && reach[v][u];
-                    assert_eq!(
-                        comp[u] == comp[v],
-                        mutual,
-                        "u={u} v={v} comp={comp:?}"
-                    );
+                    assert_eq!(comp[u] == comp[v], mutual, "u={u} v={v} comp={comp:?}");
                 }
             }
         }

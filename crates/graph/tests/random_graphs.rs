@@ -1,8 +1,8 @@
 //! Property tests for the graph substrate over random graphs.
 
 use ipe_graph::{
-    condensation, reachable_from, simple_paths, tarjan_scc, topo_sort, topo_sort_filtered,
-    DiGraph, NodeId,
+    condensation, reachable_from, simple_paths, tarjan_scc, topo_sort, topo_sort_filtered, DiGraph,
+    NodeId,
 };
 use proptest::prelude::*;
 
@@ -71,7 +71,7 @@ proptest! {
     fn scc_count_and_empty_filter((n, edges) in arb_graph()) {
         let g = build(n, &edges);
         let sccs = tarjan_scc(&g);
-        prop_assert!(sccs.len() >= 1 && sccs.len() <= n);
+        prop_assert!(!sccs.is_empty() && sccs.len() <= n);
         prop_assert!(topo_sort_filtered(&g, |_, _| false).is_ok());
     }
 

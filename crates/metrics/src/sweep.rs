@@ -68,9 +68,7 @@ pub fn sweep(
             let mut returned = 0usize;
             let mut length_sum = 0usize;
             for q in workload {
-                let out = engine
-                    .complete(&q.ast())
-                    .unwrap_or_default();
+                let out = engine.complete(&q.ast()).unwrap_or_default();
                 let texts: Vec<String> = out
                     .iter()
                     .map(|c| c.display(&gen.schema).to_string())

@@ -1,0 +1,71 @@
+//! Zero-dependency observability for the IPE completion engine.
+//!
+//! Three layers, all built on `std` alone:
+//!
+//! 1. **Metrics** ([`Counter`], [`Timer`], the [`counter!`] and [`timer!`]
+//!    macros): a global, self-registering registry of atomic counters and
+//!    log2-bucket histogram timers. The hot path is lock-free — one relaxed
+//!    `fetch_add` per event — and registration happens once per call site.
+//! 2. **Tracing** ([`SearchTrace`], [`TraceEvent`], [`EventKind`]): a
+//!    per-query ring buffer of structured search events. Events are compact
+//!    (ids, not strings); producers resolve names only when rendering.
+//! 3. **Reports** ([`Report`]): a merged snapshot of trace + counters +
+//!    timings that serializes to JSON through a hand-rolled emitter.
+//!
+//! The `obs-off` cargo feature compiles every probe to a no-op so the
+//! instrumented and uninstrumented builds can be benchmarked against each
+//! other; see the workspace DESIGN.md §Observability.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod report;
+mod trace;
+
+pub use metrics::{
+    reset_metrics, snapshot_counters, snapshot_timers, Counter, CounterSnapshot, Timer, TimerGuard,
+    TimerSnapshot,
+};
+pub use report::Report;
+pub use trace::{EventKind, SearchTrace, TraceEvent, TraceEventView};
+
+/// Whether this build has observability compiled out (`obs-off`).
+pub const fn disabled() -> bool {
+    cfg!(feature = "obs-off")
+}
+
+/// Minimal JSON string emission shared by the report and by callers that
+/// need to embed text into a report by hand.
+pub mod json {
+    /// Appends `s` to `out` as a JSON string literal, quotes included.
+    pub fn push_str_literal(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn escapes_specials() {
+            let mut s = String::new();
+            push_str_literal(&mut s, "a\"b\\c\nd\u{1}");
+            assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        }
+    }
+}

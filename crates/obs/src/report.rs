@@ -1,0 +1,218 @@
+//! Structured run reports: metadata + per-query stats + global metrics +
+//! trace, serialized to JSON by a hand-rolled emitter (this crate has no
+//! dependencies).
+
+use crate::json::push_str_literal;
+use crate::metrics::{snapshot_counters, snapshot_timers, CounterSnapshot, TimerSnapshot};
+use crate::trace::TraceEventView;
+use std::io;
+use std::path::Path;
+
+/// A machine-readable account of one run: a completion query, an
+/// experiment binary, or a whole benchmark.
+///
+/// Build one with the setters, then render with [`Report::to_json`] or
+/// persist with [`Report::write_to`]. In `obs-off` builds
+/// [`Report::capture_metrics`] finds empty registries, so reports degrade
+/// to metadata + whatever stats the caller supplied explicitly.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    meta: Vec<(String, String)>,
+    stats: Vec<(String, u64)>,
+    counters: Vec<CounterSnapshot>,
+    timers: Vec<TimerSnapshot>,
+    events: Vec<TraceEventView>,
+    trace_dropped: u64,
+    /// Pre-rendered JSON values attached under top-level keys (used to
+    /// embed serde-serialized structures without a serde dependency here).
+    extra_json: Vec<(String, String)>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a metadata string (query text, schema name, config, ...).
+    pub fn meta(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.meta.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a named numeric statistic (per-query, not global).
+    pub fn stat(&mut self, key: impl Into<String>, value: u64) -> &mut Self {
+        self.stats.push((key.into(), value));
+        self
+    }
+
+    /// Attaches an already-rendered JSON value under a top-level key.
+    /// The string is emitted verbatim — the caller guarantees validity.
+    pub fn attach_json(&mut self, key: impl Into<String>, json: impl Into<String>) -> &mut Self {
+        self.extra_json.push((key.into(), json.into()));
+        self
+    }
+
+    /// Snapshots the global counter and timer registries into the report.
+    pub fn capture_metrics(&mut self) -> &mut Self {
+        self.counters = snapshot_counters();
+        self.timers = snapshot_timers();
+        self
+    }
+
+    /// Sets the resolved trace events (and the ring buffer's drop count).
+    pub fn set_trace(&mut self, events: Vec<TraceEventView>, dropped: u64) -> &mut Self {
+        self.events = events;
+        self.trace_dropped = dropped;
+        self
+    }
+
+    /// The resolved trace events currently attached.
+    pub fn trace_events(&self) -> &[TraceEventView] {
+        &self.events
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"meta\": {");
+        for (i, (k, v)) in self.meta.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_str_literal(&mut out, k);
+            out.push_str(": ");
+            push_str_literal(&mut out, v);
+        }
+        out.push_str("\n  },\n  \"stats\": {");
+        for (i, (k, v)) in self.stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_str_literal(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        out.push_str("\n  },\n  \"counters\": {");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_str_literal(&mut out, c.name);
+            out.push_str(&format!(": {}", c.value));
+        }
+        out.push_str("\n  },\n  \"timers\": {");
+        for (i, t) in self.timers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            push_str_literal(&mut out, t.name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"total_ns\": {}, \"mean_ns\": {}, \"buckets\": {{",
+                t.count,
+                t.total_ns,
+                t.mean_ns()
+            ));
+            for (j, (log2, n)) in t.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                // Bucket key: the lower bound of the 2^k..2^(k+1) ns range.
+                out.push_str(&format!("\"{}\": {n}", 1u64 << log2));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  },\n  \"trace\": {\n    \"dropped\": ");
+        out.push_str(&self.trace_dropped.to_string());
+        out.push_str(",\n    \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n      {\"kind\": ");
+            push_str_literal(&mut out, e.kind.as_str());
+            out.push_str(", \"class\": ");
+            push_str_literal(&mut out, &e.class);
+            out.push_str(", \"connector\": ");
+            push_str_literal(&mut out, &e.connector);
+            out.push_str(&format!(
+                ", \"semlen\": {}, \"depth\": {}}}",
+                e.semlen, e.depth
+            ));
+        }
+        if self.events.is_empty() {
+            out.push(']');
+        } else {
+            out.push_str("\n    ]");
+        }
+        out.push_str("\n  }");
+        for (k, v) in &self.extra_json {
+            out.push_str(",\n  ");
+            push_str_literal(&mut out, k);
+            out.push_str(": ");
+            out.push_str(v);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the JSON rendering to `path`.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::EventKind;
+
+    #[test]
+    fn renders_all_sections() {
+        let mut r = Report::new();
+        r.meta("query", "ta~name")
+            .meta("schema", "university")
+            .stat("calls", 17)
+            .stat("results", 2)
+            .set_trace(
+                vec![TraceEventView {
+                    kind: EventKind::Expand,
+                    class: "ta".into(),
+                    connector: "@>".into(),
+                    semlen: 0,
+                    depth: 0,
+                }],
+                3,
+            )
+            .attach_json("completions", "[\"a\",\"b\"]");
+        let j = r.to_json();
+        assert!(j.contains("\"query\": \"ta~name\""));
+        assert!(j.contains("\"calls\": 17"));
+        assert!(j.contains("\"dropped\": 3"));
+        assert!(j.contains("\"kind\": \"expand\""));
+        assert!(j.contains("\"completions\": [\"a\",\"b\"]"));
+        // Balanced braces/brackets (cheap structural sanity; full JSON
+        // validity is asserted in ipe-core's tests via the serde parser).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_is_structurally_valid() {
+        let j = Report::new().to_json();
+        assert!(j.contains("\"meta\": {"));
+        assert!(j.contains("\"events\": []"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn escapes_meta_strings() {
+        let mut r = Report::new();
+        r.meta("query", "a\"b\nc");
+        let j = r.to_json();
+        assert!(j.contains("a\\\"b\\nc"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-query structured search traces.
+//!
+//! A [`SearchTrace`] is a bounded ring buffer of compact [`TraceEvent`]s.
+//! The hot path stores raw ids (`u32` class, `u8` connector code); the
+//! producing layer resolves them to names only when a trace is rendered
+//! into [`TraceEventView`]s for a report. A disabled trace costs one
+//! branch per event.
+
+/// What happened at one point of the search. The taxonomy follows the
+/// engine's Algorithm-2 structure (see DESIGN.md §Observability).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A class node was expanded (one recursive `traverse` call).
+    Expand,
+    /// A complete candidate path was recorded.
+    Emit,
+    /// An edge was skipped because its target was already on the path.
+    PruneVisited,
+    /// An edge was skipped by the depth guard.
+    PruneDepth,
+    /// A subtree was cut by the bound against `best[T]`.
+    CutBestT,
+    /// A subtree was cut by the bound against `best[u]`.
+    CutBestU,
+    /// A `best[u]` cut was overridden by a caution-set intersection.
+    CautionOverride,
+    /// A candidate label was dominated under `AGG`/`AGG*`.
+    AggDominated,
+    /// A completion was rejected by the inheritance-semantics criterion.
+    InheritanceReject,
+    /// A class with no outgoing relationships was not expanded.
+    DeadEnd,
+}
+
+impl EventKind {
+    /// Stable snake_case name used in reports and the CLI trace listing.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Expand => "expand",
+            EventKind::Emit => "emit",
+            EventKind::PruneVisited => "prune_visited",
+            EventKind::PruneDepth => "prune_depth",
+            EventKind::CutBestT => "cut_best_t",
+            EventKind::CutBestU => "cut_best_u",
+            EventKind::CautionOverride => "caution_override",
+            EventKind::AggDominated => "agg_dominated",
+            EventKind::InheritanceReject => "inheritance_reject",
+            EventKind::DeadEnd => "dead_end",
+        }
+    }
+}
+
+/// One compact search event. Producers encode the class as its index and
+/// the connector as a small code of their choosing; both are opaque to this
+/// crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Class index the event concerns.
+    pub class: u32,
+    /// Producer-defined connector code of the label involved.
+    pub conn: u8,
+    /// Semantic length of the label involved.
+    pub semlen: u32,
+    /// Search depth (edges on the path) when the event fired.
+    pub depth: u32,
+}
+
+/// A [`TraceEvent`] with ids resolved to display strings, ready for
+/// reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEventView {
+    /// Event kind.
+    pub kind: EventKind,
+    /// Resolved class name.
+    pub class: String,
+    /// Resolved connector symbol.
+    pub connector: String,
+    /// Semantic length of the label involved.
+    pub semlen: u32,
+    /// Search depth when the event fired.
+    pub depth: u32,
+}
+
+/// A bounded ring buffer of search events. When full, the oldest events
+/// are overwritten and counted in [`SearchTrace::dropped`].
+#[derive(Clone, Debug, Default)]
+// With obs-off, `record` compiles to a no-op and `cap`/`head` go unread.
+#[cfg_attr(feature = "obs-off", allow(dead_code))]
+pub struct SearchTrace {
+    enabled: bool,
+    cap: usize,
+    events: Vec<TraceEvent>,
+    /// Write position once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl SearchTrace {
+    /// A trace that records nothing (one branch per `record`).
+    pub fn disabled() -> SearchTrace {
+        SearchTrace::default()
+    }
+
+    /// An enabled trace holding at most `cap` events. In `obs-off` builds
+    /// the trace is disabled regardless.
+    pub fn with_capacity(cap: usize) -> SearchTrace {
+        if cfg!(feature = "obs-off") || cap == 0 {
+            return SearchTrace::disabled();
+        }
+        SearchTrace {
+            enabled: true,
+            cap,
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled or in `obs-off` builds).
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = ev;
+        }
+        #[cfg(not(feature = "obs-off"))]
+        {
+            if !self.enabled {
+                return;
+            }
+            if self.events.len() < self.cap {
+                self.events.push(ev);
+            } else {
+                self.events[self.head] = ev;
+                self.head = (self.head + 1) % self.cap;
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.head..]);
+        out.extend_from_slice(&self.events[..self.head]);
+        out
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events of `kind`.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Moves all of `other`'s events into `self`, accumulating drops.
+    /// Used by drivers that run several segment searches per query.
+    pub fn absorb(&mut self, other: SearchTrace) {
+        if !self.enabled {
+            return;
+        }
+        self.dropped += other.dropped;
+        for ev in other.events() {
+            self.record(ev);
+        }
+    }
+
+    /// Splits off the current contents into a new trace with the same
+    /// configuration, leaving `self` empty. Lets a caller lend the trace to
+    /// a sub-search that takes ownership.
+    pub fn take(&mut self) -> SearchTrace {
+        std::mem::take(&mut *self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, class: u32) -> TraceEvent {
+        TraceEvent {
+            kind,
+            class,
+            conn: 0,
+            semlen: 1,
+            depth: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = SearchTrace::disabled();
+        t.record(ev(EventKind::Expand, 1));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "tracing compiled out")]
+    fn records_in_order() {
+        let mut t = SearchTrace::with_capacity(8);
+        for i in 0..5 {
+            t.record(ev(EventKind::Expand, i));
+        }
+        let got: Vec<u32> = t.events().iter().map(|e| e.class).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.count(EventKind::Expand), 5);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "tracing compiled out")]
+    fn ring_keeps_latest_and_counts_drops() {
+        let mut t = SearchTrace::with_capacity(3);
+        for i in 0..7 {
+            t.record(ev(EventKind::Emit, i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 4);
+        let got: Vec<u32> = t.events().iter().map(|e| e.class).collect();
+        assert_eq!(got, vec![4, 5, 6], "latest events retained, oldest first");
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "tracing compiled out")]
+    fn absorb_merges_events() {
+        let mut a = SearchTrace::with_capacity(10);
+        a.record(ev(EventKind::Expand, 0));
+        let mut b = SearchTrace::with_capacity(10);
+        b.record(ev(EventKind::Emit, 1));
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.count(EventKind::Emit), 1);
+    }
+
+    #[test]
+    #[cfg(feature = "obs-off")]
+    fn obs_off_disables_with_capacity() {
+        let mut t = SearchTrace::with_capacity(128);
+        assert!(!t.is_enabled());
+        t.record(ev(EventKind::Expand, 1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(EventKind::CutBestT.as_str(), "cut_best_t");
+        assert_eq!(EventKind::CautionOverride.as_str(), "caution_override");
+    }
+}

@@ -57,10 +57,16 @@ impl fmt::Display for DbError {
                 f.write_str("objects of primitive classes are values, not objects")
             }
             DbError::SourceClassMismatch { rel } => {
-                write!(f, "source object is not an instance of `{rel}`'s source class")
+                write!(
+                    f,
+                    "source object is not an instance of `{rel}`'s source class"
+                )
             }
             DbError::TargetClassMismatch { rel } => {
-                write!(f, "target object is not an instance of `{rel}`'s target class")
+                write!(
+                    f,
+                    "target object is not an instance of `{rel}`'s target class"
+                )
             }
             DbError::NotAnAttribute { rel } => {
                 write!(f, "`{rel}` does not connect to a primitive class")
@@ -143,8 +149,7 @@ impl<'s> Database<'s> {
         (0..self.class_of.len() as u32)
             .map(ObjectId)
             .filter(|&o| {
-                self.class_of[o.index()]
-                    .is_some_and(|c| self.schema.is_subclass_of(c, class))
+                self.class_of[o.index()].is_some_and(|c| self.schema.is_subclass_of(c, class))
             })
             .collect()
     }
@@ -289,11 +294,7 @@ fn remove_pair(
     removed
 }
 
-fn push_unique(
-    table: &mut BTreeMap<ObjectId, Vec<ObjectId>>,
-    key: ObjectId,
-    value: ObjectId,
-) {
+fn push_unique(table: &mut BTreeMap<ObjectId, Vec<ObjectId>>, key: ObjectId, value: ObjectId) {
     let v = table.entry(key).or_default();
     if !v.contains(&value) {
         v.push(value);
@@ -456,14 +457,8 @@ mod tests {
         assert!(db.extent(student).is_empty());
         assert!(db.linked(take.inverse.unwrap(), c).is_empty());
         assert!(db.attr_values(name.id, s).is_empty());
-        assert!(matches!(
-            db.class_of(s),
-            Err(DbError::NoSuchObject(_))
-        ));
-        assert!(matches!(
-            db.remove_object(s),
-            Err(DbError::NoSuchObject(_))
-        ));
+        assert!(matches!(db.class_of(s), Err(DbError::NoSuchObject(_))));
+        assert!(matches!(db.remove_object(s), Err(DbError::NoSuchObject(_))));
         // The id is not reused.
         let s2 = db.add_object(student).unwrap();
         assert_ne!(s2, s);

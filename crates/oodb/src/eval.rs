@@ -58,14 +58,20 @@ impl fmt::Display for EvalError {
             EvalError::UnknownRoot(n) => write!(f, "unknown root class `{n}`"),
             EvalError::PrimitiveRoot(n) => write!(f, "primitive class `{n}` cannot be a root"),
             EvalError::UnknownStep { class, name } => {
-                write!(f, "class `{class}` has no relationship `{name}` (even inherited)")
+                write!(
+                    f,
+                    "class `{class}` has no relationship `{name}` (even inherited)"
+                )
             }
             EvalError::AmbiguousStep { class, name } => write!(
                 f,
                 "`{class}.{name}` is ambiguous under multiple inheritance; spell out the Isa steps"
             ),
             EvalError::KindMismatch { class, name } => {
-                write!(f, "`{class}.{name}` exists but with a different connector kind")
+                write!(
+                    f,
+                    "`{class}.{name}` exists but with a different connector kind"
+                )
             }
             EvalError::ValueMidPath { name } => {
                 write!(f, "attribute `{name}` yields values and must end the path")
@@ -129,6 +135,16 @@ impl Database<'_> {
     /// superclasses where needed (an `Isa` step written explicitly is the
     /// identity on objects).
     pub fn eval(&self, ast: &PathExprAst) -> Result<EvalOutput, EvalError> {
+        ipe_obs::counter!("oodb.eval.queries", 1);
+        let _t = ipe_obs::timer!("oodb.phase.eval");
+        let out = self.eval_inner(ast);
+        if out.is_err() {
+            ipe_obs::counter!("oodb.eval.errors", 1);
+        }
+        out
+    }
+
+    fn eval_inner(&self, ast: &PathExprAst) -> Result<EvalOutput, EvalError> {
         if !ast.is_complete() {
             return Err(EvalError::Incomplete);
         }
@@ -142,12 +158,13 @@ impl Database<'_> {
         let mut class: ClassId = root;
         let mut objects: Vec<ObjectId> = self.extent(root);
         for (i, step) in ast.steps.iter().enumerate() {
-            let name = schema.symbol(&step.name).ok_or_else(|| {
-                EvalError::UnknownStep {
+            ipe_obs::counter!("oodb.eval.steps", 1);
+            let name = schema
+                .symbol(&step.name)
+                .ok_or_else(|| EvalError::UnknownStep {
                     class: schema.class_name(class).to_owned(),
                     name: step.name.clone(),
-                }
-            })?;
+                })?;
             // Resolve under inheritance: nearest definition wins; ties are
             // ambiguous.
             let hits = schema.resolve_inherited(class, name);

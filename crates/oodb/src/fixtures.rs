@@ -59,21 +59,31 @@ pub fn university_db<'s>(schema: &'s Schema) -> Database<'s> {
 
     // Attributes.
     let person_name = rel(schema, "person", "name");
-    db.set_attr(person_name, yannis, Value::text("Yannis")).expect("attr");
-    db.set_attr(person_name, john, Value::text("John")).expect("attr");
-    db.set_attr(person_name, alice, Value::text("Alice")).expect("attr");
-    db.set_attr(person_name, bob, Value::text("Bob")).expect("attr");
+    db.set_attr(person_name, yannis, Value::text("Yannis"))
+        .expect("attr");
+    db.set_attr(person_name, john, Value::text("John"))
+        .expect("attr");
+    db.set_attr(person_name, alice, Value::text("Alice"))
+        .expect("attr");
+    db.set_attr(person_name, bob, Value::text("Bob"))
+        .expect("attr");
     let ssn = rel(schema, "person", "ssn");
-    db.set_attr(ssn, alice, Value::text("111-22-3333")).expect("attr");
-    db.set_attr(ssn, bob, Value::text("444-55-6666")).expect("attr");
+    db.set_attr(ssn, alice, Value::text("111-22-3333"))
+        .expect("attr");
+    db.set_attr(ssn, bob, Value::text("444-55-6666"))
+        .expect("attr");
     let course_name = rel(schema, "course", "name");
-    db.set_attr(course_name, databases, Value::text("Databases")).expect("attr");
-    db.set_attr(course_name, intro, Value::text("Intro")).expect("attr");
+    db.set_attr(course_name, databases, Value::text("Databases"))
+        .expect("attr");
+    db.set_attr(course_name, intro, Value::text("Intro"))
+        .expect("attr");
     let dept_name = rel(schema, "department", "name");
     db.set_attr(dept_name, cs, Value::text("CS")).expect("attr");
-    db.set_attr(dept_name, soil, Value::text("Soil Science")).expect("attr");
+    db.set_attr(dept_name, soil, Value::text("Soil Science"))
+        .expect("attr");
     let uni_name = rel(schema, "university", "name");
-    db.set_attr(uni_name, uni, Value::text("Wisconsin")).expect("attr");
+    db.set_attr(uni_name, uni, Value::text("Wisconsin"))
+        .expect("attr");
 
     db
 }
@@ -124,9 +134,7 @@ mod tests {
         let schema = ipe_schema::fixtures::university();
         let db = university_db(&schema);
         // Courses taught by faculty of departments.
-        let faculty_courses = db
-            .eval_str("department$>professor@>teacher.teach")
-            .unwrap();
+        let faculty_courses = db.eval_str("department$>professor@>teacher.teach").unwrap();
         // Yannis teaches Databases; John teaches nothing.
         assert_eq!(faculty_courses.objects().len(), 1);
         // Courses taken by students of departments.

@@ -122,10 +122,7 @@ mod tests {
     fn populates_every_user_class() {
         let schema = fixtures::university();
         let db = populate(&schema, &DataConfig::default());
-        assert_eq!(
-            db.object_count(),
-            schema.user_class_count() * 3
-        );
+        assert_eq!(db.object_count(), schema.user_class_count() * 3);
         for class in schema.classes() {
             if !schema.is_primitive(class) {
                 assert!(db.extent(class).len() >= 3);

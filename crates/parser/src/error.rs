@@ -44,9 +44,7 @@ impl fmt::Display for ParseError {
                 write!(f, "unexpected character `{ch}` at byte {at}")
             }
             ParseError::Empty => f.write_str("empty path expression"),
-            ParseError::ExpectedRoot { found: None } => {
-                f.write_str("expected a root class name")
-            }
+            ParseError::ExpectedRoot { found: None } => f.write_str("expected a root class name"),
             ParseError::ExpectedRoot { found: Some(t) } => {
                 write!(f, "expected a root class name, found {t}")
             }

@@ -30,10 +30,8 @@ pub struct SchemaReport {
 
 /// Computes a [`SchemaReport`].
 pub fn analyze(schema: &Schema) -> SchemaReport {
-    let mut by_kind: Vec<(RelKind, usize)> = RelKind::ALL
-        .into_iter()
-        .map(|k| (k, 0usize))
-        .collect();
+    let mut by_kind: Vec<(RelKind, usize)> =
+        RelKind::ALL.into_iter().map(|k| (k, 0usize)).collect();
     let mut names: HashMap<String, usize> = HashMap::new();
     for r in schema.rels() {
         let rel = schema.rel(r);
@@ -95,7 +93,10 @@ mod tests {
         // ta -> grad -> student -> person is 3 Isa hops; via teacher 4.
         assert_eq!(r.max_isa_depth, 4);
         // `name` is the most ambiguous relationship name (4 carriers).
-        assert_eq!(r.ambiguous_names.first().map(|(n, c)| (n.as_str(), *c)), Some(("name", 4)));
+        assert_eq!(
+            r.ambiguous_names.first().map(|(n, c)| (n.as_str(), *c)),
+            Some(("name", 4))
+        );
         let isa_count = r
             .by_kind
             .iter()

@@ -48,14 +48,20 @@ impl fmt::Display for SchemaError {
         match self {
             SchemaError::DuplicateClass(n) => write!(f, "duplicate class name `{n}`"),
             SchemaError::DuplicateRelName { class, rel } => {
-                write!(f, "class `{class}` already has a relationship named `{rel}`")
+                write!(
+                    f,
+                    "class `{class}` already has a relationship named `{rel}`"
+                )
             }
             SchemaError::IsaCycle { class } => {
                 write!(f, "Isa relationships form a cycle through `{class}`")
             }
             SchemaError::SelfIsa(n) => write!(f, "class `{n}` cannot be Isa itself"),
             SchemaError::PrimitiveSource { class } => {
-                write!(f, "primitive class `{class}` cannot have outgoing relationships")
+                write!(
+                    f,
+                    "primitive class `{class}` cannot have outgoing relationships"
+                )
             }
             SchemaError::UnknownClass(i) => write!(f, "relationship references unknown class #{i}"),
             SchemaError::BadInverse(m) => write!(f, "inconsistent inverse: {m}"),
@@ -257,9 +263,7 @@ impl SchemaBuilder {
     /// Validates and freezes the schema.
     pub fn build(self) -> Result<Schema, SchemaError> {
         // Isa edges must form a DAG.
-        if let Err(cycle) =
-            topo_sort_filtered(&self.graph, |_, e| e.weight.kind == RelKind::Isa)
-        {
+        if let Err(cycle) = topo_sort_filtered(&self.graph, |_, e| e.weight.kind == RelKind::Isa) {
             return Err(SchemaError::IsaCycle {
                 class: self
                     .interner
@@ -269,7 +273,10 @@ impl SchemaBuilder {
         }
         let mut rels_by_name: HashMap<Symbol, Vec<RelId>> = HashMap::new();
         for (eid, e) in self.graph.edges() {
-            rels_by_name.entry(e.weight.name).or_default().push(RelId(eid));
+            rels_by_name
+                .entry(e.weight.name)
+                .or_default()
+                .push(RelId(eid));
         }
         Ok(Schema {
             graph: self.graph,
@@ -366,10 +373,7 @@ mod tests {
     fn rejects_duplicate_class() {
         let mut b = SchemaBuilder::new();
         b.class("x").unwrap();
-        assert_eq!(
-            b.class("x"),
-            Err(SchemaError::DuplicateClass("x".into()))
-        );
+        assert_eq!(b.class("x"), Err(SchemaError::DuplicateClass("x".into())));
     }
 
     #[test]

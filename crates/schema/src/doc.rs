@@ -139,10 +139,7 @@ mod tests {
                 .find(|r2| back.name(r2.name) == schema.name(rel.name))
                 .expect("relationship survived round trip");
             assert_eq!(found.kind, rel.kind);
-            assert_eq!(
-                back.class_name(found.target),
-                schema.class_name(rel.target)
-            );
+            assert_eq!(back.class_name(found.target), schema.class_name(rel.target));
         }
     }
 

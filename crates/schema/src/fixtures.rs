@@ -108,10 +108,7 @@ mod tests {
     fn ta_has_two_parents() {
         let s = university();
         let ta = s.class_named("ta").unwrap();
-        let parents: Vec<&str> = s
-            .isa_parents(ta)
-            .map(|(_, c)| s.class_name(c))
-            .collect();
+        let parents: Vec<&str> = s.isa_parents(ta).map(|(_, c)| s.class_name(c)).collect();
         assert_eq!(parents.len(), 2);
         assert!(parents.contains(&"grad"));
         assert!(parents.contains(&"instructor"));

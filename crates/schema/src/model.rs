@@ -6,7 +6,9 @@ use ipe_graph::{EdgeId, NodeId};
 
 /// Identifier of a class within a [`crate::Schema`] (a node of the schema
 /// graph).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct ClassId(pub NodeId);
 
 impl ClassId {
@@ -18,7 +20,9 @@ impl ClassId {
 
 /// Identifier of a relationship within a [`crate::Schema`] (an edge of the
 /// schema graph).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct RelId(pub EdgeId);
 
 impl RelId {

@@ -24,14 +24,11 @@ fn main() {
     g.add_edge(a, d, (3, 0.5));
 
     let (short, stats) = optimal_path_labels(&g, &ShortestPath, |_, e| e.weight.0, a, d);
-    println!("shortest a->d: {short:?}  ({} recursive calls)", stats.calls);
-    let (rel, _) = optimal_path_labels(
-        &g,
-        &MostReliable,
-        |_, e| Prob::new(e.weight.1),
-        a,
-        d,
+    println!(
+        "shortest a->d: {short:?}  ({} recursive calls)",
+        stats.calls
     );
+    let (rel, _) = optimal_path_labels(&g, &MostReliable, |_, e| Prob::new(e.weight.1), a, d);
     println!("most reliable a->d: {:.4}", rel[0].value());
 
     // The Moose connector algebra: Table 1 compositions.
@@ -80,8 +77,7 @@ fn main() {
         None => println!("\nno distributivity counterexample found (unexpected)"),
     }
     assert!(
-        properties::find_distributivity_counterexample(&ShortestPath, &[0, 1, 2, 3, 4])
-            .is_none()
+        properties::find_distributivity_counterexample(&ShortestPath, &[0, 1, 2, 3, 4]).is_none()
     );
     println!("shortest path, by contrast, is distributive (properties 1-6 hold).");
 }

@@ -20,7 +20,10 @@ fn main() {
     let mut store = FeedbackStore::new(&schema);
     let mut last: Vec<ipe::core::Completion> = Vec::new();
 
-    println!("ipe interactive — university schema loaded ({} classes).", schema.class_count());
+    println!(
+        "ipe interactive — university schema loaded ({} classes).",
+        schema.class_count()
+    );
     println!(
         "enter an incomplete path expression (e.g. ta~name), `targets <class>`, `suggest`, or `quit`."
     );
@@ -51,11 +54,7 @@ fn main() {
         if let Some(class_name) = line.strip_prefix("targets ") {
             match schema.class_named(class_name.trim()) {
                 Some(root) => {
-                    for t in ipe::core::suggest::suggest_targets(
-                        &schema,
-                        root,
-                        engine.config(),
-                    ) {
+                    for t in ipe::core::suggest::suggest_targets(&schema, root, engine.config()) {
                         println!("  {}  ({} carriers)", t.name, t.carriers);
                     }
                 }
@@ -63,7 +62,10 @@ fn main() {
             }
             continue;
         }
-        if let Some(rest) = line.strip_prefix("ok ").or_else(|| line.strip_prefix("no ")) {
+        if let Some(rest) = line
+            .strip_prefix("ok ")
+            .or_else(|| line.strip_prefix("no "))
+        {
             let verdict = if line.starts_with("ok") {
                 Verdict::Approved
             } else {

@@ -14,9 +14,9 @@ fn main() {
     let engine = Completer::new(&schema);
 
     let queries = [
-        "ta~name",          // names of teaching assistants
-        "department~take",  // the courses "of" departments
-        "student~ssn",      // social security numbers of students
+        "ta~name",           // names of teaching assistants
+        "department~take",   // the courses "of" departments
+        "student~ssn",       // social security numbers of students
         "course~university", // which university a course belongs to
     ];
 
@@ -43,14 +43,9 @@ fn main() {
             Ok(out) => {
                 let values = out.values();
                 if values.is_empty() {
-                    println!(
-                        "  -> {} object(s): {:?}",
-                        out.len(),
-                        out.objects()
-                    );
+                    println!("  -> {} object(s): {:?}", out.len(), out.objects());
                 } else {
-                    let rendered: Vec<String> =
-                        values.iter().map(|v| v.to_string()).collect();
+                    let rendered: Vec<String> = values.iter().map(|v| v.to_string()).collect();
                     println!("  -> values: {}", rendered.join(", "));
                 }
             }

@@ -47,9 +47,7 @@ fn main() {
     // And of course: disambiguate on it.
     let engine = Completer::new(&schema);
     for q in ["shop~price", "customer~weight", "shop~email"] {
-        let out = engine
-            .complete(&parse_path_expression(q).unwrap())
-            .unwrap();
+        let out = engine.complete(&parse_path_expression(q).unwrap()).unwrap();
         println!("{q}:");
         for c in &out {
             println!(

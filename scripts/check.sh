@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The full local gate: build, tests, lints, formatting — in both metrics
+# modes. CI-equivalent; run before pushing.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== build (obs-off) =="
+cargo build --workspace --features ipe/obs-off
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== tests (obs-off) =="
+cargo test -q -p ipe-obs -p ipe-core --features obs-off
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== clippy (obs-off) =="
+cargo clippy --workspace --features ipe/obs-off -- -D warnings
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "OK: all checks passed"

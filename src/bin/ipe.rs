@@ -34,6 +34,8 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
+        // Implicit `complete`: `ipe --trace 'ta ~ name'` or `ipe 'ta~name'`.
+        other if other.starts_with('-') || other.contains('~') => cmd_complete(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {
@@ -46,12 +48,18 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  ipe complete [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]... EXPR
+  ipe complete [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]...
+               [--trace] [--report FILE] EXPR
   ipe explain  [--schema FILE | --fixture NAME] EXPR
   ipe eval     EXPR
   ipe gen      [--seed N] [--classes N]
   ipe dot      [--schema FILE | --fixture NAME] [--inverses]
   ipe stats    [--schema FILE | --fixture NAME]
+
+An EXPR containing `~` (or starting with a flag) implies `complete`.
+--trace prints the structured search event log; --report FILE writes the
+full JSON run report (stats, counters, timings, trace). Both are inert in
+builds with the `obs-off` feature.
 
 fixtures: university (default), assembly";
 
@@ -63,6 +71,8 @@ struct Opts {
     inverses: bool,
     seed: u64,
     classes: usize,
+    trace: bool,
+    report: Option<String>,
     positional: Vec<String>,
 }
 
@@ -74,6 +84,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut inverses = false;
     let mut seed = 1994u64;
     let mut classes = 92usize;
+    let mut trace = false;
+    let mut report = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -88,19 +100,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--e" => e = grab("--e")?.parse().map_err(|_| "--e must be a number")?,
             "--exclude" => exclude.push(grab("--exclude")?),
             "--inverses" => inverses = true,
-            "--seed" => seed = grab("--seed")?.parse().map_err(|_| "--seed must be a number")?,
+            "--seed" => {
+                seed = grab("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be a number")?
+            }
             "--classes" => {
                 classes = grab("--classes")?
                     .parse()
                     .map_err(|_| "--classes must be a number")?
             }
+            "--trace" => trace = true,
+            "--report" => report = Some(grab("--report")?),
             other => positional.push(other.to_owned()),
         }
     }
     let schema = match schema_file {
         Some(path) => {
-            let json = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {path}: {e}"))?;
+            let json =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
             Schema::from_json(&json).map_err(|e| e.to_string())?
         }
         None => match fixture.as_str() {
@@ -116,6 +134,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         inverses,
         seed,
         classes,
+        trace,
+        report,
         positional,
     })
 }
@@ -139,6 +159,11 @@ fn engine_for(opts: &Opts) -> Result<Completer<'_>, String> {
     ))
 }
 
+/// Ring-buffer size for `--trace`/`--report` runs: large enough to hold
+/// every event of the bundled fixtures and generated schemas; overflow is
+/// reported via the trace's `dropped` count rather than silently.
+const TRACE_CAPACITY: usize = 65_536;
+
 fn cmd_complete(args: &[String]) -> Result<(), String> {
     let opts = parse_opts(args)?;
     let expr = opts
@@ -147,7 +172,30 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
         .ok_or("missing path expression argument")?;
     let ast = parse_path_expression(expr).map_err(|e| e.to_string())?;
     let engine = engine_for(&opts)?;
-    let outcome = engine.complete_with_stats(&ast).map_err(|e| e.to_string())?;
+    let observing = opts.trace || opts.report.is_some();
+    let capacity = if observing { TRACE_CAPACITY } else { 0 };
+    let traced = engine
+        .complete_traced(&ast, capacity)
+        .map_err(|e| e.to_string())?;
+    let outcome = &traced.outcome;
+    if opts.trace {
+        if ipe::obs::disabled() {
+            eprintln!("note: this build has the obs-off feature; no events recorded");
+        }
+        for v in ipe::core::observe::trace_to_views(&opts.schema, &traced.trace) {
+            println!(
+                "{:>6} {:<18} {:<14} conn {:<3} semlen {}",
+                format!("d{}", v.depth),
+                v.kind.as_str(),
+                v.class,
+                v.connector,
+                v.semlen
+            );
+        }
+        if traced.trace.dropped() > 0 {
+            eprintln!("({} earlier events dropped)", traced.trace.dropped());
+        }
+    }
     for c in &outcome.completions {
         println!(
             "{}\t[{} semlen {}]",
@@ -161,6 +209,13 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
         outcome.completions.len(),
         outcome.stats.calls
     );
+    if let Some(path) = &opts.report {
+        let report = ipe::core::observe::build_report(&opts.schema, expr, outcome, &traced.trace);
+        report
+            .write_to(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("(report written to {path})");
+    }
     Ok(())
 }
 

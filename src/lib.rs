@@ -28,6 +28,7 @@ pub use ipe_core as core;
 pub use ipe_gen as gen;
 pub use ipe_graph as graph;
 pub use ipe_metrics as metrics;
+pub use ipe_obs as obs;
 pub use ipe_oodb as oodb;
 pub use ipe_parser as parser;
 pub use ipe_schema as schema;

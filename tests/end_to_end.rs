@@ -58,7 +58,12 @@ fn intro_example_courses_of_the_arts_department() {
 fn every_returned_completion_is_parseable_and_walkable() {
     let schema = ipe::schema::fixtures::university();
     let engine = Completer::new(&schema);
-    for query in ["ta~name", "department~take", "university~ssn", "course~name"] {
+    for query in [
+        "ta~name",
+        "department~take",
+        "university~ssn",
+        "course~name",
+    ] {
         let out = engine
             .complete(&parse_path_expression(query).unwrap())
             .unwrap();
@@ -88,10 +93,7 @@ fn assembly_schema_shares_subparts() {
         .unwrap();
     assert!(!out.is_empty());
     let best = &out[0];
-    assert_eq!(
-        best.display(&schema).to_string(),
-        "engine$>screw<$chassis"
-    );
+    assert_eq!(best.display(&schema).to_string(), "engine$>screw<$chassis");
     assert_eq!(
         best.label.connector,
         ipe::algebra::moose::Connector::SHARES_SUB

@@ -81,5 +81,8 @@ fn mid_tilde_errors_surface_cleanly() {
     let err = engine
         .complete(&parse_path_expression("ta~name.bogus").unwrap())
         .unwrap_err();
-    assert!(matches!(err, ipe::core::CompleteError::UnknownTargetName(_)));
+    assert!(matches!(
+        err,
+        ipe::core::CompleteError::UnknownTargetName(_)
+    ));
 }

@@ -17,8 +17,10 @@ fn shadowed() -> Schema {
     let data = b.class("data").unwrap();
     b.isa(mid, top).unwrap();
     b.isa(bottom, mid).unwrap();
-    b.rel_named(RelKind::Assoc, mid, data, "n", "n_mid_inv").unwrap();
-    b.rel_named(RelKind::Assoc, top, data, "n", "n_top_inv").unwrap();
+    b.rel_named(RelKind::Assoc, mid, data, "n", "n_mid_inv")
+        .unwrap();
+    b.rel_named(RelKind::Assoc, top, data, "n", "n_top_inv")
+        .unwrap();
     b.build().unwrap()
 }
 
@@ -86,7 +88,10 @@ fn preemption_survives_large_e() {
         .complete(&parse_path_expression("bottom~n").unwrap())
         .unwrap();
     let texts: Vec<String> = out.iter().map(|c| c.display(&schema).to_string()).collect();
-    assert!(!texts.contains(&"bottom@>mid@>top.n".to_string()), "{texts:?}");
+    assert!(
+        !texts.contains(&"bottom@>mid@>top.n".to_string()),
+        "{texts:?}"
+    );
 }
 
 /// A refinement on the subclass (same name, different target) also
@@ -100,8 +105,10 @@ fn refinement_shadows_superclass_relationship() {
     let carpart = b.class("carpart").unwrap();
     b.isa(car, vehicle).unwrap();
     b.isa(carpart, part).unwrap();
-    b.rel_named(RelKind::Assoc, vehicle, part, "component", "of_v").unwrap();
-    b.rel_named(RelKind::Assoc, car, carpart, "component", "of_c").unwrap();
+    b.rel_named(RelKind::Assoc, vehicle, part, "component", "of_v")
+        .unwrap();
+    b.rel_named(RelKind::Assoc, car, carpart, "component", "of_c")
+        .unwrap();
     b.attr(part, "weight", Primitive::Real).unwrap();
     let schema = b.build().unwrap();
     let engine = Completer::new(&schema);

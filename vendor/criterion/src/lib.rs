@@ -1,0 +1,316 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface this workspace's `[[bench]]` targets use —
+//! [`Criterion`] with its builder methods, [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock sampler.
+//!
+//! Each benchmark warms up for `warm_up_time`, sizes its inner batch so a
+//! sample takes roughly `measurement_time / sample_size`, then reports the
+//! median and mean per-iteration time over `sample_size` samples. There is
+//! no statistical regression analysis, plotting, or result persistence.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier re-exported for compatibility; benches here mostly
+/// use `std::hint::black_box` directly.
+pub use std::hint::black_box;
+
+/// The benchmark driver: configuration plus a name filter.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration run before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Restricts runs to benchmarks whose id contains `filter`.
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, mut f: F) {
+        let id = id.as_ref();
+        if let Some(ref needle) = self.filter {
+            if !id.contains(needle.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            config: BenchConfig {
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+                warm_up_time: self.warm_up_time,
+            },
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => report.print(id),
+            None => println!("{id:<48} (no measurement: Bencher::iter never called)"),
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn configure_from_args(mut self) -> Self {
+        // First non-flag CLI argument acts as a substring filter, matching
+        // `cargo bench -- <filter>` usage. Harness flags (`--bench` etc.)
+        // are accepted and ignored.
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter = Some(arg);
+                break;
+            }
+        }
+        self
+    }
+}
+
+/// A named family of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, f: F) {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(full, f);
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.bench_function(full, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, p: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+struct Report {
+    median: Duration,
+    mean: Duration,
+    iters: u64,
+}
+
+impl Report {
+    fn print(&self, id: &str) {
+        println!(
+            "{id:<48} median {:>12}  mean {:>12}  ({} iters/sample)",
+            fmt_duration(self.median),
+            fmt_duration(self.mean),
+            self.iters
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    config: BenchConfig,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`, retaining its output behind a black box so the
+    /// optimizer cannot elide the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses, and use the
+        // observed rate to size each timed sample's batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        let samples = self.config.sample_size.max(1);
+        let sample_budget = self.config.measurement_time.as_nanos() as f64 / samples as f64;
+        let iters = ((sample_budget / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        let mut times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        self.report = Some(Report {
+            median,
+            mean,
+            iters,
+        });
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, in both the simple
+/// and the `name = / config = / targets =` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion = criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the given [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut ran = false;
+        c.bench_function("tiny", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+            .with_filter("only_this");
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(!ran);
+        c.bench_function("only_this_one", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        let mut seen = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            seen = x;
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert_eq!(seen, 7);
+    }
+}

@@ -1,0 +1,270 @@
+//! Generates strings matching a pragmatic subset of the regex syntax that
+//! real proptest accepts for `&str` strategies.
+//!
+//! Supported: literal characters, character classes `[...]` (with ranges,
+//! escapes `\t` `\n` `\r` `\\`, and a literal `-` when first or last),
+//! `\PC` (any printable character; approximated by printable ASCII), the
+//! quantifiers `*` (0 to 8 repetitions), `+` (1 to 8), `?`, and `{m}` /
+//! `{m,n}`, and the `.` wildcard (printable ASCII). Alternation and groups
+//! are not needed by this workspace's patterns and are rejected with a
+//! panic so a new pattern fails loudly rather than silently mismatching.
+
+use crate::TestRng;
+
+/// One atom of the pattern: a set of characters to pick from.
+#[derive(Debug)]
+enum Atom {
+    /// A single fixed character.
+    Literal(char),
+    /// An explicit set of choices, expanded from a class.
+    Choices(Vec<char>),
+    /// Any printable ASCII character (for `.` and `\PC`).
+    Printable,
+}
+
+impl Atom {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Choices(cs) => cs[rng.below(cs.len())],
+            // Space (0x20) through tilde (0x7E).
+            Atom::Printable => (0x20 + rng.below(0x5f) as u8) as char,
+        }
+    }
+}
+
+/// How many times an atom repeats.
+#[derive(Debug)]
+struct Repeat {
+    min: usize,
+    max: usize,
+}
+
+/// Produces a string matching `pattern`. Panics on unsupported syntax.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for (atom, rep) in &atoms {
+        let n = if rep.min == rep.max {
+            rep.min
+        } else {
+            rep.min + rng.below(rep.max - rep.min + 1)
+        };
+        for _ in 0..n {
+            out.push(atom.pick(rng));
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, Repeat)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Choices(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("trailing backslash in regex {pattern:?}"));
+                i += 1;
+                match c {
+                    'P' | 'p' => {
+                        // \PC / \pC — the "printable" Unicode class proptest
+                        // patterns use. Consume the one-letter class name.
+                        i += 1;
+                        Atom::Printable
+                    }
+                    't' => Atom::Literal('\t'),
+                    'n' => Atom::Literal('\n'),
+                    'r' => Atom::Literal('\r'),
+                    '\\' | '.' | '*' | '+' | '?' | '[' | ']' | '{' | '}' | '-' | '$' | '^'
+                    | '(' | ')' | '|' => Atom::Literal(c),
+                    other => panic!("unsupported escape \\{other} in regex {pattern:?}"),
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::Printable
+            }
+            '(' | ')' | '|' => {
+                panic!("groups/alternation not supported in vendored proptest regex {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let rep = parse_repeat(&chars, &mut i, pattern);
+        atoms.push((atom, rep));
+    }
+    atoms
+}
+
+/// Parses the body of a `[...]` class starting at `i` (after the `[`).
+/// Returns the expanded choice set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    if chars.get(i) == Some(&'^') {
+        panic!("negated classes not supported in vendored proptest regex {pattern:?}");
+    }
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            match chars.get(i) {
+                Some('t') => '\t',
+                Some('n') => '\n',
+                Some('r') => '\r',
+                Some(&c) => c,
+                None => panic!("trailing backslash in regex {pattern:?}"),
+            }
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // A '-' forms a range only when flanked by two class members.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).map(|&c| c != ']').unwrap_or(false) {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            assert!(c <= hi, "inverted range {c}-{hi} in regex {pattern:?}");
+            for code in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    assert!(
+        chars.get(i) == Some(&']'),
+        "unterminated class in regex {pattern:?}"
+    );
+    assert!(!set.is_empty(), "empty class in regex {pattern:?}");
+    (set, i + 1)
+}
+
+/// Parses an optional quantifier at `*i`, advancing past it.
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> Repeat {
+    match chars.get(*i) {
+        Some('*') => {
+            *i += 1;
+            Repeat { min: 0, max: 8 }
+        }
+        Some('+') => {
+            *i += 1;
+            Repeat { min: 1, max: 8 }
+        }
+        Some('?') => {
+            *i += 1;
+            Repeat { min: 0, max: 1 }
+        }
+        Some('{') => {
+            *i += 1;
+            let mut digits = String::new();
+            while chars.get(*i).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                digits.push(chars[*i]);
+                *i += 1;
+            }
+            let min: usize = digits
+                .parse()
+                .unwrap_or_else(|_| panic!("bad {{m,n}} quantifier in regex {pattern:?}"));
+            let max = if chars.get(*i) == Some(&',') {
+                *i += 1;
+                let mut digits = String::new();
+                while chars.get(*i).map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    digits.push(chars[*i]);
+                    *i += 1;
+                }
+                digits.parse().unwrap_or_else(|_| {
+                    panic!("open-ended {{m,}} quantifier not supported in regex {pattern:?}")
+                })
+            } else {
+                min
+            };
+            assert!(
+                chars.get(*i) == Some(&'}'),
+                "unterminated quantifier in regex {pattern:?}"
+            );
+            *i += 1;
+            assert!(min <= max, "inverted quantifier in regex {pattern:?}");
+            Repeat { min, max }
+        }
+        _ => Repeat { min: 1, max: 1 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, case: u32) -> String {
+        let mut rng = TestRng::for_case("string", case);
+        generate_matching(pattern, &mut rng)
+    }
+
+    #[test]
+    fn identifier_patterns() {
+        for case in 0..50 {
+            let s = gen("[a-z][a-z0-9]{0,6}", case);
+            assert!((1..=7).contains(&s.chars().count()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn whitespace_class_with_escape() {
+        for case in 0..50 {
+            let s = gen("[ \\t]{0,4}", case);
+            assert!(s.chars().count() <= 4);
+            assert!(s.chars().all(|c| c == ' ' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut saw_dash = false;
+        for case in 0..200 {
+            let s = gen("[a-z@><$~. _-]{0,40}", case);
+            assert!(s.chars().count() <= 40);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_lowercase() || "@><$~. _-".contains(c),
+                    "unexpected {c:?}"
+                );
+                saw_dash |= c == '-';
+            }
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn printable_class_star() {
+        for case in 0..50 {
+            let s = gen("\\PC*", case);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        for case in 0..20 {
+            assert_eq!(gen("[ab]{3}", case).chars().count(), 3);
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! Implemented without `syn`/`quote`: the input item is walked as a raw
+//! `TokenStream` and the generated impl is rendered as a string. The parser
+//! covers the shapes this workspace actually derives — named structs
+//! (possibly generic), tuple structs, and unit-variant enums — plus the
+//! `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]` field
+//! attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    UnitEnum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn impl_header(trait_name: &str, item: &Item) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{} for {}", trait_name, item.name)
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{} for {}<{}>",
+            params.join(", "),
+            trait_name,
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut out = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let push = format!(
+                    "__fields.push((::std::string::String::from({:?}), ::serde::Serialize::to_value(&self.{})));",
+                    f.name, f.name
+                );
+                match &f.attrs.skip_serializing_if {
+                    Some(pred) => {
+                        out.push_str(&format!("if !{pred}(&self.{}) {{ {push} }}\n", f.name));
+                    }
+                    None => {
+                        out.push_str(&push);
+                        out.push('\n');
+                    }
+                }
+            }
+            out.push_str("::serde::Value::Map(__fields)");
+            out
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}::{} => ::serde::Value::Str(::std::string::String::from({:?}))",
+                        item.name, v, v
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {} }} }}",
+        impl_header("Serialize", item),
+        body
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut out = format!(
+                "let ::serde::Value::Map(_) = __v else {{ return ::std::result::Result::Err(::serde::Error::custom(concat!(\"expected map for struct \", {:?}))); }};\n",
+                item.name
+            );
+            out.push_str(&format!("::std::result::Result::Ok({} {{\n", item.name));
+            for f in fields {
+                let missing = if f.attrs.default || f.attrs.skip_serializing_if.is_some() {
+                    "::std::default::Default::default()".to_owned()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::Error::custom(concat!(\"missing field \", {:?})))",
+                        f.name
+                    )
+                };
+                out.push_str(&format!(
+                    "{}: match __v.get({:?}) {{ ::std::option::Option::Some(__f) => ::serde::Deserialize::from_value(__f)?, ::std::option::Option::None => {} }},\n",
+                    f.name, f.name, missing
+                ));
+            }
+            out.push_str("})");
+            out
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({}(::serde::Deserialize::from_value(__v)?))",
+            item.name
+        ),
+        Shape::Tuple(n) => {
+            let mut out = format!(
+                "let ::serde::Value::Seq(__items) = __v else {{ return ::std::result::Result::Err(::serde::Error::custom(concat!(\"expected sequence for \", {:?}))); }};\n",
+                item.name
+            );
+            out.push_str(&format!(
+                "if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length\")); }}\n"
+            ));
+            let parts: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            out.push_str(&format!(
+                "::std::result::Result::Ok({}({}))",
+                item.name,
+                parts.join(", ")
+            ));
+            out
+        }
+        Shape::UnitEnum(variants) => {
+            let mut out = format!(
+                "let ::serde::Value::Str(__s) = __v else {{ return ::std::result::Result::Err(::serde::Error::custom(concat!(\"expected string for enum \", {:?}))); }};\n",
+                item.name
+            );
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({}::{})", v, item.name, v))
+                .collect();
+            out.push_str(&format!(
+                "match __s.as_str() {{ {}, __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {}\"))) }}",
+                arms.join(", "),
+                item.name
+            ));
+            out
+        }
+    };
+    format!(
+        "{} {{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {} }} }}",
+        impl_header("Deserialize", item),
+        body
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i)?;
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "where" {
+            return Err("`where` clauses are not supported by the serde shim derive".into());
+        }
+    }
+    let shape = match (kind, tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", _) => return Err("unit structs are not supported".into()),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::UnitEnum(parse_unit_variants(g.stream())?)
+        }
+        _ => return Err("malformed item body".into()),
+    };
+    Ok(Item {
+        name,
+        generics,
+        shape,
+    })
+}
+
+/// Advances past any `#[...]` attributes and a `pub`/`pub(...)` visibility,
+/// returning the serde attributes found.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    merge_serde_attr(&mut attrs, g.stream());
+                    *i += 2;
+                } else {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+/// Parses the contents of one `[...]` attribute group; merges `serde(...)`
+/// keys into `attrs`.
+fn merge_serde_attr(attrs: &mut FieldAttrs, stream: TokenStream) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let [TokenTree::Ident(name), TokenTree::Group(args)] = &tokens[..] else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return;
+    }
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        match &args[j] {
+            TokenTree::Ident(key) if key.to_string() == "default" => {
+                attrs.default = true;
+                j += 1;
+            }
+            TokenTree::Ident(key) if key.to_string() == "skip_serializing_if" => {
+                // skip_serializing_if = "path"
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (args.get(j + 1), args.get(j + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        attrs.skip_serializing_if = Some(raw.trim_matches('"').to_owned());
+                    }
+                }
+                j += 3;
+            }
+            _ => j += 1,
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` type parameters (plain idents only). Leaves `i`
+/// after the closing `>`.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *i += 1,
+        _ => return Ok(params),
+    }
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    return Ok(params);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                return Err("lifetime parameters are not supported by the serde shim derive".into())
+            }
+            TokenTree::Ident(id) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    Err("unclosed generics".into())
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let attrs = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, got {other:?}")),
+        }
+        // Skip the type: tokens until a comma outside angle brackets.
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle = 0i32;
+    let mut saw_any = false;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        count
+    }
+}
+
+fn parse_unit_variants(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(name);
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` has a payload; the serde shim derive supports unit variants only"
+                ));
+            }
+            other => return Err(format!("unexpected token after variant: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
