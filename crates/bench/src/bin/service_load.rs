@@ -1,0 +1,395 @@
+//! Load generator for the `ipe-service` disambiguation server.
+//!
+//! Two modes:
+//!
+//! * `--smoke`: a correctness probe for CI — complete `ta~name` against
+//!   the server's `default` schema, assert the two Figure-2 answers, and
+//!   assert the second, identical request is a cache hit (optionally
+//!   `--shutdown` the server afterwards). Exits non-zero on any mismatch.
+//! * default: a benchmark — spawn (or target) a server, upload the
+//!   CUPID-calibrated schema, replay the `ipe-gen` planted-intent
+//!   workload from `--concurrency` connections, measure cold-vs-warm
+//!   `ta~name` latency, and write `BENCH_service.json` (throughput,
+//!   p50/p99, hit rate, cache counters cross-checked against
+//!   `/metrics`).
+//!
+//! ```text
+//! service_load [--addr HOST:PORT] [--requests N] [--concurrency C]
+//!              [--seed N] [--warm-reps N] [--smoke] [--shutdown]
+//! ```
+//!
+//! Without `--addr`, an in-process server is started on an ephemeral
+//! port and shut down at the end.
+
+use ipe_bench::{experiment_setup, pct, write_run_report_with_stats, DEFAULT_SEED};
+use ipe_schema::fixtures;
+use ipe_service::{Client, Server, ServiceConfig};
+use serde::Value;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    addr: Option<String>,
+    requests: usize,
+    concurrency: usize,
+    seed: u64,
+    warm_reps: usize,
+    smoke: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        requests: 2000,
+        concurrency: 4,
+        seed: DEFAULT_SEED,
+        warm_reps: 200,
+        smoke: false,
+        shutdown: false,
+    };
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => args.addr = Some(grab("--addr")?),
+            "--requests" => {
+                args.requests = grab("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests must be a number")?
+            }
+            "--concurrency" => {
+                args.concurrency = grab("--concurrency")?
+                    .parse()
+                    .map_err(|_| "--concurrency must be a number")?
+            }
+            "--seed" => {
+                args.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be a number")?
+            }
+            "--warm-reps" => {
+                args.warm_reps = grab("--warm-reps")?
+                    .parse()
+                    .map_err(|_| "--warm-reps must be a number")?
+            }
+            "--smoke" => args.smoke = true,
+            "--shutdown" => args.shutdown = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn get<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("response missing `{key}`"))
+}
+
+fn as_u64(v: &Value) -> Result<u64, String> {
+    match v {
+        Value::I64(i) => Ok(*i as u64),
+        Value::U64(u) => Ok(*u),
+        other => Err(format!("expected number, got {other:?}")),
+    }
+}
+
+/// One `POST /v1/complete`, returning (texts, cached, server duration ns).
+fn complete(
+    client: &mut Client,
+    schema: &str,
+    query: &str,
+) -> Result<(Vec<String>, bool, u64), String> {
+    let body = format!("{{\"schema\": \"{schema}\", \"query\": \"{query}\"}}");
+    let (status, text) = client
+        .request("POST", "/v1/complete", &body)
+        .map_err(|e| format!("request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("{query}: HTTP {status}: {text}"));
+    }
+    let v = serde_json::parse_value_text(&text).map_err(|e| format!("bad JSON: {e:?}"))?;
+    let Value::Seq(items) = get(&v, "completions")? else {
+        return Err("completions is not an array".to_owned());
+    };
+    let mut texts = Vec::with_capacity(items.len());
+    for item in items {
+        match get(item, "text")? {
+            Value::Str(s) => texts.push(s.clone()),
+            other => return Err(format!("text is not a string: {other:?}")),
+        }
+    }
+    let cached = matches!(get(&v, "cached")?, Value::Bool(true));
+    let duration = as_u64(get(&v, "duration_ns")?)?;
+    Ok((texts, cached, duration))
+}
+
+/// Cache hit/miss/eviction counts scraped from `GET /metrics`.
+fn fetch_cache_counters(client: &mut Client) -> Result<(u64, u64, u64), String> {
+    let (status, text) = client
+        .request("GET", "/metrics", "")
+        .map_err(|e| format!("metrics request failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("/metrics: HTTP {status}"));
+    }
+    let v = serde_json::parse_value_text(&text).map_err(|e| format!("bad metrics JSON: {e:?}"))?;
+    let cache = get(get(&v, "service")?, "cache")?;
+    Ok((
+        as_u64(get(cache, "hits")?)?,
+        as_u64(get(cache, "misses")?)?,
+        as_u64(get(cache, "evictions")?)?,
+    ))
+}
+
+const FIGURE2: [&str; 2] = [
+    "ta@>grad@>student@>person.name",
+    "ta@>instructor@>teacher@>employee@>person.name",
+];
+
+/// The CI probe: Figure-2 answers, then a cache hit on the repeat.
+fn run_smoke(client: &mut Client) -> Result<(), String> {
+    let (texts, cached, cold_ns) = complete(client, "default", "ta~name")?;
+    for expected in FIGURE2 {
+        if !texts.iter().any(|t| t == expected) {
+            return Err(format!(
+                "missing Figure-2 completion {expected}; got {texts:?}"
+            ));
+        }
+    }
+    if texts.len() != 2 {
+        return Err(format!(
+            "expected exactly the 2 Figure-2 answers, got {texts:?}"
+        ));
+    }
+    if cached {
+        return Err("first request must not be cached".to_owned());
+    }
+    let (texts2, cached2, warm_ns) = complete(client, "default", "ta~name")?;
+    if !cached2 {
+        return Err("second identical request must be a cache hit".to_owned());
+    }
+    if texts2 != texts {
+        return Err("cached answer diverges from the computed one".to_owned());
+    }
+    let (hits, misses, _) = fetch_cache_counters(client)?;
+    if hits < 1 || misses < 1 {
+        return Err(format!(
+            "/metrics counters inconsistent: hits {hits}, misses {misses}"
+        ));
+    }
+    println!(
+        "smoke OK: ta~name -> 2 Figure-2 completions, cold {cold_ns}ns, warm (cached) {warm_ns}ns"
+    );
+    Ok(())
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_bench(client: &mut Client, addr: &str, args: &Args) -> Result<(), String> {
+    // 1. The CUPID-calibrated schema and its planted-intent workload.
+    let (gen, workload) = experiment_setup(args.seed);
+    if workload.is_empty() {
+        return Err("workload generation produced no queries".to_owned());
+    }
+    let (status, body) = client
+        .request("PUT", "/v1/schemas/cupid", &gen.schema.to_json())
+        .map_err(|e| format!("schema upload failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("schema upload: HTTP {status}: {body}"));
+    }
+    eprintln!(
+        "uploaded cupid schema ({} classes), replaying {} queries x {} requests from {} connection(s)",
+        gen.schema.class_count(),
+        workload.len(),
+        args.requests,
+        args.concurrency
+    );
+
+    // 2. Cold-vs-warm on the flagship query (server-side compute time, so
+    //    the comparison measures the engine + cache, not the socket).
+    let (_, cached, cold_ns) = complete(client, "default", "ta~name")?;
+    if cached {
+        return Err("ta~name was already cached; run against a fresh server".to_owned());
+    }
+    let mut warm: Vec<u64> = Vec::with_capacity(args.warm_reps);
+    for _ in 0..args.warm_reps {
+        let (_, cached, ns) = complete(client, "default", "ta~name")?;
+        if !cached {
+            return Err("warm ta~name repetition missed the cache".to_owned());
+        }
+        warm.push(ns);
+    }
+    warm.sort_unstable();
+    let warm_p50 = percentile(&warm, 0.5).max(1);
+    let speedup = cold_ns as f64 / warm_p50 as f64;
+
+    // 3. Replay the workload concurrently.
+    let started = Instant::now();
+    let per_thread = args.requests.div_ceil(args.concurrency.max(1));
+    let results: Vec<Result<Vec<(u64, bool)>, String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..args.concurrency.max(1) {
+            let workload = &workload;
+            let addr = addr.to_owned();
+            handles.push(scope.spawn(move || {
+                let mut client = Client::new(addr);
+                let mut out = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let q = &workload[(t + i) % workload.len()];
+                    let sent = Instant::now();
+                    let (_, cached, _server_ns) = complete(&mut client, "cupid", &q.expr)?;
+                    out.push((sent.elapsed().as_nanos() as u64, cached));
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut latencies = Vec::with_capacity(args.requests);
+    let mut response_hits = 0u64;
+    for r in results {
+        for (ns, cached) in r? {
+            latencies.push(ns);
+            response_hits += u64::from(cached);
+        }
+    }
+    let total = latencies.len() as u64;
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.5);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let hit_rate = response_hits as f64 / total as f64;
+
+    // 4. Cross-check the replay against the server's own counters.
+    let (hits, misses, evictions) = fetch_cache_counters(client)?;
+    // Every complete request issued in this run: 1 + warm_reps on
+    // `ta~name`, plus the workload replay.
+    let issued = 1 + args.warm_reps as u64 + total;
+    let consistent = hits + misses == issued && hits >= response_hits;
+    if !consistent {
+        eprintln!(
+            "warning: /metrics hit+miss = {} but {issued} requests were issued \
+             (shared server? counters are process-global)",
+            hits + misses
+        );
+    }
+
+    println!(
+        "requests:        {total} over {} connection(s)",
+        args.concurrency
+    );
+    println!("wall time:       {:.3}s", elapsed.as_secs_f64());
+    println!("throughput:      {throughput:.0} req/s");
+    println!("client p50/p99:  {}us / {}us", p50 / 1000, p99 / 1000);
+    println!(
+        "cache hit rate:  {} ({response_hits}/{total} responses)",
+        pct(hit_rate)
+    );
+    println!("server counters: {hits} hits, {misses} misses, {evictions} evictions");
+    println!(
+        "ta~name cold {}us vs warm p50 {}us  ->  {speedup:.0}x speedup",
+        cold_ns / 1000,
+        warm_p50 / 1000
+    );
+
+    write_run_report_with_stats(
+        "service",
+        &[
+            ("mode", "replay"),
+            ("workload", "cupid planted-intent"),
+            (
+                "consistent_with_metrics",
+                if consistent { "true" } else { "false" },
+            ),
+        ],
+        &[
+            ("requests", total),
+            ("concurrency", args.concurrency as u64),
+            ("wall_ms", elapsed.as_millis() as u64),
+            ("throughput_rps", throughput as u64),
+            ("client_p50_ns", p50),
+            ("client_p99_ns", p99),
+            ("response_cache_hits", response_hits),
+            ("hit_rate_pct", (hit_rate * 100.0) as u64),
+            ("metrics_cache_hits", hits),
+            ("metrics_cache_misses", misses),
+            ("metrics_cache_evictions", evictions),
+            ("ta_name_cold_ns", cold_ns),
+            ("ta_name_warm_p50_ns", warm_p50),
+            ("warm_speedup_x", speedup as u64),
+        ],
+    );
+    if speedup < 10.0 {
+        eprintln!("warning: warm-cache speedup below 10x ({speedup:.1}x)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Spawn an in-process server when no target was given.
+    let (server, addr) = match &args.addr {
+        Some(addr) => (None, addr.clone()),
+        None => {
+            let server = match Server::start(ServiceConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                workers: (args.concurrency + 2).max(4),
+                ..Default::default()
+            }) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot start in-process server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            server
+                .state()
+                .registry
+                .insert("default", fixtures::university());
+            let addr = server.addr().to_string();
+            eprintln!("(in-process server on {addr})");
+            (Some(server), addr)
+        }
+    };
+    let mut client = Client::new(addr.clone());
+    let result = if args.smoke {
+        run_smoke(&mut client)
+    } else {
+        run_bench(&mut client, &addr, &args)
+    };
+    // Shut the server down: always for the in-process one, on request for
+    // a remote one.
+    if args.shutdown || server.is_some() {
+        let _ = client.request("POST", "/v1/shutdown", "");
+    }
+    if let Some(server) = server {
+        server.join();
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -40,10 +40,19 @@ pub fn pct(x: f64) -> String {
 /// directory. Failures are reported on stderr but never fail the
 /// experiment; in `obs-off` builds the metric sections are empty.
 pub fn write_run_report(name: &str, meta: &[(&str, &str)]) {
+    write_run_report_with_stats(name, meta, &[]);
+}
+
+/// [`write_run_report`], additionally recording named numeric statistics
+/// in the report's `stats` section (throughputs, percentiles, ...).
+pub fn write_run_report_with_stats(name: &str, meta: &[(&str, &str)], stats: &[(&str, u64)]) {
     let mut report = ipe_obs::Report::new();
     report.meta("experiment", name);
     for (k, v) in meta {
         report.meta(*k, *v);
+    }
+    for (k, v) in stats {
+        report.stat(*k, *v);
     }
     report.capture_metrics();
     let dir = std::env::var("OBS_REPORT_DIR").unwrap_or_else(|_| ".".to_owned());

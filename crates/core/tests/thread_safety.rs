@@ -1,0 +1,60 @@
+//! Compile-time thread-safety contract for the service layer: a [`Schema`]
+//! can live behind an `Arc` and be read from many worker threads at once,
+//! and completion results can be cloned out of a shared cache.
+//!
+//! The assertions here are type-level — if any of these types grows an
+//! `Rc`, `RefCell`, or raw pointer, this file stops compiling, which is
+//! the failure mode we want (not a flaky runtime race).
+
+use ipe_core::{Completer, Completion, SearchOutcome};
+use ipe_parser::parse_path_expression;
+use ipe_schema::{fixtures, Schema};
+use std::sync::Arc;
+
+fn is_send_sync<T: Send + Sync>() {}
+fn is_clone<T: Clone>() {}
+
+/// The types the server shares across threads must be `Send + Sync`, and
+/// the types the cache hands out must be `Clone`. Purely compile-time.
+#[test]
+fn service_types_are_thread_safe_and_cloneable() {
+    is_send_sync::<Schema>();
+    is_send_sync::<Arc<Schema>>();
+    is_send_sync::<Completer<'static>>();
+    is_send_sync::<SearchOutcome>();
+    is_send_sync::<Completion>();
+    is_clone::<SearchOutcome>();
+    is_clone::<Completion>();
+}
+
+/// And the contract holds in practice: completers on distinct threads
+/// borrowing one schema return the same answer as a single-threaded run.
+#[test]
+fn concurrent_completers_share_one_schema() {
+    let schema = fixtures::university();
+    let ast = parse_path_expression("ta~name").unwrap();
+    let reference = Completer::new(&schema)
+        .complete_with_stats(&ast)
+        .unwrap()
+        .completions;
+
+    let results: Vec<_> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let (schema, ast) = (&schema, &ast);
+                scope.spawn(move || {
+                    Completer::new(schema)
+                        .complete_with_stats(ast)
+                        .unwrap()
+                        .completions
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for completions in results {
+        assert_eq!(completions, reference);
+    }
+}

@@ -1,0 +1,183 @@
+//! Wire types of the JSON API: request bodies, response bodies, and the
+//! translation from a [`CompleteRequest`] into an engine
+//! [`CompletionConfig`].
+
+use ipe_core::{CompletionConfig, Pruning, SearchStats};
+use ipe_schema::Schema;
+
+/// Body of `POST /v1/complete`. Only `query` is required; everything else
+/// falls back to the engine defaults against the `default` schema.
+#[derive(Debug, serde::Deserialize)]
+pub struct CompleteRequest {
+    /// Registry name of the schema to complete against (default
+    /// `"default"`).
+    #[serde(default)]
+    pub schema: String,
+    /// The (possibly incomplete) path expression text.
+    pub query: String,
+    /// The `E` parameter of `AGG*`; must be ≥ 1 when given.
+    #[serde(default)]
+    pub e: Option<u64>,
+    /// Class names that must not appear in any completion.
+    #[serde(default)]
+    pub exclude: Vec<String>,
+    /// Branch-and-bound mode: `none`, `paper`, `paper-no-caution`, or
+    /// `safe` (the default).
+    #[serde(default)]
+    pub pruning: Option<String>,
+    /// Order label-tied completions most-specific-first.
+    #[serde(default)]
+    pub prefer_specific: bool,
+}
+
+impl CompleteRequest {
+    /// The registry name to use, applying the `"default"` fallback.
+    pub fn schema_name(&self) -> &str {
+        if self.schema.is_empty() {
+            "default"
+        } else {
+            &self.schema
+        }
+    }
+
+    /// Builds the engine configuration, resolving class names against
+    /// `schema`. Errors are user-facing 400 messages.
+    pub fn config(&self, schema: &Schema) -> Result<CompletionConfig, String> {
+        let mut cfg = CompletionConfig::default();
+        if let Some(e) = self.e {
+            if e == 0 {
+                return Err("`e` must be >= 1".to_owned());
+            }
+            cfg.e = e as usize;
+        }
+        if let Some(p) = &self.pruning {
+            cfg.pruning = match p.as_str() {
+                "none" => Pruning::None,
+                "paper" => Pruning::Paper,
+                "paper-no-caution" => Pruning::PaperNoCaution,
+                "safe" => Pruning::Safe,
+                other => return Err(format!("unknown pruning mode `{other}`")),
+            };
+        }
+        for name in &self.exclude {
+            let class = schema
+                .class_named(name)
+                .ok_or_else(|| format!("unknown class `{name}` in `exclude`"))?;
+            cfg.excluded_classes.push(class);
+        }
+        cfg.prefer_specific = self.prefer_specific;
+        Ok(cfg)
+    }
+}
+
+/// One completion in a [`CompleteResponse`].
+#[derive(Debug, serde::Serialize)]
+pub struct CompletionView {
+    /// The complete path expression in the paper's textual syntax.
+    pub text: String,
+    /// The path label's connector.
+    pub connector: String,
+    /// The path label's semantic length.
+    pub semlen: u64,
+    /// Number of relationships traversed.
+    pub edges: u64,
+}
+
+/// Body of a successful `POST /v1/complete` response.
+#[derive(Debug, serde::Serialize)]
+pub struct CompleteResponse {
+    /// Registry name the completion ran against.
+    pub schema: String,
+    /// Schema generation the result belongs to.
+    pub generation: u64,
+    /// The normalized query text (the cache key's form).
+    pub query: String,
+    /// Whether the result came from the completion cache.
+    pub cached: bool,
+    /// Server-side compute time in nanoseconds: registry lookup, parse,
+    /// cache probe, and (on a miss) the full search. Excludes HTTP and
+    /// JSON framing, so cold-vs-warm comparisons measure the engine, not
+    /// the socket.
+    pub duration_ns: u64,
+    /// The optimal completions, best first.
+    pub completions: Vec<CompletionView>,
+    /// Search counters of the run that produced the result (cached
+    /// responses repeat the original run's counters).
+    pub stats: SearchStats,
+}
+
+/// Body of `PUT /v1/schemas/:name` responses.
+#[derive(Debug, serde::Serialize)]
+pub struct SchemaPutResponse {
+    /// Registry name.
+    pub name: String,
+    /// Stable registry id.
+    pub id: u64,
+    /// Generation after this upload (1 for a new name).
+    pub generation: u64,
+    /// Cache entries of older generations dropped by the upload.
+    pub purged_cache_entries: u64,
+}
+
+/// Uniform error body for every non-2xx response.
+pub fn error_body(message: &str) -> String {
+    let mut out = String::with_capacity(message.len() + 12);
+    out.push_str("{\"error\": ");
+    ipe_obs::json::push_str_literal(&mut out, message);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_schema::fixtures;
+
+    #[test]
+    fn minimal_request_parses_with_defaults() {
+        let req: CompleteRequest = serde_json::from_str(r#"{"query": "ta~name"}"#).unwrap();
+        assert_eq!(req.schema_name(), "default");
+        assert_eq!(req.query, "ta~name");
+        let cfg = req.config(&fixtures::university()).unwrap();
+        assert_eq!(cfg.e, 1);
+        assert_eq!(cfg.pruning, Pruning::Safe);
+        assert!(cfg.excluded_classes.is_empty());
+    }
+
+    #[test]
+    fn full_request_round_trips_into_config() {
+        let req: CompleteRequest = serde_json::from_str(
+            r#"{"schema": "uni", "query": "ta~name", "e": 2,
+                "exclude": ["person"], "pruning": "paper", "prefer_specific": true}"#,
+        )
+        .unwrap();
+        assert_eq!(req.schema_name(), "uni");
+        let schema = fixtures::university();
+        let cfg = req.config(&schema).unwrap();
+        assert_eq!(cfg.e, 2);
+        assert_eq!(cfg.pruning, Pruning::Paper);
+        assert_eq!(
+            cfg.excluded_classes,
+            vec![schema.class_named("person").unwrap()]
+        );
+        assert!(cfg.prefer_specific);
+    }
+
+    #[test]
+    fn bad_requests_are_rejected() {
+        let schema = fixtures::university();
+        let zero_e: CompleteRequest = serde_json::from_str(r#"{"query": "q", "e": 0}"#).unwrap();
+        assert!(zero_e.config(&schema).is_err());
+        let bad_class: CompleteRequest =
+            serde_json::from_str(r#"{"query": "q", "exclude": ["nope"]}"#).unwrap();
+        assert!(bad_class.config(&schema).is_err());
+        let bad_pruning: CompleteRequest =
+            serde_json::from_str(r#"{"query": "q", "pruning": "wild"}"#).unwrap();
+        assert!(bad_pruning.config(&schema).is_err());
+    }
+
+    #[test]
+    fn error_body_escapes() {
+        assert_eq!(error_body("a\"b"), "{\"error\": \"a\\\"b\"}");
+    }
+}

@@ -1,0 +1,420 @@
+//! The sharded completion cache: a hand-rolled LRU behind `N` mutex
+//! shards.
+//!
+//! Keys carry the owning schema's `(id, generation)` pair, so a hot-swap
+//! in the [`crate::SchemaRegistry`] invalidates every cached result of the
+//! old schema version without touching the cache at all: the new
+//! generation simply never collides with the old keys. [`purge_schema`]
+//! additionally drops the stale entries eagerly so a reload frees memory
+//! immediately instead of waiting for LRU pressure.
+//!
+//! [`purge_schema`]: ShardedLru::purge_schema
+
+use ipe_core::{CompletionConfig, Pruning, SearchOutcome};
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key for one memoized completion run.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registry id of the schema (stable across hot-swaps).
+    pub schema_id: u64,
+    /// Registry generation of the schema (bumped by every hot-swap).
+    pub generation: u64,
+    /// The query in normalized textual form (`ast.to_string()`), so
+    /// `ta ~ name` and `ta~name` share an entry.
+    pub query: String,
+    /// Fingerprint of the [`CompletionConfig`], see [`config_fingerprint`].
+    pub fingerprint: u64,
+}
+
+/// A stable 64-bit digest of every field of a [`CompletionConfig`] that
+/// can change the result set. Two configs with equal fingerprints produce
+/// identical completions on the same schema and query.
+pub fn config_fingerprint(cfg: &CompletionConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    cfg.e.hash(&mut h);
+    let pruning: u8 = match cfg.pruning {
+        Pruning::None => 0,
+        Pruning::Paper => 1,
+        Pruning::PaperNoCaution => 2,
+        Pruning::Safe => 3,
+    };
+    pruning.hash(&mut h);
+    cfg.inheritance_criterion.hash(&mut h);
+    cfg.max_depth.hash(&mut h);
+    cfg.max_results.hash(&mut h);
+    cfg.prefer_specific.hash(&mut h);
+    // Exclusion sets are order-insensitive.
+    let mut excluded: Vec<usize> = cfg.excluded_classes.iter().map(|c| c.index()).collect();
+    excluded.sort_unstable();
+    excluded.hash(&mut h);
+    h.finish()
+}
+
+/// Point-in-time cache statistics, for `/metrics` and tests.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped by LRU pressure (not by [`ShardedLru::purge_schema`]).
+    pub evictions: u64,
+    /// Live entries across all shards.
+    pub entries: u64,
+}
+
+/// Sentinel for "no node" in the intrusive lists.
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: hash map into a slab of doubly-linked nodes ordered
+/// most-recently-used first.
+struct Shard<K, V> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Detaches node `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.nodes[i].prev, self.nodes[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next].prev = prev;
+        }
+    }
+
+    /// Links node `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.nodes[i].prev = NIL;
+        self.nodes[i].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.link_front(i);
+        Some(self.nodes[i].value.clone())
+    }
+
+    /// Inserts or refreshes; returns `true` when an old entry was evicted.
+    fn insert(&mut self, key: K, value: V, capacity: usize) -> bool {
+        if let Some(&i) = self.map.get(&key) {
+            self.nodes[i].value = value;
+            self.unlink(i);
+            self.link_front(i);
+            return false;
+        }
+        let mut evicted = false;
+        if self.map.len() >= capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity >= 1 and the shard is full");
+            self.unlink(victim);
+            self.map.remove(&self.nodes[victim].key);
+            self.free.push(victim);
+            evicted = true;
+        }
+        let node = Node {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let i = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        };
+        self.link_front(i);
+        self.map.insert(key, i);
+        evicted
+    }
+
+    /// Removes every entry matching `pred`; returns how many were dropped.
+    fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) -> u64 {
+        let victims: Vec<usize> = self
+            .map
+            .iter()
+            .filter(|(k, _)| !keep(k))
+            .map(|(_, &i)| i)
+            .collect();
+        let n = victims.len() as u64;
+        for i in victims {
+            self.unlink(i);
+            self.map.remove(&self.nodes[i].key);
+            self.free.push(i);
+        }
+        n
+    }
+
+    /// Keys in most-recently-used-first order (test helper).
+    #[cfg(test)]
+    fn keys_mru(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push(self.nodes[i].key.clone());
+            i = self.nodes[i].next;
+        }
+        out
+    }
+}
+
+/// A sharded LRU cache: keys are hashed onto one of `shards` independent
+/// mutex-protected LRU maps, so concurrent lookups on different shards
+/// never contend. Values are cheap clones (the service stores
+/// `Arc<SearchOutcome>`).
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    /// Per-shard capacity; total capacity is `shards.len() * per_shard`.
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// The service's concrete cache type: memoized completion outcomes.
+pub type CompletionCache = ShardedLru<CacheKey, Arc<SearchOutcome>>;
+
+impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache of roughly `capacity` entries over `shards` shards (both
+    /// clamped to at least 1; `shards` is rounded up to a power of two so
+    /// shard selection is a mask).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ShardedLru {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let got = self
+            .shard_of(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match &got {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                ipe_obs::counter!("service.cache.hit", 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                ipe_obs::counter!("service.cache.miss", 1);
+            }
+        }
+        got
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the shard's least recently
+    /// used entry when full.
+    pub fn insert(&self, key: K, value: V) {
+        let evicted = self
+            .shard_of(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value, self.per_shard);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            ipe_obs::counter!("service.cache.evict", 1);
+        }
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+impl CompletionCache {
+    /// Eagerly drops every entry belonging to `schema_id` (all
+    /// generations). Generation keying already guarantees correctness on
+    /// hot-swap; this frees the dead entries' memory immediately. Returns
+    /// the number of entries dropped.
+    pub fn purge_schema(&self, schema_id: u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .retain(|k| k.schema_id != schema_id)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(q: &str) -> CacheKey {
+        CacheKey {
+            schema_id: 1,
+            generation: 1,
+            query: q.to_owned(),
+            fingerprint: 0,
+        }
+    }
+
+    /// Single-shard cache so the LRU order is fully observable.
+    fn tiny(capacity: usize) -> ShardedLru<CacheKey, u32> {
+        ShardedLru::new(capacity, 1)
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let cache = tiny(3);
+        cache.insert(key("a"), 1);
+        cache.insert(key("b"), 2);
+        cache.insert(key("c"), 3);
+        // Touch `a` so `b` becomes the LRU entry.
+        assert_eq!(cache.get(&key("a")), Some(1));
+        cache.insert(key("d"), 4);
+        assert_eq!(cache.get(&key("b")), None, "b was least recently used");
+        assert_eq!(cache.get(&key("a")), Some(1));
+        assert_eq!(cache.get(&key("c")), Some(3));
+        assert_eq!(cache.get(&key("d")), Some(4));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_order_is_exact_over_a_longer_run() {
+        let cache = tiny(4);
+        for (i, q) in ["a", "b", "c", "d"].iter().enumerate() {
+            cache.insert(key(q), i as u32);
+        }
+        let mru = cache.shards[0].lock().unwrap().keys_mru();
+        let queries: Vec<&str> = mru.iter().map(|k| k.query.as_str()).collect();
+        assert_eq!(queries, vec!["d", "c", "b", "a"]);
+        // Re-inserting an existing key refreshes, never evicts.
+        cache.insert(key("b"), 9);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 0);
+        // Two fresh inserts now evict exactly `a` then `c`.
+        cache.insert(key("e"), 5);
+        cache.insert(key("f"), 6);
+        assert_eq!(cache.get(&key("a")), None);
+        assert_eq!(cache.get(&key("c")), None);
+        assert_eq!(cache.get(&key("b")), Some(9), "refreshed value");
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn generation_bump_is_a_different_key() {
+        let cache = tiny(8);
+        cache.insert(key("q"), 1);
+        let mut swapped = key("q");
+        swapped.generation = 2;
+        assert_eq!(cache.get(&swapped), None, "new generation never collides");
+        assert_eq!(cache.get(&key("q")), Some(1), "old generation untouched");
+    }
+
+    #[test]
+    fn purge_drops_only_the_given_schema() {
+        let cache: CompletionCache = ShardedLru::new(16, 4);
+        let outcome = Arc::new(SearchOutcome {
+            completions: Vec::new(),
+            stats: Default::default(),
+        });
+        cache.insert(key("a"), outcome.clone());
+        let mut other = key("b");
+        other.schema_id = 2;
+        cache.insert(other.clone(), outcome);
+        assert_eq!(cache.purge_schema(1), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&other).is_some());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs_but_not_exclude_order() {
+        use ipe_schema::fixtures;
+        let schema = fixtures::university();
+        let a = schema.class_named("person").unwrap();
+        let b = schema.class_named("student").unwrap();
+        let base = CompletionConfig::default();
+        assert_eq!(config_fingerprint(&base), config_fingerprint(&base));
+        let e2 = CompletionConfig::with_e(2);
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&e2));
+        let ab = CompletionConfig {
+            excluded_classes: vec![a, b],
+            ..Default::default()
+        };
+        let ba = CompletionConfig {
+            excluded_classes: vec![b, a],
+            ..Default::default()
+        };
+        assert_eq!(config_fingerprint(&ab), config_fingerprint(&ba));
+        assert_ne!(config_fingerprint(&base), config_fingerprint(&ab));
+    }
+}

@@ -1,0 +1,254 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`: just enough for a
+//! localhost JSON service — request/status lines, headers, Content-Length
+//! bodies, and keep-alive. No chunked encoding, no TLS, no async.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+/// Upper bound on a request body (schema uploads are the largest payload).
+const MAX_BODY: usize = 32 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, `PUT`, ...).
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+    /// The request body (empty unless Content-Length was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8 text, or an error message for the 400 response.
+    pub fn text(&self) -> Result<&str, &'static str> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8")
+    }
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A full request was framed.
+    Ok(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes on the wire are not HTTP or exceed the configured caps;
+    /// the connection should get a 400 and be dropped.
+    Malformed(&'static str),
+    /// A socket timeout or I/O error.
+    Err(io::Error),
+}
+
+/// Reads one request from `stream`. Blocking; honours the stream's
+/// configured read timeout (a timeout surfaces as [`ReadOutcome::Err`]).
+pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
+    // Read until the end of the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return ReadOutcome::Malformed("request head too large");
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    ReadOutcome::Closed
+                } else {
+                    ReadOutcome::Malformed("connection closed mid-request")
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return ReadOutcome::Err(e),
+        }
+    };
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return ReadOutcome::Malformed("request head is not valid UTF-8"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Malformed("malformed request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Malformed("unsupported HTTP version");
+    }
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; `Connection: close` opts out.
+    let mut keep_alive = version == "HTTP/1.1";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY => content_length = n,
+                _ => return ReadOutcome::Malformed("bad Content-Length"),
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    // The body: whatever followed the head in `buf`, plus the remainder.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Malformed("connection closed mid-body"),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return ReadOutcome::Err(e),
+        }
+    }
+    body.truncate(content_length);
+    let path = target.split('?').next().unwrap_or(target).to_owned();
+    ReadOutcome::Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        keep_alive,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one response with a JSON (or plain-text) body.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal blocking HTTP/1.1 client with keep-alive, for the load
+/// generator, the smoke test, and the integration tests.
+pub struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`). Connects lazily.
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            stream: None,
+        }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect(&self.addr)?;
+            s.set_nodelay(true)?;
+            s.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request and reads the full response. Reconnects once if
+    /// the kept-alive connection went away.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        match self.try_request(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(_) => {
+                // The pooled connection may have been closed; retry fresh.
+                self.stream = None;
+                self.try_request(method, path, body)
+            }
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let stream = self.connect()?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ipe\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&buf) {
+                break pos;
+            }
+            match stream.read(&mut chunk)? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed before response head",
+                    ))
+                }
+                n => buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head_text = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let mut lines = head_text.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length = 0usize;
+        let mut keep_alive = true;
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().unwrap_or(0);
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            }
+        }
+        let mut body = buf[head_end + 4..].to_vec();
+        while body.len() < content_length {
+            match stream.read(&mut chunk)? {
+                0 => break,
+                n => body.extend_from_slice(&chunk[..n]),
+            }
+        }
+        body.truncate(content_length);
+        if !keep_alive {
+            self.stream = None;
+        }
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))
+    }
+}

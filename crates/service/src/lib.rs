@@ -1,0 +1,38 @@
+//! `ipe-service` — the long-lived disambiguation server.
+//!
+//! The one-shot CLI re-parses the schema and re-runs the full search on
+//! every invocation; interactive conceptual-query front-ends (the paper's
+//! CUPID loop) instead issue many small, highly repetitive requests
+//! against a slowly-changing schema. This crate makes `ipe` resident:
+//!
+//! * a [`SchemaRegistry`] of named, versioned schemas behind `Arc` with
+//!   atomic hot-swap on reload;
+//! * a sharded LRU [`CompletionCache`] memoizing
+//!   [`Completer::complete_with_stats`](ipe_core::Completer) results,
+//!   keyed by `(schema id, generation, normalized query, config
+//!   fingerprint)` so schema reloads invalidate by construction;
+//! * a std-only HTTP/1.1 front end ([`Server`]) — `TcpListener`, fixed
+//!   worker pool, bounded queue, graceful shutdown, per-request timeout —
+//!   serving `POST /v1/complete`, `GET /v1/schemas`,
+//!   `PUT /v1/schemas/:name`, `GET /healthz`, `GET /metrics`, and
+//!   `POST /v1/shutdown`.
+//!
+//! Start one from the CLI with `ipe serve --addr 127.0.0.1:7474`; see the
+//! workspace README's *Service* section for the HTTP API and a curl
+//! quick-start, and DESIGN.md §9 for the cache keying and shutdown
+//! protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use api::{CompleteRequest, CompleteResponse, CompletionView};
+pub use cache::{config_fingerprint, CacheKey, CacheStats, CompletionCache, ShardedLru};
+pub use http::Client;
+pub use registry::{SchemaEntry, SchemaInfo, SchemaRegistry};
+pub use server::{Server, ServiceConfig, ServiceState};

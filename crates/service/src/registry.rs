@@ -1,0 +1,144 @@
+//! The schema registry: multiple named, versioned schemas behind `Arc`
+//! with atomic hot-swap on reload.
+//!
+//! Readers take an `Arc<SchemaEntry>` snapshot and never block writers:
+//! a reload builds a fresh entry (same stable `id`, next `generation`) and
+//! swaps the map slot under a short write lock. Requests already running
+//! against the old `Arc` finish on the schema version they started with.
+
+use ipe_schema::Schema;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One registered schema version.
+#[derive(Debug)]
+pub struct SchemaEntry {
+    /// Registry name, unique among live schemas.
+    pub name: String,
+    /// Stable numeric id: survives hot-swaps, distinguishes re-created
+    /// schemas of the same name from their predecessors in cache keys.
+    pub id: u64,
+    /// Version counter, starting at 1 and bumped by every hot-swap.
+    pub generation: u64,
+    /// The immutable schema itself.
+    pub schema: Arc<Schema>,
+}
+
+/// Summary row for `GET /v1/schemas`.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct SchemaInfo {
+    /// Registry name.
+    pub name: String,
+    /// Stable id.
+    pub id: u64,
+    /// Current generation.
+    pub generation: u64,
+    /// Class count (including primitives).
+    pub classes: u64,
+    /// Relationship count.
+    pub relationships: u64,
+}
+
+/// A concurrent map of named, versioned schemas.
+#[derive(Default)]
+pub struct SchemaRegistry {
+    inner: RwLock<HashMap<String, Arc<SchemaEntry>>>,
+    next_id: AtomicU64,
+}
+
+impl SchemaRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SchemaRegistry::default()
+    }
+
+    /// Registers `schema` under `name`. A new name gets a fresh id and
+    /// generation 1; an existing name keeps its id and bumps the
+    /// generation (the hot-swap path). Returns the new entry.
+    pub fn insert(&self, name: &str, schema: Schema) -> Arc<SchemaEntry> {
+        let mut map = self.inner.write().expect("registry poisoned");
+        let (id, generation) = match map.get(name) {
+            Some(old) => (old.id, old.generation + 1),
+            None => (self.next_id.fetch_add(1, Ordering::Relaxed) + 1, 1),
+        };
+        let entry = Arc::new(SchemaEntry {
+            name: name.to_owned(),
+            id,
+            generation,
+            schema: Arc::new(schema),
+        });
+        map.insert(name.to_owned(), entry.clone());
+        entry
+    }
+
+    /// The current entry for `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<Arc<SchemaEntry>> {
+        self.inner
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Unregisters `name`, returning its final entry. In-flight requests
+    /// holding the `Arc` are unaffected.
+    pub fn remove(&self, name: &str) -> Option<Arc<SchemaEntry>> {
+        self.inner.write().expect("registry poisoned").remove(name)
+    }
+
+    /// Summaries of every registered schema, sorted by name.
+    pub fn list(&self) -> Vec<SchemaInfo> {
+        let map = self.inner.read().expect("registry poisoned");
+        let mut out: Vec<SchemaInfo> = map
+            .values()
+            .map(|e| SchemaInfo {
+                name: e.name.clone(),
+                id: e.id,
+                generation: e.generation,
+                classes: e.schema.class_count() as u64,
+                relationships: e.schema.rel_count() as u64,
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipe_schema::fixtures;
+
+    #[test]
+    fn hot_swap_keeps_id_and_bumps_generation() {
+        let reg = SchemaRegistry::new();
+        let first = reg.insert("uni", fixtures::university());
+        assert_eq!((first.id, first.generation), (1, 1));
+        let second = reg.insert("uni", fixtures::university());
+        assert_eq!(second.id, first.id, "id is stable across reloads");
+        assert_eq!(second.generation, 2);
+        // The old Arc is still fully usable by in-flight requests.
+        assert!(first.schema.class_count() > 0);
+        assert_eq!(reg.get("uni").unwrap().generation, 2);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let reg = SchemaRegistry::new();
+        let a = reg.insert("a", fixtures::university());
+        let b = reg.insert("b", fixtures::assembly());
+        assert_ne!(a.id, b.id);
+        let names: Vec<String> = reg.list().into_iter().map(|i| i.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn remove_unregisters() {
+        let reg = SchemaRegistry::new();
+        reg.insert("x", fixtures::university());
+        assert!(reg.remove("x").is_some());
+        assert!(reg.get("x").is_none());
+        assert!(reg.remove("x").is_none());
+    }
+}

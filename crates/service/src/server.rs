@@ -1,0 +1,438 @@
+//! The long-lived disambiguation server: a `TcpListener` accept loop, a
+//! fixed worker pool fed by a bounded queue, and graceful shutdown.
+//!
+//! Connections the queue cannot absorb are answered `503` immediately
+//! instead of piling up. Each worker owns one connection at a time
+//! (HTTP/1.1 keep-alive), so sizing `workers` bounds both concurrency and
+//! memory. Shutdown — via [`Server::shutdown`] or `POST /v1/shutdown` —
+//! stops the accept loop, drains the queue, and lets in-flight
+//! connections finish their current request.
+
+use crate::api::{
+    error_body, CompleteRequest, CompleteResponse, CompletionView, SchemaPutResponse,
+};
+use crate::cache::{config_fingerprint, CacheKey, CompletionCache};
+use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::registry::SchemaRegistry;
+use ipe_core::Completer;
+use ipe_parser::parse_path_expression;
+use ipe_schema::Schema;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads; each owns one live connection at a time.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connection backlog; beyond it new
+    /// connections get an immediate `503`.
+    pub queue_depth: usize,
+    /// Socket read/write timeout per request (also reaps idle keep-alive
+    /// connections).
+    pub request_timeout: Duration,
+    /// Completion cache size in entries.
+    pub cache_capacity: usize,
+    /// Completion cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:7474".to_owned(),
+            workers: 8,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(10),
+            cache_capacity: 4096,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// Shared state of a running server: registry, cache, and gauges.
+pub struct ServiceState {
+    /// The schema registry.
+    pub registry: SchemaRegistry,
+    /// The completion cache.
+    pub cache: CompletionCache,
+    workers: usize,
+    queue_depth: AtomicU64,
+    requests_total: AtomicU64,
+    rejected_total: AtomicU64,
+    shutdown: AtomicBool,
+    bound_addr: OnceLock<SocketAddr>,
+}
+
+impl ServiceState {
+    fn new(config: &ServiceConfig) -> ServiceState {
+        ServiceState {
+            registry: SchemaRegistry::new(),
+            cache: CompletionCache::new(config.cache_capacity, config.cache_shards),
+            workers: config.workers,
+            queue_depth: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            bound_addr: OnceLock::new(),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown and unblocks the accept loop.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so a blocked `accept` observes the flag.
+        if let Some(addr) = self.bound_addr.get() {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+        }
+    }
+
+    /// Gauges for `/metrics`.
+    fn metrics_view(&self) -> ServiceMetrics {
+        ServiceMetrics {
+            cache: self.cache.stats(),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            rejected_total: self.rejected_total.load(Ordering::Relaxed),
+            workers: self.workers as u64,
+            schemas: self.registry.list().len() as u64,
+        }
+    }
+}
+
+/// The `service` section of `GET /metrics`.
+#[derive(Debug, serde::Serialize)]
+struct ServiceMetrics {
+    cache: crate::cache::CacheStats,
+    queue_depth: u64,
+    requests_total: u64,
+    rejected_total: u64,
+    workers: u64,
+    schemas: u64,
+}
+
+/// A running disambiguation server. Dropping the handle does **not** stop
+/// the threads; call [`Server::shutdown`] (or hit `POST /v1/shutdown` and
+/// [`Server::join`]).
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the accept loop plus the worker
+    /// pool. Returns once the socket is listening.
+    pub fn start(config: ServiceConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServiceState::new(&config));
+        state
+            .bound_addr
+            .set(addr)
+            .expect("bound_addr set exactly once");
+
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let timeout = config.request_timeout;
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ipe-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state, timeout))
+                    .expect("spawn worker"),
+            );
+        }
+        let accept_state = Arc::clone(&state);
+        let accept_handle = std::thread::Builder::new()
+            .name("ipe-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &tx, &accept_state))
+            .expect("spawn accept loop");
+        Ok(Server {
+            addr,
+            state,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared registry/cache/gauge state.
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Blocks until the server has shut down (via [`Server::shutdown`]
+    /// from another thread or `POST /v1/shutdown`) and every worker has
+    /// drained.
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    /// Requests shutdown and waits for all threads to finish.
+    pub fn shutdown(mut self) {
+        self.state.request_shutdown();
+        self.join_inner();
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, state: &Arc<ServiceState>) {
+    loop {
+        if state.shutting_down() {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if state.shutting_down() {
+            // The connection that woke us may be the shutdown poke.
+            break;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {
+                state.queue_depth.fetch_add(1, Ordering::Relaxed);
+                ipe_obs::counter!("service.conn.accepted", 1);
+            }
+            Err(TrySendError::Full(mut stream)) => {
+                state.rejected_total.fetch_add(1, Ordering::Relaxed);
+                ipe_obs::counter!("service.conn.rejected", 1);
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    "application/json",
+                    &error_body("request queue is full"),
+                    false,
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping `tx` closes the queue; workers exit once it drains.
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<ServiceState>, timeout: Duration) {
+    loop {
+        // Holding the lock across `recv` serializes only the *idle*
+        // workers; a connection is handled after the guard drops.
+        let conn = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(stream) = conn else {
+            return; // queue closed: shutdown
+        };
+        state.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        handle_connection(stream, state, timeout);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServiceState>, timeout: Duration) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    loop {
+        match read_request(&mut stream) {
+            ReadOutcome::Ok(req) => {
+                let keep = req.keep_alive;
+                let (status, body) = route(state, &req);
+                if write_response(&mut stream, status, "application/json", &body, keep).is_err() {
+                    break;
+                }
+                if state.shutting_down() {
+                    // This request was (or raced with) the shutdown call;
+                    // unblock the accept loop and close.
+                    state.request_shutdown();
+                    break;
+                }
+                if !keep {
+                    break;
+                }
+            }
+            ReadOutcome::Closed => break,
+            ReadOutcome::Malformed(msg) => {
+                let _ = write_response(
+                    &mut stream,
+                    400,
+                    "application/json",
+                    &error_body(msg),
+                    false,
+                );
+                break;
+            }
+            ReadOutcome::Err(_) => break, // timeout or I/O error
+        }
+    }
+}
+
+/// Dispatches one request. Returns `(status, body)`.
+fn route(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+    let _t = ipe_obs::timer!("service.request");
+    ipe_obs::counter!("service.requests", 1);
+    state.requests_total.fetch_add(1, Ordering::Relaxed);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/complete") => handle_complete(state, req),
+        ("GET", "/v1/schemas") => {
+            let list = state.registry.list();
+            match serde_json::to_string(&list) {
+                Ok(json) => (200, format!("{{\"schemas\": {json}}}")),
+                Err(e) => (500, error_body(&e.to_string())),
+            }
+        }
+        ("PUT", path) if path.starts_with("/v1/schemas/") => handle_put_schema(state, req),
+        ("GET", "/healthz") => (200, "{\"status\": \"ok\"}".to_owned()),
+        ("GET", "/metrics") => (200, metrics_json(state)),
+        ("POST", "/v1/shutdown") => {
+            // Flag only; the poke happens after the response is written.
+            state.shutdown.store(true, Ordering::SeqCst);
+            (200, "{\"ok\": true}".to_owned())
+        }
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+fn handle_complete(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+    let body = match req.text() {
+        Ok(b) => b,
+        Err(msg) => return (400, error_body(msg)),
+    };
+    let parsed: CompleteRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => return (400, error_body(&format!("bad request body: {e}"))),
+    };
+    let started = Instant::now();
+    let name = parsed.schema_name();
+    let Some(entry) = state.registry.get(name) else {
+        return (404, error_body(&format!("no schema named `{name}`")));
+    };
+    let ast = match parse_path_expression(&parsed.query) {
+        Ok(ast) => ast,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let cfg = match parsed.config(&entry.schema) {
+        Ok(cfg) => cfg,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let normalized = ast.to_string();
+    let key = CacheKey {
+        schema_id: entry.id,
+        generation: entry.generation,
+        query: normalized.clone(),
+        fingerprint: config_fingerprint(&cfg),
+    };
+    let (outcome, cached) = match state.cache.get(&key) {
+        Some(hit) => (hit, true),
+        None => {
+            let engine = Completer::with_config(&entry.schema, cfg);
+            match engine.complete_with_stats(&ast) {
+                Ok(outcome) => {
+                    let outcome = Arc::new(outcome);
+                    state.cache.insert(key, Arc::clone(&outcome));
+                    (outcome, false)
+                }
+                Err(e) => return (422, error_body(&e.to_string())),
+            }
+        }
+    };
+    let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let response = CompleteResponse {
+        schema: entry.name.clone(),
+        generation: entry.generation,
+        query: normalized,
+        cached,
+        duration_ns,
+        completions: outcome
+            .completions
+            .iter()
+            .map(|c| CompletionView {
+                text: c.display(&entry.schema).to_string(),
+                connector: c.label.connector.to_string(),
+                semlen: c.label.semlen as u64,
+                edges: c.edges.len() as u64,
+            })
+            .collect(),
+        stats: outcome.stats,
+    };
+    match serde_json::to_string(&response) {
+        Ok(json) => (200, json),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+    let name = &req.path["/v1/schemas/".len()..];
+    if name.is_empty() || name.contains('/') {
+        return (400, error_body("schema name must be a single path segment"));
+    }
+    let body = match req.text() {
+        Ok(b) => b,
+        Err(msg) => return (400, error_body(msg)),
+    };
+    let schema = match Schema::from_json(body) {
+        Ok(s) => s,
+        Err(e) => return (400, error_body(&format!("invalid schema: {e}"))),
+    };
+    let entry = state.registry.insert(name, schema);
+    // Generation keying already shields correctness; purging just frees
+    // the dead generations' memory eagerly.
+    let purged = if entry.generation > 1 {
+        state.cache.purge_schema(entry.id)
+    } else {
+        0
+    };
+    let response = SchemaPutResponse {
+        name: entry.name.clone(),
+        id: entry.id,
+        generation: entry.generation,
+        purged_cache_entries: purged,
+    };
+    match serde_json::to_string(&response) {
+        Ok(json) => (200, json),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+/// Builds the `/metrics` body: the standard `ipe-obs` [`Report`] (global
+/// counters and timers, including `service.cache.*` and
+/// `service.request`) extended with a `service` section of live gauges.
+///
+/// [`Report`]: ipe_obs::Report
+pub fn metrics_json(state: &ServiceState) -> String {
+    let mut report = ipe_obs::Report::new();
+    report.meta("component", "ipe-service");
+    report.capture_metrics();
+    if let Ok(json) = serde_json::to_string(&state.metrics_view()) {
+        report.attach_json("service", json);
+    }
+    report.to_json()
+}

@@ -1,0 +1,104 @@
+//! Concurrency tests for the completion cache: an 8-thread stress run
+//! asserting cached results are bit-identical to freshly-computed (and
+//! traced) ones, mirroring the traced-vs-plain agreement pattern of the
+//! observability tests.
+
+use ipe_core::{Completer, CompletionConfig, SearchOutcome};
+use ipe_gen::cupid_like;
+use ipe_parser::parse_path_expression;
+use ipe_service::{config_fingerprint, CacheKey, CompletionCache};
+use std::sync::Arc;
+
+/// Eight workers hammer one sharded cache with an overlapping query mix
+/// over the CUPID-calibrated schema. Every cache round-trip must return
+/// exactly what a fresh traced search of the same query computes — the
+/// cache may never serve a stale, partial, or cross-query result.
+#[test]
+fn eight_thread_cached_results_match_traced_search() {
+    let gen = cupid_like(1994);
+    let schema = Arc::new(gen.schema);
+    // Small capacity on purpose: forces concurrent evictions and
+    // re-computation while threads race on the same keys.
+    let cache: Arc<CompletionCache> = Arc::new(CompletionCache::new(8, 4));
+
+    // A query mix with real search work: `root ~ name` over distinct
+    // ambiguous names.
+    let queries: Vec<String> = {
+        let mut names: Vec<String> = schema
+            .classes()
+            .flat_map(|c| schema.out_rels(c).map(|r| schema.name(r.name).to_owned()))
+            .collect();
+        names.sort();
+        names.dedup();
+        let roots: Vec<String> = schema
+            .classes()
+            .filter(|&c| schema.out_rels(c).count() > 2 && !schema.is_primitive(c))
+            .map(|c| schema.class_name(c).to_owned())
+            .take(4)
+            .collect();
+        roots
+            .iter()
+            .flat_map(|r| names.iter().take(4).map(move |n| format!("{r}~{n}")))
+            .collect()
+    };
+    assert!(queries.len() >= 8, "need a non-trivial query mix");
+
+    let fingerprint = config_fingerprint(&CompletionConfig::default());
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let cache = Arc::clone(&cache);
+            let schema = Arc::clone(&schema);
+            let queries = &queries;
+            scope.spawn(move || {
+                let engine = Completer::new(&schema);
+                for i in 0..48 {
+                    let query = &queries[(t * 7 + i) % queries.len()];
+                    let ast = parse_path_expression(query).unwrap();
+                    let key = CacheKey {
+                        schema_id: 1,
+                        generation: 1,
+                        query: ast.to_string(),
+                        fingerprint,
+                    };
+                    let outcome: Arc<SearchOutcome> = match cache.get(&key) {
+                        Some(hit) => hit,
+                        None => {
+                            let fresh =
+                                Arc::new(engine.complete_with_stats(&ast).unwrap_or_else(|e| {
+                                    panic!("query {query} must complete: {e}")
+                                }));
+                            cache.insert(key, Arc::clone(&fresh));
+                            fresh
+                        }
+                    };
+                    // Identity against an independent traced run: same
+                    // completions, same order, same counters.
+                    let traced = engine.complete_traced(&ast, 0).unwrap();
+                    assert_eq!(
+                        outcome.completions, traced.outcome.completions,
+                        "cached completions diverge for {query}"
+                    );
+                    assert_eq!(
+                        outcome.stats, traced.outcome.stats,
+                        "cached stats diverge for {query}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        8 * 48,
+        "every lookup is a hit or a miss"
+    );
+    assert!(stats.misses >= 1, "cold start must miss");
+    assert!(stats.hits >= 1, "overlapping mix must hit");
+    assert!(
+        stats.evictions >= 1,
+        "tiny capacity under {} distinct keys must evict",
+        queries.len()
+    );
+    assert!(stats.entries as usize <= 8 * 2, "capacity is respected");
+}

@@ -1,0 +1,231 @@
+//! End-to-end tests over a real socket: registry round-trips, Figure-2
+//! answers through the HTTP API, cache hits, hot-swap invalidation,
+//! metrics, error paths, and graceful shutdown.
+
+use ipe_schema::fixtures;
+use ipe_service::{Client, Server, ServiceConfig};
+use serde::Value;
+use std::time::Duration;
+
+/// A small test server on an ephemeral port, with the university fixture
+/// preloaded as `default`.
+fn start_server() -> (Server, Client) {
+    let server = Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        queue_depth: 16,
+        request_timeout: Duration::from_secs(5),
+        cache_capacity: 256,
+        cache_shards: 4,
+    })
+    .expect("bind ephemeral port");
+    server
+        .state()
+        .registry
+        .insert("default", fixtures::university());
+    let client = Client::new(server.addr().to_string());
+    (server, client)
+}
+
+fn get(v: &Value, key: &str) -> Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing key {key}"))
+        .clone()
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::I64(i) => *i as u64,
+        Value::U64(u) => *u,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn completion_texts(body: &str) -> Vec<String> {
+    let v = serde_json::parse_value_text(body).expect("valid JSON");
+    let Value::Seq(items) = get(&v, "completions") else {
+        panic!("completions is not an array: {body}");
+    };
+    items
+        .iter()
+        .map(|c| match get(c, "text") {
+            Value::Str(s) => s,
+            other => panic!("text is not a string: {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn healthz_and_unknown_route() {
+    let (server, mut client) = start_server();
+    let (status, body) = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"));
+    let (status, _) = client.request("GET", "/nope", "").unwrap();
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
+/// The flagship `ta~name` query through the HTTP API: the two Section
+/// 2.2.2 completions come back, and the identical second request is
+/// served from the cache with identical results.
+#[test]
+fn complete_ta_name_and_cache_hit() {
+    let (server, mut client) = start_server();
+    let req = r#"{"query": "ta ~ name"}"#;
+    let (status, first) = client.request("POST", "/v1/complete", req).unwrap();
+    assert_eq!(status, 200, "{first}");
+    let texts = completion_texts(&first);
+    assert_eq!(texts.len(), 2, "{texts:?}");
+    assert!(texts.contains(&"ta@>grad@>student@>person.name".to_owned()));
+    assert!(texts.contains(&"ta@>instructor@>teacher@>employee@>person.name".to_owned()));
+    let v = serde_json::parse_value_text(&first).unwrap();
+    assert_eq!(get(&v, "cached"), Value::Bool(false));
+    // The whitespace variant normalizes onto the same cache key.
+    assert_eq!(get(&v, "query"), Value::Str("ta~name".to_owned()));
+
+    let (status, second) = client
+        .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+        .unwrap();
+    assert_eq!(status, 200);
+    let v2 = serde_json::parse_value_text(&second).unwrap();
+    assert_eq!(get(&v2, "cached"), Value::Bool(true));
+    assert_eq!(completion_texts(&second), texts);
+    // Cached responses repeat the original run's search counters.
+    assert_eq!(
+        as_u64(&get(&get(&v, "stats"), "calls")),
+        as_u64(&get(&get(&v2, "stats"), "calls"))
+    );
+    server.shutdown();
+}
+
+/// Distinct configs must not share cache entries.
+#[test]
+fn config_changes_miss_the_cache() {
+    let (server, mut client) = start_server();
+    let (_, first) = client
+        .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+        .unwrap();
+    let (_, second) = client
+        .request("POST", "/v1/complete", r#"{"query": "ta~name", "e": 2}"#)
+        .unwrap();
+    let v = serde_json::parse_value_text(&second).unwrap();
+    assert_eq!(
+        get(&v, "cached"),
+        Value::Bool(false),
+        "different E: {first}"
+    );
+    server.shutdown();
+}
+
+/// `PUT /v1/schemas/:name` registers new schemas and hot-swaps existing
+/// ones: the generation bumps and previously-cached results are not
+/// served for the new version.
+#[test]
+fn put_schema_hot_swap_invalidates_cache() {
+    let (server, mut client) = start_server();
+    let uni = fixtures::university().to_json();
+    let (status, body) = client.request("PUT", "/v1/schemas/uni", &uni).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse_value_text(&body).unwrap();
+    assert_eq!(as_u64(&get(&v, "generation")), 1);
+
+    let req = r#"{"schema": "uni", "query": "ta~name"}"#;
+    client.request("POST", "/v1/complete", req).unwrap();
+    let (_, warm) = client.request("POST", "/v1/complete", req).unwrap();
+    let warm_v = serde_json::parse_value_text(&warm).unwrap();
+    assert_eq!(get(&warm_v, "cached"), Value::Bool(true));
+
+    // Hot-swap the same name: generation 2, cache cold again.
+    let (status, body) = client.request("PUT", "/v1/schemas/uni", &uni).unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::parse_value_text(&body).unwrap();
+    assert_eq!(as_u64(&get(&v, "generation")), 2);
+    assert!(as_u64(&get(&v, "purged_cache_entries")) >= 1);
+
+    let (_, after) = client.request("POST", "/v1/complete", req).unwrap();
+    let after_v = serde_json::parse_value_text(&after).unwrap();
+    assert_eq!(get(&after_v, "cached"), Value::Bool(false));
+    assert_eq!(as_u64(&get(&after_v, "generation")), 2);
+
+    // The listing reflects both schemas.
+    let (status, body) = client.request("GET", "/v1/schemas", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("\"uni\"") && body.contains("\"default\""),
+        "{body}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn error_paths_return_structured_errors() {
+    let (server, mut client) = start_server();
+    // Unknown schema.
+    let (status, body) = client
+        .request(
+            "POST",
+            "/v1/complete",
+            r#"{"schema": "ghost", "query": "a~b"}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 404, "{body}");
+    // Unparseable query.
+    let (status, _) = client
+        .request("POST", "/v1/complete", r#"{"query": "~~~"}"#)
+        .unwrap();
+    assert_eq!(status, 400);
+    // Unknown root class: engine error, not a server error.
+    let (status, _) = client
+        .request("POST", "/v1/complete", r#"{"query": "ghost~name"}"#)
+        .unwrap();
+    assert_eq!(status, 422);
+    // Invalid JSON body.
+    let (status, _) = client.request("POST", "/v1/complete", "{nope").unwrap();
+    assert_eq!(status, 400);
+    // Invalid schema upload.
+    let (status, _) = client.request("PUT", "/v1/schemas/bad", "{}").unwrap();
+    assert_eq!(status, 400);
+    server.shutdown();
+}
+
+/// `/metrics` renders the standard obs report extended with the service
+/// section, and its hit/miss counts are consistent with the traffic.
+#[test]
+fn metrics_reflect_cache_traffic() {
+    let (server, mut client) = start_server();
+    for _ in 0..3 {
+        client
+            .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+            .unwrap();
+    }
+    let (status, body) = client.request("GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::parse_value_text(&body).expect("metrics is valid JSON");
+    let service = get(&v, "service");
+    let cache = get(&service, "cache");
+    // This server is private to the test, so the gauges are exact: one
+    // miss (first request), then hits.
+    assert_eq!(as_u64(&get(&cache, "misses")), 1);
+    assert_eq!(as_u64(&get(&cache, "hits")), 2);
+    assert_eq!(as_u64(&get(&cache, "entries")), 1);
+    assert!(as_u64(&get(&service, "requests_total")) >= 3);
+    // The global obs sections are present (values are process-wide).
+    assert!(v.get("counters").is_some());
+    assert!(v.get("timers").is_some());
+    server.shutdown();
+}
+
+/// `POST /v1/shutdown` answers the request, then the server drains and
+/// `join` returns.
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let (server, mut client) = start_server();
+    let addr = server.addr();
+    let (status, body) = client.request("POST", "/v1/shutdown", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    server.join();
+    // The port no longer accepts new work.
+    let mut late = Client::new(addr.to_string());
+    assert!(late.request("GET", "/healthz", "").is_err());
+}

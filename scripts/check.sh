@@ -15,7 +15,28 @@ echo "== tests =="
 cargo test -q --workspace
 
 echo "== tests (obs-off) =="
-cargo test -q -p ipe-obs -p ipe-core --features obs-off
+cargo test -q -p ipe-obs -p ipe-core -p ipe-service --features obs-off
+
+echo "== service smoke =="
+serve_log="$(mktemp)"
+./target/release/ipe serve --addr 127.0.0.1:0 >"$serve_log" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$serve_log"' EXIT
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's#.*http://##p' "$serve_log" | head -n 1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "error: server never announced its address:" >&2
+  cat "$serve_log" >&2
+  exit 1
+fi
+./target/release/service_load --smoke --shutdown --addr "$addr"
+wait "$serve_pid"   # clean exit after POST /v1/shutdown
+trap - EXIT
+rm -f "$serve_log"
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -8,6 +8,7 @@
 //! ipe gen      [--seed N] [--classes N]  (print a synthetic schema as JSON)
 //! ipe dot      [--schema FILE | --fixture NAME] [--inverses]
 //! ipe stats    [--schema FILE | --fixture NAME]
+//! ipe serve    [--addr HOST:PORT] [--workers N] [--cache-capacity N] ...
 //! ```
 
 use ipe::core::{explain, Completer, CompletionConfig};
@@ -15,29 +16,83 @@ use ipe::gen::{generate_schema, GenConfig};
 use ipe::oodb::fixtures::university_db;
 use ipe::parser::parse_path_expression;
 use ipe::schema::{dot, Schema};
+use ipe::service::{Server, ServiceConfig};
 use std::process::ExitCode;
+
+/// The explicit subcommand names.
+const COMMANDS: &[&str] = &[
+    "complete", "explain", "eval", "gen", "dot", "stats", "serve",
+];
+
+/// Flags that consume the following argument, for subcommand scanning.
+const VALUE_FLAGS: &[&str] = &[
+    "--schema",
+    "--fixture",
+    "--e",
+    "--exclude",
+    "--seed",
+    "--classes",
+    "--report",
+    "--addr",
+    "--workers",
+    "--queue-depth",
+    "--timeout-ms",
+    "--cache-capacity",
+    "--cache-shards",
+];
+
+/// Resolves the subcommand by scanning *past* flags, so global flags
+/// compose with every subcommand: `ipe --trace serve ...` dispatches to
+/// `serve` (not to an implicit `complete` on the word "serve"), while
+/// `ipe --trace 'ta~name'` still implies `complete`.
+fn split_command(args: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--help" || a == "-h" || a == "help" {
+            return Ok(("help".to_owned(), Vec::new()));
+        }
+        if a.starts_with('-') {
+            i += if VALUE_FLAGS.contains(&a) { 2 } else { 1 };
+            continue;
+        }
+        // First positional argument: an explicit subcommand, or the EXPR
+        // of an implicit `complete`.
+        if COMMANDS.contains(&a) {
+            let mut rest = args.to_vec();
+            rest.remove(i);
+            return Ok((a.to_owned(), rest));
+        }
+        return if a.contains('~') || i > 0 {
+            Ok(("complete".to_owned(), args.to_vec()))
+        } else {
+            Err(format!("unknown command `{a}`\n{USAGE}"))
+        };
+    }
+    // Flags only: implicit complete (fails later with "missing EXPR").
+    Ok(("complete".to_owned(), args.to_vec()))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((cmd, rest)) = args.split_first() else {
+    if args.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
-    };
-    let result = match cmd.as_str() {
-        "complete" => cmd_complete(rest),
-        "explain" => cmd_explain(rest),
-        "eval" => cmd_eval(rest),
-        "gen" => cmd_gen(rest),
-        "dot" => cmd_dot(rest),
-        "stats" => cmd_stats(rest),
-        "help" | "--help" | "-h" => {
+    }
+    let result = split_command(&args).and_then(|(cmd, rest)| match cmd.as_str() {
+        "complete" => cmd_complete(&rest),
+        "explain" => cmd_explain(&rest),
+        "eval" => cmd_eval(&rest),
+        "gen" => cmd_gen(&rest),
+        "dot" => cmd_dot(&rest),
+        "stats" => cmd_stats(&rest),
+        "serve" => cmd_serve(&rest),
+        "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        // Implicit `complete`: `ipe --trace 'ta ~ name'` or `ipe 'ta~name'`.
-        other if other.starts_with('-') || other.contains('~') => cmd_complete(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -55,11 +110,22 @@ const USAGE: &str = "usage:
   ipe gen      [--seed N] [--classes N]
   ipe dot      [--schema FILE | --fixture NAME] [--inverses]
   ipe stats    [--schema FILE | --fixture NAME]
+  ipe serve    [--schema FILE | --fixture NAME] [--addr HOST:PORT]
+               [--workers N] [--queue-depth N] [--timeout-ms N]
+               [--cache-capacity N] [--cache-shards N] [--report FILE]
 
 An EXPR containing `~` (or starting with a flag) implies `complete`.
 --trace prints the structured search event log; --report FILE writes the
 full JSON run report (stats, counters, timings, trace). Both are inert in
 builds with the `obs-off` feature.
+
+`serve` starts the resident disambiguation server (default address
+127.0.0.1:7474, port 0 picks an ephemeral port) with the chosen schema
+registered as `default`. It serves POST /v1/complete, GET /v1/schemas,
+PUT /v1/schemas/:name, GET /healthz, GET /metrics, and POST /v1/shutdown,
+memoizing completions in a sharded LRU cache invalidated by schema
+hot-swaps. With --report FILE, the final /metrics report is written there
+on clean shutdown.
 
 fixtures: university (default), assembly";
 
@@ -73,6 +139,12 @@ struct Opts {
     classes: usize,
     trace: bool,
     report: Option<String>,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    timeout_ms: u64,
+    cache_capacity: usize,
+    cache_shards: usize,
     positional: Vec<String>,
 }
 
@@ -86,6 +158,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut classes = 92usize;
     let mut trace = false;
     let mut report = None;
+    let service_defaults = ServiceConfig::default();
+    let mut addr = service_defaults.addr.clone();
+    let mut workers = service_defaults.workers;
+    let mut queue_depth = service_defaults.queue_depth;
+    let mut timeout_ms = service_defaults.request_timeout.as_millis() as u64;
+    let mut cache_capacity = service_defaults.cache_capacity;
+    let mut cache_shards = service_defaults.cache_shards;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -112,6 +191,32 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--trace" => trace = true,
             "--report" => report = Some(grab("--report")?),
+            "--addr" => addr = grab("--addr")?,
+            "--workers" => {
+                workers = grab("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a number")?
+            }
+            "--queue-depth" => {
+                queue_depth = grab("--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth must be a number")?
+            }
+            "--timeout-ms" => {
+                timeout_ms = grab("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--timeout-ms must be a number")?
+            }
+            "--cache-capacity" => {
+                cache_capacity = grab("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity must be a number")?
+            }
+            "--cache-shards" => {
+                cache_shards = grab("--cache-shards")?
+                    .parse()
+                    .map_err(|_| "--cache-shards must be a number")?
+            }
             other => positional.push(other.to_owned()),
         }
     }
@@ -136,6 +241,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         classes,
         trace,
         report,
+        addr,
+        workers,
+        queue_depth,
+        timeout_ms,
+        cache_capacity,
+        cache_shards,
         positional,
     })
 }
@@ -275,6 +386,43 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
         },
     );
     println!("{rendered}");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    if opts.trace {
+        eprintln!("note: --trace applies to per-query commands; serve exposes /metrics instead");
+    }
+    let config = ServiceConfig {
+        addr: opts.addr.clone(),
+        workers: opts.workers,
+        queue_depth: opts.queue_depth,
+        request_timeout: std::time::Duration::from_millis(opts.timeout_ms),
+        cache_capacity: opts.cache_capacity,
+        cache_shards: opts.cache_shards,
+    };
+    let server = Server::start(config).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
+    server.state().registry.insert("default", opts.schema);
+    // The address on its own line, so scripts can scrape the ephemeral
+    // port (stdout is line-buffered even when piped).
+    println!("ipe-service listening on http://{}", server.addr());
+    println!(
+        "({} workers, queue depth {}, cache capacity {} over {} shard(s), request timeout {}ms)",
+        opts.workers, opts.queue_depth, opts.cache_capacity, opts.cache_shards, opts.timeout_ms
+    );
+    println!(
+        "endpoints: POST /v1/complete  GET /v1/schemas  PUT /v1/schemas/:name  \
+         GET /healthz  GET /metrics  POST /v1/shutdown"
+    );
+    let state = std::sync::Arc::clone(server.state());
+    server.join();
+    eprintln!("(server shut down cleanly)");
+    if let Some(path) = &opts.report {
+        let json = ipe::service::server::metrics_json(&state);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("(service report written to {path})");
+    }
     Ok(())
 }
 

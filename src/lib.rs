@@ -32,6 +32,7 @@ pub use ipe_obs as obs;
 pub use ipe_oodb as oodb;
 pub use ipe_parser as parser;
 pub use ipe_schema as schema;
+pub use ipe_service as service;
 
 /// One-stop imports for typical use.
 pub mod prelude {
