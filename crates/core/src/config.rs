@@ -1,6 +1,10 @@
 //! Engine configuration.
 
+use crate::error::CompleteError;
 use ipe_schema::ClassId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// How aggressively the depth-first search prunes against the `best[]`
 /// tables.
@@ -85,6 +89,62 @@ impl CompletionConfig {
     }
 }
 
+/// Per-*run* bounds on a completion search, as opposed to the per-*engine*
+/// [`CompletionConfig`]: a wall-clock deadline and a cooperative
+/// cancellation flag. Deliberately not part of `CompletionConfig` so it
+/// never leaks into result-identity (cache fingerprints): two runs with
+/// different deadlines that both finish compute identical answers.
+///
+/// The search polls these at node-expansion points, every
+/// [`LIMIT_CHECK_INTERVAL`] explorations, so an expensive query stops
+/// within a bounded number of steps of its deadline instead of hanging a
+/// worker indefinitely. The default is unlimited.
+#[derive(Clone, Debug, Default)]
+pub struct SearchLimits {
+    /// Absolute wall-clock deadline; past it the search aborts with
+    /// [`CompleteError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Shared cancellation flag; once `true` the search aborts with
+    /// [`CompleteError::Cancelled`]. One flag can fan out over a whole
+    /// batch to stop every in-flight item at once.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// How many node expansions pass between two polls of [`SearchLimits`].
+/// Amortizes the `Instant::now()` call to noise while keeping deadline
+/// overshoot in the sub-millisecond range on the paper's schemas.
+pub const LIMIT_CHECK_INTERVAL: u64 = 64;
+
+impl SearchLimits {
+    /// Limits with only a deadline.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        SearchLimits {
+            deadline: Some(deadline),
+            cancel: None,
+        }
+    }
+
+    /// Whether any limit is actually set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// Polls both limits, cheapest first.
+    pub fn check(&self) -> Result<(), CompleteError> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(CompleteError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(CompleteError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +163,26 @@ mod tests {
         let c = CompletionConfig::with_e(5);
         assert_eq!(c.e, 5);
         assert_eq!(c.pruning, Pruning::Safe);
+    }
+
+    #[test]
+    fn limits_check_reports_the_tripped_bound() {
+        use std::time::Duration;
+        assert!(SearchLimits::default().is_unlimited());
+        assert_eq!(SearchLimits::default().check(), Ok(()));
+
+        let expired = SearchLimits::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(expired.check(), Err(CompleteError::DeadlineExceeded));
+        let future = SearchLimits::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(future.check(), Ok(()));
+
+        let flag = Arc::new(AtomicBool::new(false));
+        let limits = SearchLimits {
+            deadline: None,
+            cancel: Some(Arc::clone(&flag)),
+        };
+        assert_eq!(limits.check(), Ok(()));
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(limits.check(), Err(CompleteError::Cancelled));
     }
 }

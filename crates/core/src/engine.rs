@@ -1,7 +1,7 @@
 //! The completion engine: paper Algorithm 2 with a virtual edge-name
 //! target, three pruning modes, and search statistics.
 
-use crate::config::{CompletionConfig, Pruning};
+use crate::config::{CompletionConfig, Pruning, SearchLimits, LIMIT_CHECK_INTERVAL};
 use crate::error::CompleteError;
 use crate::multi;
 use crate::observe;
@@ -146,8 +146,22 @@ impl<'s> Completer<'s> {
 
     /// Like [`complete`](Completer::complete), also returning statistics.
     pub fn complete_with_stats(&self, ast: &PathExprAst) -> Result<SearchOutcome, CompleteError> {
+        self.complete_bounded(ast, &SearchLimits::default())
+    }
+
+    /// Like [`complete_with_stats`](Completer::complete_with_stats), under
+    /// per-run [`SearchLimits`]: the search polls the deadline and the
+    /// cancellation flag at node-expansion points and aborts with
+    /// [`CompleteError::DeadlineExceeded`] / [`CompleteError::Cancelled`]
+    /// instead of running arbitrarily long. This is the entry point the
+    /// batch driver ([`crate::batch`]) and the service use.
+    pub fn complete_bounded(
+        &self,
+        ast: &PathExprAst,
+        limits: &SearchLimits,
+    ) -> Result<SearchOutcome, CompleteError> {
         let mut trace = SearchTrace::disabled();
-        self.complete_inner(ast, &mut trace)
+        self.complete_inner(ast, &mut trace, limits)
     }
 
     /// Like [`complete_with_stats`](Completer::complete_with_stats), also
@@ -161,7 +175,7 @@ impl<'s> Completer<'s> {
         trace_capacity: usize,
     ) -> Result<TracedOutcome, CompleteError> {
         let mut trace = SearchTrace::with_capacity(trace_capacity);
-        let outcome = self.complete_inner(ast, &mut trace)?;
+        let outcome = self.complete_inner(ast, &mut trace, &SearchLimits::default())?;
         Ok(TracedOutcome { outcome, trace })
     }
 
@@ -169,6 +183,7 @@ impl<'s> Completer<'s> {
         &self,
         ast: &PathExprAst,
         trace: &mut SearchTrace,
+        limits: &SearchLimits,
     ) -> Result<SearchOutcome, CompleteError> {
         ipe_obs::counter!("core.queries", 1);
         let (root, steps) = {
@@ -187,9 +202,9 @@ impl<'s> Completer<'s> {
             });
         }
         if tilde_count == 1 && matches!(steps.last(), Some(RStep::Tilde { .. })) {
-            return self.complete_trailing_tilde(root, &steps, trace);
+            return self.complete_trailing_tilde(root, &steps, trace, limits);
         }
-        multi::complete_general(self, root, &steps, trace)
+        multi::complete_general(self, root, &steps, trace, limits)
     }
 
     /// Validates a complete expression by walking it.
@@ -232,6 +247,7 @@ impl<'s> Completer<'s> {
         root: ClassId,
         steps: &[RStep],
         trace: &mut SearchTrace,
+        limits: &SearchLimits,
     ) -> Result<SearchOutcome, CompleteError> {
         let (prefix_steps, tilde) = steps.split_at(steps.len() - 1);
         let RStep::Tilde { name } = tilde[0] else {
@@ -249,6 +265,7 @@ impl<'s> Completer<'s> {
 
         let mut search = SegmentSearch::new(self, name, false);
         search.trace = trace.take();
+        search.limits = limits.clone();
         let mut path_buf = Vec::new();
         let r = {
             let _t = ipe_obs::timer!("core.phase.search");
@@ -357,6 +374,9 @@ pub(crate) struct SegmentSearch<'c, 's> {
     /// Event sink, lent by the driver via [`SearchTrace::take`]; disabled
     /// by default so untraced runs pay one branch per event site.
     pub(crate) trace: SearchTrace,
+    /// Per-run deadline/cancellation, polled every
+    /// [`LIMIT_CHECK_INTERVAL`] node expansions; unlimited by default.
+    pub(crate) limits: SearchLimits,
 }
 
 impl<'c, 's> SegmentSearch<'c, 's> {
@@ -370,6 +390,7 @@ impl<'c, 's> SegmentSearch<'c, 's> {
             found: Vec::new(),
             stats: SearchStats::default(),
             trace: SearchTrace::disabled(),
+            limits: SearchLimits::default(),
         }
     }
 
@@ -389,6 +410,9 @@ impl<'c, 's> SegmentSearch<'c, 's> {
         let schema = self.completer.schema;
         let cfg = &self.completer.config;
         self.stats.calls += 1;
+        if self.stats.calls.is_multiple_of(LIMIT_CHECK_INTERVAL) {
+            self.limits.check()?;
+        }
         ipe_obs::counter!("core.search.calls", 1);
         self.trace
             .record(observe::ev(EventKind::Expand, v, &l_v, path.len()));

@@ -39,6 +39,14 @@ pub enum CompleteError {
         /// The configured cap.
         cap: usize,
     },
+    /// The search ran past its deadline (see
+    /// [`SearchLimits`](crate::SearchLimits)) and was abandoned at a
+    /// node-expansion checkpoint. A partial outcome, not a hang: callers
+    /// such as the batch driver report the item as timed out and move on.
+    DeadlineExceeded,
+    /// The search observed its cooperative cancellation flag (see
+    /// [`SearchLimits`](crate::SearchLimits)) and stopped early.
+    Cancelled,
 }
 
 impl fmt::Display for CompleteError {
@@ -66,6 +74,8 @@ impl fmt::Display for CompleteError {
             CompleteError::TooManyResults { cap } => {
                 write!(f, "more than {cap} candidate completions; refine the query")
             }
+            CompleteError::DeadlineExceeded => write!(f, "search deadline exceeded"),
+            CompleteError::Cancelled => write!(f, "search cancelled"),
         }
     }
 }

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 mod config;
 mod engine;
 mod error;
@@ -49,7 +50,8 @@ mod preempt;
 mod resolve;
 pub mod suggest;
 
-pub use config::{CompletionConfig, Pruning};
+pub use batch::{complete_batch, BatchItem, BatchOptions};
+pub use config::{CompletionConfig, Pruning, SearchLimits, LIMIT_CHECK_INTERVAL};
 pub use engine::{Completer, SearchOutcome, SearchStats, TracedOutcome};
 pub use error::CompleteError;
 pub use path::{Completion, PathDisplay};

@@ -10,6 +10,7 @@
 //! inheritance criterion globally, exactly as the single-`~` fast path
 //! does.
 
+use crate::config::{SearchLimits, LIMIT_CHECK_INTERVAL};
 use crate::engine::{Completer, SearchOutcome, SearchStats, SegmentSearch};
 use crate::error::CompleteError;
 use crate::path::Completion;
@@ -25,6 +26,7 @@ pub(crate) fn complete_general(
     root: ClassId,
     steps: &[RStep],
     trace: &mut SearchTrace,
+    limits: &SearchLimits,
 ) -> Result<SearchOutcome, CompleteError> {
     let schema = completer.schema();
     let mut on_path = vec![false; schema.class_count()];
@@ -37,6 +39,8 @@ pub(crate) fn complete_general(
         stats: SearchStats::default(),
         edges: Vec::new(),
         trace: trace.take(),
+        limits,
+        ticks: 0,
     };
     let r = {
         let _t = ipe_obs::timer!("core.phase.search");
@@ -56,6 +60,12 @@ struct Driver<'c, 's> {
     stats: SearchStats,
     edges: Vec<RelId>,
     trace: SearchTrace,
+    limits: &'c SearchLimits,
+    /// `advance` invocations, for the amortized limit poll. Separate from
+    /// `stats.calls`, which counts only segment-search node explorations:
+    /// the cross-product enumeration between segments can dominate without
+    /// ever entering a segment search.
+    ticks: u64,
 }
 
 impl Driver<'_, '_> {
@@ -67,6 +77,10 @@ impl Driver<'_, '_> {
         on_path: &mut Vec<bool>,
     ) -> Result<(), CompleteError> {
         let schema = self.completer.schema();
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(LIMIT_CHECK_INTERVAL) {
+            self.limits.check()?;
+        }
         if step_idx == self.steps.len() {
             if self.found.len() >= self.completer.config().max_results {
                 return Err(CompleteError::TooManyResults {
@@ -115,6 +129,7 @@ impl Driver<'_, '_> {
                 on_path[class.index()] = false;
                 let mut search = SegmentSearch::new(self.completer, name, true);
                 search.trace = self.trace.take();
+                search.limits = self.limits.clone();
                 let mut seg_edges = Vec::new();
                 let r = search.traverse(class, label, on_path, &mut seg_edges);
                 on_path[class.index()] = true;
@@ -214,8 +229,14 @@ mod tests {
         let engine = Completer::new(&schema);
         let ast = parse_path_expression("ta~name").unwrap();
         let (root, steps) = crate::resolve::resolve_ast(&schema, &ast).unwrap();
-        let general =
-            complete_general(&engine, root, &steps, &mut ipe_obs::SearchTrace::disabled()).unwrap();
+        let general = complete_general(
+            &engine,
+            root,
+            &steps,
+            &mut ipe_obs::SearchTrace::disabled(),
+            &SearchLimits::default(),
+        )
+        .unwrap();
         let fast = engine.complete(&ast).unwrap();
         let mut a = texts(&schema, &general.completions);
         let mut b = texts(&schema, &fast);

@@ -43,31 +43,147 @@ impl CompleteRequest {
     /// Builds the engine configuration, resolving class names against
     /// `schema`. Errors are user-facing 400 messages.
     pub fn config(&self, schema: &Schema) -> Result<CompletionConfig, String> {
-        let mut cfg = CompletionConfig::default();
-        if let Some(e) = self.e {
-            if e == 0 {
-                return Err("`e` must be >= 1".to_owned());
-            }
-            cfg.e = e as usize;
-        }
-        if let Some(p) = &self.pruning {
-            cfg.pruning = match p.as_str() {
-                "none" => Pruning::None,
-                "paper" => Pruning::Paper,
-                "paper-no-caution" => Pruning::PaperNoCaution,
-                "safe" => Pruning::Safe,
-                other => return Err(format!("unknown pruning mode `{other}`")),
-            };
-        }
-        for name in &self.exclude {
-            let class = schema
-                .class_named(name)
-                .ok_or_else(|| format!("unknown class `{name}` in `exclude`"))?;
-            cfg.excluded_classes.push(class);
-        }
-        cfg.prefer_specific = self.prefer_specific;
-        Ok(cfg)
+        build_config(
+            self.e,
+            self.pruning.as_deref(),
+            &self.exclude,
+            self.prefer_specific,
+            schema,
+        )
     }
+}
+
+/// Shared `CompletionConfig` construction for the single and batch
+/// endpoints. Errors are user-facing 400 messages.
+fn build_config(
+    e: Option<u64>,
+    pruning: Option<&str>,
+    exclude: &[String],
+    prefer_specific: bool,
+    schema: &Schema,
+) -> Result<CompletionConfig, String> {
+    let mut cfg = CompletionConfig::default();
+    if let Some(e) = e {
+        if e == 0 {
+            return Err("`e` must be >= 1".to_owned());
+        }
+        cfg.e = e as usize;
+    }
+    if let Some(p) = pruning {
+        cfg.pruning = match p {
+            "none" => Pruning::None,
+            "paper" => Pruning::Paper,
+            "paper-no-caution" => Pruning::PaperNoCaution,
+            "safe" => Pruning::Safe,
+            other => return Err(format!("unknown pruning mode `{other}`")),
+        };
+    }
+    for name in exclude {
+        let class = schema
+            .class_named(name)
+            .ok_or_else(|| format!("unknown class `{name}` in `exclude`"))?;
+        cfg.excluded_classes.push(class);
+    }
+    cfg.prefer_specific = prefer_specific;
+    Ok(cfg)
+}
+
+/// Body of `POST /v1/complete/batch`. The configuration knobs apply to
+/// every query; `queries` is capped server-side (see the endpoint docs).
+#[derive(Debug, serde::Deserialize)]
+pub struct BatchCompleteRequest {
+    /// Registry name of the schema to complete against (default
+    /// `"default"`).
+    #[serde(default)]
+    pub schema: String,
+    /// The (possibly incomplete) path expression texts, completed in
+    /// parallel.
+    pub queries: Vec<String>,
+    /// The `E` parameter of `AGG*`; must be ≥ 1 when given.
+    #[serde(default)]
+    pub e: Option<u64>,
+    /// Class names that must not appear in any completion.
+    #[serde(default)]
+    pub exclude: Vec<String>,
+    /// Branch-and-bound mode: `none`, `paper`, `paper-no-caution`, or
+    /// `safe` (the default).
+    #[serde(default)]
+    pub pruning: Option<String>,
+    /// Order label-tied completions most-specific-first.
+    #[serde(default)]
+    pub prefer_specific: bool,
+    /// Per-item wall-clock budget in milliseconds. Defaults to the
+    /// server's configured budget; capped at 60 000.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Worker threads for this batch. Defaults to the server's configured
+    /// `batch_threads`; capped at 16.
+    #[serde(default)]
+    pub threads: Option<u64>,
+}
+
+impl BatchCompleteRequest {
+    /// The registry name to use, applying the `"default"` fallback.
+    pub fn schema_name(&self) -> &str {
+        if self.schema.is_empty() {
+            "default"
+        } else {
+            &self.schema
+        }
+    }
+
+    /// Builds the engine configuration shared by every item in the batch.
+    pub fn config(&self, schema: &Schema) -> Result<CompletionConfig, String> {
+        build_config(
+            self.e,
+            self.pruning.as_deref(),
+            &self.exclude,
+            self.prefer_specific,
+            schema,
+        )
+    }
+}
+
+/// One query's outcome in a [`BatchCompleteResponse`], in submission
+/// order.
+#[derive(Debug, serde::Serialize)]
+pub struct BatchItemView {
+    /// The normalized query text (the raw input if it failed to parse).
+    pub query: String,
+    /// `"ok"`, `"error"`, or `"deadline_exceeded"`.
+    pub status: String,
+    /// Whether this item's result came from the completion cache.
+    pub cached: bool,
+    /// Wall-clock time this item spent in the engine (0 for cache hits
+    /// and parse failures).
+    pub duration_ns: u64,
+    /// The error message when `status` is not `"ok"`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// The optimal completions, best first (empty unless `status` is
+    /// `"ok"`).
+    pub completions: Vec<CompletionView>,
+}
+
+/// Body of a successful `POST /v1/complete/batch` response. The HTTP
+/// status is `200` even when individual items failed; per-item `status`
+/// carries the outcome.
+#[derive(Debug, serde::Serialize)]
+pub struct BatchCompleteResponse {
+    /// Registry name the batch ran against.
+    pub schema: String,
+    /// Schema generation the results belong to.
+    pub generation: u64,
+    /// Per-item deadline that applied, in milliseconds (0 = unlimited).
+    pub deadline_ms: u64,
+    /// Worker threads the batch ran on.
+    pub threads: u64,
+    /// Whole-batch wall clock (parse + cache probes + parallel search).
+    pub wall_ns: u64,
+    /// Items that hit their deadline.
+    pub deadline_hits: u64,
+    /// One outcome per submitted query, in submission order.
+    pub items: Vec<BatchItemView>,
 }
 
 /// One completion in a [`CompleteResponse`].

@@ -5,10 +5,17 @@
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 
-/// Upper bound on the request head (request line + headers).
+/// Upper bound on the request head (request line + headers). Exceeding it
+/// is answered `431`.
 const MAX_HEAD: usize = 64 * 1024;
 /// Upper bound on a request body (schema uploads are the largest payload).
+/// A declared `Content-Length` beyond it is answered `413` without reading
+/// the body.
 const MAX_BODY: usize = 32 * 1024 * 1024;
+/// Upper bound on the number of header lines; more is answered `431`.
+const MAX_HEADER_LINES: usize = 100;
+/// Upper bound on one head line (request line or header); more is `431`.
+const MAX_HEAD_LINE: usize = 8 * 1024;
 
 /// One parsed HTTP request.
 #[derive(Debug)]
@@ -38,10 +45,16 @@ pub enum ReadOutcome {
     /// The peer closed the connection cleanly between requests.
     Closed,
     /// The bytes on the wire are not HTTP or exceed the configured caps;
-    /// the connection should get a 400 and be dropped.
-    Malformed(&'static str),
+    /// the connection should get the paired status (`400`, `413`, or
+    /// `431`) and be dropped.
+    Malformed(u16, &'static str),
     /// A socket timeout or I/O error.
     Err(io::Error),
+}
+
+/// Shorthand for the reject outcomes.
+fn reject(status: u16, msg: &'static str) -> ReadOutcome {
+    ReadOutcome::Malformed(status, msg)
 }
 
 /// Reads one request from `stream`. Blocking; honours the stream's
@@ -55,14 +68,14 @@ pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
             break pos;
         }
         if buf.len() > MAX_HEAD {
-            return ReadOutcome::Malformed("request head too large");
+            return reject(431, "request head too large");
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
                 return if buf.is_empty() {
                     ReadOutcome::Closed
                 } else {
-                    ReadOutcome::Malformed("connection closed mid-request")
+                    reject(400, "connection closed mid-request")
                 };
             }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
@@ -71,40 +84,64 @@ pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
     };
     let head = match std::str::from_utf8(&buf[..head_end]) {
         Ok(h) => h,
-        Err(_) => return ReadOutcome::Malformed("request head is not valid UTF-8"),
+        Err(_) => return reject(400, "request head is not valid UTF-8"),
     };
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_HEAD_LINE {
+        return reject(431, "request line too long");
+    }
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return ReadOutcome::Malformed("malformed request line");
+        return reject(400, "malformed request line");
     };
     if !version.starts_with("HTTP/1.") {
-        return ReadOutcome::Malformed("unsupported HTTP version");
+        return reject(400, "unsupported HTTP version");
     }
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     // HTTP/1.1 defaults to keep-alive; `Connection: close` opts out.
     let mut keep_alive = version == "HTTP/1.1";
+    let mut header_lines = 0usize;
     for line in lines {
+        header_lines += 1;
+        if header_lines > MAX_HEADER_LINES {
+            return reject(431, "too many header lines");
+        }
+        if line.len() > MAX_HEAD_LINE {
+            return reject(431, "header line too long");
+        }
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            match value.parse::<usize>() {
-                Ok(n) if n <= MAX_BODY => content_length = n,
-                _ => return ReadOutcome::Malformed("bad Content-Length"),
+            let Ok(n) = value.parse::<usize>() else {
+                return reject(400, "bad Content-Length");
+            };
+            // Identical duplicates collapse (they may come from proxies
+            // merging frames); *conflicting* duplicates are a smuggling
+            // vector and kill the request.
+            match content_length {
+                Some(prev) if prev != n => {
+                    return reject(400, "conflicting duplicate Content-Length headers");
+                }
+                _ => {}
             }
+            if n > MAX_BODY {
+                return reject(413, "request body too large");
+            }
+            content_length = Some(n);
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
         }
     }
+    let content_length = content_length.unwrap_or(0);
     // The body: whatever followed the head in `buf`, plus the remainder.
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
         match stream.read(&mut chunk) {
-            Ok(0) => return ReadOutcome::Malformed("connection closed mid-body"),
+            Ok(0) => return reject(400, "connection closed mid-body"),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
             Err(e) => return ReadOutcome::Err(e),
         }
@@ -137,7 +174,9 @@ pub fn write_response(
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };

@@ -9,13 +9,14 @@
 //! connections finish their current request.
 
 use crate::api::{
-    error_body, CompleteRequest, CompleteResponse, CompletionView, SchemaPutResponse,
+    error_body, BatchCompleteRequest, BatchCompleteResponse, BatchItemView, CompleteRequest,
+    CompleteResponse, CompletionView, SchemaPutResponse,
 };
 use crate::cache::{config_fingerprint, CacheKey, CompletionCache};
 use crate::http::{read_request, write_response, ReadOutcome, Request};
 use crate::registry::SchemaRegistry;
-use ipe_core::Completer;
-use ipe_parser::parse_path_expression;
+use ipe_core::{complete_batch, BatchOptions, CompleteError, Completer, SearchOutcome};
+use ipe_parser::{parse_path_expression, PathExprAst};
 use ipe_schema::Schema;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -43,6 +44,9 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Completion cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Default worker threads for `POST /v1/complete/batch` (a request's
+    /// `threads` field overrides per batch).
+    pub batch_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -54,9 +58,19 @@ impl Default for ServiceConfig {
             request_timeout: Duration::from_secs(10),
             cache_capacity: 4096,
             cache_shards: 16,
+            batch_threads: 4,
         }
     }
 }
+
+/// Hard cap on `queries` per batch request; more is a `400`.
+const MAX_BATCH_ITEMS: usize = 256;
+/// Per-item deadline applied when a batch request does not set one.
+const DEFAULT_BATCH_DEADLINE_MS: u64 = 2_000;
+/// Upper bound on a requested per-item deadline.
+const MAX_BATCH_DEADLINE_MS: u64 = 60_000;
+/// Upper bound on a requested batch thread count.
+const MAX_BATCH_THREADS: u64 = 16;
 
 /// Shared state of a running server: registry, cache, and gauges.
 pub struct ServiceState {
@@ -64,7 +78,8 @@ pub struct ServiceState {
     pub registry: SchemaRegistry,
     /// The completion cache.
     pub cache: CompletionCache,
-    workers: usize,
+    workers: AtomicU64,
+    batch_threads: usize,
     queue_depth: AtomicU64,
     requests_total: AtomicU64,
     rejected_total: AtomicU64,
@@ -77,7 +92,8 @@ impl ServiceState {
         ServiceState {
             registry: SchemaRegistry::new(),
             cache: CompletionCache::new(config.cache_capacity, config.cache_shards),
-            workers: config.workers,
+            workers: AtomicU64::new(config.workers as u64),
+            batch_threads: config.batch_threads.clamp(1, MAX_BATCH_THREADS as usize),
             queue_depth: AtomicU64::new(0),
             requests_total: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
@@ -107,7 +123,7 @@ impl ServiceState {
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             requests_total: self.requests_total.load(Ordering::Relaxed),
             rejected_total: self.rejected_total.load(Ordering::Relaxed),
-            workers: self.workers as u64,
+            workers: self.workers.load(Ordering::Relaxed),
             schemas: self.registry.list().len() as u64,
         }
     }
@@ -148,23 +164,39 @@ impl Server {
 
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        // A failed worker spawn (thread exhaustion, ulimit) degrades the
+        // pool instead of killing the server: run with however many
+        // workers did start. Zero workers is fatal — nothing would ever
+        // drain the queue.
         let mut worker_handles = Vec::with_capacity(config.workers.max(1));
+        let mut last_spawn_err: Option<io::Error> = None;
         for i in 0..config.workers.max(1) {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&state);
             let timeout = config.request_timeout;
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ipe-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &state, timeout))
-                    .expect("spawn worker"),
-            );
+            match std::thread::Builder::new()
+                .name(format!("ipe-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &state, timeout))
+            {
+                Ok(handle) => worker_handles.push(handle),
+                Err(e) => {
+                    ipe_obs::counter!("service.worker.spawn_failed", 1);
+                    eprintln!("ipe-service: failed to spawn worker {i}: {e}");
+                    last_spawn_err = Some(e);
+                }
+            }
         }
+        if worker_handles.is_empty() {
+            return Err(last_spawn_err
+                .unwrap_or_else(|| io::Error::other("no worker threads could be spawned")));
+        }
+        state
+            .workers
+            .store(worker_handles.len() as u64, Ordering::Relaxed);
         let accept_state = Arc::clone(&state);
         let accept_handle = std::thread::Builder::new()
             .name("ipe-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &tx, &accept_state))
-            .expect("spawn accept loop");
+            .spawn(move || accept_loop(&listener, &tx, &accept_state))?;
         Ok(Server {
             addr,
             state,
@@ -280,10 +312,10 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServiceState>, timeout: 
                 }
             }
             ReadOutcome::Closed => break,
-            ReadOutcome::Malformed(msg) => {
+            ReadOutcome::Malformed(status, msg) => {
                 let _ = write_response(
                     &mut stream,
-                    400,
+                    status,
                     "application/json",
                     &error_body(msg),
                     false,
@@ -302,6 +334,7 @@ fn route(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
     state.requests_total.fetch_add(1, Ordering::Relaxed);
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/complete") => handle_complete(state, req),
+        ("POST", "/v1/complete/batch") => handle_batch(state, req),
         ("GET", "/v1/schemas") => {
             let list = state.registry.list();
             match serde_json::to_string(&list) {
@@ -371,17 +404,171 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
         query: normalized,
         cached,
         duration_ns,
-        completions: outcome
-            .completions
-            .iter()
-            .map(|c| CompletionView {
-                text: c.display(&entry.schema).to_string(),
-                connector: c.label.connector.to_string(),
-                semlen: c.label.semlen as u64,
-                edges: c.edges.len() as u64,
-            })
-            .collect(),
+        completions: completion_views(&entry.schema, &outcome),
         stats: outcome.stats,
+    };
+    match serde_json::to_string(&response) {
+        Ok(json) => (200, json),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+/// Renders a search outcome's completions into wire form.
+fn completion_views(schema: &Schema, outcome: &SearchOutcome) -> Vec<CompletionView> {
+    outcome
+        .completions
+        .iter()
+        .map(|c| CompletionView {
+            text: c.display(schema).to_string(),
+            connector: c.label.connector.to_string(),
+            semlen: c.label.semlen as u64,
+            edges: c.edges.len() as u64,
+        })
+        .collect()
+}
+
+fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+    let body = match req.text() {
+        Ok(b) => b,
+        Err(msg) => return (400, error_body(msg)),
+    };
+    let parsed: BatchCompleteRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => return (400, error_body(&format!("bad request body: {e}"))),
+    };
+    if parsed.queries.len() > MAX_BATCH_ITEMS {
+        return (
+            400,
+            error_body(&format!(
+                "batch of {} queries exceeds the cap of {MAX_BATCH_ITEMS}",
+                parsed.queries.len()
+            )),
+        );
+    }
+    let started = Instant::now();
+    let name = parsed.schema_name();
+    let Some(entry) = state.registry.get(name) else {
+        return (404, error_body(&format!("no schema named `{name}`")));
+    };
+    let cfg = match parsed.config(&entry.schema) {
+        Ok(cfg) => cfg,
+        Err(msg) => return (400, error_body(&msg)),
+    };
+    let deadline_ms = parsed
+        .deadline_ms
+        .unwrap_or(DEFAULT_BATCH_DEADLINE_MS)
+        .min(MAX_BATCH_DEADLINE_MS);
+    let threads = parsed
+        .threads
+        .unwrap_or(state.batch_threads as u64)
+        .clamp(1, MAX_BATCH_THREADS) as usize;
+    let fingerprint = config_fingerprint(&cfg);
+
+    // First pass: parse and probe the cache per item. Parse failures and
+    // cache hits resolve immediately; misses collect into one parallel
+    // engine batch.
+    let mut views: Vec<Option<BatchItemView>> = (0..parsed.queries.len()).map(|_| None).collect();
+    let mut miss_slots: Vec<usize> = Vec::new();
+    let mut miss_keys: Vec<CacheKey> = Vec::new();
+    let mut miss_asts: Vec<PathExprAst> = Vec::new();
+    for (i, query) in parsed.queries.iter().enumerate() {
+        match parse_path_expression(query) {
+            Err(e) => {
+                views[i] = Some(BatchItemView {
+                    query: query.clone(),
+                    status: "error".to_owned(),
+                    cached: false,
+                    duration_ns: 0,
+                    error: Some(e.to_string()),
+                    completions: Vec::new(),
+                });
+            }
+            Ok(ast) => {
+                let normalized = ast.to_string();
+                let key = CacheKey {
+                    schema_id: entry.id,
+                    generation: entry.generation,
+                    query: normalized.clone(),
+                    fingerprint,
+                };
+                if let Some(hit) = state.cache.get(&key) {
+                    views[i] = Some(BatchItemView {
+                        query: normalized,
+                        status: "ok".to_owned(),
+                        cached: true,
+                        duration_ns: 0,
+                        error: None,
+                        completions: completion_views(&entry.schema, &hit),
+                    });
+                } else {
+                    miss_slots.push(i);
+                    miss_keys.push(key);
+                    miss_asts.push(ast);
+                }
+            }
+        }
+    }
+
+    // Second pass: the misses, fanned over the batch work pool. Only `ok`
+    // results enter the cache — a deadline hit is a property of this
+    // run's budget, not of the query.
+    let mut deadline_hits = 0u64;
+    if !miss_asts.is_empty() {
+        let opts = BatchOptions {
+            threads,
+            deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            cancel: None,
+        };
+        let engine = Completer::with_config(&entry.schema, cfg);
+        let out = complete_batch(&engine, &miss_asts, &opts);
+        for item in out {
+            let slot = miss_slots[item.index];
+            let key = miss_keys[item.index].clone();
+            let normalized = key.query.clone();
+            views[slot] = Some(match item.result {
+                Ok(outcome) => {
+                    let completions = completion_views(&entry.schema, &outcome);
+                    state.cache.insert(key, Arc::new(outcome));
+                    BatchItemView {
+                        query: normalized,
+                        status: "ok".to_owned(),
+                        cached: false,
+                        duration_ns: item.duration_ns,
+                        error: None,
+                        completions,
+                    }
+                }
+                Err(e) => {
+                    let status = if matches!(e, CompleteError::DeadlineExceeded) {
+                        deadline_hits += 1;
+                        "deadline_exceeded"
+                    } else {
+                        "error"
+                    };
+                    BatchItemView {
+                        query: normalized,
+                        status: status.to_owned(),
+                        cached: false,
+                        duration_ns: item.duration_ns,
+                        error: Some(e.to_string()),
+                        completions: Vec::new(),
+                    }
+                }
+            });
+        }
+    }
+
+    let response = BatchCompleteResponse {
+        schema: entry.name.clone(),
+        generation: entry.generation,
+        deadline_ms,
+        threads: threads as u64,
+        wall_ns: started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        deadline_hits,
+        items: views
+            .into_iter()
+            .map(|v| v.expect("every batch slot resolved"))
+            .collect(),
     };
     match serde_json::to_string(&response) {
         Ok(json) => (200, json),

@@ -17,6 +17,7 @@ fn start_server() -> (Server, Client) {
         request_timeout: Duration::from_secs(5),
         cache_capacity: 256,
         cache_shards: 4,
+        batch_threads: 2,
     })
     .expect("bind ephemeral port");
     server
@@ -228,4 +229,203 @@ fn shutdown_endpoint_stops_the_server() {
     // The port no longer accepts new work.
     let mut late = Client::new(addr.to_string());
     assert!(late.request("GET", "/healthz", "").is_err());
+}
+
+/// `POST /v1/complete/batch`: per-item outcomes in submission order,
+/// whitespace-variant queries normalize onto one cache key, parse
+/// failures are per-item errors (not a request failure), and the batch
+/// shares the single-endpoint cache.
+#[test]
+fn batch_endpoint_completes_and_caches() {
+    let (server, mut client) = start_server();
+    let req = r#"{"queries": ["ta ~ name", "department~take", "~~~"], "threads": 2}"#;
+    let (status, body) = client.request("POST", "/v1/complete/batch", req).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse_value_text(&body).unwrap();
+    let Value::Seq(items) = get(&v, "items") else {
+        panic!("items is not an array: {body}");
+    };
+    assert_eq!(items.len(), 3);
+    assert_eq!(get(&items[0], "status"), Value::Str("ok".to_owned()));
+    assert_eq!(get(&items[0], "cached"), Value::Bool(false));
+    // Whitespace normalization applies per item.
+    assert_eq!(get(&items[0], "query"), Value::Str("ta~name".to_owned()));
+    assert_eq!(get(&items[1], "status"), Value::Str("ok".to_owned()));
+    assert_eq!(get(&items[2], "status"), Value::Str("error".to_owned()));
+    assert!(items[2].get("error").is_some(), "{body}");
+
+    // The batch populated the same cache the single endpoint reads.
+    let (_, single) = client
+        .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+        .unwrap();
+    let sv = serde_json::parse_value_text(&single).unwrap();
+    assert_eq!(get(&sv, "cached"), Value::Bool(true), "{single}");
+
+    // And a repeat batch is served from the cache.
+    let (_, again) = client.request("POST", "/v1/complete/batch", req).unwrap();
+    let av = serde_json::parse_value_text(&again).unwrap();
+    let Value::Seq(items) = get(&av, "items") else {
+        panic!("items is not an array: {again}");
+    };
+    assert_eq!(get(&items[0], "cached"), Value::Bool(true));
+    assert_eq!(get(&items[1], "cached"), Value::Bool(true));
+    server.shutdown();
+}
+
+/// Batch validation errors are whole-request errors: unknown schema is a
+/// 404, an over-cap batch is a 400.
+#[test]
+fn batch_endpoint_rejects_bad_requests() {
+    let (server, mut client) = start_server();
+    let (status, _) = client
+        .request(
+            "POST",
+            "/v1/complete/batch",
+            r#"{"schema": "ghost", "queries": ["a~b"]}"#,
+        )
+        .unwrap();
+    assert_eq!(status, 404);
+    let many: Vec<String> = (0..257).map(|_| "\"ta~name\"".to_owned()).collect();
+    let body = format!("{{\"queries\": [{}]}}", many.join(","));
+    let (status, resp) = client.request("POST", "/v1/complete/batch", &body).unwrap();
+    assert_eq!(status, 400, "{resp}");
+    server.shutdown();
+}
+
+/// A combinatorially heavy item trips its per-item deadline and reports
+/// `deadline_exceeded` in its own slot, while the cheap item in the same
+/// batch completes — the acceptance scenario for deadline isolation.
+#[test]
+fn batch_deadline_is_per_item() {
+    use ipe_schema::{Primitive, SchemaBuilder};
+    let (server, mut client) = start_server();
+    // A fully-connected 12-class schema whose only `goal` attribute sits
+    // on the root class: `c0~e10_11~goal` has no acyclic completion, so
+    // the exhaustive multi-tilde search would run for hours without the
+    // deadline, and never trips the result cap.
+    let mut b = SchemaBuilder::new();
+    let classes: Vec<_> = (0..12)
+        .map(|i| b.class(&format!("c{i}")).unwrap())
+        .collect();
+    for (i, &source) in classes.iter().enumerate() {
+        for (j, &target) in classes.iter().enumerate() {
+            if i != j {
+                b.assoc(source, target, &format!("e{i}_{j}")).unwrap();
+            }
+        }
+    }
+    b.attr(classes[0], "goal", Primitive::Real).unwrap();
+    let dense = b.build().unwrap();
+    let (status, body) = client
+        .request("PUT", "/v1/schemas/dense", &dense.to_json())
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    let req = r#"{"schema": "dense", "queries": ["c0.goal", "c0~e10_11~goal"],
+                  "deadline_ms": 150, "threads": 2}"#;
+    let started = std::time::Instant::now();
+    let (status, body) = client.request("POST", "/v1/complete/batch", req).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse_value_text(&body).unwrap();
+    let Value::Seq(items) = get(&v, "items") else {
+        panic!("items is not an array: {body}");
+    };
+    assert_eq!(
+        get(&items[0], "status"),
+        Value::Str("ok".to_owned()),
+        "{body}"
+    );
+    assert_eq!(
+        get(&items[1], "status"),
+        Value::Str("deadline_exceeded".to_owned()),
+        "{body}"
+    );
+    assert_eq!(as_u64(&get(&v, "deadline_hits")), 1);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "batch stalled: {:?}",
+        started.elapsed()
+    );
+    server.shutdown();
+}
+
+/// Sends raw bytes and returns the full response text (the server closes
+/// rejected connections, so read-to-end terminates).
+fn raw_request(addr: &str, payload: &str) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(payload.as_bytes()).expect("write");
+    let mut out = String::new();
+    let _ = s.read_to_string(&mut out);
+    out
+}
+
+fn raw_status(resp: &str) -> u16 {
+    resp.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {resp:?}"))
+}
+
+/// A declared body beyond the 32 MiB cap is answered `413` from the
+/// headers alone — the server never tries to read the body.
+#[test]
+fn oversized_declared_body_is_413() {
+    let (server, _client) = start_server();
+    let addr = server.addr().to_string();
+    let resp = raw_request(
+        &addr,
+        "POST /v1/complete HTTP/1.1\r\nHost: t\r\nContent-Length: 33554433\r\n\r\n",
+    );
+    assert_eq!(raw_status(&resp), 413, "{resp}");
+    server.shutdown();
+}
+
+/// Conflicting duplicate `Content-Length` headers (a request-smuggling
+/// vector) are a `400`; *identical* duplicates are tolerated.
+#[test]
+fn duplicate_content_length_handling() {
+    let (server, _client) = start_server();
+    let addr = server.addr().to_string();
+    let resp = raw_request(
+        &addr,
+        "POST /v1/complete HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\n{}",
+    );
+    assert_eq!(raw_status(&resp), 400, "{resp}");
+    assert!(resp.contains("conflicting"), "{resp}");
+
+    let resp = raw_request(
+        &addr,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\nContent-Length: 0\r\nConnection: close\r\n\r\n",
+    );
+    assert_eq!(raw_status(&resp), 200, "{resp}");
+    server.shutdown();
+}
+
+/// Header-field floods are answered `431`: too many header lines, or one
+/// absurdly long line.
+#[test]
+fn header_floods_are_431() {
+    let (server, _client) = start_server();
+    let addr = server.addr().to_string();
+    let mut flood = String::from("GET /healthz HTTP/1.1\r\nHost: t\r\n");
+    for i in 0..101 {
+        flood.push_str(&format!("X-Flood-{i}: x\r\n"));
+    }
+    flood.push_str("\r\n");
+    let resp = raw_request(&addr, &flood);
+    assert_eq!(raw_status(&resp), 431, "{resp}");
+
+    let long_line = format!(
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Long: {}\r\n\r\n",
+        "a".repeat(9 * 1024)
+    );
+    let resp = raw_request(&addr, &long_line);
+    assert_eq!(raw_status(&resp), 431, "{resp}");
+
+    let long_target = format!("GET /{} HTTP/1.1\r\nHost: t\r\n\r\n", "a".repeat(9 * 1024));
+    let resp = raw_request(&addr, &long_target);
+    assert_eq!(raw_status(&resp), 431, "{resp}");
+    server.shutdown();
 }

@@ -38,6 +38,9 @@ wait "$serve_pid"   # clean exit after POST /v1/shutdown
 trap - EXIT
 rm -f "$serve_log"
 
+echo "== batch smoke =="
+./target/release/batch_bench --smoke
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

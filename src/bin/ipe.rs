@@ -11,7 +11,7 @@
 //! ipe serve    [--addr HOST:PORT] [--workers N] [--cache-capacity N] ...
 //! ```
 
-use ipe::core::{explain, Completer, CompletionConfig};
+use ipe::core::{complete_batch, explain, BatchOptions, Completer, CompletionConfig};
 use ipe::gen::{generate_schema, GenConfig};
 use ipe::oodb::fixtures::university_db;
 use ipe::parser::parse_path_expression;
@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 /// The explicit subcommand names.
 const COMMANDS: &[&str] = &[
-    "complete", "explain", "eval", "gen", "dot", "stats", "serve",
+    "complete", "explain", "eval", "gen", "dot", "stats", "serve", "batch",
 ];
 
 /// Flags that consume the following argument, for subcommand scanning.
@@ -39,6 +39,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--timeout-ms",
     "--cache-capacity",
     "--cache-shards",
+    "--batch-threads",
+    "--threads",
+    "--deadline-ms",
 ];
 
 /// Resolves the subcommand by scanning *past* flags, so global flags
@@ -87,6 +90,7 @@ fn main() -> ExitCode {
         "dot" => cmd_dot(&rest),
         "stats" => cmd_stats(&rest),
         "serve" => cmd_serve(&rest),
+        "batch" => cmd_batch(&rest),
         "help" => {
             println!("{USAGE}");
             Ok(())
@@ -112,7 +116,10 @@ const USAGE: &str = "usage:
   ipe stats    [--schema FILE | --fixture NAME]
   ipe serve    [--schema FILE | --fixture NAME] [--addr HOST:PORT]
                [--workers N] [--queue-depth N] [--timeout-ms N]
-               [--cache-capacity N] [--cache-shards N] [--report FILE]
+               [--cache-capacity N] [--cache-shards N] [--batch-threads N]
+               [--report FILE]
+  ipe batch    [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]...
+               [--threads N] [--deadline-ms N] FILE
 
 An EXPR containing `~` (or starting with a flag) implies `complete`.
 --trace prints the structured search event log; --report FILE writes the
@@ -126,6 +133,12 @@ PUT /v1/schemas/:name, GET /healthz, GET /metrics, and POST /v1/shutdown,
 memoizing completions in a sharded LRU cache invalidated by schema
 hot-swaps. With --report FILE, the final /metrics report is written there
 on clean shutdown.
+
+`batch` reads one path expression per line from FILE (`-` for stdin;
+blank lines and `#` comments are skipped) and completes them in parallel
+on --threads workers (default 4). --deadline-ms bounds each item's
+wall-clock search (default 2000, 0 = unlimited); an item that trips its
+deadline reports `deadline exceeded` without stalling the rest.
 
 fixtures: university (default), assembly";
 
@@ -145,6 +158,9 @@ struct Opts {
     timeout_ms: u64,
     cache_capacity: usize,
     cache_shards: usize,
+    batch_threads: usize,
+    threads: usize,
+    deadline_ms: u64,
     positional: Vec<String>,
 }
 
@@ -165,6 +181,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut timeout_ms = service_defaults.request_timeout.as_millis() as u64;
     let mut cache_capacity = service_defaults.cache_capacity;
     let mut cache_shards = service_defaults.cache_shards;
+    let mut batch_threads = service_defaults.batch_threads;
+    let mut threads = 4usize;
+    let mut deadline_ms = 2_000u64;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -217,6 +236,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--cache-shards must be a number")?
             }
+            "--batch-threads" => {
+                batch_threads = grab("--batch-threads")?
+                    .parse()
+                    .map_err(|_| "--batch-threads must be a number")?
+            }
+            "--threads" => {
+                threads = grab("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a number")?
+            }
+            "--deadline-ms" => {
+                deadline_ms = grab("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms must be a number")?
+            }
             other => positional.push(other.to_owned()),
         }
     }
@@ -247,6 +281,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         timeout_ms,
         cache_capacity,
         cache_shards,
+        batch_threads,
+        threads,
+        deadline_ms,
         positional,
     })
 }
@@ -401,6 +438,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         request_timeout: std::time::Duration::from_millis(opts.timeout_ms),
         cache_capacity: opts.cache_capacity,
         cache_shards: opts.cache_shards,
+        batch_threads: opts.batch_threads,
     };
     let server = Server::start(config).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
     server.state().registry.insert("default", opts.schema);
@@ -412,8 +450,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         opts.workers, opts.queue_depth, opts.cache_capacity, opts.cache_shards, opts.timeout_ms
     );
     println!(
-        "endpoints: POST /v1/complete  GET /v1/schemas  PUT /v1/schemas/:name  \
-         GET /healthz  GET /metrics  POST /v1/shutdown"
+        "endpoints: POST /v1/complete  POST /v1/complete/batch  GET /v1/schemas  \
+         PUT /v1/schemas/:name  GET /healthz  GET /metrics  POST /v1/shutdown"
     );
     let state = std::sync::Arc::clone(server.state());
     server.join();
@@ -423,6 +461,85 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("(service report written to {path})");
     }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let file = opts
+        .positional
+        .first()
+        .ok_or("missing batch file argument (one expression per line, `-` for stdin)")?;
+    let text = if file == "-" {
+        use std::io::Read as _;
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?
+    };
+    let lines: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let mut asts = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        let ast =
+            parse_path_expression(line).map_err(|e| format!("line {}: `{line}`: {e}", i + 1))?;
+        asts.push(ast);
+    }
+    if asts.is_empty() {
+        return Err("batch file has no expressions".to_owned());
+    }
+    let engine = engine_for(&opts)?;
+    let batch_opts = BatchOptions {
+        threads: opts.threads,
+        deadline: (opts.deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(opts.deadline_ms)),
+        cancel: None,
+    };
+    let started = std::time::Instant::now();
+    let out = complete_batch(&engine, &asts, &batch_opts);
+    let wall = started.elapsed();
+    let mut ok = 0usize;
+    let mut timed_out = 0usize;
+    let mut failed = 0usize;
+    for item in &out {
+        let expr = lines[item.index];
+        match &item.result {
+            Ok(outcome) => {
+                ok += 1;
+                for c in &outcome.completions {
+                    println!(
+                        "{expr}\t{}\t[{} semlen {}]",
+                        c.display(&opts.schema),
+                        c.label.connector,
+                        c.label.semlen
+                    );
+                }
+                if outcome.completions.is_empty() {
+                    println!("{expr}\t(no completions)");
+                }
+            }
+            Err(e) => {
+                if item.deadline_exceeded() {
+                    timed_out += 1;
+                } else {
+                    failed += 1;
+                }
+                println!("{expr}\terror: {e}");
+            }
+        }
+    }
+    eprintln!(
+        "({} expression(s) on {} thread(s) in {:.1}ms: {ok} ok, {timed_out} past deadline, {failed} failed)",
+        out.len(),
+        opts.threads.max(1),
+        wall.as_secs_f64() * 1e3,
+    );
     Ok(())
 }
 

@@ -91,6 +91,41 @@ proptest! {
         prop_assert_eq!(&printed, &text);
         prop_assert_eq!(parse_path_expression(&printed).unwrap(), ast);
     }
+
+    /// Display is a normalization fixpoint across whitespace variants:
+    /// however the expression is spaced, one parse+display reaches the
+    /// canonical form and stays there. The service's completion cache
+    /// keys on that form, so this is the property that makes `ta ~ name`
+    /// and `ta~name` share a cache entry.
+    #[test]
+    fn display_normalization_fixpoint(
+        root in "[a-z][a-z0-9_]{0,8}",
+        steps in proptest::collection::vec(
+            ("[a-z][a-z0-9_-]{0,8}", 0usize..6usize, 0usize..4usize, 0usize..4usize), 0..6),
+        lead in 0usize..3,
+        trail in 0usize..3,
+    ) {
+        let connectors = ["@>", "<@", "$>", "<$", ".", "~"];
+        let pads = ["", " ", "\t", "  "];
+        let mut text = " ".repeat(lead);
+        text.push_str(&root);
+        for (name, c, before, after) in &steps {
+            text.push_str(pads[*before]);
+            text.push_str(connectors[*c % connectors.len()]);
+            text.push_str(pads[*after]);
+            text.push_str(name);
+        }
+        text.push_str(&" ".repeat(trail));
+        let ast = parse_path_expression(&text).unwrap();
+        let normalized = ast.to_string();
+        prop_assert!(
+            !normalized.contains(char::is_whitespace),
+            "normalized form keeps whitespace: {normalized:?}"
+        );
+        let reparsed = parse_path_expression(&normalized).unwrap();
+        prop_assert_eq!(&reparsed, &ast, "normalization changed the AST");
+        prop_assert_eq!(reparsed.to_string(), normalized);
+    }
 }
 
 proptest! {
