@@ -235,6 +235,19 @@ pub struct SchemaPutResponse {
     pub purged_cache_entries: u64,
 }
 
+/// Body of `DELETE /v1/schemas/:name` responses.
+#[derive(Debug, serde::Serialize)]
+pub struct SchemaDeleteResponse {
+    /// Registry name that was removed.
+    pub name: String,
+    /// The removed schema's stable registry id.
+    pub id: u64,
+    /// Generation the schema was at when removed.
+    pub generation: u64,
+    /// Cache entries of the removed schema dropped by the delete.
+    pub purged_cache_entries: u64,
+}
+
 /// Uniform error body for every non-2xx response.
 pub fn error_body(message: &str) -> String {
     let mut out = String::with_capacity(message.len() + 12);

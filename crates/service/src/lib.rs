@@ -14,13 +14,20 @@
 //! * a std-only HTTP/1.1 front end ([`Server`]) — `TcpListener`, fixed
 //!   worker pool, bounded queue, graceful shutdown, per-request timeout —
 //!   serving `POST /v1/complete`, `GET /v1/schemas`,
-//!   `PUT /v1/schemas/:name`, `GET /healthz`, `GET /metrics`, and
-//!   `POST /v1/shutdown`.
+//!   `GET`/`PUT`/`DELETE /v1/schemas/:name`, `GET /healthz`,
+//!   `GET /metrics`, and `POST /v1/shutdown`;
+//! * optional durability via `ipe-store`: with
+//!   [`ServiceConfig::data_dir`] set, registry mutations are
+//!   write-through to a checksummed WAL with periodic snapshots, startup
+//!   recovers the registry (ids and generations restored exactly, so
+//!   pre-crash cache keys never alias new entries), and a best-effort
+//!   warmup journal pre-warms the completion cache.
 //!
-//! Start one from the CLI with `ipe serve --addr 127.0.0.1:7474`; see the
-//! workspace README's *Service* section for the HTTP API and a curl
-//! quick-start, and DESIGN.md §9 for the cache keying and shutdown
-//! protocol.
+//! Start one from the CLI with `ipe serve --addr 127.0.0.1:7474
+//! [--data-dir DIR]`; see the workspace README's *Service* and
+//! *Persistence* sections for the HTTP API and a curl quick-start,
+//! DESIGN.md §9 for the cache keying and shutdown protocol, and
+//! DESIGN.md §11 for the store format and recovery invariants.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,4 +42,7 @@ pub use api::{CompleteRequest, CompleteResponse, CompletionView};
 pub use cache::{config_fingerprint, CacheKey, CacheStats, CompletionCache, ShardedLru};
 pub use http::Client;
 pub use registry::{SchemaEntry, SchemaInfo, SchemaRegistry};
-pub use server::{Server, ServiceConfig, ServiceState};
+pub use server::{Server, ServiceConfig, ServiceState, WarmupTracker};
+
+// The durability knobs callers need to fill a `ServiceConfig`.
+pub use ipe_store::FsyncPolicy;

@@ -72,6 +72,39 @@ impl SchemaRegistry {
         entry
     }
 
+    /// Reinstates a recovered schema exactly as it was acknowledged: `id`
+    /// and `generation` come from the durable record rather than the
+    /// counters, and the id counter is advanced so later inserts never
+    /// collide. Subsequent [`insert`](SchemaRegistry::insert)s on `name`
+    /// continue the generation sequence monotonically.
+    pub fn restore(
+        &self,
+        name: &str,
+        id: u64,
+        generation: u64,
+        schema: Schema,
+    ) -> Arc<SchemaEntry> {
+        self.next_id.fetch_max(id, Ordering::Relaxed);
+        let entry = Arc::new(SchemaEntry {
+            name: name.to_owned(),
+            id,
+            generation,
+            schema: Arc::new(schema),
+        });
+        self.inner
+            .write()
+            .expect("registry poisoned")
+            .insert(name.to_owned(), entry.clone());
+        entry
+    }
+
+    /// Advances the id counter past `max_id`, so ids of schemas that were
+    /// deleted before a crash are never reissued (their old cache keys
+    /// must not alias new entries).
+    pub fn reserve_ids(&self, max_id: u64) {
+        self.next_id.fetch_max(max_id, Ordering::Relaxed);
+    }
+
     /// The current entry for `name`, if registered.
     pub fn get(&self, name: &str) -> Option<Arc<SchemaEntry>> {
         self.inner
@@ -131,6 +164,32 @@ mod tests {
         assert_ne!(a.id, b.id);
         let names: Vec<String> = reg.list().into_iter().map(|i| i.name).collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn restore_reinstates_ids_and_generations_exactly() {
+        let reg = SchemaRegistry::new();
+        reg.restore("uni", 5, 7, fixtures::university());
+        let got = reg.get("uni").unwrap();
+        assert_eq!((got.id, got.generation), (5, 7));
+        // A hot-swap continues the recovered generation sequence.
+        let swapped = reg.insert("uni", fixtures::university());
+        assert_eq!((swapped.id, swapped.generation), (5, 8));
+        // Fresh names get ids past every restored one.
+        let fresh = reg.insert("other", fixtures::assembly());
+        assert!(
+            fresh.id > 5,
+            "fresh id {} must not reuse restored ids",
+            fresh.id
+        );
+    }
+
+    #[test]
+    fn reserve_ids_blocks_reuse_of_deleted_ids() {
+        let reg = SchemaRegistry::new();
+        reg.reserve_ids(9);
+        let fresh = reg.insert("x", fixtures::university());
+        assert_eq!(fresh.id, 10);
     }
 
     #[test]

@@ -10,16 +10,21 @@
 
 use crate::api::{
     error_body, BatchCompleteRequest, BatchCompleteResponse, BatchItemView, CompleteRequest,
-    CompleteResponse, CompletionView, SchemaPutResponse,
+    CompleteResponse, CompletionView, SchemaDeleteResponse, SchemaPutResponse,
 };
 use crate::cache::{config_fingerprint, CacheKey, CompletionCache};
 use crate::http::{read_request, write_response, ReadOutcome, Request};
 use crate::registry::SchemaRegistry;
-use ipe_core::{complete_batch, BatchOptions, CompleteError, Completer, SearchOutcome};
+use ipe_core::{
+    complete_batch, BatchOptions, CompleteError, Completer, CompletionConfig, SearchOutcome,
+};
 use ipe_parser::{parse_path_expression, PathExprAst};
 use ipe_schema::Schema;
+use ipe_store::{read_warmup, write_warmup, FsyncPolicy, Store, StoreConfig, WarmupEntry};
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, OnceLock};
@@ -47,6 +52,17 @@ pub struct ServiceConfig {
     /// Default worker threads for `POST /v1/complete/batch` (a request's
     /// `threads` field overrides per batch).
     pub batch_threads: usize,
+    /// Data directory for the durable schema store. `None` (the default)
+    /// keeps the registry purely in memory, as before PR 4.
+    pub data_dir: Option<PathBuf>,
+    /// WAL flush policy when `data_dir` is set.
+    pub fsync: FsyncPolicy,
+    /// WAL appends between snapshot compactions (0 = snapshot only on
+    /// clean shutdown).
+    pub snapshot_every: u64,
+    /// How many hot cache keys the warmup journal keeps (0 disables
+    /// warmup tracking and replay).
+    pub warmup_top_k: usize,
 }
 
 impl Default for ServiceConfig {
@@ -59,7 +75,62 @@ impl Default for ServiceConfig {
             cache_capacity: 4096,
             cache_shards: 16,
             batch_threads: 4,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
+            snapshot_every: 256,
+            warmup_top_k: 64,
         }
+    }
+}
+
+/// Cap on distinct keys the warmup tracker counts; hotter keys win, new
+/// keys arriving at capacity are dropped (sampling, not precision).
+const WARMUP_TRACK_CAP: usize = 4096;
+/// Per-query deadline when replaying the warmup journal at startup, so a
+/// pathological journal cannot stall boot.
+const WARMUP_REPLAY_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Best-effort frequency counter over `(schema name, normalized query)`
+/// pairs, feeding the warmup journal. Recording uses `try_lock`: under
+/// contention a sample is simply dropped — warmth is advisory.
+pub struct WarmupTracker {
+    inner: Mutex<HashMap<(String, String), u64>>,
+}
+
+impl WarmupTracker {
+    fn new() -> WarmupTracker {
+        WarmupTracker {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Counts one lookup of `query` against `schema` (sampled).
+    pub fn record(&self, schema: &str, query: &str) {
+        let Ok(mut map) = self.inner.try_lock() else {
+            return;
+        };
+        let key = (schema.to_owned(), query.to_owned());
+        if let Some(n) = map.get_mut(&key) {
+            *n += 1;
+        } else if map.len() < WARMUP_TRACK_CAP {
+            map.insert(key, 1);
+        }
+    }
+
+    /// The hottest `k` keys, descending.
+    pub fn top_k(&self, k: usize) -> Vec<WarmupEntry> {
+        let map = self.inner.lock().expect("warmup tracker poisoned");
+        let mut entries: Vec<WarmupEntry> = map
+            .iter()
+            .map(|((schema, query), hits)| WarmupEntry {
+                schema: schema.clone(),
+                query: query.clone(),
+                hits: *hits,
+            })
+            .collect();
+        entries.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.query.cmp(&b.query)));
+        entries.truncate(k);
+        entries
     }
 }
 
@@ -78,6 +149,14 @@ pub struct ServiceState {
     pub registry: SchemaRegistry,
     /// The completion cache.
     pub cache: CompletionCache,
+    /// The durable store (`Some` when the server runs with a data
+    /// directory). The mutex also serializes registry mutations with
+    /// their WAL appends, so the log order always matches the registry's
+    /// generation order.
+    store: Option<Mutex<Store>>,
+    /// Hot-key tracker feeding the warmup journal (only with a store).
+    warmup: Option<WarmupTracker>,
+    warmup_top_k: usize,
     workers: AtomicU64,
     batch_threads: usize,
     queue_depth: AtomicU64,
@@ -88,10 +167,14 @@ pub struct ServiceState {
 }
 
 impl ServiceState {
-    fn new(config: &ServiceConfig) -> ServiceState {
+    fn new(config: &ServiceConfig, store: Option<Store>) -> ServiceState {
+        let track_warmup = store.is_some() && config.warmup_top_k > 0;
         ServiceState {
             registry: SchemaRegistry::new(),
             cache: CompletionCache::new(config.cache_capacity, config.cache_shards),
+            store: store.map(Mutex::new),
+            warmup: track_warmup.then(WarmupTracker::new),
+            warmup_top_k: config.warmup_top_k,
             workers: AtomicU64::new(config.workers as u64),
             batch_threads: config.batch_threads.clamp(1, MAX_BATCH_THREADS as usize),
             queue_depth: AtomicU64::new(0),
@@ -100,6 +183,60 @@ impl ServiceState {
             shutdown: AtomicBool::new(false),
             bound_addr: OnceLock::new(),
         }
+    }
+
+    /// Whether this server persists its registry.
+    pub fn durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Writes the warmup journal from the tracker's current top-K.
+    /// Best-effort: failures are counted, never propagated.
+    fn flush_warmup(&self) {
+        let (Some(store), Some(warmup)) = (&self.store, &self.warmup) else {
+            return;
+        };
+        let entries = warmup.top_k(self.warmup_top_k);
+        let path = store.lock().expect("store poisoned").warmup_path();
+        if write_warmup(&path, &entries).is_err() {
+            ipe_obs::counter!("store.warmup.write_failed", 1);
+        }
+    }
+
+    /// Inserts (or hot-swaps) a schema and writes the mutation through to
+    /// the WAL when the server is durable; a no-op append when it is not.
+    /// `json` is the schema's serialized form as recorded in the log. The
+    /// store lock is taken *before* the registry write so concurrent
+    /// mutations hit the WAL in generation order. On a persistence
+    /// failure the registry keeps the new generation (it is live in
+    /// memory) but the error is returned so callers can refuse to
+    /// acknowledge the write as durable.
+    pub fn register_schema(
+        &self,
+        name: &str,
+        schema: Schema,
+        json: &str,
+    ) -> std::io::Result<Arc<crate::SchemaEntry>> {
+        let store_guard = self
+            .store
+            .as_ref()
+            .map(|m| m.lock().expect("store poisoned"));
+        let entry = self.registry.insert(name, schema);
+        if let Some(mut store) = store_guard {
+            match store.append_put(name, entry.id, entry.generation, json) {
+                Ok(appended) => {
+                    drop(store);
+                    if appended.snapshotted {
+                        self.flush_warmup();
+                    }
+                }
+                Err(e) => {
+                    ipe_obs::counter!("store.wal.append_failed", 1);
+                    return Err(std::io::Error::other(e));
+                }
+            }
+        }
+        Ok(entry)
     }
 
     /// Whether shutdown has been requested.
@@ -125,6 +262,12 @@ impl ServiceState {
             rejected_total: self.rejected_total.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
             schemas: self.registry.list().len() as u64,
+            durable: self.store.is_some(),
+            wal_last_seq: self
+                .store
+                .as_ref()
+                .map(|s| s.lock().expect("store poisoned").last_seq())
+                .unwrap_or(0),
         }
     }
 }
@@ -138,6 +281,8 @@ struct ServiceMetrics {
     rejected_total: u64,
     workers: u64,
     schemas: u64,
+    durable: bool,
+    wal_last_seq: u64,
 }
 
 /// A running disambiguation server. Dropping the handle does **not** stop
@@ -151,12 +296,61 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.addr` and spawns the accept loop plus the worker
-    /// pool. Returns once the socket is listening.
+    /// Binds `config.addr`, recovers the durable store (when `data_dir`
+    /// is set) into the registry, replays the warmup journal against the
+    /// engine, and spawns the accept loop plus the worker pool. Returns
+    /// once the socket is listening and recovery is complete — a server
+    /// that starts serving is never partially recovered.
     pub fn start(config: ServiceConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServiceState::new(&config));
+        let recovered = match &config.data_dir {
+            None => None,
+            Some(dir) => {
+                let store_config = StoreConfig {
+                    dir: dir.clone(),
+                    fsync: config.fsync,
+                    snapshot_every: config.snapshot_every,
+                };
+                let (store, recovery) =
+                    Store::open(&store_config).map_err(|e| io::Error::other(e.to_string()))?;
+                Some((store, recovery))
+            }
+        };
+        let (store, recovery) = match recovered {
+            Some((store, recovery)) => (Some(store), Some(recovery)),
+            None => (None, None),
+        };
+        let state = Arc::new(ServiceState::new(&config, store));
+        if let Some(recovery) = recovery {
+            for record in &recovery.schemas {
+                let schema = Schema::from_json(&record.schema_json).map_err(|e| {
+                    io::Error::other(format!(
+                        "recovered schema `{}` does not parse: {e}",
+                        record.name
+                    ))
+                })?;
+                state
+                    .registry
+                    .restore(&record.name, record.id, record.generation, schema);
+            }
+            state.registry.reserve_ids(recovery.max_id);
+            if recovery.truncated_tail {
+                eprintln!(
+                    "ipe-service: WAL tail was torn; recovered through seq {}",
+                    recovery.last_seq
+                );
+            }
+            if state.warmup.is_some() {
+                let path = {
+                    let store = state.store.as_ref().expect("recovery implies a store");
+                    store.lock().expect("store poisoned").warmup_path()
+                };
+                let entries = read_warmup(&path);
+                let warmed = warm_cache(&state, &entries, config.warmup_top_k);
+                ipe_obs::counter!("store.warmup.replayed", warmed);
+            }
+        }
         state
             .bound_addr
             .set(addr)
@@ -234,6 +428,14 @@ impl Server {
         }
         for h in self.worker_handles.drain(..) {
             let _ = h.join();
+        }
+        // Clean shutdown: compact once so the next boot replays a
+        // snapshot instead of the whole WAL, and persist the hot keys.
+        self.state.flush_warmup();
+        if let Some(store) = &self.state.store {
+            if let Err(e) = store.lock().expect("store poisoned").snapshot_now() {
+                eprintln!("ipe-service: shutdown snapshot failed: {e}");
+            }
         }
     }
 }
@@ -343,6 +545,8 @@ fn route(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
             }
         }
         ("PUT", path) if path.starts_with("/v1/schemas/") => handle_put_schema(state, req),
+        ("DELETE", path) if path.starts_with("/v1/schemas/") => handle_delete_schema(state, req),
+        ("GET", path) if path.starts_with("/v1/schemas/") => handle_get_schema(state, req),
         ("GET", "/healthz") => (200, "{\"status\": \"ok\"}".to_owned()),
         ("GET", "/metrics") => (200, metrics_json(state)),
         ("POST", "/v1/shutdown") => {
@@ -397,6 +601,9 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
             }
         }
     };
+    if let Some(warmup) = &state.warmup {
+        warmup.record(&entry.name, &normalized);
+    }
     let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
     let response = CompleteResponse {
         schema: entry.name.clone(),
@@ -576,11 +783,21 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
     }
 }
 
-fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
-    let name = &req.path["/v1/schemas/".len()..];
+/// Extracts and validates the `:name` segment of a `/v1/schemas/:name`
+/// path.
+fn schema_name_segment(path: &str) -> Result<&str, (u16, String)> {
+    let name = &path["/v1/schemas/".len()..];
     if name.is_empty() || name.contains('/') {
-        return (400, error_body("schema name must be a single path segment"));
+        return Err((400, error_body("schema name must be a single path segment")));
     }
+    Ok(name)
+}
+
+fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+    let name = match schema_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
     let body = match req.text() {
         Ok(b) => b,
         Err(msg) => return (400, error_body(msg)),
@@ -589,7 +806,15 @@ fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) 
         Ok(s) => s,
         Err(e) => return (400, error_body(&format!("invalid schema: {e}"))),
     };
-    let entry = state.registry.insert(name, schema);
+    let entry = match state.register_schema(name, schema, body) {
+        Ok(entry) => entry,
+        Err(e) => {
+            return (
+                500,
+                error_body(&format!("schema registered but not persisted: {e}")),
+            )
+        }
+    };
     // Generation keying already shields correctness; purging just frees
     // the dead generations' memory eagerly.
     let purged = if entry.generation > 1 {
@@ -607,6 +832,120 @@ fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) 
         Ok(json) => (200, json),
         Err(e) => (500, error_body(&e.to_string())),
     }
+}
+
+fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+    let name = match schema_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let store_guard = state
+        .store
+        .as_ref()
+        .map(|m| m.lock().expect("store poisoned"));
+    let Some(entry) = state.registry.remove(name) else {
+        return (404, error_body(&format!("no schema named `{name}`")));
+    };
+    // Purge before acknowledging so a deleted schema's cached results are
+    // unreachable the moment the 200 lands.
+    let purged = state.cache.purge_schema(entry.id);
+    if let Some(mut store) = store_guard {
+        if let Err(e) = store.append_delete(name) {
+            ipe_obs::counter!("store.wal.append_failed", 1);
+            return (
+                500,
+                error_body(&format!("schema removed but delete not persisted: {e}")),
+            );
+        }
+    }
+    let response = SchemaDeleteResponse {
+        name: entry.name.clone(),
+        id: entry.id,
+        generation: entry.generation,
+        purged_cache_entries: purged,
+    };
+    match serde_json::to_string(&response) {
+        Ok(json) => (200, json),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+fn handle_get_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+    let name = match schema_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let Some(entry) = state.registry.get(name) else {
+        return (404, error_body(&format!("no schema named `{name}`")));
+    };
+    let info = crate::registry::SchemaInfo {
+        name: entry.name.clone(),
+        id: entry.id,
+        generation: entry.generation,
+        classes: entry.schema.class_count() as u64,
+        relationships: entry.schema.rel_count() as u64,
+    };
+    match serde_json::to_string(&info) {
+        Ok(json) => (200, json),
+        Err(e) => (500, error_body(&e.to_string())),
+    }
+}
+
+/// Replays up to `top_k` warmup journal entries against the engine,
+/// inserting the results under the default-config cache key (the key
+/// steady-state interactive traffic hits). Entries for unknown schemas or
+/// unparsable queries are skipped; each query gets a short deadline so a
+/// pathological journal cannot stall startup. Returns how many entries
+/// were warmed.
+fn warm_cache(state: &Arc<ServiceState>, entries: &[WarmupEntry], top_k: usize) -> u64 {
+    // Group by schema so each registry entry is resolved once.
+    let mut by_schema: Vec<(&str, Vec<&WarmupEntry>)> = Vec::new();
+    for entry in entries.iter().take(top_k) {
+        match by_schema.iter_mut().find(|(name, _)| *name == entry.schema) {
+            Some((_, group)) => group.push(entry),
+            None => by_schema.push((&entry.schema, vec![entry])),
+        }
+    }
+    let cfg = CompletionConfig::default();
+    let fingerprint = config_fingerprint(&cfg);
+    let mut warmed = 0u64;
+    for (schema_name, group) in by_schema {
+        let Some(entry) = state.registry.get(schema_name) else {
+            continue;
+        };
+        let mut keys = Vec::new();
+        let mut asts = Vec::new();
+        for w in group {
+            let Ok(ast) = parse_path_expression(&w.query) else {
+                continue;
+            };
+            keys.push(CacheKey {
+                schema_id: entry.id,
+                generation: entry.generation,
+                query: ast.to_string(),
+                fingerprint,
+            });
+            asts.push(ast);
+        }
+        if asts.is_empty() {
+            continue;
+        }
+        let engine = Completer::with_config(&entry.schema, cfg.clone());
+        let opts = BatchOptions {
+            threads: 2,
+            deadline: Some(WARMUP_REPLAY_DEADLINE),
+            cancel: None,
+        };
+        for item in complete_batch(&engine, &asts, &opts) {
+            if let Ok(outcome) = item.result {
+                state
+                    .cache
+                    .insert(keys[item.index].clone(), Arc::new(outcome));
+                warmed += 1;
+            }
+        }
+    }
+    warmed
 }
 
 /// Builds the `/metrics` body: the standard `ipe-obs` [`Report`] (global

@@ -18,6 +18,7 @@ fn start_server() -> (Server, Client) {
         cache_capacity: 256,
         cache_shards: 4,
         batch_threads: 2,
+        ..Default::default()
     })
     .expect("bind ephemeral port");
     server
@@ -156,6 +157,65 @@ fn put_schema_hot_swap_invalidates_cache() {
         body.contains("\"uni\"") && body.contains("\"default\""),
         "{body}"
     );
+    server.shutdown();
+}
+
+/// `DELETE /v1/schemas/:name` unregisters the schema, purges its cached
+/// completions, and 404s for unknown (or already-deleted) names.
+#[test]
+fn delete_schema_purges_cache_and_404s_unknown() {
+    let (server, mut client) = start_server();
+    let uni = fixtures::university().to_json();
+    client.request("PUT", "/v1/schemas/doomed", &uni).unwrap();
+    // Warm one entry for the doomed schema and one for default.
+    let req = r#"{"schema": "doomed", "query": "ta~name"}"#;
+    client.request("POST", "/v1/complete", req).unwrap();
+    client
+        .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+        .unwrap();
+
+    let (status, body) = client.request("DELETE", "/v1/schemas/doomed", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse_value_text(&body).unwrap();
+    assert_eq!(get(&v, "name"), Value::Str("doomed".to_owned()));
+    assert_eq!(as_u64(&get(&v, "generation")), 1);
+    assert_eq!(
+        as_u64(&get(&v, "purged_cache_entries")),
+        1,
+        "only the doomed schema's entry is purged"
+    );
+
+    // Completions against the deleted name now 404; the default schema's
+    // cache entry survived.
+    let (status, _) = client.request("POST", "/v1/complete", req).unwrap();
+    assert_eq!(status, 404);
+    let (_, warm) = client
+        .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+        .unwrap();
+    let warm_v = serde_json::parse_value_text(&warm).unwrap();
+    assert_eq!(get(&warm_v, "cached"), Value::Bool(true));
+
+    // Deleting again (or a never-registered name) is a 404.
+    let (status, _) = client.request("DELETE", "/v1/schemas/doomed", "").unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = client.request("DELETE", "/v1/schemas/ghost", "").unwrap();
+    assert_eq!(status, 404);
+    server.shutdown();
+}
+
+/// `GET /v1/schemas/:name` returns that schema's summary without forcing
+/// a full listing.
+#[test]
+fn get_schema_by_name() {
+    let (server, mut client) = start_server();
+    let (status, body) = client.request("GET", "/v1/schemas/default", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse_value_text(&body).unwrap();
+    assert_eq!(get(&v, "name"), Value::Str("default".to_owned()));
+    assert_eq!(as_u64(&get(&v, "generation")), 1);
+    assert!(as_u64(&get(&v, "classes")) > 0);
+    let (status, _) = client.request("GET", "/v1/schemas/ghost", "").unwrap();
+    assert_eq!(status, 404);
     server.shutdown();
 }
 

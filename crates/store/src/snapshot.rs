@@ -1,0 +1,241 @@
+//! Compacted snapshots: the full live registry state in one checksummed
+//! file, written atomically (temp file + fsync + rename + directory
+//! fsync).
+//!
+//! ## Layout
+//!
+//! ```text
+//! [magic: 8 bytes "IPESNAP1"]
+//! [crc32(body): u32 LE]
+//! [body]
+//! ```
+//!
+//! Body (all integers little-endian):
+//!
+//! ```text
+//! [last_seq: u64]   WAL sequence number the snapshot covers
+//! [max_id: u64]     highest registry id ever assigned (deleted included)
+//! [count: u32]
+//! count × { [name_len: u32][name] [id: u64] [generation: u64]
+//!           [json_len: u32][schema JSON] }
+//! ```
+//!
+//! Because the rename is atomic, recovery always sees either the previous
+//! complete snapshot or the new complete snapshot — never a torn one. A
+//! snapshot that fails its checksum anyway is therefore reported as a hard
+//! [`StoreError::Corrupt`], not silently skipped: serving from a
+//! partially-recovered registry must be detectable.
+
+use crate::crc::crc32;
+use crate::{fsync_dir, StoreError};
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"IPESNAP1";
+
+/// One live schema in a snapshot (and in recovery output).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaRecord {
+    /// Registry name.
+    pub name: String,
+    /// Stable registry id.
+    pub id: u64,
+    /// Registry generation at snapshot time.
+    pub generation: u64,
+    /// The schema as JSON.
+    pub schema_json: String,
+}
+
+/// A decoded snapshot.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The WAL sequence number this snapshot covers; replay resumes at
+    /// `last_seq + 1`.
+    pub last_seq: u64,
+    /// Highest registry id ever assigned, including ids of schemas that
+    /// were later deleted — restoring it keeps fresh ids from aliasing
+    /// pre-crash cache keys.
+    pub max_id: u64,
+    /// The live schemas, in registry-name order.
+    pub schemas: Vec<SchemaRecord>,
+}
+
+impl Snapshot {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.last_seq.to_le_bytes());
+        out.extend_from_slice(&self.max_id.to_le_bytes());
+        out.extend_from_slice(&(self.schemas.len() as u32).to_le_bytes());
+        for s in &self.schemas {
+            out.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&s.id.to_le_bytes());
+            out.extend_from_slice(&s.generation.to_le_bytes());
+            out.extend_from_slice(&(s.schema_json.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.schema_json.as_bytes());
+        }
+        out
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Snapshot, StoreError> {
+        let corrupt = || StoreError::Corrupt("snapshot body truncated");
+        let mut at = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], StoreError> {
+            let end = at.checked_add(n).ok_or_else(corrupt)?;
+            if end > body.len() {
+                return Err(corrupt());
+            }
+            let slice = &body[at..end];
+            at = end;
+            Ok(slice)
+        };
+        let last_seq = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let max_id = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let count = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let mut schemas = Vec::with_capacity(count.min(1024) as usize);
+        for _ in 0..count {
+            let name_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8(take(name_len)?.to_vec())
+                .map_err(|_| StoreError::Corrupt("snapshot name is not UTF-8"))?;
+            let id = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let generation = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let json_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            let schema_json = String::from_utf8(take(json_len)?.to_vec())
+                .map_err(|_| StoreError::Corrupt("snapshot schema JSON is not UTF-8"))?;
+            schemas.push(SchemaRecord {
+                name,
+                id,
+                generation,
+                schema_json,
+            });
+        }
+        if at != body.len() {
+            return Err(StoreError::Corrupt("trailing bytes after snapshot body"));
+        }
+        Ok(Snapshot {
+            last_seq,
+            max_id,
+            schemas,
+        })
+    }
+
+    /// Writes the snapshot to `path` atomically: the bytes land in a
+    /// sibling temp file which is fsynced and then renamed over `path`,
+    /// followed by a directory fsync so the rename itself is durable.
+    pub fn write_to(&self, path: &Path) -> Result<(), StoreError> {
+        let body = self.encode_body();
+        let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 4 + body.len());
+        bytes.extend_from_slice(SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            fsync_dir(dir)?;
+        }
+        ipe_obs::counter!("store.snapshot.writes", 1);
+        ipe_obs::counter!("store.snapshot.bytes", bytes.len() as u64);
+        Ok(())
+    }
+
+    /// Reads the snapshot at `path`. `Ok(None)` when the file does not
+    /// exist; a checksum or framing failure is a hard error.
+    pub fn read_from(path: &Path) -> Result<Option<Snapshot>, StoreError> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut f) => f.read_to_end(&mut bytes)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
+            return Err(StoreError::Corrupt("snapshot shorter than its header"));
+        }
+        if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(StoreError::Corrupt("bad snapshot magic"));
+        }
+        let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let body = &bytes[12..];
+        if crc32(body) != crc {
+            return Err(StoreError::Corrupt("snapshot checksum mismatch"));
+        }
+        Snapshot::decode_body(body).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            last_seq: 42,
+            max_id: 7,
+            schemas: vec![
+                SchemaRecord {
+                    name: "assembly".to_owned(),
+                    id: 2,
+                    generation: 3,
+                    schema_json: "{\"classes\":[]}".to_owned(),
+                },
+                SchemaRecord {
+                    name: "uni".to_owned(),
+                    id: 1,
+                    generation: 9,
+                    schema_json: "{}".to_owned(),
+                },
+            ],
+        }
+    }
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipe-store-snap-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("snapshot.bin")
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let path = tmp_path("roundtrip");
+        let snap = sample();
+        snap.write_to(&path).unwrap();
+        assert_eq!(Snapshot::read_from(&path).unwrap().unwrap(), snap);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn missing_file_is_none_but_corruption_is_loud() {
+        let path = tmp_path("corrupt");
+        assert_eq!(Snapshot::read_from(&path).unwrap(), None);
+        sample().write_to(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Snapshot::read_from(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn overwrite_replaces_atomically() {
+        let path = tmp_path("overwrite");
+        sample().write_to(&path).unwrap();
+        let newer = Snapshot {
+            last_seq: 100,
+            ..sample()
+        };
+        newer.write_to(&path).unwrap();
+        assert_eq!(Snapshot::read_from(&path).unwrap().unwrap().last_seq, 100);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

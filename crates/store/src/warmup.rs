@@ -1,0 +1,145 @@
+//! The cache warmup journal: a best-effort, tab-separated record of the
+//! hottest normalized completion queries, replayed against the engine on
+//! startup so a restarted server answers its steady-state traffic warm.
+//!
+//! This file is *advisory*: losing it costs latency, never correctness,
+//! so the format is human-readable text (`hits \t schema \t query` lines
+//! under a one-line header) rather than checksummed frames, every reader
+//! skips lines it cannot parse, and writes go through temp + rename only
+//! to avoid serving a half-written file — no fsync.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Header line of the journal.
+pub const WARMUP_HEADER: &str = "IPEWARM1";
+
+/// One hot query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarmupEntry {
+    /// Registry name of the schema the query ran against.
+    pub schema: String,
+    /// The normalized query text.
+    pub query: String,
+    /// Observed lookups (hits + the initial miss) since tracking began.
+    pub hits: u64,
+}
+
+/// Writes `entries` to `path` (temp + rename). Entries whose schema or
+/// query contain a tab or newline cannot be framed and are skipped.
+/// Errors are returned but callers are expected to treat them as
+/// non-fatal.
+pub fn write_warmup(path: &Path, entries: &[WarmupEntry]) -> std::io::Result<()> {
+    let mut out = String::with_capacity(64 * entries.len().max(1));
+    out.push_str(WARMUP_HEADER);
+    out.push('\n');
+    for e in entries {
+        if e.schema.contains(['\t', '\n']) || e.query.contains(['\t', '\n']) {
+            continue;
+        }
+        out.push_str(&format!("{}\t{}\t{}\n", e.hits, e.schema, e.query));
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(out.as_bytes())?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Reads the journal at `path`, hottest first. Best-effort: a missing
+/// file, a foreign header, or malformed lines yield an empty (or
+/// partial) list, never an error.
+pub fn read_warmup(path: &Path) -> Vec<WarmupEntry> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(WARMUP_HEADER) {
+        return Vec::new();
+    }
+    let mut entries: Vec<WarmupEntry> = lines
+        .filter_map(|line| {
+            let mut parts = line.splitn(3, '\t');
+            let hits = parts.next()?.parse().ok()?;
+            let schema = parts.next()?.to_owned();
+            let query = parts.next()?.to_owned();
+            if schema.is_empty() || query.is_empty() {
+                return None;
+            }
+            Some(WarmupEntry {
+                schema,
+                query,
+                hits,
+            })
+        })
+        .collect();
+    entries.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.query.cmp(&b.query)));
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipe-warmup-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("warmup.tsv")
+    }
+
+    fn entry(schema: &str, query: &str, hits: u64) -> WarmupEntry {
+        WarmupEntry {
+            schema: schema.to_owned(),
+            query: query.to_owned(),
+            hits,
+        }
+    }
+
+    #[test]
+    fn round_trips_sorted_by_hotness() {
+        let path = tmp_path("roundtrip");
+        write_warmup(
+            &path,
+            &[
+                entry("default", "ta ~ name", 3),
+                entry("uni", "s ~ gpa", 17),
+                entry("default", "x has_part y", 3),
+            ],
+        )
+        .unwrap();
+        let back = read_warmup(&path);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], entry("uni", "s ~ gpa", 17));
+        assert_eq!(back[1].hits, 3);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn unframeable_and_malformed_entries_are_skipped() {
+        let path = tmp_path("malformed");
+        write_warmup(
+            &path,
+            &[entry("default", "bad\tquery", 9), entry("default", "ok", 1)],
+        )
+        .unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("not-a-number\tdefault\tq\n");
+        text.push_str("just one field\n");
+        std::fs::write(&path, text).unwrap();
+        let back = read_warmup(&path);
+        assert_eq!(back, vec![entry("default", "ok", 1)]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn missing_or_foreign_files_read_empty() {
+        let path = tmp_path("foreign");
+        assert!(read_warmup(&path).is_empty());
+        std::fs::write(&path, "SOMETHING ELSE\n1\ta\tb\n").unwrap();
+        assert!(read_warmup(&path).is_empty());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -1,0 +1,187 @@
+//! Crash-recovery fault injection: tear and corrupt the WAL tail at every
+//! byte boundary of the last record and assert that recovery yields
+//! exactly the durable prefix, truncating the tail at most once.
+
+use ipe_store::{FsyncPolicy, Store, StoreConfig, WAL_FILE};
+use proptest::prelude::*;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ipe-recovery-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg(dir: &Path) -> StoreConfig {
+    StoreConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 0,
+    }
+}
+
+/// Writes `n` put records and returns the WAL's frame-boundary offsets
+/// (`offsets[i]` = file length after `i` records; `offsets[0]` is the
+/// header-only length).
+fn build_wal(dir: &Path, n: usize) -> Vec<u64> {
+    let (mut store, _) = Store::open(&cfg(dir)).unwrap();
+    let wal = dir.join(WAL_FILE);
+    let mut offsets = vec![std::fs::metadata(&wal).unwrap().len()];
+    for i in 0..n {
+        store
+            .append_put(
+                &format!("schema-{i}"),
+                i as u64 + 1,
+                1,
+                &format!(
+                    "{{\"classes\":[\"c{i}\"],\"pad\":\"{}\"}}",
+                    "x".repeat(i * 7)
+                ),
+            )
+            .unwrap();
+        store.sync().unwrap();
+        offsets.push(std::fs::metadata(&wal).unwrap().len());
+    }
+    offsets
+}
+
+/// Recovered schema names, sorted (they are already name-sorted).
+fn recovered_names(dir: &Path) -> (Vec<String>, u64, bool) {
+    let (_, rec) = Store::open(&cfg(dir)).unwrap();
+    (
+        rec.schemas.iter().map(|s| s.name.clone()).collect(),
+        rec.last_seq,
+        rec.truncated_tail,
+    )
+}
+
+fn expected_names(n: usize) -> Vec<String> {
+    let mut names: Vec<String> = (0..n).map(|i| format!("schema-{i}")).collect();
+    names.sort();
+    names
+}
+
+/// Every truncation point inside the last record — from one byte past the
+/// previous frame boundary up to one byte short of the full file — must
+/// recover exactly the first `n-1` records and report one truncated tail.
+#[test]
+fn truncation_at_every_byte_boundary_of_the_last_record() {
+    const RECORDS: usize = 3;
+    let template = tmp_dir("trunc-template");
+    let offsets = build_wal(&template, RECORDS);
+    let prefix_end = offsets[RECORDS - 1];
+    let full = offsets[RECORDS];
+    let wal_bytes = std::fs::read(template.join(WAL_FILE)).unwrap();
+    assert_eq!(wal_bytes.len() as u64, full);
+
+    for cut in prefix_end..full {
+        let dir = tmp_dir("trunc");
+        std::fs::write(dir.join(WAL_FILE), &wal_bytes[..cut as usize]).unwrap();
+        let (names, last_seq, truncated) = recovered_names(&dir);
+        assert_eq!(
+            names,
+            expected_names(RECORDS - 1),
+            "cut at byte {cut}: exactly the durable prefix survives"
+        );
+        assert_eq!(last_seq, (RECORDS - 1) as u64, "cut at byte {cut}");
+        assert_eq!(
+            truncated,
+            cut > prefix_end,
+            "cut exactly at the frame boundary is a clean (shorter) WAL"
+        );
+        // The truncation is persisted: a second recovery is clean.
+        assert_eq!(
+            std::fs::metadata(dir.join(WAL_FILE)).unwrap().len(),
+            prefix_end,
+            "cut at byte {cut}: file truncated back to the durable prefix"
+        );
+        let (names2, _, truncated2) = recovered_names(&dir);
+        assert_eq!(names2, expected_names(RECORDS - 1));
+        assert!(!truncated2, "second recovery sees no tail to cut");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    std::fs::remove_dir_all(&template).ok();
+}
+
+proptest! {
+    /// Flipping any byte of the last record (frame header or payload)
+    /// loses at most that record: recovery returns the durable prefix
+    /// and counts exactly one truncated tail.
+    #[test]
+    fn corrupting_the_last_record_yields_the_durable_prefix(
+        records in 1usize..4,
+        flip_pos_seed in 0u64..u64::MAX,
+        flip_bit in 0u32..8,
+    ) {
+        let dir = tmp_dir("flip");
+        let offsets = build_wal(&dir, records);
+        let prefix_end = offsets[records - 1] as usize;
+        let full = offsets[records] as usize;
+        let wal = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let pos = prefix_end + (flip_pos_seed as usize) % (full - prefix_end);
+        bytes[pos] ^= 1 << flip_bit;
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let (names, last_seq, truncated) = recovered_names(&dir);
+        prop_assert!(truncated, "a flipped byte at {pos} must read as a torn tail");
+        prop_assert_eq!(names, expected_names(records - 1));
+        prop_assert_eq!(last_seq, (records - 1) as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Corrupting an *interior* record cuts there: everything before it
+    /// survives, everything after it (though intact on disk) is
+    /// discarded — a WAL's durable prefix is contiguous by definition.
+    #[test]
+    fn corrupting_an_interior_record_cuts_the_log_there(
+        victim in 0usize..3,
+        flip_pos_seed in 0u64..u64::MAX,
+    ) {
+        const RECORDS: usize = 4;
+        let dir = tmp_dir("interior");
+        let offsets = build_wal(&dir, RECORDS);
+        let start = offsets[victim] as usize;
+        let end = offsets[victim + 1] as usize;
+        let wal = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let pos = start + (flip_pos_seed as usize) % (end - start);
+        bytes[pos] ^= 0x01;
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let (names, last_seq, truncated) = recovered_names(&dir);
+        prop_assert!(truncated);
+        prop_assert_eq!(names, expected_names(victim));
+        prop_assert_eq!(last_seq, victim as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Appending garbage after a valid log loses only the garbage.
+#[test]
+fn garbage_tail_after_valid_records_is_cut() {
+    let dir = tmp_dir("garbage");
+    let offsets = build_wal(&dir, 2);
+    let wal = dir.join(WAL_FILE);
+    let mut f = OpenOptions::new().append(true).open(&wal).unwrap();
+    use std::io::Write as _;
+    f.write_all(b"\x99\x07garbage that is not a frame").unwrap();
+    drop(f);
+    let (names, last_seq, truncated) = recovered_names(&dir);
+    assert!(truncated);
+    assert_eq!(names, expected_names(2));
+    assert_eq!(last_seq, 2);
+    assert_eq!(
+        std::fs::metadata(&wal).unwrap().len(),
+        offsets[2],
+        "file cut back to the last valid frame"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -16,7 +16,7 @@ use ipe::gen::{generate_schema, GenConfig};
 use ipe::oodb::fixtures::university_db;
 use ipe::parser::parse_path_expression;
 use ipe::schema::{dot, Schema};
-use ipe::service::{Server, ServiceConfig};
+use ipe::service::{FsyncPolicy, Server, ServiceConfig};
 use std::process::ExitCode;
 
 /// The explicit subcommand names.
@@ -42,6 +42,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--batch-threads",
     "--threads",
     "--deadline-ms",
+    "--data-dir",
+    "--fsync",
+    "--snapshot-every",
 ];
 
 /// Resolves the subcommand by scanning *past* flags, so global flags
@@ -117,7 +120,8 @@ const USAGE: &str = "usage:
   ipe serve    [--schema FILE | --fixture NAME] [--addr HOST:PORT]
                [--workers N] [--queue-depth N] [--timeout-ms N]
                [--cache-capacity N] [--cache-shards N] [--batch-threads N]
-               [--report FILE]
+               [--data-dir DIR] [--fsync always|interval[:MS]|never]
+               [--snapshot-every N] [--report FILE]
   ipe batch    [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]...
                [--threads N] [--deadline-ms N] FILE
 
@@ -129,10 +133,14 @@ builds with the `obs-off` feature.
 `serve` starts the resident disambiguation server (default address
 127.0.0.1:7474, port 0 picks an ephemeral port) with the chosen schema
 registered as `default`. It serves POST /v1/complete, GET /v1/schemas,
-PUT /v1/schemas/:name, GET /healthz, GET /metrics, and POST /v1/shutdown,
+GET/PUT/DELETE /v1/schemas/:name, GET /healthz, GET /metrics, and
+POST /v1/shutdown,
 memoizing completions in a sharded LRU cache invalidated by schema
 hot-swaps. With --report FILE, the final /metrics report is written there
-on clean shutdown.
+on clean shutdown. With --data-dir DIR, registry changes are written
+through to a checksummed WAL (fsynced per --fsync, compacted into a
+snapshot every --snapshot-every records) and recovered on restart; a
+best-effort warmup journal pre-warms the completion cache.
 
 `batch` reads one path expression per line from FILE (`-` for stdin;
 blank lines and `#` comments are skipped) and completes them in parallel
@@ -161,6 +169,9 @@ struct Opts {
     batch_threads: usize,
     threads: usize,
     deadline_ms: u64,
+    data_dir: Option<String>,
+    fsync: FsyncPolicy,
+    snapshot_every: u64,
     positional: Vec<String>,
 }
 
@@ -184,6 +195,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut batch_threads = service_defaults.batch_threads;
     let mut threads = 4usize;
     let mut deadline_ms = 2_000u64;
+    let mut data_dir = None;
+    let mut fsync = service_defaults.fsync;
+    let mut snapshot_every = service_defaults.snapshot_every;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -251,6 +265,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--deadline-ms must be a number")?
             }
+            "--data-dir" => data_dir = Some(grab("--data-dir")?),
+            "--fsync" => fsync = FsyncPolicy::parse(&grab("--fsync")?)?,
+            "--snapshot-every" => {
+                snapshot_every = grab("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every must be a number")?
+            }
             other => positional.push(other.to_owned()),
         }
     }
@@ -284,6 +305,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         batch_threads,
         threads,
         deadline_ms,
+        data_dir,
+        fsync,
+        snapshot_every,
         positional,
     })
 }
@@ -439,9 +463,29 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         cache_capacity: opts.cache_capacity,
         cache_shards: opts.cache_shards,
         batch_threads: opts.batch_threads,
+        data_dir: opts.data_dir.clone().map(std::path::PathBuf::from),
+        fsync: opts.fsync,
+        snapshot_every: opts.snapshot_every,
+        ..Default::default()
     };
-    let server = Server::start(config).map_err(|e| format!("cannot bind {}: {e}", opts.addr))?;
-    server.state().registry.insert("default", opts.schema);
+    let server =
+        Server::start(config).map_err(|e| format!("cannot start on {}: {e}", opts.addr))?;
+    // A recovered data directory may already hold `default` (possibly a
+    // hot-swapped generation); re-inserting would bump its generation and
+    // write a WAL record on every restart, so only seed it when absent.
+    match server.state().registry.get("default") {
+        None => {
+            let json = opts.schema.to_json();
+            server
+                .state()
+                .register_schema("default", opts.schema, &json)
+                .map_err(|e| format!("cannot persist default schema: {e}"))?;
+        }
+        Some(entry) => println!(
+            "(default schema recovered from data dir at generation {})",
+            entry.generation
+        ),
+    }
     // The address on its own line, so scripts can scrape the ephemeral
     // port (stdout is line-buffered even when piped).
     println!("ipe-service listening on http://{}", server.addr());
@@ -451,7 +495,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     println!(
         "endpoints: POST /v1/complete  POST /v1/complete/batch  GET /v1/schemas  \
-         PUT /v1/schemas/:name  GET /healthz  GET /metrics  POST /v1/shutdown"
+         GET/PUT/DELETE /v1/schemas/:name  GET /healthz  GET /metrics  POST /v1/shutdown"
     );
     let state = std::sync::Arc::clone(server.state());
     server.join();

@@ -20,7 +20,7 @@ fn global_flags_before_serve_dispatch_to_serve() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("cannot bind"),
+        stderr.contains("cannot start on"),
         "expected the serve bind error, got: {stderr}"
     );
 }
