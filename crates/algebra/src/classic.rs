@@ -16,6 +16,8 @@ pub struct ShortestPath;
 impl PathAlgebra for ShortestPath {
     type Label = u64;
 
+    const DISTRIBUTIVE: bool = true;
+
     fn identity(&self) -> u64 {
         0
     }
@@ -55,6 +57,8 @@ impl Prob {
 impl PathAlgebra for MostReliable {
     type Label = Prob;
 
+    const DISTRIBUTIVE: bool = true;
+
     fn identity(&self) -> Prob {
         Prob(1.0)
     }
@@ -75,6 +79,8 @@ pub struct WidestPath;
 
 impl PathAlgebra for WidestPath {
     type Label = u64;
+
+    const DISTRIBUTIVE: bool = true;
 
     fn identity(&self) -> u64 {
         u64::MAX

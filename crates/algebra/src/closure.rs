@@ -27,7 +27,31 @@ use ipe_graph::{DiGraph, Edge, EdgeId, NodeId};
 /// algebra is distributive** (for non-distributive algebras such as the
 /// Moose algebra the result may under-approximate; see module docs).
 /// The diagonal holds `{Θ}`.
+///
+/// In debug builds this asserts [`PathAlgebra::DISTRIBUTIVE`], so calling
+/// it with the Moose algebra panics instead of silently losing answers —
+/// use [`all_pairs_traversal`] there, or
+/// [`all_pairs_floyd_unchecked`] if the under-approximation is deliberate
+/// (e.g. to demonstrate the divergence).
 pub fn all_pairs_floyd<N, Ed, A: PathAlgebra>(
+    graph: &DiGraph<N, Ed>,
+    algebra: &A,
+    edge_label: impl Fn(EdgeId, &Edge<Ed>) -> A::Label,
+) -> Vec<Vec<Vec<A::Label>>> {
+    debug_assert!(
+        A::DISTRIBUTIVE,
+        "all_pairs_floyd requires a distributive algebra; \
+         use all_pairs_traversal (or all_pairs_floyd_unchecked) instead"
+    );
+    all_pairs_floyd_unchecked(graph, algebra, edge_label)
+}
+
+/// [`all_pairs_floyd`] without the distributivity guard: for
+/// non-distributive algebras the result may under-approximate the true
+/// closure (drop incomparable optima), which is exactly the failure mode
+/// the caution-set machinery exists to compensate for. Only call this when
+/// that loss is acceptable or intentionally under study.
+pub fn all_pairs_floyd_unchecked<N, Ed, A: PathAlgebra>(
     graph: &DiGraph<N, Ed>,
     algebra: &A,
     edge_label: impl Fn(EdgeId, &Edge<Ed>) -> A::Label,
@@ -152,6 +176,59 @@ mod tests {
         let g = grid();
         let f = all_pairs_floyd(&g, &ShortestPath, |_, e| e.weight);
         assert_eq!(between::<ShortestPath>(&f, NodeId(0), NodeId(3)), &[2][..]);
+    }
+
+    /// A fixture where the direct (Floyd) closure diverges from the
+    /// traversal closure under the Moose algebra: the intermediate sweep
+    /// aggregates away a Shares-SubParts prefix before the rest of the
+    /// path exists, exactly the non-distributivity the caution sets
+    /// compensate for.
+    ///
+    /// Nodes X, M, Y, Z with X $> M, M <$ Y, X . Y, Y <$ Z. The true
+    /// optimum X → Z is `[.SB, 2]` via X$>M<$Y<$Z, but Floyd's k=M sweep
+    /// collapses X → Y to the dominating `[.., 1]` association before
+    /// Y <$ Z is considered, leaving only the dominated `[.?, 2]`-family
+    /// indirect association.
+    fn divergence_fixture() -> (DiGraph<(), RelKind>, [NodeId; 4]) {
+        use RelKind::*;
+        let mut g: DiGraph<(), RelKind> = DiGraph::new();
+        let x = g.add_node(());
+        let m = g.add_node(());
+        let y = g.add_node(());
+        let z = g.add_node(());
+        g.add_edge(x, m, HasPart);
+        g.add_edge(m, y, IsPartOf);
+        g.add_edge(x, y, Assoc);
+        g.add_edge(y, z, IsPartOf);
+        (g, [x, m, y, z])
+    }
+
+    use crate::moose::{Connector, Label, MooseAlgebra, RelKind};
+
+    #[test]
+    fn floyd_under_approximates_the_moose_closure() {
+        let (g, [x, _, _, z]) = divergence_fixture();
+        let a = MooseAlgebra;
+        let edge_label = |_: EdgeId, e: &Edge<RelKind>| Label::single(e.weight);
+        let truth = all_pairs_traversal(&g, &a, edge_label);
+        let direct = all_pairs_floyd_unchecked(&g, &a, edge_label);
+        let best = &truth[x.index()][z.index()];
+        assert_eq!(best.len(), 1);
+        assert_eq!(best[0].connector, Connector::SHARES_SUB);
+        assert_eq!(best[0].semlen, 2);
+        let lost = &direct[x.index()][z.index()];
+        assert!(
+            lost.iter().all(|l| l.connector == Connector::INDIRECT),
+            "Floyd must have aggregated away the Shares-SubParts optimum, got {lost:?}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "distributive")]
+    fn floyd_rejects_non_distributive_algebras_in_debug() {
+        let (g, _) = divergence_fixture();
+        let _ = all_pairs_floyd(&g, &MooseAlgebra, |_, e| Label::single(e.weight));
     }
 
     /// On cyclic graphs with nonnegative weights, Floyd and the traversal

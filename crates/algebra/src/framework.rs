@@ -20,6 +20,13 @@ pub trait PathAlgebra {
     /// The label type. Labels are small values copied freely by the solvers.
     type Label: Clone + PartialEq + Debug;
 
+    /// Whether CON distributes over AGG (Carré's property 6). Direct
+    /// closure algorithms ([`crate::closure::all_pairs_floyd`]) are only
+    /// sound when this holds; non-distributive algebras (the Moose algebra,
+    /// whose AGG does not distribute over CON — the reason the paper needs
+    /// caution sets) must use traversal-based closure instead.
+    const DISTRIBUTIVE: bool;
+
     /// The identity `Θ` of CON: the label of the empty path.
     fn identity(&self) -> Self::Label;
 

@@ -17,6 +17,10 @@ pub struct MooseAlgebra;
 impl PathAlgebra for MooseAlgebra {
     type Label = Label;
 
+    // AGG does not distribute over CON (the motivation for caution sets,
+    // Section 4.1), so direct closure algorithms under-approximate.
+    const DISTRIBUTIVE: bool = false;
+
     fn identity(&self) -> Label {
         Label::IDENTITY
     }

@@ -109,7 +109,13 @@ impl Label {
 
 /// Semantic-length interaction at the junction of two paths; see
 /// [`Label::con`].
-fn junction_adjust(last: RelKind, first: RelKind) -> i32 {
+///
+/// Public so per-edge lower-bound computations (the `ipe-index` closure
+/// tables) can reproduce the compositional semantic length exactly. Note
+/// the `-1` case only ever fires between two runs that each contribute at
+/// least 1, so a per-step increment `semlen(g) + junction_adjust(g, f)`
+/// is never negative.
+pub fn junction_adjust(last: RelKind, first: RelKind) -> i32 {
     use RelKind::*;
     match (last, first) {
         (HasPart, HasPart) | (IsPartOf, IsPartOf) => -1,

@@ -27,4 +27,4 @@ pub use agg::{agg_star, agg_star_into, better, dominates, incomparable, rank, su
 pub use algebra::MooseAlgebra;
 pub use con::{caution_connectors, compose, future_rank_dominates_weakly, in_caution_set};
 pub use connector::{Base, Connector, RelKind};
-pub use label::{semantic_length_of_kinds, Label};
+pub use label::{junction_adjust, semantic_length_of_kinds, Label};

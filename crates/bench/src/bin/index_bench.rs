@@ -1,0 +1,151 @@
+//! Index-guided search vs cold Algorithm-2 DFS (an extension beyond the
+//! paper's evaluation): for each schema size, build the closure index
+//! once, run the same workload with and without it, and compare node
+//! expansions. The completion sets must be *identical* — the index only
+//! reorders and prunes work the bounds prove fruitless — and the headline
+//! number is the expansion reduction, asserted to be at least
+//! [`MIN_SPEEDUP_X`] in aggregate.
+//!
+//! Also records what the index costs: one-off build time per schema size,
+//! so the break-even point (a handful of queries) is visible next to the
+//! per-query savings.
+//!
+//! Writes `BENCH_index.json` (see `ipe_bench::write_run_report_with_stats`).
+//! `--smoke` runs the same correctness assertions on the two smaller
+//! sizes only, in well under a second.
+
+use ipe_bench::write_run_report_with_stats;
+use ipe_core::{Completer, CompletionConfig};
+use ipe_gen::{generate_schema, generate_workload, GenConfig, WorkloadConfig};
+use ipe_index::{IndexMode, IndexedSchema, SearchIndex};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Minimum aggregate node-expansion reduction (plain / indexed) the run
+/// must demonstrate.
+const MIN_SPEEDUP_X: f64 = 2.0;
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed: u64 = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(ipe_bench::DEFAULT_SEED);
+    let sizes: &[usize] = if smoke { &[23, 46] } else { &[23, 46, 92, 184] };
+    let queries = if smoke { 6 } else { 12 };
+    println!("Index-guided search vs cold DFS (E=1, Safe pruning)\n");
+
+    let mut rows = Vec::new();
+    let mut stats: Vec<(String, u64)> = Vec::new();
+    let mut total_plain = 0u64;
+    let mut total_indexed = 0u64;
+    for &classes in sizes {
+        let gen = generate_schema(&GenConfig {
+            classes,
+            tree_roots: 3,
+            assoc_edges: classes / 8,
+            hubs: 2,
+            hub_degree: classes / 9,
+            seed,
+            ..GenConfig::default()
+        });
+        let workload = generate_workload(
+            &gen,
+            &WorkloadConfig {
+                queries,
+                walk_len: (3, (classes / 8).clamp(4, 14)),
+                min_answer_len: 3,
+                seed: seed + 1,
+                ..Default::default()
+            },
+        );
+
+        let build_start = Instant::now();
+        let index: SearchIndex = Arc::new(IndexedSchema::build(&gen.schema, IndexMode::On));
+        let build_us = build_start.elapsed().as_micros() as u64;
+
+        let plain = Completer::with_config(&gen.schema, CompletionConfig::default());
+        let mut indexed = Completer::with_config(&gen.schema, CompletionConfig::default());
+        assert!(indexed.attach_index(index), "fresh index must fit");
+
+        let mut plain_calls = 0u64;
+        let mut indexed_calls = 0u64;
+        let mut plain_ms = 0.0f64;
+        let mut indexed_ms = 0.0f64;
+        for q in &workload {
+            let ast = q.ast();
+            let start = Instant::now();
+            let cold = plain.complete_with_stats(&ast).expect("plain search");
+            plain_ms += start.elapsed().as_secs_f64() * 1e3;
+            let start = Instant::now();
+            let guided = indexed.complete_with_stats(&ast).expect("indexed search");
+            indexed_ms += start.elapsed().as_secs_f64() * 1e3;
+            let render = |o: &ipe_core::SearchOutcome| -> Vec<String> {
+                o.completions
+                    .iter()
+                    .map(|c| c.display(&gen.schema).to_string())
+                    .collect()
+            };
+            assert_eq!(
+                render(&cold),
+                render(&guided),
+                "completion sets diverged on `{}` ({classes} classes)",
+                q.expr
+            );
+            plain_calls += cold.stats.calls;
+            indexed_calls += guided.stats.calls;
+        }
+        total_plain += plain_calls;
+        total_indexed += indexed_calls;
+        let ratio = plain_calls as f64 / indexed_calls.max(1) as f64;
+        rows.push(vec![
+            classes.to_string(),
+            gen.schema.rel_count().to_string(),
+            format!("{:.1} ms", build_us as f64 / 1e3),
+            format!("{plain_calls} ({plain_ms:.1} ms)"),
+            format!("{indexed_calls} ({indexed_ms:.1} ms)"),
+            format!("{ratio:.1}x"),
+        ]);
+        stats.push((format!("build_us_{classes}"), build_us));
+        stats.push((format!("plain_calls_{classes}"), plain_calls));
+        stats.push((format!("indexed_calls_{classes}"), indexed_calls));
+    }
+    print!(
+        "{}",
+        ipe_metrics::table::render(
+            &[
+                "classes",
+                "rels",
+                "index build",
+                "cold DFS calls",
+                "indexed calls",
+                "reduction",
+            ],
+            &rows
+        )
+    );
+    let overall = total_plain as f64 / total_indexed.max(1) as f64;
+    println!("\noverall expansion reduction: {overall:.1}x (identical completion sets)");
+    assert!(
+        overall >= MIN_SPEEDUP_X,
+        "index must cut node expansions at least {MIN_SPEEDUP_X}x, got {overall:.2}x \
+         ({total_plain} -> {total_indexed})"
+    );
+
+    stats.push(("total_plain_calls".to_owned(), total_plain));
+    stats.push(("total_indexed_calls".to_owned(), total_indexed));
+    stats.push(("reduction_pct".to_owned(), (overall * 100.0) as u64));
+    let stat_refs: Vec<(&str, u64)> = stats.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    write_run_report_with_stats(
+        "index",
+        &[
+            ("seed", &seed.to_string()),
+            ("smoke", if smoke { "true" } else { "false" }),
+            ("queries_per_size", &queries.to_string()),
+        ],
+        &stat_refs,
+    );
+    ExitCode::SUCCESS
+}

@@ -12,9 +12,11 @@ use ipe_algebra::moose::{
     agg_star, agg_star_into, future_rank_dominates_weakly, in_caution_set, rank, survives_agg_star,
     Label,
 };
+use ipe_index::{GoalTable, SearchIndex};
 use ipe_obs::{EventKind, SearchTrace};
 use ipe_parser::PathExprAst;
 use ipe_schema::{ClassId, RelId, Schema, Symbol};
+use std::sync::Arc;
 
 /// Counters describing one completion run, mirroring the paper's Section
 /// 5.4 measurements (each recursive call "corresponds to an exploration of
@@ -37,6 +39,15 @@ pub struct SearchStats {
     pub caution_overrides: u64,
     /// Expansions skipped by the depth guard.
     pub depth_limited: u64,
+    /// Expansions skipped because the index proved the target name
+    /// unreachable from the edge's target class.
+    pub pruned_index_unreachable: u64,
+    /// Expansions skipped because the index lower bound proved every
+    /// completion through the edge AGG*-dominated.
+    pub pruned_index_bound: u64,
+    /// Whole `~` segments rejected before any expansion because the index
+    /// proved the anchor cannot reach the target name.
+    pub index_segment_rejections: u64,
     /// Complete candidate paths recorded.
     pub completions_recorded: u64,
 }
@@ -50,6 +61,9 @@ impl SearchStats {
         self.pruned_best_u += other.pruned_best_u;
         self.caution_overrides += other.caution_overrides;
         self.depth_limited += other.depth_limited;
+        self.pruned_index_unreachable += other.pruned_index_unreachable;
+        self.pruned_index_bound += other.pruned_index_bound;
+        self.index_segment_rejections += other.index_segment_rejections;
         self.completions_recorded += other.completions_recorded;
     }
 }
@@ -84,6 +98,7 @@ pub struct Completer<'s> {
     config: CompletionConfig,
     sorted_out: Vec<Vec<RelId>>,
     excluded: Vec<bool>,
+    index: Option<SearchIndex>,
 }
 
 impl<'s> Completer<'s> {
@@ -118,7 +133,29 @@ impl<'s> Completer<'s> {
             config,
             sorted_out,
             excluded,
+            index: None,
         }
+    }
+
+    /// Attaches a precomputed [`SearchIndex`] built from this engine's
+    /// schema. The index is used to reject unreachable `~` segments, cut
+    /// provably dominated subtrees, and order successor expansion
+    /// best-bound-first — without changing the completion sets or their
+    /// ranks. Returns `false` (and leaves the engine unindexed) when the
+    /// index does not structurally match the schema, e.g. a stale index
+    /// from an earlier schema generation.
+    pub fn attach_index(&mut self, index: SearchIndex) -> bool {
+        if !index.matches(self.schema) {
+            ipe_obs::counter!("core.index.attach_rejected", 1);
+            return false;
+        }
+        self.index = Some(index);
+        true
+    }
+
+    /// The attached search index, if any.
+    pub fn index(&self) -> Option<&SearchIndex> {
+        self.index.as_ref()
     }
 
     /// The schema this engine runs on.
@@ -267,7 +304,9 @@ impl<'s> Completer<'s> {
         search.trace = trace.take();
         search.limits = limits.clone();
         let mut path_buf = Vec::new();
-        let r = {
+        let r = if search.anchor_unreachable(anchor) {
+            Ok(())
+        } else {
             let _t = ipe_obs::timer!("core.phase.search");
             search.traverse(anchor, prefix.label, &mut on_path, &mut path_buf)
         };
@@ -332,24 +371,39 @@ impl<'s> Completer<'s> {
             }
         }
         found.retain(|c| keep.contains(&c.label));
+        // The final `edges` tiebreaker makes the output independent of the
+        // order completions were discovered in, so index-guided expansion
+        // reordering cannot change the result among full quality ties.
         if self.config.prefer_specific {
             // Deeper final-edge source class (more ancestors) first among
             // otherwise equal keys.
-            found.sort_by_key(|c| {
-                let specificity = c
-                    .edges
+            let specificity = |c: &Completion| {
+                c.edges
                     .last()
                     .map(|&e| self.schema.ancestors(self.schema.rel(e).source).len())
-                    .unwrap_or(0);
+                    .unwrap_or(0)
+            };
+            found.sort_by(|a, b| {
                 (
-                    rank(c.label.connector),
-                    c.label.semlen,
-                    std::cmp::Reverse(specificity),
-                    c.edges.len(),
+                    rank(a.label.connector),
+                    a.label.semlen,
+                    std::cmp::Reverse(specificity(a)),
+                    a.edges.len(),
                 )
+                    .cmp(&(
+                        rank(b.label.connector),
+                        b.label.semlen,
+                        std::cmp::Reverse(specificity(b)),
+                        b.edges.len(),
+                    ))
+                    .then_with(|| a.edges.cmp(&b.edges))
             });
         } else {
-            found.sort_by_key(|c| (rank(c.label.connector), c.label.semlen, c.edges.len()));
+            found.sort_by(|a, b| {
+                (rank(a.label.connector), a.label.semlen, a.edges.len())
+                    .cmp(&(rank(b.label.connector), b.label.semlen, b.edges.len()))
+                    .then_with(|| a.edges.cmp(&b.edges))
+            });
         }
         SearchOutcome {
             completions: found,
@@ -377,10 +431,19 @@ pub(crate) struct SegmentSearch<'c, 's> {
     /// Per-run deadline/cancellation, polled every
     /// [`LIMIT_CHECK_INTERVAL`] node expansions; unlimited by default.
     pub(crate) limits: SearchLimits,
+    /// Goal-directed lower bounds for `target_name`, present when the
+    /// engine has an attached index. Admissible by construction (bounds
+    /// over unrestricted walks, a superset of the simple paths the search
+    /// enumerates), so index pruning never changes the completion set.
+    goal: Option<Arc<GoalTable>>,
 }
 
 impl<'c, 's> SegmentSearch<'c, 's> {
     pub(crate) fn new(completer: &'c Completer<'s>, target_name: Symbol, record_all: bool) -> Self {
+        let goal = completer
+            .index
+            .as_ref()
+            .and_then(|ix| ix.goal(completer.schema, target_name));
         SegmentSearch {
             completer,
             target_name,
@@ -391,7 +454,30 @@ impl<'c, 's> SegmentSearch<'c, 's> {
             stats: SearchStats::default(),
             trace: SearchTrace::disabled(),
             limits: SearchLimits::default(),
+            goal,
         }
+    }
+
+    /// Rejects a segment before any expansion when the index proves no walk
+    /// from `anchor` ever reaches a `target_name` edge. Callers skip the
+    /// whole `traverse` on `true`. Sound in every mode: the goal table's
+    /// reachability closure covers all walks, hence all simple paths.
+    pub(crate) fn anchor_unreachable(&mut self, anchor: ClassId) -> bool {
+        let Some(goal) = &self.goal else {
+            return false;
+        };
+        if goal.reachable(anchor) {
+            return false;
+        }
+        self.stats.index_segment_rejections += 1;
+        ipe_obs::counter!("search.segments_rejected_by_index", 1);
+        self.trace.record(observe::ev(
+            EventKind::PruneIndex,
+            anchor,
+            &Label::IDENTITY,
+            0,
+        ));
+        true
     }
 
     /// Depth-first traversal from `v` carrying the label `l_v` of the path
@@ -456,8 +542,16 @@ impl<'c, 's> SegmentSearch<'c, 's> {
             }
         }
 
-        // Expansion pass.
-        for &rid in &self.completer.sorted_out[v.index()] {
+        // Expansion pass. With a goal table the successors are visited
+        // best-completion-bound first, so strong completions are found
+        // early and the branch-and-bound sets bite sooner; otherwise the
+        // engine's static per-class order is used.
+        let goal = self.goal.clone();
+        let out_order: &[RelId] = match &goal {
+            Some(g) => g.ordered_out(v),
+            None => &self.completer.sorted_out[v.index()],
+        };
+        for &rid in out_order {
             let rel = schema.rel(rid);
             let u = rel.target;
             self.stats.edges_considered += 1;
@@ -487,7 +581,51 @@ impl<'c, 's> SegmentSearch<'c, 's> {
                     .record(observe::ev(EventKind::DeadEnd, u, &l_v, path.len()));
                 continue;
             }
+            // Index reachability prune: when the closure proves no walk from
+            // u ever reaches a target-name edge, no simple path can either.
+            // Sound in every mode, including record_all.
+            if let Some(g) = &goal {
+                if !g.reachable(u) {
+                    self.stats.pruned_index_unreachable += 1;
+                    ipe_obs::counter!("search.expansions_pruned_by_index", 1);
+                    self.trace
+                        .record(observe::ev(EventKind::PruneIndex, u, &l_v, path.len()));
+                    continue;
+                }
+            }
             let l_u = l_v.extend(rel.kind);
+            // Index bound prune: the best completion through u has rank
+            // ≥ r̂ and semantic length ≥ ŝ (admissible walk-closure lower
+            // bounds), so if best[T] already AGG*-dominates every such
+            // future the subtree cannot contribute. Survivors of AGG* only
+            // strengthen over time, so a label that is hopeless now stays
+            // hopeless; skipped subtrees therefore never held a kept
+            // completion. Disabled when recording all completions or when
+            // pruning is off, where dominated paths must still be emitted.
+            if !self.record_all && cfg.pruning != Pruning::None {
+                if let Some(g) = &goal {
+                    if let (Some(r_hat), Some(s_hat)) = (
+                        g.best_rank_from(Some(l_u.connector), u),
+                        g.best_semlen_from(l_u.semlen, l_u.last, u),
+                    ) {
+                        let cut = self.best_t.iter().any(|b| rank(b.connector) < r_hat)
+                            || blocked(&self.best_t, cfg.e, |b| {
+                                rank(b.connector) <= r_hat && b.semlen < s_hat
+                            });
+                        if cut {
+                            self.stats.pruned_index_bound += 1;
+                            ipe_obs::counter!("search.expansions_pruned_by_index", 1);
+                            self.trace.record(observe::ev(
+                                EventKind::PruneIndex,
+                                u,
+                                &l_u,
+                                path.len(),
+                            ));
+                            continue;
+                        }
+                    }
+                }
+            }
             if !self.should_explore(&l_u, u, path.len()) {
                 continue;
             }

@@ -131,7 +131,11 @@ impl Driver<'_, '_> {
                 search.trace = self.trace.take();
                 search.limits = self.limits.clone();
                 let mut seg_edges = Vec::new();
-                let r = search.traverse(class, label, on_path, &mut seg_edges);
+                let r = if search.anchor_unreachable(class) {
+                    Ok(())
+                } else {
+                    search.traverse(class, label, on_path, &mut seg_edges)
+                };
                 on_path[class.index()] = true;
                 self.stats.absorb(search.stats);
                 self.trace = search.trace.take();

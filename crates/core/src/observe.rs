@@ -82,6 +82,15 @@ pub fn build_report(
         .stat("pruned_best_u", outcome.stats.pruned_best_u)
         .stat("caution_overrides", outcome.stats.caution_overrides)
         .stat("depth_limited", outcome.stats.depth_limited)
+        .stat(
+            "pruned_index_unreachable",
+            outcome.stats.pruned_index_unreachable,
+        )
+        .stat("pruned_index_bound", outcome.stats.pruned_index_bound)
+        .stat(
+            "index_segment_rejections",
+            outcome.stats.index_segment_rejections,
+        )
         .stat("completions_recorded", outcome.stats.completions_recorded)
         .capture_metrics()
         .set_trace(trace_to_views(schema, trace), trace.dropped());

@@ -1,0 +1,294 @@
+//! Equivalence and admissibility of index-guided search.
+//!
+//! The index must be invisible in results: for any schema, query, pruning
+//! mode, and `E`, the indexed engine returns exactly the unindexed engine's
+//! completions in the same order. Its lower bounds must be admissible —
+//! never above the true values of any completion the exhaustive oracle
+//! enumerates — which is what makes the index prunes lossless even though
+//! the Moose algebra is non-distributive.
+
+use ipe_algebra::moose::{rank, Label};
+use ipe_core::{exhaustive, Completer, CompletionConfig, Pruning};
+use ipe_gen::{generate_schema, generate_workload, GenConfig, WorkloadConfig};
+use ipe_index::{IndexMode, IndexedSchema, SearchIndex};
+use ipe_parser::parse_path_expression;
+use ipe_schema::{fixtures, Schema};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A schema small enough for exhaustive enumeration but with the same
+/// structural features as the CUPID calibration (part-whole tree, `Isa`
+/// towers, associations, a hub).
+fn small_gen(seed: u64) -> GenConfig {
+    GenConfig {
+        classes: 24,
+        tree_roots: 2,
+        assoc_edges: 3,
+        hubs: 1,
+        hub_degree: 5,
+        seed,
+        ..GenConfig::default()
+    }
+}
+
+fn displays(schema: &Schema, engine: &Completer, expr: &str) -> Result<Vec<String>, String> {
+    let ast = parse_path_expression(expr).map_err(|e| e.to_string())?;
+    engine
+        .complete(&ast)
+        .map(|out| out.iter().map(|c| c.display(schema).to_string()).collect())
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn indexed_and_unindexed_agree_on_university() {
+    let schema = fixtures::university();
+    let index: SearchIndex = Arc::new(IndexedSchema::build(&schema, IndexMode::On));
+    let exprs = [
+        "ta~name",
+        "student~name",
+        "department~take",
+        "university~professor",
+        "course~name",
+        "department~teach.name",
+        "university~student~name",
+        "ta~take~name",
+        "department.student~name",
+    ];
+    // PaperNoCaution is deliberately excluded: the ablation mode is
+    // unsound (it loses answers when distributivity fails), so its output
+    // depends on exploration order — see
+    // `index_ordering_can_rescue_the_no_caution_ablation`.
+    for pruning in [Pruning::Safe, Pruning::Paper, Pruning::None] {
+        for e in 1..=3 {
+            for prefer_specific in [false, true] {
+                let cfg = CompletionConfig {
+                    e,
+                    pruning,
+                    prefer_specific,
+                    ..Default::default()
+                };
+                let plain = Completer::with_config(&schema, cfg.clone());
+                let mut indexed = Completer::with_config(&schema, cfg);
+                assert!(indexed.attach_index(Arc::clone(&index)));
+                for expr in exprs {
+                    assert_eq!(
+                        displays(&schema, &plain, expr),
+                        displays(&schema, &indexed, expr),
+                        "pruning={pruning:?} e={e} prefer_specific={prefer_specific} {expr}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The no-caution ablation loses answers by design; which answers it loses
+/// depends on exploration order. The index's best-bound-first ordering
+/// finds the true optimum of `department~take` before the lossy prune can
+/// discard its prefix, while the static order loses it — a concrete
+/// demonstration of both why the paper needs caution sets and why the
+/// equality guarantee is stated for sound pruning modes only.
+#[test]
+fn index_ordering_can_rescue_the_no_caution_ablation() {
+    let schema = fixtures::university();
+    let index: SearchIndex = Arc::new(IndexedSchema::build(&schema, IndexMode::On));
+    let truth = displays(&schema, &Completer::new(&schema), "department~take").unwrap();
+    assert_eq!(truth, vec!["department.student.take".to_string()]);
+
+    let cfg = CompletionConfig {
+        pruning: Pruning::PaperNoCaution,
+        ..Default::default()
+    };
+    let plain = Completer::with_config(&schema, cfg.clone());
+    let mut indexed = Completer::with_config(&schema, cfg);
+    assert!(indexed.attach_index(Arc::clone(&index)));
+    assert_ne!(
+        displays(&schema, &plain, "department~take").unwrap(),
+        truth,
+        "the ablation under static order is expected to lose the optimum \
+         (if this starts passing, the fixture no longer exercises the \
+         distributivity failure)"
+    );
+    assert_eq!(
+        displays(&schema, &indexed, "department~take").unwrap(),
+        truth
+    );
+}
+
+#[test]
+fn indexed_and_unindexed_agree_with_exclusions() {
+    // The index is built without knowledge of excluded classes; its bounds
+    // are then merely more optimistic, so results must still agree.
+    let schema = fixtures::university();
+    let index: SearchIndex = Arc::new(IndexedSchema::build(&schema, IndexMode::On));
+    let cfg = CompletionConfig {
+        e: 2,
+        excluded_classes: vec![schema.class_named("grad").unwrap()],
+        ..Default::default()
+    };
+    let plain = Completer::with_config(&schema, cfg.clone());
+    let mut indexed = Completer::with_config(&schema, cfg);
+    assert!(indexed.attach_index(Arc::clone(&index)));
+    for expr in ["ta~name", "university~student~name"] {
+        assert_eq!(
+            displays(&schema, &plain, expr),
+            displays(&schema, &indexed, expr),
+            "{expr}"
+        );
+    }
+}
+
+#[test]
+fn stale_index_is_rejected_by_attach() {
+    let schema = fixtures::university();
+    let other = generate_schema(&small_gen(7)).schema;
+    let stale: SearchIndex = Arc::new(IndexedSchema::build(&other, IndexMode::Off));
+    let mut engine = Completer::new(&schema);
+    assert!(!engine.attach_index(stale));
+    assert!(engine.index().is_none());
+}
+
+#[test]
+fn indexed_and_unindexed_agree_on_generated_schemas() {
+    for seed in 0..4u64 {
+        let gen = generate_schema(&small_gen(seed));
+        let schema = &gen.schema;
+        let index: SearchIndex = Arc::new(IndexedSchema::build(schema, IndexMode::Lazy));
+        let workload = generate_workload(
+            &gen,
+            &WorkloadConfig {
+                queries: 6,
+                seed: seed + 100,
+                ..Default::default()
+            },
+        );
+        for pruning in [Pruning::Safe, Pruning::Paper] {
+            for e in [1usize, 2] {
+                let cfg = CompletionConfig {
+                    e,
+                    pruning,
+                    ..Default::default()
+                };
+                let plain = Completer::with_config(schema, cfg.clone());
+                let mut indexed = Completer::with_config(schema, cfg);
+                assert!(indexed.attach_index(Arc::clone(&index)));
+                let (mut plain_calls, mut indexed_calls) = (0u64, 0u64);
+                for q in &workload {
+                    let ast = q.ast();
+                    let a = plain.complete_with_stats(&ast).unwrap();
+                    let b = indexed.complete_with_stats(&ast).unwrap();
+                    let texts = |out: &[ipe_core::Completion]| -> Vec<String> {
+                        out.iter().map(|c| c.display(schema).to_string()).collect()
+                    };
+                    assert_eq!(
+                        texts(&a.completions),
+                        texts(&b.completions),
+                        "seed={seed} pruning={pruning:?} e={e} {}",
+                        q.expr
+                    );
+                    plain_calls += a.stats.calls;
+                    indexed_calls += b.stats.calls;
+                }
+                assert!(
+                    indexed_calls <= plain_calls,
+                    "index-guided search expanded more nodes overall \
+                     ({indexed_calls} vs {plain_calls}) seed={seed} \
+                     pruning={pruning:?} e={e}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every completion the exhaustive oracle enumerates respects the
+    /// index's lower bounds, at the root and at every interior prefix.
+    /// Admissibility is exactly the property the engine's index prunes
+    /// rely on.
+    #[test]
+    fn index_bounds_are_admissible(seed in 0u64..512) {
+        let gen = generate_schema(&small_gen(seed));
+        let schema = &gen.schema;
+        let index = IndexedSchema::build(schema, IndexMode::Off);
+        let cfg = CompletionConfig {
+            max_depth: 8,
+            ..Default::default()
+        };
+        let workload = generate_workload(
+            &gen,
+            &WorkloadConfig { queries: 4, seed: seed ^ 0x9e37, ..Default::default() },
+        );
+        for q in &workload {
+            let root = schema.class_named(&q.root).unwrap();
+            let Some(name) = schema.symbol(&q.target) else { continue };
+            let Some(goal) = index.goal(schema, name) else { continue };
+            let all = exhaustive::all_consistent(schema, root, &q.target, &cfg).unwrap();
+            for c in &all {
+                let full_rank = rank(c.label.connector);
+                let full_semlen = c.label.semlen;
+                let r0 = goal.best_rank_from(None, root).unwrap();
+                prop_assert!(r0 <= full_rank, "root rank bound {r0} > {full_rank}");
+                let s0 = goal.best_semlen_from(0, None, root).unwrap();
+                prop_assert!(s0 <= full_semlen, "root semlen bound {s0} > {full_semlen}");
+
+                let mut l = Label::IDENTITY;
+                for (i, &eid) in c.edges.iter().enumerate() {
+                    let rel = schema.rel(eid);
+                    l = l.extend(rel.kind);
+                    let at = rel.target;
+                    // The prefix is a walk root→at, so the pair matrices
+                    // must register it.
+                    prop_assert!(index.reachable(root, at));
+                    let walk_s = index.pair_min_semlen(root, at).unwrap();
+                    prop_assert!(
+                        walk_s <= l.semlen,
+                        "pair semlen bound {walk_s} > prefix semlen {} at edge {i}",
+                        l.semlen
+                    );
+                    if i + 1 < c.edges.len() {
+                        // The suffix completes the path from `at`, so the
+                        // goal-composed bounds must stay below the full
+                        // label.
+                        let rh = goal.best_rank_from(Some(l.connector), at).unwrap();
+                        prop_assert!(
+                            rh <= full_rank,
+                            "goal rank bound {rh} > {full_rank} at edge {i} of {}",
+                            q.expr
+                        );
+                        let sh = goal.best_semlen_from(l.semlen, l.last, at).unwrap();
+                        prop_assert!(
+                            sh <= full_semlen,
+                            "goal semlen bound {sh} > {full_semlen} at edge {i} of {}",
+                            q.expr
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index-guided completion equals unindexed completion on random
+    /// schemas and queries, for the default configuration.
+    #[test]
+    fn indexed_search_is_equivalent(seed in 0u64..512) {
+        let gen = generate_schema(&small_gen(seed));
+        let schema = &gen.schema;
+        let index: SearchIndex = Arc::new(IndexedSchema::build(schema, IndexMode::On));
+        let workload = generate_workload(
+            &gen,
+            &WorkloadConfig { queries: 4, seed: seed.wrapping_mul(31) + 5, ..Default::default() },
+        );
+        let plain = Completer::new(schema);
+        let mut indexed = Completer::new(schema);
+        prop_assert!(indexed.attach_index(Arc::clone(&index)));
+        for q in &workload {
+            prop_assert_eq!(
+                displays(schema, &plain, &q.expr),
+                displays(schema, &indexed, &q.expr),
+                "seed={} {}", seed, q.expr
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Dense connector tables: the 14 connectors of `Σ` packed into 16 slots
+//! so connector sets become `u16` bitmasks and `CON_c` composition becomes
+//! a table lookup.
+//!
+//! Slot layout: `base_index * 2 + possibly`. `Isa` and `May-Be` have no
+//! `Possibly` version, so slots 1 and 3 are permanently invalid.
+
+use ipe_algebra::moose::{compose, rank, Base, Connector, RelKind};
+use std::sync::OnceLock;
+
+/// Number of connector slots (8 bases × plain/possibly).
+pub(crate) const CONN_SLOTS: usize = 16;
+
+/// Sentinel for invalid table entries.
+pub(crate) const INVALID: u8 = u8::MAX;
+
+/// Position of a base connector in [`Base::ALL`] (the `CON_c` table order).
+pub(crate) fn base_index(b: Base) -> usize {
+    match b {
+        Base::Isa => 0,
+        Base::MayBe => 1,
+        Base::HasPart => 2,
+        Base::IsPartOf => 3,
+        Base::Assoc => 4,
+        Base::SharesSub => 5,
+        Base::SharesSuper => 6,
+        Base::IndirectAssoc => 7,
+    }
+}
+
+/// Slot of a connector in the dense tables.
+pub(crate) fn conn_index(c: Connector) -> usize {
+    base_index(c.base) * 2 + usize::from(c.possibly)
+}
+
+/// The connector stored in `slot`, if the slot is valid. Used by tests to
+/// verify the dense encoding round-trips.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn conn_at(slot: usize) -> Option<Connector> {
+    let base = *Base::ALL.get(slot / 2)?;
+    let possibly = slot % 2 == 1;
+    if possibly && !base.has_possibly() {
+        return None;
+    }
+    Some(Connector::new(base, possibly))
+}
+
+/// Position of a relationship kind in [`RelKind::ALL`].
+pub(crate) fn kind_index(k: RelKind) -> usize {
+    match k {
+        RelKind::Isa => 0,
+        RelKind::MayBe => 1,
+        RelKind::HasPart => 2,
+        RelKind::IsPartOf => 3,
+        RelKind::Assoc => 4,
+    }
+}
+
+/// Precomputed connector arithmetic, built once per process.
+pub(crate) struct ConnTables {
+    /// `rank_of[i]` = rank of the connector in slot `i` (`INVALID` for the
+    /// two unused slots).
+    pub rank_of: [u8; CONN_SLOTS],
+    /// `compose_idx[a][b]` = slot of `compose(conn(a), conn(b))`.
+    pub compose_idx: [[u8; CONN_SLOTS]; CONN_SLOTS],
+    /// `kind_conn[f]` = slot of `RelKind::ALL[f].connector()`.
+    pub kind_conn: [u8; 5],
+}
+
+/// The shared connector tables.
+pub(crate) fn tables() -> &'static ConnTables {
+    static TABLES: OnceLock<ConnTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = ConnTables {
+            rank_of: [INVALID; CONN_SLOTS],
+            compose_idx: [[INVALID; CONN_SLOTS]; CONN_SLOTS],
+            kind_conn: [0; 5],
+        };
+        for a in Connector::all() {
+            t.rank_of[conn_index(a)] = rank(a);
+            for b in Connector::all() {
+                t.compose_idx[conn_index(a)][conn_index(b)] = conn_index(compose(a, b)) as u8;
+            }
+        }
+        for (i, k) in RelKind::ALL.into_iter().enumerate() {
+            t.kind_conn[i] = conn_index(k.connector()) as u8;
+        }
+        t
+    })
+}
+
+/// Iterates the slots set in a connector bitmask.
+pub(crate) fn mask_bits(mask: u16) -> impl Iterator<Item = usize> {
+    let mut m = mask;
+    std::iter::from_fn(move || {
+        if m == 0 {
+            return None;
+        }
+        let i = m.trailing_zeros() as usize;
+        m &= m - 1;
+        Some(i)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_round_trip_all_fourteen_connectors() {
+        let mut seen = 0u16;
+        for c in Connector::all() {
+            let i = conn_index(c);
+            assert!(i < CONN_SLOTS);
+            assert_eq!(conn_at(i), Some(c));
+            seen |= 1 << i;
+        }
+        assert_eq!(seen.count_ones(), 14);
+        assert_eq!(conn_at(1), None, "Isa has no Possibly slot");
+        assert_eq!(conn_at(3), None, "May-Be has no Possibly slot");
+    }
+
+    #[test]
+    fn compose_table_matches_the_algebra() {
+        let t = tables();
+        for a in Connector::all() {
+            assert_eq!(t.rank_of[conn_index(a)], rank(a));
+            for b in Connector::all() {
+                let via_table =
+                    conn_at(t.compose_idx[conn_index(a)][conn_index(b)] as usize).unwrap();
+                assert_eq!(via_table, compose(a, b), "{a} ∘ {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kind_slots_match_primary_connectors() {
+        let t = tables();
+        for (i, k) in RelKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind_index(k), i);
+            assert_eq!(conn_at(t.kind_conn[i] as usize), Some(k.connector()));
+        }
+    }
+
+    #[test]
+    fn mask_bits_enumerates_set_bits() {
+        let bits: Vec<usize> = mask_bits(0b1010_0001).collect();
+        assert_eq!(bits, vec![0, 5, 7]);
+        assert_eq!(mask_bits(0).count(), 0);
+    }
+}

@@ -30,6 +30,9 @@ pub enum EventKind {
     InheritanceReject,
     /// A class with no outgoing relationships was not expanded.
     DeadEnd,
+    /// A subtree was cut by a precomputed index bound (unreachable target
+    /// or dominated best-case completion).
+    PruneIndex,
 }
 
 impl EventKind {
@@ -46,6 +49,7 @@ impl EventKind {
             EventKind::AggDominated => "agg_dominated",
             EventKind::InheritanceReject => "inheritance_reject",
             EventKind::DeadEnd => "dead_end",
+            EventKind::PruneIndex => "prune_index",
         }
     }
 }

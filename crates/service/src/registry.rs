@@ -6,10 +6,11 @@
 //! swaps the map slot under a short write lock. Requests already running
 //! against the old `Arc` finish on the schema version they started with.
 
+use ipe_index::SearchIndex;
 use ipe_schema::Schema;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// One registered schema version.
 #[derive(Debug)]
@@ -23,6 +24,41 @@ pub struct SchemaEntry {
     pub generation: u64,
     /// The immutable schema itself.
     pub schema: Arc<Schema>,
+    /// The search index for exactly this `(id, generation)`, installed by
+    /// a background build (or a sidecar load) after the entry is already
+    /// serving. Empty while the build runs — readers fall back to
+    /// unindexed search, so a PUT never blocks on indexing.
+    index: OnceLock<SearchIndex>,
+}
+
+impl SchemaEntry {
+    fn new(name: &str, id: u64, generation: u64, schema: Schema) -> SchemaEntry {
+        SchemaEntry {
+            name: name.to_owned(),
+            id,
+            generation,
+            schema: Arc::new(schema),
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The entry's search index, once a build (or sidecar load) finished.
+    pub fn index(&self) -> Option<SearchIndex> {
+        self.index.get().cloned()
+    }
+
+    /// Installs a built index. First writer wins (a sidecar load and a
+    /// concurrent background build may race benignly); returns whether
+    /// this call installed it. Indexes that don't structurally match the
+    /// schema are refused — a stale sidecar must degrade to a rebuild,
+    /// never serve wrong bounds.
+    pub fn set_index(&self, index: SearchIndex) -> bool {
+        if !index.matches(&self.schema) {
+            ipe_obs::counter!("service.index.mismatch_refused", 1);
+            return false;
+        }
+        self.index.set(index).is_ok()
+    }
 }
 
 /// Summary row for `GET /v1/schemas`.
@@ -62,12 +98,7 @@ impl SchemaRegistry {
             Some(old) => (old.id, old.generation + 1),
             None => (self.next_id.fetch_add(1, Ordering::Relaxed) + 1, 1),
         };
-        let entry = Arc::new(SchemaEntry {
-            name: name.to_owned(),
-            id,
-            generation,
-            schema: Arc::new(schema),
-        });
+        let entry = Arc::new(SchemaEntry::new(name, id, generation, schema));
         map.insert(name.to_owned(), entry.clone());
         entry
     }
@@ -85,12 +116,7 @@ impl SchemaRegistry {
         schema: Schema,
     ) -> Arc<SchemaEntry> {
         self.next_id.fetch_max(id, Ordering::Relaxed);
-        let entry = Arc::new(SchemaEntry {
-            name: name.to_owned(),
-            id,
-            generation,
-            schema: Arc::new(schema),
-        });
+        let entry = Arc::new(SchemaEntry::new(name, id, generation, schema));
         self.inner
             .write()
             .expect("registry poisoned")
@@ -190,6 +216,27 @@ mod tests {
         reg.reserve_ids(9);
         let fresh = reg.insert("x", fixtures::university());
         assert_eq!(fresh.id, 10);
+    }
+
+    #[test]
+    fn index_install_is_first_writer_wins_and_checks_fit() {
+        use ipe_index::{IndexMode, IndexedSchema};
+        let reg = SchemaRegistry::new();
+        let entry = reg.insert("uni", fixtures::university());
+        assert!(entry.index().is_none(), "no index before a build finishes");
+        // A structurally different schema's index is refused.
+        let wrong = Arc::new(IndexedSchema::build(&fixtures::assembly(), IndexMode::Off));
+        assert!(!entry.set_index(wrong));
+        assert!(entry.index().is_none());
+        let right = Arc::new(IndexedSchema::build(&entry.schema, IndexMode::Off));
+        assert!(entry.set_index(Arc::clone(&right)));
+        assert!(entry.index().is_some());
+        // Second install (e.g. a racing sidecar load) is a no-op.
+        let again = Arc::new(IndexedSchema::build(&entry.schema, IndexMode::Off));
+        assert!(!entry.set_index(again));
+        // A hot-swap starts over with an un-indexed entry.
+        let swapped = reg.insert("uni", fixtures::university());
+        assert!(swapped.index().is_none());
     }
 
     #[test]

@@ -18,9 +18,13 @@ use crate::registry::SchemaRegistry;
 use ipe_core::{
     complete_batch, BatchOptions, CompleteError, Completer, CompletionConfig, SearchOutcome,
 };
+use ipe_index::{IndexMode, IndexedSchema};
 use ipe_parser::{parse_path_expression, PathExprAst};
 use ipe_schema::Schema;
-use ipe_store::{read_warmup, write_warmup, FsyncPolicy, Store, StoreConfig, WarmupEntry};
+use ipe_store::{
+    read_sidecar, read_warmup, remove_sidecar, sidecar_path, write_sidecar, write_warmup,
+    FsyncPolicy, Store, StoreConfig, WarmupEntry,
+};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,6 +67,18 @@ pub struct ServiceConfig {
     /// How many hot cache keys the warmup journal keeps (0 disables
     /// warmup tracking and replay).
     pub warmup_top_k: usize,
+    /// Search-index policy. `On` builds every schema's index (all goal
+    /// tables eagerly) in the background after a PUT and at recovery;
+    /// `Lazy` builds the closure matrices in the background but grows
+    /// goal tables on first use; `Off` disables indexing entirely.
+    /// Completions issued while a build is still running are served
+    /// unindexed — a PUT never waits for indexing.
+    pub index_mode: IndexMode,
+    /// Artificial delay inserted before each background index build.
+    /// Testing knob: widens the build window so the build-in-progress
+    /// fallback path can be exercised deterministically. Zero in
+    /// production.
+    pub index_build_delay_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -79,6 +95,8 @@ impl Default for ServiceConfig {
             fsync: FsyncPolicy::Always,
             snapshot_every: 256,
             warmup_top_k: 64,
+            index_mode: IndexMode::On,
+            index_build_delay_ms: 0,
         }
     }
 }
@@ -164,6 +182,19 @@ pub struct ServiceState {
     rejected_total: AtomicU64,
     shutdown: AtomicBool,
     bound_addr: OnceLock<SocketAddr>,
+    /// Index policy (see [`ServiceConfig::index_mode`]).
+    index_mode: IndexMode,
+    index_build_delay_ms: u64,
+    /// Sidecar directory; `Some` iff the server is durable.
+    data_dir: Option<PathBuf>,
+    index_builds_completed: AtomicU64,
+    index_builds_in_flight: AtomicU64,
+    index_sidecar_loads: AtomicU64,
+    completes_indexed: AtomicU64,
+    completes_unindexed: AtomicU64,
+    /// Live background index-build threads, joined on shutdown so a
+    /// build's sidecar write never races the final snapshot.
+    index_builders: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ServiceState {
@@ -182,6 +213,15 @@ impl ServiceState {
             rejected_total: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             bound_addr: OnceLock::new(),
+            index_mode: config.index_mode,
+            index_build_delay_ms: config.index_build_delay_ms,
+            data_dir: config.data_dir.clone(),
+            index_builds_completed: AtomicU64::new(0),
+            index_builds_in_flight: AtomicU64::new(0),
+            index_sidecar_loads: AtomicU64::new(0),
+            completes_indexed: AtomicU64::new(0),
+            completes_unindexed: AtomicU64::new(0),
+            index_builders: Mutex::new(Vec::new()),
         }
     }
 
@@ -239,6 +279,18 @@ impl ServiceState {
         Ok(entry)
     }
 
+    /// Accounts one engine-backed completion (a cache miss) as indexed or
+    /// not, for `/metrics`.
+    fn count_complete(&self, indexed: bool) {
+        if indexed {
+            self.completes_indexed.fetch_add(1, Ordering::Relaxed);
+            ipe_obs::counter!("service.complete.indexed", 1);
+        } else {
+            self.completes_unindexed.fetch_add(1, Ordering::Relaxed);
+            ipe_obs::counter!("service.complete.unindexed", 1);
+        }
+    }
+
     /// Whether shutdown has been requested.
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
@@ -268,7 +320,89 @@ impl ServiceState {
                 .as_ref()
                 .map(|s| s.lock().expect("store poisoned").last_seq())
                 .unwrap_or(0),
+            index: IndexMetrics {
+                mode: self.index_mode.as_str().to_owned(),
+                builds_completed: self.index_builds_completed.load(Ordering::SeqCst),
+                builds_in_flight: self.index_builds_in_flight.load(Ordering::SeqCst),
+                sidecar_loads: self.index_sidecar_loads.load(Ordering::SeqCst),
+                completes_indexed: self.completes_indexed.load(Ordering::Relaxed),
+                completes_unindexed: self.completes_unindexed.load(Ordering::Relaxed),
+            },
         }
+    }
+}
+
+/// Spawns a background thread that builds `entry`'s search index, installs
+/// it on the entry, and persists it as a store sidecar. Requests arriving
+/// while the build runs are served unindexed. A no-op with
+/// [`IndexMode::Off`].
+fn spawn_index_build(state: &Arc<ServiceState>, entry: Arc<crate::SchemaEntry>) {
+    if state.index_mode == IndexMode::Off {
+        return;
+    }
+    state.index_builds_in_flight.fetch_add(1, Ordering::SeqCst);
+    let st = Arc::clone(state);
+    let spawn = std::thread::Builder::new()
+        .name(format!("ipe-index-{}", entry.id))
+        .spawn(move || {
+            if st.index_build_delay_ms > 0 {
+                std::thread::sleep(Duration::from_millis(st.index_build_delay_ms));
+            }
+            let index = {
+                let _t = ipe_obs::timer!("service.index.build");
+                Arc::new(IndexedSchema::build(&entry.schema, st.index_mode))
+            };
+            if entry.set_index(Arc::clone(&index)) {
+                st.index_builds_completed.fetch_add(1, Ordering::SeqCst);
+                ipe_obs::counter!("service.index.builds", 1);
+                persist_index_sidecar(&st, &entry, &index);
+            }
+            st.index_builds_in_flight.fetch_sub(1, Ordering::SeqCst);
+        });
+    match spawn {
+        Ok(handle) => state
+            .index_builders
+            .lock()
+            .expect("index builders poisoned")
+            .push(handle),
+        Err(e) => {
+            // Degrade to unindexed serving rather than failing the PUT.
+            state.index_builds_in_flight.fetch_sub(1, Ordering::SeqCst);
+            ipe_obs::counter!("service.index.spawn_failed", 1);
+            eprintln!("ipe-service: failed to spawn index build: {e}");
+        }
+    }
+}
+
+/// Writes a built index as a sidecar next to the WAL — unless the entry
+/// was hot-swapped while the build ran: the sidecar slot must only ever
+/// hold the registry's *current* generation, because a restart validates
+/// it against exactly that generation.
+fn persist_index_sidecar(
+    state: &Arc<ServiceState>,
+    entry: &crate::SchemaEntry,
+    index: &IndexedSchema,
+) {
+    let Some(dir) = &state.data_dir else {
+        return;
+    };
+    let still_current = state
+        .registry
+        .get(&entry.name)
+        .is_some_and(|c| c.id == entry.id && c.generation == entry.generation);
+    if !still_current {
+        return;
+    }
+    let payload = index.to_bytes(&entry.schema);
+    if write_sidecar(
+        &sidecar_path(dir, entry.id),
+        entry.id,
+        entry.generation,
+        &payload,
+    )
+    .is_err()
+    {
+        ipe_obs::counter!("store.sidecar.write_failed", 1);
     }
 }
 
@@ -283,6 +417,18 @@ struct ServiceMetrics {
     schemas: u64,
     durable: bool,
     wal_last_seq: u64,
+    index: IndexMetrics,
+}
+
+/// The `service.index` section of `GET /metrics`.
+#[derive(Debug, serde::Serialize)]
+struct IndexMetrics {
+    mode: String,
+    builds_completed: u64,
+    builds_in_flight: u64,
+    sidecar_loads: u64,
+    completes_indexed: u64,
+    completes_unindexed: u64,
 }
 
 /// A running disambiguation server. Dropping the handle does **not** stop
@@ -330,9 +476,27 @@ impl Server {
                         record.name
                     ))
                 })?;
-                state
-                    .registry
-                    .restore(&record.name, record.id, record.generation, schema);
+                let entry =
+                    state
+                        .registry
+                        .restore(&record.name, record.id, record.generation, schema);
+                // Prefer the persisted index sidecar; any mismatch
+                // (missing, corrupt, stale generation) silently falls back
+                // to a fresh background build.
+                if state.index_mode != IndexMode::Off {
+                    let loaded = config.data_dir.as_ref().and_then(|dir| {
+                        let path = sidecar_path(dir, record.id);
+                        let bytes = read_sidecar(&path, record.id, record.generation)?;
+                        IndexedSchema::from_bytes(&bytes, &entry.schema).map(Arc::new)
+                    });
+                    let installed = loaded.map(|index| entry.set_index(index)).unwrap_or(false);
+                    if installed {
+                        state.index_sidecar_loads.fetch_add(1, Ordering::SeqCst);
+                        ipe_obs::counter!("service.index.sidecar_loads", 1);
+                    } else {
+                        spawn_index_build(&state, entry);
+                    }
+                }
             }
             state.registry.reserve_ids(recovery.max_id);
             if recovery.truncated_tail {
@@ -409,6 +573,21 @@ impl Server {
         &self.state
     }
 
+    /// Registers a schema exactly as `PUT /v1/schemas/:name` would:
+    /// durable write-through (when configured) plus a background index
+    /// build. Embedders seeding schemas directly should use this rather
+    /// than [`ServiceState::register_schema`], which skips indexing.
+    pub fn register_schema(
+        &self,
+        name: &str,
+        schema: ipe_schema::Schema,
+        json: &str,
+    ) -> std::io::Result<Arc<crate::SchemaEntry>> {
+        let entry = self.state.register_schema(name, schema, json)?;
+        spawn_index_build(&self.state, Arc::clone(&entry));
+        Ok(entry)
+    }
+
     /// Blocks until the server has shut down (via [`Server::shutdown`]
     /// from another thread or `POST /v1/shutdown`) and every worker has
     /// drained.
@@ -427,6 +606,18 @@ impl Server {
             let _ = h.join();
         }
         for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Let in-flight index builds finish so their sidecar writes land
+        // before the shutdown snapshot.
+        let builders: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .state
+                .index_builders
+                .lock()
+                .expect("index builders poisoned"),
+        );
+        for h in builders {
             let _ = h.join();
         }
         // Clean shutdown: compact once so the next boot replays a
@@ -590,7 +781,12 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
     let (outcome, cached) = match state.cache.get(&key) {
         Some(hit) => (hit, true),
         None => {
-            let engine = Completer::with_config(&entry.schema, cfg);
+            let mut engine = Completer::with_config(&entry.schema, cfg);
+            let indexed = entry
+                .index()
+                .map(|ix| engine.attach_index(ix))
+                .unwrap_or(false);
+            state.count_complete(indexed);
             match engine.complete_with_stats(&ast) {
                 Ok(outcome) => {
                     let outcome = Arc::new(outcome);
@@ -726,7 +922,12 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
             deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
             cancel: None,
         };
-        let engine = Completer::with_config(&entry.schema, cfg);
+        let mut engine = Completer::with_config(&entry.schema, cfg);
+        let indexed = entry
+            .index()
+            .map(|ix| engine.attach_index(ix))
+            .unwrap_or(false);
+        state.count_complete(indexed);
         let out = complete_batch(&engine, &miss_asts, &opts);
         for item in out {
             let slot = miss_slots[item.index];
@@ -822,6 +1023,9 @@ fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) 
     } else {
         0
     };
+    // Kick off the index build for the new generation; until it lands the
+    // entry serves unindexed.
+    spawn_index_build(state, Arc::clone(&entry));
     let response = SchemaPutResponse {
         name: entry.name.clone(),
         id: entry.id,
@@ -849,6 +1053,10 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, Strin
     // Purge before acknowledging so a deleted schema's cached results are
     // unreachable the moment the 200 lands.
     let purged = state.cache.purge_schema(entry.id);
+    // The id will never be reissued, so its sidecar is dead weight.
+    if let Some(dir) = &state.data_dir {
+        let _ = remove_sidecar(dir, entry.id);
+    }
     if let Some(mut store) = store_guard {
         if let Err(e) = store.append_delete(name) {
             ipe_obs::counter!("store.wal.append_failed", 1);

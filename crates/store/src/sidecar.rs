@@ -1,0 +1,176 @@
+//! Index snapshot sidecars: one checksummed file per registry schema
+//! holding that schema's serialized search index, so a restart can skip
+//! the index rebuild.
+//!
+//! ## Layout
+//!
+//! ```text
+//! [magic: 8 bytes "IPESIDE1"]
+//! [crc32(body): u32 LE]
+//! [body]
+//! ```
+//!
+//! Body (integers little-endian):
+//!
+//! ```text
+//! [schema_id: u64]    registry id the index belongs to
+//! [generation: u64]   registry generation the index was built against
+//! [payload]           opaque index bytes (the `ipe-index` wire format)
+//! ```
+//!
+//! Sidecars are *caches*, not state: unlike snapshots, any mismatch —
+//! missing file, bad checksum, wrong schema id, stale generation — yields
+//! `None` and the caller rebuilds. A sidecar from generation 3 must never
+//! be served against generation 4 of the same schema; the generation field
+//! enforces that without parsing the payload.
+
+use crate::crc::crc32;
+use crate::{fsync_dir, StoreError};
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every index sidecar file.
+pub const SIDECAR_MAGIC: &[u8; 8] = b"IPESIDE1";
+
+/// Path of the index sidecar for registry schema `id` inside `dir`.
+pub fn sidecar_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("index-{id}.idx"))
+}
+
+/// Writes an index sidecar atomically (temp file + fsync + rename +
+/// directory fsync), tagged with the schema's registry id and generation.
+pub fn write_sidecar(
+    path: &Path,
+    id: u64,
+    generation: u64,
+    payload: &[u8],
+) -> Result<(), StoreError> {
+    let mut body = Vec::with_capacity(16 + payload.len());
+    body.extend_from_slice(&id.to_le_bytes());
+    body.extend_from_slice(&generation.to_le_bytes());
+    body.extend_from_slice(payload);
+    let mut bytes = Vec::with_capacity(SIDECAR_MAGIC.len() + 4 + body.len());
+    bytes.extend_from_slice(SIDECAR_MAGIC);
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir)?;
+    }
+    ipe_obs::counter!("store.sidecar.writes", 1);
+    ipe_obs::counter!("store.sidecar.bytes", bytes.len() as u64);
+    Ok(())
+}
+
+/// Reads the sidecar at `path` expecting schema `id` at exactly
+/// `generation`. Returns the payload, or `None` whenever the sidecar
+/// cannot be trusted: missing file, short or damaged framing, checksum
+/// mismatch, a different schema id, or any other generation (stale *or*
+/// future). Never an error — a bad sidecar means "rebuild", not "refuse to
+/// start".
+pub fn read_sidecar(path: &Path, id: u64, generation: u64) -> Option<Vec<u8>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut bytes).ok()?,
+        Err(_) => return None,
+    };
+    if bytes.len() < SIDECAR_MAGIC.len() + 4 + 16 || &bytes[..SIDECAR_MAGIC.len()] != SIDECAR_MAGIC
+    {
+        ipe_obs::counter!("store.sidecar.rejects", 1);
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let body = &bytes[12..];
+    if crc32(body) != crc {
+        ipe_obs::counter!("store.sidecar.rejects", 1);
+        return None;
+    }
+    let got_id = u64::from_le_bytes(body[..8].try_into().unwrap());
+    let got_gen = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    if got_id != id || got_gen != generation {
+        ipe_obs::counter!("store.sidecar.stale", 1);
+        return None;
+    }
+    ipe_obs::counter!("store.sidecar.loads", 1);
+    Some(body[16..].to_vec())
+}
+
+/// Removes the sidecar for schema `id`, if present. Failures other than
+/// "not found" are reported so callers can log them, but deletion is
+/// best-effort by nature.
+pub fn remove_sidecar(dir: &Path, id: u64) -> Result<(), StoreError> {
+    match fs::remove_file(sidecar_path(dir, id)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipe-store-side-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn round_trips_payload() {
+        let dir = tmp_dir("roundtrip");
+        let path = sidecar_path(&dir, 3);
+        write_sidecar(&path, 3, 7, b"index bytes").unwrap();
+        assert_eq!(read_sidecar(&path, 3, 7), Some(b"index bytes".to_vec()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_generation_and_wrong_id_yield_none() {
+        let dir = tmp_dir("stale");
+        let path = sidecar_path(&dir, 3);
+        write_sidecar(&path, 3, 7, b"payload").unwrap();
+        // A sidecar built against generation 7 must never be served for
+        // generation 8 (or any other), nor for another schema id.
+        assert_eq!(read_sidecar(&path, 3, 8), None);
+        assert_eq!(read_sidecar(&path, 3, 6), None);
+        assert_eq!(read_sidecar(&path, 4, 7), None);
+        // The exact (id, generation) still loads.
+        assert!(read_sidecar(&path, 3, 7).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_yields_none_not_error() {
+        let dir = tmp_dir("corrupt");
+        let path = sidecar_path(&dir, 1);
+        assert_eq!(read_sidecar(&path, 1, 1), None, "missing file");
+        write_sidecar(&path, 1, 1, b"some payload here").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_sidecar(&path, 1, 1), None, "checksum damage");
+        std::fs::write(&path, b"short").unwrap();
+        assert_eq!(read_sidecar(&path, 1, 1), None, "truncated header");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let dir = tmp_dir("remove");
+        write_sidecar(&sidecar_path(&dir, 9), 9, 1, b"x").unwrap();
+        remove_sidecar(&dir, 9).unwrap();
+        remove_sidecar(&dir, 9).unwrap();
+        assert_eq!(read_sidecar(&sidecar_path(&dir, 9), 9, 1), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -15,7 +15,7 @@ echo "== tests =="
 cargo test -q --workspace
 
 echo "== tests (obs-off) =="
-cargo test -q -p ipe-obs -p ipe-core -p ipe-service -p ipe-store --features obs-off
+cargo test -q -p ipe-obs -p ipe-core -p ipe-index -p ipe-service -p ipe-store --features obs-off
 
 echo "== service smoke =="
 serve_log="$(mktemp)"
@@ -40,6 +40,9 @@ rm -f "$serve_log"
 
 echo "== batch smoke =="
 ./target/release/batch_bench --smoke
+
+echo "== index smoke =="
+./target/release/index_bench --smoke
 
 echo "== store smoke =="
 ./target/release/store_bench --smoke

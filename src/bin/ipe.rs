@@ -13,6 +13,7 @@
 
 use ipe::core::{complete_batch, explain, BatchOptions, Completer, CompletionConfig};
 use ipe::gen::{generate_schema, GenConfig};
+use ipe::index::{IndexMode, IndexedSchema, SearchIndex};
 use ipe::oodb::fixtures::university_db;
 use ipe::parser::parse_path_expression;
 use ipe::schema::{dot, Schema};
@@ -45,6 +46,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--data-dir",
     "--fsync",
     "--snapshot-every",
+    "--index",
 ];
 
 /// Resolves the subcommand by scanning *past* flags, so global flags
@@ -111,7 +113,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   ipe complete [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]...
-               [--trace] [--report FILE] EXPR
+               [--index on|off|lazy] [--trace] [--report FILE] EXPR
   ipe explain  [--schema FILE | --fixture NAME] EXPR
   ipe eval     EXPR
   ipe gen      [--seed N] [--classes N]
@@ -121,7 +123,7 @@ const USAGE: &str = "usage:
                [--workers N] [--queue-depth N] [--timeout-ms N]
                [--cache-capacity N] [--cache-shards N] [--batch-threads N]
                [--data-dir DIR] [--fsync always|interval[:MS]|never]
-               [--snapshot-every N] [--report FILE]
+               [--snapshot-every N] [--index on|off|lazy] [--report FILE]
   ipe batch    [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]...
                [--threads N] [--deadline-ms N] FILE
 
@@ -141,6 +143,13 @@ on clean shutdown. With --data-dir DIR, registry changes are written
 through to a checksummed WAL (fsynced per --fsync, compacted into a
 snapshot every --snapshot-every records) and recovered on restart; a
 best-effort warmup journal pre-warms the completion cache.
+
+--index controls the schema closure index. `serve` defaults to `on`:
+every PUT kicks off a background build (requests run unindexed until it
+lands), and with --data-dir the built index is persisted as a sidecar so
+a restart skips the rebuild. `lazy` defers per-name goal tables to first
+use; `off` disables indexing. One-shot `complete` defaults to `off`;
+pass --index on to see index pruning in --trace/--report output.
 
 `batch` reads one path expression per line from FILE (`-` for stdin;
 blank lines and `#` comments are skipped) and completes them in parallel
@@ -172,6 +181,9 @@ struct Opts {
     data_dir: Option<String>,
     fsync: FsyncPolicy,
     snapshot_every: u64,
+    /// `--index on|off|lazy`; `None` keeps the per-command default
+    /// (`serve` indexes eagerly, one-shot commands skip the build).
+    index_mode: Option<IndexMode>,
     positional: Vec<String>,
 }
 
@@ -198,6 +210,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut data_dir = None;
     let mut fsync = service_defaults.fsync;
     let mut snapshot_every = service_defaults.snapshot_every;
+    let mut index_mode = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -266,6 +279,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|_| "--deadline-ms must be a number")?
             }
             "--data-dir" => data_dir = Some(grab("--data-dir")?),
+            "--index" => {
+                let v = grab("--index")?;
+                index_mode = Some(
+                    IndexMode::parse(&v)
+                        .ok_or_else(|| format!("--index must be on|off|lazy, got `{v}`"))?,
+                );
+            }
             "--fsync" => fsync = FsyncPolicy::parse(&grab("--fsync")?)?,
             "--snapshot-every" => {
                 snapshot_every = grab("--snapshot-every")?
@@ -308,6 +328,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         data_dir,
         fsync,
         snapshot_every,
+        index_mode,
         positional,
     })
 }
@@ -343,7 +364,16 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
         .first()
         .ok_or("missing path expression argument")?;
     let ast = parse_path_expression(expr).map_err(|e| e.to_string())?;
-    let engine = engine_for(&opts)?;
+    let mut engine = engine_for(&opts)?;
+    // One-shot runs default to unindexed (the build would dwarf a single
+    // query); `--index on|lazy` opts in, e.g. to inspect index pruning in
+    // the trace or report.
+    let index_mode = opts.index_mode.unwrap_or(IndexMode::Off);
+    if index_mode != IndexMode::Off {
+        let index: SearchIndex =
+            std::sync::Arc::new(IndexedSchema::build(&opts.schema, index_mode));
+        assert!(engine.attach_index(index), "freshly built index must fit");
+    }
     let observing = opts.trace || opts.report.is_some();
     let capacity = if observing { TRACE_CAPACITY } else { 0 };
     let traced = engine
@@ -376,11 +406,22 @@ fn cmd_complete(args: &[String]) -> Result<(), String> {
             c.label.semlen
         );
     }
-    eprintln!(
-        "({} result(s), {} node explorations)",
-        outcome.completions.len(),
-        outcome.stats.calls
-    );
+    if index_mode == IndexMode::Off {
+        eprintln!(
+            "({} result(s), {} node explorations)",
+            outcome.completions.len(),
+            outcome.stats.calls
+        );
+    } else {
+        eprintln!(
+            "({} result(s), {} node explorations, index pruned {} unreachable + {} bound-dominated, {} segment(s) rejected outright)",
+            outcome.completions.len(),
+            outcome.stats.calls,
+            outcome.stats.pruned_index_unreachable,
+            outcome.stats.pruned_index_bound,
+            outcome.stats.index_segment_rejections
+        );
+    }
     if let Some(path) = &opts.report {
         let report = ipe::core::observe::build_report(&opts.schema, expr, outcome, &traced.trace);
         report
@@ -466,6 +507,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         data_dir: opts.data_dir.clone().map(std::path::PathBuf::from),
         fsync: opts.fsync,
         snapshot_every: opts.snapshot_every,
+        index_mode: opts.index_mode.unwrap_or(IndexMode::On),
         ..Default::default()
     };
     let server =
@@ -477,7 +519,6 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         None => {
             let json = opts.schema.to_json();
             server
-                .state()
                 .register_schema("default", opts.schema, &json)
                 .map_err(|e| format!("cannot persist default schema: {e}"))?;
         }

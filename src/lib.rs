@@ -27,12 +27,14 @@ pub use ipe_algebra as algebra;
 pub use ipe_core as core;
 pub use ipe_gen as gen;
 pub use ipe_graph as graph;
+pub use ipe_index as index;
 pub use ipe_metrics as metrics;
 pub use ipe_obs as obs;
 pub use ipe_oodb as oodb;
 pub use ipe_parser as parser;
 pub use ipe_schema as schema;
 pub use ipe_service as service;
+pub use ipe_store as store;
 
 /// One-stop imports for typical use.
 pub mod prelude {
