@@ -18,6 +18,7 @@
 
 use ipe_bench::write_run_report_with_stats;
 use ipe_core::{complete_batch, BatchOptions, Completer, CompletionConfig};
+use ipe_obs::{FlightConfig, FlightRecorder, RequestTrace, SpanHandle};
 use ipe_parser::{parse_path_expression, PathExprAst};
 use ipe_schema::{Primitive, Schema, SchemaBuilder};
 use std::process::ExitCode;
@@ -94,7 +95,7 @@ fn run_once(
     let opts = BatchOptions {
         threads,
         deadline: Some(deadline),
-        cancel: None,
+        ..Default::default()
     };
     let started = Instant::now();
     let out = complete_batch(engine, items, &opts);
@@ -109,8 +110,110 @@ fn run_once(
     }
 }
 
+/// How requests are traced during the overhead rounds.
+#[derive(Clone, Copy, PartialEq)]
+enum TraceMode {
+    /// No span handle and no sampling check — the pre-tracing baseline.
+    Off,
+    /// A head-sampling check that always declines: the cost every
+    /// unsampled request pays in production.
+    Unsampled,
+    /// A live span tree recorded through the batch.
+    Sampled,
+}
+
+/// One cheap-only batch under `mode`, returning its wall time. The heavy
+/// deadline-bound items are excluded on purpose: their cost is the
+/// deadline itself, which would mask any per-span overhead.
+fn run_traced(
+    engine: &Completer<'_>,
+    items: &[PathExprAst],
+    threads: usize,
+    mode: TraceMode,
+    recorder: &FlightRecorder,
+) -> Duration {
+    let started = Instant::now();
+    let (span, trace) = match mode {
+        TraceMode::Off => (SpanHandle::none(), None),
+        TraceMode::Unsampled | TraceMode::Sampled => {
+            if recorder.should_sample() && mode == TraceMode::Sampled {
+                let t = RequestTrace::start(ipe_obs::gen_trace_id(), 0);
+                (t.root_handle(), Some(t))
+            } else {
+                (SpanHandle::none(), None)
+            }
+        }
+    };
+    let opts = BatchOptions {
+        threads,
+        deadline: None,
+        cancel: None,
+        span,
+    };
+    let out = complete_batch(engine, items, &opts);
+    assert!(out.iter().all(|i| i.result.is_ok()), "cheap item failed");
+    if let Some(t) = trace {
+        let done = t.finish();
+        std::hint::black_box(done.spans.len());
+    }
+    started.elapsed()
+}
+
+/// Minimum over `reps` interleaved rounds per mode. The minimum (not the
+/// mean) is the right estimator for a compute-bound loop: scheduler noise
+/// only ever adds time.
+fn trace_overhead(
+    engine: &Completer<'_>,
+    items: &[PathExprAst],
+    threads: usize,
+    sample_n: u64,
+    reps: usize,
+) -> [u64; 3] {
+    let off_recorder = FlightRecorder::new(FlightConfig {
+        sample_n: 0,
+        ..FlightConfig::default()
+    });
+    // `u64::MAX` keeps the sampling tick live (the atomic an unsampled
+    // request actually pays) while declining every request after the
+    // first; the discard in `run_traced` covers that first tick.
+    let unsampled_recorder = FlightRecorder::new(FlightConfig {
+        sample_n: u64::MAX,
+        ..FlightConfig::default()
+    });
+    let sampled_recorder = FlightRecorder::new(FlightConfig {
+        sample_n: sample_n.max(1),
+        ..FlightConfig::default()
+    });
+    let mut best = [u64::MAX; 3];
+    for _ in 0..reps {
+        // Interleave the modes so drift (thermal, scheduling) hits all
+        // three equally.
+        let runs = [
+            (TraceMode::Off, &off_recorder),
+            (TraceMode::Unsampled, &unsampled_recorder),
+            (TraceMode::Sampled, &sampled_recorder),
+        ];
+        for (i, (mode, recorder)) in runs.into_iter().enumerate() {
+            let wall = run_traced(engine, items, threads, mode, recorder);
+            best[i] = best[i].min(wall.as_nanos() as u64);
+        }
+    }
+    best
+}
+
 fn main() -> ExitCode {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let trace_sample: u64 = match argv.iter().position(|a| a == "--trace-sample") {
+        Some(i) => match argv.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => n,
+            None => {
+                eprintln!("--trace-sample needs a numeric value");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => 1,
+    };
     let schema = dense_schema();
     // Uncapped results: the heavy searches must be stopped by their
     // deadline, not by the result limit.
@@ -171,6 +274,33 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Tracing overhead over the cheap items, off vs. unsampled vs.
+    // sampled 1-in-`trace_sample`. Unsampled requests must stay within
+    // 2% of the no-tracing baseline (with a sub-noise absolute floor:
+    // a diff under 100µs on a multi-millisecond batch is timer noise).
+    let cheap = workload(WORKLOAD, 0);
+    let [off_ns, unsampled_ns, sampled_ns] = trace_overhead(&engine, &cheap, 4, trace_sample, 7);
+    let overhead_pct = if off_ns > 0 {
+        (unsampled_ns as f64 - off_ns as f64) * 100.0 / off_ns as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "  tracing overhead ({} cheap items): off {:.2}ms, unsampled {:.2}ms ({overhead_pct:+.2}%), sampled(1/{}) {:.2}ms",
+        cheap.len(),
+        off_ns as f64 / 1e6,
+        unsampled_ns as f64 / 1e6,
+        trace_sample.max(1),
+        sampled_ns as f64 / 1e6,
+    );
+    if unsampled_ns > off_ns + off_ns / 50 && unsampled_ns - off_ns > 100_000 {
+        eprintln!(
+            "error: unsampled tracing overhead {overhead_pct:.2}% exceeds the 2% budget \
+             ({off_ns}ns -> {unsampled_ns}ns)"
+        );
+        return ExitCode::FAILURE;
+    }
+
     let cores_s = cores.to_string();
     let stats: Vec<(&str, u64)> = vec![
         ("items", WORKLOAD as u64),
@@ -182,6 +312,15 @@ fn main() -> ExitCode {
         ("deadline_hits_1_thread", walls[0].1.deadline_hits as u64),
         ("deadline_hits_4_threads", walls[2].1.deadline_hits as u64),
         ("speedup_4_threads_milli", (speedup * 1000.0) as u64),
+        ("trace_off_wall_ns", off_ns),
+        ("trace_unsampled_wall_ns", unsampled_ns),
+        ("trace_sampled_wall_ns", sampled_ns),
+        ("trace_sample_n", trace_sample),
+        (
+            "trace_unsampled_overhead_basis_points",
+            (overhead_pct.max(0.0) * 100.0) as u64,
+        ),
+        ("obs_off", u64::from(ipe_obs::disabled())),
     ];
     write_run_report_with_stats(
         "batch",

@@ -40,6 +40,12 @@ pub struct BatchOptions {
     /// thread and every in-flight item aborts with
     /// [`CompleteError::Cancelled`]; unclaimed items are not started.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Request-scoped span context, typically parented at the caller's
+    /// batch fan-out span. Each item opens a `batch.item` child *on the
+    /// worker thread that claims it* — the handle is `Send + Sync`, so
+    /// parent linkage survives the scoped-thread boundary. Disabled by
+    /// default (no-op).
+    pub span: ipe_obs::SpanHandle,
 }
 
 impl BatchOptions {
@@ -150,9 +156,12 @@ fn run_item(
     index: usize,
     opts: &BatchOptions,
 ) -> BatchItem {
+    let mut item_span = opts.span.child("batch.item");
+    item_span.attr("index", index as u64);
     let limits = SearchLimits {
         deadline: opts.deadline.map(|d| Instant::now() + d),
         cancel: opts.cancel.clone(),
+        span: item_span.handle(),
     };
     // An already-cancelled batch skips the engine entirely, so the tail of
     // a cancelled batch drains in microseconds.
@@ -164,6 +173,10 @@ fn run_item(
     if matches!(result, Err(CompleteError::DeadlineExceeded)) {
         ipe_obs::counter!("batch.deadline_hits", 1);
     }
+    item_span.attr(
+        "deadline_exceeded",
+        matches!(result, Err(CompleteError::DeadlineExceeded)) as u64,
+    );
     BatchItem {
         index,
         result,
@@ -258,7 +271,7 @@ mod tests {
         let opts = BatchOptions {
             threads: 2,
             deadline: Some(Duration::from_millis(60)),
-            cancel: None,
+            ..Default::default()
         };
         let started = Instant::now();
         let out = complete_batch(&engine, &items, &opts);
@@ -287,8 +300,8 @@ mod tests {
         let flag = Arc::new(AtomicBool::new(true));
         let opts = BatchOptions {
             threads: 2,
-            deadline: None,
             cancel: Some(flag),
+            ..Default::default()
         };
         let out = complete_batch(&engine, &items, &opts);
         for item in &out {
@@ -298,6 +311,48 @@ mod tests {
                 item.result
             );
         }
+    }
+
+    /// Every batch item's `batch.item` span links to the caller's fan-out
+    /// span even though items run on scoped worker threads, and segment
+    /// search spans nest under their item.
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "spans compiled out")]
+    fn batch_item_spans_link_across_worker_threads() {
+        let schema = fixtures::university();
+        let engine = Completer::new(&schema);
+        let items = asts(&["ta~name", "department~take", "department.student~name"]);
+        let trace = ipe_obs::RequestTrace::start("batch-trace".to_owned(), 0);
+        let fanout = trace.root_handle().child("batch");
+        let opts = BatchOptions {
+            threads: 2,
+            span: fanout.handle(),
+            ..Default::default()
+        };
+        let out = complete_batch(&engine, &items, &opts);
+        assert_eq!(out.len(), items.len());
+        fanout.finish();
+        let done = trace.finish();
+        let fanout_id = done.spans.iter().find(|s| s.name == "batch").unwrap().id;
+        let item_spans: Vec<_> = done
+            .spans
+            .iter()
+            .filter(|s| s.name == "batch.item")
+            .collect();
+        assert_eq!(item_spans.len(), items.len());
+        assert!(item_spans.iter().all(|s| s.parent == fanout_id));
+        let item_ids: Vec<u32> = item_spans.iter().map(|s| s.id).collect();
+        let seg_spans: Vec<_> = done
+            .spans
+            .iter()
+            .filter(|s| s.name == "search.segment")
+            .collect();
+        assert!(!seg_spans.is_empty());
+        assert!(seg_spans.iter().all(|s| item_ids.contains(&s.parent)));
+        // Search spans carry the SearchStats counters.
+        assert!(seg_spans
+            .iter()
+            .any(|s| s.attrs.iter().any(|&(k, v)| k == "calls" && v > 0)));
     }
 
     #[test]

@@ -108,6 +108,13 @@ pub struct SearchLimits {
     /// [`CompleteError::Cancelled`]. One flag can fan out over a whole
     /// batch to stop every in-flight item at once.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Request-scoped span context: when the enclosing request is being
+    /// traced, per-`~`-segment searches record spans under this handle.
+    /// Disabled by default; a disabled handle makes every span operation
+    /// a no-op, so untraced runs pay nothing. Rides on `SearchLimits`
+    /// because it is per-*run* context that, like the deadline, must
+    /// never leak into result identity (cache fingerprints).
+    pub span: ipe_obs::SpanHandle,
 }
 
 /// How many node expansions pass between two polls of [`SearchLimits`].
@@ -120,7 +127,7 @@ impl SearchLimits {
     pub fn with_deadline(deadline: Instant) -> Self {
         SearchLimits {
             deadline: Some(deadline),
-            cancel: None,
+            ..SearchLimits::default()
         }
     }
 
@@ -178,8 +185,8 @@ mod tests {
 
         let flag = Arc::new(AtomicBool::new(false));
         let limits = SearchLimits {
-            deadline: None,
             cancel: Some(Arc::clone(&flag)),
+            ..SearchLimits::default()
         };
         assert_eq!(limits.check(), Ok(()));
         flag.store(true, Ordering::Relaxed);

@@ -300,17 +300,29 @@ impl<'s> Completer<'s> {
         // The anchor is handled by the segment search itself.
         on_path[anchor.index()] = false;
 
+        let mut seg_span = limits.span.child("search.segment");
+        seg_span.note(self.schema.name(name));
         let mut search = SegmentSearch::new(self, name, false);
         search.trace = trace.take();
         search.limits = limits.clone();
         let mut path_buf = Vec::new();
-        let r = if search.anchor_unreachable(anchor) {
+        let unreachable = if self.index.is_some() {
+            let mut ix_span = seg_span.handle().child("index.consult");
+            let u = search.anchor_unreachable(anchor);
+            ix_span.attr("segment_rejected", u as u64);
+            u
+        } else {
+            search.anchor_unreachable(anchor)
+        };
+        let r = if unreachable {
             Ok(())
         } else {
             let _t = ipe_obs::timer!("core.phase.search");
             search.traverse(anchor, prefix.label, &mut on_path, &mut path_buf)
         };
         *trace = search.trace.take();
+        attach_stats(&mut seg_span, &search.stats);
+        seg_span.finish();
         r?;
         let SegmentSearch {
             mut found, stats, ..
@@ -722,6 +734,22 @@ impl<'c, 's> SegmentSearch<'c, 's> {
             }
         }
     }
+}
+
+/// Attaches the [`SearchStats`] prune counters to a search span. No-op on
+/// an inert guard (unsampled request or `obs-off`).
+pub(crate) fn attach_stats(span: &mut ipe_obs::SpanGuard, stats: &SearchStats) {
+    span.attr("calls", stats.calls);
+    span.attr("edges_considered", stats.edges_considered);
+    span.attr("pruned_visited", stats.pruned_visited);
+    span.attr("pruned_best_t", stats.pruned_best_t);
+    span.attr("pruned_best_u", stats.pruned_best_u);
+    span.attr("caution_overrides", stats.caution_overrides);
+    span.attr("depth_limited", stats.depth_limited);
+    span.attr("pruned_index_unreachable", stats.pruned_index_unreachable);
+    span.attr("pruned_index_bound", stats.pruned_index_bound);
+    span.attr("index_segment_rejections", stats.index_segment_rejections);
+    span.attr("completions_recorded", stats.completions_recorded);
 }
 
 /// Whether at least `e` distinct semantic lengths among the labels matching

@@ -127,6 +127,9 @@ impl Driver<'_, '_> {
                 // Exhaustive segment search from `class`. The anchor's
                 // on_path flag is managed by the segment traversal itself.
                 on_path[class.index()] = false;
+                let mut seg_span = self.limits.span.child("search.segment");
+                seg_span.note(schema.name(name));
+                seg_span.attr("step", step_idx as u64);
                 let mut search = SegmentSearch::new(self.completer, name, true);
                 search.trace = self.trace.take();
                 search.limits = self.limits.clone();
@@ -137,6 +140,8 @@ impl Driver<'_, '_> {
                     search.traverse(class, label, on_path, &mut seg_edges)
                 };
                 on_path[class.index()] = true;
+                crate::engine::attach_stats(&mut seg_span, &search.stats);
+                seg_span.finish();
                 self.stats.absorb(search.stats);
                 self.trace = search.trace.take();
                 r?;

@@ -1,0 +1,440 @@
+//! An in-memory flight recorder for completed request traces.
+//!
+//! Three retention pools, all bounded at construction:
+//!
+//! 1. **Recent** — a lock-sharded ring of the last N completed requests
+//!    (sharded by trace-id hash so concurrent workers rarely contend on
+//!    one mutex).
+//! 2. **Slowest** — a reservoir of the K slowest requests seen so far.
+//!    Requests flagged `slow` (the service's `slow_ms` threshold) are
+//!    forced into consideration even when unsampled, so a latency spike
+//!    survives ring wraparound.
+//! 3. **Errors** — a ring of the last `keep_errors` requests that ended
+//!    in an error status, kept regardless of how much traffic has wrapped
+//!    the recent ring since.
+//!
+//! Head sampling: [`FlightRecorder::should_sample`] is the *only* cost an
+//! unsampled request pays for tracing — one relaxed `fetch_add` — and it
+//! is constant-false under `obs-off`.
+
+use crate::span::SpanRecord;
+use std::collections::VecDeque;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing and sampling knobs for a [`FlightRecorder`].
+#[derive(Clone, Debug)]
+pub struct FlightConfig {
+    /// Total capacity of the recent ring, split across shards.
+    pub capacity: usize,
+    /// Number of mutex shards for the recent ring.
+    pub shards: usize,
+    /// Size of the slowest-requests reservoir.
+    pub keep_slowest: usize,
+    /// Size of the errored-requests ring.
+    pub keep_errors: usize,
+    /// Head sampling: record 1 in `sample_n` requests (1 = every
+    /// request, 0 = tracing disabled).
+    pub sample_n: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 256,
+            shards: 8,
+            keep_slowest: 16,
+            keep_errors: 32,
+            sample_n: 1,
+        }
+    }
+}
+
+/// One completed request as retained by the recorder: summary fields
+/// plus the span tree (empty when the request was not sampled but was
+/// retained anyway for being slow or errored).
+#[derive(Clone, Debug)]
+pub struct CompletedRequest {
+    /// The request's trace id.
+    pub trace_id: String,
+    /// Coarse route label (e.g. `"complete"`, `"batch"`).
+    pub route: &'static str,
+    /// Method and path as received.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status code.
+    pub status: u16,
+    /// End-to-end handler wall time, nanoseconds.
+    pub duration_ns: u64,
+    /// Whether the status counts as an error (>= 400).
+    pub error: bool,
+    /// Whether the request crossed the service's `slow_ms` threshold.
+    pub slow: bool,
+    /// Recorded spans (empty for unsampled requests).
+    pub spans: Vec<SpanRecord>,
+    /// Spans dropped by the per-trace cap.
+    pub dropped_spans: u64,
+    /// Monotone insertion sequence number, assigned by the recorder.
+    pub seq: u64,
+}
+
+impl CompletedRequest {
+    fn push_summary_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"trace_id\": ");
+        crate::json::push_str_literal(out, &self.trace_id);
+        out.push_str(", \"route\": ");
+        crate::json::push_str_literal(out, self.route);
+        out.push_str(", \"method\": ");
+        crate::json::push_str_literal(out, &self.method);
+        out.push_str(", \"path\": ");
+        crate::json::push_str_literal(out, &self.path);
+        let _ = write!(
+            out,
+            ", \"status\": {}, \"duration_ns\": {}, \"error\": {}, \"slow\": {}, \
+             \"spans\": {}, \"dropped_spans\": {}, \"seq\": {}}}",
+            self.status,
+            self.duration_ns,
+            self.error,
+            self.slow,
+            self.spans.len(),
+            self.dropped_spans,
+            self.seq,
+        );
+    }
+
+    /// Renders the full trace (summary + span tree) as a JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + self.spans.len() * 96);
+        out.push_str("{\"trace_id\": ");
+        crate::json::push_str_literal(&mut out, &self.trace_id);
+        out.push_str(", \"route\": ");
+        crate::json::push_str_literal(&mut out, self.route);
+        out.push_str(", \"method\": ");
+        crate::json::push_str_literal(&mut out, &self.method);
+        out.push_str(", \"path\": ");
+        crate::json::push_str_literal(&mut out, &self.path);
+        let _ = write!(
+            out,
+            ", \"status\": {}, \"duration_ns\": {}, \"error\": {}, \"slow\": {}, \
+             \"dropped_spans\": {}, \"seq\": {}, \"spans\": [",
+            self.status, self.duration_ns, self.error, self.slow, self.dropped_spans, self.seq,
+        );
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            span.push_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// The recorder. Cheap to share (`Arc` it once in the service state).
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    per_shard: usize,
+    tick: AtomicU64,
+    seq: AtomicU64,
+    sampled: AtomicU64,
+    recorded: AtomicU64,
+    recent: Vec<Mutex<VecDeque<Arc<CompletedRequest>>>>,
+    /// Kept sorted slowest-first; bounded at `keep_slowest`.
+    slowest: Mutex<Vec<Arc<CompletedRequest>>>,
+    errors: Mutex<VecDeque<Arc<CompletedRequest>>>,
+    hasher: std::collections::hash_map::RandomState,
+}
+
+impl FlightRecorder {
+    /// A recorder with the given retention and sampling config.
+    pub fn new(cfg: FlightConfig) -> FlightRecorder {
+        let shards = cfg.shards.max(1);
+        let per_shard = cfg.capacity.div_ceil(shards).max(1);
+        FlightRecorder {
+            per_shard,
+            tick: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            sampled: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            recent: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            slowest: Mutex::new(Vec::new()),
+            errors: Mutex::new(VecDeque::new()),
+            hasher: std::collections::hash_map::RandomState::new(),
+            cfg: FlightConfig { shards, ..cfg },
+        }
+    }
+
+    /// The config this recorder was built with.
+    pub fn config(&self) -> &FlightConfig {
+        &self.cfg
+    }
+
+    /// Head-sampling decision for a new request: the only tracing cost an
+    /// unsampled request pays. Constant-false under `obs-off` or when
+    /// `sample_n` is 0.
+    #[inline]
+    pub fn should_sample(&self) -> bool {
+        if crate::disabled() || self.cfg.sample_n == 0 {
+            return false;
+        }
+        let t = self.tick.fetch_add(1, Ordering::Relaxed);
+        if t.is_multiple_of(self.cfg.sample_n) {
+            self.sampled.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retains a completed request. Sampled requests always enter the
+    /// recent ring; errored and slow ones additionally enter the
+    /// always-keep pools (and are worth recording even when unsampled —
+    /// the caller decides, typically `sampled || error || slow`).
+    pub fn record(&self, mut req: CompletedRequest) {
+        if crate::disabled() {
+            return;
+        }
+        req.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let req = Arc::new(req);
+
+        let shard = self.shard_of(&req.trace_id);
+        {
+            let mut ring = self.recent[shard].lock().expect("flight shard poisoned");
+            if ring.len() >= self.per_shard {
+                ring.pop_front();
+            }
+            ring.push_back(Arc::clone(&req));
+        }
+
+        if req.error && self.cfg.keep_errors > 0 {
+            let mut errors = self.errors.lock().expect("flight errors poisoned");
+            if errors.len() >= self.cfg.keep_errors {
+                errors.pop_front();
+            }
+            errors.push_back(Arc::clone(&req));
+        }
+
+        if self.cfg.keep_slowest > 0 {
+            let mut slowest = self.slowest.lock().expect("flight slowest poisoned");
+            let qualifies = slowest.len() < self.cfg.keep_slowest
+                || req.duration_ns > slowest.last().map(|r| r.duration_ns).unwrap_or(0)
+                || req.slow;
+            if qualifies {
+                let pos = slowest.partition_point(|r| r.duration_ns >= req.duration_ns);
+                slowest.insert(pos, Arc::clone(&req));
+                // Evict the fastest non-slow entry first so `slow_ms`
+                // force-retained traces survive even a full reservoir.
+                while slowest.len() > self.cfg.keep_slowest {
+                    if let Some(pos) = slowest.iter().rposition(|r| !r.slow) {
+                        slowest.remove(pos);
+                    } else {
+                        slowest.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    fn shard_of(&self, trace_id: &str) -> usize {
+        (self.hasher.hash_one(trace_id) as usize) % self.recent.len()
+    }
+
+    /// Finds a retained request by trace id, checking the recent ring,
+    /// then the slowest reservoir, then the error ring.
+    pub fn lookup(&self, trace_id: &str) -> Option<Arc<CompletedRequest>> {
+        let shard = self.shard_of(trace_id);
+        {
+            let ring = self.recent[shard].lock().expect("flight shard poisoned");
+            if let Some(r) = ring.iter().rev().find(|r| r.trace_id == trace_id) {
+                return Some(Arc::clone(r));
+            }
+        }
+        {
+            let slowest = self.slowest.lock().expect("flight slowest poisoned");
+            if let Some(r) = slowest.iter().find(|r| r.trace_id == trace_id) {
+                return Some(Arc::clone(r));
+            }
+        }
+        let errors = self.errors.lock().expect("flight errors poisoned");
+        errors
+            .iter()
+            .rev()
+            .find(|r| r.trace_id == trace_id)
+            .map(Arc::clone)
+    }
+
+    /// Total requests that passed the sampling check.
+    pub fn sampled(&self) -> u64 {
+        self.sampled.load(Ordering::Relaxed)
+    }
+
+    /// Total requests retained (sampled, slow, or errored).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Dumps summaries of everything currently retained as one JSON
+    /// object: `recent` newest-first, `slowest` slowest-first, `errors`
+    /// newest-first.
+    pub fn dump_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"sample_n\": {}, \"sampled\": {}, \"recorded\": {}, \"recent\": [",
+            self.cfg.sample_n,
+            self.sampled(),
+            self.recorded(),
+        );
+        let mut recent: Vec<Arc<CompletedRequest>> = Vec::new();
+        for shard in &self.recent {
+            recent.extend(shard.lock().expect("flight shard poisoned").iter().cloned());
+        }
+        recent.sort_by_key(|r| std::cmp::Reverse(r.seq));
+        for (i, r) in recent.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            r.push_summary_json(&mut out);
+        }
+        out.push_str("], \"slowest\": [");
+        {
+            let slowest = self.slowest.lock().expect("flight slowest poisoned");
+            for (i, r) in slowest.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                r.push_summary_json(&mut out);
+            }
+        }
+        out.push_str("], \"errors\": [");
+        {
+            let errors = self.errors.lock().expect("flight errors poisoned");
+            for (i, r) in errors.iter().rev().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                r.push_summary_json(&mut out);
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: &str, status: u16, duration_ns: u64, slow: bool) -> CompletedRequest {
+        CompletedRequest {
+            trace_id: id.to_owned(),
+            route: "complete",
+            method: "POST".to_owned(),
+            path: "/v1/complete".to_owned(),
+            status,
+            duration_ns,
+            error: status >= 400,
+            slow,
+            spans: Vec::new(),
+            dropped_spans: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "flight recorder compiled out")]
+    fn sampling_is_one_in_n() {
+        let rec = FlightRecorder::new(FlightConfig {
+            sample_n: 4,
+            ..FlightConfig::default()
+        });
+        let hits = (0..16).filter(|_| rec.should_sample()).count();
+        assert_eq!(hits, 4);
+        let off = FlightRecorder::new(FlightConfig {
+            sample_n: 0,
+            ..FlightConfig::default()
+        });
+        assert!(!(0..16).any(|_| off.should_sample()));
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "flight recorder compiled out")]
+    fn slowest_and_errors_survive_ring_wraparound() {
+        let rec = FlightRecorder::new(FlightConfig {
+            capacity: 4,
+            shards: 2,
+            keep_slowest: 2,
+            keep_errors: 2,
+            sample_n: 1,
+        });
+        rec.record(req("slow-one", 200, 9_000_000, false));
+        rec.record(req("err-one", 422, 1_000, false));
+        // Wrap the recent ring many times over with fast successes.
+        for i in 0..64 {
+            rec.record(req(&format!("fast-{i}"), 200, 10, false));
+        }
+        // The slow and errored traces are still retrievable.
+        assert!(rec.lookup("slow-one").is_some(), "slowest-K survived");
+        assert!(rec.lookup("err-one").is_some(), "error survived");
+        // A fast early one was evicted.
+        assert!(rec.lookup("fast-0").is_none());
+        // Slowest reservoir is ordered slowest-first.
+        let dump = rec.dump_json();
+        let slowest_pos = dump.find("\"slowest\"").unwrap();
+        let errors_pos = dump.find("\"errors\"").unwrap();
+        assert!(dump[slowest_pos..errors_pos].contains("slow-one"));
+        assert!(dump[errors_pos..].contains("err-one"));
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "flight recorder compiled out")]
+    fn slow_flag_forces_retention_over_faster_slow_reservoir() {
+        let rec = FlightRecorder::new(FlightConfig {
+            capacity: 2,
+            shards: 1,
+            keep_slowest: 2,
+            keep_errors: 0,
+            sample_n: 1,
+        });
+        rec.record(req("big-a", 200, 1_000_000, false));
+        rec.record(req("big-b", 200, 2_000_000, false));
+        // Slower than nothing in the reservoir, but flagged slow:
+        rec.record(req("flagged", 200, 500, true));
+        for i in 0..8 {
+            rec.record(req(&format!("noise-{i}"), 200, 1, false));
+        }
+        assert!(rec.lookup("flagged").is_some(), "slow_ms force-retained");
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "flight recorder compiled out")]
+    fn recent_ring_orders_newest_first() {
+        let rec = FlightRecorder::new(FlightConfig {
+            capacity: 8,
+            shards: 1,
+            keep_slowest: 0,
+            keep_errors: 0,
+            sample_n: 1,
+        });
+        rec.record(req("a", 200, 1, false));
+        rec.record(req("b", 200, 1, false));
+        let dump = rec.dump_json();
+        assert!(dump.find("\"b\"").unwrap() < dump.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    #[cfg(feature = "obs-off")]
+    fn obs_off_never_samples_or_records() {
+        let rec = FlightRecorder::new(FlightConfig::default());
+        assert!(!rec.should_sample());
+        rec.record(req("x", 500, 1, true));
+        assert!(rec.lookup("x").is_none());
+        assert_eq!(rec.recorded(), 0);
+    }
+}

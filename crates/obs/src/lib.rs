@@ -12,6 +12,16 @@
 //! 3. **Reports** ([`Report`]): a merged snapshot of trace + counters +
 //!    timings that serializes to JSON through a hand-rolled emitter.
 //!
+//! Request-scoped additions on top of the three layers:
+//!
+//! - **Spans** ([`RequestTrace`], [`SpanHandle`], [`SpanGuard`]): a
+//!   per-request tree of timed spans with parent linkage that survives
+//!   thread boundaries (see `span.rs`).
+//! - **Flight recorder** ([`FlightRecorder`]): a bounded, lock-sharded
+//!   retention pool of completed request traces (see `flight.rs`).
+//! - **Prometheus exposition** ([`prom`]): text-format rendering of the
+//!   global registry plus a structural lint.
+//!
 //! The `obs-off` cargo feature compiles every probe to a no-op so the
 //! instrumented and uninstrumented builds can be benchmarked against each
 //! other; see the workspace DESIGN.md §Observability.
@@ -19,15 +29,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flight;
 mod metrics;
+pub mod prom;
 mod report;
+mod span;
 mod trace;
 
+pub use flight::{CompletedRequest, FlightConfig, FlightRecorder};
 pub use metrics::{
     reset_metrics, snapshot_counters, snapshot_timers, Counter, CounterSnapshot, Timer, TimerGuard,
     TimerSnapshot,
 };
 pub use report::Report;
+pub use span::{
+    gen_trace_id, valid_trace_id, CompletedTrace, RequestTrace, SpanGuard, SpanHandle, SpanRecord,
+    MAX_SPANS_DEFAULT,
+};
 pub use trace::{EventKind, SearchTrace, TraceEvent, TraceEventView};
 
 /// Whether this build has observability compiled out (`obs-off`).

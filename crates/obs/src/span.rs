@@ -1,0 +1,502 @@
+//! Request-scoped span trees.
+//!
+//! A [`RequestTrace`] collects a tree of timed spans for one request:
+//! the HTTP dispatch opens a root span, handlers open children (parse,
+//! cache probe, engine search), and the engine opens grandchildren (one
+//! per `~`-segment search). Handles are `Clone + Send + Sync`, so a span
+//! opened on a batch worker thread links to its parent on the request
+//! thread.
+//!
+//! Cost model: ids are assigned from one atomic, the span vector is
+//! touched once per *finished* span (a short mutex hold), and the whole
+//! module is inert when the request was not sampled — every operation on
+//! a disabled [`SpanHandle`] is a `None` check. Under `obs-off` the
+//! handle is a zero-sized type and everything compiles away.
+//!
+//! Traces are bounded: once [`MAX_SPANS_DEFAULT`] (or the configured cap)
+//! spans have been opened, further spans are counted as dropped instead
+//! of recorded, so a pathological multi-`~` query cannot balloon one
+//! trace.
+
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(feature = "obs-off"))]
+use std::sync::{Arc, Mutex};
+#[cfg(not(feature = "obs-off"))]
+use std::time::Instant;
+
+/// Default cap on spans per trace; see the module docs.
+pub const MAX_SPANS_DEFAULT: usize = 512;
+
+/// One finished span. `parent == 0` means the span is a root; ids are
+/// 1-based and unique within a trace, in creation order.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// 1-based id, unique within the trace.
+    pub id: u32,
+    /// Parent span id, 0 for roots.
+    pub parent: u32,
+    /// Static span name (e.g. `"http"`, `"search.segment"`).
+    pub name: &'static str,
+    /// Start offset from the trace's start, nanoseconds.
+    pub start_ns: u64,
+    /// Wall time between open and finish, nanoseconds.
+    pub duration_ns: u64,
+    /// Numeric attributes (e.g. `SearchStats` counters).
+    pub attrs: Vec<(&'static str, u64)>,
+    /// Optional free-text attribute (e.g. the segment's target name).
+    pub note: Option<String>,
+}
+
+impl SpanRecord {
+    /// Renders this span as a JSON object into `out`.
+    pub fn push_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"id\": {}, \"parent\": {}, \"name\": ",
+            self.id, self.parent
+        );
+        crate::json::push_str_literal(out, self.name);
+        let _ = write!(
+            out,
+            ", \"start_ns\": {}, \"duration_ns\": {}",
+            self.start_ns, self.duration_ns
+        );
+        if !self.attrs.is_empty() {
+            out.push_str(", \"attrs\": {");
+            for (i, (k, v)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                crate::json::push_str_literal(out, k);
+                let _ = write!(out, ": {v}");
+            }
+            out.push('}');
+        }
+        if let Some(note) = &self.note {
+            out.push_str(", \"note\": ");
+            crate::json::push_str_literal(out, note);
+        }
+        out.push('}');
+    }
+}
+
+/// A finished trace: every recorded span plus the drop count.
+#[derive(Clone, Debug, Default)]
+pub struct CompletedTrace {
+    /// The trace id the request carried.
+    pub trace_id: String,
+    /// Recorded spans in creation order (ids ascending).
+    pub spans: Vec<SpanRecord>,
+    /// Spans not recorded because the per-trace cap was reached.
+    pub dropped: u64,
+}
+
+#[cfg(not(feature = "obs-off"))]
+struct Sink {
+    started: Instant,
+    cap: u32,
+    /// Next span id; starts at 1 so 0 can mean "no parent".
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// The live collector for one sampled request. Create with
+/// [`RequestTrace::start`], hand [`SpanHandle`]s down the call stack, and
+/// call [`RequestTrace::finish`] when the request completes.
+pub struct RequestTrace {
+    trace_id: String,
+    #[cfg(not(feature = "obs-off"))]
+    sink: Arc<Sink>,
+}
+
+impl RequestTrace {
+    /// Starts collecting a trace. `cap` bounds the number of spans (0
+    /// means [`MAX_SPANS_DEFAULT`]).
+    pub fn start(trace_id: String, cap: usize) -> RequestTrace {
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = cap;
+            RequestTrace { trace_id }
+        }
+        #[cfg(not(feature = "obs-off"))]
+        RequestTrace {
+            trace_id,
+            sink: Arc::new(Sink {
+                started: Instant::now(),
+                cap: if cap == 0 {
+                    MAX_SPANS_DEFAULT as u32
+                } else {
+                    cap.min(u32::MAX as usize) as u32
+                },
+                next_id: AtomicU64::new(1),
+                dropped: AtomicU64::new(0),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The trace id this collector was started with.
+    pub fn trace_id(&self) -> &str {
+        &self.trace_id
+    }
+
+    /// A handle whose children become root spans of this trace.
+    pub fn root_handle(&self) -> SpanHandle {
+        #[cfg(feature = "obs-off")]
+        {
+            SpanHandle::default()
+        }
+        #[cfg(not(feature = "obs-off"))]
+        SpanHandle {
+            inner: Some((Arc::clone(&self.sink), 0)),
+        }
+    }
+
+    /// Consumes the collector and returns the finished trace. Spans still
+    /// open elsewhere (e.g. on a worker that outlived the request) are
+    /// simply absent.
+    pub fn finish(self) -> CompletedTrace {
+        #[cfg(feature = "obs-off")]
+        {
+            CompletedTrace {
+                trace_id: self.trace_id,
+                ..CompletedTrace::default()
+            }
+        }
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let mut spans =
+                std::mem::take(&mut *self.sink.spans.lock().expect("span sink poisoned"));
+            spans.sort_by_key(|s| s.id);
+            CompletedTrace {
+                trace_id: self.trace_id,
+                spans,
+                dropped: self.sink.dropped.load(Ordering::Relaxed),
+            }
+        }
+    }
+}
+
+/// A cheap, cloneable capability to open spans under a particular parent.
+/// The default handle is disabled: every operation is a no-op.
+#[derive(Clone, Default)]
+pub struct SpanHandle {
+    #[cfg(not(feature = "obs-off"))]
+    inner: Option<(Arc<Sink>, u32)>,
+}
+
+impl std::fmt::Debug for SpanHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SpanHandle({})",
+            if self.is_enabled() { "on" } else { "off" }
+        )
+    }
+}
+
+impl SpanHandle {
+    /// The disabled handle (same as `Default`).
+    pub fn none() -> SpanHandle {
+        SpanHandle::default()
+    }
+
+    /// Whether spans opened through this handle are recorded.
+    pub fn is_enabled(&self) -> bool {
+        #[cfg(feature = "obs-off")]
+        {
+            false
+        }
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.inner.is_some()
+        }
+    }
+
+    /// Opens a child span; it records its wall time when the returned
+    /// guard is dropped (or [`SpanGuard::finish`]ed). On a disabled
+    /// handle, or past the trace's span cap, the guard is inert.
+    pub fn child(&self, name: &'static str) -> SpanGuard {
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = name;
+            SpanGuard {}
+        }
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let Some((sink, parent)) = &self.inner else {
+                return SpanGuard { state: None };
+            };
+            let id = sink.next_id.fetch_add(1, Ordering::Relaxed);
+            if id > sink.cap as u64 {
+                sink.dropped.fetch_add(1, Ordering::Relaxed);
+                return SpanGuard { state: None };
+            }
+            SpanGuard {
+                state: Some(GuardState {
+                    sink: Arc::clone(sink),
+                    id: id as u32,
+                    parent: *parent,
+                    name,
+                    start: Instant::now(),
+                    attrs: Vec::new(),
+                    note: None,
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+struct GuardState {
+    sink: Arc<Sink>,
+    id: u32,
+    parent: u32,
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, u64)>,
+    note: Option<String>,
+}
+
+/// An open span. Records itself into the trace when dropped.
+pub struct SpanGuard {
+    #[cfg(not(feature = "obs-off"))]
+    state: Option<GuardState>,
+}
+
+impl SpanGuard {
+    /// Attaches a numeric attribute. No-op on an inert guard.
+    pub fn attr(&mut self, name: &'static str, value: u64) {
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = (name, value);
+        }
+        #[cfg(not(feature = "obs-off"))]
+        if let Some(s) = &mut self.state {
+            s.attrs.push((name, value));
+        }
+    }
+
+    /// Attaches a free-text note (replacing any earlier one).
+    pub fn note(&mut self, note: &str) {
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = note;
+        }
+        #[cfg(not(feature = "obs-off"))]
+        if let Some(s) = &mut self.state {
+            s.note = Some(note.to_owned());
+        }
+    }
+
+    /// A handle parented at this span, for opening grandchildren deeper
+    /// in the call stack (possibly on another thread).
+    pub fn handle(&self) -> SpanHandle {
+        #[cfg(feature = "obs-off")]
+        {
+            SpanHandle::default()
+        }
+        #[cfg(not(feature = "obs-off"))]
+        {
+            match &self.state {
+                Some(s) => SpanHandle {
+                    inner: Some((Arc::clone(&s.sink), s.id)),
+                },
+                None => SpanHandle::default(),
+            }
+        }
+    }
+
+    /// Ends the span now instead of at scope exit.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "obs-off"))]
+        if let Some(s) = self.state.take() {
+            let start_ns = s
+                .start
+                .duration_since(s.sink.started)
+                .as_nanos()
+                .min(u64::MAX as u128) as u64;
+            let duration_ns = s.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let record = SpanRecord {
+                id: s.id,
+                parent: s.parent,
+                name: s.name,
+                start_ns,
+                duration_ns,
+                attrs: s.attrs,
+                note: s.note,
+            };
+            s.sink
+                .spans
+                .lock()
+                .expect("span sink poisoned")
+                .push(record);
+        }
+    }
+}
+
+/// Generates a fresh 32-hex-character trace id. Uniqueness comes from a
+/// process-wide counter hashed through two randomly-seeded `RandomState`s
+/// (std's per-process SipHash keys), so ids are unpredictable across
+/// processes without any external RNG dependency.
+pub fn gen_trace_id() -> String {
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::OnceLock;
+    static SEEDS: OnceLock<(
+        std::collections::hash_map::RandomState,
+        std::collections::hash_map::RandomState,
+    )> = OnceLock::new();
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let (a, b) = SEEDS.get_or_init(|| {
+        (
+            std::collections::hash_map::RandomState::new(),
+            std::collections::hash_map::RandomState::new(),
+        )
+    });
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut ha = a.build_hasher();
+    ha.write_u64(n);
+    let mut hb = b.build_hasher();
+    hb.write_u64(n ^ 0x9e37_79b9_7f4a_7c15);
+    format!("{:016x}{:016x}", ha.finish(), hb.finish())
+}
+
+/// Whether `id` is acceptable as a propagated trace id: non-empty, at
+/// most 64 bytes, and limited to `[0-9a-zA-Z_-]` so it can be echoed in a
+/// header and embedded in JSON without escaping.
+pub fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_valid() {
+        let a = gen_trace_id();
+        let b = gen_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(valid_trace_id(&a));
+        assert!(!valid_trace_id(""));
+        assert!(!valid_trace_id("has space"));
+        assert!(!valid_trace_id(&"x".repeat(65)));
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "spans compiled out")]
+    fn span_tree_records_parent_linkage() {
+        let trace = RequestTrace::start("t1".to_owned(), 0);
+        let root = trace.root_handle();
+        let mut http = root.child("http");
+        http.attr("status", 200);
+        let cache = http.handle().child("cache.probe");
+        let engine = http.handle().child("search");
+        let mut seg = engine.handle().child("search.segment");
+        seg.note("ta~name");
+        seg.finish();
+        engine.finish();
+        cache.finish();
+        http.finish();
+        let done = trace.finish();
+        assert_eq!(done.trace_id, "t1");
+        assert_eq!(done.spans.len(), 4);
+        assert_eq!(done.dropped, 0);
+        let by_name = |n: &str| done.spans.iter().find(|s| s.name == n).unwrap();
+        let http = by_name("http");
+        assert_eq!(http.parent, 0);
+        assert_eq!(by_name("cache.probe").parent, http.id);
+        let engine = by_name("search");
+        assert_eq!(engine.parent, http.id);
+        let seg = by_name("search.segment");
+        assert_eq!(seg.parent, engine.id);
+        assert_eq!(seg.note.as_deref(), Some("ta~name"));
+        assert_eq!(http.attrs, vec![("status", 200)]);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "spans compiled out")]
+    fn span_cap_counts_drops() {
+        let trace = RequestTrace::start("t2".to_owned(), 2);
+        let root = trace.root_handle();
+        for _ in 0..5 {
+            root.child("s").finish();
+        }
+        let done = trace.finish();
+        assert_eq!(done.spans.len(), 2);
+        assert_eq!(done.dropped, 3);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "spans compiled out")]
+    fn spans_cross_threads_with_linkage() {
+        let trace = RequestTrace::start("t3".to_owned(), 0);
+        let fanout = trace.root_handle().child("batch");
+        let handle = fanout.handle();
+        std::thread::scope(|scope| {
+            for i in 0..3u64 {
+                let h = handle.clone();
+                scope.spawn(move || {
+                    let mut item = h.child("batch.item");
+                    item.attr("index", i);
+                });
+            }
+        });
+        fanout.finish();
+        let done = trace.finish();
+        let fanout_id = done.spans.iter().find(|s| s.name == "batch").unwrap().id;
+        let items: Vec<_> = done
+            .spans
+            .iter()
+            .filter(|s| s.name == "batch.item")
+            .collect();
+        assert_eq!(items.len(), 3);
+        assert!(items.iter().all(|s| s.parent == fanout_id));
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = SpanHandle::none();
+        assert!(!h.is_enabled());
+        let mut g = h.child("nope");
+        g.attr("a", 1);
+        g.note("b");
+        assert!(!g.handle().is_enabled());
+    }
+
+    #[test]
+    #[cfg_attr(feature = "obs-off", ignore = "spans compiled out")]
+    fn span_json_shape() {
+        let s = SpanRecord {
+            id: 2,
+            parent: 1,
+            name: "cache.probe",
+            start_ns: 10,
+            duration_ns: 20,
+            attrs: vec![("hit", 1)],
+            note: Some("k\"v".to_owned()),
+        };
+        let mut out = String::new();
+        s.push_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"id\": 2, \"parent\": 1, \"name\": \"cache.probe\", \
+             \"start_ns\": 10, \"duration_ns\": 20, \"attrs\": {\"hit\": 1}, \
+             \"note\": \"k\\\"v\"}"
+        );
+    }
+}

@@ -65,6 +65,23 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Live entries across all shards.
     pub entries: u64,
+    /// Approximate bytes held by live entries, as declared at insertion
+    /// (see [`ShardedLru::insert_weighted`] and [`entry_weight`]).
+    pub bytes: u64,
+}
+
+/// Approximate heap footprint of one completion-cache entry: the key's
+/// inline size plus its query string, and the outcome's completion
+/// vectors. An estimate for the `cache.bytes` gauge, not an allocator
+/// measurement.
+pub fn entry_weight(key: &CacheKey, outcome: &SearchOutcome) -> usize {
+    use std::mem::size_of;
+    let completions: usize = outcome
+        .completions
+        .iter()
+        .map(|c| size_of::<ipe_core::Completion>() + c.edges.len() * size_of::<ipe_schema::RelId>())
+        .sum();
+    size_of::<CacheKey>() + key.query.len() + size_of::<SearchOutcome>() + completions
 }
 
 /// Sentinel for "no node" in the intrusive lists.
@@ -73,6 +90,8 @@ const NIL: usize = usize::MAX;
 struct Node<K, V> {
     key: K,
     value: V,
+    /// Declared entry weight for the byte gauge.
+    bytes: usize,
     prev: usize,
     next: usize,
 }
@@ -85,6 +104,8 @@ struct Shard<K, V> {
     free: Vec<usize>,
     head: usize,
     tail: usize,
+    /// Sum of the live nodes' declared weights.
+    bytes: u64,
 }
 
 impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
@@ -95,6 +116,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            bytes: 0,
         }
     }
 
@@ -134,9 +156,11 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
     }
 
     /// Inserts or refreshes; returns `true` when an old entry was evicted.
-    fn insert(&mut self, key: K, value: V, capacity: usize) -> bool {
+    fn insert(&mut self, key: K, value: V, bytes: usize, capacity: usize) -> bool {
         if let Some(&i) = self.map.get(&key) {
+            self.bytes = self.bytes - self.nodes[i].bytes as u64 + bytes as u64;
             self.nodes[i].value = value;
+            self.nodes[i].bytes = bytes;
             self.unlink(i);
             self.link_front(i);
             return false;
@@ -146,13 +170,16 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL, "capacity >= 1 and the shard is full");
             self.unlink(victim);
+            self.bytes -= self.nodes[victim].bytes as u64;
             self.map.remove(&self.nodes[victim].key);
             self.free.push(victim);
             evicted = true;
         }
+        self.bytes += bytes as u64;
         let node = Node {
             key: key.clone(),
             value,
+            bytes,
             prev: NIL,
             next: NIL,
         };
@@ -182,6 +209,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         let n = victims.len() as u64;
         for i in victims {
             self.unlink(i);
+            self.bytes -= self.nodes[i].bytes as u64;
             self.map.remove(&self.nodes[i].key);
             self.free.push(i);
         }
@@ -260,13 +288,20 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     }
 
     /// Inserts (or refreshes) `key`, evicting the shard's least recently
-    /// used entry when full.
+    /// used entry when full. The entry counts zero bytes toward the byte
+    /// gauge; use [`ShardedLru::insert_weighted`] to account its size.
     pub fn insert(&self, key: K, value: V) {
+        self.insert_weighted(key, value, 0);
+    }
+
+    /// Like [`ShardedLru::insert`], declaring the entry's approximate
+    /// heap footprint for the `cache.bytes` gauge (see [`entry_weight`]).
+    pub fn insert_weighted(&self, key: K, value: V, bytes: usize) {
         let evicted = self
             .shard_of(&key)
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value, self.per_shard);
+            .insert(key, value, bytes, self.per_shard);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             ipe_obs::counter!("service.cache.evict", 1);
@@ -278,6 +313,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         self.shards
             .iter()
             .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Approximate bytes held by live entries across all shards, as
+    /// declared at insertion.
+    pub fn bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").bytes)
             .sum()
     }
 
@@ -293,6 +337,7 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.len() as u64,
+            bytes: self.bytes(),
         }
     }
 }
@@ -368,6 +413,34 @@ mod tests {
         assert_eq!(cache.get(&key("c")), None);
         assert_eq!(cache.get(&key("b")), Some(9), "refreshed value");
         assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn byte_gauge_tracks_insert_refresh_evict_and_purge() {
+        let cache = tiny(2);
+        assert_eq!(cache.bytes(), 0);
+        cache.insert_weighted(key("a"), 1, 100);
+        cache.insert_weighted(key("b"), 2, 50);
+        assert_eq!(cache.bytes(), 150);
+        assert_eq!(cache.stats().bytes, 150);
+        // Refresh replaces the weight, never double-counts.
+        cache.insert_weighted(key("a"), 3, 40);
+        assert_eq!(cache.bytes(), 90);
+        // Eviction releases the victim's weight (b is LRU).
+        cache.insert_weighted(key("c"), 4, 7);
+        assert_eq!(cache.bytes(), 47);
+        // Purge releases everything for the schema.
+        let full: CompletionCache = ShardedLru::new(8, 2);
+        let outcome = Arc::new(SearchOutcome {
+            completions: Vec::new(),
+            stats: Default::default(),
+        });
+        let w = entry_weight(&key("q"), &outcome);
+        assert!(w > 0, "weight counts at least the key and outcome headers");
+        full.insert_weighted(key("q"), outcome, w);
+        assert_eq!(full.bytes(), w as u64);
+        full.purge_schema(1);
+        assert_eq!(full.bytes(), 0);
     }
 
     #[test]

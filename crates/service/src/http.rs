@@ -24,6 +24,10 @@ pub struct Request {
     pub method: String,
     /// Path with any query string stripped.
     pub path: String,
+    /// The query string (without the `?`), empty when absent.
+    pub query: String,
+    /// The `x-ipe-trace-id` request header, verbatim, when present.
+    pub trace_id: Option<String>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
     /// The request body (empty unless Content-Length was sent).
@@ -34,6 +38,15 @@ impl Request {
     /// The body as UTF-8 text, or an error message for the 400 response.
     pub fn text(&self) -> Result<&str, &'static str> {
         std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8")
+    }
+
+    /// The value of a `name=value` query parameter, if present. No
+    /// percent-decoding — the service's parameters are plain tokens.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -102,6 +115,7 @@ pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
     let mut content_length: Option<usize> = None;
     // HTTP/1.1 defaults to keep-alive; `Connection: close` opts out.
     let mut keep_alive = version == "HTTP/1.1";
+    let mut trace_id: Option<String> = None;
     let mut header_lines = 0usize;
     for line in lines {
         header_lines += 1;
@@ -134,6 +148,8 @@ pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
             content_length = Some(n);
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-ipe-trace-id") {
+            trace_id = Some(value.to_owned());
         }
     }
     let content_length = content_length.unwrap_or(0);
@@ -147,10 +163,15 @@ pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
         }
     }
     body.truncate(content_length);
-    let path = target.split('?').next().unwrap_or(target).to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
     ReadOutcome::Ok(Request {
         method: method.to_ascii_uppercase(),
         path,
+        query,
+        trace_id,
         keep_alive,
         body,
     })
@@ -168,6 +189,21 @@ pub fn write_response(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(stream, status, content_type, body, keep_alive, &[])
+}
+
+/// Like [`write_response`], with additional response headers (e.g. the
+/// `x-ipe-trace-id` echo). Header values must be line-safe; the caller
+/// guarantees it.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    use std::fmt::Write as _;
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -180,11 +216,15 @@ pub fn write_response(
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -219,22 +259,47 @@ impl Client {
     /// Sends one request and reads the full response. Reconnects once if
     /// the kept-alive connection went away.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
-        match self.try_request(method, path, body) {
+        self.request_with(method, path, body, &[])
+            .map(|r| (r.status, r.body))
+    }
+
+    /// Like [`Client::request`], sending additional request headers and
+    /// returning the full response including its headers (names
+    /// lower-cased).
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<ClientResponse> {
+        match self.try_request(method, path, body, headers) {
             Ok(r) => Ok(r),
             Err(_) => {
                 // The pooled connection may have been closed; retry fresh.
                 self.stream = None;
-                self.try_request(method, path, body)
+                self.try_request(method, path, body, headers)
             }
         }
     }
 
-    fn try_request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<ClientResponse> {
+        use std::fmt::Write as _;
         let stream = self.connect()?;
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: ipe\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: ipe\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(body.as_bytes())?;
         stream.flush()?;
@@ -264,11 +329,13 @@ impl Client {
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
         let mut content_length = 0usize;
         let mut keep_alive = true;
+        let mut response_headers: Vec<(String, String)> = Vec::new();
         for line in lines {
             let Some((name, value)) = line.split_once(':') else {
                 continue;
             };
             let value = value.trim();
+            response_headers.push((name.to_ascii_lowercase(), value.to_owned()));
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.parse().unwrap_or(0);
             } else if name.eq_ignore_ascii_case("connection") {
@@ -287,7 +354,32 @@ impl Client {
             self.stream = None;
         }
         String::from_utf8(body)
-            .map(|b| (status, b))
+            .map(|body| ClientResponse {
+                status,
+                headers: response_headers,
+                body,
+            })
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response body"))
+    }
+}
+
+/// A full response as read by [`Client::request_with`].
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The response body as UTF-8 text.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// The first header named `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 }

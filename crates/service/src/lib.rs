@@ -39,10 +39,12 @@ pub mod registry;
 pub mod server;
 
 pub use api::{CompleteRequest, CompleteResponse, CompletionView};
-pub use cache::{config_fingerprint, CacheKey, CacheStats, CompletionCache, ShardedLru};
-pub use http::Client;
+pub use cache::{
+    config_fingerprint, entry_weight, CacheKey, CacheStats, CompletionCache, ShardedLru,
+};
+pub use http::{Client, ClientResponse};
 pub use registry::{SchemaEntry, SchemaInfo, SchemaRegistry};
-pub use server::{Server, ServiceConfig, ServiceState, WarmupTracker};
+pub use server::{metrics_prometheus, Server, ServiceConfig, ServiceState, WarmupTracker};
 
 // The durability knobs callers need to fill a `ServiceConfig`.
 pub use ipe_store::FsyncPolicy;

@@ -12,13 +12,15 @@ use crate::api::{
     error_body, BatchCompleteRequest, BatchCompleteResponse, BatchItemView, CompleteRequest,
     CompleteResponse, CompletionView, SchemaDeleteResponse, SchemaPutResponse,
 };
-use crate::cache::{config_fingerprint, CacheKey, CompletionCache};
-use crate::http::{read_request, write_response, ReadOutcome, Request};
+use crate::cache::{config_fingerprint, entry_weight, CacheKey, CompletionCache};
+use crate::http::{read_request, write_response, write_response_with, ReadOutcome, Request};
 use crate::registry::SchemaRegistry;
 use ipe_core::{
-    complete_batch, BatchOptions, CompleteError, Completer, CompletionConfig, SearchOutcome,
+    complete_batch, BatchOptions, CompleteError, Completer, CompletionConfig, SearchLimits,
+    SearchOutcome, SearchStats,
 };
 use ipe_index::{IndexMode, IndexedSchema};
+use ipe_obs::{CompletedRequest, FlightConfig, FlightRecorder, RequestTrace, SpanHandle};
 use ipe_parser::{parse_path_expression, PathExprAst};
 use ipe_schema::Schema;
 use ipe_store::{
@@ -79,6 +81,24 @@ pub struct ServiceConfig {
     /// fallback path can be exercised deterministically. Zero in
     /// production.
     pub index_build_delay_ms: u64,
+    /// Head sampling for request tracing: record a span tree for 1 in N
+    /// requests (1 = every request, 0 = tracing off). An unsampled
+    /// request pays one atomic check and nothing else.
+    pub trace_sample_n: u64,
+    /// Flight-recorder recent ring: how many completed request traces to
+    /// retain.
+    pub flight_capacity: usize,
+    /// Flight recorder: size of the always-keep slowest-requests
+    /// reservoir.
+    pub flight_keep_slowest: usize,
+    /// Flight recorder: size of the always-keep errored-requests ring.
+    pub flight_keep_errors: usize,
+    /// Requests whose handler wall time reaches this many milliseconds
+    /// are flagged slow and force-retained in the flight recorder
+    /// (0 disables the threshold).
+    pub slow_ms: u64,
+    /// Emit one structured JSON access-log line per request to stderr.
+    pub access_log: bool,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +117,12 @@ impl Default for ServiceConfig {
             warmup_top_k: 64,
             index_mode: IndexMode::On,
             index_build_delay_ms: 0,
+            trace_sample_n: 1,
+            flight_capacity: 256,
+            flight_keep_slowest: 16,
+            flight_keep_errors: 32,
+            slow_ms: 500,
+            access_log: false,
         }
     }
 }
@@ -195,6 +221,11 @@ pub struct ServiceState {
     /// Live background index-build threads, joined on shutdown so a
     /// build's sidecar write never races the final snapshot.
     index_builders: Mutex<Vec<JoinHandle<()>>>,
+    /// The flight recorder of completed request traces (see
+    /// `GET /v1/debug/requests`).
+    pub flight: FlightRecorder,
+    slow_ms: u64,
+    access_log: bool,
 }
 
 impl ServiceState {
@@ -222,6 +253,15 @@ impl ServiceState {
             completes_indexed: AtomicU64::new(0),
             completes_unindexed: AtomicU64::new(0),
             index_builders: Mutex::new(Vec::new()),
+            flight: FlightRecorder::new(FlightConfig {
+                capacity: config.flight_capacity,
+                shards: 8,
+                keep_slowest: config.flight_keep_slowest,
+                keep_errors: config.flight_keep_errors,
+                sample_n: config.trace_sample_n,
+            }),
+            slow_ms: config.slow_ms,
+            access_log: config.access_log,
         }
     }
 
@@ -690,8 +730,17 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServiceState>, timeout: 
         match read_request(&mut stream) {
             ReadOutcome::Ok(req) => {
                 let keep = req.keep_alive;
-                let (status, body) = route(state, &req);
-                if write_response(&mut stream, status, "application/json", &body, keep).is_err() {
+                let (reply, trace_id) = handle_request(state, &req);
+                if write_response_with(
+                    &mut stream,
+                    reply.status,
+                    reply.content_type,
+                    &reply.body,
+                    keep,
+                    &[("x-ipe-trace-id", &trace_id)],
+                )
+                .is_err()
+                {
                     break;
                 }
                 if state.shutting_down() {
@@ -720,56 +769,300 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ServiceState>, timeout: 
     }
 }
 
-/// Dispatches one request. Returns `(status, body)`.
-fn route(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+/// One routed response: status, body, and its content type (JSON for
+/// everything except the Prometheus exposition).
+struct Reply {
+    status: u16,
+    body: String,
+    content_type: &'static str,
+}
+
+impl Reply {
+    fn json(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            body,
+            content_type: "application/json",
+        }
+    }
+}
+
+/// Per-request observability context handed down to the route handlers:
+/// the span handle children are opened under, plus the fields the access
+/// log reports. The handle is disabled for unsampled requests, making
+/// every span operation a no-op.
+struct ReqObs {
+    span: SpanHandle,
+    /// Whether the completion cache answered (`None` for routes that do
+    /// not consult it).
+    cache_hit: Option<bool>,
+    /// Search node expansions performed by this request.
+    expansions: u64,
+    /// Search branches pruned by this request.
+    prunes: u64,
+}
+
+impl ReqObs {
+    /// Folds one search run's counters into the access-log totals.
+    fn absorb_stats(&mut self, stats: &SearchStats) {
+        self.expansions += stats.calls;
+        self.prunes += stats.pruned_visited
+            + stats.pruned_best_t
+            + stats.pruned_best_u
+            + stats.pruned_index_unreachable
+            + stats.pruned_index_bound;
+    }
+}
+
+/// Coarse route label for per-route timers, the flight recorder, and the
+/// access log.
+fn route_label(req: &Request) -> &'static str {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/complete") => "complete",
+        ("POST", "/v1/complete/batch") => "batch",
+        (_, p) if p.starts_with("/v1/schemas") => "schemas",
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("GET", p) if p.starts_with("/v1/debug/requests") => "debug",
+        ("POST", "/v1/shutdown") => "shutdown",
+        _ => "other",
+    }
+}
+
+/// Records one request's wall time into its route's timer, so the
+/// Prometheus exposition derives p50/p95/p99 per route.
+fn record_route_timer(route: &'static str, ns: u64) {
+    use ipe_obs::Timer;
+    static COMPLETE: Timer = Timer::new("service.route.complete");
+    static BATCH: Timer = Timer::new("service.route.batch");
+    static SCHEMAS: Timer = Timer::new("service.route.schemas");
+    static HEALTHZ: Timer = Timer::new("service.route.healthz");
+    static METRICS: Timer = Timer::new("service.route.metrics");
+    static DEBUG: Timer = Timer::new("service.route.debug");
+    static SHUTDOWN: Timer = Timer::new("service.route.shutdown");
+    static OTHER: Timer = Timer::new("service.route.other");
+    let timer = match route {
+        "complete" => &COMPLETE,
+        "batch" => &BATCH,
+        "schemas" => &SCHEMAS,
+        "healthz" => &HEALTHZ,
+        "metrics" => &METRICS,
+        "debug" => &DEBUG,
+        "shutdown" => &SHUTDOWN,
+        _ => &OTHER,
+    };
+    timer.record_ns(ns);
+}
+
+/// The full request lifecycle around [`route`]: trace-id extraction (or
+/// generation), head sampling, the root `http` span, per-route timing,
+/// flight-recorder retention, and the access log. Returns the reply and
+/// the trace id to echo in the `x-ipe-trace-id` response header.
+fn handle_request(state: &Arc<ServiceState>, req: &Request) -> (Reply, String) {
     let _t = ipe_obs::timer!("service.request");
     ipe_obs::counter!("service.requests", 1);
     state.requests_total.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    // Propagated ids are honoured only when header-and-JSON safe;
+    // anything else gets a fresh id.
+    let trace_id = match req
+        .trace_id
+        .as_deref()
+        .filter(|id| ipe_obs::valid_trace_id(id))
+    {
+        Some(id) => id.to_owned(),
+        None => ipe_obs::gen_trace_id(),
+    };
+    let sampled = state.flight.should_sample();
+    let trace = sampled.then(|| RequestTrace::start(trace_id.clone(), 0));
+    let mut obs = ReqObs {
+        span: trace.as_ref().map(|t| t.root_handle()).unwrap_or_default(),
+        cache_hit: None,
+        expansions: 0,
+        prunes: 0,
+    };
+    let mut http_span = obs.span.child("http");
+    if obs.span.is_enabled() {
+        // Guarded: the format allocates, and unsampled requests must pay
+        // only the sampling check.
+        http_span.note(&format!("{} {}", req.method, req.path));
+    }
+    obs.span = http_span.handle();
+    let reply = route(state, req, &mut obs);
+    let label = route_label(req);
+    http_span.attr("status", reply.status as u64);
+    http_span.finish();
+    let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    record_route_timer(label, duration_ns);
+    let error = reply.status >= 400;
+    let slow = state.slow_ms > 0 && duration_ns >= state.slow_ms.saturating_mul(1_000_000);
+    if sampled || error || slow {
+        let (spans, dropped_spans) = match trace {
+            Some(t) => {
+                let done = t.finish();
+                (done.spans, done.dropped)
+            }
+            None => (Vec::new(), 0),
+        };
+        state.flight.record(CompletedRequest {
+            trace_id: trace_id.clone(),
+            route: label,
+            method: req.method.clone(),
+            path: req.path.clone(),
+            status: reply.status,
+            duration_ns,
+            error,
+            slow,
+            spans,
+            dropped_spans,
+            seq: 0,
+        });
+    }
+    if state.access_log {
+        eprintln!(
+            "{}",
+            access_log_line(&trace_id, label, req, reply.status, duration_ns, slow, &obs)
+        );
+    }
+    (reply, trace_id)
+}
+
+/// One structured access-log line: trace id, route, status, duration,
+/// cache outcome, and search effort, as a single JSON object.
+fn access_log_line(
+    trace_id: &str,
+    route: &'static str,
+    req: &Request,
+    status: u16,
+    duration_ns: u64,
+    slow: bool,
+    obs: &ReqObs,
+) -> String {
+    use std::fmt::Write as _;
+    let ts_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut out = String::with_capacity(224);
+    let _ = write!(out, "{{\"ts_ms\": {ts_ms}, \"trace_id\": ");
+    ipe_obs::json::push_str_literal(&mut out, trace_id);
+    out.push_str(", \"route\": ");
+    ipe_obs::json::push_str_literal(&mut out, route);
+    out.push_str(", \"method\": ");
+    ipe_obs::json::push_str_literal(&mut out, &req.method);
+    out.push_str(", \"path\": ");
+    ipe_obs::json::push_str_literal(&mut out, &req.path);
+    let _ = write!(
+        out,
+        ", \"status\": {status}, \"duration_ns\": {duration_ns}"
+    );
+    match obs.cache_hit {
+        Some(hit) => {
+            let _ = write!(out, ", \"cache_hit\": {hit}");
+        }
+        None => out.push_str(", \"cache_hit\": null"),
+    }
+    let _ = write!(
+        out,
+        ", \"expansions\": {}, \"prunes\": {}, \"slow\": {slow}}}",
+        obs.expansions, obs.prunes
+    );
+    out
+}
+
+/// Dispatches one request.
+fn route(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/complete") => handle_complete(state, req),
-        ("POST", "/v1/complete/batch") => handle_batch(state, req),
+        ("POST", "/v1/complete") => handle_complete(state, req, obs),
+        ("POST", "/v1/complete/batch") => handle_batch(state, req, obs),
         ("GET", "/v1/schemas") => {
             let list = state.registry.list();
             match serde_json::to_string(&list) {
-                Ok(json) => (200, format!("{{\"schemas\": {json}}}")),
-                Err(e) => (500, error_body(&e.to_string())),
+                Ok(json) => Reply::json(200, format!("{{\"schemas\": {json}}}")),
+                Err(e) => Reply::json(500, error_body(&e.to_string())),
             }
         }
         ("PUT", path) if path.starts_with("/v1/schemas/") => handle_put_schema(state, req),
         ("DELETE", path) if path.starts_with("/v1/schemas/") => handle_delete_schema(state, req),
         ("GET", path) if path.starts_with("/v1/schemas/") => handle_get_schema(state, req),
-        ("GET", "/healthz") => (200, "{\"status\": \"ok\"}".to_owned()),
-        ("GET", "/metrics") => (200, metrics_json(state)),
+        ("GET", "/healthz") => Reply::json(200, "{\"status\": \"ok\"}".to_owned()),
+        ("GET", "/metrics") => {
+            if req.query_param("format") == Some("prometheus") {
+                Reply {
+                    status: 200,
+                    body: metrics_prometheus(state),
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                }
+            } else {
+                Reply::json(200, metrics_json(state))
+            }
+        }
+        ("GET", "/v1/debug/requests") => handle_debug_requests(state),
+        ("GET", path) if path.starts_with("/v1/debug/requests/") => {
+            handle_debug_request(state, path)
+        }
         ("POST", "/v1/shutdown") => {
             // Flag only; the poke happens after the response is written.
             state.shutdown.store(true, Ordering::SeqCst);
-            (200, "{\"ok\": true}".to_owned())
+            Reply::json(200, "{\"ok\": true}".to_owned())
         }
-        _ => (404, error_body("no such endpoint")),
+        _ => Reply::json(404, error_body("no such endpoint")),
     }
 }
 
-fn handle_complete(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+/// `GET /v1/debug/requests`: the flight recorder's retained-trace
+/// summaries. Cleanly absent (404) when observability is compiled out.
+fn handle_debug_requests(state: &Arc<ServiceState>) -> Reply {
+    if ipe_obs::disabled() {
+        return Reply::json(404, error_body("request tracing is compiled out (obs-off)"));
+    }
+    Reply::json(200, state.flight.dump_json())
+}
+
+/// `GET /v1/debug/requests/:trace_id`: one retained trace, spans and all.
+fn handle_debug_request(state: &Arc<ServiceState>, path: &str) -> Reply {
+    if ipe_obs::disabled() {
+        return Reply::json(404, error_body("request tracing is compiled out (obs-off)"));
+    }
+    let id = &path["/v1/debug/requests/".len()..];
+    if id.is_empty() || id.contains('/') {
+        return Reply::json(400, error_body("trace id must be a single path segment"));
+    }
+    match state.flight.lookup(id) {
+        Some(trace) => Reply::json(200, trace.to_json()),
+        None => Reply::json(404, error_body(&format!("no retained trace `{id}`"))),
+    }
+}
+
+fn handle_complete(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
     let body = match req.text() {
         Ok(b) => b,
-        Err(msg) => return (400, error_body(msg)),
+        Err(msg) => return Reply::json(400, error_body(msg)),
     };
     let parsed: CompleteRequest = match serde_json::from_str(body) {
         Ok(p) => p,
-        Err(e) => return (400, error_body(&format!("bad request body: {e}"))),
+        Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
     };
     let started = Instant::now();
     let name = parsed.schema_name();
-    let Some(entry) = state.registry.get(name) else {
-        return (404, error_body(&format!("no schema named `{name}`")));
+    let mut lookup_span = obs.span.child("registry.lookup");
+    lookup_span.note(name);
+    let entry = state.registry.get(name);
+    lookup_span.attr("found", entry.is_some() as u64);
+    lookup_span.finish();
+    let Some(entry) = entry else {
+        return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
+    let mut parse_span = obs.span.child("parse");
+    parse_span.note(&parsed.query);
     let ast = match parse_path_expression(&parsed.query) {
         Ok(ast) => ast,
-        Err(e) => return (400, error_body(&e.to_string())),
+        Err(e) => return Reply::json(400, error_body(&e.to_string())),
     };
+    parse_span.finish();
     let cfg = match parsed.config(&entry.schema) {
         Ok(cfg) => cfg,
-        Err(msg) => return (400, error_body(&msg)),
+        Err(msg) => return Reply::json(400, error_body(&msg)),
     };
     let normalized = ast.to_string();
     let key = CacheKey {
@@ -778,7 +1071,11 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
         query: normalized.clone(),
         fingerprint: config_fingerprint(&cfg),
     };
-    let (outcome, cached) = match state.cache.get(&key) {
+    let mut probe_span = obs.span.child("cache.probe");
+    let probe = state.cache.get(&key);
+    probe_span.attr("hit", probe.is_some() as u64);
+    probe_span.finish();
+    let (outcome, cached) = match probe {
         Some(hit) => (hit, true),
         None => {
             let mut engine = Completer::with_config(&entry.schema, cfg);
@@ -787,16 +1084,29 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
                 .map(|ix| engine.attach_index(ix))
                 .unwrap_or(false);
             state.count_complete(indexed);
-            match engine.complete_with_stats(&ast) {
+            let mut search_span = obs.span.child("search");
+            search_span.attr("indexed", indexed as u64);
+            let limits = SearchLimits {
+                span: search_span.handle(),
+                ..SearchLimits::default()
+            };
+            match engine.complete_bounded(&ast, &limits) {
                 Ok(outcome) => {
+                    search_span.attr("calls", outcome.stats.calls);
+                    search_span.finish();
+                    obs.absorb_stats(&outcome.stats);
+                    let weight = entry_weight(&key, &outcome);
                     let outcome = Arc::new(outcome);
-                    state.cache.insert(key, Arc::clone(&outcome));
+                    state
+                        .cache
+                        .insert_weighted(key, Arc::clone(&outcome), weight);
                     (outcome, false)
                 }
-                Err(e) => return (422, error_body(&e.to_string())),
+                Err(e) => return Reply::json(422, error_body(&e.to_string())),
             }
         }
     };
+    obs.cache_hit = Some(cached);
     if let Some(warmup) = &state.warmup {
         warmup.record(&entry.name, &normalized);
     }
@@ -811,8 +1121,8 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
         stats: outcome.stats,
     };
     match serde_json::to_string(&response) {
-        Ok(json) => (200, json),
-        Err(e) => (500, error_body(&e.to_string())),
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
     }
 }
 
@@ -830,17 +1140,17 @@ fn completion_views(schema: &Schema, outcome: &SearchOutcome) -> Vec<CompletionV
         .collect()
 }
 
-fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+fn handle_batch(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
     let body = match req.text() {
         Ok(b) => b,
-        Err(msg) => return (400, error_body(msg)),
+        Err(msg) => return Reply::json(400, error_body(msg)),
     };
     let parsed: BatchCompleteRequest = match serde_json::from_str(body) {
         Ok(p) => p,
-        Err(e) => return (400, error_body(&format!("bad request body: {e}"))),
+        Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
     };
     if parsed.queries.len() > MAX_BATCH_ITEMS {
-        return (
+        return Reply::json(
             400,
             error_body(&format!(
                 "batch of {} queries exceeds the cap of {MAX_BATCH_ITEMS}",
@@ -851,11 +1161,11 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
     let started = Instant::now();
     let name = parsed.schema_name();
     let Some(entry) = state.registry.get(name) else {
-        return (404, error_body(&format!("no schema named `{name}`")));
+        return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
     let cfg = match parsed.config(&entry.schema) {
         Ok(cfg) => cfg,
-        Err(msg) => return (400, error_body(&msg)),
+        Err(msg) => return Reply::json(400, error_body(&msg)),
     };
     let deadline_ms = parsed
         .deadline_ms
@@ -870,6 +1180,8 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
     // First pass: parse and probe the cache per item. Parse failures and
     // cache hits resolve immediately; misses collect into one parallel
     // engine batch.
+    let mut prepare_span = obs.span.child("batch.prepare");
+    prepare_span.attr("items", parsed.queries.len() as u64);
     let mut views: Vec<Option<BatchItemView>> = (0..parsed.queries.len()).map(|_| None).collect();
     let mut miss_slots: Vec<usize> = Vec::new();
     let mut miss_keys: Vec<CacheKey> = Vec::new();
@@ -912,15 +1224,24 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
         }
     }
 
+    let resolved = views.iter().filter(|v| v.is_some()).count();
+    prepare_span.attr("resolved", resolved as u64);
+    prepare_span.attr("misses", miss_asts.len() as u64);
+    prepare_span.finish();
+
     // Second pass: the misses, fanned over the batch work pool. Only `ok`
     // results enter the cache — a deadline hit is a property of this
     // run's budget, not of the query.
     let mut deadline_hits = 0u64;
     if !miss_asts.is_empty() {
+        let mut fanout_span = obs.span.child("batch");
+        fanout_span.attr("misses", miss_asts.len() as u64);
+        fanout_span.attr("threads", threads as u64);
         let opts = BatchOptions {
             threads,
             deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
             cancel: None,
+            span: fanout_span.handle(),
         };
         let mut engine = Completer::with_config(&entry.schema, cfg);
         let indexed = entry
@@ -929,14 +1250,17 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
             .unwrap_or(false);
         state.count_complete(indexed);
         let out = complete_batch(&engine, &miss_asts, &opts);
+        fanout_span.finish();
         for item in out {
             let slot = miss_slots[item.index];
             let key = miss_keys[item.index].clone();
             let normalized = key.query.clone();
             views[slot] = Some(match item.result {
                 Ok(outcome) => {
+                    obs.absorb_stats(&outcome.stats);
                     let completions = completion_views(&entry.schema, &outcome);
-                    state.cache.insert(key, Arc::new(outcome));
+                    let weight = entry_weight(&key, &outcome);
+                    state.cache.insert_weighted(key, Arc::new(outcome), weight);
                     BatchItemView {
                         query: normalized,
                         status: "ok".to_owned(),
@@ -978,39 +1302,45 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
             .map(|v| v.expect("every batch slot resolved"))
             .collect(),
     };
+    // The batch as a whole "hit" only when every query resolved from
+    // cache (no fan-out ran).
+    obs.cache_hit = Some(response.items.iter().all(|v| v.cached));
     match serde_json::to_string(&response) {
-        Ok(json) => (200, json),
-        Err(e) => (500, error_body(&e.to_string())),
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
     }
 }
 
 /// Extracts and validates the `:name` segment of a `/v1/schemas/:name`
 /// path.
-fn schema_name_segment(path: &str) -> Result<&str, (u16, String)> {
+fn schema_name_segment(path: &str) -> Result<&str, Reply> {
     let name = &path["/v1/schemas/".len()..];
     if name.is_empty() || name.contains('/') {
-        return Err((400, error_body("schema name must be a single path segment")));
+        return Err(Reply::json(
+            400,
+            error_body("schema name must be a single path segment"),
+        ));
     }
     Ok(name)
 }
 
-fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
     let name = match schema_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
     };
     let body = match req.text() {
         Ok(b) => b,
-        Err(msg) => return (400, error_body(msg)),
+        Err(msg) => return Reply::json(400, error_body(msg)),
     };
     let schema = match Schema::from_json(body) {
         Ok(s) => s,
-        Err(e) => return (400, error_body(&format!("invalid schema: {e}"))),
+        Err(e) => return Reply::json(400, error_body(&format!("invalid schema: {e}"))),
     };
     let entry = match state.register_schema(name, schema, body) {
         Ok(entry) => entry,
         Err(e) => {
-            return (
+            return Reply::json(
                 500,
                 error_body(&format!("schema registered but not persisted: {e}")),
             )
@@ -1033,12 +1363,12 @@ fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) 
         purged_cache_entries: purged,
     };
     match serde_json::to_string(&response) {
-        Ok(json) => (200, json),
-        Err(e) => (500, error_body(&e.to_string())),
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
     }
 }
 
-fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
     let name = match schema_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
@@ -1048,7 +1378,7 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, Strin
         .as_ref()
         .map(|m| m.lock().expect("store poisoned"));
     let Some(entry) = state.registry.remove(name) else {
-        return (404, error_body(&format!("no schema named `{name}`")));
+        return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
     // Purge before acknowledging so a deleted schema's cached results are
     // unreachable the moment the 200 lands.
@@ -1060,7 +1390,7 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, Strin
     if let Some(mut store) = store_guard {
         if let Err(e) = store.append_delete(name) {
             ipe_obs::counter!("store.wal.append_failed", 1);
-            return (
+            return Reply::json(
                 500,
                 error_body(&format!("schema removed but delete not persisted: {e}")),
             );
@@ -1073,18 +1403,18 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, Strin
         purged_cache_entries: purged,
     };
     match serde_json::to_string(&response) {
-        Ok(json) => (200, json),
-        Err(e) => (500, error_body(&e.to_string())),
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
     }
 }
 
-fn handle_get_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) {
+fn handle_get_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
     let name = match schema_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
     };
     let Some(entry) = state.registry.get(name) else {
-        return (404, error_body(&format!("no schema named `{name}`")));
+        return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
     let info = crate::registry::SchemaInfo {
         name: entry.name.clone(),
@@ -1094,8 +1424,8 @@ fn handle_get_schema(state: &Arc<ServiceState>, req: &Request) -> (u16, String) 
         relationships: entry.schema.rel_count() as u64,
     };
     match serde_json::to_string(&info) {
-        Ok(json) => (200, json),
-        Err(e) => (500, error_body(&e.to_string())),
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
     }
 }
 
@@ -1143,12 +1473,13 @@ fn warm_cache(state: &Arc<ServiceState>, entries: &[WarmupEntry], top_k: usize) 
             threads: 2,
             deadline: Some(WARMUP_REPLAY_DEADLINE),
             cancel: None,
+            span: SpanHandle::none(),
         };
         for item in complete_batch(&engine, &asts, &opts) {
             if let Ok(outcome) = item.result {
-                state
-                    .cache
-                    .insert(keys[item.index].clone(), Arc::new(outcome));
+                let key = keys[item.index].clone();
+                let weight = entry_weight(&key, &outcome);
+                state.cache.insert_weighted(key, Arc::new(outcome), weight);
                 warmed += 1;
             }
         }
@@ -1165,8 +1496,132 @@ pub fn metrics_json(state: &ServiceState) -> String {
     let mut report = ipe_obs::Report::new();
     report.meta("component", "ipe-service");
     report.capture_metrics();
-    if let Ok(json) = serde_json::to_string(&state.metrics_view()) {
-        report.attach_json("service", json);
-    }
+    attach_service_gauges(&mut report, serde_json::to_string(&state.metrics_view()));
     report.to_json()
+}
+
+/// Attaches the serialized `service` gauge section to a metrics report.
+/// A serialization failure must not silently drop the section — the
+/// scrape keeps its shape and carries an explicit error instead.
+fn attach_service_gauges(report: &mut ipe_obs::Report, gauges: Result<String, serde_json::Error>) {
+    match gauges {
+        Ok(json) => report.attach_json("service", json),
+        Err(e) => report.attach_json(
+            "service",
+            error_body(&format!("service gauges unavailable: {e}")),
+        ),
+    };
+}
+
+/// Builds the `/metrics?format=prometheus` body: every registered
+/// counter and log2-bucket timer as Prometheus `counter`/`histogram`
+/// families (with derived p50/p95/p99 quantile gauges), plus the live
+/// service gauges.
+pub fn metrics_prometheus(state: &ServiceState) -> String {
+    use ipe_obs::prom::Gauge;
+    let m = state.metrics_view();
+    let gauges = [
+        Gauge::new(
+            "service.cache.entries",
+            "Live entries in the completion cache.",
+            m.cache.entries as f64,
+        ),
+        Gauge::new(
+            "service.cache.bytes",
+            "Approximate bytes held by completion-cache entries.",
+            m.cache.bytes as f64,
+        ),
+        Gauge::new(
+            "service.workers",
+            "HTTP worker threads serving requests.",
+            m.workers as f64,
+        ),
+        Gauge::new(
+            "service.queue_depth",
+            "Connections queued for a worker right now.",
+            m.queue_depth as f64,
+        ),
+        Gauge::new(
+            "service.schemas",
+            "Schemas registered in the service.",
+            m.schemas as f64,
+        ),
+        Gauge::new(
+            "service.wal_last_seq",
+            "Last durable WAL sequence number (0 when not durable).",
+            m.wal_last_seq as f64,
+        ),
+        Gauge::new(
+            "service.index.builds_completed",
+            "Closure index builds finished since startup.",
+            m.index.builds_completed as f64,
+        ),
+        Gauge::new(
+            "service.index.builds_in_flight",
+            "Closure index builds currently running.",
+            m.index.builds_in_flight as f64,
+        ),
+        Gauge::new(
+            "service.flight.recorded",
+            "Request traces retained in the flight recorder.",
+            state.flight.recorded() as f64,
+        ),
+    ];
+    ipe_obs::prom::render(&gauges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The vendored `serde_json` serializer never actually fails, so the
+    /// error branch of the gauge attachment is exercised with an error
+    /// manufactured from the parser.
+    #[test]
+    fn metrics_report_carries_explicit_error_when_gauges_fail() {
+        let err = serde_json::from_str::<u64>("not a number").unwrap_err();
+        let mut report = ipe_obs::Report::new();
+        attach_service_gauges(&mut report, Err(err));
+        let json = report.to_json();
+        assert!(
+            json.contains("service gauges unavailable"),
+            "error must be visible in the report: {json}"
+        );
+        assert!(
+            json.contains("\"service\""),
+            "the service section must keep its shape: {json}"
+        );
+    }
+
+    #[test]
+    fn metrics_report_embeds_gauges_on_success() {
+        let mut report = ipe_obs::Report::new();
+        attach_service_gauges(&mut report, Ok("{\"workers\": 4}".to_owned()));
+        let json = report.to_json();
+        assert!(json.contains("\"workers\": 4"), "{json}");
+    }
+
+    /// Route labels cover every endpoint family; unknown paths fall into
+    /// `other` rather than panicking or mislabeling.
+    #[test]
+    fn route_labels() {
+        let req = |method: &str, path: &str| Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            query: String::new(),
+            trace_id: None,
+            keep_alive: true,
+            body: Vec::new(),
+        };
+        assert_eq!(route_label(&req("POST", "/v1/complete")), "complete");
+        assert_eq!(route_label(&req("POST", "/v1/complete/batch")), "batch");
+        assert_eq!(route_label(&req("GET", "/v1/schemas")), "schemas");
+        assert_eq!(route_label(&req("PUT", "/v1/schemas/x")), "schemas");
+        assert_eq!(route_label(&req("GET", "/healthz")), "healthz");
+        assert_eq!(route_label(&req("GET", "/metrics")), "metrics");
+        assert_eq!(route_label(&req("GET", "/v1/debug/requests")), "debug");
+        assert_eq!(route_label(&req("GET", "/v1/debug/requests/abc")), "debug");
+        assert_eq!(route_label(&req("POST", "/v1/shutdown")), "shutdown");
+        assert_eq!(route_label(&req("GET", "/nope")), "other");
+    }
 }

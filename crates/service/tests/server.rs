@@ -489,3 +489,403 @@ fn header_floods_are_431() {
     assert_eq!(raw_status(&resp), 431, "{resp}");
     server.shutdown();
 }
+
+/// A test server with explicit tracing/flight-recorder knobs.
+fn start_traced_server(tune: impl FnOnce(&mut ServiceConfig)) -> (Server, Client) {
+    let mut config = ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        queue_depth: 16,
+        request_timeout: Duration::from_secs(5),
+        cache_capacity: 256,
+        cache_shards: 4,
+        batch_threads: 2,
+        ..Default::default()
+    };
+    tune(&mut config);
+    let server = Server::start(config).expect("bind ephemeral port");
+    server
+        .state()
+        .registry
+        .insert("default", fixtures::university());
+    let client = Client::new(server.addr().to_string());
+    (server, client)
+}
+
+/// Every span must close the parent chain: parent 0 is the root, any
+/// other parent must be the id of another span in the same trace.
+fn assert_parent_linkage(spans: &[Value], body: &str) {
+    let ids: Vec<u64> = spans.iter().map(|s| as_u64(&get(s, "id"))).collect();
+    for s in spans {
+        let parent = as_u64(&get(s, "parent"));
+        assert!(
+            parent == 0 || ids.contains(&parent),
+            "span {:?} has dangling parent {parent}: {body}",
+            get(s, "name")
+        );
+    }
+}
+
+fn span_names(spans: &[Value]) -> Vec<String> {
+    spans
+        .iter()
+        .map(|s| match get(s, "name") {
+            Value::Str(s) => s,
+            other => panic!("span name is not a string: {other:?}"),
+        })
+        .collect()
+}
+
+/// A propagated `x-ipe-trace-id` is echoed back and keys a retrievable
+/// trace at `/v1/debug/requests/:trace_id` whose span tree covers the
+/// request lifecycle (http -> cache probe -> search -> per-segment) with
+/// intact parent linkage.
+#[test]
+#[cfg_attr(feature = "obs-off", ignore = "tracing is compiled out")]
+fn trace_id_propagates_and_trace_is_retrievable() {
+    let (server, mut client) = start_traced_server(|_| {});
+    let resp = client
+        .request_with(
+            "POST",
+            "/v1/complete",
+            r#"{"query": "ta~name"}"#,
+            &[("x-ipe-trace-id", "myid123")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        resp.header("x-ipe-trace-id"),
+        Some("myid123"),
+        "propagated trace id must be echoed"
+    );
+
+    let (status, body) = client
+        .request("GET", "/v1/debug/requests/myid123", "")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse_value_text(&body).expect("trace is valid JSON");
+    assert_eq!(get(&v, "trace_id"), Value::Str("myid123".to_owned()));
+    assert_eq!(get(&v, "route"), Value::Str("complete".to_owned()));
+    let Value::Seq(spans) = get(&v, "spans") else {
+        panic!("spans is not an array: {body}");
+    };
+    assert!(
+        spans.len() >= 4,
+        "want >= 4 spans, got {}: {body}",
+        spans.len()
+    );
+    let names = span_names(&spans);
+    for expected in ["http", "cache.probe", "search", "search.segment"] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing span {expected}: {names:?}"
+        );
+    }
+    assert_parent_linkage(&spans, &body);
+    // The segment search span carries the engine's prune counters.
+    let seg = spans
+        .iter()
+        .find(|s| matches!(get(s, "name"), Value::Str(n) if n == "search.segment"))
+        .unwrap();
+    let attrs = get(seg, "attrs");
+    assert!(attrs.get("calls").is_some(), "{body}");
+    server.shutdown();
+}
+
+/// Without a propagated id the server generates one, echoes it, and the
+/// trace is retrievable under the generated id.
+#[test]
+#[cfg_attr(feature = "obs-off", ignore = "tracing is compiled out")]
+fn generated_trace_id_is_echoed_and_retained() {
+    let (server, mut client) = start_traced_server(|_| {});
+    let resp = client
+        .request_with("POST", "/v1/complete", r#"{"query": "ta~name"}"#, &[])
+        .unwrap();
+    let id = resp
+        .header("x-ipe-trace-id")
+        .expect("generated trace id in response")
+        .to_owned();
+    assert!(!id.is_empty());
+    let (status, body) = client
+        .request("GET", &format!("/v1/debug/requests/{id}"), "")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    // An invalid propagated id (spaces) is replaced, not echoed.
+    let resp = client
+        .request_with(
+            "GET",
+            "/healthz",
+            "",
+            &[("x-ipe-trace-id", "not a valid id")],
+        )
+        .unwrap();
+    assert_ne!(resp.header("x-ipe-trace-id"), Some("not a valid id"));
+    server.shutdown();
+}
+
+/// Trace ids cross the batch fan-out: the `batch.item` spans recorded on
+/// worker threads parent back into the request's span tree.
+#[test]
+#[cfg_attr(feature = "obs-off", ignore = "tracing is compiled out")]
+fn batch_trace_spans_cross_worker_threads() {
+    let (server, mut client) = start_traced_server(|_| {});
+    let resp = client
+        .request_with(
+            "POST",
+            "/v1/complete/batch",
+            r#"{"queries": ["ta~name", "department~take"], "threads": 2}"#,
+            &[("x-ipe-trace-id", "batchtrace1")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let (status, body) = client
+        .request("GET", "/v1/debug/requests/batchtrace1", "")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse_value_text(&body).unwrap();
+    let Value::Seq(spans) = get(&v, "spans") else {
+        panic!("spans is not an array: {body}");
+    };
+    let names = span_names(&spans);
+    let items = names.iter().filter(|n| *n == "batch.item").count();
+    assert_eq!(items, 2, "one batch.item span per miss: {names:?}");
+    assert_parent_linkage(&spans, &body);
+    // Each batch.item parents at the fan-out span, which parents at http.
+    let fanout = spans
+        .iter()
+        .find(|s| matches!(get(s, "name"), Value::Str(n) if n == "batch"))
+        .expect("fan-out span");
+    let fanout_id = as_u64(&get(fanout, "id"));
+    for s in spans
+        .iter()
+        .filter(|s| matches!(get(s, "name"), Value::Str(n) if n == "batch.item"))
+    {
+        assert_eq!(as_u64(&get(s, "parent")), fanout_id, "{body}");
+    }
+    server.shutdown();
+}
+
+/// Ring wraparound: errored and slowest requests survive while ordinary
+/// sampled traffic is evicted from the tiny recent ring.
+#[test]
+#[cfg_attr(feature = "obs-off", ignore = "tracing is compiled out")]
+fn flight_recorder_retains_errors_and_slowest_across_wraparound() {
+    let (server, mut client) = start_traced_server(|c| {
+        c.flight_capacity = 4;
+        c.flight_keep_slowest = 2;
+        c.flight_keep_errors = 2;
+    });
+    // The slowest request this server will see: a cold exhaustive search.
+    let resp = client
+        .request_with(
+            "POST",
+            "/v1/complete",
+            r#"{"query": "ta~name"}"#,
+            &[("x-ipe-trace-id", "slowpoke")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    // An errored request (unknown schema -> 404).
+    let resp = client
+        .request_with(
+            "POST",
+            "/v1/complete",
+            r#"{"schema": "ghost", "query": "a~b"}"#,
+            &[("x-ipe-trace-id", "err1")],
+        )
+        .unwrap();
+    assert_eq!(resp.status, 404);
+    // Wrap the recent ring many times over with cheap cached requests.
+    for i in 0..40 {
+        let resp = client
+            .request_with(
+                "POST",
+                "/v1/complete",
+                r#"{"query": "ta~name"}"#,
+                &[("x-ipe-trace-id", &format!("wrap{i}"))],
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    // Both survive lookup after wraparound.
+    let (status, body) = client
+        .request("GET", "/v1/debug/requests/err1", "")
+        .unwrap();
+    assert_eq!(status, 200, "errored trace evicted: {body}");
+    let (status, body) = client
+        .request("GET", "/v1/debug/requests/slowpoke", "")
+        .unwrap();
+    assert_eq!(status, 200, "slowest trace evicted: {body}");
+    // The dump lists them in their always-keep pools.
+    let (status, dump) = client.request("GET", "/v1/debug/requests", "").unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::parse_value_text(&dump).unwrap();
+    let Value::Seq(errors) = get(&v, "errors") else {
+        panic!("errors is not an array: {dump}");
+    };
+    assert!(
+        errors
+            .iter()
+            .any(|r| matches!(get(r, "trace_id"), Value::Str(id) if id == "err1")),
+        "{dump}"
+    );
+    let Value::Seq(slowest) = get(&v, "slowest") else {
+        panic!("slowest is not an array: {dump}");
+    };
+    assert!(
+        slowest
+            .iter()
+            .any(|r| matches!(get(r, "trace_id"), Value::Str(id) if id == "slowpoke")),
+        "{dump}"
+    );
+    // Ordinary traffic was evicted: the recent ring holds at most one
+    // trace per shard (8 shards here) and the slowest reservoir two, so
+    // the vast majority of the 40 wrap requests must be gone. (Any one
+    // specific id may survive in the slowest pool under scheduler noise.)
+    let mut evicted = 0;
+    for i in 0..40 {
+        let (status, _) = client
+            .request("GET", &format!("/v1/debug/requests/wrap{i}"), "")
+            .unwrap();
+        evicted += u64::from(status == 404);
+    }
+    assert!(evicted >= 30, "only {evicted}/40 wrap traces were evicted");
+    server.shutdown();
+}
+
+/// Head sampling: with `trace_sample_n` = 2 only every other request
+/// records spans, and unsampled requests leave no retrievable trace.
+#[test]
+#[cfg_attr(feature = "obs-off", ignore = "tracing is compiled out")]
+fn head_sampling_skips_unsampled_requests() {
+    let (server, mut client) = start_traced_server(|c| {
+        c.trace_sample_n = 2;
+        c.slow_ms = 0;
+    });
+    // Issue all requests first: the debug lookups below consume sampling
+    // ticks too, and interleaving them would lock every probe request
+    // onto the same tick parity.
+    for i in 0..6 {
+        let id = format!("sample{i}");
+        let resp = client
+            .request_with("GET", "/healthz", "", &[("x-ipe-trace-id", &id)])
+            .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+    let mut retained = 0;
+    for i in 0..6 {
+        let (status, _) = client
+            .request("GET", &format!("/v1/debug/requests/sample{i}"), "")
+            .unwrap();
+        retained += u64::from(status == 200);
+    }
+    // This server is private to the test, so exactly every other request
+    // passed the 1-in-2 head sample.
+    assert_eq!(retained, 3, "1-in-2 sampling retained {retained}/6");
+    server.shutdown();
+}
+
+/// The Prometheus exposition passes the in-repo lint, carries the cache
+/// byte gauge, histogram families for the route timers, and recorded
+/// quantiles; the JSON default is unchanged and reports the same bytes.
+#[test]
+fn prometheus_exposition_lints_and_reports_cache_bytes() {
+    let (server, mut client) = start_traced_server(|_| {});
+    // A cold completion gives the cache a non-zero byte footprint.
+    let (status, _) = client
+        .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+        .unwrap();
+    assert_eq!(status, 200);
+
+    let resp = client
+        .request_with("GET", "/metrics?format=prometheus", "", &[])
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.header("content-type")
+            .is_some_and(|ct| ct.starts_with("text/plain")),
+        "prometheus exposition must be text/plain, got {:?}",
+        resp.header("content-type")
+    );
+    if let Err(problems) = ipe_obs::prom::lint(&resp.body) {
+        panic!("prometheus lint failed: {problems:?}\n{}", resp.body);
+    }
+    assert!(
+        resp.body.contains("ipe_service_cache_bytes"),
+        "{}",
+        resp.body
+    );
+    // The gauge is non-zero after the cold insert.
+    let bytes_line = resp
+        .body
+        .lines()
+        .find(|l| l.starts_with("ipe_service_cache_bytes "))
+        .expect("cache bytes sample line");
+    let value: f64 = bytes_line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("numeric sample");
+    assert!(value > 0.0, "{bytes_line}");
+
+    // JSON stays the default and reports the same gauge.
+    let (status, body) = client.request("GET", "/metrics", "").unwrap();
+    assert_eq!(status, 200);
+    let v = serde_json::parse_value_text(&body).expect("metrics JSON");
+    let cache = get(&get(&v, "service"), "cache");
+    assert_eq!(as_u64(&get(&cache, "bytes")), value as u64, "{body}");
+    server.shutdown();
+}
+
+/// Route timers show up as histogram families with `_bucket`/`_sum`/
+/// `_count` and recorded quantile gauges once traffic has flowed.
+#[cfg(not(feature = "obs-off"))]
+#[test]
+fn prometheus_histograms_cover_route_timers() {
+    let (server, mut client) = start_traced_server(|_| {});
+    for _ in 0..3 {
+        client
+            .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+            .unwrap();
+    }
+    let (status, body) = client
+        .request("GET", "/metrics?format=prometheus", "")
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("ipe_service_route_complete_ns_bucket"),
+        "{body}"
+    );
+    assert!(body.contains("ipe_service_route_complete_ns_sum"), "{body}");
+    assert!(
+        body.contains("ipe_service_route_complete_ns_count"),
+        "{body}"
+    );
+    assert!(
+        body.contains("ipe_service_route_complete_ns_quantile{quantile=\"0.95\"}"),
+        "{body}"
+    );
+    server.shutdown();
+}
+
+/// With `obs-off` the debug routes are cleanly absent (404), while the
+/// rest of the service keeps working.
+#[cfg(feature = "obs-off")]
+#[test]
+fn obs_off_debug_routes_404_cleanly() {
+    let (server, mut client) = start_traced_server(|_| {});
+    let (status, body) = client.request("GET", "/v1/debug/requests", "").unwrap();
+    assert_eq!(status, 404, "{body}");
+    assert!(body.contains("obs-off"), "{body}");
+    let (status, _) = client.request("GET", "/v1/debug/requests/abc", "").unwrap();
+    assert_eq!(status, 404);
+    // Tracing headers are still echoed (ids are useful in logs even
+    // without span recording).
+    let resp = client
+        .request_with("GET", "/healthz", "", &[("x-ipe-trace-id", "offid1")])
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-ipe-trace-id"), Some("offid1"));
+    server.shutdown();
+}

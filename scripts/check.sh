@@ -38,6 +38,14 @@ wait "$serve_pid"   # clean exit after POST /v1/shutdown
 trap - EXIT
 rm -f "$serve_log"
 
+echo "== metrics-lint =="
+# Prometheus exposition must pass the in-repo format lint, in both modes:
+# the service-level test hits GET /metrics?format=prometheus on a live
+# server and runs ipe_obs::prom::lint over the body.
+cargo test -q -p ipe-obs prom
+cargo test -q -p ipe-service --test server prometheus_
+cargo test -q -p ipe-service --test server prometheus_ --features obs-off
+
 echo "== batch smoke =="
 ./target/release/batch_bench --smoke
 

@@ -47,6 +47,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--fsync",
     "--snapshot-every",
     "--index",
+    "--trace-sample",
+    "--slow-ms",
+    "--flight-capacity",
 ];
 
 /// Resolves the subcommand by scanning *past* flags, so global flags
@@ -124,6 +127,8 @@ const USAGE: &str = "usage:
                [--cache-capacity N] [--cache-shards N] [--batch-threads N]
                [--data-dir DIR] [--fsync always|interval[:MS]|never]
                [--snapshot-every N] [--index on|off|lazy] [--report FILE]
+               [--trace-sample N] [--slow-ms N] [--flight-capacity N]
+               [--access-log]
   ipe batch    [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]...
                [--threads N] [--deadline-ms N] FILE
 
@@ -143,6 +148,14 @@ on clean shutdown. With --data-dir DIR, registry changes are written
 through to a checksummed WAL (fsynced per --fsync, compacted into a
 snapshot every --snapshot-every records) and recovered on restart; a
 best-effort warmup journal pre-warms the completion cache.
+
+`serve` traces requests: --trace-sample N records a span tree for 1 in N
+requests (default 1 = every request, 0 = off); traces land in an
+in-memory flight recorder (--flight-capacity, default 256) browsable at
+GET /v1/debug/requests[/:trace_id]. Requests at or past --slow-ms
+(default 500, 0 = off) are force-retained. --access-log prints one JSON
+line per request to stderr. GET /metrics?format=prometheus serves the
+metrics in Prometheus text format.
 
 --index controls the schema closure index. `serve` defaults to `on`:
 every PUT kicks off a background build (requests run unindexed until it
@@ -184,6 +197,10 @@ struct Opts {
     /// `--index on|off|lazy`; `None` keeps the per-command default
     /// (`serve` indexes eagerly, one-shot commands skip the build).
     index_mode: Option<IndexMode>,
+    trace_sample_n: u64,
+    slow_ms: u64,
+    flight_capacity: usize,
+    access_log: bool,
     positional: Vec<String>,
 }
 
@@ -211,6 +228,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut fsync = service_defaults.fsync;
     let mut snapshot_every = service_defaults.snapshot_every;
     let mut index_mode = None;
+    let mut trace_sample_n = service_defaults.trace_sample_n;
+    let mut slow_ms = service_defaults.slow_ms;
+    let mut flight_capacity = service_defaults.flight_capacity;
+    let mut access_log = false;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -292,6 +313,22 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--snapshot-every must be a number")?
             }
+            "--trace-sample" => {
+                trace_sample_n = grab("--trace-sample")?
+                    .parse()
+                    .map_err(|_| "--trace-sample must be a number")?
+            }
+            "--slow-ms" => {
+                slow_ms = grab("--slow-ms")?
+                    .parse()
+                    .map_err(|_| "--slow-ms must be a number")?
+            }
+            "--flight-capacity" => {
+                flight_capacity = grab("--flight-capacity")?
+                    .parse()
+                    .map_err(|_| "--flight-capacity must be a number")?
+            }
+            "--access-log" => access_log = true,
             other => positional.push(other.to_owned()),
         }
     }
@@ -329,6 +366,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         fsync,
         snapshot_every,
         index_mode,
+        trace_sample_n,
+        slow_ms,
+        flight_capacity,
+        access_log,
         positional,
     })
 }
@@ -508,6 +549,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         fsync: opts.fsync,
         snapshot_every: opts.snapshot_every,
         index_mode: opts.index_mode.unwrap_or(IndexMode::On),
+        trace_sample_n: opts.trace_sample_n,
+        slow_ms: opts.slow_ms,
+        flight_capacity: opts.flight_capacity,
+        access_log: opts.access_log,
         ..Default::default()
     };
     let server =
@@ -536,7 +581,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     println!(
         "endpoints: POST /v1/complete  POST /v1/complete/batch  GET /v1/schemas  \
-         GET/PUT/DELETE /v1/schemas/:name  GET /healthz  GET /metrics  POST /v1/shutdown"
+         GET/PUT/DELETE /v1/schemas/:name  GET /healthz  GET /metrics[?format=prometheus]  \
+         GET /v1/debug/requests[/:trace_id]  POST /v1/shutdown"
     );
     let state = std::sync::Arc::clone(server.state());
     server.join();
@@ -584,7 +630,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         threads: opts.threads,
         deadline: (opts.deadline_ms > 0)
             .then(|| std::time::Duration::from_millis(opts.deadline_ms)),
-        cancel: None,
+        ..Default::default()
     };
     let started = std::time::Instant::now();
     let out = complete_batch(&engine, &asts, &batch_opts);
