@@ -28,9 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod datagen;
 mod schema_gen;
 mod workload;
 
+pub use datagen::{generate_database, DataGenConfig};
 pub use schema_gen::{cupid_like, generate_schema, GenConfig, GeneratedSchema};
 pub use workload::{
     generate_workload, workload_from_json, workload_to_json, IntentModel, QuerySpec, WorkloadConfig,

@@ -4,6 +4,7 @@ use crate::value::Value;
 use ipe_schema::{ClassId, Primitive, RelId, RelKind, Schema};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of an object in a [`Database`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -87,8 +88,13 @@ impl std::error::Error for DbError {}
 /// Linking through a relationship automatically maintains the inverse
 /// relationship's instances, mirroring the schema-level assumption that
 /// inverses always exist.
-pub struct Database<'s> {
-    schema: &'s Schema,
+///
+/// The database shares ownership of its schema (`Arc<Schema>`), so loaded
+/// instances can outlive the scope that built them — long-lived registries
+/// (the service's data registry) hold `Arc<Database>` next to the schema
+/// registry's `Arc<Schema>` without lifetime plumbing.
+pub struct Database {
+    schema: Arc<Schema>,
     /// Class of each object; `None` for removed objects (ids are never
     /// reused, so references held by callers stay unambiguous).
     class_of: Vec<Option<ClassId>>,
@@ -98,20 +104,43 @@ pub struct Database<'s> {
     attrs: Vec<BTreeMap<ObjectId, Vec<Value>>>,
 }
 
-impl<'s> Database<'s> {
+impl Database {
     /// An empty database over `schema`.
-    pub fn new(schema: &'s Schema) -> Self {
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let rels = schema.rel_count();
         Database {
             schema,
             class_of: Vec::new(),
-            links: vec![BTreeMap::new(); schema.rel_count()],
-            attrs: vec![BTreeMap::new(); schema.rel_count()],
+            links: vec![BTreeMap::new(); rels],
+            attrs: vec![BTreeMap::new(); rels],
         }
     }
 
     /// The schema this database instantiates.
-    pub fn schema(&self) -> &'s Schema {
-        self.schema
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema this database instantiates.
+    pub fn schema_arc(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Total stored link instances (inverse links counted separately, as
+    /// stored).
+    pub fn link_count(&self) -> usize {
+        self.links
+            .iter()
+            .map(|t| t.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Total stored attribute values.
+    pub fn attr_count(&self) -> usize {
+        self.attrs
+            .iter()
+            .map(|t| t.values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// Number of live objects.
@@ -308,8 +337,8 @@ mod tests {
 
     #[test]
     fn extent_includes_subclasses() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let ta = schema.class_named("ta").unwrap();
         let person = schema.class_named("person").unwrap();
         let course = schema.class_named("course").unwrap();
@@ -324,16 +353,16 @@ mod tests {
 
     #[test]
     fn primitive_objects_are_rejected() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let string = schema.class_named("string").unwrap();
         assert_eq!(db.add_object(string), Err(DbError::PrimitiveInstance));
     }
 
     #[test]
     fn linking_maintains_inverse() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let student = schema.class_named("student").unwrap();
         let course = schema.class_named("course").unwrap();
         let s = db.add_object(student).unwrap();
@@ -349,8 +378,8 @@ mod tests {
 
     #[test]
     fn link_validates_classes() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let student = schema.class_named("student").unwrap();
         let course = schema.class_named("course").unwrap();
         let s = db.add_object(student).unwrap();
@@ -370,8 +399,8 @@ mod tests {
 
     #[test]
     fn subclass_objects_can_use_superclass_rels() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let ta = schema.class_named("ta").unwrap();
         let course = schema.class_named("course").unwrap();
         let student = schema.class_named("student").unwrap();
@@ -387,8 +416,8 @@ mod tests {
 
     #[test]
     fn attrs_are_typed() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let person = schema.class_named("person").unwrap();
         let o = db.add_object(person).unwrap();
         let name = schema
@@ -404,8 +433,8 @@ mod tests {
 
     #[test]
     fn attr_values_are_set_semantics() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let person = schema.class_named("person").unwrap();
         let o = db.add_object(person).unwrap();
         let name = schema
@@ -418,8 +447,8 @@ mod tests {
 
     #[test]
     fn unlink_removes_both_directions() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let student = schema.class_named("student").unwrap();
         let course = schema.class_named("course").unwrap();
         let s = db.add_object(student).unwrap();
@@ -436,8 +465,8 @@ mod tests {
 
     #[test]
     fn remove_object_cleans_everything() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let student = schema.class_named("student").unwrap();
         let course = schema.class_named("course").unwrap();
         let person = schema.class_named("person").unwrap();
@@ -466,8 +495,8 @@ mod tests {
 
     #[test]
     fn clear_attr_removes_values() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let person = schema.class_named("person").unwrap();
         let o = db.add_object(person).unwrap();
         let name = schema
@@ -480,8 +509,8 @@ mod tests {
 
     #[test]
     fn isa_step_is_identity_and_maybe_filters() {
-        let schema = fixtures::university();
-        let mut db = Database::new(&schema);
+        let schema = Arc::new(fixtures::university());
+        let mut db = Database::new(Arc::clone(&schema));
         let person = schema.class_named("person").unwrap();
         let student = schema.class_named("student").unwrap();
         let p = db.add_object(person).unwrap();

@@ -1,11 +1,23 @@
 //! Evaluation of complete path expressions over a [`Database`].
+//!
+//! Two entry points: [`Database::eval`] takes a parsed *complete*
+//! expression and resolves each step name under inheritance;
+//! [`Database::eval_path`] takes an explicit relationship path (a
+//! completion engine [`Completion`](https://docs.rs) is exactly that) and
+//! skips name resolution. Both are bounded by [`EvalLimits`]: a deadline,
+//! a cancellation flag, and a visited-object budget, polled every
+//! [`EVAL_CHECK_INTERVAL`] object visits so a hostile database can never
+//! pin a worker.
 
 use crate::database::{Database, ObjectId};
 use crate::value::Value;
 use ipe_parser::{parse_path_expression, ParseError, PathExprAst, StepConnector};
-use ipe_schema::{ClassId, RelKind};
+use ipe_schema::{ClassId, RelId, RelKind};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors raised by path expression evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -46,6 +58,16 @@ pub enum EvalError {
         /// The attribute name.
         name: String,
     },
+    /// The evaluation ran past its [`EvalLimits`] deadline.
+    DeadlineExceeded,
+    /// The evaluation was cancelled through its [`EvalLimits`] flag.
+    Cancelled,
+    /// The evaluation visited more objects than [`EvalLimits::max_visited`]
+    /// allows.
+    VisitBudgetExceeded {
+        /// Objects visited when the budget tripped.
+        visited: u64,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -76,11 +98,99 @@ impl fmt::Display for EvalError {
             EvalError::ValueMidPath { name } => {
                 write!(f, "attribute `{name}` yields values and must end the path")
             }
+            EvalError::DeadlineExceeded => f.write_str("evaluation deadline exceeded"),
+            EvalError::Cancelled => f.write_str("evaluation cancelled"),
+            EvalError::VisitBudgetExceeded { visited } => {
+                write!(f, "evaluation visited {visited} objects, past its budget")
+            }
         }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+/// Per-run evaluation limits, mirroring the search core's `SearchLimits`:
+/// none of them affect the *result* of an evaluation that finishes, so
+/// they never participate in cache identity.
+#[derive(Clone, Default)]
+pub struct EvalLimits {
+    /// Absolute wall-clock deadline; past it the evaluation aborts with
+    /// [`EvalError::DeadlineExceeded`].
+    pub deadline: Option<Instant>,
+    /// Shared cancellation flag; once `true` the evaluation aborts with
+    /// [`EvalError::Cancelled`].
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Hard cap on objects visited across all steps; past it the
+    /// evaluation aborts with [`EvalError::VisitBudgetExceeded`].
+    pub max_visited: Option<u64>,
+}
+
+/// How many object visits pass between two polls of [`EvalLimits`].
+/// Amortizes the `Instant::now()` call while keeping deadline overshoot
+/// small even inside one high-fanout step.
+pub const EVAL_CHECK_INTERVAL: u64 = 256;
+
+impl EvalLimits {
+    /// Limits with only a deadline.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        EvalLimits {
+            deadline: Some(deadline),
+            ..EvalLimits::default()
+        }
+    }
+
+    /// Whether any limit is actually set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none() && self.max_visited.is_none()
+    }
+}
+
+/// Visit accounting for one evaluation run: counts object visits and
+/// polls the limits every [`EVAL_CHECK_INTERVAL`] visits.
+struct EvalBudget<'l> {
+    limits: &'l EvalLimits,
+    visited: u64,
+    next_check: u64,
+}
+
+impl<'l> EvalBudget<'l> {
+    fn new(limits: &'l EvalLimits) -> Self {
+        EvalBudget {
+            limits,
+            visited: 0,
+            next_check: EVAL_CHECK_INTERVAL,
+        }
+    }
+
+    /// Accounts `n` object visits, polling the limits when the check
+    /// interval elapses. The visited-budget check is exact (not interval
+    /// sampled) so tiny budgets still trip deterministically.
+    fn visit(&mut self, n: u64) -> Result<(), EvalError> {
+        self.visited += n;
+        if let Some(cap) = self.limits.max_visited {
+            if self.visited > cap {
+                return Err(EvalError::VisitBudgetExceeded {
+                    visited: self.visited,
+                });
+            }
+        }
+        if self.visited < self.next_check {
+            return Ok(());
+        }
+        self.next_check = self.visited + EVAL_CHECK_INTERVAL;
+        if let Some(flag) = &self.limits.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(EvalError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.limits.deadline {
+            if Instant::now() >= deadline {
+                return Err(EvalError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+}
 
 /// The result of evaluating a complete path expression: a set of objects,
 /// or a set of primitive values when the final step is an attribute.
@@ -123,7 +233,16 @@ impl EvalOutput {
     }
 }
 
-impl Database<'_> {
+/// An [`EvalOutput`] plus run accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalRun {
+    /// The result set.
+    pub output: EvalOutput,
+    /// Objects visited while producing it.
+    pub visited: u64,
+}
+
+impl Database {
     /// Parses and evaluates a complete path expression.
     pub fn eval_str(&self, source: &str) -> Result<EvalOutput, EvalError> {
         let ast = parse_path_expression(source).map_err(EvalError::Parse)?;
@@ -135,16 +254,84 @@ impl Database<'_> {
     /// superclasses where needed (an `Isa` step written explicitly is the
     /// identity on objects).
     pub fn eval(&self, ast: &PathExprAst) -> Result<EvalOutput, EvalError> {
+        self.eval_bounded(ast, &EvalLimits::default())
+            .map(|run| run.output)
+    }
+
+    /// [`Database::eval`] under explicit [`EvalLimits`]; the limits are
+    /// polled every [`EVAL_CHECK_INTERVAL`] object visits, so evaluation
+    /// over a hostile (or just enormous) database aborts promptly instead
+    /// of pinning the calling thread.
+    pub fn eval_bounded(
+        &self,
+        ast: &PathExprAst,
+        limits: &EvalLimits,
+    ) -> Result<EvalRun, EvalError> {
         ipe_obs::counter!("oodb.eval.queries", 1);
         let _t = ipe_obs::timer!("oodb.phase.eval");
-        let out = self.eval_inner(ast);
+        let out = self.eval_inner(ast, limits);
         if out.is_err() {
             ipe_obs::counter!("oodb.eval.errors", 1);
         }
         out
     }
 
-    fn eval_inner(&self, ast: &PathExprAst) -> Result<EvalOutput, EvalError> {
+    /// Evaluates an explicit relationship path from `root`'s extent —
+    /// the form a completion engine result already has, so no name
+    /// resolution (and no inheritance ambiguity) is involved. A final
+    /// attribute edge yields values; attribute edges anywhere else are
+    /// a [`EvalError::ValueMidPath`].
+    pub fn eval_path(
+        &self,
+        root: ClassId,
+        edges: &[RelId],
+        limits: &EvalLimits,
+    ) -> Result<EvalRun, EvalError> {
+        ipe_obs::counter!("oodb.eval.queries", 1);
+        let _t = ipe_obs::timer!("oodb.phase.eval");
+        let out = self.eval_path_inner(root, edges, limits);
+        if out.is_err() {
+            ipe_obs::counter!("oodb.eval.errors", 1);
+        }
+        out
+    }
+
+    fn eval_path_inner(
+        &self,
+        root: ClassId,
+        edges: &[RelId],
+        limits: &EvalLimits,
+    ) -> Result<EvalRun, EvalError> {
+        let schema = self.schema();
+        if schema.is_primitive(root) {
+            return Err(EvalError::PrimitiveRoot(schema.class_name(root).to_owned()));
+        }
+        let mut budget = EvalBudget::new(limits);
+        let mut objects: Vec<ObjectId> = self.extent(root);
+        for (i, &rel) in edges.iter().enumerate() {
+            ipe_obs::counter!("oodb.eval.steps", 1);
+            let r = schema.rel(rel);
+            if schema.is_primitive(r.target) {
+                if i + 1 != edges.len() {
+                    return Err(EvalError::ValueMidPath {
+                        name: schema.rel_name(rel).to_owned(),
+                    });
+                }
+                let values = self.attr_step(rel, &objects, &mut budget)?;
+                return Ok(EvalRun {
+                    output: EvalOutput::Values(values),
+                    visited: budget.visited,
+                });
+            }
+            objects = self.step_bounded(rel, &objects, &mut budget)?;
+        }
+        Ok(EvalRun {
+            output: EvalOutput::Objects(objects.into_iter().collect()),
+            visited: budget.visited,
+        })
+    }
+
+    fn eval_inner(&self, ast: &PathExprAst, limits: &EvalLimits) -> Result<EvalRun, EvalError> {
         if !ast.is_complete() {
             return Err(EvalError::Incomplete);
         }
@@ -155,6 +342,7 @@ impl Database<'_> {
         if schema.is_primitive(root) {
             return Err(EvalError::PrimitiveRoot(ast.root.clone()));
         }
+        let mut budget = EvalBudget::new(limits);
         let mut class: ClassId = root;
         let mut objects: Vec<ObjectId> = self.extent(root);
         for (i, step) in ast.steps.iter().enumerate() {
@@ -195,16 +383,75 @@ impl Database<'_> {
                         name: step.name.clone(),
                     });
                 }
-                let mut out = BTreeSet::new();
-                for &o in &objects {
-                    out.extend(self.attr_values(rel.id, o).iter().cloned());
-                }
-                return Ok(EvalOutput::Values(out));
+                let values = self.attr_step(rel.id, &objects, &mut budget)?;
+                return Ok(EvalRun {
+                    output: EvalOutput::Values(values),
+                    visited: budget.visited,
+                });
             }
-            objects = self.step(rel.id, &objects);
+            objects = self.step_bounded(rel.id, &objects, &mut budget)?;
             class = rel.target;
         }
-        Ok(EvalOutput::Objects(objects.into_iter().collect()))
+        Ok(EvalRun {
+            output: EvalOutput::Objects(objects.into_iter().collect()),
+            visited: budget.visited,
+        })
+    }
+
+    /// One relationship step under budget accounting: like
+    /// [`Database::step`] but polls the limits per source object, so even
+    /// a single high-fanout step stays interruptible.
+    fn step_bounded(
+        &self,
+        rel: RelId,
+        from: &[ObjectId],
+        budget: &mut EvalBudget<'_>,
+    ) -> Result<Vec<ObjectId>, EvalError> {
+        let r = self.schema().rel(rel);
+        let mut out: Vec<ObjectId> = Vec::new();
+        match r.kind {
+            RelKind::Isa => {
+                budget.visit(from.len() as u64)?;
+                out.extend_from_slice(from);
+            }
+            RelKind::MayBe => {
+                for &o in from {
+                    budget.visit(1)?;
+                    if self
+                        .class_of(o)
+                        .is_ok_and(|c| self.schema().is_subclass_of(c, r.target))
+                    {
+                        out.push(o);
+                    }
+                }
+            }
+            _ => {
+                for &o in from {
+                    let linked = self.linked(rel, o);
+                    budget.visit(1 + linked.len() as u64)?;
+                    out.extend_from_slice(linked);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// The final attribute step: collects values under budget accounting.
+    fn attr_step(
+        &self,
+        rel: RelId,
+        from: &[ObjectId],
+        budget: &mut EvalBudget<'_>,
+    ) -> Result<BTreeSet<Value>, EvalError> {
+        let mut out = BTreeSet::new();
+        for &o in from {
+            let values = self.attr_values(rel, o);
+            budget.visit(1 + values.len() as u64)?;
+            out.extend(values.iter().cloned());
+        }
+        Ok(out)
     }
 }
 
@@ -223,11 +470,16 @@ fn connector_matches(written: StepConnector, kind: RelKind) -> bool {
 mod tests {
     use super::*;
     use crate::fixtures::university_db;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn db() -> Database {
+        university_db(&Arc::new(ipe_schema::fixtures::university()))
+    }
 
     #[test]
     fn evaluates_the_paper_examples() {
-        let schema = ipe_schema::fixtures::university();
-        let db = university_db(&schema);
+        let db = db();
         // Teachers of courses taken by students.
         let teachers = db.eval_str("student.take.teacher").unwrap();
         assert!(!teachers.is_empty());
@@ -238,15 +490,13 @@ mod tests {
 
     #[test]
     fn incomplete_expressions_are_rejected() {
-        let schema = ipe_schema::fixtures::university();
-        let db = university_db(&schema);
+        let db = db();
         assert_eq!(db.eval_str("ta~name").unwrap_err(), EvalError::Incomplete);
     }
 
     #[test]
     fn unknown_root_is_reported() {
-        let schema = ipe_schema::fixtures::university();
-        let db = university_db(&schema);
+        let db = db();
         assert!(matches!(
             db.eval_str("wizard.name"),
             Err(EvalError::UnknownRoot(_))
@@ -255,8 +505,7 @@ mod tests {
 
     #[test]
     fn attribute_must_be_final() {
-        let schema = ipe_schema::fixtures::university();
-        let db = university_db(&schema);
+        let db = db();
         assert!(matches!(
             db.eval_str("person.name.take"),
             Err(EvalError::ValueMidPath { .. })
@@ -265,8 +514,7 @@ mod tests {
 
     #[test]
     fn kind_mismatch_is_detected() {
-        let schema = ipe_schema::fixtures::university();
-        let db = university_db(&schema);
+        let db = db();
         assert!(matches!(
             db.eval_str("university.department"),
             Err(EvalError::KindMismatch { .. })
@@ -275,12 +523,108 @@ mod tests {
 
     #[test]
     fn inherited_attribute_evaluates_without_spelling_isa() {
-        let schema = ipe_schema::fixtures::university();
-        let db = university_db(&schema);
+        let db = db();
         // `ta.name` resolves through the unique inheritance path to person.
         let explicit = db.eval_str("ta@>grad@>student@>person.name").unwrap();
         let sugar = db.eval_str("ta.name").unwrap();
         assert_eq!(explicit, sugar);
         assert!(!sugar.is_empty());
+    }
+
+    #[test]
+    fn eval_path_matches_eval_on_explicit_expressions() {
+        let db = db();
+        let schema = db.schema();
+        // Resolve "student.take.teacher" by hand into explicit edges.
+        let student = schema.class_named("student").unwrap();
+        let take = schema
+            .out_rel_named(student, schema.symbol("take").unwrap())
+            .unwrap();
+        let course = schema.class_named("course").unwrap();
+        let teacher_rel = schema
+            .out_rel_named(course, schema.symbol("teacher").unwrap())
+            .unwrap();
+        let by_path = db
+            .eval_path(student, &[take.id, teacher_rel.id], &EvalLimits::default())
+            .unwrap();
+        let by_name = db.eval_str("student.take.teacher").unwrap();
+        assert_eq!(by_path.output, by_name);
+        assert!(by_path.visited > 0, "visits are accounted");
+    }
+
+    #[test]
+    fn expired_deadline_aborts() {
+        let db = db();
+        let limits = EvalLimits::with_deadline(Instant::now() - Duration::from_millis(1));
+        // The budget polls at the check interval; force enough visits by
+        // pairing the deadline with an exact visit cap of zero headroom.
+        let limits = EvalLimits {
+            max_visited: Some(0),
+            ..limits
+        };
+        let err = db.eval_bounded(
+            &parse_path_expression("student.take.teacher").unwrap(),
+            &limits,
+        );
+        assert!(matches!(
+            err,
+            Err(EvalError::VisitBudgetExceeded { .. }) | Err(EvalError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn cancel_flag_aborts() {
+        let db = db();
+        let flag = Arc::new(AtomicBool::new(true));
+        let limits = EvalLimits {
+            cancel: Some(flag),
+            // Force a poll on the very first visit.
+            max_visited: Some(u64::MAX),
+            ..EvalLimits::default()
+        };
+        // The interval check fires only every EVAL_CHECK_INTERVAL visits,
+        // so a tiny fixture may finish first — both outcomes are legal,
+        // but with a budget-forced check the flag must win eventually.
+        let tight = EvalLimits {
+            max_visited: Some(2),
+            ..limits
+        };
+        let err = db
+            .eval_bounded(
+                &parse_path_expression("student.take.teacher").unwrap(),
+                &tight,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::VisitBudgetExceeded { .. } | EvalError::Cancelled
+        ));
+    }
+
+    #[test]
+    fn visit_budget_is_exact() {
+        let db = db();
+        let limits = EvalLimits {
+            max_visited: Some(1),
+            ..EvalLimits::default()
+        };
+        let err = db
+            .eval_bounded(
+                &parse_path_expression("student.take.teacher").unwrap(),
+                &limits,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvalError::VisitBudgetExceeded { visited } if visited >= 2));
+    }
+
+    #[test]
+    fn unlimited_limits_report_unlimited() {
+        assert!(EvalLimits::default().is_unlimited());
+        assert!(!EvalLimits::with_deadline(Instant::now()).is_unlimited());
+        assert!(!EvalLimits {
+            max_visited: Some(3),
+            ..EvalLimits::default()
+        }
+        .is_unlimited());
     }
 }

@@ -3,6 +3,7 @@
 use crate::database::Database;
 use crate::value::Value;
 use ipe_schema::{RelId, Schema};
+use std::sync::Arc;
 
 /// Looks up a relationship `class.name` (must exist in the fixture schema).
 fn rel(schema: &Schema, class: &str, name: &str) -> RelId {
@@ -24,8 +25,8 @@ fn rel(schema: &Schema, class: &str, name: &str) -> RelId {
 /// The numbers are tiny but exercise every relationship kind, inclusion
 /// semantics (Alice the TA appears in the `person`, `student`, `employee`
 /// extents), and inverse maintenance.
-pub fn university_db<'s>(schema: &'s Schema) -> Database<'s> {
-    let mut db = Database::new(schema);
+pub fn university_db(schema: &Arc<Schema>) -> Database {
+    let mut db = Database::new(Arc::clone(schema));
     let class = |n: &str| schema.class_named(n).expect("fixture class");
 
     let uni = db.add_object(class("university")).expect("add");
@@ -94,7 +95,7 @@ mod tests {
 
     #[test]
     fn fixture_counts() {
-        let schema = ipe_schema::fixtures::university();
+        let schema = Arc::new(ipe_schema::fixtures::university());
         let db = university_db(&schema);
         assert_eq!(db.object_count(), 9);
         let person = schema.class_named("person").unwrap();
@@ -108,7 +109,7 @@ mod tests {
 
     #[test]
     fn end_to_end_names_of_tas() {
-        let schema = ipe_schema::fixtures::university();
+        let schema = Arc::new(ipe_schema::fixtures::university());
         let db = university_db(&schema);
         let out = db.eval_str("ta@>grad@>student@>person.name").unwrap();
         assert_eq!(out.values(), vec![Value::text("Alice")]);
@@ -121,7 +122,7 @@ mod tests {
 
     #[test]
     fn implausible_completions_give_different_answers() {
-        let schema = ipe_schema::fixtures::university();
+        let schema = Arc::new(ipe_schema::fixtures::university());
         let db = university_db(&schema);
         // "names of courses taken by TAs" — the implausible reading the
         // paper lists — yields course names, not people.
@@ -131,7 +132,7 @@ mod tests {
 
     #[test]
     fn intro_example_courses_of_departments() {
-        let schema = ipe_schema::fixtures::university();
+        let schema = Arc::new(ipe_schema::fixtures::university());
         let db = university_db(&schema);
         // Courses taught by faculty of departments.
         let faculty_courses = db.eval_str("department$>professor@>teacher.teach").unwrap();
@@ -144,7 +145,7 @@ mod tests {
 
     #[test]
     fn inverse_traversal_works() {
-        let schema = ipe_schema::fixtures::university();
+        let schema = Arc::new(ipe_schema::fixtures::university());
         let db = university_db(&schema);
         // department <$ university: which university each department is
         // part of — via the auto-maintained inverse.

@@ -7,6 +7,7 @@
 use crate::database::{Database, ObjectId};
 use crate::value::Value;
 use ipe_schema::{Primitive, RelKind, Schema};
+use std::sync::Arc;
 
 /// Densities for [`populate`].
 #[derive(Clone, Copy, Debug)]
@@ -56,8 +57,8 @@ impl XorShift {
 /// of every user class, random links through every stored (non-`Isa`,
 /// non-inverse-duplicating) relationship, and attribute values for every
 /// attribute edge.
-pub fn populate<'s>(schema: &'s Schema, cfg: &DataConfig) -> Database<'s> {
-    let mut db = Database::new(schema);
+pub fn populate(schema: &Arc<Schema>, cfg: &DataConfig) -> Database {
+    let mut db = Database::new(Arc::clone(schema));
     let mut rng = XorShift::new(cfg.seed);
 
     // Objects.
@@ -120,7 +121,7 @@ mod tests {
 
     #[test]
     fn populates_every_user_class() {
-        let schema = fixtures::university();
+        let schema = std::sync::Arc::new(fixtures::university());
         let db = populate(&schema, &DataConfig::default());
         assert_eq!(db.object_count(), schema.user_class_count() * 3);
         for class in schema.classes() {
@@ -132,7 +133,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let schema = fixtures::university();
+        let schema = std::sync::Arc::new(fixtures::university());
         let a = populate(&schema, &DataConfig::default());
         let b = populate(&schema, &DataConfig::default());
         let q = "student.take.teacher";
@@ -141,7 +142,7 @@ mod tests {
 
     #[test]
     fn queries_over_random_data_run() {
-        let schema = fixtures::university();
+        let schema = std::sync::Arc::new(fixtures::university());
         let db = populate(
             &schema,
             &DataConfig {
@@ -161,7 +162,7 @@ mod tests {
     #[test]
     fn inclusion_respected_in_links() {
         // Links from a superclass extent may use subclass objects.
-        let schema = fixtures::university();
+        let schema = std::sync::Arc::new(fixtures::university());
         let db = populate(&schema, &DataConfig::default());
         let student = schema.class_named("student").unwrap();
         let extent = db.extent(student);

@@ -15,8 +15,8 @@
 //! use ipe_oodb::{Database, Value};
 //! use ipe_schema::fixtures;
 //!
-//! let schema = fixtures::university();
-//! let mut db = Database::new(&schema);
+//! let schema = std::sync::Arc::new(fixtures::university());
+//! let mut db = Database::new(std::sync::Arc::clone(&schema));
 //! let ta_class = schema.class_named("ta").unwrap();
 //! let alice = db.add_object(ta_class).unwrap();
 //! let person = schema.class_named("person").unwrap();
@@ -38,5 +38,5 @@ pub mod gendata;
 mod value;
 
 pub use database::{Database, DbError, ObjectId};
-pub use eval::{EvalError, EvalOutput};
+pub use eval::{EvalError, EvalLimits, EvalOutput, EvalRun, EVAL_CHECK_INTERVAL};
 pub use value::Value;

@@ -6,9 +6,9 @@ use ipe_oodb::{Database, EvalOutput};
 use ipe_schema::{fixtures, RelKind, Schema};
 use proptest::prelude::*;
 
-fn db_for(seed: u64) -> (Schema, DataConfig) {
+fn db_for(seed: u64) -> (std::sync::Arc<Schema>, DataConfig) {
     (
-        fixtures::university(),
+        std::sync::Arc::new(fixtures::university()),
         DataConfig {
             objects_per_class: 3,
             links_per_rel: 5,
@@ -95,8 +95,8 @@ proptest! {
 
 #[test]
 fn empty_database_evaluates_to_empty_sets() {
-    let schema = fixtures::university();
-    let db = Database::new(&schema);
+    let schema = std::sync::Arc::new(fixtures::university());
+    let db = Database::new(std::sync::Arc::clone(&schema));
     let out = db.eval_str("student.take.teacher").unwrap();
     assert!(out.is_empty());
     match out {
@@ -107,7 +107,7 @@ fn empty_database_evaluates_to_empty_sets() {
 
 #[test]
 fn every_stored_kind_appears_in_random_data() {
-    let schema = fixtures::university();
+    let schema = std::sync::Arc::new(fixtures::university());
     let db = populate(&schema, &DataConfig::default());
     let mut kinds_with_instances = std::collections::HashSet::new();
     for r in schema.rels() {
@@ -124,4 +124,46 @@ fn every_stored_kind_appears_in_random_data() {
     assert!(kinds_with_instances.contains(&RelKind::HasPart));
     assert!(kinds_with_instances.contains(&RelKind::IsPartOf));
     assert!(kinds_with_instances.contains(&RelKind::Assoc));
+}
+
+#[test]
+fn deadline_trips_on_high_fanout_generated_data() {
+    use ipe_oodb::{EvalError, EvalLimits};
+    use std::time::{Duration, Instant};
+    // Dense random data: every step fans out far past EVAL_CHECK_INTERVAL,
+    // so an already-expired deadline must be noticed mid-evaluation.
+    let schema = std::sync::Arc::new(fixtures::university());
+    let db = populate(
+        &schema,
+        &DataConfig {
+            objects_per_class: 400,
+            links_per_rel: 60,
+            seed: 23,
+        },
+    );
+    let limits = EvalLimits::with_deadline(Instant::now() - Duration::from_millis(1));
+    let ast = ipe_parser::parse_path_expression("student.take.teacher").unwrap();
+    assert_eq!(
+        db.eval_bounded(&ast, &limits).unwrap_err(),
+        EvalError::DeadlineExceeded
+    );
+    // The same expression finishes under a generous deadline.
+    let relaxed = EvalLimits::with_deadline(Instant::now() + Duration::from_secs(30));
+    assert!(db.eval_bounded(&ast, &relaxed).is_ok());
+}
+
+#[test]
+fn visit_budget_trips_on_generated_data() {
+    use ipe_oodb::{EvalError, EvalLimits};
+    let schema = std::sync::Arc::new(fixtures::university());
+    let db = populate(&schema, &DataConfig::default());
+    let limits = EvalLimits {
+        max_visited: Some(1),
+        ..EvalLimits::default()
+    };
+    let ast = ipe_parser::parse_path_expression("student.take.teacher").unwrap();
+    assert!(matches!(
+        db.eval_bounded(&ast, &limits).unwrap_err(),
+        EvalError::VisitBudgetExceeded { .. }
+    ));
 }

@@ -1,0 +1,44 @@
+//! Provenance-annotated query execution over incomplete path expressions.
+//!
+//! The paper's engine stops at *ranked completions*; this crate closes the
+//! loop by executing them. An incomplete expression is disambiguated via
+//! the completion engine ([`ipe_core::Completer`]), the top-E completions
+//! are evaluated against a loaded [`ipe_oodb::Database`], and the result
+//! sets are merged into answers that carry provenance: which completions
+//! produced each answer, and whether the answer is **certain** (every
+//! admitted completion yields it) or merely **possible** (at least one
+//! does). E thereby becomes a precision/recall dial over *answers*, not
+//! just paths: growing E can only grow the possible set and shrink (or
+//! hold) the certain set.
+//!
+//! ```
+//! use ipe_oodb::fixtures::university_db;
+//! use ipe_query::{query, QueryOptions};
+//! use std::sync::Arc;
+//!
+//! let schema = Arc::new(ipe_schema::fixtures::university());
+//! let db = university_db(&schema);
+//! let mut opts = QueryOptions::default();
+//! opts.config.e = 3;
+//! let out = query(&db, "ta~name", &opts).unwrap();
+//! assert!(out.certain <= out.possible());
+//! for answer in &out.answers {
+//!     // Each answer names the completions that produced it.
+//!     assert!(!answer.completions.is_empty());
+//! }
+//! ```
+//!
+//! [`load`] materializes a database from the JSON bulk format the service
+//! accepts on `PUT /v1/data/:schema`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod exec;
+mod load;
+
+pub use exec::{
+    evaluate_completions, is_deadline, query, query_ast, Answer, ProvenanceAnswer, QueryError,
+    QueryOptions, QueryOutcome,
+};
+pub use load::{load, AttrSpec, DataSpec, LinkSpec, LoadError, ObjectSpec};

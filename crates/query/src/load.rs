@@ -1,0 +1,331 @@
+//! Bulk loading of a [`Database`] from a JSON data specification.
+//!
+//! This is the wire format behind the service's `PUT /v1/data/:schema`:
+//! named objects, links between them, and attribute values, all resolved
+//! against the schema by name. Relationship names resolve from the source
+//! object's dynamic class under inheritance — exactly the rule evaluation
+//! uses — so the loader rejects the same ambiguities evaluation would.
+//! Attribute values arrive as strings and are coerced to the attribute's
+//! declared primitive, keeping the format independent of the JSON
+//! library's number model.
+
+use ipe_oodb::{Database, DbError, ObjectId, Value};
+use ipe_schema::{Primitive, Schema};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// One object in a [`DataSpec`]: a user-chosen name plus its class.
+#[derive(Clone, Debug, serde::Deserialize, serde::Serialize)]
+pub struct ObjectSpec {
+    /// The object's name, unique within the spec; link and attribute
+    /// entries refer to it.
+    pub id: String,
+    /// The object's (most specific) class name.
+    pub class: String,
+}
+
+/// One link in a [`DataSpec`].
+#[derive(Clone, Debug, serde::Deserialize, serde::Serialize)]
+pub struct LinkSpec {
+    /// Source object name.
+    pub from: String,
+    /// Relationship name, resolved from the source object's class under
+    /// inheritance.
+    pub rel: String,
+    /// Target object name.
+    pub to: String,
+}
+
+/// One attribute value in a [`DataSpec`].
+#[derive(Clone, Debug, serde::Deserialize, serde::Serialize)]
+pub struct AttrSpec {
+    /// Owner object name.
+    pub of: String,
+    /// Attribute name, resolved from the owner's class under inheritance.
+    pub attr: String,
+    /// The value as a string, coerced to the attribute's declared
+    /// primitive (`int`, `real`, `string`, `bool`).
+    pub value: String,
+}
+
+/// A bulk data specification: the body of `PUT /v1/data/:schema`.
+#[derive(Clone, Debug, Default, serde::Deserialize, serde::Serialize)]
+pub struct DataSpec {
+    /// Objects to create, in order.
+    #[serde(default)]
+    pub objects: Vec<ObjectSpec>,
+    /// Links to store between them.
+    #[serde(default)]
+    pub links: Vec<LinkSpec>,
+    /// Attribute values to set.
+    #[serde(default)]
+    pub attrs: Vec<AttrSpec>,
+}
+
+impl DataSpec {
+    /// Total number of entries, for request-size caps.
+    pub fn entry_count(&self) -> usize {
+        self.objects.len() + self.links.len() + self.attrs.len()
+    }
+}
+
+/// Errors raised while materializing a [`DataSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// An object names a class the schema does not have (or a primitive).
+    UnknownClass {
+        /// The object name.
+        object: String,
+        /// The class name.
+        class: String,
+    },
+    /// Two objects share a name.
+    DuplicateObject(String),
+    /// A link or attribute refers to an object the spec did not declare.
+    UnknownObject(String),
+    /// A relationship name does not resolve from the source class.
+    UnknownRel {
+        /// Class resolution started from.
+        class: String,
+        /// The relationship name.
+        rel: String,
+    },
+    /// The relationship name resolves ambiguously under multiple
+    /// inheritance.
+    AmbiguousRel {
+        /// Class resolution started from.
+        class: String,
+        /// The relationship name.
+        rel: String,
+    },
+    /// An attribute value failed to coerce to the declared primitive.
+    BadValue {
+        /// The attribute name.
+        attr: String,
+        /// The raw value text.
+        value: String,
+        /// The expected primitive's class name.
+        expected: &'static str,
+    },
+    /// The store rejected a mutation (kind/class mismatch).
+    Db(DbError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::UnknownClass { object, class } => {
+                write!(f, "object `{object}`: unknown class `{class}`")
+            }
+            LoadError::DuplicateObject(name) => write!(f, "duplicate object name `{name}`"),
+            LoadError::UnknownObject(name) => write!(f, "unknown object `{name}`"),
+            LoadError::UnknownRel { class, rel } => {
+                write!(f, "class `{class}` has no relationship `{rel}`")
+            }
+            LoadError::AmbiguousRel { class, rel } => {
+                write!(
+                    f,
+                    "`{class}.{rel}` is ambiguous; load under an explicit subclass"
+                )
+            }
+            LoadError::BadValue {
+                attr,
+                value,
+                expected,
+            } => write!(f, "attribute `{attr}`: `{value}` is not a valid {expected}"),
+            LoadError::Db(e) => write!(f, "store rejected entry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<DbError> for LoadError {
+    fn from(e: DbError) -> Self {
+        LoadError::Db(e)
+    }
+}
+
+/// Materializes a [`DataSpec`] into a fresh [`Database`] over `schema`.
+/// The load is all-or-nothing: any bad entry fails the whole spec.
+pub fn load(schema: &Arc<Schema>, spec: &DataSpec) -> Result<Database, LoadError> {
+    ipe_obs::counter!("query.loads", 1);
+    let _t = ipe_obs::timer!("query.phase.load");
+    let mut db = Database::new(Arc::clone(schema));
+    let mut by_name: HashMap<&str, ObjectId> = HashMap::with_capacity(spec.objects.len());
+    for obj in &spec.objects {
+        let class = schema
+            .class_named(&obj.class)
+            .filter(|&c| !schema.is_primitive(c))
+            .ok_or_else(|| LoadError::UnknownClass {
+                object: obj.id.clone(),
+                class: obj.class.clone(),
+            })?;
+        let id = db.add_object(class)?;
+        if by_name.insert(obj.id.as_str(), id).is_some() {
+            return Err(LoadError::DuplicateObject(obj.id.clone()));
+        }
+    }
+    let lookup = |name: &str| -> Result<ObjectId, LoadError> {
+        by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| LoadError::UnknownObject(name.to_owned()))
+    };
+    for link in &spec.links {
+        let from = lookup(&link.from)?;
+        let to = lookup(&link.to)?;
+        let rel = resolve_rel(schema, &db, from, &link.rel)?;
+        db.link(rel, from, to)?;
+    }
+    for attr in &spec.attrs {
+        let of = lookup(&attr.of)?;
+        let rel = resolve_rel(schema, &db, of, &attr.attr)?;
+        let prim = schema.class(schema.rel(rel).target).primitive;
+        let value = coerce(&attr.value, prim).ok_or_else(|| LoadError::BadValue {
+            attr: attr.attr.clone(),
+            value: attr.value.clone(),
+            expected: prim.map_or("attribute", |p| p.class_name()),
+        })?;
+        db.set_attr(rel, of, value)?;
+    }
+    ipe_obs::counter!("query.loaded_objects", spec.objects.len() as u64);
+    Ok(db)
+}
+
+/// Resolves a relationship name from an object's dynamic class under
+/// inheritance (nearest definition wins; ties are ambiguous).
+fn resolve_rel(
+    schema: &Schema,
+    db: &Database,
+    from: ObjectId,
+    name: &str,
+) -> Result<ipe_schema::RelId, LoadError> {
+    let class = db.class_of(from).expect("object was just created");
+    let class_name = || schema.class_name(class).to_owned();
+    let symbol = schema.symbol(name).ok_or_else(|| LoadError::UnknownRel {
+        class: class_name(),
+        rel: name.to_owned(),
+    })?;
+    let hits = schema.resolve_inherited(class, symbol);
+    match hits.len() {
+        0 => Err(LoadError::UnknownRel {
+            class: class_name(),
+            rel: name.to_owned(),
+        }),
+        1 => Ok(hits.into_iter().next().expect("len checked").1.id),
+        _ => Err(LoadError::AmbiguousRel {
+            class: class_name(),
+            rel: name.to_owned(),
+        }),
+    }
+}
+
+/// Coerces a string to the attribute's declared primitive.
+fn coerce(text: &str, prim: Option<Primitive>) -> Option<Value> {
+    match prim? {
+        Primitive::Integer => text.parse::<i64>().ok().map(Value::Int),
+        Primitive::Real => text.parse::<f64>().ok().map(Value::Real),
+        Primitive::Text => Some(Value::text(text)),
+        Primitive::Boolean => text.parse::<bool>().ok().map(Value::Bool),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_json(json: &str) -> DataSpec {
+        serde_json::from_str(json).expect("valid spec json")
+    }
+
+    #[test]
+    fn loads_a_small_instance_end_to_end() {
+        let schema = Arc::new(ipe_schema::fixtures::university());
+        let spec = spec_json(
+            r#"{
+              "objects": [
+                {"id": "alice", "class": "ta"},
+                {"id": "db101", "class": "course"}
+              ],
+              "links": [{"from": "alice", "rel": "take", "to": "db101"}],
+              "attrs": [{"of": "alice", "attr": "name", "value": "Alice"}]
+            }"#,
+        );
+        let db = load(&schema, &spec).unwrap();
+        assert_eq!(db.object_count(), 2);
+        let names = db.eval_str("ta.name").unwrap();
+        assert_eq!(names.values(), vec![Value::text("Alice")]);
+        let taken = db.eval_str("student.take").unwrap();
+        assert_eq!(taken.objects().len(), 1);
+    }
+
+    #[test]
+    fn unknown_class_and_object_are_rejected() {
+        let schema = Arc::new(ipe_schema::fixtures::university());
+        let bad_class = spec_json(r#"{"objects": [{"id": "x", "class": "wizard"}]}"#);
+        assert!(matches!(
+            load(&schema, &bad_class),
+            Err(LoadError::UnknownClass { .. })
+        ));
+        let bad_ref = spec_json(r#"{"links": [{"from": "x", "rel": "take", "to": "y"}]}"#);
+        assert!(matches!(
+            load(&schema, &bad_ref),
+            Err(LoadError::UnknownObject(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let schema = Arc::new(ipe_schema::fixtures::university());
+        let spec = spec_json(
+            r#"{"objects": [{"id": "a", "class": "ta"}, {"id": "a", "class": "course"}]}"#,
+        );
+        let err = load(&schema, &spec).map(|_| ()).unwrap_err();
+        assert_eq!(err, LoadError::DuplicateObject("a".to_owned()));
+    }
+
+    #[test]
+    fn attribute_values_coerce_by_declared_primitive() {
+        // The assembly fixture has a Real attribute (`shaft.diameter`);
+        // university attributes are all Text.
+        let schema = Arc::new(ipe_schema::fixtures::assembly());
+        let ok = spec_json(
+            r#"{
+              "objects": [{"id": "s", "class": "shaft"}],
+              "attrs": [{"of": "s", "attr": "diameter", "value": "2.5"}]
+            }"#,
+        );
+        let db = load(&schema, &ok).unwrap();
+        assert_eq!(
+            db.eval_str("shaft.diameter").unwrap().values(),
+            vec![Value::Real(2.5)]
+        );
+        let bad = spec_json(
+            r#"{
+              "objects": [{"id": "s", "class": "shaft"}],
+              "attrs": [{"of": "s", "attr": "diameter", "value": "wide"}]
+            }"#,
+        );
+        assert!(matches!(
+            load(&schema, &bad),
+            Err(LoadError::BadValue {
+                expected: "real",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn entry_count_sums_sections() {
+        let spec = spec_json(
+            r#"{
+              "objects": [{"id": "a", "class": "ta"}],
+              "links": [],
+              "attrs": [{"of": "a", "attr": "name", "value": "A"}]
+            }"#,
+        );
+        assert_eq!(spec.entry_count(), 2);
+    }
+}

@@ -248,6 +248,171 @@ pub struct SchemaDeleteResponse {
     pub purged_cache_entries: u64,
 }
 
+/// Body of `PUT /v1/data/:schema`: either an explicit bulk spec
+/// (objects/links/attrs, see [`ipe_query::DataSpec`]) or a synthetic
+/// generation request (`gen`), not both.
+#[derive(Debug, Default, serde::Deserialize)]
+pub struct DataPutRequest {
+    /// Synthetic generation knobs; when present the explicit sections
+    /// must be empty.
+    #[serde(default)]
+    pub gen: Option<ipe_gen::DataGenConfig>,
+    /// Objects to create (explicit load).
+    #[serde(default)]
+    pub objects: Vec<ipe_query::ObjectSpec>,
+    /// Links to store (explicit load).
+    #[serde(default)]
+    pub links: Vec<ipe_query::LinkSpec>,
+    /// Attribute values to set (explicit load).
+    #[serde(default)]
+    pub attrs: Vec<ipe_query::AttrSpec>,
+}
+
+impl DataPutRequest {
+    /// The explicit sections as a [`ipe_query::DataSpec`].
+    pub fn spec(&self) -> ipe_query::DataSpec {
+        ipe_query::DataSpec {
+            objects: self.objects.clone(),
+            links: self.links.clone(),
+            attrs: self.attrs.clone(),
+        }
+    }
+}
+
+/// Body of `PUT /v1/data/:schema` (and `GET /v1/data/:schema`) responses.
+#[derive(Debug, serde::Serialize)]
+pub struct DataPutResponse {
+    /// Registry name of the schema the data belongs to.
+    pub schema: String,
+    /// The schema generation the data was loaded against.
+    pub schema_generation: u64,
+    /// Load counter for this name (1 for the first load).
+    pub data_generation: u64,
+    /// `"spec"` or `"gen"`.
+    pub source: String,
+    /// Objects in the loaded instance.
+    pub objects: u64,
+    /// Stored link instances (inverses included).
+    pub links: u64,
+    /// Stored attribute values.
+    pub attrs: u64,
+}
+
+/// Body of `DELETE /v1/data/:schema` responses.
+#[derive(Debug, serde::Serialize)]
+pub struct DataDeleteResponse {
+    /// Registry name whose data was dropped.
+    pub schema: String,
+    /// Data generation at removal.
+    pub data_generation: u64,
+}
+
+/// Body of `POST /v1/query`. Extends the completion knobs of
+/// [`CompleteRequest`] with evaluation controls.
+#[derive(Debug, serde::Deserialize)]
+pub struct QueryRequest {
+    /// Registry name of the schema to query (default `"default"`).
+    #[serde(default)]
+    pub schema: String,
+    /// The (possibly incomplete) path expression text.
+    pub query: String,
+    /// The `E` parameter of `AGG*`; must be ≥ 1 when given.
+    #[serde(default)]
+    pub e: Option<u64>,
+    /// Class names that must not appear in any completion.
+    #[serde(default)]
+    pub exclude: Vec<String>,
+    /// Branch-and-bound mode: `none`, `paper`, `paper-no-caution`, or
+    /// `safe` (the default).
+    #[serde(default)]
+    pub pruning: Option<String>,
+    /// Order label-tied completions most-specific-first.
+    #[serde(default)]
+    pub prefer_specific: bool,
+    /// Wall-clock budget in milliseconds across disambiguation and
+    /// evaluation. Defaults to the server's query budget; capped at
+    /// 60 000.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Return only the certain answers (every completion agrees).
+    #[serde(default)]
+    pub certain_only: bool,
+}
+
+impl QueryRequest {
+    /// The registry name to use, applying the `"default"` fallback.
+    pub fn schema_name(&self) -> &str {
+        if self.schema.is_empty() {
+            "default"
+        } else {
+            &self.schema
+        }
+    }
+
+    /// Builds the engine configuration, resolving class names against
+    /// `schema`. Errors are user-facing 400 messages.
+    pub fn config(&self, schema: &Schema) -> Result<CompletionConfig, String> {
+        build_config(
+            self.e,
+            self.pruning.as_deref(),
+            &self.exclude,
+            self.prefer_specific,
+            schema,
+        )
+    }
+}
+
+/// One answer in a [`QueryResponse`].
+#[derive(Debug, serde::Serialize)]
+pub struct AnswerView {
+    /// `"object"` or `"value"`.
+    pub kind: String,
+    /// The object id when `kind` is `"object"`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub object: Option<u64>,
+    /// The rendered value when `kind` is `"value"`.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub value: Option<String>,
+    /// Whether every evaluated completion produced this answer.
+    pub certain: bool,
+    /// Provenance: indices into the response's `completions` list of the
+    /// completions that produced this answer. Sorted, nonempty.
+    pub completions: Vec<u64>,
+}
+
+/// Body of a successful `POST /v1/query` response.
+#[derive(Debug, serde::Serialize)]
+pub struct QueryResponse {
+    /// Registry name the query ran against.
+    pub schema: String,
+    /// Schema generation the result belongs to.
+    pub generation: u64,
+    /// Data generation the result was evaluated on.
+    pub data_generation: u64,
+    /// The normalized query text.
+    pub query: String,
+    /// The `E` the query ran at.
+    pub e: u64,
+    /// Whether the completion set came from the completion cache.
+    pub cached: bool,
+    /// Server-side compute time in nanoseconds (lookup, parse, search or
+    /// cache probe, evaluation, merge).
+    pub duration_ns: u64,
+    /// The evaluated completions, best first.
+    pub completions: Vec<CompletionView>,
+    /// The merged answers with provenance (only the certain ones when the
+    /// request set `certain_only`).
+    pub answers: Vec<AnswerView>,
+    /// Number of certain answers.
+    pub certain: u64,
+    /// Number of possible answers (before any `certain_only` filter).
+    pub possible: u64,
+    /// Objects visited across all per-completion evaluations.
+    pub visited: u64,
+    /// Search counters of the run that produced the completion set.
+    pub stats: SearchStats,
+}
+
 /// Uniform error body for every non-2xx response.
 pub fn error_body(message: &str) -> String {
     let mut out = String::with_capacity(message.len() + 12);

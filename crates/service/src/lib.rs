@@ -34,14 +34,19 @@
 
 pub mod api;
 pub mod cache;
+pub mod data;
 pub mod http;
 pub mod registry;
 pub mod server;
 
-pub use api::{CompleteRequest, CompleteResponse, CompletionView};
+pub use api::{
+    AnswerView, CompleteRequest, CompleteResponse, CompletionView, DataPutRequest, DataPutResponse,
+    QueryRequest, QueryResponse,
+};
 pub use cache::{
     config_fingerprint, entry_weight, CacheKey, CacheStats, CompletionCache, ShardedLru,
 };
+pub use data::{DataEntry, DataRegistry};
 pub use http::{Client, ClientResponse};
 pub use registry::{SchemaEntry, SchemaInfo, SchemaRegistry};
 pub use server::{metrics_prometheus, Server, ServiceConfig, ServiceState, WarmupTracker};

@@ -9,10 +9,12 @@
 //! connections finish their current request.
 
 use crate::api::{
-    error_body, BatchCompleteRequest, BatchCompleteResponse, BatchItemView, CompleteRequest,
-    CompleteResponse, CompletionView, SchemaDeleteResponse, SchemaPutResponse,
+    error_body, AnswerView, BatchCompleteRequest, BatchCompleteResponse, BatchItemView,
+    CompleteRequest, CompleteResponse, CompletionView, DataDeleteResponse, DataPutRequest,
+    DataPutResponse, QueryRequest, QueryResponse, SchemaDeleteResponse, SchemaPutResponse,
 };
 use crate::cache::{config_fingerprint, entry_weight, CacheKey, CompletionCache};
+use crate::data::DataRegistry;
 use crate::http::{read_request, write_response, write_response_with, ReadOutcome, Request};
 use crate::registry::SchemaRegistry;
 use ipe_core::{
@@ -21,7 +23,9 @@ use ipe_core::{
 };
 use ipe_index::{IndexMode, IndexedSchema};
 use ipe_obs::{CompletedRequest, FlightConfig, FlightRecorder, RequestTrace, SpanHandle};
+use ipe_oodb::EvalLimits;
 use ipe_parser::{parse_path_expression, PathExprAst};
+use ipe_query::{evaluate_completions, Answer, QueryError};
 use ipe_schema::Schema;
 use ipe_store::{
     read_sidecar, read_warmup, remove_sidecar, sidecar_path, write_sidecar, write_warmup,
@@ -99,6 +103,13 @@ pub struct ServiceConfig {
     pub slow_ms: u64,
     /// Emit one structured JSON access-log line per request to stderr.
     pub access_log: bool,
+    /// Cap on a `PUT /v1/data/:schema` load: explicit spec entries, or
+    /// projected objects of a `gen` request. Beyond it the load is a
+    /// `413`.
+    pub max_data_entries: usize,
+    /// Default wall-clock budget for `POST /v1/query`, in milliseconds
+    /// (a request's `deadline_ms` overrides, capped at 60 000).
+    pub query_deadline_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +134,8 @@ impl Default for ServiceConfig {
             flight_keep_errors: 32,
             slow_ms: 500,
             access_log: false,
+            max_data_entries: 500_000,
+            query_deadline_ms: 2_000,
         }
     }
 }
@@ -186,6 +199,8 @@ const DEFAULT_BATCH_DEADLINE_MS: u64 = 2_000;
 const MAX_BATCH_DEADLINE_MS: u64 = 60_000;
 /// Upper bound on a requested batch thread count.
 const MAX_BATCH_THREADS: u64 = 16;
+/// Upper bound on a requested query deadline.
+const MAX_QUERY_DEADLINE_MS: u64 = 60_000;
 
 /// Shared state of a running server: registry, cache, and gauges.
 pub struct ServiceState {
@@ -193,6 +208,8 @@ pub struct ServiceState {
     pub registry: SchemaRegistry,
     /// The completion cache.
     pub cache: CompletionCache,
+    /// Loaded data instances, per schema name (`PUT /v1/data/:schema`).
+    pub data: DataRegistry,
     /// The durable store (`Some` when the server runs with a data
     /// directory). The mutex also serializes registry mutations with
     /// their WAL appends, so the log order always matches the registry's
@@ -226,6 +243,8 @@ pub struct ServiceState {
     pub flight: FlightRecorder,
     slow_ms: u64,
     access_log: bool,
+    max_data_entries: usize,
+    query_deadline_ms: u64,
 }
 
 impl ServiceState {
@@ -234,6 +253,7 @@ impl ServiceState {
         ServiceState {
             registry: SchemaRegistry::new(),
             cache: CompletionCache::new(config.cache_capacity, config.cache_shards),
+            data: DataRegistry::new(),
             store: store.map(Mutex::new),
             warmup: track_warmup.then(WarmupTracker::new),
             warmup_top_k: config.warmup_top_k,
@@ -262,6 +282,8 @@ impl ServiceState {
             }),
             slow_ms: config.slow_ms,
             access_log: config.access_log,
+            max_data_entries: config.max_data_entries,
+            query_deadline_ms: config.query_deadline_ms,
         }
     }
 
@@ -354,6 +376,7 @@ impl ServiceState {
             rejected_total: self.rejected_total.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
             schemas: self.registry.list().len() as u64,
+            data_sets: self.data.len() as u64,
             durable: self.store.is_some(),
             wal_last_seq: self
                 .store
@@ -455,6 +478,7 @@ struct ServiceMetrics {
     rejected_total: u64,
     workers: u64,
     schemas: u64,
+    data_sets: u64,
     durable: bool,
     wal_last_seq: u64,
     index: IndexMetrics,
@@ -820,7 +844,9 @@ fn route_label(req: &Request) -> &'static str {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/complete") => "complete",
         ("POST", "/v1/complete/batch") => "batch",
+        ("POST", "/v1/query") => "query",
         (_, p) if p.starts_with("/v1/schemas") => "schemas",
+        (_, p) if p.starts_with("/v1/data") => "data",
         ("GET", "/healthz") => "healthz",
         ("GET", "/metrics") => "metrics",
         ("GET", p) if p.starts_with("/v1/debug/requests") => "debug",
@@ -836,6 +862,8 @@ fn record_route_timer(route: &'static str, ns: u64) {
     static COMPLETE: Timer = Timer::new("service.route.complete");
     static BATCH: Timer = Timer::new("service.route.batch");
     static SCHEMAS: Timer = Timer::new("service.route.schemas");
+    static DATA: Timer = Timer::new("service.route.data");
+    static QUERY: Timer = Timer::new("service.route.query");
     static HEALTHZ: Timer = Timer::new("service.route.healthz");
     static METRICS: Timer = Timer::new("service.route.metrics");
     static DEBUG: Timer = Timer::new("service.route.debug");
@@ -845,6 +873,8 @@ fn record_route_timer(route: &'static str, ns: u64) {
         "complete" => &COMPLETE,
         "batch" => &BATCH,
         "schemas" => &SCHEMAS,
+        "data" => &DATA,
+        "query" => &QUERY,
         "healthz" => &HEALTHZ,
         "metrics" => &METRICS,
         "debug" => &DEBUG,
@@ -982,6 +1012,10 @@ fn route(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
                 Err(e) => Reply::json(500, error_body(&e.to_string())),
             }
         }
+        ("POST", "/v1/query") => handle_query(state, req, obs),
+        ("PUT", path) if path.starts_with("/v1/data/") => handle_put_data(state, req, obs),
+        ("GET", path) if path.starts_with("/v1/data/") => handle_get_data(state, req),
+        ("DELETE", path) if path.starts_with("/v1/data/") => handle_delete_data(state, req),
         ("PUT", path) if path.starts_with("/v1/schemas/") => handle_put_schema(state, req),
         ("DELETE", path) if path.starts_with("/v1/schemas/") => handle_delete_schema(state, req),
         ("GET", path) if path.starts_with("/v1/schemas/") => handle_get_schema(state, req),
@@ -1487,6 +1521,326 @@ fn warm_cache(state: &Arc<ServiceState>, entries: &[WarmupEntry], top_k: usize) 
     warmed
 }
 
+/// Extracts and validates the `:schema` segment of a `/v1/data/:schema`
+/// path.
+fn data_name_segment(path: &str) -> Result<&str, Reply> {
+    let name = &path["/v1/data/".len()..];
+    if name.is_empty() || name.contains('/') {
+        return Err(Reply::json(
+            400,
+            error_body("schema name must be a single path segment"),
+        ));
+    }
+    Ok(name)
+}
+
+/// `PUT /v1/data/:schema`: loads a database instance for a registered
+/// schema, either from an explicit bulk spec or a synthetic `gen`
+/// request. The load is generation-stamped against the schema's current
+/// registry generation; oversized loads are a `413`.
+fn handle_put_data(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
+    let name = match data_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let body = match req.text() {
+        Ok(b) => b,
+        Err(msg) => return Reply::json(400, error_body(msg)),
+    };
+    let parsed: DataPutRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
+    };
+    let Some(entry) = state.registry.get(name) else {
+        return Reply::json(404, error_body(&format!("no schema named `{name}`")));
+    };
+    let explicit = parsed.objects.len() + parsed.links.len() + parsed.attrs.len();
+    let (db, source) = if let Some(gen) = &parsed.gen {
+        if explicit > 0 {
+            return Reply::json(
+                400,
+                error_body("`gen` and explicit objects/links/attrs are mutually exclusive"),
+            );
+        }
+        let projected = gen.projected_objects(&entry.schema);
+        if projected > state.max_data_entries as u64 {
+            return Reply::json(
+                413,
+                error_body(&format!(
+                    "generation would create ~{projected} objects, over the {} cap",
+                    state.max_data_entries
+                )),
+            );
+        }
+        let mut gen_span = obs.span.child("data.generate");
+        gen_span.attr("projected_objects", projected);
+        let db = ipe_gen::generate_database(&entry.schema, gen);
+        gen_span.finish();
+        (db, "gen")
+    } else {
+        if explicit > state.max_data_entries {
+            return Reply::json(
+                413,
+                error_body(&format!(
+                    "spec has {explicit} entries, over the {} cap",
+                    state.max_data_entries
+                )),
+            );
+        }
+        let mut load_span = obs.span.child("data.load");
+        load_span.attr("entries", explicit as u64);
+        let db = match ipe_query::load(&entry.schema, &parsed.spec()) {
+            Ok(db) => db,
+            Err(e) => return Reply::json(422, error_body(&e.to_string())),
+        };
+        load_span.finish();
+        (db, "spec")
+    };
+    let loaded = state
+        .data
+        .insert(name, entry.id, entry.generation, source, db);
+    ipe_obs::counter!("service.data.put", 1);
+    let response = data_view(&loaded);
+    match serde_json::to_string(&response) {
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
+/// Renders a data entry's summary (PUT and GET share the shape).
+fn data_view(entry: &crate::DataEntry) -> DataPutResponse {
+    DataPutResponse {
+        schema: entry.schema_name.clone(),
+        schema_generation: entry.schema_generation,
+        data_generation: entry.data_generation,
+        source: entry.source.to_owned(),
+        objects: entry.db.object_count() as u64,
+        links: entry.db.link_count() as u64,
+        attrs: entry.db.attr_count() as u64,
+    }
+}
+
+/// `GET /v1/data/:schema`: the loaded instance's summary.
+fn handle_get_data(state: &Arc<ServiceState>, req: &Request) -> Reply {
+    let name = match data_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let Some(entry) = state.data.get(name) else {
+        return Reply::json(404, error_body(&format!("no data loaded for `{name}`")));
+    };
+    match serde_json::to_string(&data_view(&entry)) {
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
+/// `DELETE /v1/data/:schema`: drops the loaded instance.
+fn handle_delete_data(state: &Arc<ServiceState>, req: &Request) -> Reply {
+    let name = match data_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let Some(entry) = state.data.remove(name) else {
+        return Reply::json(404, error_body(&format!("no data loaded for `{name}`")));
+    };
+    let response = DataDeleteResponse {
+        schema: entry.schema_name.clone(),
+        data_generation: entry.data_generation,
+    };
+    match serde_json::to_string(&response) {
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
+/// `POST /v1/query`: disambiguate an incomplete expression (through the
+/// completion cache) and evaluate the top-E completions against the
+/// schema's loaded data, answering with the certain/possible partition
+/// and per-answer provenance.
+///
+/// Error mapping: unknown schema or no loaded data → `404`; data loaded
+/// against an older schema generation → `409`; unparsable body or query →
+/// `400`; already-complete expression at `e > 1`, engine rejections, and
+/// evaluation failures → `422`; deadline or budget exhaustion → `504`.
+fn handle_query(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
+    ipe_obs::counter!("query.requests", 1);
+    let _t = ipe_obs::timer!("query.request");
+    let body = match req.text() {
+        Ok(b) => b,
+        Err(msg) => return Reply::json(400, error_body(msg)),
+    };
+    let parsed: QueryRequest = match serde_json::from_str(body) {
+        Ok(p) => p,
+        Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
+    };
+    let started = Instant::now();
+    let name = parsed.schema_name();
+    let mut lookup_span = obs.span.child("registry.lookup");
+    lookup_span.note(name);
+    let entry = state.registry.get(name);
+    lookup_span.attr("found", entry.is_some() as u64);
+    lookup_span.finish();
+    let Some(entry) = entry else {
+        return Reply::json(404, error_body(&format!("no schema named `{name}`")));
+    };
+    let mut data_span = obs.span.child("data.lookup");
+    let data = state.data.get(name);
+    data_span.attr("found", data.is_some() as u64);
+    data_span.finish();
+    let Some(data) = data else {
+        return Reply::json(
+            404,
+            error_body(&format!(
+                "no data loaded for `{name}`; PUT /v1/data/{name} first"
+            )),
+        );
+    };
+    if data.schema_id != entry.id || data.schema_generation != entry.generation {
+        ipe_obs::counter!("query.stale_data", 1);
+        return Reply::json(
+            409,
+            error_body(&format!(
+                "data for `{name}` was loaded against schema generation {} but the schema is now at generation {}; re-PUT /v1/data/{name}",
+                data.schema_generation, entry.generation
+            )),
+        );
+    }
+    let mut parse_span = obs.span.child("parse");
+    parse_span.note(&parsed.query);
+    let ast = match parse_path_expression(&parsed.query) {
+        Ok(ast) => ast,
+        Err(e) => return Reply::json(400, error_body(&e.to_string())),
+    };
+    parse_span.finish();
+    let cfg = match parsed.config(&entry.schema) {
+        Ok(cfg) => cfg,
+        Err(msg) => return Reply::json(400, error_body(&msg)),
+    };
+    if ast.is_complete() && cfg.e > 1 {
+        return Reply::json(422, error_body(&QueryError::AlreadyComplete.to_string()));
+    }
+    let deadline_ms = parsed
+        .deadline_ms
+        .unwrap_or(state.query_deadline_ms)
+        .min(MAX_QUERY_DEADLINE_MS);
+    let deadline = (deadline_ms > 0).then(|| started + Duration::from_millis(deadline_ms));
+    // The completion phase shares the completion cache with
+    // POST /v1/complete: same key, same entries, so a warm query reuses
+    // the completion set and cold/warm answers are identical by
+    // construction.
+    let normalized = ast.to_string();
+    let key = CacheKey {
+        schema_id: entry.id,
+        generation: entry.generation,
+        query: normalized.clone(),
+        fingerprint: config_fingerprint(&cfg),
+    };
+    let mut probe_span = obs.span.child("cache.probe");
+    let probe = state.cache.get(&key);
+    probe_span.attr("hit", probe.is_some() as u64);
+    probe_span.finish();
+    let e = cfg.e as u64;
+    let (outcome, cached) = match probe {
+        Some(hit) => (hit, true),
+        None => {
+            let mut engine = Completer::with_config(&entry.schema, cfg);
+            let indexed = entry
+                .index()
+                .map(|ix| engine.attach_index(ix))
+                .unwrap_or(false);
+            state.count_complete(indexed);
+            let mut search_span = obs.span.child("search");
+            search_span.attr("indexed", indexed as u64);
+            let limits = SearchLimits {
+                deadline,
+                span: search_span.handle(),
+                ..SearchLimits::default()
+            };
+            match engine.complete_bounded(&ast, &limits) {
+                Ok(outcome) => {
+                    search_span.attr("calls", outcome.stats.calls);
+                    search_span.finish();
+                    obs.absorb_stats(&outcome.stats);
+                    let weight = entry_weight(&key, &outcome);
+                    let outcome = Arc::new(outcome);
+                    state
+                        .cache
+                        .insert_weighted(key, Arc::clone(&outcome), weight);
+                    (outcome, false)
+                }
+                Err(CompleteError::DeadlineExceeded) => {
+                    ipe_obs::counter!("query.deadline_exceeded", 1);
+                    return Reply::json(504, error_body("query deadline exceeded during search"));
+                }
+                Err(e) => return Reply::json(422, error_body(&e.to_string())),
+            }
+        }
+    };
+    obs.cache_hit = Some(cached);
+    let eval_limits = EvalLimits {
+        deadline,
+        ..EvalLimits::default()
+    };
+    let mut eval_span = obs.span.child("evaluate");
+    eval_span.attr("completions", outcome.completions.len() as u64);
+    let merged = match evaluate_completions(&data.db, &outcome.completions, &eval_limits) {
+        Ok(m) => m,
+        Err(err) if ipe_query::is_deadline(&err) => {
+            ipe_obs::counter!("query.deadline_exceeded", 1);
+            return Reply::json(504, error_body(&err.to_string()));
+        }
+        Err(err) => return Reply::json(422, error_body(&err.to_string())),
+    };
+    eval_span.attr("possible", merged.possible() as u64);
+    eval_span.attr("certain", merged.certain as u64);
+    eval_span.finish();
+    let certain = merged.certain as u64;
+    let possible = merged.possible() as u64;
+    let visited = merged.visited;
+    let answers = merged
+        .answers
+        .iter()
+        .filter(|a| a.certain || !parsed.certain_only)
+        .map(answer_view)
+        .collect();
+    let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let response = QueryResponse {
+        schema: entry.name.clone(),
+        generation: entry.generation,
+        data_generation: data.data_generation,
+        query: normalized,
+        e,
+        cached,
+        duration_ns,
+        completions: completion_views(&entry.schema, &outcome),
+        answers,
+        certain,
+        possible,
+        visited,
+        stats: outcome.stats,
+    };
+    match serde_json::to_string(&response) {
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
+/// Renders one provenance-annotated answer into wire form.
+fn answer_view(a: &ipe_query::ProvenanceAnswer) -> AnswerView {
+    let (kind, object, value) = match &a.answer {
+        Answer::Object(o) => ("object", Some(o.0 as u64), None),
+        Answer::Value(v) => ("value", None, Some(v.to_string())),
+    };
+    AnswerView {
+        kind: kind.to_owned(),
+        object,
+        value,
+        certain: a.certain,
+        completions: a.completions.iter().map(|&i| i as u64).collect(),
+    }
+}
+
 /// Builds the `/metrics` body: the standard `ipe-obs` [`Report`] (global
 /// counters and timers, including `service.cache.*` and
 /// `service.request`) extended with a `service` section of live gauges.
@@ -1545,6 +1899,11 @@ pub fn metrics_prometheus(state: &ServiceState) -> String {
             "service.schemas",
             "Schemas registered in the service.",
             m.schemas as f64,
+        ),
+        Gauge::new(
+            "service.data.loaded",
+            "Data instances loaded in the service.",
+            m.data_sets as f64,
         ),
         Gauge::new(
             "service.wal_last_seq",

@@ -14,7 +14,7 @@ use ipe::prelude::*;
 use std::io::{self, BufRead, Write};
 
 fn main() {
-    let schema = ipe::schema::fixtures::university();
+    let schema = std::sync::Arc::new(ipe::schema::fixtures::university());
     let db = university_db(&schema);
     let engine = Completer::with_config(&schema, CompletionConfig::with_e(2));
     let mut store = FeedbackStore::new(&schema);

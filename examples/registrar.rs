@@ -9,7 +9,7 @@ use ipe::oodb::fixtures::university_db;
 use ipe::prelude::*;
 
 fn main() {
-    let schema = ipe::schema::fixtures::university();
+    let schema = std::sync::Arc::new(ipe::schema::fixtures::university());
     let db = university_db(&schema);
     let engine = Completer::new(&schema);
 

@@ -15,7 +15,7 @@ echo "== tests =="
 cargo test -q --workspace
 
 echo "== tests (obs-off) =="
-cargo test -q -p ipe-obs -p ipe-core -p ipe-index -p ipe-service -p ipe-store --features obs-off
+cargo test -q -p ipe-obs -p ipe-core -p ipe-index -p ipe-oodb -p ipe-query -p ipe-service -p ipe-store --features obs-off
 
 echo "== service smoke =="
 serve_log="$(mktemp)"
@@ -51,6 +51,9 @@ echo "== batch smoke =="
 
 echo "== index smoke =="
 ./target/release/index_bench --smoke
+
+echo "== query smoke =="
+./target/release/query_bench --smoke
 
 echo "== store smoke =="
 ./target/release/store_bench --smoke

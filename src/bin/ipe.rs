@@ -5,13 +5,14 @@
 //! ipe complete [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]... EXPR
 //! ipe explain  [--schema FILE | --fixture NAME] EXPR
 //! ipe eval     EXPR                      (university fixture database)
+//! ipe query    [--e N] [--objects N] [--links N] EXPR   (disambiguate + evaluate)
 //! ipe gen      [--seed N] [--classes N]  (print a synthetic schema as JSON)
 //! ipe dot      [--schema FILE | --fixture NAME] [--inverses]
 //! ipe stats    [--schema FILE | --fixture NAME]
 //! ipe serve    [--addr HOST:PORT] [--workers N] [--cache-capacity N] ...
 //! ```
 
-use ipe::core::{complete_batch, explain, BatchOptions, Completer, CompletionConfig};
+use ipe::core::{complete_batch, explain, BatchOptions, Completer, CompletionConfig, SearchLimits};
 use ipe::gen::{generate_schema, GenConfig};
 use ipe::index::{IndexMode, IndexedSchema, SearchIndex};
 use ipe::oodb::fixtures::university_db;
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 
 /// The explicit subcommand names.
 const COMMANDS: &[&str] = &[
-    "complete", "explain", "eval", "gen", "dot", "stats", "serve", "batch",
+    "complete", "explain", "eval", "query", "gen", "dot", "stats", "serve", "batch",
 ];
 
 /// Flags that consume the following argument, for subcommand scanning.
@@ -42,6 +43,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--cache-shards",
     "--batch-threads",
     "--threads",
+    "--objects",
+    "--links",
     "--deadline-ms",
     "--data-dir",
     "--fsync",
@@ -94,6 +97,7 @@ fn main() -> ExitCode {
         "complete" => cmd_complete(&rest),
         "explain" => cmd_explain(&rest),
         "eval" => cmd_eval(&rest),
+        "query" => cmd_query(&rest),
         "gen" => cmd_gen(&rest),
         "dot" => cmd_dot(&rest),
         "stats" => cmd_stats(&rest),
@@ -119,6 +123,8 @@ const USAGE: &str = "usage:
                [--index on|off|lazy] [--trace] [--report FILE] EXPR
   ipe explain  [--schema FILE | --fixture NAME] EXPR
   ipe eval     EXPR
+  ipe query    [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]...
+               [--objects N] [--links N] [--seed N] [--deadline-ms N] EXPR
   ipe gen      [--seed N] [--classes N]
   ipe dot      [--schema FILE | --fixture NAME] [--inverses]
   ipe stats    [--schema FILE | --fixture NAME]
@@ -164,6 +170,15 @@ a restart skips the rebuild. `lazy` defers per-name goal tables to first
 use; `off` disables indexing. One-shot `complete` defaults to `off`;
 pass --index on to see index pruning in --trace/--report output.
 
+`query` disambiguates an incomplete expression at --e and evaluates the
+admitted completions against a database instance, merging the results
+into provenance-annotated answers: `certain` answers are produced by
+every completion, `possible` answers by at least one. The default
+university fixture uses its handcrafted instance; `--objects N` /
+`--links N` (or any other schema) switch to a synthetic instance seeded
+by --seed. --deadline-ms bounds search plus evaluation together
+(default 2000, 0 = unlimited).
+
 `batch` reads one path expression per line from FILE (`-` for stdin;
 blank lines and `#` comments are skipped) and completes them in parallel
 on --threads workers (default 4). --deadline-ms bounds each item's
@@ -190,6 +205,13 @@ struct Opts {
     cache_shards: usize,
     batch_threads: usize,
     threads: usize,
+    /// `--objects N` for `query`: synthetic objects per class (`None`
+    /// keeps the handcrafted fixture instance where one exists).
+    objects: Option<usize>,
+    /// `--links N` for `query`: synthetic link attempts per relationship.
+    links: Option<usize>,
+    /// The fixture the schema came from, `None` under `--schema FILE`.
+    fixture_name: Option<String>,
     deadline_ms: u64,
     data_dir: Option<String>,
     fsync: FsyncPolicy,
@@ -223,6 +245,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut cache_shards = service_defaults.cache_shards;
     let mut batch_threads = service_defaults.batch_threads;
     let mut threads = 4usize;
+    let mut objects = None;
+    let mut links = None;
     let mut deadline_ms = 2_000u64;
     let mut data_dir = None;
     let mut fsync = service_defaults.fsync;
@@ -294,6 +318,20 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--threads must be a number")?
             }
+            "--objects" => {
+                objects = Some(
+                    grab("--objects")?
+                        .parse()
+                        .map_err(|_| "--objects must be a number")?,
+                )
+            }
+            "--links" => {
+                links = Some(
+                    grab("--links")?
+                        .parse()
+                        .map_err(|_| "--links must be a number")?,
+                )
+            }
             "--deadline-ms" => {
                 deadline_ms = grab("--deadline-ms")?
                     .parse()
@@ -332,6 +370,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             other => positional.push(other.to_owned()),
         }
     }
+    let fixture_name = schema_file.is_none().then(|| fixture.clone());
     let schema = match schema_file {
         Some(path) => {
             let json =
@@ -361,6 +400,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         cache_shards,
         batch_threads,
         threads,
+        objects,
+        links,
+        fixture_name,
         deadline_ms,
         data_dir,
         fsync,
@@ -494,7 +536,7 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         .positional
         .first()
         .ok_or("missing path expression argument")?;
-    let schema = ipe::schema::fixtures::university();
+    let schema = std::sync::Arc::new(ipe::schema::fixtures::university());
     let db = university_db(&schema);
     let out = db.eval_str(expr).map_err(|e| e.to_string())?;
     let values = out.values();
@@ -504,6 +546,85 @@ fn cmd_eval(args: &[String]) -> Result<(), String> {
         for v in values {
             println!("{v}");
         }
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let opts = parse_opts(args)?;
+    let expr = opts
+        .positional
+        .first()
+        .cloned()
+        .ok_or("missing path expression argument")?;
+    let mut excluded = Vec::new();
+    for name in &opts.exclude {
+        let c = opts
+            .schema
+            .class_named(name)
+            .ok_or_else(|| format!("unknown class `{name}` in --exclude"))?;
+        excluded.push(c);
+    }
+    // The bundled university fixture has a handcrafted instance with
+    // recognisable answers; any other schema (or an explicit size) gets a
+    // deterministic synthetic instance.
+    let handcrafted = opts.objects.is_none()
+        && opts.links.is_none()
+        && opts.fixture_name.as_deref() == Some("university");
+    let schema = std::sync::Arc::new(opts.schema);
+    let db = if handcrafted {
+        university_db(&schema)
+    } else {
+        ipe::oodb::gendata::populate(
+            &schema,
+            &ipe::oodb::gendata::DataConfig {
+                objects_per_class: opts.objects.unwrap_or(3),
+                links_per_rel: opts.links.unwrap_or(4),
+                seed: opts.seed,
+            },
+        )
+    };
+    let deadline = (opts.deadline_ms > 0)
+        .then(|| std::time::Instant::now() + std::time::Duration::from_millis(opts.deadline_ms));
+    let qopts = ipe::query::QueryOptions {
+        config: CompletionConfig {
+            e: opts.e,
+            excluded_classes: excluded,
+            ..Default::default()
+        },
+        search_limits: SearchLimits {
+            deadline,
+            ..Default::default()
+        },
+        eval_limits: ipe::oodb::EvalLimits {
+            deadline,
+            ..Default::default()
+        },
+    };
+    let out = ipe::query::query(&db, &expr, &qopts).map_err(|e| e.to_string())?;
+    println!(
+        "{} completion(s) at e={} over {} object(s) / {} link(s):",
+        out.completions.len(),
+        opts.e,
+        db.object_count(),
+        db.link_count()
+    );
+    for (i, c) in out.completions.iter().enumerate() {
+        println!("  [{i}] {}", c.display(&schema));
+    }
+    println!(
+        "{} answer(s): {} certain, {} possible",
+        out.answers.len(),
+        out.certain,
+        out.possible()
+    );
+    for a in &out.answers {
+        println!(
+            "  {} {}  via {:?}",
+            if a.certain { "certain " } else { "possible" },
+            a.answer,
+            a.completions
+        );
     }
     Ok(())
 }

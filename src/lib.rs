@@ -32,6 +32,7 @@ pub use ipe_metrics as metrics;
 pub use ipe_obs as obs;
 pub use ipe_oodb as oodb;
 pub use ipe_parser as parser;
+pub use ipe_query as query;
 pub use ipe_schema as schema;
 pub use ipe_service as service;
 pub use ipe_store as store;

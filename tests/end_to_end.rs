@@ -24,7 +24,7 @@ fn section_2_2_2_flagship_example() {
 
 #[test]
 fn completion_then_evaluation_yields_ta_names() {
-    let schema = ipe::schema::fixtures::university();
+    let schema = std::sync::Arc::new(ipe::schema::fixtures::university());
     let db = university_db(&schema);
     let engine = Completer::new(&schema);
     let out = engine
@@ -102,7 +102,7 @@ fn assembly_schema_shares_subparts() {
 
 #[test]
 fn multi_tilde_end_to_end() {
-    let schema = ipe::schema::fixtures::university();
+    let schema = std::sync::Arc::new(ipe::schema::fixtures::university());
     let db = university_db(&schema);
     let engine = Completer::new(&schema);
     // Any path reaching a `take` relationship, then any continuation to a

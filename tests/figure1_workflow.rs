@@ -9,7 +9,7 @@ use ipe::prelude::*;
 
 #[test]
 fn approval_loop_with_learning() {
-    let schema = ipe::schema::fixtures::university();
+    let schema = std::sync::Arc::new(ipe::schema::fixtures::university());
     let db = populate(&schema, &DataConfig::default());
     let engine = Completer::with_config(&schema, CompletionConfig::with_e(2));
     let mut store = FeedbackStore::new(&schema);
@@ -71,7 +71,7 @@ fn approval_loop_with_learning() {
 
 #[test]
 fn explanations_render_for_every_candidate() {
-    let schema = ipe::schema::fixtures::university();
+    let schema = std::sync::Arc::new(ipe::schema::fixtures::university());
     let engine = Completer::with_config(&schema, CompletionConfig::with_e(3));
     for query in ["ta~name", "department~take", "university~ssn"] {
         let out = engine
