@@ -3,15 +3,17 @@
 //! Two modes:
 //!
 //! * `--smoke`: a correctness probe for CI — complete `ta~name` against
-//!   the server's `default` schema, assert the two Figure-2 answers, and
-//!   assert the second, identical request is a cache hit (optionally
-//!   `--shutdown` the server afterwards). Exits non-zero on any mismatch.
+//!   the server's `default` schema, assert the two Figure-2 answers,
+//!   assert the second, identical request is a cache hit, then hammer
+//!   the reactors with a 64-connection burst whose every answer is
+//!   checked (optionally `--shutdown` the server afterwards). Exits
+//!   non-zero on any mismatch.
 //! * default: a benchmark — spawn (or target) a server, upload the
 //!   CUPID-calibrated schema, replay the `ipe-gen` planted-intent
-//!   workload from `--concurrency` connections, measure cold-vs-warm
-//!   `ta~name` latency, and write `BENCH_service.json` (throughput,
-//!   p50/p99, hit rate, cache counters cross-checked against
-//!   `/metrics`).
+//!   workload from `--concurrency` connections plus a c=64/c=256
+//!   high-fan-out sweep, measure cold-vs-warm `ta~name` latency, and
+//!   write `BENCH_service.json` (throughput, p50/p99 per concurrency,
+//!   hit rate, cache counters cross-checked against `/metrics`).
 //!
 //! ```text
 //! service_load [--addr HOST:PORT] [--requests N] [--concurrency C]
@@ -164,8 +166,46 @@ const FIGURE2: [&str; 2] = [
     "ta@>instructor@>teacher@>employee@>person.name",
 ];
 
-/// The CI probe: Figure-2 answers, then a cache hit on the repeat.
-fn run_smoke(client: &mut Client) -> Result<(), String> {
+/// High-concurrency correctness burst: `conns` simultaneous keep-alive
+/// connections, each issuing `reps` completions, every answer checked.
+/// Exercises the reactor front end (accept sharding, per-connection
+/// state machines) well past the old thread-per-connection scale.
+fn burst(addr: &str, conns: usize, reps: usize) -> Result<(), String> {
+    let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..conns {
+            let addr = addr.to_owned();
+            handles.push(scope.spawn(move || {
+                let mut client = Client::new(addr);
+                for _ in 0..reps {
+                    let (texts, _, _) = complete(&mut client, "default", "ta~name")?;
+                    if texts.len() != 2 || FIGURE2.iter().any(|e| !texts.iter().any(|t| t == e)) {
+                        return Err(format!("burst answer diverged: {texts:?}"));
+                    }
+                }
+                Ok(())
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("burst connection panicked"))
+            .collect()
+    });
+    let failures: Vec<String> = results.into_iter().filter_map(|r| r.err()).collect();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {conns} burst connections failed; first: {}",
+            failures.len(),
+            failures[0]
+        ))
+    }
+}
+
+/// The CI probe: Figure-2 answers, a cache hit on the repeat, then a
+/// high-concurrency burst.
+fn run_smoke(client: &mut Client, addr: &str) -> Result<(), String> {
     let (texts, cached, cold_ns) = complete(client, "default", "ta~name")?;
     for expected in FIGURE2 {
         if !texts.iter().any(|t| t == expected) {
@@ -195,8 +235,12 @@ fn run_smoke(client: &mut Client) -> Result<(), String> {
             "/metrics counters inconsistent: hits {hits}, misses {misses}"
         ));
     }
+    const BURST_CONNS: usize = 64;
+    const BURST_REPS: usize = 8;
+    burst(addr, BURST_CONNS, BURST_REPS)?;
     println!(
-        "smoke OK: ta~name -> 2 Figure-2 completions, cold {cold_ns}ns, warm (cached) {warm_ns}ns"
+        "smoke OK: ta~name -> 2 Figure-2 completions, cold {cold_ns}ns, warm (cached) {warm_ns}ns; \
+         burst {BURST_CONNS}x{BURST_REPS} lossless"
     );
     Ok(())
 }
@@ -207,6 +251,68 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx]
+}
+
+/// One concurrent replay of `workload` against the server at `addr`.
+struct ReplayStats {
+    total: u64,
+    wall: std::time::Duration,
+    throughput: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    response_hits: u64,
+}
+
+/// Replays `requests` workload queries from `concurrency` keep-alive
+/// connections and collects client-side latency stats.
+fn replay(
+    addr: &str,
+    workload: &[ipe_gen::QuerySpec],
+    requests: usize,
+    concurrency: usize,
+) -> Result<ReplayStats, String> {
+    let started = Instant::now();
+    let per_thread = requests.div_ceil(concurrency.max(1));
+    let results: Vec<Result<Vec<(u64, bool)>, String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..concurrency.max(1) {
+            let addr = addr.to_owned();
+            handles.push(scope.spawn(move || {
+                let mut client = Client::new(addr);
+                let mut out = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let q = &workload[(t + i) % workload.len()];
+                    let sent = Instant::now();
+                    let (_, cached, _server_ns) = complete(&mut client, "cupid", &q.expr)?;
+                    out.push((sent.elapsed().as_nanos() as u64, cached));
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay connection panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut latencies = Vec::with_capacity(requests);
+    let mut response_hits = 0u64;
+    for r in results {
+        for (ns, cached) in r? {
+            latencies.push(ns);
+            response_hits += u64::from(cached);
+        }
+    }
+    let total = latencies.len() as u64;
+    latencies.sort_unstable();
+    Ok(ReplayStats {
+        total,
+        wall,
+        throughput: total as f64 / wall.as_secs_f64(),
+        p50_ns: percentile(&latencies, 0.5),
+        p99_ns: percentile(&latencies, 0.99),
+        response_hits,
+    })
 }
 
 /// Warm-path server-side latency under three tracing configurations:
@@ -222,7 +328,7 @@ fn trace_overhead_stage(reps: usize, sample_n: u64) -> Result<[(u64, u64); 3], S
     for n in configs {
         let server = Server::start(ServiceConfig {
             addr: "127.0.0.1:0".to_owned(),
-            workers: 2,
+            reactors: 2,
             trace_sample_n: n,
             slow_ms: 0,
             ..Default::default()
@@ -265,6 +371,141 @@ fn trace_overhead_stage(reps: usize, sample_n: u64) -> Result<[(u64, u64); 3], S
     Ok(out)
 }
 
+/// Reads HTTP/1.1 responses off a raw keep-alive socket, one at a time,
+/// carrying over-read bytes between calls (responses arrive back-to-back
+/// under pipelining).
+struct RespReader {
+    stream: std::net::TcpStream,
+    carry: Vec<u8>,
+}
+
+impl RespReader {
+    fn next(&mut self) -> Result<(u16, String), String> {
+        use std::io::Read;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(head_end) = self.carry.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&self.carry[..head_end]).into_owned();
+                let status: u16 = head
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("bad status line: {head}"))?;
+                let len: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        let (k, v) = l.split_once(':')?;
+                        k.eq_ignore_ascii_case("content-length")
+                            .then(|| v.trim().parse().ok())?
+                    })
+                    .ok_or_else(|| format!("no content-length: {head}"))?;
+                let total = head_end + 4 + len;
+                if self.carry.len() >= total {
+                    let body =
+                        String::from_utf8_lossy(&self.carry[head_end + 4..total]).into_owned();
+                    self.carry.drain(..total);
+                    return Ok((status, body));
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err("server closed mid-response".to_owned()),
+                Ok(n) => self.carry.extend_from_slice(&chunk[..n]),
+                Err(e) => return Err(format!("read failed: {e}")),
+            }
+        }
+    }
+}
+
+/// Pipelined replay: each connection keeps `depth` requests in flight,
+/// writing a burst and then draining its responses. This measures the
+/// front end's sustained throughput rather than the load generator's
+/// context-switch budget — a closed-loop thread per connection caps out
+/// on scheduler round-trips long before the server does, especially on
+/// few-core machines. Latency is per response, measured from its
+/// burst's send instant.
+fn replay_pipelined(
+    addr: &str,
+    workload: &[ipe_gen::QuerySpec],
+    requests: usize,
+    concurrency: usize,
+    depth: usize,
+) -> Result<ReplayStats, String> {
+    let started = Instant::now();
+    let per_thread = requests.div_ceil(concurrency.max(1));
+    let results: Vec<Result<Vec<(u64, bool)>, String>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..concurrency.max(1) {
+            let addr = addr.to_owned();
+            handles.push(scope.spawn(move || {
+                let stream = std::net::TcpStream::connect(&addr)
+                    .map_err(|e| format!("connect failed: {e}"))?;
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+                    .ok();
+                let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+                let mut reader = RespReader {
+                    stream,
+                    carry: Vec::new(),
+                };
+                let mut out = Vec::with_capacity(per_thread);
+                let mut issued = 0usize;
+                while issued < per_thread {
+                    use std::io::Write;
+                    let burst_n = depth.min(per_thread - issued);
+                    let mut burst = String::new();
+                    for i in 0..burst_n {
+                        let q = &workload[(t + issued + i) % workload.len()];
+                        let body = format!("{{\"schema\": \"cupid\", \"query\": \"{}\"}}", q.expr);
+                        burst.push_str(&format!(
+                            "POST /v1/complete HTTP/1.1\r\nHost: b\r\nContent-Length: {}\r\n\r\n{}",
+                            body.len(),
+                            body
+                        ));
+                    }
+                    let sent = Instant::now();
+                    writer
+                        .write_all(burst.as_bytes())
+                        .map_err(|e| format!("write burst: {e}"))?;
+                    for _ in 0..burst_n {
+                        let (status, body) = reader.next()?;
+                        if status != 200 {
+                            return Err(format!("pipelined request: HTTP {status}: {body}"));
+                        }
+                        let cached = body.contains("\"cached\":true");
+                        out.push((sent.elapsed().as_nanos() as u64, cached));
+                    }
+                    issued += burst_n;
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pipelined connection panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut latencies = Vec::with_capacity(requests);
+    let mut response_hits = 0u64;
+    for r in results {
+        for (ns, cached) in r? {
+            latencies.push(ns);
+            response_hits += u64::from(cached);
+        }
+    }
+    let total = latencies.len() as u64;
+    latencies.sort_unstable();
+    Ok(ReplayStats {
+        total,
+        wall,
+        throughput: total as f64 / wall.as_secs_f64(),
+        p50_ns: percentile(&latencies, 0.5),
+        p99_ns: percentile(&latencies, 0.99),
+        response_hits,
+    })
+}
+
 fn run_bench(client: &mut Client, addr: &str, args: &Args) -> Result<(), String> {
     // 1. The CUPID-calibrated schema and its planted-intent workload.
     let (gen, workload) = experiment_setup(args.seed);
@@ -303,52 +544,40 @@ fn run_bench(client: &mut Client, addr: &str, args: &Args) -> Result<(), String>
     let warm_p50 = percentile(&warm, 0.5).max(1);
     let speedup = cold_ns as f64 / warm_p50 as f64;
 
-    // 3. Replay the workload concurrently.
-    let started = Instant::now();
-    let per_thread = args.requests.div_ceil(args.concurrency.max(1));
-    let results: Vec<Result<Vec<(u64, bool)>, String>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..args.concurrency.max(1) {
-            let workload = &workload;
-            let addr = addr.to_owned();
-            handles.push(scope.spawn(move || {
-                let mut client = Client::new(addr);
-                let mut out = Vec::with_capacity(per_thread);
-                for i in 0..per_thread {
-                    let q = &workload[(t + i) % workload.len()];
-                    let sent = Instant::now();
-                    let (_, cached, _server_ns) = complete(&mut client, "cupid", &q.expr)?;
-                    out.push((sent.elapsed().as_nanos() as u64, cached));
-                }
-                Ok(out)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let elapsed = started.elapsed();
-    let mut latencies = Vec::with_capacity(args.requests);
-    let mut response_hits = 0u64;
-    for r in results {
-        for (ns, cached) in r? {
-            latencies.push(ns);
-            response_hits += u64::from(cached);
-        }
+    // 3. Replay the workload concurrently — at the configured base
+    //    concurrency, then at c=64 and c=256 to exercise the reactor
+    //    front end where a thread-per-connection design saturates.
+    let base = replay(addr, &workload, args.requests, args.concurrency)?;
+    let total = base.total;
+    let (elapsed, p50, p99, throughput, response_hits) = (
+        base.wall,
+        base.p50_ns,
+        base.p99_ns,
+        base.throughput,
+        base.response_hits,
+    );
+    let hit_rate = response_hits as f64 / total.max(1) as f64;
+    // The high-fan-out rows pipeline requests (depth 32): the reactor
+    // front end frames and answers back-to-back requests off one socket,
+    // so sustained throughput is no longer bounded by one scheduler
+    // round-trip per request.
+    const PIPELINE_DEPTH: usize = 32;
+    let mut sweep: Vec<(usize, ReplayStats)> = Vec::new();
+    for c in [64usize, 256] {
+        // Keep per-connection work meaningful at high fan-out.
+        let reqs = args.requests.max(c * 64);
+        sweep.push((
+            c,
+            replay_pipelined(addr, &workload, reqs, c, PIPELINE_DEPTH)?,
+        ));
     }
-    let total = latencies.len() as u64;
-    latencies.sort_unstable();
-    let p50 = percentile(&latencies, 0.5);
-    let p99 = percentile(&latencies, 0.99);
-    let throughput = total as f64 / elapsed.as_secs_f64();
-    let hit_rate = response_hits as f64 / total as f64;
 
     // 4. Cross-check the replay against the server's own counters.
     let (hits, misses, evictions) = fetch_cache_counters(client)?;
     // Every complete request issued in this run: 1 + warm_reps on
-    // `ta~name`, plus the workload replay.
-    let issued = 1 + args.warm_reps as u64 + total;
+    // `ta~name`, plus every workload replay (base + sweep).
+    let sweep_total: u64 = sweep.iter().map(|(_, s)| s.total).sum();
+    let issued = 1 + args.warm_reps as u64 + total + sweep_total;
     let consistent = hits + misses == issued && hits >= response_hits;
     if !consistent {
         eprintln!(
@@ -369,6 +598,15 @@ fn run_bench(client: &mut Client, addr: &str, args: &Args) -> Result<(), String>
         "cache hit rate:  {} ({response_hits}/{total} responses)",
         pct(hit_rate)
     );
+    for (c, s) in &sweep {
+        println!(
+            "c={c:<4} pipelined: {:.0} req/s over {} requests, p50/p99 {}us / {}us",
+            s.throughput,
+            s.total,
+            s.p50_ns / 1000,
+            s.p99_ns / 1000
+        );
+    }
     println!("server counters: {hits} hits, {misses} misses, {evictions} evictions");
     println!(
         "ta~name cold {}us vs warm p50 {}us  ->  {speedup:.0}x speedup",
@@ -406,43 +644,56 @@ fn run_bench(client: &mut Client, addr: &str, args: &Args) -> Result<(), String>
         ));
     }
 
+    let mut extra_stats: Vec<(String, u64)> = Vec::new();
+    for (c, s) in &sweep {
+        extra_stats.push((format!("c{c}_requests"), s.total));
+        extra_stats.push((format!("c{c}_throughput_rps"), s.throughput as u64));
+        extra_stats.push((format!("c{c}_p50_ns"), s.p50_ns));
+        extra_stats.push((format!("c{c}_p99_ns"), s.p99_ns));
+    }
+    let mut stats: Vec<(&str, u64)> = vec![
+        ("requests", total),
+        ("concurrency", args.concurrency as u64),
+        ("wall_ms", elapsed.as_millis() as u64),
+        ("throughput_rps", throughput as u64),
+        ("client_p50_ns", p50),
+        ("client_p99_ns", p99),
+        ("response_cache_hits", response_hits),
+        ("hit_rate_pct", (hit_rate * 100.0) as u64),
+        ("metrics_cache_hits", hits),
+        ("metrics_cache_misses", misses),
+        ("metrics_cache_evictions", evictions),
+        ("ta_name_cold_ns", cold_ns),
+        ("ta_name_warm_p50_ns", warm_p50),
+        ("warm_speedup_x", speedup as u64),
+        ("trace_off_min_ns", off_min),
+        ("trace_unsampled_min_ns", uns_min),
+        ("trace_off_p50_ns", off_p50),
+        ("trace_unsampled_p50_ns", uns_p50),
+        ("trace_sampled_p50_ns", smp_p50),
+        ("trace_sample_n", args.trace_sample.max(1)),
+        (
+            "trace_unsampled_overhead_basis_points",
+            (overhead_pct.max(0.0) * 100.0) as u64,
+        ),
+        ("obs_off", u64::from(ipe_obs::disabled())),
+    ];
+    stats.extend(extra_stats.iter().map(|(k, v)| (k.as_str(), *v)));
     write_run_report_with_stats(
         "service",
         &[
             ("mode", "replay"),
             ("workload", "cupid planted-intent"),
+            ("sweep_mode", "pipelined x32"),
+            // The pre-reactor front end (accept loop + fixed worker
+            // pool, PR 7 seed) measured 16,198 req/s at c=4 closed-loop.
+            ("seed_throughput_rps_c4", "16198"),
             (
                 "consistent_with_metrics",
                 if consistent { "true" } else { "false" },
             ),
         ],
-        &[
-            ("requests", total),
-            ("concurrency", args.concurrency as u64),
-            ("wall_ms", elapsed.as_millis() as u64),
-            ("throughput_rps", throughput as u64),
-            ("client_p50_ns", p50),
-            ("client_p99_ns", p99),
-            ("response_cache_hits", response_hits),
-            ("hit_rate_pct", (hit_rate * 100.0) as u64),
-            ("metrics_cache_hits", hits),
-            ("metrics_cache_misses", misses),
-            ("metrics_cache_evictions", evictions),
-            ("ta_name_cold_ns", cold_ns),
-            ("ta_name_warm_p50_ns", warm_p50),
-            ("warm_speedup_x", speedup as u64),
-            ("trace_off_min_ns", off_min),
-            ("trace_unsampled_min_ns", uns_min),
-            ("trace_off_p50_ns", off_p50),
-            ("trace_unsampled_p50_ns", uns_p50),
-            ("trace_sampled_p50_ns", smp_p50),
-            ("trace_sample_n", args.trace_sample.max(1)),
-            (
-                "trace_unsampled_overhead_basis_points",
-                (overhead_pct.max(0.0) * 100.0) as u64,
-            ),
-            ("obs_off", u64::from(ipe_obs::disabled())),
-        ],
+        &stats,
     );
     if speedup < 10.0 {
         eprintln!("warning: warm-cache speedup below 10x ({speedup:.1}x)");
@@ -464,7 +715,11 @@ fn main() -> ExitCode {
         None => {
             let server = match Server::start(ServiceConfig {
                 addr: "127.0.0.1:0".to_owned(),
-                workers: (args.concurrency + 2).max(4),
+                // 0 = one reactor per core; the event-driven front end
+                // no longer needs a thread per connection. The per-reactor
+                // connection cap clears the c=256 sweep with headroom.
+                reactors: 0,
+                queue_depth: 1024,
                 trace_sample_n: args.trace_sample,
                 ..Default::default()
             }) {
@@ -485,7 +740,7 @@ fn main() -> ExitCode {
     };
     let mut client = Client::new(addr.clone());
     let result = if args.smoke {
-        run_smoke(&mut client)
+        run_smoke(&mut client, &addr)
     } else {
         run_bench(&mut client, &addr, &args)
     };

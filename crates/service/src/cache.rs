@@ -267,13 +267,20 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
         &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
     }
 
+    /// Locks a shard, recovering from poisoning: the cache is advisory
+    /// (worst case a stale recency order), so dying on a lock a panicking
+    /// request poisoned would trade a cosmetic inconsistency for an
+    /// outage.
+    fn lock_shard<'a>(shard: &'a Mutex<Shard<K, V>>) -> std::sync::MutexGuard<'a, Shard<K, V>> {
+        shard.lock().unwrap_or_else(|poisoned| {
+            ipe_obs::counter!("service.lock.poison_recovered", 1);
+            poisoned.into_inner()
+        })
+    }
+
     /// Looks `key` up, refreshing its recency on a hit.
     pub fn get(&self, key: &K) -> Option<V> {
-        let got = self
-            .shard_of(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key);
+        let got = Self::lock_shard(self.shard_of(key)).get(key);
         match &got {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -297,11 +304,8 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// Like [`ShardedLru::insert`], declaring the entry's approximate
     /// heap footprint for the `cache.bytes` gauge (see [`entry_weight`]).
     pub fn insert_weighted(&self, key: K, value: V, bytes: usize) {
-        let evicted = self
-            .shard_of(&key)
-            .lock()
-            .expect("cache shard poisoned")
-            .insert(key, value, bytes, self.per_shard);
+        let evicted =
+            Self::lock_shard(self.shard_of(&key)).insert(key, value, bytes, self.per_shard);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             ipe_obs::counter!("service.cache.evict", 1);
@@ -312,17 +316,14 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .map(|s| Self::lock_shard(s).map.len())
             .sum()
     }
 
     /// Approximate bytes held by live entries across all shards, as
     /// declared at insertion.
     pub fn bytes(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").bytes)
-            .sum()
+        self.shards.iter().map(|s| Self::lock_shard(s).bytes).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -350,11 +351,7 @@ impl CompletionCache {
     pub fn purge_schema(&self, schema_id: u64) -> u64 {
         self.shards
             .iter()
-            .map(|s| {
-                s.lock()
-                    .expect("cache shard poisoned")
-                    .retain(|k| k.schema_id != schema_id)
-            })
+            .map(|s| ShardedLru::lock_shard(s).retain(|k| k.schema_id != schema_id))
             .sum()
     }
 }

@@ -11,7 +11,27 @@
 
 use ipe_oodb::Database;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+type Map = HashMap<String, Arc<DataEntry>>;
+
+/// Read-locks the map, recovering from poisoning (a panicking request
+/// handler elsewhere must not brick the data plane; the map is valid at
+/// every point a panic can interleave).
+fn read_recover(lock: &RwLock<Map>) -> RwLockReadGuard<'_, Map> {
+    lock.read().unwrap_or_else(|poisoned| {
+        ipe_obs::counter!("service.lock.poison_recovered", 1);
+        poisoned.into_inner()
+    })
+}
+
+/// Write-locks the map, recovering from poisoning (see [`read_recover`]).
+fn write_recover(lock: &RwLock<Map>) -> RwLockWriteGuard<'_, Map> {
+    lock.write().unwrap_or_else(|poisoned| {
+        ipe_obs::counter!("service.lock.poison_recovered", 1);
+        poisoned.into_inner()
+    })
+}
 
 /// One loaded database instance.
 pub struct DataEntry {
@@ -53,7 +73,7 @@ impl DataRegistry {
         source: &'static str,
         db: Database,
     ) -> Arc<DataEntry> {
-        let mut map = self.inner.write().expect("data registry poisoned");
+        let mut map = write_recover(&self.inner);
         let data_generation = map
             .get(schema_name)
             .map(|prev| prev.data_generation + 1)
@@ -73,25 +93,18 @@ impl DataRegistry {
 
     /// The loaded data for `schema_name`, if any.
     pub fn get(&self, schema_name: &str) -> Option<Arc<DataEntry>> {
-        self.inner
-            .read()
-            .expect("data registry poisoned")
-            .get(schema_name)
-            .cloned()
+        read_recover(&self.inner).get(schema_name).cloned()
     }
 
     /// Drops the loaded data for `schema_name`, returning the removed
     /// entry.
     pub fn remove(&self, schema_name: &str) -> Option<Arc<DataEntry>> {
-        self.inner
-            .write()
-            .expect("data registry poisoned")
-            .remove(schema_name)
+        write_recover(&self.inner).remove(schema_name)
     }
 
     /// Number of loaded instances.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("data registry poisoned").len()
+        read_recover(&self.inner).len()
     }
 
     /// Whether no data is loaded.

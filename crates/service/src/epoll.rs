@@ -1,0 +1,425 @@
+//! A thin, std-only shim over the Linux readiness syscalls the reactor
+//! needs: `epoll` for event multiplexing, `eventfd` for cross-thread
+//! wakeups, and raw socket creation so `SO_REUSEPORT` can be set *before*
+//! `bind` (std's `TcpListener::bind` offers no hook for that, and the
+//! option is ignored after binding).
+//!
+//! The codebase hand-rolls serde, CRC, and LRU rather than take
+//! dependencies; this module extends that stance to the syscall layer:
+//! `extern "C"` declarations against the C library std already links, no
+//! `libc` crate. Everything unsafe in the service crate lives here,
+//! behind four safe types: [`Poller`], [`Wake`], [`bind_reuseport`], and
+//! [`set_rcvbuf`]. Linux-only, like the reactor that drives it.
+
+// The one module allowed to use `unsafe` (the crate denies it): raw fds
+// are owned exclusively by their wrapper types and closed exactly once in
+// `Drop`, and every syscall's error path goes through `errno`.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::{AsRawFd, FromRawFd, RawFd};
+use std::time::Duration;
+
+/// Readable (or a connection is ready to accept).
+pub const EPOLLIN: u32 = 0x1;
+/// Writable without blocking.
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition (always reported; never needs registering).
+pub const EPOLLERR: u32 = 0x8;
+/// Hangup (always reported; never needs registering).
+pub const EPOLLHUP: u32 = 0x10;
+/// Peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EFD_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+
+const AF_INET: i32 = 2;
+const AF_INET6: i32 = 10;
+const SOCK_STREAM: i32 = 1;
+const SOCK_CLOEXEC: i32 = 0x80000;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEADDR: i32 = 2;
+const SO_RCVBUF: i32 = 8;
+const SO_REUSEPORT: i32 = 15;
+const LISTEN_BACKLOG: i32 = 1024;
+
+/// One readiness notification: an event mask plus the caller's token.
+///
+/// Mirrors the kernel's `struct epoll_event`, which is packed on x86-64
+/// (and only there) so the 64-bit data field sits at offset 4.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub struct Event {
+    /// `EPOLL*` readiness bits.
+    pub events: u32,
+    /// The token passed to [`Poller::add`] for this fd.
+    pub data: u64,
+}
+
+impl Event {
+    /// A zeroed event, for pre-filling the wait buffer.
+    pub fn empty() -> Event {
+        Event { events: 0, data: 0 }
+    }
+
+    /// The readiness bits (by-value copy; the struct may be packed).
+    pub fn readiness(&self) -> u32 {
+        let e = *self;
+        e.events
+    }
+
+    /// The registration token (by-value copy; the struct may be packed).
+    pub fn token(&self) -> u64 {
+        let e = *self;
+        e.data
+    }
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut Event) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut Event, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
+    fn bind(fd: i32, addr: *const u8, addrlen: u32) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+}
+
+/// Converts a `-1` syscall return into the current `errno` as `io::Error`.
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A level-triggered epoll instance. Level triggering keeps the state
+/// machine simple: a fd with unconsumed readiness is re-reported on the
+/// next wait, so a handler that stops early (e.g. to bound work per tick)
+/// loses nothing.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    /// A fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: plain syscall; the fd is owned by the returned Poller.
+        let epfd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = Event {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it out.
+        check(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` for `events`; notifications carry `token`.
+    pub fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    /// Changes an existing registration's interest set.
+    pub fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    /// Removes a registration. (Closing the fd does this implicitly; the
+    /// explicit form keeps the bookkeeping visible.)
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until at least one registered fd is ready (or the timeout
+    /// lapses; `None` waits forever). Fills the front of `events` and
+    /// returns how many entries are valid. Retries `EINTR` internally.
+    pub fn wait(&self, events: &mut [Event], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 100µs deadline doesn't spin as 0ms.
+            Some(t) => t
+                .as_millis()
+                .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+            None => -1,
+        };
+        loop {
+            // SAFETY: the buffer is valid for `events.len()` entries and
+            // the kernel writes at most that many.
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as i32,
+                    timeout_ms,
+                )
+            };
+            match check(n) {
+                Ok(n) => return Ok(n as usize),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this Poller and closed exactly once.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// A cross-thread wakeup channel backed by an `eventfd`: register its fd
+/// with a [`Poller`], then [`Wake::wake`] from any thread to make that
+/// poller's `wait` return. Cheap, edge-free, and coalescing (N wakes
+/// before a drain still cost one event).
+pub struct Wake {
+    fd: RawFd,
+}
+
+impl Wake {
+    /// A fresh nonblocking eventfd.
+    pub fn new() -> io::Result<Wake> {
+        // SAFETY: plain syscall; the fd is owned by the returned Wake.
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Wake { fd })
+    }
+
+    /// The fd to register with the poller.
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the owning poller's next (or current) `wait` return.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack value; an error (e.g.
+        // the counter is saturated) still leaves the fd readable, which
+        // is all a wakeup needs.
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Consumes pending wakeups so level-triggered polling quiesces.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: reads at most 8 bytes into a live stack buffer; the fd
+        // is nonblocking so this never hangs (EAGAIN when already clear).
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Wake {
+    fn drop(&mut self) {
+        // SAFETY: the fd is owned by this Wake and closed exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+fn set_opt_i32(fd: RawFd, level: i32, name: i32, value: i32) -> io::Result<()> {
+    // SAFETY: passes a live 4-byte value with its exact length.
+    check(unsafe { setsockopt(fd, level, name, (&value as *const i32).cast(), 4) })?;
+    Ok(())
+}
+
+/// `struct sockaddr_in`, laid out as the kernel expects.
+#[repr(C)]
+struct SockAddrIn {
+    family: u16,
+    /// Big-endian.
+    port: u16,
+    /// Big-endian.
+    addr: u32,
+    zero: [u8; 8],
+}
+
+/// `struct sockaddr_in6`, laid out as the kernel expects.
+#[repr(C)]
+struct SockAddrIn6 {
+    family: u16,
+    /// Big-endian.
+    port: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+/// Binds a listener on `addr` with `SO_REUSEPORT` (and `SO_REUSEADDR`)
+/// set before the bind, so several listeners can share one port and the
+/// kernel load-balances incoming connections across them by 4-tuple
+/// hash — the reactor's acceptor shards. The listener comes back
+/// nonblocking.
+pub fn bind_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+    let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+    // SAFETY: plain syscall; on success the fd is handed to exactly one
+    // owner below (TcpListener) or closed on the error path.
+    let fd = check(unsafe { socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+    // Every fallible step below must close fd on failure; wrap it so the
+    // error paths cannot leak.
+    let guard = FdGuard(fd);
+    set_opt_i32(fd, SOL_SOCKET, SO_REUSEADDR, 1)?;
+    set_opt_i32(fd, SOL_SOCKET, SO_REUSEPORT, 1)?;
+    match addr {
+        SocketAddr::V4(v4) => {
+            let sa = SockAddrIn {
+                family: AF_INET as u16,
+                port: v4.port().to_be(),
+                addr: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                zero: [0; 8],
+            };
+            // SAFETY: passes a live sockaddr_in with its exact size.
+            check(unsafe {
+                bind(
+                    fd,
+                    (&sa as *const SockAddrIn).cast(),
+                    std::mem::size_of::<SockAddrIn>() as u32,
+                )
+            })?;
+        }
+        SocketAddr::V6(v6) => {
+            let sa = SockAddrIn6 {
+                family: AF_INET6 as u16,
+                port: v6.port().to_be(),
+                flowinfo: v6.flowinfo().to_be(),
+                addr: v6.ip().octets(),
+                scope_id: v6.scope_id().to_be(),
+            };
+            // SAFETY: passes a live sockaddr_in6 with its exact size.
+            check(unsafe {
+                bind(
+                    fd,
+                    (&sa as *const SockAddrIn6).cast(),
+                    std::mem::size_of::<SockAddrIn6>() as u32,
+                )
+            })?;
+        }
+    }
+    // SAFETY: plain syscall on the still-owned fd.
+    check(unsafe { listen(fd, LISTEN_BACKLOG) })?;
+    std::mem::forget(guard);
+    // SAFETY: transfers the fd's ownership into the TcpListener; no other
+    // owner remains (the guard was forgotten).
+    let listener = unsafe { TcpListener::from_raw_fd(fd) };
+    listener.set_nonblocking(true)?;
+    Ok(listener)
+}
+
+/// Closes a raw fd on drop — the error-path owner inside
+/// [`bind_reuseport`].
+struct FdGuard(RawFd);
+
+impl Drop for FdGuard {
+    fn drop(&mut self) {
+        // SAFETY: the guard is the fd's only owner when it drops.
+        unsafe { close(self.0) };
+    }
+}
+
+/// Shrinks a socket's kernel receive buffer (test hook: a tiny client
+/// `SO_RCVBUF` makes the server hit write backpressure deterministically
+/// on large responses).
+pub fn set_rcvbuf(sock: &impl AsRawFd, bytes: i32) -> io::Result<()> {
+    set_opt_i32(sock.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    #[test]
+    fn wake_unblocks_an_infinite_wait() {
+        let poller = Poller::new().unwrap();
+        let wake = std::sync::Arc::new(Wake::new().unwrap());
+        poller.add(wake.raw_fd(), 7, EPOLLIN).unwrap();
+        let w = std::sync::Arc::clone(&wake);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w.wake();
+        });
+        let mut events = [Event::empty(); 4];
+        let n = poller.wait(&mut events, None).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        wake.drain();
+        // Drained: a short wait now times out with no events.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn reuseport_listeners_share_one_port() {
+        let first = bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = first.local_addr().unwrap();
+        let second = bind_reuseport(addr).unwrap();
+        assert_eq!(second.local_addr().unwrap(), addr);
+
+        // A connection lands on exactly one of the two listeners.
+        let poller = Poller::new().unwrap();
+        poller.add(first.as_raw_fd(), 1, EPOLLIN).unwrap();
+        poller.add(second.as_raw_fd(), 2, EPOLLIN).unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(b"x").unwrap();
+        let mut events = [Event::empty(); 4];
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        let token = events[0].token();
+        assert!(token == 1 || token == 2);
+        let accepted = if token == 1 {
+            first.accept()
+        } else {
+            second.accept()
+        };
+        assert!(accepted.is_ok());
+    }
+
+    #[test]
+    fn epoll_reports_writability_and_modify_narrows_interest() {
+        let listener = bind_reuseport("127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller
+            .add(client.as_raw_fd(), 9, EPOLLIN | EPOLLOUT)
+            .unwrap();
+        let mut events = [Event::empty(); 4];
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(n >= 1);
+        assert_ne!(
+            events[0].readiness() & EPOLLOUT,
+            0,
+            "fresh socket is writable"
+        );
+        // Narrow to read-only interest: writability is no longer reported.
+        poller.modify(client.as_raw_fd(), 9, EPOLLIN).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        poller.delete(client.as_raw_fd()).unwrap();
+    }
+}

@@ -1,6 +1,14 @@
-//! Minimal HTTP/1.1 framing over `std::net::TcpStream`: just enough for a
-//! localhost JSON service — request/status lines, headers, Content-Length
-//! bodies, and keep-alive. No chunked encoding, no TLS, no async.
+//! Minimal HTTP/1.1 framing: just enough for a localhost JSON service —
+//! request/status lines, headers, Content-Length bodies, keep-alive, and
+//! percent-decoded targets. No chunked encoding, no TLS, no async.
+//!
+//! The core is [`parse_request`], a pure incremental parser over a byte
+//! buffer: it either frames one complete request (reporting how many
+//! bytes it consumed, so pipelined bytes after the request are preserved
+//! for the next call), asks for more bytes, or rejects the prefix with
+//! the HTTP status the connection should die with. The reactor drives it
+//! off readiness events; [`read_request`] wraps it for blocking streams
+//! with an explicit carry-over buffer per connection.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -22,10 +30,12 @@ const MAX_HEAD_LINE: usize = 8 * 1024;
 pub struct Request {
     /// Upper-cased method (`GET`, `POST`, `PUT`, ...).
     pub method: String,
-    /// Path with any query string stripped.
+    /// Percent-decoded path with any query string stripped.
     pub path: String,
-    /// The query string (without the `?`), empty when absent.
+    /// The raw query string (without the `?`), empty when absent.
     pub query: String,
+    /// Percent-decoded `name=value` query parameters, in order.
+    pub params: Vec<(String, String)>,
     /// The `x-ipe-trace-id` request header, verbatim, when present.
     pub trace_id: Option<String>,
     /// Whether the client asked to keep the connection open.
@@ -40,60 +50,85 @@ impl Request {
         std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8")
     }
 
-    /// The value of a `name=value` query parameter, if present. No
-    /// percent-decoding — the service's parameters are plain tokens.
+    /// The value of a `name=value` query parameter, if present.
+    /// Percent-escapes were decoded at parse time (a malformed escape
+    /// rejected the whole request with a `400`).
     pub fn query_param(&self, name: &str) -> Option<&str> {
-        self.query.split('&').find_map(|pair| {
-            let (k, v) = pair.split_once('=')?;
-            (k == name).then_some(v)
-        })
+        self.params
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v.as_str()))
     }
 }
 
-/// Why reading a request stopped.
+/// Decodes the minimal `%XX` percent-escapes of a request target. `None`
+/// when an escape is truncated, has non-hex digits, or decodes to invalid
+/// UTF-8 — all of which the caller must answer with a `400`. `+` is left
+/// alone: the service's parameters are tokens, not form submissions.
+fn percent_decode(s: &str) -> Option<String> {
+    if !s.contains('%') {
+        return Some(s.to_owned());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = hex_val(*bytes.get(i + 1)?)?;
+            let lo = hex_val(*bytes.get(i + 2)?)?;
+            out.push(hi * 16 + lo);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// What [`parse_request`] concluded about the front of the buffer.
 #[derive(Debug)]
-pub enum ReadOutcome {
-    /// A full request was framed.
-    Ok(Request),
-    /// The peer closed the connection cleanly between requests.
-    Closed,
-    /// The bytes on the wire are not HTTP or exceed the configured caps;
-    /// the connection should get the paired status (`400`, `413`, or
-    /// `431`) and be dropped.
+pub enum ParseOutcome {
+    /// The buffer holds a prefix of a request; read more bytes.
+    Incomplete,
+    /// One full request was framed; `consumed` bytes belong to it and any
+    /// remainder is the start of the next (pipelined) request.
+    Ok {
+        /// The framed request.
+        request: Request,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
+    /// The bytes are not HTTP or exceed the configured caps; the
+    /// connection should get the paired status (`400`, `413`, or `431`)
+    /// and be dropped.
     Malformed(u16, &'static str),
-    /// A socket timeout or I/O error.
-    Err(io::Error),
 }
 
 /// Shorthand for the reject outcomes.
-fn reject(status: u16, msg: &'static str) -> ReadOutcome {
-    ReadOutcome::Malformed(status, msg)
+fn reject(status: u16, msg: &'static str) -> ParseOutcome {
+    ParseOutcome::Malformed(status, msg)
 }
 
-/// Reads one request from `stream`. Blocking; honours the stream's
-/// configured read timeout (a timeout surfaces as [`ReadOutcome::Err`]).
-pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
-    // Read until the end of the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD {
-            return reject(431, "request head too large");
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    ReadOutcome::Closed
-                } else {
-                    reject(400, "connection closed mid-request")
-                };
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => return ReadOutcome::Err(e),
-        }
+/// Incrementally parses one request from the front of `buf`. Pure: never
+/// touches a socket, never consumes bytes (the caller drains `consumed`
+/// on [`ParseOutcome::Ok`]). Bytes past the framed request are the next
+/// pipelined request and must be preserved by the caller.
+pub fn parse_request(buf: &[u8]) -> ParseOutcome {
+    let Some(head_end) = find_head_end(buf) else {
+        return if buf.len() > MAX_HEAD {
+            reject(431, "request head too large")
+        } else {
+            ParseOutcome::Incomplete
+        };
     };
     let head = match std::str::from_utf8(&buf[..head_end]) {
         Ok(h) => h,
@@ -153,56 +188,110 @@ pub fn read_request(stream: &mut TcpStream) -> ReadOutcome {
         }
     }
     let content_length = content_length.unwrap_or(0);
-    // The body: whatever followed the head in `buf`, plus the remainder.
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => return reject(400, "connection closed mid-body"),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) => return ReadOutcome::Err(e),
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return ParseOutcome::Incomplete;
+    }
+    // Consume exactly this request's bytes: anything after `total` is the
+    // next pipelined request and stays in the buffer.
+    let body = buf[body_start..total].to_vec();
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let Some(path) = percent_decode(raw_path) else {
+        return reject(400, "malformed percent-escape in request path");
+    };
+    let mut params = Vec::new();
+    for pair in raw_query.split('&') {
+        let Some((k, v)) = pair.split_once('=') else {
+            continue;
+        };
+        let (Some(k), Some(v)) = (percent_decode(k), percent_decode(v)) else {
+            return reject(400, "malformed percent-escape in query parameter");
+        };
+        params.push((k, v));
+    }
+    ParseOutcome::Ok {
+        request: Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            query: raw_query.to_owned(),
+            params,
+            trace_id,
+            keep_alive,
+            body,
+        },
+        consumed: total,
+    }
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A full request was framed.
+    Ok(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes on the wire are not HTTP or exceed the configured caps;
+    /// the connection should get the paired status (`400`, `413`, or
+    /// `431`) and be dropped.
+    Malformed(u16, &'static str),
+    /// A socket timeout or I/O error.
+    Err(io::Error),
+}
+
+/// Reads one request from `stream`, blocking; honours the stream's
+/// configured read timeout (a timeout surfaces as [`ReadOutcome::Err`]).
+///
+/// `carry` is this connection's leftover buffer: bytes read past the
+/// previous request's body (pipelined requests) are consumed from it
+/// first and any over-read of *this* request is left in it for the next
+/// call. Pass the same buffer for the lifetime of the connection — a
+/// fresh buffer per call silently corrupts pipelined traffic.
+pub fn read_request(stream: &mut TcpStream, carry: &mut Vec<u8>) -> ReadOutcome {
+    let mut chunk = [0u8; 4096];
+    loop {
+        match parse_request(carry) {
+            ParseOutcome::Ok { request, consumed } => {
+                carry.drain(..consumed);
+                return ReadOutcome::Ok(request);
+            }
+            ParseOutcome::Malformed(status, msg) => {
+                carry.clear();
+                return ReadOutcome::Malformed(status, msg);
+            }
+            ParseOutcome::Incomplete => match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if carry.is_empty() {
+                        ReadOutcome::Closed
+                    } else {
+                        carry.clear();
+                        ReadOutcome::Malformed(400, "connection closed mid-request")
+                    };
+                }
+                Ok(n) => carry.extend_from_slice(&chunk[..n]),
+                Err(e) => return ReadOutcome::Err(e),
+            },
         }
     }
-    body.truncate(content_length);
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_owned(), q.to_owned()),
-        None => (target.to_owned(), String::new()),
-    };
-    ReadOutcome::Ok(Request {
-        method: method.to_ascii_uppercase(),
-        path,
-        query,
-        trace_id,
-        keep_alive,
-        body,
-    })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Writes one response with a JSON (or plain-text) body.
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-    keep_alive: bool,
-) -> io::Result<()> {
-    write_response_with(stream, status, content_type, body, keep_alive, &[])
-}
-
-/// Like [`write_response`], with additional response headers (e.g. the
-/// `x-ipe-trace-id` echo). Header values must be line-safe; the caller
-/// guarantees it.
-pub fn write_response_with(
-    stream: &mut TcpStream,
+/// Renders one response (status line, headers, body) into wire bytes.
+/// This is the single serialization point shared by the reactor's
+/// in-memory write buffers and the blocking [`write_response`] helpers.
+pub fn render_response(
     status: u16,
     content_type: &str,
     body: &str,
     keep_alive: bool,
     extra_headers: &[(&str, &str)],
-) -> io::Result<()> {
+) -> Vec<u8> {
     use std::fmt::Write as _;
     let reason = match status {
         200 => "OK",
@@ -227,8 +316,35 @@ pub fn write_response_with(
         let _ = write!(head, "{name}: {value}\r\n");
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Writes one response with a JSON (or plain-text) body.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write_response_with(stream, status, content_type, body, keep_alive, &[])
+}
+
+/// Like [`write_response`], with additional response headers (e.g. the
+/// `x-ipe-trace-id` echo). Header values must be line-safe; the caller
+/// guarantees it.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let bytes = render_response(status, content_type, body, keep_alive, extra_headers);
+    stream.write_all(&bytes)?;
     stream.flush()
 }
 
@@ -383,5 +499,137 @@ impl ClientResponse {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            ParseOutcome::Ok { request, consumed } => (request, consumed),
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_one_request_and_reports_exact_consumption() {
+        let wire = b"POST /v1/complete HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\n\r\n{}";
+        let (req, consumed) = parse_ok(wire);
+        assert_eq!(consumed, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/complete");
+        assert_eq!(req.body, b"{}");
+        assert!(req.keep_alive);
+    }
+
+    /// The pipelining regression: bytes past the first request's body
+    /// must NOT be consumed with it.
+    #[test]
+    fn pipelined_requests_are_framed_one_at_a_time() {
+        let first = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc".to_vec();
+        let second = b"GET /b HTTP/1.1\r\n\r\n".to_vec();
+        let mut wire = first.clone();
+        wire.extend_from_slice(&second);
+        let (req, consumed) = parse_ok(&wire);
+        assert_eq!(req.path, "/a");
+        assert_eq!(req.body, b"abc");
+        assert_eq!(consumed, first.len(), "must stop at the body boundary");
+        let (req2, consumed2) = parse_ok(&wire[consumed..]);
+        assert_eq!(req2.path, "/b");
+        assert_eq!(consumed + consumed2, wire.len());
+    }
+
+    #[test]
+    fn incomplete_prefixes_ask_for_more() {
+        let wire = b"POST /a HTTP/1.1\r\nContent-Length: 5\r\n\r\nab";
+        assert!(matches!(parse_request(wire), ParseOutcome::Incomplete));
+        assert!(matches!(
+            parse_request(b"GET /a HT"),
+            ParseOutcome::Incomplete
+        ));
+        assert!(matches!(parse_request(b""), ParseOutcome::Incomplete));
+    }
+
+    #[test]
+    fn percent_escapes_decode_in_path_and_params() {
+        let (req, _) =
+            parse_ok(b"GET /v1/schemas/my%20uni?format=prom%65theus&x=a%2Bb HTTP/1.1\r\n\r\n");
+        assert_eq!(req.path, "/v1/schemas/my uni");
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("x"), Some("a+b"));
+        assert_eq!(req.query_param("absent"), None);
+    }
+
+    #[test]
+    fn malformed_percent_escapes_are_400() {
+        for target in ["/v1/schemas/bad%zz", "/v1/schemas/trunc%2", "/x?k=%fz"] {
+            let wire = format!("GET {target} HTTP/1.1\r\n\r\n");
+            match parse_request(wire.as_bytes()) {
+                ParseOutcome::Malformed(400, msg) => {
+                    assert!(msg.contains("percent-escape"), "{msg}")
+                }
+                other => panic!("{target}: expected 400, got {other:?}"),
+            }
+        }
+        // Escapes decoding to invalid UTF-8 are rejected, not mangled.
+        match parse_request(b"GET /v1/schemas/%ff%fe HTTP/1.1\r\n\r\n") {
+            ParseOutcome::Malformed(400, _) => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn caps_reject_with_the_paired_status() {
+        let mut big_head = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        big_head.extend(std::iter::repeat_n(b'a', MAX_HEAD + 1));
+        assert!(matches!(
+            parse_request(&big_head),
+            ParseOutcome::Malformed(431, _)
+        ));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(matches!(
+            parse_request(huge_body.as_bytes()),
+            ParseOutcome::Malformed(413, _)
+        ));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\n"),
+            ParseOutcome::Malformed(400, _)
+        ));
+    }
+
+    /// The blocking wrapper preserves over-read bytes in the carry buffer
+    /// across calls — the pipelining fix for blocking connections.
+    #[test]
+    fn read_request_carries_leftover_bytes() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // Both requests land in one write (likely one segment).
+            s.write_all(b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n")
+                .unwrap();
+            std::mem::forget(s); // keep the socket open past thread exit
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut carry = Vec::new();
+        let ReadOutcome::Ok(first) = read_request(&mut conn, &mut carry) else {
+            panic!("first request did not frame");
+        };
+        assert_eq!(
+            (first.path.as_str(), first.body.as_slice()),
+            ("/a", &b"abc"[..])
+        );
+        let ReadOutcome::Ok(second) = read_request(&mut conn, &mut carry) else {
+            panic!("second (pipelined) request was lost");
+        };
+        assert_eq!(second.path, "/b");
+        assert!(carry.is_empty());
+        writer.join().unwrap();
     }
 }

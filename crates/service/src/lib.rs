@@ -11,9 +11,11 @@
 //!   [`Completer::complete_with_stats`](ipe_core::Completer) results,
 //!   keyed by `(schema id, generation, normalized query, config
 //!   fingerprint)` so schema reloads invalidate by construction;
-//! * a std-only HTTP/1.1 front end ([`Server`]) — `TcpListener`, fixed
-//!   worker pool, bounded queue, graceful shutdown, per-request timeout —
-//!   serving `POST /v1/complete`, `GET /v1/schemas`,
+//! * a std-only HTTP/1.1 front end ([`Server`]) — per-core epoll
+//!   reactors over `SO_REUSEPORT` acceptor shards, per-connection state
+//!   machines with pipelining-safe framing, bounded live connections
+//!   (`503` beyond), per-request deadlines (`408` on expiry), graceful
+//!   drain — serving `POST /v1/complete`, `GET /v1/schemas`,
 //!   `GET`/`PUT`/`DELETE /v1/schemas/:name`, `GET /healthz`,
 //!   `GET /metrics`, and `POST /v1/shutdown`;
 //! * optional durability via `ipe-store`: with
@@ -29,13 +31,18 @@
 //! DESIGN.md §9 for the cache keying and shutdown protocol, and
 //! DESIGN.md §11 for the store format and recovery invariants.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the epoll shim is the one module allowed to
+// override it — all unsafe in this crate lives behind its safe surface.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
 pub mod cache;
 pub mod data;
+#[allow(unsafe_code)]
+pub mod epoll;
 pub mod http;
+pub(crate) mod reactor;
 pub mod registry;
 pub mod server;
 

@@ -10,7 +10,26 @@ use ipe_index::SearchIndex;
 use ipe_schema::Schema;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Read-locks the map, recovering from poisoning: a panic elsewhere must
+/// not condemn every future request to die on an `.expect()`. The map is
+/// structurally consistent at every await-free point (inserts build the
+/// entry before taking the lock), so the recovered value is always valid.
+fn read_recover<K, V>(lock: &RwLock<HashMap<K, V>>) -> RwLockReadGuard<'_, HashMap<K, V>> {
+    lock.read().unwrap_or_else(|poisoned| {
+        ipe_obs::counter!("service.lock.poison_recovered", 1);
+        poisoned.into_inner()
+    })
+}
+
+/// Write-locks the map, recovering from poisoning (see [`read_recover`]).
+fn write_recover<K, V>(lock: &RwLock<HashMap<K, V>>) -> RwLockWriteGuard<'_, HashMap<K, V>> {
+    lock.write().unwrap_or_else(|poisoned| {
+        ipe_obs::counter!("service.lock.poison_recovered", 1);
+        poisoned.into_inner()
+    })
+}
 
 /// One registered schema version.
 #[derive(Debug)]
@@ -93,7 +112,7 @@ impl SchemaRegistry {
     /// generation 1; an existing name keeps its id and bumps the
     /// generation (the hot-swap path). Returns the new entry.
     pub fn insert(&self, name: &str, schema: Schema) -> Arc<SchemaEntry> {
-        let mut map = self.inner.write().expect("registry poisoned");
+        let mut map = write_recover(&self.inner);
         let (id, generation) = match map.get(name) {
             Some(old) => (old.id, old.generation + 1),
             None => (self.next_id.fetch_add(1, Ordering::Relaxed) + 1, 1),
@@ -117,10 +136,7 @@ impl SchemaRegistry {
     ) -> Arc<SchemaEntry> {
         self.next_id.fetch_max(id, Ordering::Relaxed);
         let entry = Arc::new(SchemaEntry::new(name, id, generation, schema));
-        self.inner
-            .write()
-            .expect("registry poisoned")
-            .insert(name.to_owned(), entry.clone());
+        write_recover(&self.inner).insert(name.to_owned(), entry.clone());
         entry
     }
 
@@ -133,22 +149,18 @@ impl SchemaRegistry {
 
     /// The current entry for `name`, if registered.
     pub fn get(&self, name: &str) -> Option<Arc<SchemaEntry>> {
-        self.inner
-            .read()
-            .expect("registry poisoned")
-            .get(name)
-            .cloned()
+        read_recover(&self.inner).get(name).cloned()
     }
 
     /// Unregisters `name`, returning its final entry. In-flight requests
     /// holding the `Arc` are unaffected.
     pub fn remove(&self, name: &str) -> Option<Arc<SchemaEntry>> {
-        self.inner.write().expect("registry poisoned").remove(name)
+        write_recover(&self.inner).remove(name)
     }
 
     /// Summaries of every registered schema, sorted by name.
     pub fn list(&self) -> Vec<SchemaInfo> {
-        let map = self.inner.read().expect("registry poisoned");
+        let map = read_recover(&self.inner);
         let mut out: Vec<SchemaInfo> = map
             .values()
             .map(|e| SchemaInfo {

@@ -1,12 +1,20 @@
-//! The long-lived disambiguation server: a `TcpListener` accept loop, a
-//! fixed worker pool fed by a bounded queue, and graceful shutdown.
+//! The long-lived disambiguation server: per-core epoll reactors, each
+//! owning an `SO_REUSEPORT` acceptor shard, and graceful shutdown.
 //!
-//! Connections the queue cannot absorb are answered `503` immediately
-//! instead of piling up. Each worker owns one connection at a time
-//! (HTTP/1.1 keep-alive), so sizing `workers` bounds both concurrency and
-//! memory. Shutdown — via [`Server::shutdown`] or `POST /v1/shutdown` —
-//! stops the accept loop, drains the queue, and lets in-flight
-//! connections finish their current request.
+//! Each reactor (see [`crate::reactor`]) multiplexes its shard's
+//! connections off readiness events, so thousands of keep-alive
+//! connections cost memory, not threads. Connections beyond a reactor's
+//! live cap ([`ServiceConfig::queue_depth`]) are answered `503`
+//! immediately instead of piling up. Shutdown — via [`Server::shutdown`]
+//! or `POST /v1/shutdown` — wakes every reactor through its eventfd; each
+//! stops accepting, flushes in-flight responses, and closes idle
+//! connections.
+//!
+//! Lock poisoning is recovered, never propagated: a panicking request
+//! handler is caught and answered `500`, and any mutex it poisoned on the
+//! way down is re-entered by taking the inner value (safe here because
+//! the WAL protocol is append-consistent — a torn logical update is
+//! impossible, the lock only orders appends).
 
 use crate::api::{
     error_body, AnswerView, BatchCompleteRequest, BatchCompleteResponse, BatchItemView,
@@ -15,7 +23,9 @@ use crate::api::{
 };
 use crate::cache::{config_fingerprint, entry_weight, CacheKey, CompletionCache};
 use crate::data::DataRegistry;
-use crate::http::{read_request, write_response, write_response_with, ReadOutcome, Request};
+use crate::epoll::Wake;
+use crate::http::Request;
+use crate::reactor::{reactor_loop, ReactorConfig};
 use crate::registry::SchemaRegistry;
 use ipe_core::{
     complete_batch, BatchOptions, CompleteError, Completer, CompletionConfig, SearchLimits,
@@ -33,13 +43,28 @@ use ipe_store::{
 };
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, TryLockError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poisoning by taking the inner value.
+///
+/// Safe for every mutex in this crate: they guard append-ordered or
+/// idempotent state (the WAL store serializes appends, the warmup tracker
+/// holds advisory counters, the builder list holds join handles), so a
+/// panic mid-critical-section cannot leave a torn logical update behind.
+/// Before this existed, one panicking worker poisoned the store mutex and
+/// every later durable request died on `.expect("store poisoned")`.
+pub(crate) fn lock_recover<'a, T>(mutex: &'a Mutex<T>, what: &str) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(|poisoned| {
+        ipe_obs::counter!("service.lock.poison_recovered", 1);
+        eprintln!("ipe-service: recovered poisoned {what} lock");
+        poisoned.into_inner()
+    })
+}
 
 /// Tuning knobs of a [`Server`].
 #[derive(Clone, Debug)]
@@ -47,13 +72,17 @@ pub struct ServiceConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`Server::addr`]).
     pub addr: String,
-    /// Worker threads; each owns one live connection at a time.
-    pub workers: usize,
-    /// Accepted-but-unclaimed connection backlog; beyond it new
-    /// connections get an immediate `503`.
+    /// Reactor threads, each owning an `SO_REUSEPORT` acceptor shard and
+    /// an epoll loop multiplexing that shard's connections. `0` means one
+    /// per available core.
+    pub reactors: usize,
+    /// Live connections one reactor will hold; beyond it new connections
+    /// on that shard get an immediate `503` (the backpressure valve).
     pub queue_depth: usize,
-    /// Socket read/write timeout per request (also reaps idle keep-alive
-    /// connections).
+    /// Budget for one request (first byte to framed request — a deadline,
+    /// not a per-read timeout, so drip-fed requests are bounded too);
+    /// also the idle keep-alive reap interval and the shutdown drain
+    /// deadline. Expiry mid-request answers `408`.
     pub request_timeout: Duration,
     /// Completion cache size in entries.
     pub cache_capacity: usize,
@@ -110,14 +139,19 @@ pub struct ServiceConfig {
     /// Default wall-clock budget for `POST /v1/query`, in milliseconds
     /// (a request's `deadline_ms` overrides, capped at 60 000).
     pub query_deadline_ms: u64,
+    /// Testing knob: expose `POST /v1/debug/panic`, which panics while
+    /// holding the store and builder locks — the worst case for lock
+    /// poisoning. Exists so the poison-recovery path is provable end to
+    /// end; always `false` in production.
+    pub debug_panic_route: bool,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             addr: "127.0.0.1:7474".to_owned(),
-            workers: 8,
-            queue_depth: 64,
+            reactors: 0,
+            queue_depth: 256,
             request_timeout: Duration::from_secs(10),
             cache_capacity: 4096,
             cache_shards: 16,
@@ -136,8 +170,19 @@ impl Default for ServiceConfig {
             access_log: false,
             max_data_entries: 500_000,
             query_deadline_ms: 2_000,
+            debug_panic_route: false,
         }
     }
+}
+
+/// Resolves [`ServiceConfig::reactors`]: `0` means one per core.
+fn reactor_count(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// Cap on distinct keys the warmup tracker counts; hotter keys win, new
@@ -163,8 +208,16 @@ impl WarmupTracker {
 
     /// Counts one lookup of `query` against `schema` (sampled).
     pub fn record(&self, schema: &str, query: &str) {
-        let Ok(mut map) = self.inner.try_lock() else {
-            return;
+        // `try_lock` must distinguish contention (drop the sample) from
+        // poisoning (recover the map): treating both as "skip" would turn
+        // one panic into a permanently frozen warmup journal.
+        let mut map = match self.inner.try_lock() {
+            Ok(map) => map,
+            Err(TryLockError::Poisoned(poisoned)) => {
+                ipe_obs::counter!("service.lock.poison_recovered", 1);
+                poisoned.into_inner()
+            }
+            Err(TryLockError::WouldBlock) => return,
         };
         let key = (schema.to_owned(), query.to_owned());
         if let Some(n) = map.get_mut(&key) {
@@ -176,7 +229,7 @@ impl WarmupTracker {
 
     /// The hottest `k` keys, descending.
     pub fn top_k(&self, k: usize) -> Vec<WarmupEntry> {
-        let map = self.inner.lock().expect("warmup tracker poisoned");
+        let map = lock_recover(&self.inner, "warmup tracker");
         let mut entries: Vec<WarmupEntry> = map
             .iter()
             .map(|((schema, query), hits)| WarmupEntry {
@@ -218,12 +271,19 @@ pub struct ServiceState {
     /// Hot-key tracker feeding the warmup journal (only with a store).
     warmup: Option<WarmupTracker>,
     warmup_top_k: usize,
+    /// Reactor threads actually running (the `workers` metrics gauge
+    /// keeps its wire name across the rearchitecture).
     workers: AtomicU64,
     batch_threads: usize,
-    queue_depth: AtomicU64,
+    /// Live connections across all reactors (the `queue_depth` metrics
+    /// gauge keeps its wire name).
+    live_conns: AtomicU64,
     requests_total: AtomicU64,
     rejected_total: AtomicU64,
     shutdown: AtomicBool,
+    /// One eventfd per reactor; `request_shutdown` fires them all so a
+    /// reactor blocked in `epoll_wait` observes the flag immediately.
+    wakers: Mutex<Vec<Arc<Wake>>>,
     bound_addr: OnceLock<SocketAddr>,
     /// Index policy (see [`ServiceConfig::index_mode`]).
     index_mode: IndexMode,
@@ -245,6 +305,7 @@ pub struct ServiceState {
     access_log: bool,
     max_data_entries: usize,
     query_deadline_ms: u64,
+    debug_panic_route: bool,
 }
 
 impl ServiceState {
@@ -257,12 +318,13 @@ impl ServiceState {
             store: store.map(Mutex::new),
             warmup: track_warmup.then(WarmupTracker::new),
             warmup_top_k: config.warmup_top_k,
-            workers: AtomicU64::new(config.workers as u64),
+            workers: AtomicU64::new(reactor_count(config.reactors) as u64),
             batch_threads: config.batch_threads.clamp(1, MAX_BATCH_THREADS as usize),
-            queue_depth: AtomicU64::new(0),
+            live_conns: AtomicU64::new(0),
             requests_total: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            wakers: Mutex::new(Vec::new()),
             bound_addr: OnceLock::new(),
             index_mode: config.index_mode,
             index_build_delay_ms: config.index_build_delay_ms,
@@ -284,7 +346,23 @@ impl ServiceState {
             access_log: config.access_log,
             max_data_entries: config.max_data_entries,
             query_deadline_ms: config.query_deadline_ms,
+            debug_panic_route: config.debug_panic_route,
         }
+    }
+
+    /// One connection accepted by a reactor (the `queue_depth` gauge).
+    pub(crate) fn conn_opened(&self) {
+        self.live_conns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One connection closed by a reactor.
+    pub(crate) fn conn_closed(&self) {
+        self.live_conns.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One connection answered `503` at the reactor's live cap.
+    pub(crate) fn count_rejected(&self) {
+        self.rejected_total.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Whether this server persists its registry.
@@ -299,7 +377,7 @@ impl ServiceState {
             return;
         };
         let entries = warmup.top_k(self.warmup_top_k);
-        let path = store.lock().expect("store poisoned").warmup_path();
+        let path = lock_recover(store, "store").warmup_path();
         if write_warmup(&path, &entries).is_err() {
             ipe_obs::counter!("store.warmup.write_failed", 1);
         }
@@ -319,10 +397,7 @@ impl ServiceState {
         schema: Schema,
         json: &str,
     ) -> std::io::Result<Arc<crate::SchemaEntry>> {
-        let store_guard = self
-            .store
-            .as_ref()
-            .map(|m| m.lock().expect("store poisoned"));
+        let store_guard = self.store.as_ref().map(|m| lock_recover(m, "store"));
         let entry = self.registry.insert(name, schema);
         if let Some(mut store) = store_guard {
             match store.append_put(name, entry.id, entry.generation, json) {
@@ -358,12 +433,12 @@ impl ServiceState {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown and unblocks the accept loop.
+    /// Requests shutdown and wakes every reactor so ones blocked in
+    /// `epoll_wait` observe the flag and start draining.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Poke the listener so a blocked `accept` observes the flag.
-        if let Some(addr) = self.bound_addr.get() {
-            let _ = TcpStream::connect_timeout(addr, Duration::from_millis(200));
+        for wake in lock_recover(&self.wakers, "wakers").iter() {
+            wake.wake();
         }
     }
 
@@ -371,7 +446,7 @@ impl ServiceState {
     fn metrics_view(&self) -> ServiceMetrics {
         ServiceMetrics {
             cache: self.cache.stats(),
-            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth: self.live_conns.load(Ordering::Relaxed),
             requests_total: self.requests_total.load(Ordering::Relaxed),
             rejected_total: self.rejected_total.load(Ordering::Relaxed),
             workers: self.workers.load(Ordering::Relaxed),
@@ -381,7 +456,7 @@ impl ServiceState {
             wal_last_seq: self
                 .store
                 .as_ref()
-                .map(|s| s.lock().expect("store poisoned").last_seq())
+                .map(|s| lock_recover(s, "store").last_seq())
                 .unwrap_or(0),
             index: IndexMetrics {
                 mode: self.index_mode.as_str().to_owned(),
@@ -423,11 +498,7 @@ fn spawn_index_build(state: &Arc<ServiceState>, entry: Arc<crate::SchemaEntry>) 
             st.index_builds_in_flight.fetch_sub(1, Ordering::SeqCst);
         });
     match spawn {
-        Ok(handle) => state
-            .index_builders
-            .lock()
-            .expect("index builders poisoned")
-            .push(handle),
+        Ok(handle) => lock_recover(&state.index_builders, "index builders").push(handle),
         Err(e) => {
             // Degrade to unindexed serving rather than failing the PUT.
             state.index_builds_in_flight.fetch_sub(1, Ordering::SeqCst);
@@ -501,19 +572,31 @@ struct IndexMetrics {
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ServiceState>,
-    accept_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    reactor_handles: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `config.addr`, recovers the durable store (when `data_dir`
-    /// is set) into the registry, replays the warmup journal against the
-    /// engine, and spawns the accept loop plus the worker pool. Returns
-    /// once the socket is listening and recovery is complete — a server
-    /// that starts serving is never partially recovered.
+    /// Binds one `SO_REUSEPORT` listener shard per reactor on
+    /// `config.addr`, recovers the durable store (when `data_dir` is set)
+    /// into the registry, replays the warmup journal against the engine,
+    /// and spawns the reactors. Returns once the sockets are listening
+    /// and recovery is complete — a server that starts serving is never
+    /// partially recovered.
     pub fn start(config: ServiceConfig) -> io::Result<Server> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
+        let reactors = reactor_count(config.reactors);
+        let requested =
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                io::Error::other(format!("`{}` resolves to no address", config.addr))
+            })?;
+        // The first shard resolves port 0; its siblings bind the resolved
+        // port. All set SO_REUSEPORT before binding, so the kernel
+        // load-balances incoming connections across them by 4-tuple hash.
+        let first = crate::epoll::bind_reuseport(requested)?;
+        let addr = first.local_addr()?;
+        let mut listeners = vec![first];
+        for _ in 1..reactors {
+            listeners.push(crate::epoll::bind_reuseport(addr)?);
+        }
         let recovered = match &config.data_dir {
             None => None,
             Some(dir) => {
@@ -572,7 +655,7 @@ impl Server {
             if state.warmup.is_some() {
                 let path = {
                     let store = state.store.as_ref().expect("recovery implies a store");
-                    store.lock().expect("store poisoned").warmup_path()
+                    lock_recover(store, "store").warmup_path()
                 };
                 let entries = read_warmup(&path);
                 let warmed = warm_cache(&state, &entries, config.warmup_top_k);
@@ -584,46 +667,48 @@ impl Server {
             .set(addr)
             .expect("bound_addr set exactly once");
 
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        // A failed worker spawn (thread exhaustion, ulimit) degrades the
-        // pool instead of killing the server: run with however many
-        // workers did start. Zero workers is fatal — nothing would ever
-        // drain the queue.
-        let mut worker_handles = Vec::with_capacity(config.workers.max(1));
+        // A failed reactor spawn (thread exhaustion, ulimit) degrades the
+        // fleet instead of killing the server: the failed shard's
+        // listener drops here, leaving the SO_REUSEPORT group, so the
+        // kernel stops hashing connections to an unowned queue. Zero
+        // reactors is fatal — nothing would ever serve.
+        let mut reactor_handles = Vec::with_capacity(reactors);
         let mut last_spawn_err: Option<io::Error> = None;
-        for i in 0..config.workers.max(1) {
-            let rx = Arc::clone(&rx);
-            let state = Arc::clone(&state);
-            let timeout = config.request_timeout;
+        for (i, listener) in listeners.into_iter().enumerate() {
+            let wake = Arc::new(Wake::new()?);
+            let st = Arc::clone(&state);
+            let reactor_cfg = ReactorConfig {
+                request_timeout: config.request_timeout,
+                max_conns: config.queue_depth.max(1),
+            };
+            let thread_wake = Arc::clone(&wake);
+            // Registered before the spawn so a shutdown racing startup
+            // can never miss a live reactor's wake.
+            lock_recover(&state.wakers, "wakers").push(wake);
             match std::thread::Builder::new()
-                .name(format!("ipe-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &state, timeout))
+                .name(format!("ipe-reactor-{i}"))
+                .spawn(move || reactor_loop(listener, thread_wake, st, reactor_cfg))
             {
-                Ok(handle) => worker_handles.push(handle),
+                Ok(handle) => reactor_handles.push(handle),
                 Err(e) => {
+                    lock_recover(&state.wakers, "wakers").pop();
                     ipe_obs::counter!("service.worker.spawn_failed", 1);
-                    eprintln!("ipe-service: failed to spawn worker {i}: {e}");
+                    eprintln!("ipe-service: failed to spawn reactor {i}: {e}");
                     last_spawn_err = Some(e);
                 }
             }
         }
-        if worker_handles.is_empty() {
+        if reactor_handles.is_empty() {
             return Err(last_spawn_err
-                .unwrap_or_else(|| io::Error::other("no worker threads could be spawned")));
+                .unwrap_or_else(|| io::Error::other("no reactor threads could be spawned")));
         }
         state
             .workers
-            .store(worker_handles.len() as u64, Ordering::Relaxed);
-        let accept_state = Arc::clone(&state);
-        let accept_handle = std::thread::Builder::new()
-            .name("ipe-accept".to_owned())
-            .spawn(move || accept_loop(&listener, &tx, &accept_state))?;
+            .store(reactor_handles.len() as u64, Ordering::Relaxed);
         Ok(Server {
             addr,
             state,
-            accept_handle: Some(accept_handle),
-            worker_handles,
+            reactor_handles,
         })
     }
 
@@ -653,7 +738,7 @@ impl Server {
     }
 
     /// Blocks until the server has shut down (via [`Server::shutdown`]
-    /// from another thread or `POST /v1/shutdown`) and every worker has
+    /// from another thread or `POST /v1/shutdown`) and every reactor has
     /// drained.
     pub fn join(mut self) {
         self.join_inner();
@@ -666,21 +751,15 @@ impl Server {
     }
 
     fn join_inner(&mut self) {
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
-        }
-        for h in self.worker_handles.drain(..) {
+        for h in self.reactor_handles.drain(..) {
             let _ = h.join();
         }
         // Let in-flight index builds finish so their sidecar writes land
         // before the shutdown snapshot.
-        let builders: Vec<JoinHandle<()>> = std::mem::take(
-            &mut *self
-                .state
-                .index_builders
-                .lock()
-                .expect("index builders poisoned"),
-        );
+        let builders: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_recover(
+            &self.state.index_builders,
+            "index builders",
+        ));
         for h in builders {
             let _ = h.join();
         }
@@ -688,117 +767,19 @@ impl Server {
         // snapshot instead of the whole WAL, and persist the hot keys.
         self.state.flush_warmup();
         if let Some(store) = &self.state.store {
-            if let Err(e) = store.lock().expect("store poisoned").snapshot_now() {
+            if let Err(e) = lock_recover(store, "store").snapshot_now() {
                 eprintln!("ipe-service: shutdown snapshot failed: {e}");
             }
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, state: &Arc<ServiceState>) {
-    loop {
-        if state.shutting_down() {
-            break;
-        }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => continue,
-        };
-        if state.shutting_down() {
-            // The connection that woke us may be the shutdown poke.
-            break;
-        }
-        match tx.try_send(stream) {
-            Ok(()) => {
-                state.queue_depth.fetch_add(1, Ordering::Relaxed);
-                ipe_obs::counter!("service.conn.accepted", 1);
-            }
-            Err(TrySendError::Full(mut stream)) => {
-                state.rejected_total.fetch_add(1, Ordering::Relaxed);
-                ipe_obs::counter!("service.conn.rejected", 1);
-                let _ = write_response(
-                    &mut stream,
-                    503,
-                    "application/json",
-                    &error_body("request queue is full"),
-                    false,
-                );
-            }
-            Err(TrySendError::Disconnected(_)) => break,
-        }
-    }
-    // Dropping `tx` closes the queue; workers exit once it drains.
-}
-
-fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &Arc<ServiceState>, timeout: Duration) {
-    loop {
-        // Holding the lock across `recv` serializes only the *idle*
-        // workers; a connection is handled after the guard drops.
-        let conn = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
-        let Ok(stream) = conn else {
-            return; // queue closed: shutdown
-        };
-        state.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        handle_connection(stream, state, timeout);
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, state: &Arc<ServiceState>, timeout: Duration) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(timeout));
-    let _ = stream.set_write_timeout(Some(timeout));
-    loop {
-        match read_request(&mut stream) {
-            ReadOutcome::Ok(req) => {
-                let keep = req.keep_alive;
-                let (reply, trace_id) = handle_request(state, &req);
-                if write_response_with(
-                    &mut stream,
-                    reply.status,
-                    reply.content_type,
-                    &reply.body,
-                    keep,
-                    &[("x-ipe-trace-id", &trace_id)],
-                )
-                .is_err()
-                {
-                    break;
-                }
-                if state.shutting_down() {
-                    // This request was (or raced with) the shutdown call;
-                    // unblock the accept loop and close.
-                    state.request_shutdown();
-                    break;
-                }
-                if !keep {
-                    break;
-                }
-            }
-            ReadOutcome::Closed => break,
-            ReadOutcome::Malformed(status, msg) => {
-                let _ = write_response(
-                    &mut stream,
-                    status,
-                    "application/json",
-                    &error_body(msg),
-                    false,
-                );
-                break;
-            }
-            ReadOutcome::Err(_) => break, // timeout or I/O error
-        }
-    }
-}
-
 /// One routed response: status, body, and its content type (JSON for
 /// everything except the Prometheus exposition).
-struct Reply {
-    status: u16,
-    body: String,
-    content_type: &'static str,
+pub(crate) struct Reply {
+    pub(crate) status: u16,
+    pub(crate) body: String,
+    pub(crate) content_type: &'static str,
 }
 
 impl Reply {
@@ -807,6 +788,35 @@ impl Reply {
             status,
             body,
             content_type: "application/json",
+        }
+    }
+}
+
+/// [`handle_request`] behind a panic barrier: a panicking handler is
+/// answered `500` and the poisoned locks it left behind are recovered by
+/// the next `lock_recover`, so one bad request can no longer take the
+/// server down with it. (`AssertUnwindSafe` is justified by exactly that
+/// recovery story: every lock crossing this boundary is poison-recovered
+/// and guards append-ordered or idempotent state.)
+pub(crate) fn handle_request_catching(state: &Arc<ServiceState>, req: &Request) -> (Reply, String) {
+    let caught =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_request(state, req)));
+    match caught {
+        Ok(result) => result,
+        Err(_) => {
+            ipe_obs::counter!("service.request.panicked", 1);
+            let trace_id = match req
+                .trace_id
+                .as_deref()
+                .filter(|id| ipe_obs::valid_trace_id(id))
+            {
+                Some(id) => id.to_owned(),
+                None => ipe_obs::gen_trace_id(),
+            };
+            (
+                Reply::json(500, error_body("internal error: request handler panicked")),
+                trace_id,
+            )
         }
     }
 }
@@ -1035,13 +1045,28 @@ fn route(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
         ("GET", path) if path.starts_with("/v1/debug/requests/") => {
             handle_debug_request(state, path)
         }
+        ("POST", "/v1/debug/panic") if state.debug_panic_route => handle_debug_panic(state),
         ("POST", "/v1/shutdown") => {
-            // Flag only; the poke happens after the response is written.
+            // Flag only; the serving reactor flushes this response, then
+            // observes the flag and wakes its siblings to drain.
             state.shutdown.store(true, Ordering::SeqCst);
             Reply::json(200, "{\"ok\": true}".to_owned())
         }
         _ => Reply::json(404, error_body("no such endpoint")),
     }
+}
+
+/// `POST /v1/debug/panic` (only with
+/// [`ServiceConfig::debug_panic_route`]): panics while holding the store,
+/// warmup, and builder locks — the exact failure mode that used to
+/// cascade through `.expect("store poisoned")` and kill every later
+/// request. The e2e poison-recovery test drives this route and then
+/// proves the server still serves durable writes.
+fn handle_debug_panic(state: &Arc<ServiceState>) -> Reply {
+    let _store = state.store.as_ref().map(|m| lock_recover(m, "store"));
+    let _warmup = state.warmup.as_ref().map(|w| w.inner.lock());
+    let _builders = lock_recover(&state.index_builders, "index builders");
+    panic!("injected panic (debug_panic_route)");
 }
 
 /// `GET /v1/debug/requests`: the flight recorder's retained-trace
@@ -1407,10 +1432,7 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
         Ok(n) => n,
         Err(resp) => return resp,
     };
-    let store_guard = state
-        .store
-        .as_ref()
-        .map(|m| m.lock().expect("store poisoned"));
+    let store_guard = state.store.as_ref().map(|m| lock_recover(m, "store"));
     let Some(entry) = state.registry.remove(name) else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
@@ -1887,12 +1909,12 @@ pub fn metrics_prometheus(state: &ServiceState) -> String {
         ),
         Gauge::new(
             "service.workers",
-            "HTTP worker threads serving requests.",
+            "Reactor threads serving requests.",
             m.workers as f64,
         ),
         Gauge::new(
             "service.queue_depth",
-            "Connections queued for a worker right now.",
+            "Connections held live across all reactors right now.",
             m.queue_depth as f64,
         ),
         Gauge::new(
@@ -1968,6 +1990,7 @@ mod tests {
             method: method.to_owned(),
             path: path.to_owned(),
             query: String::new(),
+            params: Vec::new(),
             trace_id: None,
             keep_alive: true,
             body: Vec::new(),

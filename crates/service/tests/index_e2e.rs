@@ -26,7 +26,7 @@ fn tmp_dir(tag: &str) -> PathBuf {
 fn server_with(data_dir: Option<&Path>, build_delay_ms: u64) -> (Server, Client) {
     let server = Server::start(ServiceConfig {
         addr: "127.0.0.1:0".to_owned(),
-        workers: 2,
+        reactors: 2,
         queue_depth: 16,
         request_timeout: Duration::from_secs(5),
         cache_capacity: 256,

@@ -12,7 +12,7 @@ use std::time::Duration;
 fn start_server() -> (Server, Client) {
     let server = Server::start(ServiceConfig {
         addr: "127.0.0.1:0".to_owned(),
-        workers: 4,
+        reactors: 4,
         queue_depth: 16,
         request_timeout: Duration::from_secs(5),
         cache_capacity: 256,

@@ -12,7 +12,7 @@ use std::time::Duration;
 fn start_server() -> (Server, Client) {
     let server = Server::start(ServiceConfig {
         addr: "127.0.0.1:0".to_owned(),
-        workers: 4,
+        reactors: 4,
         queue_depth: 16,
         request_timeout: Duration::from_secs(5),
         cache_capacity: 256,
@@ -494,7 +494,7 @@ fn header_floods_are_431() {
 fn start_traced_server(tune: impl FnOnce(&mut ServiceConfig)) -> (Server, Client) {
     let mut config = ServiceConfig {
         addr: "127.0.0.1:0".to_owned(),
-        workers: 4,
+        reactors: 4,
         queue_depth: 16,
         request_timeout: Duration::from_secs(5),
         cache_capacity: 256,
@@ -887,5 +887,192 @@ fn obs_off_debug_routes_404_cleanly() {
         .unwrap();
     assert_eq!(resp.status, 200);
     assert_eq!(resp.header("x-ipe-trace-id"), Some("offid1"));
+    server.shutdown();
+}
+
+/// Pipelined keep-alive: several requests written back-to-back in one
+/// burst must each get exactly one response, in order, with no bytes
+/// lost between requests (the over-read tail of one request is the head
+/// of the next).
+#[test]
+fn pipelined_keepalive_round_trips_losslessly() {
+    use std::io::{Read, Write};
+    let (server, _client) = start_server();
+    let mut s = std::net::TcpStream::connect(server.addr()).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let body = r#"{"query": "ta~name"}"#;
+    let mut burst = String::new();
+    for _ in 0..3 {
+        burst.push_str("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        burst.push_str(&format!(
+            "POST /v1/complete HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        ));
+    }
+    burst.push_str("GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    s.write_all(burst.as_bytes()).expect("write burst");
+
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read all responses");
+    // Bodies and the next status line share a line, so count substrings.
+    assert_eq!(
+        out.matches("HTTP/1.1 ").count(),
+        7,
+        "expected 7 responses:\n{out}"
+    );
+    assert_eq!(
+        out.matches("HTTP/1.1 200").count(),
+        7,
+        "non-200 in pipeline:\n{out}"
+    );
+    // Each complete response carries the Figure-2 answers — framing did
+    // not shear a body into the next request.
+    assert_eq!(out.matches("ta@>grad@>student@>person.name").count(), 3);
+    server.shutdown();
+}
+
+/// `%XX` escapes in the request target are decoded before routing:
+/// a schema whose name contains a space round-trips through
+/// `PUT`/`GET /v1/schemas/my%20schema`, and percent-encoded query
+/// parameter values decode (`format=%70rometheus` still selects the
+/// Prometheus exposition). Malformed escapes are a `400`.
+#[test]
+fn percent_escapes_decode_in_routing_and_query_params() {
+    let (server, mut client) = start_server();
+    let uni = fixtures::university().to_json();
+    let (status, body) = client
+        .request("PUT", "/v1/schemas/my%20schema", &uni)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = client
+        .request("GET", "/v1/schemas/my%20schema", "")
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = serde_json::parse_value_text(&body).unwrap();
+    assert_eq!(get(&v, "name"), Value::Str("my schema".to_owned()));
+
+    let (status, body) = client
+        .request("GET", "/metrics?format=%70rometheus", "")
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("# TYPE"),
+        "decoded format param must select Prometheus text: {body}"
+    );
+
+    let addr = server.addr().to_string();
+    for bad in [
+        "GET /v1/schemas/bad%2 HTTP/1.1\r\nHost: t\r\n\r\n",
+        "GET /v1/schemas/bad%zz HTTP/1.1\r\nHost: t\r\n\r\n",
+        "GET /healthz?x=%e2%28%a1 HTTP/1.1\r\nHost: t\r\n\r\n",
+    ] {
+        let resp = raw_request(&addr, bad);
+        assert_eq!(raw_status(&resp), 400, "{bad:?} -> {resp}");
+    }
+    server.shutdown();
+}
+
+/// With one reactor capped at one live connection, a second concurrent
+/// connection is turned away with `503` (and the old worker-pool error
+/// body), and capacity frees up once the first connection closes.
+#[test]
+fn backpressure_503_beyond_connection_cap() {
+    use std::io::{Read, Write};
+    let server = Server::start(ServiceConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        reactors: 1,
+        queue_depth: 1,
+        request_timeout: Duration::from_secs(5),
+        ..Default::default()
+    })
+    .expect("bind ephemeral port");
+    server
+        .state()
+        .registry
+        .insert("default", fixtures::university());
+    let addr = server.addr().to_string();
+
+    // Occupy the single slot with a live keep-alive connection.
+    let mut held = std::net::TcpStream::connect(&addr).expect("connect");
+    held.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    held.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut first = [0u8; 512];
+    let n = held.read(&mut first).expect("read held response");
+    assert!(String::from_utf8_lossy(&first[..n]).contains("200"));
+
+    // The next connection is rejected at accept time.
+    let resp = raw_request(&addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(raw_status(&resp), 503, "{resp}");
+    assert!(resp.contains("request queue is full"), "{resp}");
+
+    // Releasing the held connection frees the slot.
+    drop(held);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let resp = raw_request(&addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        if raw_status(&resp) == 200 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed: {resp}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
+
+/// A handler panic — injected while the store, warmup, and builder locks
+/// are held — answers that request `500` and leaves the server fully
+/// serviceable: the poisoned locks are recovered on next use instead of
+/// condemning every later request.
+#[test]
+fn injected_panic_does_not_take_down_the_server() {
+    let (server, mut client) = start_traced_server(|c| c.debug_panic_route = true);
+    let (status, body) = client.request("POST", "/v1/debug/panic", "").unwrap();
+    assert_eq!(status, 500, "{body}");
+    assert!(body.contains("panicked"), "{body}");
+
+    // Requests that take the same locks still succeed.
+    let (status, body) = client
+        .request("POST", "/v1/complete", r#"{"query": "ta~name"}"#)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(completion_texts(&body).len(), 2);
+    let uni = fixtures::university().to_json();
+    let (status, body) = client.request("PUT", "/v1/schemas/after", &uni).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    // A second injected panic and another recovery, for good measure.
+    let (status, _) = client.request("POST", "/v1/debug/panic", "").unwrap();
+    assert_eq!(status, 500);
+    let (status, _) = client.request("GET", "/healthz", "").unwrap();
+    assert_eq!(status, 200);
+
+    #[cfg(not(feature = "obs-off"))]
+    {
+        let (status, body) = client.request("GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        let v = serde_json::parse_value_text(&body).unwrap();
+        let counters = get(&v, "counters");
+        assert!(
+            as_u64(&get(&counters, "service.request.panicked")) >= 2,
+            "{body}"
+        );
+    }
+    server.shutdown();
+}
+
+/// The panic route is opt-in: without `debug_panic_route` it does not
+/// exist.
+#[test]
+fn panic_route_is_absent_by_default() {
+    let (server, mut client) = start_server();
+    let (status, _) = client.request("POST", "/v1/debug/panic", "").unwrap();
+    assert_eq!(status, 404);
     server.shutdown();
 }

@@ -17,7 +17,7 @@ cargo test -q --workspace
 echo "== tests (obs-off) =="
 cargo test -q -p ipe-obs -p ipe-core -p ipe-index -p ipe-oodb -p ipe-query -p ipe-service -p ipe-store --features obs-off
 
-echo "== service smoke =="
+echo "== service smoke (incl. 64-connection reactor burst) =="
 serve_log="$(mktemp)"
 ./target/release/ipe serve --addr 127.0.0.1:0 >"$serve_log" 2>&1 &
 serve_pid=$!
@@ -37,6 +37,11 @@ fi
 wait "$serve_pid"   # clean exit after POST /v1/shutdown
 trap - EXIT
 rm -f "$serve_log"
+
+echo "== reactor partial-I/O edges =="
+# Slow-loris heads, split request lines, write backpressure, mid-body
+# deadline expiry — the front end's worst-case socket behaviour.
+cargo test -q -p ipe-service --test reactor_edges
 
 echo "== metrics-lint =="
 # Prometheus exposition must pass the in-repo format lint, in both modes:

@@ -9,7 +9,7 @@
 //! ipe gen      [--seed N] [--classes N]  (print a synthetic schema as JSON)
 //! ipe dot      [--schema FILE | --fixture NAME] [--inverses]
 //! ipe stats    [--schema FILE | --fixture NAME]
-//! ipe serve    [--addr HOST:PORT] [--workers N] [--cache-capacity N] ...
+//! ipe serve    [--addr HOST:PORT] [--reactors N] [--cache-capacity N] ...
 //! ```
 
 use ipe::core::{complete_batch, explain, BatchOptions, Completer, CompletionConfig, SearchLimits};
@@ -36,6 +36,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--classes",
     "--report",
     "--addr",
+    "--reactors",
     "--workers",
     "--queue-depth",
     "--timeout-ms",
@@ -129,7 +130,7 @@ const USAGE: &str = "usage:
   ipe dot      [--schema FILE | --fixture NAME] [--inverses]
   ipe stats    [--schema FILE | --fixture NAME]
   ipe serve    [--schema FILE | --fixture NAME] [--addr HOST:PORT]
-               [--workers N] [--queue-depth N] [--timeout-ms N]
+               [--reactors N] [--queue-depth N] [--timeout-ms N]
                [--cache-capacity N] [--cache-shards N] [--batch-threads N]
                [--data-dir DIR] [--fsync always|interval[:MS]|never]
                [--snapshot-every N] [--index on|off|lazy] [--report FILE]
@@ -149,7 +150,11 @@ registered as `default`. It serves POST /v1/complete, GET /v1/schemas,
 GET/PUT/DELETE /v1/schemas/:name, GET /healthz, GET /metrics, and
 POST /v1/shutdown,
 memoizing completions in a sharded LRU cache invalidated by schema
-hot-swaps. With --report FILE, the final /metrics report is written there
+hot-swaps. --reactors N sets the number of epoll reactor threads, each
+owning an SO_REUSEPORT acceptor shard (default 0 = one per core;
+--workers is accepted as an alias); --queue-depth caps live connections
+per reactor (503 beyond); --timeout-ms bounds each request from first
+byte to framed (408 on expiry). With --report FILE, the final /metrics report is written there
 on clean shutdown. With --data-dir DIR, registry changes are written
 through to a checksummed WAL (fsynced per --fsync, compacted into a
 snapshot every --snapshot-every records) and recovered on restart; a
@@ -198,7 +203,7 @@ struct Opts {
     trace: bool,
     report: Option<String>,
     addr: String,
-    workers: usize,
+    reactors: usize,
     queue_depth: usize,
     timeout_ms: u64,
     cache_capacity: usize,
@@ -238,7 +243,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut report = None;
     let service_defaults = ServiceConfig::default();
     let mut addr = service_defaults.addr.clone();
-    let mut workers = service_defaults.workers;
+    let mut reactors = service_defaults.reactors;
     let mut queue_depth = service_defaults.queue_depth;
     let mut timeout_ms = service_defaults.request_timeout.as_millis() as u64;
     let mut cache_capacity = service_defaults.cache_capacity;
@@ -283,10 +288,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--trace" => trace = true,
             "--report" => report = Some(grab("--report")?),
             "--addr" => addr = grab("--addr")?,
-            "--workers" => {
-                workers = grab("--workers")?
+            // --workers is the pre-reactor spelling, kept as an alias.
+            "--reactors" | "--workers" => {
+                reactors = grab(a)?
                     .parse()
-                    .map_err(|_| "--workers must be a number")?
+                    .map_err(|_| format!("{a} must be a number"))?
             }
             "--queue-depth" => {
                 queue_depth = grab("--queue-depth")?
@@ -393,7 +399,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         trace,
         report,
         addr,
-        workers,
+        reactors,
         queue_depth,
         timeout_ms,
         cache_capacity,
@@ -660,7 +666,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     let config = ServiceConfig {
         addr: opts.addr.clone(),
-        workers: opts.workers,
+        reactors: opts.reactors,
         queue_depth: opts.queue_depth,
         request_timeout: std::time::Duration::from_millis(opts.timeout_ms),
         cache_capacity: opts.cache_capacity,
@@ -696,9 +702,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     // The address on its own line, so scripts can scrape the ephemeral
     // port (stdout is line-buffered even when piped).
     println!("ipe-service listening on http://{}", server.addr());
+    let reactors_desc = if opts.reactors == 0 {
+        "one per core".to_owned()
+    } else {
+        opts.reactors.to_string()
+    };
     println!(
-        "({} workers, queue depth {}, cache capacity {} over {} shard(s), request timeout {}ms)",
-        opts.workers, opts.queue_depth, opts.cache_capacity, opts.cache_shards, opts.timeout_ms
+        "({} reactor(s), {} connection(s) per reactor, cache capacity {} over {} shard(s), request timeout {}ms)",
+        reactors_desc, opts.queue_depth, opts.cache_capacity, opts.cache_shards, opts.timeout_ms
     );
     println!(
         "endpoints: POST /v1/complete  POST /v1/complete/batch  GET /v1/schemas  \
