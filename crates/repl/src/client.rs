@@ -1,0 +1,267 @@
+//! Follower-side stream client: a blocking TCP connection that issues the
+//! `GET /v1/repl/stream?from_seq=N` request, verifies the stream magic, and
+//! yields decoded replication events. Read timeouts surface as
+//! `Ok(None)` so the caller can poll a shutdown flag between reads; every
+//! other failure tears the connection down and the caller reconnects with
+//! `Backoff`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ipe_store::{Snapshot, StoreError, WalRecord};
+
+use crate::proto::{Frame, FrameDecoder, ProtoError, START_SNAPSHOT, START_SUFFIX};
+
+/// Decoded replication events, in stream order.
+#[derive(Debug)]
+pub enum ReplEvent {
+    /// First event on every stream. `snapshot_first` says whether a
+    /// `Snapshot` event follows (the follower was behind the compaction
+    /// horizon) or the stream resumes with records.
+    Hello {
+        leader_last_seq: u64,
+        snapshot_first: bool,
+    },
+    Snapshot(Snapshot),
+    Record(WalRecord),
+    Heartbeat {
+        leader_last_seq: u64,
+    },
+}
+
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    /// The leader answered the stream request with a non-200 status.
+    Http(u16, String),
+    Proto(ProtoError),
+    Store(StoreError),
+    /// The leader closed the stream (drain, lag cutoff, or crash).
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "replication io error: {e}"),
+            ClientError::Http(status, body) => {
+                write!(f, "leader rejected stream request: {status} {body}")
+            }
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Store(e) => write!(f, "replication payload decode failed: {e}"),
+            ClientError::Disconnected => write!(f, "leader closed the replication stream"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+const MAX_HEAD: usize = 64 * 1024;
+
+pub struct ReplClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    read_buf: [u8; 64 * 1024],
+}
+
+impl ReplClient {
+    /// Connect to the leader and open the stream from `from_seq` (exclusive:
+    /// the leader sends records with seq > from_seq). Blocks until the HTTP
+    /// head is parsed; after that, reads time out every `read_timeout` so the
+    /// caller can check for shutdown between events.
+    pub fn connect(
+        leader: &str,
+        from_seq: u64,
+        connect_timeout: Duration,
+        read_timeout: Duration,
+    ) -> Result<ReplClient, ClientError> {
+        use std::net::ToSocketAddrs;
+        let addr = leader.to_socket_addrs()?.next().ok_or_else(|| {
+            ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("cannot resolve leader address {leader}"),
+            ))
+        })?;
+        let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(read_timeout))?;
+        let request = format!(
+            "GET /v1/repl/stream?from_seq={from_seq} HTTP/1.1\r\nHost: {leader}\r\nConnection: close\r\n\r\n"
+        );
+        stream.write_all(request.as_bytes())?;
+
+        // Minimal response-head parse: status line + headers up to CRLFCRLF.
+        // Anything after the head is stream payload and goes to the decoder.
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1024];
+        let head_end = loop {
+            if head.len() > MAX_HEAD {
+                return Err(ClientError::Proto(ProtoError::BadPayload(
+                    "oversized response head",
+                )));
+            }
+            let n = stream.read(&mut byte)?;
+            if n == 0 {
+                return Err(ClientError::Disconnected);
+            }
+            head.extend_from_slice(&byte[..n]);
+            if let Some(pos) = find_head_end(&head) {
+                break pos;
+            }
+        };
+        let status_line = head.split(|&b| b == b'\n').next().unwrap_or(&[]);
+        let status = parse_status(status_line).ok_or(ClientError::Proto(
+            ProtoError::BadPayload("malformed status line"),
+        ))?;
+        if status != 200 {
+            // Body may follow the head (Content-Length replies); best-effort
+            // read what's already buffered for the error message.
+            let body = String::from_utf8_lossy(&head[head_end..]).into_owned();
+            return Err(ClientError::Http(status, body.trim().to_string()));
+        }
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&head[head_end..]);
+        Ok(ReplClient {
+            stream,
+            decoder,
+            read_buf: [0u8; 64 * 1024],
+        })
+    }
+
+    /// Next event; `Ok(None)` on read timeout (check shutdown and call again).
+    pub fn next_event(&mut self) -> Result<Option<ReplEvent>, ClientError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame().map_err(ClientError::Proto)? {
+                return Ok(Some(decode_event(frame)?));
+            }
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => return Err(ClientError::Disconnected),
+                Ok(n) => self.decoder.push(&self.read_buf[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None);
+                }
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+fn decode_event(frame: Frame) -> Result<ReplEvent, ClientError> {
+    Ok(match frame {
+        Frame::Hello {
+            leader_last_seq,
+            start_mode,
+        } => {
+            let snapshot_first = match start_mode {
+                START_SNAPSHOT => true,
+                START_SUFFIX => false,
+                _ => {
+                    return Err(ClientError::Proto(ProtoError::BadPayload(
+                        "hello start mode",
+                    )))
+                }
+            };
+            ReplEvent::Hello {
+                leader_last_seq,
+                snapshot_first,
+            }
+        }
+        Frame::Snapshot(body) => {
+            ReplEvent::Snapshot(Snapshot::from_bytes(&body).map_err(ClientError::Store)?)
+        }
+        Frame::Record(payload) => {
+            ReplEvent::Record(WalRecord::decode_payload(&payload).map_err(ClientError::Store)?)
+        }
+        Frame::Heartbeat { leader_last_seq } => ReplEvent::Heartbeat { leader_last_seq },
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn parse_status(line: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(line).ok()?;
+    let mut parts = text.split_whitespace();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+/// Exponential reconnect backoff: 100ms doubling to a 5s ceiling, reset on a
+/// successful connection.
+pub struct Backoff {
+    current: Duration,
+}
+
+pub const BACKOFF_INITIAL: Duration = Duration::from_millis(100);
+pub const BACKOFF_MAX: Duration = Duration::from_secs(5);
+
+impl Backoff {
+    pub fn new() -> Backoff {
+        Backoff {
+            current: BACKOFF_INITIAL,
+        }
+    }
+
+    /// Delay to sleep before the next attempt; doubles up to the ceiling.
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.current;
+        self.current = (self.current * 2).min(BACKOFF_MAX);
+        delay
+    }
+
+    pub fn reset(&mut self) {
+        self.current = BACKOFF_INITIAL;
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_ceiling_and_resets() {
+        let mut b = Backoff::new();
+        assert_eq!(b.next_delay(), Duration::from_millis(100));
+        assert_eq!(b.next_delay(), Duration::from_millis(200));
+        assert_eq!(b.next_delay(), Duration::from_millis(400));
+        for _ in 0..10 {
+            b.next_delay();
+        }
+        assert_eq!(b.next_delay(), BACKOFF_MAX);
+        b.reset();
+        assert_eq!(b.next_delay(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn status_line_parse() {
+        assert_eq!(parse_status(b"HTTP/1.1 200 OK\r"), Some(200));
+        assert_eq!(parse_status(b"HTTP/1.1 404 Not Found\r"), Some(404));
+        assert_eq!(parse_status(b"garbage"), None);
+    }
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"HTTP/1.1 200 OK\r\n\r\nxyz"), Some(19));
+        assert_eq!(find_head_end(b"HTTP/1.1 200 OK\r\n"), None);
+    }
+}

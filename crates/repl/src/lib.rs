@@ -1,0 +1,27 @@
+//! WAL-shipping replication for the disambiguation service.
+//!
+//! A leader streams its schema WAL to followers over a long-lived HTTP
+//! connection: a `Hello` frame, then either a full snapshot (when the
+//! follower's resume point predates the leader's compaction horizon) or the
+//! on-disk WAL suffix, then live records as they are appended, with
+//! heartbeats whenever the feed is idle. Followers apply records through the
+//! same restore path crash recovery uses, so a replica is always in a state
+//! the leader itself could have restarted from.
+//!
+//! This crate is transport + protocol only: [`proto`] defines the CRC-framed
+//! wire format, [`hub`] the leader-side publish/subscribe fan-out, and
+//! [`client`] the blocking follower connection with reconnect backoff. The
+//! service crate wires these into its reactors and registry.
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod hub;
+pub mod proto;
+
+pub use client::{Backoff, ClientError, ReplClient, ReplEvent, BACKOFF_INITIAL, BACKOFF_MAX};
+pub use hub::{ReplHub, SubEvent, Subscription, MAX_QUEUED};
+pub use proto::{
+    Frame, FrameDecoder, ProtoError, KIND_HEARTBEAT, KIND_HELLO, KIND_RECORD, KIND_SNAPSHOT,
+    MAX_FRAME_PAYLOAD, REPL_MAGIC, START_SNAPSHOT, START_SUFFIX,
+};

@@ -28,6 +28,10 @@ pub struct CompleteRequest {
     /// Order label-tied completions most-specific-first.
     #[serde(default)]
     pub prefer_specific: bool,
+    /// Require the schema to be at least at this generation; a lagging
+    /// follower answers `409` (retryable) instead of serving stale state.
+    #[serde(default)]
+    pub min_generation: Option<u64>,
 }
 
 impl CompleteRequest {
@@ -112,6 +116,10 @@ pub struct BatchCompleteRequest {
     /// Order label-tied completions most-specific-first.
     #[serde(default)]
     pub prefer_specific: bool,
+    /// Require the schema to be at least at this generation; a lagging
+    /// follower answers `409` (retryable) instead of serving stale state.
+    #[serde(default)]
+    pub min_generation: Option<u64>,
     /// Per-item wall-clock budget in milliseconds. Defaults to the
     /// server's configured budget; capped at 60 000.
     #[serde(default)]
@@ -246,6 +254,8 @@ pub struct SchemaDeleteResponse {
     pub generation: u64,
     /// Cache entries of the removed schema dropped by the delete.
     pub purged_cache_entries: u64,
+    /// Whether the delete also dropped a loaded data registry instance.
+    pub purged_data: bool,
 }
 
 /// Body of `PUT /v1/data/:schema`: either an explicit bulk spec
@@ -329,6 +339,10 @@ pub struct QueryRequest {
     /// Order label-tied completions most-specific-first.
     #[serde(default)]
     pub prefer_specific: bool,
+    /// Require the schema to be at least at this generation; a lagging
+    /// follower answers `409` (retryable) instead of serving stale state.
+    #[serde(default)]
+    pub min_generation: Option<u64>,
     /// Wall-clock budget in milliseconds across disambiguation and
     /// evaluation. Defaults to the server's query budget; capped at
     /// 60 000.

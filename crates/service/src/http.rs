@@ -301,6 +301,7 @@ pub fn render_response(
         408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
+        421 => "Misdirected Request",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",

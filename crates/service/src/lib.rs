@@ -44,6 +44,7 @@ pub mod epoll;
 pub mod http;
 pub(crate) mod reactor;
 pub mod registry;
+pub mod repl;
 pub mod server;
 
 pub use api::{
@@ -56,6 +57,7 @@ pub use cache::{
 pub use data::{DataEntry, DataRegistry};
 pub use http::{Client, ClientResponse};
 pub use registry::{SchemaEntry, SchemaInfo, SchemaRegistry};
+pub use repl::FollowerStatus;
 pub use server::{metrics_prometheus, Server, ServiceConfig, ServiceState, WarmupTracker};
 
 // The durability knobs callers need to fill a `ServiceConfig`.

@@ -30,6 +30,7 @@
 use crate::api::error_body;
 use crate::epoll::{Event, Poller, Wake, EPOLLERR, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crate::http::{parse_request, render_response, ParseOutcome};
+use crate::repl::{spawn_leader_stream, StreamStart};
 use crate::server::{handle_request_catching, ServiceState};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -85,6 +86,10 @@ struct Conn {
     peer_eof: bool,
     /// Events currently registered with the poller.
     interest: u32,
+    /// Set when a handler answered with a replication stream: the
+    /// connection leaves the reactor and a blocking streaming thread
+    /// takes the socket over.
+    detach: Option<StreamStart>,
 }
 
 /// What `drive` decided about the connection.
@@ -92,6 +97,9 @@ struct Conn {
 enum Verdict {
     Keep,
     Close,
+    /// Hand the socket to a replication streaming thread: deregister it,
+    /// restore blocking mode, and ship the unflushed response head along.
+    Detach,
 }
 
 impl Conn {
@@ -108,6 +116,7 @@ impl Conn {
             timed_out: false,
             peer_eof: false,
             interest: EPOLLIN | EPOLLRDHUP,
+            detach: None,
         }
     }
 
@@ -158,12 +167,29 @@ impl Conn {
                     let draining = state.shutting_down();
                     let keep = request.keep_alive && !draining;
                     let (reply, trace_id) = handle_request_catching(state, &request);
+                    if let Some(start) = reply.stream {
+                        // A replication stream: hand-rolled head with no
+                        // Content-Length (the body is unbounded) and
+                        // Connection: close, then detach. Any pipelined
+                        // bytes after this request are not ours to serve.
+                        let head = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nConnection: close\r\nx-ipe-trace-id: {trace_id}\r\n\r\n",
+                            reply.content_type,
+                        );
+                        self.out.extend_from_slice(head.as_bytes());
+                        self.detach = Some(start);
+                        return;
+                    }
+                    let mut headers: Vec<(&str, &str)> = vec![("x-ipe-trace-id", &trace_id)];
+                    for (name, value) in &reply.headers {
+                        headers.push((name, value));
+                    }
                     self.queue_response(
                         reply.status,
                         reply.content_type,
                         &reply.body,
                         keep,
-                        &[("x-ipe-trace-id", &trace_id)],
+                        &headers,
                     );
                     if !keep || state.shutting_down() {
                         // Re-check the flag: this very request may have
@@ -237,6 +263,11 @@ impl Conn {
             return Verdict::Close;
         }
         self.process(state, cfg);
+        if self.detach.is_some() {
+            // Don't flush here: the streaming thread writes the pending
+            // head itself on the restored-to-blocking socket.
+            return Verdict::Detach;
+        }
         match self.flush() {
             Err(_) => return Verdict::Close,
             Ok((true, _)) => {
@@ -313,6 +344,7 @@ fn run(
         let timeout = next_timeout(&conns, drain_deadline);
         let n = poller.wait(&mut events, timeout)?;
         let mut dead: Vec<u64> = Vec::new();
+        let mut detached: Vec<u64> = Vec::new();
         for ev in &events[..n] {
             match ev.token() {
                 LISTENER_TOKEN => {
@@ -323,12 +355,17 @@ fn run(
                 WAKE_TOKEN => wake.drain(),
                 token => {
                     if let Some(conn) = conns.get_mut(&token) {
-                        if conn.drive(ev.readiness(), &poller, state, cfg) == Verdict::Close {
-                            dead.push(token);
+                        match conn.drive(ev.readiness(), &poller, state, cfg) {
+                            Verdict::Keep => {}
+                            Verdict::Close => dead.push(token),
+                            Verdict::Detach => detached.push(token),
                         }
                     }
                 }
             }
+        }
+        for token in detached {
+            detach_conn(&mut conns, token, state, &poller);
         }
         reap_expired(&mut conns, &mut dead, &poller);
         for token in dead {
@@ -482,4 +519,31 @@ fn close_conn(conns: &mut HashMap<u64, Conn>, token: u64, state: &Arc<ServiceSta
         state.conn_closed();
         ipe_obs::counter!("service.conn.closed", 1);
     }
+}
+
+/// Moves a connection out of the reactor and onto a replication
+/// streaming thread: deregister the fd, restore blocking mode, and hand
+/// over the socket with whatever response bytes are still unflushed. The
+/// connection stops counting against this reactor's live cap — stream
+/// longevity is bounded by the hub's overflow cutoff, not the request
+/// timeout.
+fn detach_conn(
+    conns: &mut HashMap<u64, Conn>,
+    token: u64,
+    state: &Arc<ServiceState>,
+    poller: &Poller,
+) {
+    let Some(conn) = conns.remove(&token) else {
+        return;
+    };
+    state.conn_closed();
+    let _ = poller.delete(conn.stream.as_raw_fd());
+    if conn.stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let start = conn
+        .detach
+        .expect("detached connections carry a stream start");
+    let pending = conn.out[conn.out_pos..].to_vec();
+    spawn_leader_stream(state, conn.stream, pending, start);
 }

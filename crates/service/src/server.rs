@@ -27,6 +27,7 @@ use crate::epoll::Wake;
 use crate::http::Request;
 use crate::reactor::{reactor_loop, ReactorConfig};
 use crate::registry::SchemaRegistry;
+use crate::repl::{FollowerStatus, StreamStart};
 use ipe_core::{
     complete_batch, BatchOptions, CompleteError, Completer, CompletionConfig, SearchLimits,
     SearchOutcome, SearchStats,
@@ -36,10 +37,11 @@ use ipe_obs::{CompletedRequest, FlightConfig, FlightRecorder, RequestTrace, Span
 use ipe_oodb::EvalLimits;
 use ipe_parser::{parse_path_expression, PathExprAst};
 use ipe_query::{evaluate_completions, Answer, QueryError};
+use ipe_repl::ReplHub;
 use ipe_schema::Schema;
 use ipe_store::{
     read_sidecar, read_warmup, remove_sidecar, sidecar_path, write_sidecar, write_warmup,
-    FsyncPolicy, Store, StoreConfig, WarmupEntry,
+    FsyncPolicy, Store, StoreConfig, WalOp, WalRecord, WarmupEntry,
 };
 use std::collections::HashMap;
 use std::io;
@@ -144,6 +146,11 @@ pub struct ServiceConfig {
     /// poisoning. Exists so the poison-recovery path is provable end to
     /// end; always `false` in production.
     pub debug_panic_route: bool,
+    /// Run as a read-only follower of the leader at this `host:port`:
+    /// tail its replication stream, apply schema mutations locally, and
+    /// answer schema writes `421` with the leader's address. `None` (the
+    /// default) runs as a standalone server / replication leader.
+    pub follow: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -171,6 +178,7 @@ impl Default for ServiceConfig {
             max_data_entries: 500_000,
             query_deadline_ms: 2_000,
             debug_panic_route: false,
+            follow: None,
         }
     }
 }
@@ -267,7 +275,18 @@ pub struct ServiceState {
     /// directory). The mutex also serializes registry mutations with
     /// their WAL appends, so the log order always matches the registry's
     /// generation order.
-    store: Option<Mutex<Store>>,
+    pub(crate) store: Option<Mutex<Store>>,
+    /// Leader-side replication fan-out (`Some` iff durable and not a
+    /// follower). Appends publish to it while still holding the store
+    /// mutex, so subscribers see records in exact WAL order.
+    pub(crate) repl_hub: Option<Arc<ReplHub>>,
+    /// Follower progress (`Some` iff [`ServiceConfig::follow`] was set).
+    pub(crate) follower: Option<Arc<FollowerStatus>>,
+    /// Replication streams currently being served to followers.
+    pub(crate) repl_streams_active: AtomicU64,
+    /// Live replication threads (the follower apply loop, leader stream
+    /// writers), joined on shutdown.
+    pub(crate) repl_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Hot-key tracker feeding the warmup journal (only with a store).
     warmup: Option<WarmupTracker>,
     warmup_top_k: usize,
@@ -289,7 +308,7 @@ pub struct ServiceState {
     index_mode: IndexMode,
     index_build_delay_ms: u64,
     /// Sidecar directory; `Some` iff the server is durable.
-    data_dir: Option<PathBuf>,
+    pub(crate) data_dir: Option<PathBuf>,
     index_builds_completed: AtomicU64,
     index_builds_in_flight: AtomicU64,
     index_sidecar_loads: AtomicU64,
@@ -311,11 +330,25 @@ pub struct ServiceState {
 impl ServiceState {
     fn new(config: &ServiceConfig, store: Option<Store>) -> ServiceState {
         let track_warmup = store.is_some() && config.warmup_top_k > 0;
+        // Only a durable non-follower can lead: the stream protocol
+        // resumes from the on-disk WAL, and a follower republishing the
+        // leader's records would invert the topology.
+        let repl_hub = match (&store, &config.follow) {
+            (Some(store), None) => Some(Arc::new(ReplHub::new(store.last_seq()))),
+            _ => None,
+        };
         ServiceState {
             registry: SchemaRegistry::new(),
             cache: CompletionCache::new(config.cache_capacity, config.cache_shards),
             data: DataRegistry::new(),
             store: store.map(Mutex::new),
+            repl_hub,
+            follower: config
+                .follow
+                .clone()
+                .map(|leader| Arc::new(FollowerStatus::new(leader))),
+            repl_streams_active: AtomicU64::new(0),
+            repl_threads: Mutex::new(Vec::new()),
             warmup: track_warmup.then(WarmupTracker::new),
             warmup_top_k: config.warmup_top_k,
             workers: AtomicU64::new(reactor_count(config.reactors) as u64),
@@ -402,6 +435,21 @@ impl ServiceState {
         if let Some(mut store) = store_guard {
             match store.append_put(name, entry.id, entry.generation, json) {
                 Ok(appended) => {
+                    // Published while still holding the store mutex, so
+                    // followers observe records in exact WAL order and a
+                    // concurrent stream handshake (which subscribes under
+                    // this same mutex) can neither miss nor duplicate it.
+                    if let Some(hub) = &self.repl_hub {
+                        hub.publish(&WalRecord {
+                            seq: appended.seq,
+                            op: WalOp::Put {
+                                name: name.to_owned(),
+                                id: entry.id,
+                                generation: entry.generation,
+                                schema_json: json.to_owned(),
+                            },
+                        });
+                    }
                     drop(store);
                     if appended.snapshotted {
                         self.flush_warmup();
@@ -437,6 +485,11 @@ impl ServiceState {
     /// `epoll_wait` observe the flag and start draining.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // Closing the hub ends every leader stream thread at its next
+        // queue pop, so the drain can join them.
+        if let Some(hub) = &self.repl_hub {
+            hub.close();
+        }
         for wake in lock_recover(&self.wakers, "wakers").iter() {
             wake.wake();
         }
@@ -466,6 +519,56 @@ impl ServiceState {
                 completes_indexed: self.completes_indexed.load(Ordering::Relaxed),
                 completes_unindexed: self.completes_unindexed.load(Ordering::Relaxed),
             },
+            repl: self.repl_metrics(),
+        }
+    }
+
+    /// The `service.repl` gauge section, shared by `/metrics` and
+    /// `/v1/repl/status`.
+    fn repl_metrics(&self) -> ReplMetrics {
+        match (&self.follower, &self.repl_hub) {
+            (Some(f), _) => ReplMetrics {
+                role: "follower".to_owned(),
+                leader: Some(f.leader.clone()),
+                leader_seq: f.leader_seq(),
+                applied_seq: f.applied_seq(),
+                lag_seq: f.lag_seq(),
+                lag_ms: f.lag_ms(),
+                connected: f.connected(),
+                ready: f.is_ready(),
+                streams_active: 0,
+                reconnects: f.reconnects(),
+                records_applied: f.records_applied(),
+                snapshots_installed: f.snapshots_installed(),
+            },
+            (None, Some(hub)) => ReplMetrics {
+                role: "leader".to_owned(),
+                leader: None,
+                leader_seq: hub.last_seq(),
+                applied_seq: hub.last_seq(),
+                lag_seq: 0,
+                lag_ms: 0,
+                connected: true,
+                ready: !self.shutting_down(),
+                streams_active: self.repl_streams_active.load(Ordering::SeqCst),
+                reconnects: 0,
+                records_applied: 0,
+                snapshots_installed: 0,
+            },
+            (None, None) => ReplMetrics {
+                role: "none".to_owned(),
+                leader: None,
+                leader_seq: 0,
+                applied_seq: 0,
+                lag_seq: 0,
+                lag_ms: 0,
+                connected: false,
+                ready: !self.shutting_down(),
+                streams_active: 0,
+                reconnects: 0,
+                records_applied: 0,
+                snapshots_installed: 0,
+            },
         }
     }
 }
@@ -474,7 +577,7 @@ impl ServiceState {
 /// it on the entry, and persists it as a store sidecar. Requests arriving
 /// while the build runs are served unindexed. A no-op with
 /// [`IndexMode::Off`].
-fn spawn_index_build(state: &Arc<ServiceState>, entry: Arc<crate::SchemaEntry>) {
+pub(crate) fn spawn_index_build(state: &Arc<ServiceState>, entry: Arc<crate::SchemaEntry>) {
     if state.index_mode == IndexMode::Off {
         return;
     }
@@ -553,6 +656,27 @@ struct ServiceMetrics {
     durable: bool,
     wal_last_seq: u64,
     index: IndexMetrics,
+    repl: ReplMetrics,
+}
+
+/// The `service.repl` section of `GET /metrics` (also the body of
+/// `GET /v1/repl/status`).
+#[derive(Debug, serde::Serialize)]
+struct ReplMetrics {
+    /// `"none"`, `"leader"`, or `"follower"`.
+    role: String,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    leader: Option<String>,
+    leader_seq: u64,
+    applied_seq: u64,
+    lag_seq: u64,
+    lag_ms: u64,
+    connected: bool,
+    ready: bool,
+    streams_active: u64,
+    reconnects: u64,
+    records_applied: u64,
+    snapshots_installed: u64,
 }
 
 /// The `service.index` section of `GET /metrics`.
@@ -646,6 +770,12 @@ impl Server {
                 }
             }
             state.registry.reserve_ids(recovery.max_id);
+            if let Some(follower) = &state.follower {
+                // Resume the stream from what is already durable locally
+                // instead of re-transferring from seq 0 on every boot —
+                // the kill-and-catch-up path.
+                follower.restore_applied(recovery.last_seq);
+            }
             if recovery.truncated_tail {
                 eprintln!(
                     "ipe-service: WAL tail was torn; recovered through seq {}",
@@ -705,6 +835,23 @@ impl Server {
         state
             .workers
             .store(reactor_handles.len() as u64, Ordering::Relaxed);
+        if state.follower.is_some() {
+            let st = Arc::clone(&state);
+            match std::thread::Builder::new()
+                .name("ipe-repl-follower".to_owned())
+                .spawn(move || crate::repl::follower_loop(st))
+            {
+                Ok(handle) => lock_recover(&state.repl_threads, "repl threads").push(handle),
+                Err(e) => {
+                    // A follower that cannot apply must not serve: readers
+                    // would see a frozen replica that still claims ready
+                    // once caught up.
+                    return Err(io::Error::other(format!(
+                        "failed to spawn the follower apply thread: {e}"
+                    )));
+                }
+            }
+        }
         Ok(Server {
             addr,
             state,
@@ -754,6 +901,14 @@ impl Server {
         for h in self.reactor_handles.drain(..) {
             let _ = h.join();
         }
+        // Replication threads observe the shutdown flag (and the closed
+        // hub) within a heartbeat interval; joining them before the final
+        // snapshot keeps stream reads and follower applies off it.
+        let repl: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *lock_recover(&self.state.repl_threads, "repl threads"));
+        for h in repl {
+            let _ = h.join();
+        }
         // Let in-flight index builds finish so their sidecar writes land
         // before the shutdown snapshot.
         let builders: Vec<JoinHandle<()>> = std::mem::take(&mut *lock_recover(
@@ -780,6 +935,12 @@ pub(crate) struct Reply {
     pub(crate) status: u16,
     pub(crate) body: String,
     pub(crate) content_type: &'static str,
+    /// Extra response headers (e.g. `x-ipe-leader` on follower `421`s).
+    pub(crate) headers: Vec<(&'static str, String)>,
+    /// When set, the reactor writes a bare head (no `Content-Length`,
+    /// `Connection: close`), detaches the socket from its epoll loop, and
+    /// hands it to a replication streaming thread.
+    pub(crate) stream: Option<StreamStart>,
 }
 
 impl Reply {
@@ -788,7 +949,14 @@ impl Reply {
             status,
             body,
             content_type: "application/json",
+            headers: Vec::new(),
+            stream: None,
         }
+    }
+
+    fn with_header(mut self, name: &'static str, value: String) -> Reply {
+        self.headers.push((name, value));
+        self
     }
 }
 
@@ -858,6 +1026,8 @@ fn route_label(req: &Request) -> &'static str {
         (_, p) if p.starts_with("/v1/schemas") => "schemas",
         (_, p) if p.starts_with("/v1/data") => "data",
         ("GET", "/healthz") => "healthz",
+        ("GET", "/readyz") => "readyz",
+        (_, p) if p.starts_with("/v1/repl") => "repl",
         ("GET", "/metrics") => "metrics",
         ("GET", p) if p.starts_with("/v1/debug/requests") => "debug",
         ("POST", "/v1/shutdown") => "shutdown",
@@ -875,6 +1045,8 @@ fn record_route_timer(route: &'static str, ns: u64) {
     static DATA: Timer = Timer::new("service.route.data");
     static QUERY: Timer = Timer::new("service.route.query");
     static HEALTHZ: Timer = Timer::new("service.route.healthz");
+    static READYZ: Timer = Timer::new("service.route.readyz");
+    static REPL: Timer = Timer::new("service.route.repl");
     static METRICS: Timer = Timer::new("service.route.metrics");
     static DEBUG: Timer = Timer::new("service.route.debug");
     static SHUTDOWN: Timer = Timer::new("service.route.shutdown");
@@ -886,6 +1058,8 @@ fn record_route_timer(route: &'static str, ns: u64) {
         "data" => &DATA,
         "query" => &QUERY,
         "healthz" => &HEALTHZ,
+        "readyz" => &READYZ,
+        "repl" => &REPL,
         "metrics" => &METRICS,
         "debug" => &DEBUG,
         "shutdown" => &SHUTDOWN,
@@ -1012,6 +1186,25 @@ fn access_log_line(
 
 /// Dispatches one request.
 fn route(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
+    // A follower owns no part of the schema log: schema writes are
+    // misdirected and the client is told where the leader lives. Data
+    // loads (`/v1/data/*`) stay node-local — each replica serves queries
+    // against its own loaded instance — so they are not redirected.
+    if let Some(follower) = &state.follower {
+        let schema_write =
+            matches!(req.method.as_str(), "PUT" | "DELETE") && req.path.starts_with("/v1/schemas/");
+        if schema_write {
+            ipe_obs::counter!("repl.follower.writes_rejected", 1);
+            return Reply::json(
+                421,
+                error_body(&format!(
+                    "this node is a read-only follower; send schema writes to the leader at {}",
+                    follower.leader
+                )),
+            )
+            .with_header("x-ipe-leader", follower.leader.clone());
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/complete") => handle_complete(state, req, obs),
         ("POST", "/v1/complete/batch") => handle_batch(state, req, obs),
@@ -1030,12 +1223,17 @@ fn route(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
         ("DELETE", path) if path.starts_with("/v1/schemas/") => handle_delete_schema(state, req),
         ("GET", path) if path.starts_with("/v1/schemas/") => handle_get_schema(state, req),
         ("GET", "/healthz") => Reply::json(200, "{\"status\": \"ok\"}".to_owned()),
+        ("GET", "/readyz") => handle_readyz(state),
+        ("GET", "/v1/repl/stream") => handle_repl_stream(state, req),
+        ("GET", "/v1/repl/status") => handle_repl_status(state),
         ("GET", "/metrics") => {
             if req.query_param("format") == Some("prometheus") {
                 Reply {
                     status: 200,
                     body: metrics_prometheus(state),
                     content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    headers: Vec::new(),
+                    stream: None,
                 }
             } else {
                 Reply::json(200, metrics_json(state))
@@ -1093,6 +1291,182 @@ fn handle_debug_request(state: &Arc<ServiceState>, path: &str) -> Reply {
     }
 }
 
+/// `GET /readyz`: readiness, as distinct from `/healthz` liveness. A
+/// draining node and a follower that is behind the leader are both alive
+/// but must be rotated out of a load balancer; the `503` body carries the
+/// lag so operators can see how far behind the replica is.
+fn handle_readyz(state: &Arc<ServiceState>) -> Reply {
+    if state.shutting_down() {
+        return Reply::json(
+            503,
+            "{\"ready\": false, \"status\": \"draining\"}".to_owned(),
+        );
+    }
+    let Some(follower) = &state.follower else {
+        return Reply::json(
+            200,
+            "{\"ready\": true, \"status\": \"ready\", \"role\": \"leader\"}".to_owned(),
+        );
+    };
+    if follower.is_ready() {
+        Reply::json(
+            200,
+            format!(
+                "{{\"ready\": true, \"status\": \"ready\", \"role\": \"follower\", \"applied_seq\": {}}}",
+                follower.applied_seq()
+            ),
+        )
+    } else {
+        ipe_obs::counter!("repl.follower.not_ready", 1);
+        Reply::json(
+            503,
+            format!(
+                "{{\"ready\": false, \"status\": \"lagging\", \"role\": \"follower\", \
+                 \"connected\": {}, \"applied_seq\": {}, \"lag_seq\": {}, \"lag_ms\": {}}}",
+                follower.connected(),
+                follower.applied_seq(),
+                follower.lag_seq(),
+                follower.lag_ms()
+            ),
+        )
+    }
+}
+
+/// `GET /v1/repl/stream?from_seq=N`: opens a replication stream. The
+/// reply carries no body; the [`StreamStart`] marker makes the reactor
+/// detach the socket and hand it to a streaming thread (see
+/// [`crate::repl`]).
+fn handle_repl_stream(state: &Arc<ServiceState>, req: &Request) -> Reply {
+    if let Some(follower) = &state.follower {
+        return Reply::json(
+            400,
+            error_body(&format!(
+                "this node is a follower; stream from the leader at {}",
+                follower.leader
+            )),
+        )
+        .with_header("x-ipe-leader", follower.leader.clone());
+    }
+    if state.repl_hub.is_none() {
+        return Reply::json(
+            400,
+            error_body("replication requires a durable leader (start with --data-dir)"),
+        );
+    }
+    if state.shutting_down() {
+        return Reply::json(503, error_body("leader is draining"));
+    }
+    let from_seq = match req.query_param("from_seq").unwrap_or("0").parse::<u64>() {
+        Ok(n) => n,
+        Err(_) => return Reply::json(400, error_body("`from_seq` must be an unsigned integer")),
+    };
+    Reply {
+        status: 200,
+        body: String::new(),
+        content_type: "application/octet-stream",
+        headers: Vec::new(),
+        stream: Some(StreamStart { from_seq }),
+    }
+}
+
+/// `GET /v1/repl/status`: the replication gauge section on its own, for
+/// scripts and tests that poll convergence without parsing `/metrics`.
+fn handle_repl_status(state: &Arc<ServiceState>) -> Reply {
+    match serde_json::to_string(&state.repl_metrics()) {
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
+/// Body of a `409` from [`admit_read`].
+#[derive(serde::Serialize)]
+struct ReadRefused {
+    error: String,
+    /// Whether retrying against this same node can succeed (true on a
+    /// lagging follower, false when the requested generation exists
+    /// nowhere).
+    retryable: bool,
+    schema: String,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    generation: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    min_generation: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    applied_seq: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    lag_seq: Option<u64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    lag_ms: Option<u64>,
+}
+
+/// Generation-aware read admission. `None` admits the request. A reader
+/// that pins `min_generation` (read-your-writes after a schema PUT on the
+/// leader) never gets an older generation served silently: a follower
+/// that hasn't applied it yet answers `409` with `retryable: true` and
+/// its lag, and a caught-up node answers `409` with `retryable: false`
+/// (the generation does not exist). A missing schema on a lagging
+/// follower is also deferred — it may simply not have arrived yet — while
+/// on a caught-up node it falls through to the ordinary `404`.
+fn admit_read(
+    state: &Arc<ServiceState>,
+    name: &str,
+    entry: Option<&Arc<crate::SchemaEntry>>,
+    min_generation: Option<u64>,
+) -> Option<Reply> {
+    let generation = entry.map(|e| e.generation);
+    let met = match (generation, min_generation) {
+        (Some(_), None) => true,
+        (Some(have), Some(want)) => have >= want,
+        (None, _) => false,
+    };
+    if met {
+        return None;
+    }
+    if let Some(follower) = &state.follower {
+        if !follower.is_ready() {
+            ipe_obs::counter!("repl.follower.reads_deferred", 1);
+            let body = ReadRefused {
+                error: "replica has not applied this schema generation yet; retry".to_owned(),
+                retryable: true,
+                schema: name.to_owned(),
+                generation,
+                min_generation,
+                applied_seq: Some(follower.applied_seq()),
+                lag_seq: Some(follower.lag_seq()),
+                lag_ms: Some(follower.lag_ms()),
+            };
+            return Some(refusal_reply(&body));
+        }
+    }
+    match (generation, min_generation) {
+        (Some(have), Some(want)) if have < want => {
+            let body = ReadRefused {
+                error: format!(
+                    "schema `{name}` is at generation {have}, below the requested min_generation {want}"
+                ),
+                retryable: false,
+                schema: name.to_owned(),
+                generation,
+                min_generation,
+                applied_seq: None,
+                lag_seq: None,
+                lag_ms: None,
+            };
+            Some(refusal_reply(&body))
+        }
+        // Caught up (or leader) and the schema simply isn't registered:
+        // let the handler answer its ordinary 404.
+        _ => None,
+    }
+}
+
+fn refusal_reply(body: &ReadRefused) -> Reply {
+    match serde_json::to_string(body) {
+        Ok(json) => Reply::json(409, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
 fn handle_complete(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
     let body = match req.text() {
         Ok(b) => b,
@@ -1109,6 +1483,9 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
     let entry = state.registry.get(name);
     lookup_span.attr("found", entry.is_some() as u64);
     lookup_span.finish();
+    if let Some(refused) = admit_read(state, name, entry.as_ref(), parsed.min_generation) {
+        return refused;
+    }
     let Some(entry) = entry else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
@@ -1219,7 +1596,11 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
     }
     let started = Instant::now();
     let name = parsed.schema_name();
-    let Some(entry) = state.registry.get(name) else {
+    let entry = state.registry.get(name);
+    if let Some(refused) = admit_read(state, name, entry.as_ref(), parsed.min_generation) {
+        return refused;
+    }
+    let Some(entry) = entry else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
     let cfg = match parsed.config(&entry.schema) {
@@ -1437,19 +1818,36 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
     // Purge before acknowledging so a deleted schema's cached results are
-    // unreachable the moment the 200 lands.
+    // unreachable the moment the 200 lands. The loaded data instance goes
+    // with it: it was validated against this schema's generations, and
+    // leaving it behind made a later PUT of the same name serve queries
+    // against a stale instance under a colliding name.
     let purged = state.cache.purge_schema(entry.id);
+    let purged_data = state.data.remove(name).is_some();
     // The id will never be reissued, so its sidecar is dead weight.
     if let Some(dir) = &state.data_dir {
         let _ = remove_sidecar(dir, entry.id);
     }
     if let Some(mut store) = store_guard {
-        if let Err(e) = store.append_delete(name) {
-            ipe_obs::counter!("store.wal.append_failed", 1);
-            return Reply::json(
-                500,
-                error_body(&format!("schema removed but delete not persisted: {e}")),
-            );
+        match store.append_delete(name) {
+            Ok(appended) => {
+                // Published under the store mutex, as in `register_schema`.
+                if let Some(hub) = &state.repl_hub {
+                    hub.publish(&WalRecord {
+                        seq: appended.seq,
+                        op: WalOp::Delete {
+                            name: name.to_owned(),
+                        },
+                    });
+                }
+            }
+            Err(e) => {
+                ipe_obs::counter!("store.wal.append_failed", 1);
+                return Reply::json(
+                    500,
+                    error_body(&format!("schema removed but delete not persisted: {e}")),
+                );
+            }
         }
     }
     let response = SchemaDeleteResponse {
@@ -1457,6 +1855,7 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
         id: entry.id,
         generation: entry.generation,
         purged_cache_entries: purged,
+        purged_data,
     };
     match serde_json::to_string(&response) {
         Ok(json) => Reply::json(200, json),
@@ -1703,6 +2102,9 @@ fn handle_query(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
     let entry = state.registry.get(name);
     lookup_span.attr("found", entry.is_some() as u64);
     lookup_span.finish();
+    if let Some(refused) = admit_read(state, name, entry.as_ref(), parsed.min_generation) {
+        return refused;
+    }
     let Some(entry) = entry else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
@@ -1896,7 +2298,7 @@ fn attach_service_gauges(report: &mut ipe_obs::Report, gauges: Result<String, se
 pub fn metrics_prometheus(state: &ServiceState) -> String {
     use ipe_obs::prom::Gauge;
     let m = state.metrics_view();
-    let gauges = [
+    let mut gauges = vec![
         Gauge::new(
             "service.cache.entries",
             "Live entries in the completion cache.",
@@ -1948,6 +2350,28 @@ pub fn metrics_prometheus(state: &ServiceState) -> String {
             state.flight.recorded() as f64,
         ),
     ];
+    if m.repl.role != "none" {
+        gauges.push(Gauge::new(
+            "service.repl.lag_seq",
+            "WAL records the replica is behind the leader (0 on a leader).",
+            m.repl.lag_seq as f64,
+        ));
+        gauges.push(Gauge::new(
+            "service.repl.lag_ms",
+            "Milliseconds since the replica was last level with the leader.",
+            m.repl.lag_ms as f64,
+        ));
+        gauges.push(Gauge::new(
+            "service.repl.streams_active",
+            "Replication streams this leader is serving right now.",
+            m.repl.streams_active as f64,
+        ));
+        gauges.push(Gauge::new(
+            "service.repl.connected",
+            "Whether the follower's stream connection is up (1/0).",
+            m.repl.connected as u64 as f64,
+        ));
+    }
     ipe_obs::prom::render(&gauges)
 }
 
@@ -2000,6 +2424,9 @@ mod tests {
         assert_eq!(route_label(&req("GET", "/v1/schemas")), "schemas");
         assert_eq!(route_label(&req("PUT", "/v1/schemas/x")), "schemas");
         assert_eq!(route_label(&req("GET", "/healthz")), "healthz");
+        assert_eq!(route_label(&req("GET", "/readyz")), "readyz");
+        assert_eq!(route_label(&req("GET", "/v1/repl/stream")), "repl");
+        assert_eq!(route_label(&req("GET", "/v1/repl/status")), "repl");
         assert_eq!(route_label(&req("GET", "/metrics")), "metrics");
         assert_eq!(route_label(&req("GET", "/v1/debug/requests")), "debug");
         assert_eq!(route_label(&req("GET", "/v1/debug/requests/abc")), "debug");

@@ -121,6 +121,18 @@ impl Snapshot {
         })
     }
 
+    /// Serializes the snapshot body for transfer (replication streams frame
+    /// it with their own checksum; the on-disk layout adds magic + CRC via
+    /// [`Snapshot::write_to`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode_body()
+    }
+
+    /// Decodes a body produced by [`Snapshot::to_bytes`].
+    pub fn from_bytes(body: &[u8]) -> Result<Snapshot, StoreError> {
+        Snapshot::decode_body(body)
+    }
+
     /// Writes the snapshot to `path` atomically: the bytes land in a
     /// sibling temp file which is fsynced and then renamed over `path`,
     /// followed by a directory fsync so the rename itself is durable.

@@ -121,6 +121,9 @@ pub struct Store {
     dirty: bool,
     last_seq: u64,
     max_id: u64,
+    /// Highest seq covered by the on-disk snapshot: records at or below it
+    /// may no longer exist in the WAL file (the compaction horizon).
+    compacted_through: u64,
     /// In-memory mirror of the live schemas, the compaction source.
     live: BTreeMap<String, SchemaRecord>,
 }
@@ -134,6 +137,7 @@ impl Store {
         let snapshot = Snapshot::read_from(&config.dir.join(SNAPSHOT_FILE))?;
         let from_snapshot = snapshot.is_some();
         let snapshot = snapshot.unwrap_or_default();
+        let compacted_through = snapshot.last_seq;
         let mut last_seq = snapshot.last_seq;
         let mut max_id = snapshot.max_id;
         let mut live: BTreeMap<String, SchemaRecord> = snapshot
@@ -232,6 +236,7 @@ impl Store {
             dirty: false,
             last_seq,
             max_id,
+            compacted_through,
             live,
         };
         Ok((store, recovery))
@@ -262,11 +267,27 @@ impl Store {
     }
 
     fn append(&mut self, op: WalOp) -> Result<Appended, StoreError> {
-        let _t = ipe_obs::timer!("store.append");
         let record = WalRecord {
             seq: self.last_seq + 1,
             op,
         };
+        self.append_record(&record)
+    }
+
+    /// Appends a record replicated from a leader. The record keeps the
+    /// leader's seq, so leader and follower WALs stay position-identical;
+    /// a gap means the stream skipped acknowledged records and is refused.
+    pub fn apply_remote(&mut self, record: &WalRecord) -> Result<Appended, StoreError> {
+        if record.seq != self.last_seq + 1 {
+            return Err(StoreError::Corrupt(
+                "replication sequence gap: record does not extend the local WAL",
+            ));
+        }
+        self.append_record(record)
+    }
+
+    fn append_record(&mut self, record: &WalRecord) -> Result<Appended, StoreError> {
+        let _t = ipe_obs::timer!("store.append");
         let frame = record.encode_frame();
         self.wal.write_all(&frame)?;
         self.dirty = true;
@@ -322,6 +343,81 @@ impl Store {
         self.wal.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
         self.wal.sync_data()?;
         self.appends_since_snapshot = 0;
+        self.compacted_through = self.last_seq;
+        Ok(())
+    }
+
+    /// Highest seq covered by the on-disk snapshot. Records at or below it
+    /// cannot be served from the WAL file; a replication resume point behind
+    /// this horizon needs a full snapshot transfer instead.
+    pub fn compacted_through(&self) -> u64 {
+        self.compacted_through
+    }
+
+    /// The current full state as a snapshot value (for replication transfer;
+    /// nothing is written to disk).
+    pub fn export_snapshot(&self) -> Snapshot {
+        Snapshot {
+            last_seq: self.last_seq,
+            max_id: self.max_id,
+            schemas: self.live.values().cloned().collect(),
+        }
+    }
+
+    /// Reads every WAL record with `seq > from_seq` from the on-disk log.
+    /// Callers must first check `from_seq >= compacted_through()`; below the
+    /// horizon the log no longer holds the records (this method would
+    /// silently return only the surviving suffix). Records left at the WAL
+    /// head by a crashed compaction are filtered by the same seq predicate.
+    pub fn wal_records_after(&self, from_seq: u64) -> Result<Vec<WalRecord>, StoreError> {
+        let mut bytes = Vec::new();
+        File::open(self.dir.join(WAL_FILE))?.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(StoreError::Corrupt("bad WAL magic"));
+        }
+        let mut records = Vec::new();
+        let mut at = WAL_MAGIC.len();
+        loop {
+            match scan_frame(&bytes, at) {
+                FrameOutcome::End | FrameOutcome::Torn => break,
+                FrameOutcome::Record(record, next) => {
+                    if record.seq > from_seq {
+                        records.push(record);
+                    }
+                    at = next;
+                }
+            }
+        }
+        Ok(records)
+    }
+
+    /// Replaces the entire local state with a leader snapshot: the snapshot
+    /// lands on disk atomically, the WAL truncates to its header, and the
+    /// in-memory mirror, seq, and compaction horizon all jump to the
+    /// snapshot's. `max_id` only ever grows (ids this replica has already
+    /// seen must never be reissued, even if the leader's snapshot predates
+    /// them).
+    pub fn install_remote_snapshot(&mut self, snap: &Snapshot) -> Result<(), StoreError> {
+        let max_id = self.max_id.max(snap.max_id);
+        let on_disk = Snapshot {
+            last_seq: snap.last_seq,
+            max_id,
+            schemas: snap.schemas.clone(),
+        };
+        on_disk.write_to(&self.dir.join(SNAPSHOT_FILE))?;
+        self.wal.set_len(WAL_MAGIC.len() as u64)?;
+        self.wal.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        self.wal.sync_data()?;
+        self.live = snap
+            .schemas
+            .iter()
+            .map(|s| (s.name.clone(), s.clone()))
+            .collect();
+        self.last_seq = snap.last_seq;
+        self.max_id = max_id;
+        self.compacted_through = snap.last_seq;
+        self.appends_since_snapshot = 0;
+        self.dirty = false;
         Ok(())
     }
 

@@ -1,0 +1,301 @@
+//! Recovery when snapshot and WAL disagree — the edge matrix the follower
+//! apply path relies on: a replica installs a leader snapshot and then tails
+//! records, so a crash can leave any combination of "snapshot ahead of the
+//! WAL head", overlapping seq ranges, and `max_id` drift between the two
+//! files. Recovery must resolve every cell the same way the leader would.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ipe_store::wal::WAL_MAGIC;
+use ipe_store::{
+    FsyncPolicy, SchemaRecord, Snapshot, Store, StoreConfig, StoreError, WalOp, WalRecord,
+    SNAPSHOT_FILE, WAL_FILE,
+};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ipe-divergence-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg(dir: &Path) -> StoreConfig {
+    StoreConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 0,
+    }
+}
+
+fn put(seq: u64, name: &str, id: u64, generation: u64) -> WalRecord {
+    WalRecord {
+        seq,
+        op: WalOp::Put {
+            name: name.to_string(),
+            id,
+            generation,
+            schema_json: format!("{{\"gen\":{generation}}}"),
+        },
+    }
+}
+
+fn schema(name: &str, id: u64, generation: u64) -> SchemaRecord {
+    SchemaRecord {
+        name: name.to_string(),
+        id,
+        generation,
+        schema_json: format!("{{\"gen\":{generation}}}"),
+    }
+}
+
+/// Writes a WAL file containing exactly `records`.
+fn write_wal(dir: &Path, records: &[WalRecord]) {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(dir.join(WAL_FILE))
+        .unwrap();
+    f.write_all(WAL_MAGIC).unwrap();
+    for r in records {
+        f.write_all(&r.encode_frame()).unwrap();
+    }
+    f.sync_all().unwrap();
+}
+
+#[test]
+fn snapshot_ahead_of_wal_head_skips_the_overlap() {
+    // Snapshot covers seq 1..=3; the WAL still holds 1..=4 (compaction
+    // truncation was lost). Only seq 4 may replay: the overlapping records
+    // carry *older* generations and must not override the snapshot.
+    let dir = tmp_dir("overlap");
+    write_wal(
+        &dir,
+        &[
+            put(1, "a", 1, 1),
+            put(2, "b", 2, 1),
+            put(3, "a", 1, 2),
+            put(4, "a", 1, 3),
+        ],
+    );
+    Snapshot {
+        last_seq: 3,
+        max_id: 2,
+        schemas: vec![schema("a", 1, 2), schema("b", 2, 1)],
+    }
+    .write_to(&dir.join(SNAPSHOT_FILE))
+    .unwrap();
+
+    let (store, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert_eq!(rec.wal_records, 1, "only seq 4 replays");
+    assert_eq!(rec.last_seq, 4);
+    let a = rec.schemas.iter().find(|s| s.name == "a").unwrap();
+    assert_eq!(a.generation, 3, "suffix record wins over snapshot");
+    assert_eq!(store.compacted_through(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_ahead_of_entire_wal_is_authoritative() {
+    // Snapshot covers more than the WAL contains: a stale WAL (all records
+    // at or below last_seq) contributes nothing, and state — including a
+    // delete the WAL never saw — comes from the snapshot alone.
+    let dir = tmp_dir("ahead");
+    write_wal(&dir, &[put(1, "a", 1, 1), put(2, "b", 2, 1)]);
+    Snapshot {
+        last_seq: 5,
+        max_id: 3,
+        schemas: vec![schema("a", 1, 2)], // b deleted at some seq <= 5
+    }
+    .write_to(&dir.join(SNAPSHOT_FILE))
+    .unwrap();
+
+    let (store, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert_eq!(rec.wal_records, 0);
+    assert_eq!(rec.last_seq, 5);
+    assert_eq!(rec.max_id, 3);
+    let names: Vec<&str> = rec.schemas.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["a"], "the WAL's `b` must not resurrect");
+    assert_eq!(store.last_seq(), 5, "next append takes seq 6");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_suffix_behind_snapshot_plus_gap_is_corrupt() {
+    // WAL resumes *above* last_seq + 1: acknowledged records are missing
+    // between snapshot and suffix. That must be a hard error, not a silent
+    // skip — a follower serving that state would violate generation routing.
+    let dir = tmp_dir("gap");
+    write_wal(&dir, &[put(5, "a", 1, 5)]);
+    Snapshot {
+        last_seq: 3,
+        max_id: 1,
+        schemas: vec![schema("a", 1, 3)],
+    }
+    .write_to(&dir.join(SNAPSHOT_FILE))
+    .unwrap();
+
+    assert!(matches!(
+        Store::open(&cfg(&dir)),
+        Err(StoreError::Corrupt(_))
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn max_id_resolves_to_the_larger_side() {
+    // Snapshot knows of ids the WAL suffix doesn't (a high id was assigned
+    // and deleted before the snapshot) — and vice versa. Recovery must take
+    // the max of both so fresh ids never alias.
+    let dir = tmp_dir("maxid-snap");
+    write_wal(&dir, &[put(4, "a", 1, 2)]);
+    Snapshot {
+        last_seq: 3,
+        max_id: 50,
+        schemas: vec![schema("a", 1, 1)],
+    }
+    .write_to(&dir.join(SNAPSHOT_FILE))
+    .unwrap();
+    let (_, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert_eq!(rec.max_id, 50, "snapshot's high-water id survives");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let dir = tmp_dir("maxid-wal");
+    write_wal(&dir, &[put(4, "z", 90, 1)]);
+    Snapshot {
+        last_seq: 3,
+        max_id: 7,
+        schemas: vec![schema("a", 1, 1)],
+    }
+    .write_to(&dir.join(SNAPSHOT_FILE))
+    .unwrap();
+    let (_, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert_eq!(rec.max_id, 90, "suffix record's id raises max_id");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn apply_remote_requires_exact_continuation() {
+    let dir = tmp_dir("apply-remote");
+    let (mut store, _) = Store::open(&cfg(&dir)).unwrap();
+    store.apply_remote(&put(1, "a", 1, 1)).unwrap();
+    store.apply_remote(&put(2, "a", 1, 2)).unwrap();
+    // Gap (skipping 3) and replay (repeating 2) are both refused.
+    assert!(matches!(
+        store.apply_remote(&put(4, "a", 1, 4)),
+        Err(StoreError::Corrupt(_))
+    ));
+    assert!(matches!(
+        store.apply_remote(&put(2, "a", 1, 2)),
+        Err(StoreError::Corrupt(_))
+    ));
+    assert_eq!(store.last_seq(), 2);
+    store.sync().unwrap();
+    drop(store);
+
+    // The applied records persist at the leader's seqs across restart —
+    // the kill-and-catch-up resume point.
+    let (store, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert_eq!(rec.last_seq, 2);
+    assert_eq!(rec.schemas[0].generation, 2);
+    assert_eq!(store.last_seq(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn install_remote_snapshot_replaces_state_but_keeps_local_max_id() {
+    let dir = tmp_dir("install");
+    let (mut store, _) = Store::open(&cfg(&dir)).unwrap();
+    // Local history this replica must forget — except its id high-water.
+    store.append_put("stale", 40, 1, "{}").unwrap();
+    assert_eq!(store.max_id(), 40);
+
+    let snap = Snapshot {
+        last_seq: 9,
+        max_id: 12,
+        schemas: vec![schema("a", 1, 4), schema("b", 2, 1)],
+    };
+    store.install_remote_snapshot(&snap).unwrap();
+    assert_eq!(store.last_seq(), 9);
+    assert_eq!(store.compacted_through(), 9);
+    assert_eq!(store.live_count(), 2);
+    assert_eq!(
+        store.max_id(),
+        40,
+        "local max_id above the leader's is kept"
+    );
+
+    // Tail records continue exactly at snapshot.last_seq + 1.
+    store.apply_remote(&put(10, "b", 2, 2)).unwrap();
+    store.sync().unwrap();
+    drop(store);
+
+    let (_, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert_eq!(rec.last_seq, 10);
+    assert_eq!(rec.max_id, 40);
+    let names: Vec<&str> = rec.schemas.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["a", "b"], "pre-install local state is gone");
+    assert_eq!(
+        rec.schemas
+            .iter()
+            .find(|s| s.name == "b")
+            .unwrap()
+            .generation,
+        2
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_records_after_serves_the_resume_suffix() {
+    let dir = tmp_dir("suffix-read");
+    let (mut store, _) = Store::open(&cfg(&dir)).unwrap();
+    for seq in 1..=5u64 {
+        store.append_put("a", 1, seq, "{}").unwrap();
+    }
+    let suffix = store.wal_records_after(2).unwrap();
+    let seqs: Vec<u64> = suffix.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs, vec![3, 4, 5]);
+    assert!(store.wal_records_after(5).unwrap().is_empty());
+
+    // Compaction moves the horizon: resume points below it can no longer be
+    // served from the log.
+    store.snapshot_now().unwrap();
+    assert_eq!(store.compacted_through(), 5);
+    assert!(store.wal_records_after(0).unwrap().is_empty());
+    store.append_put("a", 1, 6, "{}").unwrap();
+    let seqs: Vec<u64> = store
+        .wal_records_after(5)
+        .unwrap()
+        .iter()
+        .map(|r| r.seq)
+        .collect();
+    assert_eq!(seqs, vec![6]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn export_snapshot_matches_recovery_state() {
+    let dir = tmp_dir("export");
+    let (mut store, _) = Store::open(&cfg(&dir)).unwrap();
+    store.append_put("a", 1, 1, "{\"gen\":1}").unwrap();
+    store.append_put("b", 2, 1, "{\"gen\":1}").unwrap();
+    store.append_delete("a").unwrap();
+    let snap = store.export_snapshot();
+    assert_eq!(snap.last_seq, 3);
+    assert_eq!(snap.max_id, 2);
+    assert_eq!(snap.schemas.len(), 1);
+    assert_eq!(snap.schemas[0].name, "b");
+
+    // Round-trip through the transfer encoding used on the wire.
+    let decoded = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+    assert_eq!(decoded, snap);
+    std::fs::remove_dir_all(&dir).ok();
+}

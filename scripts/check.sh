@@ -15,7 +15,7 @@ echo "== tests =="
 cargo test -q --workspace
 
 echo "== tests (obs-off) =="
-cargo test -q -p ipe-obs -p ipe-core -p ipe-index -p ipe-oodb -p ipe-query -p ipe-service -p ipe-store --features obs-off
+cargo test -q -p ipe-obs -p ipe-core -p ipe-index -p ipe-oodb -p ipe-query -p ipe-repl -p ipe-service -p ipe-store --features obs-off
 
 echo "== service smoke (incl. 64-connection reactor burst) =="
 serve_log="$(mktemp)"
@@ -65,6 +65,12 @@ echo "== store smoke =="
 
 echo "== store kill -9 recovery smoke =="
 ./target/release/store_bench --kill9-smoke
+
+echo "== replication smoke =="
+./target/release/repl_bench --smoke
+
+echo "== replication kill -9 catch-up smoke =="
+./target/release/repl_bench --kill9-smoke
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings

@@ -54,6 +54,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace-sample",
     "--slow-ms",
     "--flight-capacity",
+    "--follow",
 ];
 
 /// Resolves the subcommand by scanning *past* flags, so global flags
@@ -135,7 +136,7 @@ const USAGE: &str = "usage:
                [--data-dir DIR] [--fsync always|interval[:MS]|never]
                [--snapshot-every N] [--index on|off|lazy] [--report FILE]
                [--trace-sample N] [--slow-ms N] [--flight-capacity N]
-               [--access-log]
+               [--access-log] [--follow HOST:PORT]
   ipe batch    [--schema FILE | --fixture NAME] [--e N] [--exclude CLASS]...
                [--threads N] [--deadline-ms N] FILE
 
@@ -159,6 +160,16 @@ on clean shutdown. With --data-dir DIR, registry changes are written
 through to a checksummed WAL (fsynced per --fsync, compacted into a
 snapshot every --snapshot-every records) and recovered on restart; a
 best-effort warmup journal pre-warms the completion cache.
+
+With --follow HOST:PORT, `serve` runs as a read-only follower of the
+leader at that address: it tails the leader's WAL over
+GET /v1/repl/stream (snapshot bootstrap when behind the compaction
+horizon, live records after), applies every schema change locally, and
+serves reads with the same cache and index machinery. Schema writes are
+refused with 421 and an x-ipe-leader header; GET /readyz answers 503
+with the current lag until the replica has caught up. Combine with
+--data-dir to persist the applied stream so a restarted follower resumes
+from its last applied sequence number instead of re-bootstrapping.
 
 `serve` traces requests: --trace-sample N records a span tree for 1 in N
 requests (default 1 = every request, 0 = off); traces land in an
@@ -228,6 +239,9 @@ struct Opts {
     slow_ms: u64,
     flight_capacity: usize,
     access_log: bool,
+    /// `--follow LEADER` for `serve`: run as a read-only replica tailing
+    /// the leader's WAL stream.
+    follow: Option<String>,
     positional: Vec<String>,
 }
 
@@ -261,6 +275,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut slow_ms = service_defaults.slow_ms;
     let mut flight_capacity = service_defaults.flight_capacity;
     let mut access_log = false;
+    let mut follow = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -373,6 +388,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|_| "--flight-capacity must be a number")?
             }
             "--access-log" => access_log = true,
+            "--follow" => follow = Some(grab("--follow")?),
             other => positional.push(other.to_owned()),
         }
     }
@@ -418,6 +434,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         slow_ms,
         flight_capacity,
         access_log,
+        follow,
         positional,
     })
 }
@@ -680,24 +697,32 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         slow_ms: opts.slow_ms,
         flight_capacity: opts.flight_capacity,
         access_log: opts.access_log,
+        follow: opts.follow.clone(),
         ..Default::default()
     };
     let server =
         Server::start(config).map_err(|e| format!("cannot start on {}: {e}", opts.addr))?;
-    // A recovered data directory may already hold `default` (possibly a
-    // hot-swapped generation); re-inserting would bump its generation and
-    // write a WAL record on every restart, so only seed it when absent.
-    match server.state().registry.get("default") {
-        None => {
-            let json = opts.schema.to_json();
-            server
-                .register_schema("default", opts.schema, &json)
-                .map_err(|e| format!("cannot persist default schema: {e}"))?;
+    if let Some(leader) = &opts.follow {
+        // A follower's registry is the leader's — seeding `default`
+        // locally would fork the replicated history.
+        println!("(read-only follower of leader at {leader})");
+    } else {
+        // A recovered data directory may already hold `default` (possibly
+        // a hot-swapped generation); re-inserting would bump its
+        // generation and write a WAL record on every restart, so only
+        // seed it when absent.
+        match server.state().registry.get("default") {
+            None => {
+                let json = opts.schema.to_json();
+                server
+                    .register_schema("default", opts.schema, &json)
+                    .map_err(|e| format!("cannot persist default schema: {e}"))?;
+            }
+            Some(entry) => println!(
+                "(default schema recovered from data dir at generation {})",
+                entry.generation
+            ),
         }
-        Some(entry) => println!(
-            "(default schema recovered from data dir at generation {})",
-            entry.generation
-        ),
     }
     // The address on its own line, so scripts can scrape the ephemeral
     // port (stdout is line-buffered even when piped).
