@@ -25,7 +25,7 @@
 use ipe_bench::write_run_report_with_stats;
 use ipe_schema::fixtures;
 use ipe_service::Client;
-use ipe_store::{FsyncPolicy, Store, StoreConfig};
+use ipe_store::{FsyncPolicy, Store, StoreConfig, DEFAULT_TENANT};
 use serde::Value;
 use std::io::BufRead;
 use std::path::PathBuf;
@@ -109,7 +109,13 @@ fn append_run(store: &mut Store, n: usize, payload: &str) -> Result<Duration, St
     for i in 0..n {
         let name = format!("s{}", i % 64);
         store
-            .append_put(&name, (i % 64) as u64 + 1, (i / 64) as u64 + 1, payload)
+            .append_put(
+                DEFAULT_TENANT,
+                &name,
+                (i % 64) as u64 + 1,
+                (i / 64) as u64 + 1,
+                payload,
+            )
             .map_err(|e| e.to_string())?;
     }
     store.sync().map_err(|e| e.to_string())?;
@@ -233,13 +239,13 @@ fn smoke() -> Result<(), String> {
             return Err("fresh dir should recover empty".to_owned());
         }
         store
-            .append_put("a", 1, 1, &payload)
-            .and_then(|_| store.append_put("b", 2, 1, &payload))
-            .and_then(|_| store.append_put("a", 1, 2, &payload))
-            .and_then(|_| store.append_delete("b")) // 4th append: auto-snapshot
+            .append_put(DEFAULT_TENANT, "a", 1, 1, &payload)
+            .and_then(|_| store.append_put(DEFAULT_TENANT, "b", 2, 1, &payload))
+            .and_then(|_| store.append_put(DEFAULT_TENANT, "a", 1, 2, &payload))
+            .and_then(|_| store.append_delete(DEFAULT_TENANT, "b")) // 4th append: auto-snapshot
             .map_err(|e| e.to_string())?;
         store
-            .append_put("c", 3, 1, &payload)
+            .append_put(DEFAULT_TENANT, "c", 3, 1, &payload)
             .map_err(|e| e.to_string())?;
     }
     // Tear the last record: cut 3 bytes off the WAL tail.

@@ -189,6 +189,7 @@ mod tests {
         WalRecord {
             seq,
             op: WalOp::Put {
+                tenant: "default".to_owned(),
                 name: format!("s{seq}"),
                 id: seq,
                 generation: 1,

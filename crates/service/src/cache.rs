@@ -1,5 +1,5 @@
 //! The sharded completion cache: a hand-rolled LRU behind `N` mutex
-//! shards.
+//! shards, partitioned per tenant with independent byte budgets.
 //!
 //! Keys carry the owning schema's `(id, generation)` pair, so a hot-swap
 //! in the [`crate::SchemaRegistry`] invalidates every cached result of the
@@ -8,13 +8,21 @@
 //! additionally drops the stale entries eagerly so a reload frees memory
 //! immediately instead of waiting for LRU pressure.
 //!
+//! Eviction is *byte-budgeted*: every insert declares the entry's
+//! approximate heap weight, and a shard evicts least-recently-used
+//! entries until the declared bytes fit the shard's budget (an entry
+//! cap remains as a secondary backstop for zero-weight inserts). Each
+//! tenant owns a private [`CompletionCache`] inside
+//! [`CachePartitions`], so one tenant's churn can never push another
+//! tenant's warm entries out.
+//!
 //! [`purge_schema`]: ShardedLru::purge_schema
 
 use ipe_core::{CompletionConfig, Pruning, SearchOutcome};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Cache key for one memoized completion run.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -155,46 +163,75 @@ impl<K: Hash + Eq + Clone, V: Clone> Shard<K, V> {
         Some(self.nodes[i].value.clone())
     }
 
-    /// Inserts or refreshes; returns `true` when an old entry was evicted.
-    fn insert(&mut self, key: K, value: V, bytes: usize, capacity: usize) -> bool {
+    /// Drops the least-recently-used entry. Must not be called on an
+    /// empty shard.
+    fn evict_tail(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evict_tail on an empty shard");
+        self.unlink(victim);
+        self.bytes -= self.nodes[victim].bytes as u64;
+        self.map.remove(&self.nodes[victim].key);
+        self.free.push(victim);
+    }
+
+    /// Inserts or refreshes, then enforces both limits: the entry cap
+    /// (a backstop for zero-weight inserts) and the byte budget
+    /// (`budget == 0` = unlimited). Returns how many entries were
+    /// evicted. An entry whose own weight exceeds the whole budget is
+    /// refused outright — caching it is pointless and letting it in
+    /// would churn every warm entry on its way through.
+    fn insert(&mut self, key: K, value: V, bytes: usize, capacity: usize, budget: u64) -> u64 {
+        let mut evicted = 0u64;
+        if budget > 0 && bytes as u64 > budget {
+            // A stale, smaller version of the key must still die: the
+            // caller just computed a fresher result we cannot hold.
+            if let Some(&i) = self.map.get(&key) {
+                self.unlink(i);
+                self.bytes -= self.nodes[i].bytes as u64;
+                self.map.remove(&self.nodes[i].key);
+                self.free.push(i);
+                return 1;
+            }
+            return 0;
+        }
         if let Some(&i) = self.map.get(&key) {
             self.bytes = self.bytes - self.nodes[i].bytes as u64 + bytes as u64;
             self.nodes[i].value = value;
             self.nodes[i].bytes = bytes;
             self.unlink(i);
             self.link_front(i);
-            return false;
-        }
-        let mut evicted = false;
-        if self.map.len() >= capacity {
-            let victim = self.tail;
-            debug_assert_ne!(victim, NIL, "capacity >= 1 and the shard is full");
-            self.unlink(victim);
-            self.bytes -= self.nodes[victim].bytes as u64;
-            self.map.remove(&self.nodes[victim].key);
-            self.free.push(victim);
-            evicted = true;
-        }
-        self.bytes += bytes as u64;
-        let node = Node {
-            key: key.clone(),
-            value,
-            bytes,
-            prev: NIL,
-            next: NIL,
-        };
-        let i = match self.free.pop() {
-            Some(slot) => {
-                self.nodes[slot] = node;
-                slot
+        } else {
+            if self.map.len() >= capacity {
+                self.evict_tail();
+                evicted += 1;
             }
-            None => {
-                self.nodes.push(node);
-                self.nodes.len() - 1
+            self.bytes += bytes as u64;
+            let node = Node {
+                key: key.clone(),
+                value,
+                bytes,
+                prev: NIL,
+                next: NIL,
+            };
+            let i = match self.free.pop() {
+                Some(slot) => {
+                    self.nodes[slot] = node;
+                    slot
+                }
+                None => {
+                    self.nodes.push(node);
+                    self.nodes.len() - 1
+                }
+            };
+            self.link_front(i);
+            self.map.insert(key, i);
+        }
+        if budget > 0 {
+            while self.bytes > budget && self.tail != NIL {
+                self.evict_tail();
+                evicted += 1;
             }
-        };
-        self.link_front(i);
-        self.map.insert(key, i);
+        }
         evicted
     }
 
@@ -237,6 +274,10 @@ pub struct ShardedLru<K, V> {
     shards: Vec<Mutex<Shard<K, V>>>,
     /// Per-shard capacity; total capacity is `shards.len() * per_shard`.
     per_shard: usize,
+    /// Per-shard byte budget (0 = unlimited). Atomic so a tenant's
+    /// budget can be re-configured on a live partition; enforced at the
+    /// next insert.
+    per_shard_bytes: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -248,17 +289,41 @@ pub type CompletionCache = ShardedLru<CacheKey, Arc<SearchOutcome>>;
 impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// A cache of roughly `capacity` entries over `shards` shards (both
     /// clamped to at least 1; `shards` is rounded up to a power of two so
-    /// shard selection is a mask).
+    /// shard selection is a mask), with no byte budget.
     pub fn new(capacity: usize, shards: usize) -> Self {
+        Self::with_byte_budget(capacity, shards, 0)
+    }
+
+    /// Like [`ShardedLru::new`] with a byte budget across all shards
+    /// (0 = unlimited). The budget splits evenly per shard, so a skewed
+    /// key distribution can evict slightly before the global figure is
+    /// reached — the budget is a ceiling, never exceeded.
+    pub fn with_byte_budget(capacity: usize, shards: usize, budget_bytes: u64) -> Self {
         let shards = shards.max(1).next_power_of_two();
         let per_shard = capacity.div_ceil(shards).max(1);
+        let per_shard_bytes = budget_bytes.div_ceil(shards as u64);
         ShardedLru {
             shards: (0..shards).map(|_| Mutex::new(Shard::new())).collect(),
             per_shard,
+            per_shard_bytes: AtomicU64::new(per_shard_bytes),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the byte budget (0 = unlimited). Takes effect on the
+    /// next insert; a shrink does not eagerly evict.
+    pub fn set_byte_budget(&self, budget_bytes: u64) {
+        self.per_shard_bytes.store(
+            budget_bytes.div_ceil(self.shards.len() as u64),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// The configured byte budget across all shards (0 = unlimited).
+    pub fn byte_budget(&self) -> u64 {
+        self.per_shard_bytes.load(Ordering::Relaxed) * self.shards.len() as u64
     }
 
     fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
@@ -304,11 +369,12 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedLru<K, V> {
     /// Like [`ShardedLru::insert`], declaring the entry's approximate
     /// heap footprint for the `cache.bytes` gauge (see [`entry_weight`]).
     pub fn insert_weighted(&self, key: K, value: V, bytes: usize) {
+        let budget = self.per_shard_bytes.load(Ordering::Relaxed);
         let evicted =
-            Self::lock_shard(self.shard_of(&key)).insert(key, value, bytes, self.per_shard);
-        if evicted {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            ipe_obs::counter!("service.cache.evict", 1);
+            Self::lock_shard(self.shard_of(&key)).insert(key, value, bytes, self.per_shard, budget);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            ipe_obs::counter!("service.cache.evict", evicted);
         }
     }
 
@@ -353,6 +419,145 @@ impl CompletionCache {
             .iter()
             .map(|s| ShardedLru::lock_shard(s).retain(|k| k.schema_id != schema_id))
             .sum()
+    }
+}
+
+/// Per-tenant completion-cache partitions. Every tenant gets a private
+/// [`CompletionCache`] with its own byte budget, so cache pressure
+/// never crosses tenant boundaries: a noisy tenant churning its
+/// partition evicts only its own entries. The `default` tenant's
+/// partition is created eagerly and never dropped.
+pub struct CachePartitions {
+    inner: RwLock<HashMap<String, Arc<CompletionCache>>>,
+    /// Entry capacity of each partition (the zero-weight backstop).
+    capacity: usize,
+    /// Shard count of each partition.
+    shards: usize,
+    /// Byte budget applied when a tenant doesn't set its own.
+    default_budget: u64,
+}
+
+impl CachePartitions {
+    /// A partition set where each partition holds up to `capacity`
+    /// entries over `shards` shards, budgeted at `default_budget` bytes
+    /// unless the tenant overrides it (0 = unlimited). The `default`
+    /// partition is created immediately.
+    pub fn new(capacity: usize, shards: usize, default_budget: u64) -> CachePartitions {
+        let parts = CachePartitions {
+            inner: RwLock::new(HashMap::new()),
+            capacity,
+            shards,
+            default_budget,
+        };
+        parts.ensure(ipe_tenant::DEFAULT_TENANT, 0);
+        parts
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<CompletionCache>>> {
+        self.inner.read().unwrap_or_else(|poisoned| {
+            ipe_obs::counter!("service.lock.poison_recovered", 1);
+            poisoned.into_inner()
+        })
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<CompletionCache>>> {
+        self.inner.write().unwrap_or_else(|poisoned| {
+            ipe_obs::counter!("service.lock.poison_recovered", 1);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Gets (or creates) `tenant`'s partition, applying `budget_bytes`
+    /// (0 = the partition-set default). An existing partition is
+    /// re-budgeted in place, entries intact.
+    pub fn ensure(&self, tenant: &str, budget_bytes: u64) -> Arc<CompletionCache> {
+        let budget = if budget_bytes > 0 {
+            budget_bytes
+        } else {
+            self.default_budget
+        };
+        if let Some(cache) = self.read().get(tenant) {
+            cache.set_byte_budget(budget);
+            return Arc::clone(cache);
+        }
+        let mut map = self.write();
+        if let Some(cache) = map.get(tenant) {
+            cache.set_byte_budget(budget);
+            return Arc::clone(cache);
+        }
+        let cache = Arc::new(CompletionCache::with_byte_budget(
+            self.capacity,
+            self.shards,
+            budget,
+        ));
+        map.insert(tenant.to_owned(), Arc::clone(&cache));
+        cache
+    }
+
+    /// The partition serving `tenant`. Unknown tenants fall back to a
+    /// fresh default-budget partition (requests for a tenant created on
+    /// the leader may reach a follower before its registry row does).
+    pub fn partition(&self, tenant: &str) -> Arc<CompletionCache> {
+        if let Some(cache) = self.read().get(tenant) {
+            return Arc::clone(cache);
+        }
+        self.ensure(tenant, 0)
+    }
+
+    /// Drops `tenant`'s partition outright, returning how many entries
+    /// and declared bytes died with it. The `default` partition is
+    /// reset (replaced by an empty one) rather than removed.
+    pub fn drop_partition(&self, tenant: &str) -> (u64, u64) {
+        let mut map = self.write();
+        let Some(cache) = map.remove(tenant) else {
+            return (0, 0);
+        };
+        let (entries, bytes) = (cache.len() as u64, cache.bytes());
+        if tenant == ipe_tenant::DEFAULT_TENANT {
+            map.insert(
+                tenant.to_owned(),
+                Arc::new(CompletionCache::with_byte_budget(
+                    self.capacity,
+                    self.shards,
+                    cache.byte_budget(),
+                )),
+            );
+        }
+        (entries, bytes)
+    }
+
+    /// Eagerly drops `schema_id`'s entries from `tenant`'s partition
+    /// (schema ids are registry-global, so one partition suffices).
+    pub fn purge_schema(&self, tenant: &str, schema_id: u64) -> u64 {
+        match self.read().get(tenant) {
+            Some(cache) => cache.purge_schema(schema_id),
+            None => 0,
+        }
+    }
+
+    /// Per-tenant statistics, name-ordered — the `/metrics` rows.
+    pub fn stats_by_tenant(&self) -> Vec<(String, CacheStats)> {
+        let mut rows: Vec<(String, CacheStats)> = self
+            .read()
+            .iter()
+            .map(|(name, cache)| (name.clone(), cache.stats()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Statistics summed across every partition (the legacy aggregate
+    /// `cache` row in `/metrics`).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for (_, s) in self.stats_by_tenant() {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+            total.bytes += s.bytes;
+        }
+        total
     }
 }
 
@@ -438,6 +643,66 @@ mod tests {
         assert_eq!(full.bytes(), w as u64);
         full.purge_schema(1);
         assert_eq!(full.bytes(), 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_until_the_new_entry_fits() {
+        // Budget 100 over one shard; skewed entry sizes.
+        let cache: ShardedLru<CacheKey, u32> = ShardedLru::with_byte_budget(1024, 1, 100);
+        cache.insert_weighted(key("small-1"), 1, 10);
+        cache.insert_weighted(key("small-2"), 2, 10);
+        cache.insert_weighted(key("big"), 3, 70);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.bytes(), 90);
+        // 30 more bytes exceed the budget: the two small LRU entries go,
+        // not just one — eviction is byte-driven, not entry-driven.
+        cache.insert_weighted(key("medium"), 4, 30);
+        assert_eq!(cache.get(&key("small-1")), None);
+        assert_eq!(cache.get(&key("small-2")), None);
+        assert_eq!(cache.get(&key("big")), Some(3));
+        assert_eq!(cache.get(&key("medium")), Some(4));
+        assert!(cache.bytes() <= 100);
+        assert_eq!(cache.stats().evictions, 2);
+        // An entry larger than the whole budget is refused without
+        // disturbing the warm entries.
+        cache.insert_weighted(key("oversize"), 5, 1000);
+        assert_eq!(cache.get(&key("oversize")), None);
+        assert_eq!(cache.get(&key("big")), Some(3), "warm survives oversize");
+        assert!(cache.bytes() <= 100, "oversize insert cannot pin memory");
+        // A refresh that grows past the budget evicts colder entries.
+        cache.insert_weighted(key("big"), 6, 95);
+        assert_eq!(cache.get(&key("big")), Some(6));
+        assert_eq!(cache.get(&key("medium")), None);
+        assert!(cache.bytes() <= 100);
+    }
+
+    #[test]
+    fn partitions_isolate_tenant_churn() {
+        let parts = CachePartitions::new(1024, 1, 100);
+        let quiet = parts.ensure("quiet", 0);
+        let noisy = parts.ensure("noisy", 0);
+        let outcome = Arc::new(SearchOutcome {
+            completions: Vec::new(),
+            stats: Default::default(),
+        });
+        quiet.insert_weighted(key("warm"), outcome.clone(), 60);
+        // The noisy tenant churns far past its own budget...
+        for i in 0..50 {
+            noisy.insert_weighted(key(&format!("churn-{i}")), outcome.clone(), 30);
+        }
+        assert!(noisy.bytes() <= 100);
+        // ...and the quiet tenant's warm entry is untouched.
+        assert!(quiet.get(&key("warm")).is_some());
+        assert_eq!(quiet.stats().evictions, 0);
+        // Dropping the noisy partition reports its footprint.
+        let (entries, bytes) = parts.drop_partition("noisy");
+        assert_eq!(entries, 3);
+        assert_eq!(bytes, 90);
+        // The default partition resets instead of disappearing.
+        let default = parts.partition(ipe_tenant::DEFAULT_TENANT);
+        default.insert_weighted(key("d"), outcome, 10);
+        parts.drop_partition(ipe_tenant::DEFAULT_TENANT);
+        assert_eq!(parts.partition(ipe_tenant::DEFAULT_TENANT).len(), 0);
     }
 
     #[test]

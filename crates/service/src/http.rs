@@ -295,6 +295,7 @@ pub fn render_response(
     use std::fmt::Write as _;
     let reason = match status {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -303,6 +304,7 @@ pub fn render_response(
         413 => "Payload Too Large",
         421 => "Misdirected Request",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         504 => "Gateway Timeout",

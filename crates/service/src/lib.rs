@@ -52,7 +52,8 @@ pub use api::{
     QueryRequest, QueryResponse,
 };
 pub use cache::{
-    config_fingerprint, entry_weight, CacheKey, CacheStats, CompletionCache, ShardedLru,
+    config_fingerprint, entry_weight, CacheKey, CachePartitions, CacheStats, CompletionCache,
+    ShardedLru,
 };
 pub use data::{DataEntry, DataRegistry};
 pub use http::{Client, ClientResponse};

@@ -23,6 +23,7 @@ use crate::server::{lock_recover, spawn_index_build, ServiceState};
 use ipe_repl::{Backoff, ClientError, ReplClient, ReplEvent, SubEvent, REPL_MAGIC};
 use ipe_schema::Schema;
 use ipe_store::{remove_sidecar, Snapshot, WalOp, WalRecord};
+use ipe_tenant::{scoped_name, split_scoped};
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -417,14 +418,20 @@ fn install_snapshot(
     for record in &snap.schemas {
         let schema = Schema::from_json(&record.schema_json)
             .map_err(|e| format!("snapshot schema `{}` does not parse: {e}", record.name))?;
+        ensure_tenant(state, &record.tenant);
+        let key = scoped_name(&record.tenant, &record.name);
         let entry = state
             .registry
-            .restore(&record.name, record.id, record.generation, schema);
-        state.cache.purge_schema(entry.id);
+            .restore(&key, record.id, record.generation, schema);
+        state.caches.purge_schema(&record.tenant, entry.id);
         spawn_index_build(state, entry);
     }
     for info in state.registry.list() {
-        if !snap.schemas.iter().any(|s| s.name == info.name) {
+        let still_live = snap
+            .schemas
+            .iter()
+            .any(|s| scoped_name(&s.tenant, &s.name) == info.name);
+        if !still_live {
             drop_schema_locally(state, &info.name);
         }
     }
@@ -457,6 +464,7 @@ fn apply_record(
     }
     match &record.op {
         WalOp::Put {
+            tenant,
             name,
             id,
             generation,
@@ -464,27 +472,43 @@ fn apply_record(
         } => {
             let schema = Schema::from_json(schema_json)
                 .map_err(|e| format!("replicated schema `{name}` does not parse: {e}"))?;
-            let entry = state.registry.restore(name, *id, *generation, schema);
+            ensure_tenant(state, tenant);
+            let key = scoped_name(tenant, name);
+            let entry = state.registry.restore(&key, *id, *generation, schema);
             state.registry.reserve_ids(*id);
             // Older generations' cached completions are keyed away already;
             // purging frees them eagerly, exactly as a local PUT does.
-            state.cache.purge_schema(entry.id);
+            state.caches.purge_schema(tenant, entry.id);
             spawn_index_build(state, entry);
         }
-        WalOp::Delete { name } => drop_schema_locally(state, name),
+        WalOp::Delete { tenant, name } => drop_schema_locally(state, &scoped_name(tenant, name)),
     }
     status.note_applied(record.seq);
     Ok(())
 }
 
+/// A follower learns tenants from the records it applies: quotas are
+/// node-local config (tenants.json), but the namespace itself must exist
+/// for scoped reads to route.
+fn ensure_tenant(state: &Arc<ServiceState>, tenant: &str) {
+    if tenant != ipe_tenant::DEFAULT_TENANT && state.tenants.get(tenant).is_none() {
+        let _ = state
+            .tenants
+            .put(tenant, ipe_tenant::TenantConfig::default());
+    }
+}
+
 /// Removes every local trace of a schema the leader deleted: registry
-/// entry, cached completions, loaded data, and the index sidecar.
-fn drop_schema_locally(state: &Arc<ServiceState>, name: &str) {
-    if let Some(entry) = state.registry.remove(name) {
-        state.cache.purge_schema(entry.id);
+/// entry, cached completions, loaded data, and the index sidecar. Takes
+/// the scoped (`tenant/name`) registry key.
+fn drop_schema_locally(state: &Arc<ServiceState>, key: &str) {
+    if let Some(entry) = state.registry.remove(key) {
+        state
+            .caches
+            .purge_schema(split_scoped(&entry.name).0, entry.id);
         if let Some(dir) = &state.data_dir {
             let _ = remove_sidecar(dir, entry.id);
         }
     }
-    state.data.remove(name);
+    state.data.remove(key);
 }

@@ -21,7 +21,7 @@ use crate::api::{
     CompleteRequest, CompleteResponse, CompletionView, DataDeleteResponse, DataPutRequest,
     DataPutResponse, QueryRequest, QueryResponse, SchemaDeleteResponse, SchemaPutResponse,
 };
-use crate::cache::{config_fingerprint, entry_weight, CacheKey, CompletionCache};
+use crate::cache::{config_fingerprint, entry_weight, CacheKey, CachePartitions};
 use crate::data::DataRegistry;
 use crate::epoll::Wake;
 use crate::http::Request;
@@ -43,7 +43,11 @@ use ipe_store::{
     read_sidecar, read_warmup, remove_sidecar, sidecar_path, write_sidecar, write_warmup,
     FsyncPolicy, Store, StoreConfig, WalOp, WalRecord, WarmupEntry,
 };
-use std::collections::HashMap;
+use ipe_tenant::{
+    scoped_name, split_scoped, Admission, Tenant, TenantConfig, TenantError, TenantRegistry,
+    DEFAULT_TENANT,
+};
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::path::PathBuf;
@@ -90,6 +94,10 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Completion cache shard count (rounded up to a power of two).
     pub cache_shards: usize,
+    /// Byte budget of each tenant's completion-cache partition when the
+    /// tenant does not set its own `cache_bytes` (0 = no byte budget;
+    /// the entry capacity still bounds the partition).
+    pub cache_bytes: u64,
     /// Default worker threads for `POST /v1/complete/batch` (a request's
     /// `threads` field overrides per batch).
     pub batch_threads: usize,
@@ -162,6 +170,7 @@ impl Default for ServiceConfig {
             request_timeout: Duration::from_secs(10),
             cache_capacity: 4096,
             cache_shards: 16,
+            cache_bytes: 0,
             batch_threads: 4,
             data_dir: None,
             fsync: FsyncPolicy::Always,
@@ -192,6 +201,9 @@ fn reactor_count(configured: usize) -> usize {
         .map(|n| n.get())
         .unwrap_or(4)
 }
+
+/// Tenant-config sidecar file name inside the data directory.
+pub const TENANTS_FILE: &str = "tenants.json";
 
 /// Cap on distinct keys the warmup tracker counts; hotter keys win, new
 /// keys arriving at capacity are dropped (sampling, not precision).
@@ -265,10 +277,17 @@ const MAX_QUERY_DEADLINE_MS: u64 = 60_000;
 
 /// Shared state of a running server: registry, cache, and gauges.
 pub struct ServiceState {
-    /// The schema registry.
+    /// The schema registry. Keys are tenant-scoped: the `default`
+    /// tenant owns bare names, every other tenant's schemas live under
+    /// `"{tenant}/{name}"` (see [`ipe_tenant::scoped_name`]).
     pub registry: SchemaRegistry,
-    /// The completion cache.
-    pub cache: CompletionCache,
+    /// Per-tenant completion-cache partitions; the `default` tenant's
+    /// partition serves the legacy un-prefixed routes. Partition byte
+    /// budgets come from each tenant's `cache_bytes`.
+    pub caches: CachePartitions,
+    /// Tenant namespaces: admission quotas, cache budgets, and the
+    /// per-tenant request defaults (`PUT /v1/tenants/:tenant`).
+    pub tenants: TenantRegistry,
     /// Loaded data instances, per schema name (`PUT /v1/data/:schema`).
     pub data: DataRegistry,
     /// The durable store (`Some` when the server runs with a data
@@ -339,7 +358,12 @@ impl ServiceState {
         };
         ServiceState {
             registry: SchemaRegistry::new(),
-            cache: CompletionCache::new(config.cache_capacity, config.cache_shards),
+            caches: CachePartitions::new(
+                config.cache_capacity,
+                config.cache_shards,
+                config.cache_bytes,
+            ),
+            tenants: TenantRegistry::new(TenantConfig::default()),
             data: DataRegistry::new(),
             store: store.map(Mutex::new),
             repl_hub,
@@ -416,24 +440,39 @@ impl ServiceState {
         }
     }
 
-    /// Inserts (or hot-swaps) a schema and writes the mutation through to
-    /// the WAL when the server is durable; a no-op append when it is not.
-    /// `json` is the schema's serialized form as recorded in the log. The
-    /// store lock is taken *before* the registry write so concurrent
-    /// mutations hit the WAL in generation order. On a persistence
-    /// failure the registry keeps the new generation (it is live in
-    /// memory) but the error is returned so callers can refuse to
-    /// acknowledge the write as durable.
+    /// Inserts (or hot-swaps) a schema under the `default` tenant. See
+    /// [`ServiceState::register_schema_for`].
     pub fn register_schema(
         &self,
         name: &str,
         schema: Schema,
         json: &str,
     ) -> std::io::Result<Arc<crate::SchemaEntry>> {
+        self.register_schema_for(DEFAULT_TENANT, name, schema, json)
+    }
+
+    /// Inserts (or hot-swaps) a tenant's schema and writes the mutation
+    /// through to the WAL when the server is durable; a no-op append when
+    /// it is not. `name` is the tenant-local (bare) name — the registry
+    /// key is tenant-scoped, the WAL record carries the tenant id. `json`
+    /// is the schema's serialized form as recorded in the log. The store
+    /// lock is taken *before* the registry write so concurrent mutations
+    /// hit the WAL in generation order. On a persistence failure the
+    /// registry keeps the new generation (it is live in memory) but the
+    /// error is returned so callers can refuse to acknowledge the write
+    /// as durable.
+    pub fn register_schema_for(
+        &self,
+        tenant: &str,
+        name: &str,
+        schema: Schema,
+        json: &str,
+    ) -> std::io::Result<Arc<crate::SchemaEntry>> {
+        let key = scoped_name(tenant, name);
         let store_guard = self.store.as_ref().map(|m| lock_recover(m, "store"));
-        let entry = self.registry.insert(name, schema);
+        let entry = self.registry.insert(&key, schema);
         if let Some(mut store) = store_guard {
-            match store.append_put(name, entry.id, entry.generation, json) {
+            match store.append_put(tenant, name, entry.id, entry.generation, json) {
                 Ok(appended) => {
                     // Published while still holding the store mutex, so
                     // followers observe records in exact WAL order and a
@@ -443,6 +482,7 @@ impl ServiceState {
                         hub.publish(&WalRecord {
                             seq: appended.seq,
                             op: WalOp::Put {
+                                tenant: tenant.to_owned(),
                                 name: name.to_owned(),
                                 id: entry.id,
                                 generation: entry.generation,
@@ -462,6 +502,60 @@ impl ServiceState {
             }
         }
         Ok(entry)
+    }
+
+    /// Path of the tenant-config sidecar inside the data directory.
+    fn tenants_path(&self) -> Option<PathBuf> {
+        self.data_dir.as_ref().map(|dir| dir.join(TENANTS_FILE))
+    }
+
+    /// Persists every tenant's config as `tenants.json` (temp file +
+    /// rename) so namespaces and quotas survive restarts. Best-effort on
+    /// a durable server, a no-op otherwise: quota state is config, not
+    /// data — losing it degrades to default quotas, never to data loss.
+    pub(crate) fn persist_tenants(&self) {
+        let Some(path) = self.tenants_path() else {
+            return;
+        };
+        let map: BTreeMap<String, TenantConfig> = self
+            .tenants
+            .list()
+            .iter()
+            .map(|t| (t.name().to_owned(), t.config()))
+            .collect();
+        let json = match serde_json::to_string(&map) {
+            Ok(json) => json,
+            Err(_) => return,
+        };
+        let tmp = path.with_extension("json.tmp");
+        let written =
+            std::fs::write(&tmp, json.as_bytes()).and_then(|()| std::fs::rename(&tmp, &path));
+        if written.is_err() {
+            ipe_obs::counter!("service.tenant.persist_failed", 1);
+        }
+    }
+
+    /// Loads `tenants.json` (if present) into the tenant registry and
+    /// sizes each tenant's cache partition. Unknown or corrupt files are
+    /// skipped: tenants degrade to defaults rather than blocking boot.
+    fn load_tenants(&self) {
+        let Some(path) = self.tenants_path() else {
+            return;
+        };
+        let Ok(bytes) = std::fs::read_to_string(&path) else {
+            return;
+        };
+        let Ok(map) = serde_json::from_str::<BTreeMap<String, TenantConfig>>(&bytes) else {
+            ipe_obs::counter!("service.tenant.load_failed", 1);
+            eprintln!("ipe-service: ignoring corrupt {TENANTS_FILE}");
+            return;
+        };
+        for (name, config) in map {
+            let budget = config.cache_bytes;
+            if self.tenants.put(&name, config).is_ok() {
+                self.caches.ensure(&name, budget);
+            }
+        }
     }
 
     /// Accounts one engine-backed completion (a cache miss) as indexed or
@@ -498,7 +592,8 @@ impl ServiceState {
     /// Gauges for `/metrics`.
     fn metrics_view(&self) -> ServiceMetrics {
         ServiceMetrics {
-            cache: self.cache.stats(),
+            cache: self.caches.stats(),
+            tenants: self.tenant_metrics(),
             queue_depth: self.live_conns.load(Ordering::Relaxed),
             requests_total: self.requests_total.load(Ordering::Relaxed),
             rejected_total: self.rejected_total.load(Ordering::Relaxed),
@@ -521,6 +616,29 @@ impl ServiceState {
             },
             repl: self.repl_metrics(),
         }
+    }
+
+    /// Per-tenant rows for `/metrics`: admission counters, in-flight
+    /// searches, and the tenant's cache-partition footprint.
+    fn tenant_metrics(&self) -> Vec<TenantMetricsRow> {
+        self.tenants
+            .list()
+            .iter()
+            .map(|t| {
+                let partition = self.caches.partition(t.name());
+                let counters = t.counters();
+                TenantMetricsRow {
+                    tenant: t.name().to_owned(),
+                    in_flight: u64::from(t.in_flight()),
+                    admitted: counters.admitted,
+                    throttled: counters.throttled,
+                    busy: counters.busy,
+                    searches: counters.searches,
+                    cache: partition.stats(),
+                    cache_budget_bytes: partition.byte_budget(),
+                }
+            })
+            .collect()
     }
 
     /// The `service.repl` gauge section, shared by `/metrics` and
@@ -643,10 +761,25 @@ fn persist_index_sidecar(
     }
 }
 
+/// One tenant's row in the `service.tenants` section of `GET /metrics`.
+#[derive(Debug, serde::Serialize)]
+struct TenantMetricsRow {
+    tenant: String,
+    /// Searches in flight right now (the concurrency-cap gauge).
+    in_flight: u64,
+    admitted: u64,
+    throttled: u64,
+    busy: u64,
+    searches: u64,
+    cache: crate::cache::CacheStats,
+    cache_budget_bytes: u64,
+}
+
 /// The `service` section of `GET /metrics`.
 #[derive(Debug, serde::Serialize)]
 struct ServiceMetrics {
     cache: crate::cache::CacheStats,
+    tenants: Vec<TenantMetricsRow>,
     queue_depth: u64,
     requests_total: u64,
     rejected_total: u64,
@@ -739,6 +872,9 @@ impl Server {
             None => (None, None),
         };
         let state = Arc::new(ServiceState::new(&config, store));
+        // Tenant configs load before schema recovery so each recovered
+        // schema's cache partition already has its budget.
+        state.load_tenants();
         if let Some(recovery) = recovery {
             for record in &recovery.schemas {
                 let schema = Schema::from_json(&record.schema_json).map_err(|e| {
@@ -747,10 +883,17 @@ impl Server {
                         record.name
                     ))
                 })?;
-                let entry =
-                    state
-                        .registry
-                        .restore(&record.name, record.id, record.generation, schema);
+                // Registry keys are tenant-scoped; a record whose tenant
+                // no longer exists in tenants.json still recovers (the
+                // WAL is authoritative for data, the sidecar only for
+                // quotas) under default quotas.
+                if record.tenant != DEFAULT_TENANT && state.tenants.get(&record.tenant).is_none() {
+                    let _ = state.tenants.put(&record.tenant, TenantConfig::default());
+                }
+                let key = scoped_name(&record.tenant, &record.name);
+                let entry = state
+                    .registry
+                    .restore(&key, record.id, record.generation, schema);
                 // Prefer the persisted index sidecar; any mismatch
                 // (missing, corrupt, stale generation) silently falls back
                 // to a fresh background build.
@@ -1025,6 +1168,7 @@ fn route_label(req: &Request) -> &'static str {
         ("POST", "/v1/query") => "query",
         (_, p) if p.starts_with("/v1/schemas") => "schemas",
         (_, p) if p.starts_with("/v1/data") => "data",
+        (_, p) if p.starts_with("/v1/tenants") => "tenants",
         ("GET", "/healthz") => "healthz",
         ("GET", "/readyz") => "readyz",
         (_, p) if p.starts_with("/v1/repl") => "repl",
@@ -1043,6 +1187,7 @@ fn record_route_timer(route: &'static str, ns: u64) {
     static BATCH: Timer = Timer::new("service.route.batch");
     static SCHEMAS: Timer = Timer::new("service.route.schemas");
     static DATA: Timer = Timer::new("service.route.data");
+    static TENANTS: Timer = Timer::new("service.route.tenants");
     static QUERY: Timer = Timer::new("service.route.query");
     static HEALTHZ: Timer = Timer::new("service.route.healthz");
     static READYZ: Timer = Timer::new("service.route.readyz");
@@ -1056,6 +1201,7 @@ fn record_route_timer(route: &'static str, ns: u64) {
         "batch" => &BATCH,
         "schemas" => &SCHEMAS,
         "data" => &DATA,
+        "tenants" => &TENANTS,
         "query" => &QUERY,
         "healthz" => &HEALTHZ,
         "readyz" => &READYZ,
@@ -1102,8 +1248,32 @@ fn handle_request(state: &Arc<ServiceState>, req: &Request) -> (Reply, String) {
         http_span.note(&format!("{} {}", req.method, req.path));
     }
     obs.span = http_span.handle();
-    let reply = route(state, req, &mut obs);
-    let label = route_label(req);
+    // Tenant-scoped paths (`/v1/t/:tenant/...`) rewrite to their legacy
+    // shape and route under that tenant; everything else is the built-in
+    // `default` tenant — legacy clients never see a behavior change.
+    let (reply, label) = match tenant_route(&req.path) {
+        Err(reply) => (reply, route_label(req)),
+        Ok((tenant_name, rewritten)) => {
+            let effective = rewritten.map(|path| Request {
+                method: req.method.clone(),
+                path,
+                query: req.query.clone(),
+                params: req.params.clone(),
+                trace_id: req.trace_id.clone(),
+                keep_alive: req.keep_alive,
+                body: req.body.clone(),
+            });
+            let req_eff = effective.as_ref().unwrap_or(req);
+            let label = route_label(req_eff);
+            match state.tenants.get(&tenant_name) {
+                None => (
+                    Reply::json(404, error_body(&format!("no tenant named `{tenant_name}`"))),
+                    label,
+                ),
+                Some(tenant) => (route(state, req_eff, &tenant, &mut obs), label),
+            }
+        }
+    };
     http_span.attr("status", reply.status as u64);
     http_span.finish();
     let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
@@ -1184,8 +1354,78 @@ fn access_log_line(
     out
 }
 
-/// Dispatches one request.
-fn route(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
+/// Splits a tenant-scoped path (`/v1/t/:tenant/rest`) into the tenant
+/// name and the legacy-equivalent path (`/v1/rest`). Un-prefixed paths
+/// map to the built-in `default` tenant with no rewrite.
+fn tenant_route(path: &str) -> Result<(String, Option<String>), Reply> {
+    let Some(rest) = path.strip_prefix("/v1/t/") else {
+        return Ok((DEFAULT_TENANT.to_owned(), None));
+    };
+    let Some((tenant, tail)) = rest.split_once('/') else {
+        return Err(Reply::json(
+            404,
+            error_body("tenant-scoped paths look like /v1/t/:tenant/<route>"),
+        ));
+    };
+    if let Err(e) = ipe_tenant::validate_tenant_name(tenant) {
+        return Err(Reply::json(400, error_body(&e.to_string())));
+    }
+    Ok((tenant.to_owned(), Some(format!("/v1/{tail}"))))
+}
+
+/// Whether a (rewritten) path is a work route: subject to the tenant's
+/// token-bucket request quota. Health, metrics, replication, debug, and
+/// the tenant control plane are exempt — throttling a health check or a
+/// scrape would blind the operator to the throttling itself.
+fn is_work_route(path: &str) -> bool {
+    path.starts_with("/v1/complete")
+        || path.starts_with("/v1/query")
+        || path.starts_with("/v1/schemas")
+        || path.starts_with("/v1/data")
+}
+
+/// Dispatches one request under its tenant.
+fn route(
+    state: &Arc<ServiceState>,
+    req: &Request,
+    tenant: &Arc<Tenant>,
+    obs: &mut ReqObs,
+) -> Reply {
+    // Tenant control plane first: never tenant-scoped, never admitted
+    // against a quota (an operator must always be able to raise one).
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/v1/tenants") => return handle_list_tenants(state),
+        ("PUT", p) if p.starts_with("/v1/tenants/") => return handle_put_tenant(state, req),
+        ("DELETE", p) if p.starts_with("/v1/tenants/") => return handle_delete_tenant(state, req),
+        ("GET", p) if p.starts_with("/v1/tenants/") => return handle_get_tenant(state, req),
+        _ => {}
+    }
+    // Admission control, before any parsing or search work: the rate
+    // quota on every work route, then the concurrent-search cap on the
+    // search bodies. The permit is RAII — held for the whole handler.
+    if is_work_route(&req.path) {
+        if let Admission::Throttled { retry_after_ms } = tenant.admit_request() {
+            return throttled_reply(tenant.name(), "request rate quota exceeded", retry_after_ms);
+        }
+    }
+    let search_route = matches!(
+        (req.method.as_str(), req.path.as_str()),
+        ("POST", "/v1/complete") | ("POST", "/v1/complete/batch") | ("POST", "/v1/query")
+    );
+    let _permit = if search_route {
+        match tenant.begin_search() {
+            Ok(permit) => Some(permit),
+            Err(retry_after_ms) => {
+                return throttled_reply(
+                    tenant.name(),
+                    "concurrent-search cap reached",
+                    retry_after_ms,
+                )
+            }
+        }
+    } else {
+        None
+    };
     // A follower owns no part of the schema log: schema writes are
     // misdirected and the client is told where the leader lives. Data
     // loads (`/v1/data/*`) stay node-local — each replica serves queries
@@ -1198,7 +1438,8 @@ fn route(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
             return Reply::json(
                 421,
                 error_body(&format!(
-                    "this node is a read-only follower; send schema writes to the leader at {}",
+                    "this node is a read-only follower; send schema writes for tenant `{}` to the leader at {}",
+                    tenant.name(),
                     follower.leader
                 )),
             )
@@ -1206,22 +1447,35 @@ fn route(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
         }
     }
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/complete") => handle_complete(state, req, obs),
-        ("POST", "/v1/complete/batch") => handle_batch(state, req, obs),
+        ("POST", "/v1/complete") => handle_complete(state, req, tenant, obs),
+        ("POST", "/v1/complete/batch") => handle_batch(state, req, tenant, obs),
         ("GET", "/v1/schemas") => {
-            let list = state.registry.list();
+            // Only this tenant's namespace, with the scope prefix
+            // stripped back off: names on the wire are tenant-local.
+            let list: Vec<crate::registry::SchemaInfo> = state
+                .registry
+                .list()
+                .into_iter()
+                .filter(|info| split_scoped(&info.name).0 == tenant.name())
+                .map(|mut info| {
+                    info.name = split_scoped(&info.name).1.to_owned();
+                    info
+                })
+                .collect();
             match serde_json::to_string(&list) {
                 Ok(json) => Reply::json(200, format!("{{\"schemas\": {json}}}")),
                 Err(e) => Reply::json(500, error_body(&e.to_string())),
             }
         }
-        ("POST", "/v1/query") => handle_query(state, req, obs),
-        ("PUT", path) if path.starts_with("/v1/data/") => handle_put_data(state, req, obs),
-        ("GET", path) if path.starts_with("/v1/data/") => handle_get_data(state, req),
-        ("DELETE", path) if path.starts_with("/v1/data/") => handle_delete_data(state, req),
-        ("PUT", path) if path.starts_with("/v1/schemas/") => handle_put_schema(state, req),
-        ("DELETE", path) if path.starts_with("/v1/schemas/") => handle_delete_schema(state, req),
-        ("GET", path) if path.starts_with("/v1/schemas/") => handle_get_schema(state, req),
+        ("POST", "/v1/query") => handle_query(state, req, tenant, obs),
+        ("PUT", path) if path.starts_with("/v1/data/") => handle_put_data(state, req, tenant, obs),
+        ("GET", path) if path.starts_with("/v1/data/") => handle_get_data(state, req, tenant),
+        ("DELETE", path) if path.starts_with("/v1/data/") => handle_delete_data(state, req, tenant),
+        ("PUT", path) if path.starts_with("/v1/schemas/") => handle_put_schema(state, req, tenant),
+        ("DELETE", path) if path.starts_with("/v1/schemas/") => {
+            handle_delete_schema(state, req, tenant)
+        }
+        ("GET", path) if path.starts_with("/v1/schemas/") => handle_get_schema(state, req, tenant),
         ("GET", "/healthz") => Reply::json(200, "{\"status\": \"ok\"}".to_owned()),
         ("GET", "/readyz") => handle_readyz(state),
         ("GET", "/v1/repl/stream") => handle_repl_stream(state, req),
@@ -1378,6 +1632,252 @@ fn handle_repl_status(state: &Arc<ServiceState>) -> Reply {
     }
 }
 
+/// Body of every `429`: the machine-readable retry envelope shared with
+/// the replica `409` (see [`ReadRefused`]) — `retryable` says whether
+/// this same node can eventually serve the request, `retry_after_ms` is
+/// the server's backoff hint. Clients branch on the fields, not on
+/// message text.
+#[derive(serde::Serialize)]
+struct ThrottleBody {
+    error: String,
+    retryable: bool,
+    retry_after_ms: u64,
+    tenant: String,
+}
+
+/// Renders a `429 Too Many Requests` with the unified retry envelope and
+/// a `Retry-After` header (whole seconds, rounded up, at least 1).
+fn throttled_reply(tenant: &str, what: &str, retry_after_ms: u64) -> Reply {
+    let body = ThrottleBody {
+        error: format!("tenant `{tenant}`: {what}"),
+        retryable: true,
+        retry_after_ms,
+        tenant: tenant.to_owned(),
+    };
+    let reply = match serde_json::to_string(&body) {
+        Ok(json) => Reply::json(429, json),
+        Err(e) => return Reply::json(500, error_body(&e.to_string())),
+    };
+    reply.with_header(
+        "retry-after",
+        retry_after_ms.div_ceil(1000).max(1).to_string(),
+    )
+}
+
+/// Maps a tenant-registry error onto its status.
+fn tenant_error_reply(e: TenantError) -> Reply {
+    let status = match e {
+        TenantError::BadName(_) => 400,
+        TenantError::Unknown => 404,
+        TenantError::Immortal => 409,
+    };
+    Reply::json(status, error_body(&e.to_string()))
+}
+
+/// Extracts and validates the `:tenant` segment of a `/v1/tenants/:tenant`
+/// path.
+fn tenant_name_segment(path: &str) -> Result<&str, Reply> {
+    let name = &path["/v1/tenants/".len()..];
+    if name.is_empty() || name.contains('/') {
+        return Err(Reply::json(
+            400,
+            error_body("tenant name must be a single path segment"),
+        ));
+    }
+    Ok(name)
+}
+
+/// One tenant on the wire (`GET /v1/tenants`, `PUT /v1/tenants/:tenant`).
+#[derive(serde::Serialize)]
+struct TenantView {
+    tenant: String,
+    created: bool,
+    config: TenantConfig,
+    in_flight: u64,
+    admitted: u64,
+    throttled: u64,
+    busy: u64,
+    searches: u64,
+}
+
+fn tenant_view(tenant: &Arc<Tenant>, created: bool) -> TenantView {
+    let counters = tenant.counters();
+    TenantView {
+        tenant: tenant.name().to_owned(),
+        created,
+        config: tenant.config(),
+        in_flight: u64::from(tenant.in_flight()),
+        admitted: counters.admitted,
+        throttled: counters.throttled,
+        busy: counters.busy,
+        searches: counters.searches,
+    }
+}
+
+/// `GET /v1/tenants`: every tenant, `default` included.
+fn handle_list_tenants(state: &Arc<ServiceState>) -> Reply {
+    let views: Vec<TenantView> = state
+        .tenants
+        .list()
+        .iter()
+        .map(|t| tenant_view(t, false))
+        .collect();
+    match serde_json::to_string(&views) {
+        Ok(json) => Reply::json(200, format!("{{\"tenants\": {json}}}")),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
+/// `GET /v1/tenants/:tenant`: one tenant's config and counters.
+fn handle_get_tenant(state: &Arc<ServiceState>, req: &Request) -> Reply {
+    let name = match tenant_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let Some(tenant) = state.tenants.get(name) else {
+        return Reply::json(404, error_body(&format!("no tenant named `{name}`")));
+    };
+    match serde_json::to_string(&tenant_view(&tenant, false)) {
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
+/// `PUT /v1/tenants/:tenant`: creates a tenant namespace, or reconfigures
+/// an existing one in place (quota state and counters survive a
+/// reconfigure). The body is a [`TenantConfig`]; an empty body means
+/// default (unlimited) quotas. Reconfiguring `default` is allowed — that
+/// is how legacy un-prefixed traffic gets quotas.
+fn handle_put_tenant(state: &Arc<ServiceState>, req: &Request) -> Reply {
+    let name = match tenant_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    let body = match req.text() {
+        Ok(b) => b,
+        Err(msg) => return Reply::json(400, error_body(msg)),
+    };
+    let config: TenantConfig = if body.trim().is_empty() {
+        TenantConfig::default()
+    } else {
+        match serde_json::from_str(body) {
+            Ok(c) => c,
+            Err(e) => return Reply::json(400, error_body(&format!("bad tenant config: {e}"))),
+        }
+    };
+    let cache_bytes = config.cache_bytes;
+    let (tenant, created) = match state.tenants.put(name, config) {
+        Ok(x) => x,
+        Err(e) => return tenant_error_reply(e),
+    };
+    // The cache partition's byte budget follows the config — a shrink
+    // evicts down to the new budget on the partition's next insert.
+    state.caches.ensure(name, cache_bytes);
+    state.persist_tenants();
+    match serde_json::to_string(&tenant_view(&tenant, created)) {
+        Ok(json) => Reply::json(if created { 201 } else { 200 }, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
+/// Counts reported by a tenant purge (`DELETE /v1/tenants/:tenant`).
+#[derive(serde::Serialize)]
+struct TenantDeleteResponse {
+    tenant: String,
+    purged_schemas: u64,
+    purged_data: u64,
+    purged_cache_entries: u64,
+    purged_cache_bytes: u64,
+    purged_sidecars: u64,
+}
+
+/// `DELETE /v1/tenants/:tenant`: removes the namespace and purges
+/// everything it owned — registry entries (each with a WAL delete, so
+/// followers converge), loaded data instances, index sidecars, and the
+/// whole cache partition. The store lock is held across the sweep so a
+/// racing PUT serializes against the purge instead of interleaving with
+/// it. `default` is immortal (`409`).
+fn handle_delete_tenant(state: &Arc<ServiceState>, req: &Request) -> Reply {
+    let name = match tenant_name_segment(&req.path) {
+        Ok(n) => n,
+        Err(resp) => return resp,
+    };
+    // Remove the tenant first: new requests 404 while the purge runs
+    // (in-flight ones hold their own Arc and drain naturally).
+    if let Err(e) = state.tenants.remove(name) {
+        return tenant_error_reply(e);
+    }
+    let owned: Vec<String> = state
+        .registry
+        .list()
+        .into_iter()
+        .filter(|info| split_scoped(&info.name).0 == name)
+        .map(|info| info.name)
+        .collect();
+    let mut purged_schemas = 0u64;
+    let mut purged_data = 0u64;
+    let mut purged_sidecars = 0u64;
+    let mut append_err: Option<String> = None;
+    {
+        let mut store_guard = state.store.as_ref().map(|m| lock_recover(m, "store"));
+        for key in &owned {
+            let Some(entry) = state.registry.remove(key) else {
+                continue;
+            };
+            purged_schemas += 1;
+            if state.data.remove(key).is_some() {
+                purged_data += 1;
+            }
+            if let Some(dir) = &state.data_dir {
+                if remove_sidecar(dir, entry.id).is_ok() {
+                    purged_sidecars += 1;
+                }
+            }
+            if let Some(store) = store_guard.as_mut() {
+                let bare = split_scoped(key).1;
+                match store.append_delete(name, bare) {
+                    Ok(appended) => {
+                        if let Some(hub) = &state.repl_hub {
+                            hub.publish(&WalRecord {
+                                seq: appended.seq,
+                                op: WalOp::Delete {
+                                    tenant: name.to_owned(),
+                                    name: bare.to_owned(),
+                                },
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        ipe_obs::counter!("store.wal.append_failed", 1);
+                        append_err.get_or_insert_with(|| e.to_string());
+                    }
+                }
+            }
+        }
+    }
+    let (purged_cache_entries, purged_cache_bytes) = state.caches.drop_partition(name);
+    state.persist_tenants();
+    ipe_obs::counter!("service.tenant.deleted", 1);
+    if let Some(e) = append_err {
+        return Reply::json(
+            500,
+            error_body(&format!("tenant purged but deletes not persisted: {e}")),
+        );
+    }
+    let response = TenantDeleteResponse {
+        tenant: name.to_owned(),
+        purged_schemas,
+        purged_data,
+        purged_cache_entries,
+        purged_cache_bytes,
+        purged_sidecars,
+    };
+    match serde_json::to_string(&response) {
+        Ok(json) => Reply::json(200, json),
+        Err(e) => Reply::json(500, error_body(&e.to_string())),
+    }
+}
+
 /// Body of a `409` from [`admit_read`].
 #[derive(serde::Serialize)]
 struct ReadRefused {
@@ -1386,6 +1886,9 @@ struct ReadRefused {
     /// lagging follower, false when the requested generation exists
     /// nowhere).
     retryable: bool,
+    /// Backoff hint when `retryable` (same contract as the `429` body).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    retry_after_ms: Option<u64>,
     schema: String,
     #[serde(skip_serializing_if = "Option::is_none")]
     generation: Option<u64>,
@@ -1428,6 +1931,9 @@ fn admit_read(
             let body = ReadRefused {
                 error: "replica has not applied this schema generation yet; retry".to_owned(),
                 retryable: true,
+                // Lag-proportional hint, floored so clients never spin
+                // and capped so they re-probe a recovering replica soon.
+                retry_after_ms: Some(follower.lag_ms().clamp(25, 2_000)),
                 schema: name.to_owned(),
                 generation,
                 min_generation,
@@ -1445,6 +1951,7 @@ fn admit_read(
                     "schema `{name}` is at generation {have}, below the requested min_generation {want}"
                 ),
                 retryable: false,
+                retry_after_ms: None,
                 schema: name.to_owned(),
                 generation,
                 min_generation,
@@ -1467,20 +1974,33 @@ fn refusal_reply(body: &ReadRefused) -> Reply {
     }
 }
 
-fn handle_complete(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
+fn handle_complete(
+    state: &Arc<ServiceState>,
+    req: &Request,
+    tenant: &Arc<Tenant>,
+    obs: &mut ReqObs,
+) -> Reply {
     let body = match req.text() {
         Ok(b) => b,
         Err(msg) => return Reply::json(400, error_body(msg)),
     };
-    let parsed: CompleteRequest = match serde_json::from_str(body) {
+    let mut parsed: CompleteRequest = match serde_json::from_str(body) {
         Ok(p) => p,
         Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
     };
+    let tcfg = tenant.config();
+    if parsed.e.is_none() {
+        parsed.e = tcfg.default_e;
+    }
+    if parsed.pruning.is_none() {
+        parsed.pruning = tcfg.default_pruning.clone();
+    }
     let started = Instant::now();
     let name = parsed.schema_name();
+    let key_name = scoped_name(tenant.name(), name);
     let mut lookup_span = obs.span.child("registry.lookup");
-    lookup_span.note(name);
-    let entry = state.registry.get(name);
+    lookup_span.note(&key_name);
+    let entry = state.registry.get(&key_name);
     lookup_span.attr("found", entry.is_some() as u64);
     lookup_span.finish();
     if let Some(refused) = admit_read(state, name, entry.as_ref(), parsed.min_generation) {
@@ -1489,6 +2009,7 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
     let Some(entry) = entry else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
+    let cache = state.caches.partition(tenant.name());
     let mut parse_span = obs.span.child("parse");
     parse_span.note(&parsed.query);
     let ast = match parse_path_expression(&parsed.query) {
@@ -1508,7 +2029,7 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
         fingerprint: config_fingerprint(&cfg),
     };
     let mut probe_span = obs.span.child("cache.probe");
-    let probe = state.cache.get(&key);
+    let probe = cache.get(&key);
     probe_span.attr("hit", probe.is_some() as u64);
     probe_span.finish();
     let (outcome, cached) = match probe {
@@ -1533,9 +2054,7 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
                     obs.absorb_stats(&outcome.stats);
                     let weight = entry_weight(&key, &outcome);
                     let outcome = Arc::new(outcome);
-                    state
-                        .cache
-                        .insert_weighted(key, Arc::clone(&outcome), weight);
+                    cache.insert_weighted(key, Arc::clone(&outcome), weight);
                     (outcome, false)
                 }
                 Err(e) => return Reply::json(422, error_body(&e.to_string())),
@@ -1548,7 +2067,7 @@ fn handle_complete(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
     }
     let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
     let response = CompleteResponse {
-        schema: entry.name.clone(),
+        schema: split_scoped(&entry.name).1.to_owned(),
         generation: entry.generation,
         query: normalized,
         cached,
@@ -1576,12 +2095,17 @@ fn completion_views(schema: &Schema, outcome: &SearchOutcome) -> Vec<CompletionV
         .collect()
 }
 
-fn handle_batch(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
+fn handle_batch(
+    state: &Arc<ServiceState>,
+    req: &Request,
+    tenant: &Arc<Tenant>,
+    obs: &mut ReqObs,
+) -> Reply {
     let body = match req.text() {
         Ok(b) => b,
         Err(msg) => return Reply::json(400, error_body(msg)),
     };
-    let parsed: BatchCompleteRequest = match serde_json::from_str(body) {
+    let mut parsed: BatchCompleteRequest = match serde_json::from_str(body) {
         Ok(p) => p,
         Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
     };
@@ -1594,21 +2118,31 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
             )),
         );
     }
+    let tcfg = tenant.config();
+    if parsed.e.is_none() {
+        parsed.e = tcfg.default_e;
+    }
+    if parsed.pruning.is_none() {
+        parsed.pruning = tcfg.default_pruning.clone();
+    }
     let started = Instant::now();
     let name = parsed.schema_name();
-    let entry = state.registry.get(name);
+    let key_name = scoped_name(tenant.name(), name);
+    let entry = state.registry.get(&key_name);
     if let Some(refused) = admit_read(state, name, entry.as_ref(), parsed.min_generation) {
         return refused;
     }
     let Some(entry) = entry else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
+    let cache = state.caches.partition(tenant.name());
     let cfg = match parsed.config(&entry.schema) {
         Ok(cfg) => cfg,
         Err(msg) => return Reply::json(400, error_body(&msg)),
     };
     let deadline_ms = parsed
         .deadline_ms
+        .or(tcfg.deadline_ms)
         .unwrap_or(DEFAULT_BATCH_DEADLINE_MS)
         .min(MAX_BATCH_DEADLINE_MS);
     let threads = parsed
@@ -1646,7 +2180,7 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
                     query: normalized.clone(),
                     fingerprint,
                 };
-                if let Some(hit) = state.cache.get(&key) {
+                if let Some(hit) = cache.get(&key) {
                     views[i] = Some(BatchItemView {
                         query: normalized,
                         status: "ok".to_owned(),
@@ -1700,7 +2234,7 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
                     obs.absorb_stats(&outcome.stats);
                     let completions = completion_views(&entry.schema, &outcome);
                     let weight = entry_weight(&key, &outcome);
-                    state.cache.insert_weighted(key, Arc::new(outcome), weight);
+                    cache.insert_weighted(key, Arc::new(outcome), weight);
                     BatchItemView {
                         query: normalized,
                         status: "ok".to_owned(),
@@ -1731,7 +2265,7 @@ fn handle_batch(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
     }
 
     let response = BatchCompleteResponse {
-        schema: entry.name.clone(),
+        schema: split_scoped(&entry.name).1.to_owned(),
         generation: entry.generation,
         deadline_ms,
         threads: threads as u64,
@@ -1764,7 +2298,7 @@ fn schema_name_segment(path: &str) -> Result<&str, Reply> {
     Ok(name)
 }
 
-fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
+fn handle_put_schema(state: &Arc<ServiceState>, req: &Request, tenant: &Arc<Tenant>) -> Reply {
     let name = match schema_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
@@ -1777,7 +2311,7 @@ fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
         Ok(s) => s,
         Err(e) => return Reply::json(400, error_body(&format!("invalid schema: {e}"))),
     };
-    let entry = match state.register_schema(name, schema, body) {
+    let entry = match state.register_schema_for(tenant.name(), name, schema, body) {
         Ok(entry) => entry,
         Err(e) => {
             return Reply::json(
@@ -1789,7 +2323,7 @@ fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
     // Generation keying already shields correctness; purging just frees
     // the dead generations' memory eagerly.
     let purged = if entry.generation > 1 {
-        state.cache.purge_schema(entry.id)
+        state.caches.purge_schema(tenant.name(), entry.id)
     } else {
         0
     };
@@ -1797,7 +2331,7 @@ fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
     // entry serves unindexed.
     spawn_index_build(state, Arc::clone(&entry));
     let response = SchemaPutResponse {
-        name: entry.name.clone(),
+        name: split_scoped(&entry.name).1.to_owned(),
         id: entry.id,
         generation: entry.generation,
         purged_cache_entries: purged,
@@ -1808,13 +2342,14 @@ fn handle_put_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
     }
 }
 
-fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
+fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request, tenant: &Arc<Tenant>) -> Reply {
     let name = match schema_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
     };
+    let key_name = scoped_name(tenant.name(), name);
     let store_guard = state.store.as_ref().map(|m| lock_recover(m, "store"));
-    let Some(entry) = state.registry.remove(name) else {
+    let Some(entry) = state.registry.remove(&key_name) else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
     // Purge before acknowledging so a deleted schema's cached results are
@@ -1822,20 +2357,21 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
     // with it: it was validated against this schema's generations, and
     // leaving it behind made a later PUT of the same name serve queries
     // against a stale instance under a colliding name.
-    let purged = state.cache.purge_schema(entry.id);
-    let purged_data = state.data.remove(name).is_some();
+    let purged = state.caches.purge_schema(tenant.name(), entry.id);
+    let purged_data = state.data.remove(&key_name).is_some();
     // The id will never be reissued, so its sidecar is dead weight.
     if let Some(dir) = &state.data_dir {
         let _ = remove_sidecar(dir, entry.id);
     }
     if let Some(mut store) = store_guard {
-        match store.append_delete(name) {
+        match store.append_delete(tenant.name(), name) {
             Ok(appended) => {
                 // Published under the store mutex, as in `register_schema`.
                 if let Some(hub) = &state.repl_hub {
                     hub.publish(&WalRecord {
                         seq: appended.seq,
                         op: WalOp::Delete {
+                            tenant: tenant.name().to_owned(),
                             name: name.to_owned(),
                         },
                     });
@@ -1851,7 +2387,7 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
         }
     }
     let response = SchemaDeleteResponse {
-        name: entry.name.clone(),
+        name: split_scoped(&entry.name).1.to_owned(),
         id: entry.id,
         generation: entry.generation,
         purged_cache_entries: purged,
@@ -1863,16 +2399,16 @@ fn handle_delete_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
     }
 }
 
-fn handle_get_schema(state: &Arc<ServiceState>, req: &Request) -> Reply {
+fn handle_get_schema(state: &Arc<ServiceState>, req: &Request, tenant: &Arc<Tenant>) -> Reply {
     let name = match schema_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
     };
-    let Some(entry) = state.registry.get(name) else {
+    let Some(entry) = state.registry.get(&scoped_name(tenant.name(), name)) else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
     let info = crate::registry::SchemaInfo {
-        name: entry.name.clone(),
+        name: split_scoped(&entry.name).1.to_owned(),
         id: entry.id,
         generation: entry.generation,
         classes: entry.schema.class_count() as u64,
@@ -1930,11 +2466,14 @@ fn warm_cache(state: &Arc<ServiceState>, entries: &[WarmupEntry], top_k: usize) 
             cancel: None,
             span: SpanHandle::none(),
         };
+        // Journal keys are the scoped registry names, so each entry warms
+        // the partition of the tenant that owns it.
+        let cache = state.caches.partition(split_scoped(schema_name).0);
         for item in complete_batch(&engine, &asts, &opts) {
             if let Ok(outcome) = item.result {
                 let key = keys[item.index].clone();
                 let weight = entry_weight(&key, &outcome);
-                state.cache.insert_weighted(key, Arc::new(outcome), weight);
+                cache.insert_weighted(key, Arc::new(outcome), weight);
                 warmed += 1;
             }
         }
@@ -1959,11 +2498,17 @@ fn data_name_segment(path: &str) -> Result<&str, Reply> {
 /// schema, either from an explicit bulk spec or a synthetic `gen`
 /// request. The load is generation-stamped against the schema's current
 /// registry generation; oversized loads are a `413`.
-fn handle_put_data(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
+fn handle_put_data(
+    state: &Arc<ServiceState>,
+    req: &Request,
+    tenant: &Arc<Tenant>,
+    obs: &mut ReqObs,
+) -> Reply {
     let name = match data_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
     };
+    let key_name = scoped_name(tenant.name(), name);
     let body = match req.text() {
         Ok(b) => b,
         Err(msg) => return Reply::json(400, error_body(msg)),
@@ -1972,8 +2517,14 @@ fn handle_put_data(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
         Ok(p) => p,
         Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
     };
-    let Some(entry) = state.registry.get(name) else {
+    let Some(entry) = state.registry.get(&key_name) else {
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
+    };
+    // The tenant's quota, when set, tightens (never loosens) the
+    // service-wide load cap.
+    let cap = match tenant.config().max_data_entries {
+        Some(limit) => (limit as usize).min(state.max_data_entries),
+        None => state.max_data_entries,
     };
     let explicit = parsed.objects.len() + parsed.links.len() + parsed.attrs.len();
     let (db, source) = if let Some(gen) = &parsed.gen {
@@ -1984,12 +2535,11 @@ fn handle_put_data(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
             );
         }
         let projected = gen.projected_objects(&entry.schema);
-        if projected > state.max_data_entries as u64 {
+        if projected > cap as u64 {
             return Reply::json(
                 413,
                 error_body(&format!(
-                    "generation would create ~{projected} objects, over the {} cap",
-                    state.max_data_entries
+                    "generation would create ~{projected} objects, over the {cap} cap"
                 )),
             );
         }
@@ -1999,13 +2549,10 @@ fn handle_put_data(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
         gen_span.finish();
         (db, "gen")
     } else {
-        if explicit > state.max_data_entries {
+        if explicit > cap {
             return Reply::json(
                 413,
-                error_body(&format!(
-                    "spec has {explicit} entries, over the {} cap",
-                    state.max_data_entries
-                )),
+                error_body(&format!("spec has {explicit} entries, over the {cap} cap")),
             );
         }
         let mut load_span = obs.span.child("data.load");
@@ -2019,7 +2566,7 @@ fn handle_put_data(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
     };
     let loaded = state
         .data
-        .insert(name, entry.id, entry.generation, source, db);
+        .insert(&key_name, entry.id, entry.generation, source, db);
     ipe_obs::counter!("service.data.put", 1);
     let response = data_view(&loaded);
     match serde_json::to_string(&response) {
@@ -2031,7 +2578,7 @@ fn handle_put_data(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -
 /// Renders a data entry's summary (PUT and GET share the shape).
 fn data_view(entry: &crate::DataEntry) -> DataPutResponse {
     DataPutResponse {
-        schema: entry.schema_name.clone(),
+        schema: split_scoped(&entry.schema_name).1.to_owned(),
         schema_generation: entry.schema_generation,
         data_generation: entry.data_generation,
         source: entry.source.to_owned(),
@@ -2042,12 +2589,12 @@ fn data_view(entry: &crate::DataEntry) -> DataPutResponse {
 }
 
 /// `GET /v1/data/:schema`: the loaded instance's summary.
-fn handle_get_data(state: &Arc<ServiceState>, req: &Request) -> Reply {
+fn handle_get_data(state: &Arc<ServiceState>, req: &Request, tenant: &Arc<Tenant>) -> Reply {
     let name = match data_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
     };
-    let Some(entry) = state.data.get(name) else {
+    let Some(entry) = state.data.get(&scoped_name(tenant.name(), name)) else {
         return Reply::json(404, error_body(&format!("no data loaded for `{name}`")));
     };
     match serde_json::to_string(&data_view(&entry)) {
@@ -2057,16 +2604,16 @@ fn handle_get_data(state: &Arc<ServiceState>, req: &Request) -> Reply {
 }
 
 /// `DELETE /v1/data/:schema`: drops the loaded instance.
-fn handle_delete_data(state: &Arc<ServiceState>, req: &Request) -> Reply {
+fn handle_delete_data(state: &Arc<ServiceState>, req: &Request, tenant: &Arc<Tenant>) -> Reply {
     let name = match data_name_segment(&req.path) {
         Ok(n) => n,
         Err(resp) => return resp,
     };
-    let Some(entry) = state.data.remove(name) else {
+    let Some(entry) = state.data.remove(&scoped_name(tenant.name(), name)) else {
         return Reply::json(404, error_body(&format!("no data loaded for `{name}`")));
     };
     let response = DataDeleteResponse {
-        schema: entry.schema_name.clone(),
+        schema: split_scoped(&entry.schema_name).1.to_owned(),
         data_generation: entry.data_generation,
     };
     match serde_json::to_string(&response) {
@@ -2084,22 +2631,36 @@ fn handle_delete_data(state: &Arc<ServiceState>, req: &Request) -> Reply {
 /// against an older schema generation → `409`; unparsable body or query →
 /// `400`; already-complete expression at `e > 1`, engine rejections, and
 /// evaluation failures → `422`; deadline or budget exhaustion → `504`.
-fn handle_query(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> Reply {
+fn handle_query(
+    state: &Arc<ServiceState>,
+    req: &Request,
+    tenant: &Arc<Tenant>,
+    obs: &mut ReqObs,
+) -> Reply {
     ipe_obs::counter!("query.requests", 1);
     let _t = ipe_obs::timer!("query.request");
     let body = match req.text() {
         Ok(b) => b,
         Err(msg) => return Reply::json(400, error_body(msg)),
     };
-    let parsed: QueryRequest = match serde_json::from_str(body) {
+    let mut parsed: QueryRequest = match serde_json::from_str(body) {
         Ok(p) => p,
         Err(e) => return Reply::json(400, error_body(&format!("bad request body: {e}"))),
     };
+    // Tenant defaults fill only what the request left unset.
+    let tcfg = tenant.config();
+    if parsed.e.is_none() {
+        parsed.e = tcfg.default_e;
+    }
+    if parsed.pruning.is_none() {
+        parsed.pruning = tcfg.default_pruning.clone();
+    }
     let started = Instant::now();
     let name = parsed.schema_name();
+    let key_name = scoped_name(tenant.name(), name);
     let mut lookup_span = obs.span.child("registry.lookup");
     lookup_span.note(name);
-    let entry = state.registry.get(name);
+    let entry = state.registry.get(&key_name);
     lookup_span.attr("found", entry.is_some() as u64);
     lookup_span.finish();
     if let Some(refused) = admit_read(state, name, entry.as_ref(), parsed.min_generation) {
@@ -2109,7 +2670,7 @@ fn handle_query(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
         return Reply::json(404, error_body(&format!("no schema named `{name}`")));
     };
     let mut data_span = obs.span.child("data.lookup");
-    let data = state.data.get(name);
+    let data = state.data.get(&key_name);
     data_span.attr("found", data.is_some() as u64);
     data_span.finish();
     let Some(data) = data else {
@@ -2146,6 +2707,7 @@ fn handle_query(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
     }
     let deadline_ms = parsed
         .deadline_ms
+        .or(tcfg.deadline_ms)
         .unwrap_or(state.query_deadline_ms)
         .min(MAX_QUERY_DEADLINE_MS);
     let deadline = (deadline_ms > 0).then(|| started + Duration::from_millis(deadline_ms));
@@ -2160,8 +2722,9 @@ fn handle_query(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
         query: normalized.clone(),
         fingerprint: config_fingerprint(&cfg),
     };
+    let cache = state.caches.partition(tenant.name());
     let mut probe_span = obs.span.child("cache.probe");
-    let probe = state.cache.get(&key);
+    let probe = cache.get(&key);
     probe_span.attr("hit", probe.is_some() as u64);
     probe_span.finish();
     let e = cfg.e as u64;
@@ -2188,9 +2751,7 @@ fn handle_query(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
                     obs.absorb_stats(&outcome.stats);
                     let weight = entry_weight(&key, &outcome);
                     let outcome = Arc::new(outcome);
-                    state
-                        .cache
-                        .insert_weighted(key, Arc::clone(&outcome), weight);
+                    cache.insert_weighted(key, Arc::clone(&outcome), weight);
                     (outcome, false)
                 }
                 Err(CompleteError::DeadlineExceeded) => {
@@ -2230,7 +2791,7 @@ fn handle_query(state: &Arc<ServiceState>, req: &Request, obs: &mut ReqObs) -> R
         .collect();
     let duration_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
     let response = QueryResponse {
-        schema: entry.name.clone(),
+        schema: split_scoped(&entry.name).1.to_owned(),
         generation: entry.generation,
         data_generation: data.data_generation,
         query: normalized,
@@ -2370,6 +2931,52 @@ pub fn metrics_prometheus(state: &ServiceState) -> String {
             "service.repl.connected",
             "Whether the follower's stream connection is up (1/0).",
             m.repl.connected as u64 as f64,
+        ));
+    }
+    // Per-tenant families. The exposition layer has no label support, so
+    // the tenant name is embedded in the metric name (tenant names are
+    // `[a-z0-9_-]`, which mangles losslessly): `ipe_tenant_<name>_<what>`.
+    for t in &m.tenants {
+        let name = &t.tenant;
+        gauges.push(Gauge::new(
+            format!("tenant.{name}.admitted"),
+            "Requests admitted past this tenant's rate quota.",
+            t.admitted as f64,
+        ));
+        gauges.push(Gauge::new(
+            format!("tenant.{name}.throttled"),
+            "Requests bounced 429 by this tenant's rate quota.",
+            t.throttled as f64,
+        ));
+        gauges.push(Gauge::new(
+            format!("tenant.{name}.busy"),
+            "Requests bounced 429 by this tenant's concurrent-search cap.",
+            t.busy as f64,
+        ));
+        gauges.push(Gauge::new(
+            format!("tenant.{name}.searches"),
+            "Engine searches this tenant has executed.",
+            t.searches as f64,
+        ));
+        gauges.push(Gauge::new(
+            format!("tenant.{name}.in_flight"),
+            "Searches in flight for this tenant right now.",
+            t.in_flight as f64,
+        ));
+        gauges.push(Gauge::new(
+            format!("tenant.{name}.cache.entries"),
+            "Live entries in this tenant's cache partition.",
+            t.cache.entries as f64,
+        ));
+        gauges.push(Gauge::new(
+            format!("tenant.{name}.cache.bytes"),
+            "Approximate bytes held by this tenant's cache partition.",
+            t.cache.bytes as f64,
+        ));
+        gauges.push(Gauge::new(
+            format!("tenant.{name}.cache.budget_bytes"),
+            "Byte budget of this tenant's cache partition (0 = none).",
+            t.cache_budget_bytes as f64,
         ));
     }
     ipe_obs::prom::render(&gauges)

@@ -41,7 +41,7 @@ pub use snapshot::{SchemaRecord, Snapshot};
 pub use store::{
     Appended, FsyncPolicy, Recovery, Store, StoreConfig, SNAPSHOT_FILE, WAL_FILE, WARMUP_FILE,
 };
-pub use wal::{WalOp, WalRecord};
+pub use wal::{WalOp, WalRecord, DEFAULT_TENANT};
 pub use warmup::{read_warmup, write_warmup, WarmupEntry};
 
 use std::fmt;

@@ -2,10 +2,10 @@
 //! file, written atomically (temp file + fsync + rename + directory
 //! fsync).
 //!
-//! ## Layout
+//! ## Layout, format v2
 //!
 //! ```text
-//! [magic: 8 bytes "IPESNAP1"]
+//! [magic: 8 bytes "IPESNAP2"]
 //! [crc32(body): u32 LE]
 //! [body]
 //! ```
@@ -17,8 +17,14 @@
 //! [max_id: u64]     highest registry id ever assigned (deleted included)
 //! [count: u32]
 //! count × { [name_len: u32][name] [id: u64] [generation: u64]
-//!           [json_len: u32][schema JSON] }
+//!           [tenant_len: u32][tenant] [json_len: u32][schema JSON] }
 //! ```
+//!
+//! Format v1 (magic `IPESNAP1`) lacks the per-record tenant field; its
+//! rows decode with their tenant forced to [`DEFAULT_TENANT`]. New
+//! snapshots are always written as v2 — a pre-tenant build pointed at a
+//! v2 data dir fails the magic check loudly instead of misreading
+//! tenant-tagged rows.
 //!
 //! Because the rename is atomic, recovery always sees either the previous
 //! complete snapshot or the new complete snapshot — never a torn one. A
@@ -27,18 +33,26 @@
 //! partially-recovered registry must be detectable.
 
 use crate::crc::crc32;
+use crate::wal::DEFAULT_TENANT;
 use crate::{fsync_dir, StoreError};
 use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::path::Path;
 
-/// Magic bytes opening every snapshot file.
-pub const SNAPSHOT_MAGIC: &[u8; 8] = b"IPESNAP1";
+/// Magic bytes opening every snapshot file written by this build
+/// (format v2, tenant-tagged rows).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"IPESNAP2";
+
+/// Magic of pre-tenant (format v1) snapshot files. Accepted on read;
+/// the next write replaces the file in v2.
+pub const SNAPSHOT_MAGIC_V1: &[u8; 8] = b"IPESNAP1";
 
 /// One live schema in a snapshot (and in recovery output).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SchemaRecord {
-    /// Registry name.
+    /// Owning tenant.
+    pub tenant: String,
+    /// Bare registry name (no tenant prefix).
     pub name: String,
     /// Stable registry id.
     pub id: u64,
@@ -73,13 +87,16 @@ impl Snapshot {
             out.extend_from_slice(s.name.as_bytes());
             out.extend_from_slice(&s.id.to_le_bytes());
             out.extend_from_slice(&s.generation.to_le_bytes());
+            out.extend_from_slice(&(s.tenant.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.tenant.as_bytes());
             out.extend_from_slice(&(s.schema_json.len() as u32).to_le_bytes());
             out.extend_from_slice(s.schema_json.as_bytes());
         }
         out
     }
 
-    fn decode_body(body: &[u8]) -> Result<Snapshot, StoreError> {
+    /// Decodes a body in format `v1` (no tenant field) or v2.
+    fn decode_body_versioned(body: &[u8], v1: bool) -> Result<Snapshot, StoreError> {
         let corrupt = || StoreError::Corrupt("snapshot body truncated");
         let mut at = 0usize;
         let mut take = |n: usize| -> Result<&[u8], StoreError> {
@@ -101,10 +118,18 @@ impl Snapshot {
                 .map_err(|_| StoreError::Corrupt("snapshot name is not UTF-8"))?;
             let id = u64::from_le_bytes(take(8)?.try_into().unwrap());
             let generation = u64::from_le_bytes(take(8)?.try_into().unwrap());
+            let tenant = if v1 {
+                DEFAULT_TENANT.to_owned()
+            } else {
+                let tenant_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                String::from_utf8(take(tenant_len)?.to_vec())
+                    .map_err(|_| StoreError::Corrupt("snapshot tenant is not UTF-8"))?
+            };
             let json_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
             let schema_json = String::from_utf8(take(json_len)?.to_vec())
                 .map_err(|_| StoreError::Corrupt("snapshot schema JSON is not UTF-8"))?;
             schemas.push(SchemaRecord {
+                tenant,
                 name,
                 id,
                 generation,
@@ -128,9 +153,10 @@ impl Snapshot {
         self.encode_body()
     }
 
-    /// Decodes a body produced by [`Snapshot::to_bytes`].
+    /// Decodes a body produced by [`Snapshot::to_bytes`] (always v2;
+    /// replication never ships v1 bodies).
     pub fn from_bytes(body: &[u8]) -> Result<Snapshot, StoreError> {
-        Snapshot::decode_body(body)
+        Snapshot::decode_body_versioned(body, false)
     }
 
     /// Writes the snapshot to `path` atomically: the bytes land in a
@@ -161,6 +187,12 @@ impl Snapshot {
     /// Reads the snapshot at `path`. `Ok(None)` when the file does not
     /// exist; a checksum or framing failure is a hard error.
     pub fn read_from(path: &Path) -> Result<Option<Snapshot>, StoreError> {
+        Ok(Snapshot::read_from_versioned(path)?.map(|(snap, _)| snap))
+    }
+
+    /// Like [`Snapshot::read_from`], also reporting whether the file was
+    /// in the pre-tenant v1 format (so the store can migrate the dir).
+    pub fn read_from_versioned(path: &Path) -> Result<Option<(Snapshot, bool)>, StoreError> {
         let mut bytes = Vec::new();
         match File::open(path) {
             Ok(mut f) => f.read_to_end(&mut bytes)?,
@@ -170,15 +202,17 @@ impl Snapshot {
         if bytes.len() < SNAPSHOT_MAGIC.len() + 4 {
             return Err(StoreError::Corrupt("snapshot shorter than its header"));
         }
-        if &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
-            return Err(StoreError::Corrupt("bad snapshot magic"));
-        }
+        let v1 = match &bytes[..SNAPSHOT_MAGIC.len()] {
+            m if m == SNAPSHOT_MAGIC => false,
+            m if m == SNAPSHOT_MAGIC_V1 => true,
+            _ => return Err(StoreError::Corrupt("bad snapshot magic")),
+        };
         let crc = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
         let body = &bytes[12..];
         if crc32(body) != crc {
             return Err(StoreError::Corrupt("snapshot checksum mismatch"));
         }
-        Snapshot::decode_body(body).map(Some)
+        Snapshot::decode_body_versioned(body, v1).map(|snap| Some((snap, v1)))
     }
 }
 
@@ -192,12 +226,14 @@ mod tests {
             max_id: 7,
             schemas: vec![
                 SchemaRecord {
+                    tenant: DEFAULT_TENANT.to_owned(),
                     name: "assembly".to_owned(),
                     id: 2,
                     generation: 3,
                     schema_json: "{\"classes\":[]}".to_owned(),
                 },
                 SchemaRecord {
+                    tenant: "acme".to_owned(),
                     name: "uni".to_owned(),
                     id: 1,
                     generation: 9,
@@ -205,6 +241,42 @@ mod tests {
                 },
             ],
         }
+    }
+
+    /// Hand-encodes a v1 snapshot file (no tenant fields, `IPESNAP1`
+    /// magic) the way pre-tenant builds wrote it.
+    fn write_v1_file(path: &Path, snap: &Snapshot) {
+        let mut body = Vec::new();
+        body.extend_from_slice(&snap.last_seq.to_le_bytes());
+        body.extend_from_slice(&snap.max_id.to_le_bytes());
+        body.extend_from_slice(&(snap.schemas.len() as u32).to_le_bytes());
+        for s in &snap.schemas {
+            body.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            body.extend_from_slice(s.name.as_bytes());
+            body.extend_from_slice(&s.id.to_le_bytes());
+            body.extend_from_slice(&s.generation.to_le_bytes());
+            body.extend_from_slice(&(s.schema_json.len() as u32).to_le_bytes());
+            body.extend_from_slice(s.schema_json.as_bytes());
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(SNAPSHOT_MAGIC_V1);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        std::fs::write(path, &bytes).unwrap();
+    }
+
+    #[test]
+    fn v1_files_read_into_the_default_tenant() {
+        let path = tmp_path("v1-read");
+        let mut snap = sample();
+        for s in &mut snap.schemas {
+            s.tenant = DEFAULT_TENANT.to_owned();
+        }
+        write_v1_file(&path, &snap);
+        let (read, v1) = Snapshot::read_from_versioned(&path).unwrap().unwrap();
+        assert!(v1, "v1 magic must be reported");
+        assert_eq!(read, snap);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 
     fn tmp_path(tag: &str) -> std::path::PathBuf {

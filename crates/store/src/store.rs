@@ -6,7 +6,7 @@
 //! startup and hands the live state to the registry.
 
 use crate::snapshot::{SchemaRecord, Snapshot};
-use crate::wal::{scan_frame, FrameOutcome, WalOp, WalRecord, WAL_MAGIC};
+use crate::wal::{scan_frame, FrameOutcome, WalOp, WalRecord, WAL_MAGIC, WAL_MAGIC_V1};
 use crate::StoreError;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -98,6 +98,10 @@ pub struct Recovery {
     pub truncated_tail: bool,
     /// Whether a snapshot file was loaded.
     pub from_snapshot: bool,
+    /// Whether the data dir was in the pre-tenant v1 format and was
+    /// migrated to v2 during this open (records re-homed into the
+    /// `default` tenant, snapshot and WAL rewritten with v2 magics).
+    pub migrated: bool,
 }
 
 /// Outcome of one append.
@@ -124,8 +128,9 @@ pub struct Store {
     /// Highest seq covered by the on-disk snapshot: records at or below it
     /// may no longer exist in the WAL file (the compaction horizon).
     compacted_through: u64,
-    /// In-memory mirror of the live schemas, the compaction source.
-    live: BTreeMap<String, SchemaRecord>,
+    /// In-memory mirror of the live schemas keyed by `(tenant, name)`,
+    /// the compaction source.
+    live: BTreeMap<(String, String), SchemaRecord>,
 }
 
 impl Store {
@@ -134,16 +139,19 @@ impl Store {
     /// truncate a torn tail at the first bad checksum.
     pub fn open(config: &StoreConfig) -> Result<(Store, Recovery), StoreError> {
         std::fs::create_dir_all(&config.dir)?;
-        let snapshot = Snapshot::read_from(&config.dir.join(SNAPSHOT_FILE))?;
+        let snapshot = Snapshot::read_from_versioned(&config.dir.join(SNAPSHOT_FILE))?;
         let from_snapshot = snapshot.is_some();
-        let snapshot = snapshot.unwrap_or_default();
+        let (snapshot, snapshot_v1) = match snapshot {
+            Some((snap, v1)) => (snap, v1),
+            None => (Snapshot::default(), false),
+        };
         let compacted_through = snapshot.last_seq;
         let mut last_seq = snapshot.last_seq;
         let mut max_id = snapshot.max_id;
-        let mut live: BTreeMap<String, SchemaRecord> = snapshot
+        let mut live: BTreeMap<(String, String), SchemaRecord> = snapshot
             .schemas
             .into_iter()
-            .map(|s| (s.name.clone(), s))
+            .map(|s| ((s.tenant.clone(), s.name.clone()), s))
             .collect();
 
         let wal_path = config.dir.join(WAL_FILE);
@@ -158,6 +166,7 @@ impl Store {
 
         let mut truncated_tail = false;
         let mut wal_records = 0u64;
+        let mut wal_v1 = false;
         let durable_len = if bytes.is_empty() {
             // Fresh file: stamp the magic.
             wal.write_all(WAL_MAGIC)?;
@@ -171,45 +180,36 @@ impl Store {
             wal.write_all(WAL_MAGIC)?;
             wal.sync_data()?;
             WAL_MAGIC.len()
+        } else if &bytes[..WAL_MAGIC.len()] == WAL_MAGIC_V1 {
+            // A pre-tenant log: its v1 frames decode into the `default`
+            // tenant; the whole dir is rewritten in v2 below, because
+            // appending v2 frames to a v1-magic file would make a v1
+            // build silently truncate them as a "torn tail".
+            wal_v1 = true;
+            Store::scan_wal(
+                &bytes,
+                &mut wal,
+                &mut live,
+                &mut max_id,
+                &mut last_seq,
+                &mut wal_records,
+                &mut truncated_tail,
+            )?
         } else if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
             // Not a torn tail — the file head itself is wrong. Refuse to
             // guess: the operator pointed us at something that is not an
             // IPE WAL (or it was overwritten).
             return Err(StoreError::Corrupt("bad WAL magic"));
         } else {
-            let mut at = WAL_MAGIC.len();
-            loop {
-                match scan_frame(&bytes, at) {
-                    FrameOutcome::End => break,
-                    FrameOutcome::Torn => {
-                        truncated_tail = true;
-                        break;
-                    }
-                    FrameOutcome::Record(record, next) => {
-                        // Compaction writes the snapshot before truncating
-                        // the WAL; a crash in between leaves already-
-                        // snapshotted records at the head. Skip them.
-                        if record.seq > last_seq {
-                            if record.seq != last_seq + 1 {
-                                // A gap means lost acknowledged writes —
-                                // loud, not silent.
-                                return Err(StoreError::Corrupt(
-                                    "WAL sequence gap: acknowledged records are missing",
-                                ));
-                            }
-                            apply(&mut live, &mut max_id, &record.op);
-                            last_seq = record.seq;
-                            wal_records += 1;
-                        }
-                        at = next;
-                    }
-                }
-            }
-            if truncated_tail {
-                wal.set_len(at as u64)?;
-                wal.sync_data()?;
-            }
-            at
+            Store::scan_wal(
+                &bytes,
+                &mut wal,
+                &mut live,
+                &mut max_id,
+                &mut last_seq,
+                &mut wal_records,
+                &mut truncated_tail,
+            )?
         };
         wal.seek(SeekFrom::Start(durable_len as u64))?;
 
@@ -218,6 +218,7 @@ impl Store {
             ipe_obs::counter!("store.recover.truncated_tail", 1);
         }
 
+        let migrated = wal_v1 || snapshot_v1;
         let recovery = Recovery {
             schemas: live.values().cloned().collect(),
             last_seq,
@@ -225,8 +226,9 @@ impl Store {
             wal_records,
             truncated_tail,
             from_snapshot,
+            migrated,
         };
-        let store = Store {
+        let mut store = Store {
             dir: config.dir.clone(),
             wal,
             fsync: config.fsync,
@@ -239,19 +241,100 @@ impl Store {
             compacted_through,
             live,
         };
+        if migrated {
+            store.migrate_to_v2()?;
+        }
         Ok((store, recovery))
     }
 
-    /// Appends a schema put (register or hot-swap). Durable per the fsync
-    /// policy once this returns.
+    /// Replays the WAL suffix in `bytes` on top of the snapshot state,
+    /// truncating a torn tail in place. Returns the durable length.
+    /// Both magics share the byte length, so the scan offset is the same
+    /// for v1 and v2 files; `scan_frame` decodes records of either
+    /// format (v1 ops land in the `default` tenant).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_wal(
+        bytes: &[u8],
+        wal: &mut File,
+        live: &mut BTreeMap<(String, String), SchemaRecord>,
+        max_id: &mut u64,
+        last_seq: &mut u64,
+        wal_records: &mut u64,
+        truncated_tail: &mut bool,
+    ) -> Result<usize, StoreError> {
+        let mut at = WAL_MAGIC.len();
+        loop {
+            match scan_frame(bytes, at) {
+                FrameOutcome::End => break,
+                FrameOutcome::Torn => {
+                    *truncated_tail = true;
+                    break;
+                }
+                FrameOutcome::Record(record, next) => {
+                    // Compaction writes the snapshot before truncating
+                    // the WAL; a crash in between leaves already-
+                    // snapshotted records at the head. Skip them.
+                    if record.seq > *last_seq {
+                        if record.seq != *last_seq + 1 {
+                            // A gap means lost acknowledged writes —
+                            // loud, not silent.
+                            return Err(StoreError::Corrupt(
+                                "WAL sequence gap: acknowledged records are missing",
+                            ));
+                        }
+                        apply(live, max_id, &record.op);
+                        *last_seq = record.seq;
+                        *wal_records += 1;
+                    }
+                    at = next;
+                }
+            }
+        }
+        if *truncated_tail {
+            wal.set_len(at as u64)?;
+            wal.sync_data()?;
+        }
+        Ok(at)
+    }
+
+    /// Rewrites a v1 data dir in format v2: the recovered state lands in
+    /// a v2 snapshot first (atomic), then the WAL is reset to an empty
+    /// v2-magic log. A crash between the two steps is safe — the v2
+    /// snapshot already covers every v1 record, so the stale v1 WAL is
+    /// skipped (and the migration re-run) on the next open. After this
+    /// returns, no file in the dir parses under a pre-tenant build:
+    /// downgrading fails the magic checks loudly instead of silently
+    /// truncating tenant-tagged records.
+    fn migrate_to_v2(&mut self) -> Result<(), StoreError> {
+        let snap = Snapshot {
+            last_seq: self.last_seq,
+            max_id: self.max_id,
+            schemas: self.live.values().cloned().collect(),
+        };
+        snap.write_to(&self.dir.join(SNAPSHOT_FILE))?;
+        self.wal.set_len(0)?;
+        self.wal.seek(SeekFrom::Start(0))?;
+        self.wal.write_all(WAL_MAGIC)?;
+        self.wal.sync_data()?;
+        self.compacted_through = self.last_seq;
+        self.appends_since_snapshot = 0;
+        self.dirty = false;
+        ipe_obs::counter!("store.migrate.v1_to_v2", 1);
+        Ok(())
+    }
+
+    /// Appends a schema put (register or hot-swap) for `tenant`. Durable
+    /// per the fsync policy once this returns.
     pub fn append_put(
         &mut self,
+        tenant: &str,
         name: &str,
         id: u64,
         generation: u64,
         schema_json: &str,
     ) -> Result<Appended, StoreError> {
         self.append(WalOp::Put {
+            tenant: tenant.to_owned(),
             name: name.to_owned(),
             id,
             generation,
@@ -259,9 +342,10 @@ impl Store {
         })
     }
 
-    /// Appends a schema delete.
-    pub fn append_delete(&mut self, name: &str) -> Result<Appended, StoreError> {
+    /// Appends a schema delete for `tenant`.
+    pub fn append_delete(&mut self, tenant: &str, name: &str) -> Result<Appended, StoreError> {
         self.append(WalOp::Delete {
+            tenant: tenant.to_owned(),
             name: name.to_owned(),
         })
     }
@@ -411,7 +495,7 @@ impl Store {
         self.live = snap
             .schemas
             .iter()
-            .map(|s| (s.name.clone(), s.clone()))
+            .map(|s| ((s.tenant.clone(), s.name.clone()), s.clone()))
             .collect();
         self.last_seq = snap.last_seq;
         self.max_id = max_id;
@@ -448,9 +532,10 @@ impl Store {
 }
 
 /// Applies one op to the live-state mirror.
-fn apply(live: &mut BTreeMap<String, SchemaRecord>, max_id: &mut u64, op: &WalOp) {
+fn apply(live: &mut BTreeMap<(String, String), SchemaRecord>, max_id: &mut u64, op: &WalOp) {
     match op {
         WalOp::Put {
+            tenant,
             name,
             id,
             generation,
@@ -458,8 +543,9 @@ fn apply(live: &mut BTreeMap<String, SchemaRecord>, max_id: &mut u64, op: &WalOp
         } => {
             *max_id = (*max_id).max(*id);
             live.insert(
-                name.clone(),
+                (tenant.clone(), name.clone()),
                 SchemaRecord {
+                    tenant: tenant.clone(),
                     name: name.clone(),
                     id: *id,
                     generation: *generation,
@@ -467,8 +553,8 @@ fn apply(live: &mut BTreeMap<String, SchemaRecord>, max_id: &mut u64, op: &WalOp
                 },
             );
         }
-        WalOp::Delete { name } => {
-            live.remove(name);
+        WalOp::Delete { tenant, name } => {
+            live.remove(&(tenant.clone(), name.clone()));
         }
     }
 }
@@ -476,6 +562,7 @@ fn apply(live: &mut BTreeMap<String, SchemaRecord>, max_id: &mut u64, op: &WalOp
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::DEFAULT_TENANT;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -514,10 +601,16 @@ mod tests {
         let dir = tmp_dir("replay");
         {
             let (mut store, _) = Store::open(&cfg(&dir, 0)).unwrap();
-            store.append_put("a", 1, 1, "{\"a\":1}").unwrap();
-            store.append_put("b", 2, 1, "{\"b\":1}").unwrap();
-            store.append_put("a", 1, 2, "{\"a\":2}").unwrap();
-            store.append_delete("b").unwrap();
+            store
+                .append_put(DEFAULT_TENANT, "a", 1, 1, "{\"a\":1}")
+                .unwrap();
+            store
+                .append_put(DEFAULT_TENANT, "b", 2, 1, "{\"b\":1}")
+                .unwrap();
+            store
+                .append_put(DEFAULT_TENANT, "a", 1, 2, "{\"a\":2}")
+                .unwrap();
+            store.append_delete(DEFAULT_TENANT, "b").unwrap();
             store.sync().unwrap();
         }
         let (store, rec) = Store::open(&cfg(&dir, 0)).unwrap();
@@ -537,10 +630,10 @@ mod tests {
         let dir = tmp_dir("compact");
         {
             let (mut store, _) = Store::open(&cfg(&dir, 3)).unwrap();
-            let a = store.append_put("a", 1, 1, "{}").unwrap();
+            let a = store.append_put(DEFAULT_TENANT, "a", 1, 1, "{}").unwrap();
             assert!(!a.snapshotted);
-            store.append_put("b", 2, 1, "{}").unwrap();
-            let c = store.append_put("c", 3, 1, "{}").unwrap();
+            store.append_put(DEFAULT_TENANT, "b", 2, 1, "{}").unwrap();
+            let c = store.append_put(DEFAULT_TENANT, "c", 3, 1, "{}").unwrap();
             assert!(c.snapshotted, "third append crosses snapshot_every=3");
         }
         let wal_len = std::fs::metadata(dir.join(WAL_FILE)).unwrap().len();
@@ -558,9 +651,9 @@ mod tests {
         let dir = tmp_dir("suffix");
         {
             let (mut store, _) = Store::open(&cfg(&dir, 2)).unwrap();
-            store.append_put("a", 1, 1, "{}").unwrap();
-            store.append_put("b", 2, 1, "{}").unwrap(); // snapshots here
-            store.append_put("a", 1, 2, "{}").unwrap(); // WAL suffix
+            store.append_put(DEFAULT_TENANT, "a", 1, 1, "{}").unwrap();
+            store.append_put(DEFAULT_TENANT, "b", 2, 1, "{}").unwrap(); // snapshots here
+            store.append_put(DEFAULT_TENANT, "a", 1, 2, "{}").unwrap(); // WAL suffix
         }
         let (_, rec) = Store::open(&cfg(&dir, 2)).unwrap();
         assert!(rec.from_snapshot);
@@ -577,20 +670,22 @@ mod tests {
         // Simulate "snapshot written, WAL truncation lost": write records,
         // snapshot manually, then reopen with the full WAL still there.
         let (mut store, _) = Store::open(&cfg(&dir, 0)).unwrap();
-        store.append_put("a", 1, 1, "{}").unwrap();
-        store.append_put("b", 2, 1, "{}").unwrap();
+        store.append_put(DEFAULT_TENANT, "a", 1, 1, "{}").unwrap();
+        store.append_put(DEFAULT_TENANT, "b", 2, 1, "{}").unwrap();
         store.sync().unwrap();
         let snap = Snapshot {
             last_seq: 2,
             max_id: 2,
             schemas: vec![
                 SchemaRecord {
+                    tenant: DEFAULT_TENANT.to_owned(),
                     name: "a".to_owned(),
                     id: 1,
                     generation: 1,
                     schema_json: "{}".to_owned(),
                 },
                 SchemaRecord {
+                    tenant: DEFAULT_TENANT.to_owned(),
                     name: "b".to_owned(),
                     id: 2,
                     generation: 1,
@@ -633,8 +728,8 @@ mod tests {
         let dir = tmp_dir("resume");
         {
             let (mut store, _) = Store::open(&cfg(&dir, 0)).unwrap();
-            store.append_put("a", 1, 1, "{}").unwrap();
-            store.append_put("b", 2, 1, "{}").unwrap();
+            store.append_put(DEFAULT_TENANT, "a", 1, 1, "{}").unwrap();
+            store.append_put(DEFAULT_TENANT, "b", 2, 1, "{}").unwrap();
             store.sync().unwrap();
         }
         // Tear the last record's final byte off.
@@ -651,7 +746,7 @@ mod tests {
             assert!(rec.truncated_tail);
             assert_eq!(rec.last_seq, 1, "only `a` survived");
             // The next append must take seq 2 and parse cleanly later.
-            store.append_put("c", 2, 1, "{}").unwrap();
+            store.append_put(DEFAULT_TENANT, "c", 2, 1, "{}").unwrap();
             store.sync().unwrap();
         }
         let (_, rec) = Store::open(&cfg(&dir, 0)).unwrap();

@@ -7,16 +7,24 @@
 //! [payload_len: u32 LE][crc32(payload): u32 LE][payload: payload_len bytes]
 //! ```
 //!
-//! ## Payload layout (all integers little-endian)
+//! ## Payload layout, format v2 (all integers little-endian)
 //!
 //! ```text
-//! [op: u8]          1 = put, 2 = delete
+//! [op: u8]          3 = put, 4 = delete
 //! [seq: u64]        monotonic sequence number, starts at 1
 //! [id: u64]         registry id (0 for delete)
 //! [generation: u64] registry generation (0 for delete)
-//! [name_len: u32][name bytes]          schema registry name, UTF-8
+//! [tenant_len: u32][tenant bytes]      owning tenant, UTF-8
+//! [name_len: u32][name bytes]          bare schema name, UTF-8
 //! [json_len: u32][schema JSON bytes]   empty for delete
 //! ```
+//!
+//! Format v1 (ops `1` = put, `2` = delete) lacks the tenant field; a v1
+//! record decodes with its tenant forced to [`DEFAULT_TENANT`]. New
+//! records are always encoded as v2, and a freshly-opened WAL file is
+//! stamped with the v2 magic — a pre-tenant build reading a v2 file
+//! fails its magic check loudly instead of mistaking op `3` frames for
+//! a torn tail and silently truncating acknowledged writes.
 //!
 //! A reader that hits a short header, a short payload, an oversized
 //! declared length, or a checksum mismatch treats everything from the
@@ -26,8 +34,18 @@
 use crate::crc::crc32;
 use crate::StoreError;
 
-/// Magic bytes opening every WAL file.
-pub const WAL_MAGIC: &[u8; 8] = b"IPEWAL01";
+/// Magic bytes opening every WAL file written by this build (format v2,
+/// tenant-tagged records).
+pub const WAL_MAGIC: &[u8; 8] = b"IPEWAL02";
+
+/// Magic of pre-tenant (format v1) WAL files. Accepted on open; the
+/// file is migrated to v2 before the store serves appends.
+pub const WAL_MAGIC_V1: &[u8; 8] = b"IPEWAL01";
+
+/// The tenant every v1 record (and v1 snapshot row) belongs to. Mirrors
+/// `ipe_tenant::DEFAULT_TENANT`; duplicated here so the store stays
+/// free of upward dependencies.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Frame header size: payload length + checksum.
 pub const FRAME_HEADER: usize = 8;
@@ -36,15 +54,19 @@ pub const FRAME_HEADER: usize = 8;
 /// framing). Anything larger in a header is treated as corruption.
 pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
 
-const OP_PUT: u8 = 1;
-const OP_DELETE: u8 = 2;
+const OP_PUT_V1: u8 = 1;
+const OP_DELETE_V1: u8 = 2;
+const OP_PUT: u8 = 3;
+const OP_DELETE: u8 = 4;
 
 /// One registry mutation as stored in the log.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WalOp {
     /// Register (or hot-swap) a schema.
     Put {
-        /// Registry name.
+        /// Owning tenant.
+        tenant: String,
+        /// Bare registry name (no tenant prefix).
         name: String,
         /// Stable registry id.
         id: u64,
@@ -55,9 +77,27 @@ pub enum WalOp {
     },
     /// Unregister a schema.
     Delete {
-        /// Registry name.
+        /// Owning tenant.
+        tenant: String,
+        /// Bare registry name (no tenant prefix).
         name: String,
     },
+}
+
+impl WalOp {
+    /// The tenant this mutation belongs to.
+    pub fn tenant(&self) -> &str {
+        match self {
+            WalOp::Put { tenant, .. } | WalOp::Delete { tenant, .. } => tenant,
+        }
+    }
+
+    /// The bare schema name this mutation targets.
+    pub fn name(&self) -> &str {
+        match self {
+            WalOp::Put { name, .. } | WalOp::Delete { name, .. } => name,
+        }
+    }
 }
 
 /// One sequenced WAL record.
@@ -70,28 +110,33 @@ pub struct WalRecord {
 }
 
 impl WalRecord {
-    /// Encodes the record payload (without the frame header).
+    /// Encodes the record payload (without the frame header), always in
+    /// format v2.
     pub fn encode_payload(&self) -> Vec<u8> {
-        let (op, name, id, generation, json) = match &self.op {
+        let (op, tenant, name, id, generation, json) = match &self.op {
             WalOp::Put {
+                tenant,
                 name,
                 id,
                 generation,
                 schema_json,
             } => (
                 OP_PUT,
+                tenant.as_str(),
                 name.as_str(),
                 *id,
                 *generation,
                 schema_json.as_str(),
             ),
-            WalOp::Delete { name } => (OP_DELETE, name.as_str(), 0, 0, ""),
+            WalOp::Delete { tenant, name } => (OP_DELETE, tenant.as_str(), name.as_str(), 0, 0, ""),
         };
-        let mut out = Vec::with_capacity(33 + name.len() + json.len());
+        let mut out = Vec::with_capacity(37 + tenant.len() + name.len() + json.len());
         out.push(op);
         out.extend_from_slice(&self.seq.to_le_bytes());
         out.extend_from_slice(&id.to_le_bytes());
         out.extend_from_slice(&generation.to_le_bytes());
+        out.extend_from_slice(&(tenant.len() as u32).to_le_bytes());
+        out.extend_from_slice(tenant.as_bytes());
         out.extend_from_slice(&(name.len() as u32).to_le_bytes());
         out.extend_from_slice(name.as_bytes());
         out.extend_from_slice(&(json.len() as u32).to_le_bytes());
@@ -109,30 +154,37 @@ impl WalRecord {
         out
     }
 
-    /// Decodes one payload. Any structural violation is [`StoreError::Corrupt`].
+    /// Decodes one payload, either format: v1 ops land in
+    /// [`DEFAULT_TENANT`], v2 ops carry their tenant explicitly. Any
+    /// structural violation is [`StoreError::Corrupt`].
     pub fn decode_payload(payload: &[u8]) -> Result<WalRecord, StoreError> {
         let mut r = Reader { buf: payload };
         let op = r.u8()?;
         let seq = r.u64()?;
         let id = r.u64()?;
         let generation = r.u64()?;
+        let tenant = match op {
+            OP_PUT_V1 | OP_DELETE_V1 => DEFAULT_TENANT.to_owned(),
+            _ => r.string()?,
+        };
         let name = r.string()?;
         let json = r.string()?;
         if !r.buf.is_empty() {
             return Err(StoreError::Corrupt("trailing bytes in record payload"));
         }
         let op = match op {
-            OP_PUT => WalOp::Put {
+            OP_PUT | OP_PUT_V1 => WalOp::Put {
+                tenant,
                 name,
                 id,
                 generation,
                 schema_json: json,
             },
-            OP_DELETE => {
+            OP_DELETE | OP_DELETE_V1 => {
                 if !json.is_empty() {
                     return Err(StoreError::Corrupt("delete record carries a body"));
                 }
-                WalOp::Delete { name }
+                WalOp::Delete { tenant, name }
             }
             _ => return Err(StoreError::Corrupt("unknown record op")),
         };
@@ -224,6 +276,7 @@ mod tests {
         WalRecord {
             seq,
             op: WalOp::Put {
+                tenant: DEFAULT_TENANT.to_owned(),
                 name: name.to_owned(),
                 id: seq,
                 generation: 1,
@@ -232,13 +285,46 @@ mod tests {
         }
     }
 
+    /// Hand-encodes a format-v1 payload (the layout pre-tenant builds
+    /// wrote): no tenant field, ops 1/2.
+    fn encode_v1_payload(
+        op: u8,
+        seq: u64,
+        id: u64,
+        generation: u64,
+        name: &str,
+        json: &str,
+    ) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(op);
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&generation.to_le_bytes());
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        out.extend_from_slice(json.as_bytes());
+        out
+    }
+
     #[test]
     fn round_trips_put_and_delete() {
         let records = vec![
             put(1, "uni"),
             WalRecord {
                 seq: 2,
+                op: WalOp::Put {
+                    tenant: "acme".to_owned(),
+                    name: "uni".to_owned(),
+                    id: 3,
+                    generation: 2,
+                    schema_json: "{}".to_owned(),
+                },
+            },
+            WalRecord {
+                seq: 3,
                 op: WalOp::Delete {
+                    tenant: "acme".to_owned(),
                     name: "uni".to_owned(),
                 },
             },
@@ -247,6 +333,32 @@ mod tests {
             let payload = record.encode_payload();
             assert_eq!(WalRecord::decode_payload(&payload).unwrap(), record);
         }
+    }
+
+    #[test]
+    fn v1_payloads_decode_into_the_default_tenant() {
+        let payload = encode_v1_payload(1, 5, 7, 2, "uni", "{\"v\":1}");
+        let record = WalRecord::decode_payload(&payload).unwrap();
+        assert_eq!(record.seq, 5);
+        assert_eq!(
+            record.op,
+            WalOp::Put {
+                tenant: DEFAULT_TENANT.to_owned(),
+                name: "uni".to_owned(),
+                id: 7,
+                generation: 2,
+                schema_json: "{\"v\":1}".to_owned(),
+            }
+        );
+        let payload = encode_v1_payload(2, 6, 0, 0, "uni", "");
+        let record = WalRecord::decode_payload(&payload).unwrap();
+        assert_eq!(
+            record.op,
+            WalOp::Delete {
+                tenant: DEFAULT_TENANT.to_owned(),
+                name: "uni".to_owned(),
+            }
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use ipe_store::wal::WAL_MAGIC;
 use ipe_store::{
     FsyncPolicy, SchemaRecord, Snapshot, Store, StoreConfig, StoreError, WalOp, WalRecord,
-    SNAPSHOT_FILE, WAL_FILE,
+    DEFAULT_TENANT, SNAPSHOT_FILE, WAL_FILE,
 };
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -38,6 +38,7 @@ fn put(seq: u64, name: &str, id: u64, generation: u64) -> WalRecord {
     WalRecord {
         seq,
         op: WalOp::Put {
+            tenant: DEFAULT_TENANT.to_string(),
             name: name.to_string(),
             id,
             generation,
@@ -48,6 +49,7 @@ fn put(seq: u64, name: &str, id: u64, generation: u64) -> WalRecord {
 
 fn schema(name: &str, id: u64, generation: u64) -> SchemaRecord {
     SchemaRecord {
+        tenant: DEFAULT_TENANT.to_string(),
         name: name.to_string(),
         id,
         generation,
@@ -214,7 +216,9 @@ fn install_remote_snapshot_replaces_state_but_keeps_local_max_id() {
     let dir = tmp_dir("install");
     let (mut store, _) = Store::open(&cfg(&dir)).unwrap();
     // Local history this replica must forget — except its id high-water.
-    store.append_put("stale", 40, 1, "{}").unwrap();
+    store
+        .append_put(DEFAULT_TENANT, "stale", 40, 1, "{}")
+        .unwrap();
     assert_eq!(store.max_id(), 40);
 
     let snap = Snapshot {
@@ -258,7 +262,7 @@ fn wal_records_after_serves_the_resume_suffix() {
     let dir = tmp_dir("suffix-read");
     let (mut store, _) = Store::open(&cfg(&dir)).unwrap();
     for seq in 1..=5u64 {
-        store.append_put("a", 1, seq, "{}").unwrap();
+        store.append_put(DEFAULT_TENANT, "a", 1, seq, "{}").unwrap();
     }
     let suffix = store.wal_records_after(2).unwrap();
     let seqs: Vec<u64> = suffix.iter().map(|r| r.seq).collect();
@@ -270,7 +274,7 @@ fn wal_records_after_serves_the_resume_suffix() {
     store.snapshot_now().unwrap();
     assert_eq!(store.compacted_through(), 5);
     assert!(store.wal_records_after(0).unwrap().is_empty());
-    store.append_put("a", 1, 6, "{}").unwrap();
+    store.append_put(DEFAULT_TENANT, "a", 1, 6, "{}").unwrap();
     let seqs: Vec<u64> = store
         .wal_records_after(5)
         .unwrap()
@@ -285,9 +289,13 @@ fn wal_records_after_serves_the_resume_suffix() {
 fn export_snapshot_matches_recovery_state() {
     let dir = tmp_dir("export");
     let (mut store, _) = Store::open(&cfg(&dir)).unwrap();
-    store.append_put("a", 1, 1, "{\"gen\":1}").unwrap();
-    store.append_put("b", 2, 1, "{\"gen\":1}").unwrap();
-    store.append_delete("a").unwrap();
+    store
+        .append_put(DEFAULT_TENANT, "a", 1, 1, "{\"gen\":1}")
+        .unwrap();
+    store
+        .append_put(DEFAULT_TENANT, "b", 2, 1, "{\"gen\":1}")
+        .unwrap();
+    store.append_delete(DEFAULT_TENANT, "a").unwrap();
     let snap = store.export_snapshot();
     assert_eq!(snap.last_seq, 3);
     assert_eq!(snap.max_id, 2);

@@ -1,0 +1,180 @@
+//! v1 → v2 (pre-tenant → tenant-tagged) data-directory migration.
+//!
+//! `tests/fixtures/v1/` holds a committed data directory written by a
+//! pre-tenant build: a v1 snapshot (last_seq=4, live = people@gen1,
+//! fleet@gen1) plus a v1 WAL suffix (seq 5: people hot-swapped to gen2,
+//! seq 6: crew created). A v2 store must recover every record into the
+//! `default` tenant with ids and generations intact, then rewrite both
+//! files with v2 magics so a pre-tenant build can never silently
+//! misread tenant-tagged frames as a torn tail.
+
+use ipe_store::snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_MAGIC_V1};
+use ipe_store::wal::{WAL_MAGIC, WAL_MAGIC_V1};
+use ipe_store::{FsyncPolicy, Store, StoreConfig, DEFAULT_TENANT, SNAPSHOT_FILE, WAL_FILE};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ipe-migration-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg(dir: &Path) -> StoreConfig {
+    StoreConfig {
+        dir: dir.to_path_buf(),
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 0,
+    }
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1")
+}
+
+/// Copies the committed v1 fixture into a scratch dir we may mutate.
+fn stage_fixture(tag: &str) -> PathBuf {
+    let dir = tmp_dir(tag);
+    for f in [WAL_FILE, SNAPSHOT_FILE] {
+        std::fs::copy(fixture_dir().join(f), dir.join(f)).unwrap();
+    }
+    dir
+}
+
+fn magic_of(path: &Path) -> [u8; 8] {
+    let bytes = std::fs::read(path).unwrap();
+    bytes[..8].try_into().unwrap()
+}
+
+#[test]
+fn fixture_is_genuinely_v1() {
+    // Guards the fixture itself: if someone regenerates it with a v2
+    // build, every other assertion here becomes vacuous.
+    assert_eq!(&magic_of(&fixture_dir().join(WAL_FILE)), WAL_MAGIC_V1);
+    assert_eq!(
+        &magic_of(&fixture_dir().join(SNAPSHOT_FILE)),
+        SNAPSHOT_MAGIC_V1
+    );
+}
+
+#[test]
+fn v1_directory_recovers_into_the_default_tenant() {
+    let dir = stage_fixture("recover");
+    let (store, rec) = Store::open(&cfg(&dir)).unwrap();
+
+    assert!(rec.migrated, "a v1 dir must report the migration");
+    assert!(rec.from_snapshot);
+    assert_eq!(rec.last_seq, 6, "snapshot last_seq=4 + two WAL records");
+    assert_eq!(rec.wal_records, 2);
+    assert_eq!(rec.max_id, 4, "crew took id 4 in the WAL suffix");
+    assert!(!rec.truncated_tail);
+
+    // Every record lands in `default` with ids/generations intact: the
+    // hot-swap (people → gen 2) applied on top of the snapshot row.
+    let by_name: std::collections::BTreeMap<&str, (&str, u64, u64)> = rec
+        .schemas
+        .iter()
+        .map(|s| (s.name.as_str(), (s.tenant.as_str(), s.id, s.generation)))
+        .collect();
+    assert_eq!(by_name.len(), 3);
+    assert_eq!(by_name["people"], (DEFAULT_TENANT, 1, 2));
+    assert_eq!(by_name["fleet"], (DEFAULT_TENANT, 2, 1));
+    assert_eq!(by_name["crew"], (DEFAULT_TENANT, 4, 1));
+    assert_eq!(store.last_seq(), 6);
+
+    // The hot-swapped schema body from the WAL suffix won, not the
+    // snapshot's original.
+    assert!(by_name.contains_key("people"));
+    let people = rec.schemas.iter().find(|s| s.name == "people").unwrap();
+    assert!(
+        people.schema_json.contains("age"),
+        "gen-2 body (with the added `age` attribute) must win: {}",
+        people.schema_json
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn migration_rewrites_both_files_with_v2_magics() {
+    let dir = stage_fixture("rewrite");
+    {
+        let (_, rec) = Store::open(&cfg(&dir)).unwrap();
+        assert!(rec.migrated);
+    }
+    assert_eq!(&magic_of(&dir.join(WAL_FILE)), WAL_MAGIC);
+    assert_eq!(&magic_of(&dir.join(SNAPSHOT_FILE)), SNAPSHOT_MAGIC);
+
+    // Idempotent: the second open sees a plain v2 dir, same state.
+    let (mut store, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert!(!rec.migrated, "already migrated");
+    assert_eq!(rec.last_seq, 6);
+    assert_eq!(rec.schemas.len(), 3);
+    assert_eq!(rec.wal_records, 0, "migration compacted the WAL suffix");
+
+    // And it keeps working: appends continue at seq 7 and survive reopen.
+    store
+        .append_put(DEFAULT_TENANT, "cargo", 5, 1, "{}")
+        .unwrap();
+    store.sync().unwrap();
+    drop(store);
+    let (_, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert_eq!(rec.last_seq, 7);
+    assert_eq!(rec.schemas.len(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_between_snapshot_and_wal_reset_recovers_cleanly() {
+    // Simulate "v2 snapshot landed, WAL reset lost": the v1 WAL is still
+    // in place next to the already-migrated snapshot. Its records all
+    // carry seq <= snapshot.last_seq, so they are skipped, and the
+    // retried migration rewrites the WAL.
+    let dir = stage_fixture("crash");
+    let migrated_snapshot = {
+        let done = stage_fixture("crash-donor");
+        Store::open(&cfg(&done)).unwrap();
+        let bytes = std::fs::read(done.join(SNAPSHOT_FILE)).unwrap();
+        std::fs::remove_dir_all(&done).ok();
+        bytes
+    };
+    std::fs::write(dir.join(SNAPSHOT_FILE), &migrated_snapshot).unwrap();
+
+    let (_, rec) = Store::open(&cfg(&dir)).unwrap();
+    assert!(rec.migrated, "v1 WAL magic still triggers the rewrite");
+    assert_eq!(rec.last_seq, 6);
+    assert_eq!(rec.schemas.len(), 3);
+    assert_eq!(rec.wal_records, 0, "stale v1 records predate the snapshot");
+    assert_eq!(&magic_of(&dir.join(WAL_FILE)), WAL_MAGIC);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn v2_store_refuses_a_silent_downgrade() {
+    // A v2-magic WAL handed to v1 recovery would fail its magic check
+    // (loud), and symmetrically a *corrupted* magic is a hard error
+    // here — never treated as an empty log.
+    let dir = stage_fixture("downgrade");
+    Store::open(&cfg(&dir)).unwrap(); // migrate
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    assert_ne!(
+        &bytes[..8],
+        WAL_MAGIC_V1,
+        "migrated WAL must not be readable as v1"
+    );
+    bytes[..8].copy_from_slice(b"IPEWAL99");
+    std::fs::write(&wal_path, &bytes).unwrap();
+    assert!(
+        matches!(
+            Store::open(&cfg(&dir)),
+            Err(ipe_store::StoreError::Corrupt(_))
+        ),
+        "an unknown WAL version is corruption, not an empty log"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -37,6 +37,7 @@ fn build_wal(dir: &Path, n: usize) -> Vec<u64> {
     for i in 0..n {
         store
             .append_put(
+                ipe_store::DEFAULT_TENANT,
                 &format!("schema-{i}"),
                 i as u64 + 1,
                 1,

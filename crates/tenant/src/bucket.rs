@@ -1,0 +1,141 @@
+//! Token-bucket admission: the quota primitive behind per-tenant 429s.
+//!
+//! A bucket holds up to `burst` tokens and refills continuously at
+//! `rate` tokens/second. Admitting a request costs one token; an empty
+//! bucket answers with the wait until the next token matures, which the
+//! service surfaces as `Retry-After` / `retry_after_ms`. The bucket is
+//! parameter-free at rest — rate and burst arrive with each call so a
+//! tenant's quota can be re-configured without resetting its fill.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Outcome of one admission attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// A token was taken; proceed.
+    Admitted,
+    /// Out of tokens; retry after roughly this many milliseconds
+    /// (always ≥ 1 so a `Retry-After` header never rounds to zero).
+    Throttled {
+        /// Milliseconds until the next token matures.
+        retry_after_ms: u64,
+    },
+}
+
+#[derive(Debug)]
+struct BucketState {
+    /// Current fill, in tokens. May be fractional mid-refill.
+    tokens: f64,
+    /// When the fill was last brought current.
+    refilled_at: Instant,
+}
+
+/// A continuously-refilling token bucket. Thread-safe; one per tenant.
+#[derive(Debug)]
+pub struct TokenBucket {
+    state: Mutex<BucketState>,
+}
+
+impl TokenBucket {
+    /// A bucket born full (a fresh tenant gets its whole burst).
+    pub fn full(burst: f64) -> TokenBucket {
+        TokenBucket {
+            state: Mutex::new(BucketState {
+                tokens: burst.max(0.0),
+                refilled_at: Instant::now(),
+            }),
+        }
+    }
+
+    /// Tries to take one token under the given quota. `rate <= 0` means
+    /// unlimited (always admitted, fill untouched).
+    pub fn try_take(&self, rate: f64, burst: f64) -> Admission {
+        self.try_take_at(Instant::now(), rate, burst)
+    }
+
+    /// Clock-explicit [`TokenBucket::try_take`], for deterministic tests.
+    pub fn try_take_at(&self, now: Instant, rate: f64, burst: f64) -> Admission {
+        if rate <= 0.0 {
+            return Admission::Admitted;
+        }
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Bring the fill current. `saturating_duration_since` tolerates
+        // out-of-order `now`s from racing callers.
+        let elapsed = now.saturating_duration_since(state.refilled_at);
+        state.tokens = (state.tokens + elapsed.as_secs_f64() * rate).min(burst.max(1.0));
+        state.refilled_at = now;
+        if state.tokens >= 1.0 {
+            state.tokens -= 1.0;
+            Admission::Admitted
+        } else {
+            let deficit = 1.0 - state.tokens;
+            let wait_ms = (deficit / rate * 1000.0).ceil() as u64;
+            ipe_obs::counter!("tenant.throttled", 1);
+            Admission::Throttled {
+                retry_after_ms: wait_ms.max(1),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_admits_then_throttles_with_retry_hint() {
+        let bucket = TokenBucket::full(2.0);
+        let t0 = Instant::now();
+        assert_eq!(bucket.try_take_at(t0, 10.0, 2.0), Admission::Admitted);
+        assert_eq!(bucket.try_take_at(t0, 10.0, 2.0), Admission::Admitted);
+        match bucket.try_take_at(t0, 10.0, 2.0) {
+            Admission::Throttled { retry_after_ms } => {
+                // One token at 10/s is 100ms away.
+                assert!((1..=100).contains(&retry_after_ms), "{retry_after_ms}");
+            }
+            Admission::Admitted => panic!("third take must throttle"),
+        }
+    }
+
+    #[test]
+    fn refill_matures_tokens_over_time() {
+        let bucket = TokenBucket::full(1.0);
+        let t0 = Instant::now();
+        assert_eq!(bucket.try_take_at(t0, 5.0, 1.0), Admission::Admitted);
+        assert!(matches!(
+            bucket.try_take_at(t0, 5.0, 1.0),
+            Admission::Throttled { .. }
+        ));
+        // 250ms at 5 tokens/s matures 1.25 tokens (capped at burst 1).
+        let t1 = t0 + Duration::from_millis(250);
+        assert_eq!(bucket.try_take_at(t1, 5.0, 1.0), Admission::Admitted);
+    }
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let bucket = TokenBucket::full(0.0);
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            assert_eq!(bucket.try_take_at(t0, 0.0, 0.0), Admission::Admitted);
+        }
+    }
+
+    #[test]
+    fn fill_survives_quota_reconfiguration() {
+        let bucket = TokenBucket::full(4.0);
+        let t0 = Instant::now();
+        assert_eq!(bucket.try_take_at(t0, 1.0, 4.0), Admission::Admitted);
+        // Tightening the burst below the current fill clamps, not panics.
+        assert_eq!(bucket.try_take_at(t0, 1.0, 2.0), Admission::Admitted);
+        assert_eq!(bucket.try_take_at(t0, 1.0, 2.0), Admission::Admitted);
+        assert!(matches!(
+            bucket.try_take_at(t0, 1.0, 2.0),
+            Admission::Throttled { .. }
+        ));
+    }
+}

@@ -1,0 +1,339 @@
+//! The tenant registry: named tenants, their live quota state, and the
+//! counters the service turns into per-tenant `/metrics` rows.
+
+use crate::bucket::{Admission, TokenBucket};
+use crate::{validate_tenant_name, TenantConfig, DEFAULT_TENANT};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Errors from registry operations; each maps to one HTTP status in the
+/// service layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TenantError {
+    /// The tenant name fails [`crate::validate_tenant_name`] (`400`).
+    BadName(&'static str),
+    /// No such tenant (`404`).
+    Unknown,
+    /// The built-in `default` tenant cannot be deleted (`409`).
+    Immortal,
+}
+
+impl std::fmt::Display for TenantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TenantError::BadName(why) => write!(f, "{why}"),
+            TenantError::Unknown => write!(f, "unknown tenant"),
+            TenantError::Immortal => write!(f, "the `default` tenant cannot be deleted"),
+        }
+    }
+}
+
+impl std::error::Error for TenantError {}
+
+/// Monotonic per-tenant traffic counters, exported as
+/// `ipe_tenant_*` metric rows. All relaxed: these are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// Requests that passed admission on work routes.
+    pub admitted: AtomicU64,
+    /// Requests bounced with `429` by the rate quota.
+    pub throttled: AtomicU64,
+    /// Requests bounced with `429` by the concurrent-search cap.
+    pub busy: AtomicU64,
+    /// Searches executed (cache misses that ran the engine).
+    pub searches: AtomicU64,
+}
+
+/// A point-in-time copy of a tenant's counters.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize)]
+pub struct TenantCountersView {
+    /// Requests that passed admission on work routes.
+    pub admitted: u64,
+    /// Requests bounced with `429` by the rate quota.
+    pub throttled: u64,
+    /// Requests bounced with `429` by the concurrent-search cap.
+    pub busy: u64,
+    /// Searches executed (cache misses that ran the engine).
+    pub searches: u64,
+}
+
+/// One live tenant: its policy plus the runtime quota state. Shared as
+/// an `Arc` between the registry, in-flight requests, and permits.
+#[derive(Debug)]
+pub struct Tenant {
+    name: String,
+    config: RwLock<TenantConfig>,
+    bucket: TokenBucket,
+    in_flight: AtomicU32,
+    counters: TenantCounters,
+}
+
+impl Tenant {
+    fn new(name: &str, config: TenantConfig) -> Arc<Tenant> {
+        let burst = config.effective_burst();
+        Arc::new(Tenant {
+            name: name.to_owned(),
+            config: RwLock::new(config),
+            bucket: TokenBucket::full(burst),
+            in_flight: AtomicU32::new(0),
+            counters: TenantCounters::default(),
+        })
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A copy of the current policy.
+    pub fn config(&self) -> TenantConfig {
+        self.config
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Replaces the policy. The token bucket keeps its fill (clamped to
+    /// the new burst on the next take); in-flight searches drain under
+    /// the old cap.
+    pub fn set_config(&self, config: TenantConfig) {
+        *self.config.write().unwrap_or_else(PoisonError::into_inner) = config;
+    }
+
+    /// Rate-quota admission for one work request. On `Throttled` the
+    /// caller answers `429` with the embedded retry hint.
+    pub fn admit_request(&self) -> Admission {
+        let cfg = self.config();
+        let outcome = self
+            .bucket
+            .try_take(cfg.rate_per_sec, cfg.effective_burst());
+        match outcome {
+            Admission::Admitted => {
+                self.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Throttled { .. } => {
+                self.counters.throttled.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// Claims a concurrent-search slot; the returned permit releases it
+    /// on drop. `Err(retry_after_ms)` means the cap is full right now —
+    /// a short, load-dependent wait, so the hint is a constant 50ms.
+    pub fn begin_search(self: &Arc<Tenant>) -> Result<SearchPermit, u64> {
+        let cap = self.config().max_concurrent;
+        if cap > 0 {
+            let mut cur = self.in_flight.load(Ordering::Relaxed);
+            loop {
+                if cur >= cap {
+                    self.counters.busy.fetch_add(1, Ordering::Relaxed);
+                    ipe_obs::counter!("tenant.busy", 1);
+                    return Err(50);
+                }
+                match self.in_flight.compare_exchange_weak(
+                    cur,
+                    cur + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        } else {
+            self.in_flight.fetch_add(1, Ordering::AcqRel);
+        }
+        self.counters.searches.fetch_add(1, Ordering::Relaxed);
+        Ok(SearchPermit {
+            tenant: Arc::clone(self),
+        })
+    }
+
+    /// Searches currently holding a permit.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn counters(&self) -> TenantCountersView {
+        TenantCountersView {
+            admitted: self.counters.admitted.load(Ordering::Relaxed),
+            throttled: self.counters.throttled.load(Ordering::Relaxed),
+            busy: self.counters.busy.load(Ordering::Relaxed),
+            searches: self.counters.searches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII guard for one concurrent-search slot.
+pub struct SearchPermit {
+    tenant: Arc<Tenant>,
+}
+
+impl Drop for SearchPermit {
+    fn drop(&mut self) {
+        self.tenant.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The set of live tenants. The built-in `default` tenant is created at
+/// construction and survives every delete.
+pub struct TenantRegistry {
+    inner: RwLock<BTreeMap<String, Arc<Tenant>>>,
+}
+
+impl TenantRegistry {
+    /// A registry holding only the `default` tenant under `default_config`.
+    pub fn new(default_config: TenantConfig) -> TenantRegistry {
+        let mut map = BTreeMap::new();
+        map.insert(
+            DEFAULT_TENANT.to_owned(),
+            Tenant::new(DEFAULT_TENANT, default_config),
+        );
+        TenantRegistry {
+            inner: RwLock::new(map),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<Tenant>>> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Arc<Tenant>>> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks a tenant up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.read().get(name).cloned()
+    }
+
+    /// Creates a tenant, or replaces an existing tenant's policy in
+    /// place (bucket fill and counters survive a reconfigure). Returns
+    /// the tenant and whether it was newly created.
+    pub fn put(
+        &self,
+        name: &str,
+        config: TenantConfig,
+    ) -> Result<(Arc<Tenant>, bool), TenantError> {
+        validate_tenant_name(name)?;
+        let mut map = self.write();
+        if let Some(existing) = map.get(name) {
+            existing.set_config(config);
+            return Ok((Arc::clone(existing), false));
+        }
+        let tenant = Tenant::new(name, config);
+        map.insert(name.to_owned(), Arc::clone(&tenant));
+        ipe_obs::counter!("tenant.created", 1);
+        Ok((tenant, true))
+    }
+
+    /// Removes a tenant. The `default` tenant is refused; purging the
+    /// tenant's schemas/data/cache is the caller's job (it needs the
+    /// store lock).
+    pub fn remove(&self, name: &str) -> Result<Arc<Tenant>, TenantError> {
+        if name == DEFAULT_TENANT {
+            return Err(TenantError::Immortal);
+        }
+        match self.write().remove(name) {
+            Some(tenant) => {
+                ipe_obs::counter!("tenant.deleted", 1);
+                Ok(tenant)
+            }
+            None => Err(TenantError::Unknown),
+        }
+    }
+
+    /// Every live tenant, name-ordered.
+    pub fn list(&self) -> Vec<Arc<Tenant>> {
+        self.read().values().cloned().collect()
+    }
+
+    /// Number of live tenants (the `default` tenant included).
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// Always false: the `default` tenant is permanent.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limited(rate: f64, burst: u32, max_concurrent: u32) -> TenantConfig {
+        TenantConfig {
+            rate_per_sec: rate,
+            burst,
+            max_concurrent,
+            ..TenantConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_tenant_exists_and_cannot_die() {
+        let reg = TenantRegistry::new(TenantConfig::default());
+        assert!(reg.get(DEFAULT_TENANT).is_some());
+        assert!(matches!(
+            reg.remove(DEFAULT_TENANT),
+            Err(TenantError::Immortal)
+        ));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn put_creates_then_reconfigures_in_place() {
+        let reg = TenantRegistry::new(TenantConfig::default());
+        let (t, created) = reg.put("acme", limited(5.0, 5, 2)).unwrap();
+        assert!(created);
+        assert_eq!(t.admit_request(), Admission::Admitted);
+        assert_eq!(t.counters().admitted, 1);
+        let (t2, created) = reg.put("acme", limited(9.0, 9, 4)).unwrap();
+        assert!(!created);
+        assert!(Arc::ptr_eq(&t, &t2), "reconfigure keeps the live object");
+        assert_eq!(t.config().rate_per_sec, 9.0);
+        assert_eq!(t.counters().admitted, 1, "counters survive reconfigure");
+    }
+
+    #[test]
+    fn bad_names_and_unknown_deletes_are_refused() {
+        let reg = TenantRegistry::new(TenantConfig::default());
+        assert!(matches!(
+            reg.put("Not Valid", TenantConfig::default()),
+            Err(TenantError::BadName(_))
+        ));
+        assert!(matches!(reg.remove("ghost"), Err(TenantError::Unknown)));
+    }
+
+    #[test]
+    fn concurrent_search_cap_is_enforced_and_released() {
+        let reg = TenantRegistry::new(TenantConfig::default());
+        let (t, _) = reg.put("acme", limited(0.0, 0, 2)).unwrap();
+        let p1 = t.begin_search().unwrap();
+        let _p2 = t.begin_search().unwrap();
+        assert_eq!(t.in_flight(), 2);
+        assert!(t.begin_search().is_err(), "third search exceeds the cap");
+        assert_eq!(t.counters().busy, 1);
+        drop(p1);
+        assert_eq!(t.in_flight(), 1);
+        assert!(t.begin_search().is_ok(), "released slot is reusable");
+    }
+
+    #[test]
+    fn unlimited_tenant_admits_everything() {
+        let reg = TenantRegistry::new(TenantConfig::default());
+        let t = reg.get(DEFAULT_TENANT).unwrap();
+        for _ in 0..100 {
+            assert_eq!(t.admit_request(), Admission::Admitted);
+            let _p = t.begin_search().unwrap();
+        }
+        assert_eq!(t.counters().admitted, 100);
+        assert_eq!(t.counters().throttled, 0);
+    }
+}

@@ -15,7 +15,7 @@ echo "== tests =="
 cargo test -q --workspace
 
 echo "== tests (obs-off) =="
-cargo test -q -p ipe-obs -p ipe-core -p ipe-index -p ipe-oodb -p ipe-query -p ipe-repl -p ipe-service -p ipe-store --features obs-off
+cargo test -q -p ipe-obs -p ipe-core -p ipe-index -p ipe-oodb -p ipe-query -p ipe-repl -p ipe-service -p ipe-store -p ipe-tenant --features obs-off
 
 echo "== service smoke (incl. 64-connection reactor burst) =="
 serve_log="$(mktemp)"
@@ -68,6 +68,12 @@ echo "== store kill -9 recovery smoke =="
 
 echo "== replication smoke =="
 ./target/release/repl_bench --smoke
+
+echo "== tenant smoke =="
+./target/release/tenant_bench --smoke
+
+echo "== WAL v1 -> v2 migration =="
+cargo test -q -p ipe-store --test migration
 
 echo "== replication kill -9 catch-up smoke =="
 ./target/release/repl_bench --kill9-smoke

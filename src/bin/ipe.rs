@@ -42,6 +42,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--timeout-ms",
     "--cache-capacity",
     "--cache-shards",
+    "--cache-bytes",
     "--batch-threads",
     "--threads",
     "--objects",
@@ -132,7 +133,8 @@ const USAGE: &str = "usage:
   ipe stats    [--schema FILE | --fixture NAME]
   ipe serve    [--schema FILE | --fixture NAME] [--addr HOST:PORT]
                [--reactors N] [--queue-depth N] [--timeout-ms N]
-               [--cache-capacity N] [--cache-shards N] [--batch-threads N]
+               [--cache-capacity N] [--cache-shards N] [--cache-bytes N]
+               [--batch-threads N]
                [--data-dir DIR] [--fsync always|interval[:MS]|never]
                [--snapshot-every N] [--index on|off|lazy] [--report FILE]
                [--trace-sample N] [--slow-ms N] [--flight-capacity N]
@@ -160,6 +162,15 @@ on clean shutdown. With --data-dir DIR, registry changes are written
 through to a checksummed WAL (fsynced per --fsync, compacted into a
 snapshot every --snapshot-every records) and recovered on restart; a
 best-effort warmup journal pre-warms the completion cache.
+
+Multi-tenancy: PUT/GET/DELETE /v1/tenants/:tenant manages tenant
+namespaces (quotas, per-tenant defaults, cache budgets; persisted to
+DIR/tenants.json with --data-dir), and /v1/t/:tenant/... scopes the
+schema/complete/batch/data/query routes to one tenant — the bare routes
+are the built-in `default` tenant. --cache-bytes N sets the default byte
+budget for each tenant's cache partition (0 = unlimited); a tenant's own
+`cache_bytes` overrides it. Over-quota requests answer 429 with a
+Retry-After header and a machine-readable retry envelope.
 
 With --follow HOST:PORT, `serve` runs as a read-only follower of the
 leader at that address: it tails the leader's WAL over
@@ -219,6 +230,9 @@ struct Opts {
     timeout_ms: u64,
     cache_capacity: usize,
     cache_shards: usize,
+    /// `--cache-bytes N` for `serve`: default byte budget applied to each
+    /// tenant's completion-cache partition (0 = unlimited).
+    cache_bytes: u64,
     batch_threads: usize,
     threads: usize,
     /// `--objects N` for `query`: synthetic objects per class (`None`
@@ -262,6 +276,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut timeout_ms = service_defaults.request_timeout.as_millis() as u64;
     let mut cache_capacity = service_defaults.cache_capacity;
     let mut cache_shards = service_defaults.cache_shards;
+    let mut cache_bytes = service_defaults.cache_bytes;
     let mut batch_threads = service_defaults.batch_threads;
     let mut threads = 4usize;
     let mut objects = None;
@@ -328,6 +343,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 cache_shards = grab("--cache-shards")?
                     .parse()
                     .map_err(|_| "--cache-shards must be a number")?
+            }
+            "--cache-bytes" => {
+                cache_bytes = grab("--cache-bytes")?
+                    .parse()
+                    .map_err(|_| "--cache-bytes must be a number")?
             }
             "--batch-threads" => {
                 batch_threads = grab("--batch-threads")?
@@ -420,6 +440,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         timeout_ms,
         cache_capacity,
         cache_shards,
+        cache_bytes,
         batch_threads,
         threads,
         objects,
@@ -688,6 +709,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         request_timeout: std::time::Duration::from_millis(opts.timeout_ms),
         cache_capacity: opts.cache_capacity,
         cache_shards: opts.cache_shards,
+        cache_bytes: opts.cache_bytes,
         batch_threads: opts.batch_threads,
         data_dir: opts.data_dir.clone().map(std::path::PathBuf::from),
         fsync: opts.fsync,
